@@ -1,0 +1,187 @@
+// Experiments E7 / E8: precision of the polynomial baselines against the
+// exact must-have-happened-before relation (dependences ignored, the
+// §5.3 feasibility both baselines target).
+//
+// Per trace-size bucket, counters report the aggregated recall of the
+// baseline (fraction of exact MHB pairs it proves) and its soundness
+// violations (always 0).  The baselines run in microseconds while the
+// exact reference is exponential — the measured gap is the paper's §4
+// critique quantified.
+#include <benchmark/benchmark.h>
+
+#include "approx/combined.hpp"
+#include "approx/comparison.hpp"
+#include "approx/egp.hpp"
+#include "approx/hmw.hpp"
+#include "bench_common.hpp"
+#include "ordering/exact.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace evord;
+using namespace evord::bench;
+
+void BM_Hmw_Precision(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  // Pre-generate traces and their exact references outside the timed loop.
+  Rng rng(2026);
+  std::vector<Trace> traces;
+  std::vector<RelationMatrix> exact;
+  for (int i = 0; i < 8; ++i) {
+    traces.push_back(
+        random_sem_trace(num_events, 3, 2, rng, /*num_vars=*/0));
+    ExactOptions options;
+    options.respect_dependences = false;
+    exact.push_back(compute_exact(traces.back(), Semantics::kCausal,
+                                  options)[RelationKind::kMHB]);
+  }
+
+  std::size_t agreed = 0;
+  std::size_t exact_pairs = 0;
+  std::size_t spurious = 0;
+  for (auto _ : state) {
+    agreed = exact_pairs = spurious = 0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const HmwResult hmw = compute_hmw(traces[i]);
+      const RelationComparison c =
+          compare_relations(hmw.safe_happened_before, exact[i]);
+      agreed += c.agreed;
+      exact_pairs += c.exact_pairs;
+      spurious += c.spurious;
+      benchmark::DoNotOptimize(hmw);
+    }
+  }
+  EVORD_CHECK(spurious == 0, "HMW produced an unsound ordering");
+  state.counters["recall"] =
+      exact_pairs == 0 ? 1.0
+                       : static_cast<double>(agreed) /
+                             static_cast<double>(exact_pairs);
+  state.counters["exact_pairs"] = static_cast<double>(exact_pairs);
+  state.counters["unsound"] = static_cast<double>(spurious);
+}
+BENCHMARK(BM_Hmw_Precision)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Egp_Precision(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(4052);
+  std::vector<Trace> traces;
+  std::vector<RelationMatrix> exact;
+  for (int i = 0; i < 8; ++i) {
+    traces.push_back(random_event_trace(num_events, 3, 2, rng));
+    const OrderingRelations r =
+        compute_exact(traces.back(), Semantics::kCausal);
+    exact.push_back(r[RelationKind::kMHB]);
+  }
+
+  std::size_t agreed = 0;
+  std::size_t exact_pairs = 0;
+  std::size_t spurious = 0;
+  for (auto _ : state) {
+    agreed = exact_pairs = spurious = 0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const EgpResult egp = compute_egp(traces[i]);
+      const RelationComparison c =
+          compare_relations(egp.guaranteed, exact[i]);
+      agreed += c.agreed;
+      exact_pairs += c.exact_pairs;
+      spurious += c.spurious;
+      benchmark::DoNotOptimize(egp);
+    }
+  }
+  EVORD_CHECK(spurious == 0,
+              "EGP produced an unsound ordering on a sync-only trace");
+  state.counters["recall"] =
+      exact_pairs == 0 ? 1.0
+                       : static_cast<double>(agreed) /
+                             static_cast<double>(exact_pairs);
+  state.counters["exact_pairs"] = static_cast<double>(exact_pairs);
+  state.counters["unsound"] = static_cast<double>(spurious);
+}
+BENCHMARK(BM_Egp_Precision)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+// The combined dependence-aware engine against the same references: it
+// must dominate HMW on semaphore traces (same rule plus D plus the CCA
+// rule) and stays sound.
+void BM_Combined_Precision(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(2026);
+  std::vector<Trace> traces;
+  std::vector<RelationMatrix> exact;
+  for (int i = 0; i < 8; ++i) {
+    traces.push_back(random_sem_trace(num_events, 3, 2, rng, /*num_vars=*/2));
+    exact.push_back(compute_exact(traces.back(),
+                                  Semantics::kCausal)[RelationKind::kMHB]);
+  }
+  std::size_t agreed = 0;
+  std::size_t exact_pairs = 0;
+  std::size_t spurious = 0;
+  for (auto _ : state) {
+    agreed = exact_pairs = spurious = 0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const CombinedResult combined = compute_combined(traces[i]);
+      const RelationComparison c =
+          compare_relations(combined.guaranteed, exact[i]);
+      agreed += c.agreed;
+      exact_pairs += c.exact_pairs;
+      spurious += c.spurious;
+      benchmark::DoNotOptimize(combined);
+    }
+  }
+  EVORD_CHECK(spurious == 0, "combined engine produced an unsound ordering");
+  state.counters["recall"] =
+      exact_pairs == 0 ? 1.0
+                       : static_cast<double>(agreed) /
+                             static_cast<double>(exact_pairs);
+  state.counters["exact_pairs"] = static_cast<double>(exact_pairs);
+  state.counters["unsound"] = static_cast<double>(spurious);
+}
+BENCHMARK(BM_Combined_Precision)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+// Runtime-only scaling of the baselines on traces far beyond the exact
+// engine's reach: polynomial vs exponential, the other half of the story.
+void BM_Hmw_Runtime(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const Trace t = random_sem_trace(num_events, 6, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_hmw(t));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(num_events));
+}
+BENCHMARK(BM_Hmw_Runtime)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void BM_Egp_Runtime(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const Trace t = random_event_trace(num_events, 6, 3, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_egp(t));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(num_events));
+}
+BENCHMARK(BM_Egp_Runtime)
+    ->RangeMultiplier(2)
+    ->Range(64, 512)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

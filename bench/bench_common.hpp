@@ -1,0 +1,131 @@
+// Shared fixtures for the experiment benches: the small 3CNF families
+// the exact engines can exhaust, and trace generators mirroring
+// tests/helpers.hpp (duplicated deliberately: benches must not depend on
+// test code).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/formula.hpp"
+#include "trace/builder.hpp"
+#include "util/rng.hpp"
+
+namespace evord::bench {
+
+/// (x v x v x): satisfiable, the smallest reduction instance.
+inline CnfFormula tiny_sat() {
+  CnfFormula f;
+  f.add_clause({1, 1, 1});
+  return f;
+}
+
+/// (x)(−x): unsatisfiable.
+inline CnfFormula tiny_unsat() {
+  CnfFormula f;
+  f.add_clause({1, 1, 1});
+  f.add_clause({-1, -1, -1});
+  return f;
+}
+
+/// Graded UNSAT family over ONE variable: (x) plus m-1 copies of (-x).
+/// Every member is unsatisfiable, so the exact decision must exhaust the
+/// state space (the co-NP side).  Measured growth of the reduction's
+/// reachable states: m=2 -> ~8e3, m=3 -> ~3e5, m=4 -> ~1.2e7 — about
+/// x40 per clause, the paper's exponential wall.
+inline CnfFormula scaling_unsat(std::int32_t num_clauses) {
+  CnfFormula f;
+  f.add_clause({1, 1, 1});
+  for (std::int32_t c = 1; c < num_clauses; ++c) {
+    f.add_clause({-1, -1, -1});
+  }
+  return f;
+}
+
+/// Satisfiable counterpart: m copies of (x).
+inline CnfFormula scaling_sat(std::int32_t num_clauses) {
+  CnfFormula f;
+  for (std::int32_t c = 0; c < num_clauses; ++c) {
+    f.add_clause({1, 1, 1});
+  }
+  return f;
+}
+
+/// Multi-variable UNSAT family (k vars, 2k clauses) for the SAT-oracle
+/// side of the scaling experiment, where size is unconstrained.
+inline CnfFormula scaling_unsat_vars(std::int32_t copies) {
+  CnfFormula f;
+  for (std::int32_t v = 1; v <= copies; ++v) {
+    f.add_clause({v, v, v});
+    f.add_clause({-v, -v, -v});
+  }
+  return f;
+}
+
+/// Random semaphore trace (valid by construction); same scheme as the
+/// test helper.
+inline Trace random_sem_trace(std::size_t num_events, std::size_t num_procs,
+                              std::size_t num_sems, Rng& rng,
+                              std::size_t num_vars = 2) {
+  TraceBuilder b;
+  std::vector<ObjectId> sems;
+  for (std::size_t s = 0; s < num_sems; ++s) {
+    sems.push_back(b.semaphore("s" + std::to_string(s)));
+  }
+  std::vector<VarId> vars;
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    vars.push_back(b.variable("x" + std::to_string(v)));
+  }
+  std::vector<ProcId> procs{b.root()};
+  while (procs.size() < num_procs) procs.push_back(b.add_process());
+  std::vector<int> count(num_sems, 0);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    const ProcId p = procs[rng.below(procs.size())];
+    const std::size_t s = rng.below(num_sems);
+    if (rng.chance(0.55)) {
+      if (count[s] > 0 && rng.chance(0.5)) {
+        b.sem_p(p, sems[s]);
+        --count[s];
+      } else {
+        b.sem_v(p, sems[s]);
+        ++count[s];
+      }
+    } else if (!vars.empty()) {
+      const bool write = rng.chance(0.5);
+      const VarId v = vars[rng.below(vars.size())];
+      b.compute(p, "", write ? std::vector<VarId>{} : std::vector<VarId>{v},
+                write ? std::vector<VarId>{v} : std::vector<VarId>{});
+    }
+  }
+  return b.build();
+}
+
+/// Random event-style (Post/Wait/Clear) trace.
+inline Trace random_event_trace(std::size_t num_events,
+                                std::size_t num_procs, std::size_t num_evs,
+                                Rng& rng) {
+  TraceBuilder b;
+  std::vector<ObjectId> evs;
+  for (std::size_t v = 0; v < num_evs; ++v) {
+    evs.push_back(b.event_var("e" + std::to_string(v)));
+  }
+  std::vector<ProcId> procs{b.root()};
+  while (procs.size() < num_procs) procs.push_back(b.add_process());
+  std::vector<bool> posted(num_evs, false);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    const ProcId p = procs[rng.below(procs.size())];
+    const std::size_t v = rng.below(num_evs);
+    if (posted[v] && rng.chance(0.4)) {
+      b.wait(p, evs[v]);
+    } else if (posted[v] && rng.chance(0.3)) {
+      b.clear(p, evs[v]);
+      posted[v] = false;
+    } else {
+      b.post(p, evs[v]);
+      posted[v] = true;
+    }
+  }
+  return b.build();
+}
+
+}  // namespace evord::bench

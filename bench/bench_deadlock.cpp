@@ -1,0 +1,109 @@
+// Deadlock and coexistence analyses — the extensions the paper gestures
+// at ("Although these processes can deadlock"; concurrent-with hardness).
+//
+//   * deadlockability of the two reduction styles: the semaphore
+//     construction never wedges, the event-style one always can;
+//   * deadlock probability over random Post/Wait/Clear traces (counters
+//     report the fraction of traces with a wedgeable schedule);
+//   * the coexistence decision on reduction instances: coexist(a, b) iff
+//     the formula is satisfiable — could-have-been-concurrent hardness
+//     exercised at state-space (Engine A) cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "feasible/deadlock.hpp"
+#include "feasible/schedule_space.hpp"
+#include "reductions/reduction.hpp"
+#include "util/check.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace evord;
+using namespace evord::bench;
+
+void BM_Deadlock_SemReduction(benchmark::State& state) {
+  const ReductionExecution e =
+      execute_reduction(reduce_3sat_semaphores(tiny_sat()));
+  bool can = true;
+  for (auto _ : state) {
+    const DeadlockReport r = analyze_deadlocks(e.trace);
+    EVORD_CHECK(!r.truncated, "budget exceeded");
+    can = r.can_deadlock;
+    benchmark::DoNotOptimize(r);
+  }
+  EVORD_CHECK(!can, "semaphore construction must be deadlock-free");
+  state.SetLabel("deadlock-free, as constructed");
+}
+BENCHMARK(BM_Deadlock_SemReduction)->Unit(benchmark::kMillisecond);
+
+void BM_Deadlock_EventReduction(benchmark::State& state) {
+  const ReductionExecution e =
+      execute_reduction(reduce_3sat_events(tiny_sat()));
+  bool can = false;
+  for (auto _ : state) {
+    const DeadlockReport r = analyze_deadlocks(e.trace);
+    EVORD_CHECK(!r.truncated, "budget exceeded");
+    can = r.can_deadlock;
+    benchmark::DoNotOptimize(r);
+  }
+  EVORD_CHECK(can, "the Clear gadget must be wedgeable");
+  state.SetLabel("'Although these processes can deadlock...' -- confirmed");
+}
+BENCHMARK(BM_Deadlock_EventReduction)->Unit(benchmark::kMillisecond);
+
+void BM_Deadlock_RandomEventTraces(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(77);
+  std::vector<Trace> traces;
+  for (int i = 0; i < 10; ++i) {
+    EventTraceConfig config;
+    config.num_events = num_events;
+    traces.push_back(random_event_trace(config, rng));
+  }
+  std::size_t wedgeable = 0;
+  for (auto _ : state) {
+    wedgeable = 0;
+    for (const Trace& t : traces) {
+      const DeadlockReport r = analyze_deadlocks(t);
+      wedgeable += r.can_deadlock ? 1 : 0;
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["wedgeable_fraction"] =
+      static_cast<double>(wedgeable) / static_cast<double>(traces.size());
+}
+BENCHMARK(BM_Deadlock_RandomEventTraces)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Coexist_ReductionDecidesSat(benchmark::State& state) {
+  const bool satisfiable = state.range(0) != 0;
+  const ReductionExecution e = execute_reduction(
+      reduce_3sat_semaphores(satisfiable ? tiny_sat() : tiny_unsat()));
+  bool coexist = false;
+  for (auto _ : state) {
+    ScheduleSpaceOptions options;
+    options.build_coexist = true;
+    options.max_states = 20'000'000;
+    const CanPrecedeResult r = compute_can_precede(e.trace, options);
+    EVORD_CHECK(!r.truncated, "budget exceeded");
+    coexist = r.can_coexist[e.a].test(e.b);
+    benchmark::DoNotOptimize(r);
+  }
+  EVORD_CHECK(coexist == satisfiable,
+              "coexist(a,b) must decide satisfiability");
+  state.counters["coexist_ab"] = coexist ? 1 : 0;
+  state.SetLabel(satisfiable ? "SAT => a,b could run simultaneously"
+                             : "UNSAT => never simultaneous");
+}
+BENCHMARK(BM_Coexist_ReductionDecidesSat)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

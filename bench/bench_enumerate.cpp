@@ -1,0 +1,187 @@
+// Experiment E12: the feasible-execution engines against closed forms.
+//
+// * schedule counting on independent processes follows the multinomial
+//   (n+m choose n) — verified each iteration;
+// * the state-merged engine visits (len+1)^procs states where the
+//   enumeration engine walks exponentially many schedules — the counters
+//   expose the gap that makes interleaving queries tractable per state
+//   but exponential overall;
+// * the parallel root-split enumerator is compared with the serial one.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "feasible/enumerate.hpp"
+#include "feasible/schedule_space.hpp"
+#include "reductions/figure1.hpp"
+#include "sync/scheduler.hpp"
+#include "trace/builder.hpp"
+#include "util/check.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace evord;
+
+Trace independent(std::size_t per_proc, std::size_t procs) {
+  TraceBuilder b;
+  std::vector<ProcId> ps{b.root()};
+  while (ps.size() < procs) ps.push_back(b.add_process());
+  for (std::size_t i = 0; i < per_proc; ++i) {
+    for (ProcId p : ps) b.compute(p, "");
+  }
+  return b.build();
+}
+
+std::uint64_t multinomial_schedules(std::size_t per_proc,
+                                    std::size_t procs) {
+  // (procs*per_proc)! / (per_proc!)^procs, computed incrementally.
+  std::uint64_t result = 1;
+  std::size_t placed = 0;
+  for (std::size_t p = 0; p < procs; ++p) {
+    // choose(placed + per_proc, per_proc)
+    for (std::size_t i = 1; i <= per_proc; ++i) {
+      result = result * (placed + i) / i;
+    }
+    placed += per_proc;
+  }
+  return result;
+}
+
+void BM_Enumerate_IndependentProcs(benchmark::State& state) {
+  const auto per_proc = static_cast<std::size_t>(state.range(0));
+  const auto procs = static_cast<std::size_t>(state.range(1));
+  const Trace t = independent(per_proc, procs);
+  const std::uint64_t expected = multinomial_schedules(per_proc, procs);
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    count = count_schedules(t);
+    EVORD_CHECK(count == expected, "closed form violated");
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["schedules"] = static_cast<double>(count);
+  state.counters["events"] = static_cast<double>(t.num_events());
+}
+BENCHMARK(BM_Enumerate_IndependentProcs)
+    ->Args({3, 2})
+    ->Args({5, 2})
+    ->Args({7, 2})
+    ->Args({3, 3})
+    ->Args({4, 3})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StateSpace_IndependentProcs(benchmark::State& state) {
+  const auto per_proc = static_cast<std::size_t>(state.range(0));
+  const auto procs = static_cast<std::size_t>(state.range(1));
+  const Trace t = independent(per_proc, procs);
+  std::size_t states = 0;
+  for (auto _ : state) {
+    const CanPrecedeResult r = compute_can_precede(t);
+    states = r.states_visited;
+    benchmark::DoNotOptimize(r);
+  }
+  // (per_proc+1)^procs - 1 states (the complete state is not memoized).
+  std::size_t expected = 1;
+  for (std::size_t p = 0; p < procs; ++p) expected *= per_proc + 1;
+  EVORD_CHECK(states == expected - 1, "state count mismatch");
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["schedules"] =
+      static_cast<double>(multinomial_schedules(per_proc, procs));
+}
+BENCHMARK(BM_StateSpace_IndependentProcs)
+    ->Args({3, 2})
+    ->Args({7, 2})
+    ->Args({4, 3})
+    ->Args({9, 3})
+    ->Args({6, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Enumerate_SemTraceSerial(benchmark::State& state) {
+  Rng rng(11);
+  const Trace t = evord::bench::random_sem_trace(
+      static_cast<std::size_t>(state.range(0)), 3, 2, rng);
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    count = count_schedules(t);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["schedules"] = static_cast<double>(count);
+}
+BENCHMARK(BM_Enumerate_SemTraceSerial)
+    ->DenseRange(8, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Enumerate_SemTraceParallel(benchmark::State& state) {
+  Rng rng(11);
+  const Trace t = evord::bench::random_sem_trace(
+      static_cast<std::size_t>(state.range(0)), 3, 2, rng);
+  const std::uint64_t expected = count_schedules(t);
+  std::atomic<std::uint64_t> seen{0};
+  for (auto _ : state) {
+    seen = 0;
+    const EnumerateStats stats = enumerate_schedules_parallel(
+        t, {},
+        [&](const std::vector<EventId>&) {
+          seen.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        },
+        /*num_threads=*/2);
+    EVORD_CHECK(stats.schedules == expected,
+                "parallel enumeration lost schedules");
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["schedules"] = static_cast<double>(expected);
+}
+BENCHMARK(BM_Enumerate_SemTraceParallel)
+    ->DenseRange(8, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Program-space exploration: all schedules of a PROGRAM (branches
+// included).  Counters report outcome mix across the whole space.
+void BM_ExploreProgram_Figure1(benchmark::State& state) {
+  const Program prog = figure1_program();
+  std::uint64_t completed = 0;
+  std::uint64_t else_branch = 0;
+  for (auto _ : state) {
+    completed = else_branch = 0;
+    explore_program_executions(prog, {}, [&](const RunResult& r) {
+      if (r.status == RunStatus::kCompleted) {
+        ++completed;
+        if (r.trace.events_of_kind(EventKind::kPost).size() == 1) {
+          ++else_branch;
+        }
+      }
+      return true;
+    });
+    benchmark::DoNotOptimize(completed);
+  }
+  EVORD_CHECK(else_branch > 0 && else_branch < completed,
+              "both branches of Figure 1 must occur");
+  state.counters["executions"] = static_cast<double>(completed);
+  state.counters["else_branch"] = static_cast<double>(else_branch);
+  state.SetLabel("schedules that take the Wait instead of the Post");
+}
+BENCHMARK(BM_ExploreProgram_Figure1)->Unit(benchmark::kMillisecond);
+
+void BM_ExploreProgram_Philosophers(benchmark::State& state) {
+  const auto seats = static_cast<std::size_t>(state.range(0));
+  const Program prog = dining_philosophers(seats, 1);
+  std::uint64_t completed = 0;
+  std::uint64_t deadlocked = 0;
+  for (auto _ : state) {
+    const ProgramExploration stats = explore_program_executions(
+        prog, {}, [](const RunResult&) { return true; });
+    completed = stats.completed;
+    deadlocked = stats.deadlocked;
+    benchmark::DoNotOptimize(stats);
+  }
+  EVORD_CHECK(deadlocked == 0, "asymmetric philosophers never deadlock");
+  state.counters["executions"] = static_cast<double>(completed);
+}
+BENCHMARK(BM_ExploreProgram_Philosophers)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

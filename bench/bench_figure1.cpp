@@ -1,0 +1,78 @@
+// Experiment E1: Figure 1.
+//
+// Times the three analyses of the Figure 1 execution and asserts the
+// paper's qualitative claim on every iteration: the EGP task graph shows
+// no ordering between the two Posts, while the exact analysis proves
+// post-t1 MHB post-t2 (enforced by the X := 1 dependence).  Counters
+// report how many guaranteed pairs each analysis finds.
+#include <benchmark/benchmark.h>
+
+#include "approx/egp.hpp"
+#include "approx/vector_clock.hpp"
+#include "ordering/exact.hpp"
+#include "reductions/figure1.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace evord;
+
+void BM_Figure1_Egp(benchmark::State& state) {
+  const Figure1Execution fig = figure1_execution();
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    const EgpResult egp = compute_egp(fig.trace);
+    EVORD_CHECK(!egp.guaranteed.holds(fig.post_t1, fig.post_t2) &&
+                    !egp.guaranteed.holds(fig.post_t2, fig.post_t1),
+                "EGP unexpectedly ordered the Posts");
+    pairs = egp.guaranteed.num_pairs();
+    benchmark::DoNotOptimize(egp);
+  }
+  state.counters["guaranteed_pairs"] = static_cast<double>(pairs);
+  state.SetLabel("misses the Post-Post ordering (the paper's point)");
+}
+BENCHMARK(BM_Figure1_Egp)->Unit(benchmark::kMicrosecond);
+
+void BM_Figure1_ExactCausal(benchmark::State& state) {
+  const Figure1Execution fig = figure1_execution();
+  std::size_t pairs = 0;
+  std::uint64_t classes = 0;
+  for (auto _ : state) {
+    const OrderingRelations r = compute_exact(fig.trace, Semantics::kCausal);
+    EVORD_CHECK(r.holds(RelationKind::kMHB, fig.post_t1, fig.post_t2),
+                "exact analysis lost the dependence-enforced ordering");
+    pairs = r[RelationKind::kMHB].num_pairs();
+    classes = r.causal_classes;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["mhb_pairs"] = static_cast<double>(pairs);
+  state.counters["causal_classes"] = static_cast<double>(classes);
+  state.SetLabel("finds post-t1 MHB post-t2");
+}
+BENCHMARK(BM_Figure1_ExactCausal)->Unit(benchmark::kMicrosecond);
+
+void BM_Figure1_ExactInterleaving(benchmark::State& state) {
+  const Figure1Execution fig = figure1_execution();
+  for (auto _ : state) {
+    const OrderingRelations r =
+        compute_exact(fig.trace, Semantics::kInterleaving);
+    EVORD_CHECK(r.holds(RelationKind::kMHB, fig.post_t1, fig.post_t2),
+                "interleaving MHB lost the ordering");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Figure1_ExactInterleaving)->Unit(benchmark::kMicrosecond);
+
+void BM_Figure1_VectorClocks(benchmark::State& state) {
+  const Figure1Execution fig = figure1_execution();
+  for (auto _ : state) {
+    const VectorClockResult vc = compute_vector_clocks(fig.trace);
+    benchmark::DoNotOptimize(vc);
+  }
+  state.SetLabel("observed execution only");
+}
+BENCHMARK(BM_Figure1_VectorClocks)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

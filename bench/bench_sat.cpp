@@ -1,0 +1,118 @@
+// Experiment E11: SAT substrate validation.
+//
+// The CDCL solver is the fast side of every oracle comparison, so its own
+// behavior is benchmarked: random 3SAT across the clause/variable ratio
+// (the phase transition at m/n ~ 4.26 shows as a solve-time peak and a
+// ~50% sat fraction), the pigeonhole family (hard UNSAT), and DPLL as the
+// baseline the CDCL solver must dominate on structured instances.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "sat/cdcl.hpp"
+#include "sat/dpll.hpp"
+#include "sat/gen.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace evord;
+
+void BM_Cdcl_Random3SatRatio(benchmark::State& state) {
+  // ratio_x10 = 10 * m/n; n fixed at 60.
+  const double ratio = static_cast<double>(state.range(0)) / 10.0;
+  const std::int32_t n = 60;
+  const auto m = static_cast<std::size_t>(ratio * n);
+  Rng rng(1234 + state.range(0));
+  std::vector<CnfFormula> instances;
+  for (int i = 0; i < 10; ++i) instances.push_back(random_3sat(n, m, rng));
+
+  std::size_t sat_count = 0;
+  std::uint64_t conflicts = 0;
+  for (auto _ : state) {
+    sat_count = 0;
+    conflicts = 0;
+    for (const CnfFormula& f : instances) {
+      const SatResult r = solve(f);
+      sat_count += r.satisfiable ? 1 : 0;
+      conflicts += r.stats.conflicts;
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["sat_fraction"] =
+      static_cast<double>(sat_count) / static_cast<double>(instances.size());
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_Cdcl_Random3SatRatio)
+    ->Arg(30)   // m/n = 3.0: almost surely SAT, easy
+    ->Arg(38)
+    ->Arg(43)   // ~ the phase transition
+    ->Arg(48)
+    ->Arg(60)   // almost surely UNSAT, easy again
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cdcl_Pigeonhole(benchmark::State& state) {
+  const auto holes = static_cast<std::int32_t>(state.range(0));
+  const CnfFormula f = pigeonhole(holes);
+  std::uint64_t conflicts = 0;
+  for (auto _ : state) {
+    const SatResult r = solve(f);
+    EVORD_CHECK(!r.satisfiable, "pigeonhole must be UNSAT");
+    conflicts = r.stats.conflicts;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["conflicts"] = static_cast<double>(conflicts);
+}
+BENCHMARK(BM_Cdcl_Pigeonhole)
+    ->DenseRange(4, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Dpll_Random3Sat(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(4.3 * n);
+  Rng rng(99);
+  std::vector<CnfFormula> instances;
+  for (int i = 0; i < 5; ++i) instances.push_back(random_3sat(n, m, rng));
+  for (auto _ : state) {
+    for (const CnfFormula& f : instances) {
+      benchmark::DoNotOptimize(solve_dpll(f));
+    }
+  }
+}
+BENCHMARK(BM_Dpll_Random3Sat)
+    ->DenseRange(20, 40, 10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cdcl_Random3Sat(benchmark::State& state) {
+  const std::int32_t n = static_cast<std::int32_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(4.3 * n);
+  Rng rng(99);
+  std::vector<CnfFormula> instances;
+  for (int i = 0; i < 5; ++i) instances.push_back(random_3sat(n, m, rng));
+  for (auto _ : state) {
+    for (const CnfFormula& f : instances) {
+      benchmark::DoNotOptimize(solve(f));
+    }
+  }
+}
+BENCHMARK(BM_Cdcl_Random3Sat)
+    ->DenseRange(20, 40, 10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Cdcl_ReductionShapedInstances(benchmark::State& state) {
+  // The formulas the ordering oracle actually sees.
+  const auto m = static_cast<std::int32_t>(state.range(0));
+  const CnfFormula f = evord::bench::scaling_unsat(m);
+  for (auto _ : state) {
+    const SatResult r = solve(f);
+    EVORD_CHECK(!r.satisfiable, "family is UNSAT");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Cdcl_ReductionShapedInstances)
+    ->RangeMultiplier(8)
+    ->Range(8, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Experiments E2-E5: the theorem biconditionals, timed.
+//
+// For each synchronization style (Theorems 1/2: semaphores; Theorems
+// 3/4: Post/Wait/Clear) and each verdict (SAT / UNSAT), this bench
+// builds the reduction program, executes it, runs the EXACT interleaving
+// analysis and reports:
+//   * time per full decision (construct + execute + analyze),
+//   * states visited (the exponential quantity),
+//   * counters `mhb_ab` / `chb_ba` — the paper predicts mhb_ab == UNSAT
+//     and chb_ba == SAT; a violated prediction aborts the bench.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "ordering/exact.hpp"
+#include "reductions/reduction.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace evord;
+using namespace evord::bench;
+
+void run_theorem(benchmark::State& state, const CnfFormula& formula,
+                 SyncStyle style, bool satisfiable) {
+  std::size_t states = 0;
+  bool mhb = false;
+  bool chb = false;
+  for (auto _ : state) {
+    const ReductionProgram reduction = reduce_3sat(formula, style);
+    const ReductionExecution e = execute_reduction(reduction);
+    const OrderingRelations r =
+        compute_exact(e.trace, Semantics::kInterleaving);
+    EVORD_CHECK(!r.truncated, "bench instance exceeded the state budget");
+    mhb = r.holds(RelationKind::kMHB, e.a, e.b);
+    chb = r.holds(RelationKind::kCHB, e.b, e.a);
+    EVORD_CHECK(mhb == !satisfiable, "Theorem 1/3 violated!");
+    EVORD_CHECK(chb == satisfiable, "Theorem 2/4 violated!");
+    states = r.states_visited;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["mhb_ab"] = mhb ? 1 : 0;
+  state.counters["chb_ba"] = chb ? 1 : 0;
+  state.SetLabel(satisfiable ? "SAT => not(a MHB b), b CHB a"
+                             : "UNSAT => a MHB b, not(b CHB a)");
+}
+
+void BM_Theorem1_Semaphore_Unsat(benchmark::State& state) {
+  run_theorem(state, tiny_unsat(), SyncStyle::kSemaphore, false);
+}
+void BM_Theorem2_Semaphore_Sat(benchmark::State& state) {
+  run_theorem(state, tiny_sat(), SyncStyle::kSemaphore, true);
+}
+void BM_Theorem3_EventStyle_Unsat(benchmark::State& state) {
+  run_theorem(state, tiny_unsat(), SyncStyle::kEventStyle, false);
+}
+void BM_Theorem4_EventStyle_Sat(benchmark::State& state) {
+  run_theorem(state, tiny_sat(), SyncStyle::kEventStyle, true);
+}
+
+BENCHMARK(BM_Theorem1_Semaphore_Unsat)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Theorem2_Semaphore_Sat)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Theorem3_EventStyle_Unsat)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Theorem4_EventStyle_Sat)->Unit(benchmark::kMillisecond);
+
+// E9: the same decisions with shared-data dependences ignored (paper
+// §5.3) — the reduction programs have none, so the verdicts must not
+// change and the cost is comparable.
+void BM_Section53_IgnoreDeps_Unsat(benchmark::State& state) {
+  const CnfFormula formula = tiny_unsat();
+  for (auto _ : state) {
+    const ReductionExecution e =
+        execute_reduction(reduce_3sat(formula, SyncStyle::kSemaphore));
+    ExactOptions options;
+    options.respect_dependences = false;
+    const OrderingRelations r =
+        compute_exact(e.trace, Semantics::kInterleaving, options);
+    EVORD_CHECK(r.holds(RelationKind::kMHB, e.a, e.b),
+                "section 5.3 variant violated Theorem 1");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("F3 disabled; verdict unchanged");
+}
+BENCHMARK(BM_Section53_IgnoreDeps_Unsat)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Vector-clock throughput: the polynomial baseline at production scale.
+//
+// Traces of up to a quarter-million events are analyzed; the counter
+// reports events per second.  This is the operating point of practical
+// race detectors — and the paper's theorems say the gap between this and
+// the exact analysis is unavoidable.
+#include <benchmark/benchmark.h>
+
+#include "approx/vector_clock.hpp"
+#include "bench_common.hpp"
+#include "race/race_detector.hpp"
+
+namespace {
+
+using namespace evord;
+using namespace evord::bench;
+
+void BM_VectorClock_Throughput(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(321);
+  // Pure synchronization trace: with shared variables the all-pairs D
+  // computation would dominate setup at this scale.
+  const Trace t = random_sem_trace(num_events, 8, 4, rng, /*num_vars=*/0);
+  for (auto _ : state) {
+    const VectorClockResult vc =
+        compute_vector_clocks(t, {.build_matrix = false});
+    benchmark::DoNotOptimize(vc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(num_events));
+}
+BENCHMARK(BM_VectorClock_Throughput)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VectorClock_WithDataEdges(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(321);
+  const Trace t = random_sem_trace(num_events, 8, 4, rng);
+  for (auto _ : state) {
+    const VectorClockResult vc = compute_vector_clocks(
+        t, {.include_data_edges = true, .build_matrix = false});
+    benchmark::DoNotOptimize(vc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(num_events));
+}
+BENCHMARK(BM_VectorClock_WithDataEdges)
+    ->RangeMultiplier(4)
+    ->Range(1024, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ObservedRaceDetection(benchmark::State& state) {
+  const auto num_events = static_cast<std::size_t>(state.range(0));
+  Rng rng(55);
+  const Trace t = random_sem_trace(num_events, 6, 3, rng, /*num_vars=*/4);
+  std::size_t races = 0;
+  for (auto _ : state) {
+    const RaceReport r = detect_races_observed(t);
+    races = r.races.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["races"] = static_cast<double>(races);
+}
+BENCHMARK(BM_ObservedRaceDetection)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

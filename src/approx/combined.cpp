@@ -1,0 +1,133 @@
+#include "approx/combined.hpp"
+
+#include <vector>
+
+#include "graph/ancestor.hpp"
+#include "graph/reachability.hpp"
+
+namespace evord {
+
+CombinedResult compute_combined(const Trace& trace,
+                                const CombinedOptions& options) {
+  CombinedResult result;
+  const std::size_t num_sems = trace.semaphores().size();
+  const std::size_t num_evs = trace.event_vars().size();
+
+  // Per-object event lists.
+  std::vector<std::vector<EventId>> vs(num_sems), ps(num_sems);
+  std::vector<std::vector<EventId>> posts(num_evs), waits(num_evs),
+      clears(num_evs);
+  for (const Event& e : trace.events()) {
+    switch (e.kind) {
+      case EventKind::kSemV:
+        vs[e.object].push_back(e.id);
+        break;
+      case EventKind::kSemP:
+        ps[e.object].push_back(e.id);
+        break;
+      case EventKind::kPost:
+        posts[e.object].push_back(e.id);
+        break;
+      case EventKind::kWait:
+        waits[e.object].push_back(e.id);
+        break;
+      case EventKind::kClear:
+        clears[e.object].push_back(e.id);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Base: program order, fork/join and — in F3 mode — the dependences
+  // (which hold in every feasible execution).
+  Digraph g = options.include_data_edges ? trace.constraint_graph()
+                                         : trace.static_order_graph();
+
+  bool added = true;
+  while (added) {
+    added = false;
+    ++result.iterations;
+    const TransitiveClosure tc(g);
+
+    // --- HMW counting rule, per semaphore --------------------------
+    for (ObjectId s = 0; s < num_sems; ++s) {
+      const int init = trace.semaphores()[s].initial;
+      for (EventId p : ps[s]) {
+        int before = 0;
+        for (EventId q : ps[s]) {
+          if (q == p || tc.reachable(q, p)) ++before;
+        }
+        const int need = before - init;
+        if (need <= 0) continue;
+        std::vector<EventId> candidates;
+        for (EventId u : vs[s]) {
+          if (!tc.reachable(p, u)) candidates.push_back(u);
+        }
+        if (static_cast<int>(candidates.size()) == need) {
+          for (EventId u : candidates) {
+            if (!tc.reachable(u, p)) {
+              g.add_edge(u, p);
+              ++result.semaphore_edges;
+              added = true;
+            }
+          }
+        } else if (!candidates.empty()) {
+          // Closest-common-ancestor rule: the P consumes SOME candidate
+          // token, so everything preceding every candidate precedes it.
+          for (NodeId o : closest_common_ancestors(g, candidates)) {
+            if (o != p && !tc.reachable(o, p) && !g.has_edge(o, p)) {
+              g.add_edge(o, p);
+              ++result.semaphore_edges;
+              added = true;
+            }
+          }
+        }
+      }
+    }
+
+    // --- EGP unique-candidate rule, per wait ------------------------
+    for (ObjectId v = 0; v < num_evs; ++v) {
+      if (trace.event_vars()[v].initially_posted) continue;  // no post needed
+      for (EventId w : waits[v]) {
+        std::vector<EventId> candidates;
+        for (EventId p : posts[v]) {
+          if (tc.reachable(w, p)) continue;
+          bool cleared_between = false;
+          for (EventId c : clears[v]) {
+            if ((p == c || tc.reachable(p, c)) && tc.reachable(c, w)) {
+              cleared_between = true;
+              break;
+            }
+          }
+          if (!cleared_between) candidates.push_back(p);
+        }
+        if (candidates.size() == 1) {
+          if (!tc.reachable(candidates[0], w)) {
+            g.add_edge(candidates[0], w);
+            ++result.event_edges;
+            added = true;
+          }
+        } else if (!candidates.empty()) {
+          for (NodeId o : closest_common_ancestors(g, candidates)) {
+            if (o != w && !tc.reachable(o, w) && !g.has_edge(o, w)) {
+              g.add_edge(o, w);
+              ++result.event_edges;
+              added = true;
+            }
+          }
+        }
+      }
+    }
+    g.finalize();
+  }
+
+  const TransitiveClosure tc(g);
+  result.guaranteed = RelationMatrix(trace.num_events());
+  for (EventId a = 0; a < trace.num_events(); ++a) {
+    result.guaranteed.row(a) = tc.descendants(a);
+  }
+  return result;
+}
+
+}  // namespace evord

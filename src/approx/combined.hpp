@@ -1,0 +1,50 @@
+// The combined polynomial analysis: a sound, dependence-aware
+// guaranteed-orderings engine for arbitrary traces (mixed semaphore /
+// event-style / fork-join), built from the pieces the paper discusses:
+//
+//   * program order, fork/join and the shared-data dependences D — the
+//     paper's §4 point is precisely that EGP ignores D and therefore
+//     misses orderings (Figure 1); here D is first-class;
+//   * the HMW counting rule per semaphore (a P event needs its tokens;
+//     when the not-provably-later V events exactly cover the need, they
+//     all must precede);
+//   * the EGP candidate rule per Wait (posts not provably later and not
+//     Clear-blocked might have triggered it; a UNIQUE candidate must
+//     precede it);
+//   * the closest-common-ancestor rule (EGP's, generalized to both
+//     synchronization styles): whatever precedes EVERY candidate trigger
+//     of a blocked operation precedes the operation itself;
+//
+// iterated to a fixed point.  The result is a subset of the exact
+// must-have-happened-before relation under full F3 feasibility —
+// Theorem 1 says it cannot be the whole of it in polynomial time, and
+// the precision bench measures the residual gap.  On Figure 1 this
+// analysis DOES order the two Posts.
+#pragma once
+
+#include "ordering/relations.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct CombinedOptions {
+  /// Seed the analysis with the shared-data dependences D.  True for
+  /// guaranteed-orderings queries (the paper's F3 feasibility); false
+  /// for race detection, where the racing pair's own conflict edge must
+  /// not count as an ordering.
+  bool include_data_edges = true;
+};
+
+struct CombinedResult {
+  /// Sound guaranteed orderings (subset of exact causal MHB with F3).
+  RelationMatrix guaranteed;
+  std::size_t iterations = 0;
+  /// Edges contributed by each rule, for diagnostics.
+  std::size_t semaphore_edges = 0;
+  std::size_t event_edges = 0;
+};
+
+CombinedResult compute_combined(const Trace& trace,
+                                const CombinedOptions& options = {});
+
+}  // namespace evord

@@ -1,0 +1,32 @@
+#include "approx/comparison.hpp"
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace evord {
+
+std::string RelationComparison::summary() const {
+  return strprintf(
+      "exact=%zu approx=%zu agreed=%zu missed=%zu spurious=%zu "
+      "precision=%.3f recall=%.3f",
+      exact_pairs, approx_pairs, agreed, missed, spurious, precision(),
+      recall());
+}
+
+RelationComparison compare_relations(const RelationMatrix& approx,
+                                     const RelationMatrix& exact) {
+  EVORD_CHECK(approx.size() == exact.size(), "relation size mismatch");
+  RelationComparison out;
+  out.exact_pairs = exact.num_pairs();
+  out.approx_pairs = approx.num_pairs();
+  for (EventId a = 0; a < approx.size(); ++a) {
+    DynamicBitset both = approx.row(a);
+    both &= exact.row(a);
+    out.agreed += both.count();
+  }
+  out.missed = out.exact_pairs - out.agreed;
+  out.spurious = out.approx_pairs - out.agreed;
+  return out;
+}
+
+}  // namespace evord

@@ -1,0 +1,42 @@
+// Precision/recall accounting of an approximate ordering relation against
+// the exact one — the measurement behind the §4 critique benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ordering/relations.hpp"
+
+namespace evord {
+
+struct RelationComparison {
+  std::size_t exact_pairs = 0;   ///< pairs in the exact relation
+  std::size_t approx_pairs = 0;  ///< pairs the approximation reports
+  std::size_t agreed = 0;        ///< pairs in both
+  std::size_t missed = 0;        ///< exact pairs the approximation lacks
+  std::size_t spurious = 0;      ///< reported pairs that are not exact
+
+  /// Fraction of reported pairs that are correct (1.0 when none reported).
+  double precision() const {
+    return approx_pairs == 0
+               ? 1.0
+               : static_cast<double>(agreed) /
+                     static_cast<double>(approx_pairs);
+  }
+  /// Fraction of exact pairs found (1.0 when the exact relation is empty).
+  double recall() const {
+    return exact_pairs == 0
+               ? 1.0
+               : static_cast<double>(agreed) /
+                     static_cast<double>(exact_pairs);
+  }
+  bool sound() const { return spurious == 0; }
+  bool complete() const { return missed == 0; }
+
+  std::string summary() const;
+};
+
+RelationComparison compare_relations(const RelationMatrix& approx,
+                                     const RelationMatrix& exact);
+
+}  // namespace evord

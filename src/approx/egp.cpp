@@ -1,0 +1,129 @@
+#include "approx/egp.hpp"
+
+#include <algorithm>
+
+#include "graph/ancestor.hpp"
+#include "graph/reachability.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+EgpResult compute_egp(const Trace& trace) {
+  for (const Event& e : trace.events()) {
+    EVORD_CHECK(!is_semaphore_op(e.kind),
+                "EGP analyzes event-style traces; semaphore operation "
+                "found: " << describe(e));
+  }
+  EgpResult result;
+
+  // ----- nodes: synchronization events only ---------------------------
+  result.event_node.assign(trace.num_events(), kNoEvent);
+  for (const Event& e : trace.events()) {
+    if (e.is_sync()) {
+      result.event_node[e.id] =
+          static_cast<NodeId>(result.node_event.size());
+      result.node_event.push_back(e.id);
+    }
+  }
+  const std::size_t num_nodes = result.node_event.size();
+  Digraph g(num_nodes);
+
+  // ----- machine, Task Start and Task End edges ------------------------
+  // First/last sync event per process, for fork/join attachment.
+  std::vector<EventId> first_sync(trace.num_processes(), kNoEvent);
+  std::vector<EventId> last_sync(trace.num_processes(), kNoEvent);
+  for (ProcId p = 0; p < trace.num_processes(); ++p) {
+    EventId prev = kNoEvent;
+    for (EventId id : trace.program_order(p)) {
+      if (!trace.event(id).is_sync()) continue;
+      if (prev == kNoEvent) {
+        first_sync[p] = id;
+      } else {
+        g.add_edge(result.event_node[prev], result.event_node[id]);
+      }
+      prev = id;
+    }
+    last_sync[p] = prev;
+  }
+  for (const Event& e : trace.events()) {
+    if (e.kind == EventKind::kFork && first_sync[e.object] != kNoEvent) {
+      g.add_edge(result.event_node[e.id],
+                 result.event_node[first_sync[e.object]]);
+    }
+    if (e.kind == EventKind::kJoin && last_sync[e.object] != kNoEvent) {
+      g.add_edge(result.event_node[last_sync[e.object]],
+                 result.event_node[e.id]);
+    }
+  }
+  g.finalize();
+
+  // Per event variable: posts, waits, clears (node ids).
+  const std::size_t num_vars = trace.event_vars().size();
+  std::vector<std::vector<NodeId>> posts(num_vars), waits(num_vars),
+      clears(num_vars);
+  for (const Event& e : trace.events()) {
+    if (e.kind == EventKind::kPost) {
+      posts[e.object].push_back(result.event_node[e.id]);
+    } else if (e.kind == EventKind::kWait) {
+      waits[e.object].push_back(result.event_node[e.id]);
+    } else if (e.kind == EventKind::kClear) {
+      clears[e.object].push_back(result.event_node[e.id]);
+    }
+  }
+
+  // ----- synchronization edges, to a fixed point -----------------------
+  bool added = true;
+  while (added) {
+    added = false;
+    ++result.iterations;
+    const TransitiveClosure tc(g);
+    for (ObjectId v = 0; v < num_vars; ++v) {
+      for (NodeId w : waits[v]) {
+        // Candidate Posts that might have triggered w.
+        std::vector<NodeId> candidates;
+        for (NodeId p : posts[v]) {
+          if (tc.reachable(w, p)) continue;  // wait precedes this post
+          bool cleared_between = false;
+          for (NodeId c : clears[v]) {
+            if ((p == c || tc.reachable(p, c)) && tc.reachable(c, w)) {
+              cleared_between = true;
+              break;
+            }
+          }
+          if (!cleared_between) candidates.push_back(p);
+        }
+        std::vector<NodeId> origins;
+        if (candidates.size() == 1) {
+          origins = candidates;  // a unique trigger is itself guaranteed
+        } else if (!candidates.empty()) {
+          origins = closest_common_ancestors(g, candidates);
+        }
+        for (NodeId o : origins) {
+          if (o != w && !g.has_edge(o, w) && !tc.reachable(o, w)) {
+            g.add_edge(o, w);
+            added = true;
+          }
+        }
+      }
+    }
+    g.finalize();
+  }
+  result.task_graph = g;
+
+  // ----- lift to all events --------------------------------------------
+  Digraph lifted = trace.static_order_graph();
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v2 : g.out(u)) {
+      lifted.add_edge(result.node_event[u], result.node_event[v2]);
+    }
+  }
+  lifted.finalize();
+  result.guaranteed = RelationMatrix(trace.num_events());
+  const TransitiveClosure tc(lifted);
+  for (EventId a = 0; a < trace.num_events(); ++a) {
+    result.guaranteed.row(a) = tc.descendants(a);
+  }
+  return result;
+}
+
+}  // namespace evord

@@ -1,0 +1,49 @@
+// The Emrath–Ghosh–Padua task-graph analysis for fork/join programs with
+// Post/Wait/Clear synchronization ("Event Synchronization Analysis for
+// Debugging Parallel Programs", Supercomputing '89), reconstructed from
+// §4 of the reproduced paper:
+//
+//   * one node per SYNCHRONIZATION event (computation events are absent —
+//     this omission is exactly what Figure 1 exploits);
+//   * machine edges between consecutive sync events of one process, Task
+//     Start edges from a fork to the child's first sync event, Task End
+//     edges from the child's last sync event to the join;
+//   * for each Wait node w on event variable e, the candidate Posts are
+//     the Post(e) nodes p with no path w -> p and no path p -> w passing
+//     through a Clear(e) node; a synchronization edge is added from each
+//     closest common ancestor of the candidates to w;
+//   * edges are added until a fixed point, since new edges change paths.
+//
+// The resulting graph is intended to show a guaranteed ordering between
+// two events iff a path connects them.  Because shared-data dependences
+// are ignored, some guaranteed orderings are missed (the paper's central
+// critique); the Figure 1 bench reproduces the miss.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ordering/relations.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct EgpResult {
+  /// The task graph over synchronization events.
+  Digraph task_graph;
+  /// node id -> event id for the task graph's nodes.
+  std::vector<EventId> node_event;
+  /// event id -> node id (kNoEvent-width sentinel for computation events).
+  std::vector<NodeId> event_node;
+  /// Guaranteed orderings lifted to ALL events: for computation events
+  /// the ordering is inherited through the nearest enclosing sync events
+  /// plus program order.
+  RelationMatrix guaranteed;
+  std::size_t iterations = 0;
+};
+
+/// `trace` must not contain semaphore operations (EGP handles event-style
+/// synchronization).
+EgpResult compute_egp(const Trace& trace);
+
+}  // namespace evord

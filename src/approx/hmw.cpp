@@ -1,0 +1,92 @@
+#include "approx/hmw.hpp"
+
+#include <vector>
+
+#include "graph/reachability.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+namespace {
+
+RelationMatrix matrix_from_closure(const TransitiveClosure& tc) {
+  RelationMatrix m(tc.num_nodes());
+  for (NodeId a = 0; a < tc.num_nodes(); ++a) {
+    m.row(a) = tc.descendants(a);
+  }
+  return m;
+}
+
+}  // namespace
+
+HmwResult compute_hmw(const Trace& trace) {
+  for (const Event& e : trace.events()) {
+    EVORD_CHECK(!is_event_op(e.kind),
+                "HMW analyzes semaphore traces; event-style operation "
+                "found: " << describe(e));
+  }
+  HmwResult result;
+  const std::size_t num_sems = trace.semaphores().size();
+
+  // Per-semaphore V and P event lists in observed order.
+  std::vector<std::vector<EventId>> vs(num_sems), ps(num_sems);
+  for (EventId id : trace.observed_order()) {
+    const Event& e = trace.event(id);
+    if (e.kind == EventKind::kSemV) vs[e.object].push_back(id);
+    if (e.kind == EventKind::kSemP) ps[e.object].push_back(id);
+  }
+
+  // ---- phase 1: observed FIFO pairing (unsafe) ------------------------
+  {
+    Digraph g = trace.static_order_graph();
+    for (ObjectId s = 0; s < num_sems; ++s) {
+      const auto init = static_cast<std::size_t>(trace.semaphores()[s].initial);
+      for (std::size_t i = init; i < ps[s].size(); ++i) {
+        const std::size_t v_index = i - init;
+        if (v_index < vs[s].size()) g.add_edge(vs[s][v_index], ps[s][i]);
+      }
+    }
+    g.finalize();
+    result.unsafe_happened_before = matrix_from_closure(TransitiveClosure(g));
+  }
+
+  // ---- phases 2-3: safe orderings, iterated to fixpoint ---------------
+  Digraph g = trace.static_order_graph();
+  bool added = true;
+  while (added) {
+    added = false;
+    ++result.iterations;
+    const TransitiveClosure tc(g);
+    for (ObjectId s = 0; s < num_sems; ++s) {
+      const int init = trace.semaphores()[s].initial;
+      for (EventId p : ps[s]) {
+        // Tokens p needs: P(s) events forced at-or-before p, minus the
+        // initial count.
+        int before = 0;
+        for (EventId q : ps[s]) {
+          if (q == p || tc.reachable(q, p)) ++before;
+        }
+        const int need = before - init;
+        if (need <= 0) continue;
+        // V(s) events not already forced after p can supply them.
+        std::vector<EventId> candidates;
+        for (EventId u : vs[s]) {
+          if (!tc.reachable(p, u)) candidates.push_back(u);
+        }
+        if (static_cast<int>(candidates.size()) == need) {
+          for (EventId u : candidates) {
+            if (u != p && !tc.reachable(u, p)) {
+              g.add_edge(u, p);
+              added = true;
+            }
+          }
+        }
+      }
+    }
+    g.finalize();
+  }
+  result.safe_happened_before = matrix_from_closure(TransitiveClosure(g));
+  return result;
+}
+
+}  // namespace evord

@@ -1,0 +1,46 @@
+// The Helmbold–McDowell–Wang safe-ordering analysis for semaphore traces
+// ("Analyzing Traces with Anonymous Synchronization", ICPP 1990),
+// reconstructed from the three-phase description in §4 of the reproduced
+// paper:
+//
+//   phase 1 — pair the i-th V(s) of the trace with the i-th P(s) and
+//       close with the intra-process (and fork/join) orderings.  This
+//       "happened before" relation reflects one possible pairing and is
+//       UNSAFE: another execution may pair the anonymous tokens
+//       differently.
+//   phase 2 — replace the pairing edges by orderings that hold under
+//       EVERY pairing.  We realize this with a counting argument: the
+//       P event p needs need(p) = |{q : q = p or q safely precedes p,
+//       q a P(s) event}| - initial(s) tokens before it can complete; if
+//       the V(s) events not already safely AFTER p number exactly
+//       need(p), every one of them must precede p in every execution, so
+//       V -> p edges are safe.
+//   phase 3 — sharpen by iterating phase 2 to a fixed point: each new
+//       safe edge can rule further V events out of (or into) the
+//       candidate sets.
+//
+// The result is a sound subset of the exact must-have-happened-before
+// relation over all executions with the same events (dependences ignored,
+// the paper's §5.3 notion of feasibility, which is what HMW target).
+// Theorem 1 says no polynomial algorithm can compute all of MHB, and the
+// precision bench measures how much this one leaves on the table.
+#pragma once
+
+#include "ordering/relations.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct HmwResult {
+  /// Phase 1: observed-pairing happened-before (unsafe).
+  RelationMatrix unsafe_happened_before;
+  /// Phases 2-3: safe orderings (subset of exact MHB).
+  RelationMatrix safe_happened_before;
+  std::size_t iterations = 0;  ///< fixpoint rounds of phase 3
+};
+
+/// `trace` must use only semaphores (plus fork/join and computation);
+/// event-style operations are rejected.
+HmwResult compute_hmw(const Trace& trace);
+
+}  // namespace evord

@@ -1,0 +1,165 @@
+#include "approx/vector_clock.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+namespace {
+
+void join_into(std::vector<std::uint32_t>& dst,
+               const std::vector<std::uint32_t>& src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = std::max(dst[i], src[i]);
+  }
+}
+
+}  // namespace
+
+VectorClockResult compute_vector_clocks(const Trace& trace,
+                                        const VectorClockOptions& options) {
+  const std::size_t n = trace.num_events();
+  const std::size_t num_procs = trace.num_processes();
+  VectorClockResult result;
+  result.clocks.assign(n, std::vector<std::uint32_t>(num_procs, 0));
+  if (options.build_matrix) result.happened_before = RelationMatrix(n);
+
+  // Replay the observed order with the same attribution rules as the
+  // causal analysis: FIFO semaphore tokens, establishing Posts.
+  std::vector<std::deque<EventId>> tokens(trace.semaphores().size());
+  std::vector<int> count;
+  for (const SemaphoreInfo& s : trace.semaphores()) count.push_back(s.initial);
+  std::vector<EventId> establisher(trace.event_vars().size(), kNoEvent);
+  std::vector<bool> posted;
+  for (const EventVarInfo& v : trace.event_vars()) {
+    posted.push_back(v.initially_posted);
+  }
+  // Per-process clock of the last executed event.
+  std::vector<std::vector<std::uint32_t>> proc_clock(
+      num_procs, std::vector<std::uint32_t>(num_procs, 0));
+  // Data edges: last-writer / readers clocks per variable.
+  struct VarState {
+    std::vector<std::uint32_t> write_clock;
+    std::vector<std::uint32_t> read_clock;  // join of all reads since write
+    bool written = false;
+    bool read = false;
+  };
+  std::vector<VarState> vars(
+      options.include_data_edges ? trace.variables().size() : 0);
+
+  for (EventId id : trace.observed_order()) {
+    const Event& e = trace.event(id);
+    std::vector<std::uint32_t>& clock = result.clocks[id];
+    clock = proc_clock[e.process];
+
+    switch (e.kind) {
+      case EventKind::kSemV: {
+        const SemaphoreInfo& s = trace.semaphores()[e.object];
+        if (!(s.binary && count[e.object] == 1)) {
+          ++count[e.object];
+          tokens[e.object].push_back(id);
+        }
+        break;
+      }
+      case EventKind::kSemP: {
+        EVORD_CHECK(count[e.object] > 0, "trace violates semaphore axioms");
+        --count[e.object];
+        if (static_cast<std::size_t>(count[e.object]) <
+            tokens[e.object].size()) {
+          join_into(clock, result.clocks[tokens[e.object].front()]);
+          tokens[e.object].pop_front();
+        }
+        break;
+      }
+      case EventKind::kPost:
+        if (!posted[e.object]) {
+          posted[e.object] = true;
+          establisher[e.object] = id;
+        }
+        break;
+      case EventKind::kClear:
+        posted[e.object] = false;
+        establisher[e.object] = kNoEvent;
+        break;
+      case EventKind::kWait:
+        EVORD_CHECK(posted[e.object], "trace violates event-variable axioms");
+        if (establisher[e.object] != kNoEvent) {
+          join_into(clock, result.clocks[establisher[e.object]]);
+        }
+        break;
+      case EventKind::kJoin: {
+        const auto child_po = trace.program_order(e.object);
+        if (!child_po.empty()) {
+          join_into(clock, result.clocks[child_po.back()]);
+        }
+        break;
+      }
+      case EventKind::kFork:
+      case EventKind::kCompute:
+        break;
+    }
+    if (e.index_in_process == 0) {
+      const EventId creator = trace.process(e.process).creating_fork;
+      if (creator != kNoEvent) join_into(clock, result.clocks[creator]);
+    }
+    if (options.include_data_edges && e.kind == EventKind::kCompute) {
+      for (VarId v : e.reads) {
+        if (vars[v].written) join_into(clock, vars[v].write_clock);
+      }
+      for (VarId v : e.writes) {
+        if (vars[v].written) join_into(clock, vars[v].write_clock);
+        if (vars[v].read) join_into(clock, vars[v].read_clock);
+      }
+    }
+
+    clock[e.process] += 1;
+
+    if (options.include_data_edges && e.kind == EventKind::kCompute) {
+      for (VarId v : e.writes) {
+        vars[v].write_clock = clock;
+        vars[v].written = true;
+        vars[v].read = false;
+        vars[v].read_clock.assign(num_procs, 0);
+      }
+      for (VarId v : e.reads) {
+        if (!vars[v].read) {
+          vars[v].read_clock.assign(num_procs, 0);
+          vars[v].read = true;
+        }
+        join_into(vars[v].read_clock, clock);
+      }
+    }
+
+    proc_clock[e.process] = clock;
+  }
+
+  if (!options.build_matrix) return result;
+  // hb(a, b) iff clock(a)[proc(a)] <= clock(b)[proc(a)] and a != b and a
+  // was observed first (clock comparison alone is reflexive-ish across
+  // equal clocks; the component test below is the standard one).
+  for (EventId a = 0; a < n; ++a) {
+    const ProcId pa = trace.event(a).process;
+    const std::uint32_t ca = result.clocks[a][pa];
+    for (EventId b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (result.clocks[b][pa] >= ca &&
+          trace.observed_position(a) < trace.observed_position(b)) {
+        result.happened_before.set(a, b);
+      }
+    }
+  }
+  return result;
+}
+
+bool happened_before_clocks(const Trace& trace,
+                            const VectorClockResult& result, EventId a,
+                            EventId b) {
+  if (a == b) return false;
+  const ProcId pa = trace.event(a).process;
+  return result.clocks[b][pa] >= result.clocks[a][pa] &&
+         trace.observed_position(a) < trace.observed_position(b);
+}
+
+}  // namespace evord

@@ -1,0 +1,52 @@
+// Vector clocks: the standard polynomial-time happened-before analysis of
+// ONE observed execution (the ancestor of every DJIT/FastTrack/TSan-style
+// race detector).
+//
+// Each event receives a clock of width num_processes; an event joins the
+// clock of its program-order predecessor and of its synchronization
+// sources (semaphore token producer, establishing Post, fork, joined
+// child), then increments its own process component.  a happened-before b
+// iff clock(a) <= clock(b) pointwise — equivalently clock(a)[proc(a)] <=
+// clock(b)[proc(a)].
+//
+// This analyzes only the observed schedule: it neither quantifies over
+// feasible executions (so it over-approximates MHB and under-approximates
+// CCW) nor accounts for shared-data dependences unless asked to.  The
+// comparison benches quantify exactly that gap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ordering/relations.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct VectorClockOptions {
+  /// Also join across shared-data conflict edges (the paper's D).  Off by
+  /// default: classic detectors see synchronization only.
+  bool include_data_edges = false;
+  /// Build the full n-by-n happened-before matrix.  O(n^2); disable for
+  /// throughput runs on very large traces, where the clocks alone are the
+  /// product (pairs can then be compared via happened_before_clocks).
+  bool build_matrix = true;
+};
+
+struct VectorClockResult {
+  /// clocks[e][p] — entries are per-process event counts.
+  std::vector<std::vector<std::uint32_t>> clocks;
+  /// happened_before.holds(a, b) == a -> b in the observed execution.
+  RelationMatrix happened_before;
+};
+
+VectorClockResult compute_vector_clocks(
+    const Trace& trace, const VectorClockOptions& options = {});
+
+/// Pairwise happened-before directly from the clocks (no matrix needed):
+/// a -> b iff b's clock has seen a's own-component timestamp.
+bool happened_before_clocks(const Trace& trace,
+                            const VectorClockResult& result, EventId a,
+                            EventId b);
+
+}  // namespace evord

@@ -1,0 +1,116 @@
+#include "core/analyzer.hpp"
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "trace/axioms.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+OrderingAnalyzer::OrderingAnalyzer(Trace trace, ExactOptions options)
+    : trace_(std::move(trace)), options_(options) {
+  const AxiomReport axioms = validate_axioms(trace_);
+  EVORD_CHECK(axioms.ok(),
+              "trace violates model axioms:\n" << axioms.text());
+}
+
+const OrderingRelations& OrderingAnalyzer::relations(Semantics semantics) {
+  auto& slot = cached_[static_cast<std::size_t>(semantics)];
+  if (!slot.has_value()) {
+    slot = compute_exact(trace_, semantics, options_);
+  }
+  return *slot;
+}
+
+bool OrderingAnalyzer::must_have_happened_before(EventId a, EventId b,
+                                                 Semantics semantics) {
+  return relations(semantics).holds(RelationKind::kMHB, a, b);
+}
+
+bool OrderingAnalyzer::could_have_happened_before(EventId a, EventId b,
+                                                  Semantics semantics) {
+  return relations(semantics).holds(RelationKind::kCHB, a, b);
+}
+
+bool OrderingAnalyzer::must_have_been_concurrent(EventId a, EventId b) {
+  return relations(Semantics::kCausal).holds(RelationKind::kMCW, a, b);
+}
+
+bool OrderingAnalyzer::could_have_been_concurrent(EventId a, EventId b) {
+  return relations(Semantics::kCausal).holds(RelationKind::kCCW, a, b);
+}
+
+bool OrderingAnalyzer::must_have_been_ordered(EventId a, EventId b) {
+  return relations(Semantics::kCausal).holds(RelationKind::kMOW, a, b);
+}
+
+bool OrderingAnalyzer::could_have_been_ordered(EventId a, EventId b) {
+  return relations(Semantics::kCausal).holds(RelationKind::kCOW, a, b);
+}
+
+std::optional<std::vector<EventId>> OrderingAnalyzer::witness_happened_before(
+    EventId a, EventId b, Semantics semantics) {
+  return witness_could_happen_before(trace_, a, b, semantics, options_);
+}
+
+std::optional<std::vector<EventId>> OrderingAnalyzer::witness_concurrent(
+    EventId a, EventId b) {
+  return witness_could_be_concurrent(trace_, a, b, options_);
+}
+
+const VectorClockResult& OrderingAnalyzer::vector_clocks() {
+  if (!vc_.has_value()) vc_ = compute_vector_clocks(trace_);
+  return *vc_;
+}
+
+const HmwResult& OrderingAnalyzer::hmw() {
+  if (!hmw_.has_value()) hmw_ = compute_hmw(trace_);
+  return *hmw_;
+}
+
+const EgpResult& OrderingAnalyzer::egp() {
+  if (!egp_.has_value()) egp_ = compute_egp(trace_);
+  return *egp_;
+}
+
+const CombinedResult& OrderingAnalyzer::combined() {
+  if (!combined_.has_value()) combined_ = compute_combined(trace_);
+  return *combined_;
+}
+
+const DeadlockReport& OrderingAnalyzer::deadlocks() {
+  if (!deadlocks_.has_value()) {
+    DeadlockOptions options;
+    options.stepper.respect_dependences = options_.respect_dependences;
+    options.max_states = options_.max_states;
+    options.time_budget_seconds = options_.time_budget_seconds;
+    deadlocks_ = analyze_deadlocks(trace_, options);
+  }
+  return *deadlocks_;
+}
+
+bool OrderingAnalyzer::could_have_coexisted(EventId a, EventId b) {
+  if (!coexist_.has_value()) {
+    ScheduleSpaceOptions options;
+    options.stepper.respect_dependences = options_.respect_dependences;
+    options.max_states = options_.max_states;
+    options.time_budget_seconds = options_.time_budget_seconds;
+    options.build_coexist = true;
+    coexist_ = compute_can_precede(trace_, options);
+  }
+  return coexist_->can_coexist[a].test(b);
+}
+
+RaceReport OrderingAnalyzer::races(RaceDetector detector) {
+  return detect_races(trace_, detector, options_);
+}
+
+std::string OrderingAnalyzer::report(Semantics semantics) {
+  std::ostringstream os;
+  os << format_event_table(trace_);
+  os << summarize_relations(trace_, relations(semantics));
+  return os.str();
+}
+
+}  // namespace evord

@@ -1,0 +1,95 @@
+// OrderingAnalyzer: the library's front door.
+//
+//   Trace t = ...;                       // build, parse, or run a Program
+//   OrderingAnalyzer an(t);              // causal semantics by default
+//   an.must_have_happened_before(a, b);  // exact, Table-1 MHB
+//   an.could_have_been_concurrent(a, b); // exact CCW (potential race)
+//   an.races(RaceDetector::kExact);      // exhaustive race report
+//   an.report();                         // human-readable summary
+//
+// Exact queries lazily run the exhaustive analysis once per semantics and
+// cache it.  The polynomial baselines (vector clocks, HMW, EGP) are
+// exposed alongside for comparison.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "approx/combined.hpp"
+#include "approx/egp.hpp"
+#include "approx/hmw.hpp"
+#include "approx/vector_clock.hpp"
+#include "feasible/deadlock.hpp"
+#include "feasible/schedule_space.hpp"
+#include "ordering/exact.hpp"
+#include "ordering/witness.hpp"
+#include "race/race_detector.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+class OrderingAnalyzer {
+ public:
+  explicit OrderingAnalyzer(Trace trace, ExactOptions options = {});
+
+  const Trace& trace() const { return trace_; }
+  const ExactOptions& options() const { return options_; }
+
+  /// The full exact relations under `semantics` (computed once, cached).
+  const OrderingRelations& relations(
+      Semantics semantics = Semantics::kCausal);
+
+  // ----- exact pair queries (causal semantics unless stated) ----------
+  bool must_have_happened_before(EventId a, EventId b,
+                                 Semantics semantics = Semantics::kCausal);
+  bool could_have_happened_before(EventId a, EventId b,
+                                  Semantics semantics = Semantics::kCausal);
+  bool must_have_been_concurrent(EventId a, EventId b);
+  bool could_have_been_concurrent(EventId a, EventId b);
+  bool must_have_been_ordered(EventId a, EventId b);
+  bool could_have_been_ordered(EventId a, EventId b);
+
+  // ----- witnesses ------------------------------------------------------
+  std::optional<std::vector<EventId>> witness_happened_before(
+      EventId a, EventId b, Semantics semantics = Semantics::kCausal);
+  std::optional<std::vector<EventId>> witness_concurrent(EventId a,
+                                                         EventId b);
+
+  // ----- polynomial baselines (computed once, cached) ------------------
+  const VectorClockResult& vector_clocks();
+  /// Semaphore traces only.
+  const HmwResult& hmw();
+  /// Event-style traces only.
+  const EgpResult& egp();
+  /// The dependence-aware combined guaranteed-orderings engine (any
+  /// trace); a sound polynomial subset of exact MHB.
+  const CombinedResult& combined();
+
+  // ----- further exhaustive analyses ------------------------------------
+  /// Could any feasible schedule prefix wedge?  (Exponential search.)
+  const DeadlockReport& deadlocks();
+  /// could-have-run-simultaneously: true iff some feasible state has
+  /// both events enabled at once (see ScheduleSpaceOptions).
+  bool could_have_coexisted(EventId a, EventId b);
+
+  // ----- applications ----------------------------------------------------
+  RaceReport races(RaceDetector detector = RaceDetector::kExact);
+
+  /// Multi-line human-readable summary of the trace and its exact
+  /// relations under the given semantics.
+  std::string report(Semantics semantics = Semantics::kCausal);
+
+ private:
+  Trace trace_;
+  ExactOptions options_;
+  std::array<std::optional<OrderingRelations>, 3> cached_;
+  std::optional<VectorClockResult> vc_;
+  std::optional<HmwResult> hmw_;
+  std::optional<EgpResult> egp_;
+  std::optional<CombinedResult> combined_;
+  std::optional<DeadlockReport> deadlocks_;
+  std::optional<CanPrecedeResult> coexist_;
+};
+
+}  // namespace evord

@@ -1,0 +1,39 @@
+// Human-readable rendering of traces and relations.
+#pragma once
+
+#include <string>
+
+#include "ordering/relations.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+/// One line per event: id, process, kind, operand, label, accesses.
+std::string format_event_table(const Trace& trace);
+
+/// An n-by-n character grid of a relation ('.' absent, 'X' present).
+std::string format_relation_grid(const RelationMatrix& relation,
+                                 const std::string& title);
+
+/// Pair counts, provenance and per-relation sizes for a full analysis.
+std::string summarize_relations(const Trace& trace,
+                                const OrderingRelations& relations);
+
+/// DOT rendering of a happened-before-style relation, transitively
+/// reduced for readability; node labels describe the events.
+std::string relation_dot(const Trace& trace, const RelationMatrix& relation,
+                         const std::string& name);
+
+/// DOT rendering of the trace's static structure (program order,
+/// fork/join, dependences highlighted).
+std::string trace_dot(const Trace& trace);
+
+/// CSV export of a relation: header "from,to" then one row per pair.
+std::string relation_csv(const RelationMatrix& relation);
+
+/// JSON export of a full analysis: semantics, provenance and the six
+/// relations as pair arrays.  Stable key order; suitable for diffing.
+std::string relations_json(const Trace& trace,
+                           const OrderingRelations& relations);
+
+}  // namespace evord

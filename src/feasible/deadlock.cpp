@@ -1,0 +1,95 @@
+#include "feasible/deadlock.hpp"
+
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace evord {
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t w : key) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class DeadlockSearch {
+ public:
+  DeadlockSearch(const Trace& trace, const DeadlockOptions& options)
+      : options_(options),
+        stepper_(trace, options.stepper),
+        deadline_(options.time_budget_seconds) {}
+
+  DeadlockReport run() {
+    explore();
+    report_.states_visited = visited_.size();
+    return std::move(report_);
+  }
+
+ private:
+  bool out_of_budget() {
+    if (options_.max_states != 0 && visited_.size() >= options_.max_states) {
+      report_.truncated = true;
+      return true;
+    }
+    if ((++budget_poll_ & 1023u) == 0 && deadline_.expired()) {
+      report_.truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  void explore() {
+    if (stepper_.complete()) return;
+    stepper_.encode_key(key_scratch_);
+    if (!visited_.insert(key_scratch_).second) return;
+    if (out_of_budget()) return;
+
+    enabled_stack_.emplace_back();
+    stepper_.enabled_events(enabled_stack_.back());
+    if (enabled_stack_.back().empty()) {
+      ++report_.stuck_states;
+      if (!report_.can_deadlock ||
+          path_.size() < report_.witness_prefix.size()) {
+        report_.witness_prefix = path_;
+      }
+      report_.can_deadlock = true;
+      enabled_stack_.pop_back();
+      return;
+    }
+    for (std::size_t i = 0; i < enabled_stack_.back().size(); ++i) {
+      const EventId e = enabled_stack_.back()[i];
+      const TraceStepper::Undo u = stepper_.apply(e);
+      path_.push_back(e);
+      explore();
+      path_.pop_back();
+      stepper_.undo(u);
+    }
+    enabled_stack_.pop_back();
+  }
+
+  const DeadlockOptions& options_;
+  TraceStepper stepper_;
+  Deadline deadline_;
+  DeadlockReport report_;
+  std::unordered_set<std::vector<std::uint64_t>, KeyHash> visited_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<EventId> path_;
+  std::vector<std::vector<EventId>> enabled_stack_;
+  std::uint32_t budget_poll_ = 0;
+};
+
+}  // namespace
+
+DeadlockReport analyze_deadlocks(const Trace& trace,
+                                 const DeadlockOptions& options) {
+  return DeadlockSearch(trace, options).run();
+}
+
+}  // namespace evord

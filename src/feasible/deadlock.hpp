@@ -1,0 +1,44 @@
+// Could-have-deadlocked analysis.
+//
+// A trace is an observed COMPLETED execution, but other feasible
+// schedules of the same events may wedge: a reachable state with
+// unexecuted events and nothing enabled (a Wait whose posts were all
+// cleared, a P whose tokens were consumed by rival P's, a join whose
+// child is stuck...).  The paper notes this for its event-style gadgets
+// ("Although these processes can deadlock").  This module decides
+// whether any feasible schedule prefix gets stuck, with a witness.
+//
+// Implemented as a memoized search over the same state space as Engine A
+// (exponential in the worst case, like everything interesting here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "feasible/stepper.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct DeadlockOptions {
+  StepperOptions stepper;
+  std::size_t max_states = 4'000'000;  ///< 0 = unlimited
+  double time_budget_seconds = 0.0;    ///< 0 = unlimited
+};
+
+struct DeadlockReport {
+  /// True iff some valid schedule prefix reaches a stuck state.
+  bool can_deadlock = false;
+  /// A shortest-found schedule prefix ending in a stuck state.
+  std::vector<EventId> witness_prefix;
+  /// Number of distinct stuck states encountered.
+  std::uint64_t stuck_states = 0;
+  std::size_t states_visited = 0;
+  /// True iff a budget stopped the search (result may miss deadlocks).
+  bool truncated = false;
+};
+
+DeadlockReport analyze_deadlocks(const Trace& trace,
+                                 const DeadlockOptions& options = {});
+
+}  // namespace evord

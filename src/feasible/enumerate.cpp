@@ -1,0 +1,187 @@
+#include "feasible/enumerate.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace evord {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Trace& trace, const EnumerateOptions& options,
+             const ScheduleVisitor& visit)
+      : options_(options),
+        stepper_(trace, options.stepper),
+        visit_(visit),
+        deadline_(options.time_budget_seconds) {
+    schedule_.reserve(trace.num_events());
+  }
+
+  /// Fast-forwards through `prefix` before enumerating (for root-split
+  /// parallelism).  Every prefix event must be enabled in sequence.
+  void seed(const std::vector<EventId>& prefix) {
+    for (EventId e : prefix) {
+      EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
+      stepper_.apply(e);
+      schedule_.push_back(e);
+    }
+  }
+
+  EnumerateStats run() {
+    dfs();
+    return stats_;
+  }
+
+ private:
+  bool budget_hit() {
+    if (options_.max_schedules != 0 &&
+        stats_.schedules >= options_.max_schedules) {
+      stats_.truncated = true;
+      return true;
+    }
+    if ((++budget_poll_ & 255u) == 0 && deadline_.expired()) {
+      stats_.truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Returns false to unwind the whole search (stop / budget).
+  bool dfs() {
+    if (stepper_.complete()) {
+      ++stats_.schedules;
+      if (!visit_(schedule_)) {
+        stats_.stopped_by_visitor = true;
+        return false;
+      }
+      return !budget_hit();
+    }
+    enabled_stack_.emplace_back();
+    stepper_.enabled_events(enabled_stack_.back());
+    if (enabled_stack_.back().empty()) {
+      ++stats_.deadlocked_prefixes;
+      enabled_stack_.pop_back();
+      return true;
+    }
+    bool keep_going = true;
+    for (std::size_t i = 0;
+         keep_going && i < enabled_stack_.back().size(); ++i) {
+      const EventId e = enabled_stack_.back()[i];
+      const TraceStepper::Undo u = stepper_.apply(e);
+      schedule_.push_back(e);
+      keep_going = dfs();
+      schedule_.pop_back();
+      stepper_.undo(u);
+    }
+    enabled_stack_.pop_back();
+    return keep_going;
+  }
+
+  const EnumerateOptions& options_;
+  TraceStepper stepper_;
+  const ScheduleVisitor& visit_;
+  Deadline deadline_;
+  EnumerateStats stats_;
+  std::vector<EventId> schedule_;
+  std::vector<std::vector<EventId>> enabled_stack_;
+  std::uint32_t budget_poll_ = 0;
+};
+
+}  // namespace
+
+EnumerateStats enumerate_schedules(const Trace& trace,
+                                   const EnumerateOptions& options,
+                                   const ScheduleVisitor& visit) {
+  return Enumerator(trace, options, visit).run();
+}
+
+EnumerateStats enumerate_schedules_parallel(const Trace& trace,
+                                            const EnumerateOptions& options,
+                                            const ScheduleVisitor& visit,
+                                            std::size_t num_threads) {
+  // Partition on the first-level enabled events; each subtree gets its own
+  // stepper.  Budgets apply per subtree (the combined schedule count can
+  // therefore exceed max_schedules by up to a factor of the root width;
+  // callers that need a strict cap use the serial variant).
+  TraceStepper root(trace, options.stepper);
+  std::vector<EventId> first;
+  root.enabled_events(first);
+  if (first.empty()) {
+    EnumerateStats stats;
+    if (trace.num_events() == 0) {
+      ++stats.schedules;
+      visit({});
+    } else {
+      ++stats.deadlocked_prefixes;
+    }
+    return stats;
+  }
+
+  ThreadPool pool(num_threads);
+  std::mutex stats_mu;
+  EnumerateStats total;
+  std::atomic<bool> stop{false};
+  pool.parallel_for(first.size(), [&](std::size_t i) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    ScheduleVisitor wrapped = [&](const std::vector<EventId>& s) {
+      if (stop.load(std::memory_order_relaxed)) return false;
+      if (!visit(s)) {
+        stop.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return true;
+    };
+    Enumerator e(trace, options, wrapped);
+    e.seed({first[i]});
+    const EnumerateStats stats = e.run();
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.schedules += stats.schedules;
+    total.deadlocked_prefixes += stats.deadlocked_prefixes;
+    total.truncated = total.truncated || stats.truncated;
+    total.stopped_by_visitor =
+        total.stopped_by_visitor || stats.stopped_by_visitor;
+  });
+  return total;
+}
+
+std::optional<std::vector<EventId>> find_schedule_where(
+    const Trace& trace, const EnumerateOptions& options,
+    const std::function<bool(const std::vector<EventId>&)>& pred) {
+  std::optional<std::vector<EventId>> found;
+  enumerate_schedules(trace, options, [&](const std::vector<EventId>& s) {
+    if (pred(s)) {
+      found = s;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::optional<std::vector<EventId>> find_schedule_with_order(
+    const Trace& trace, EventId first, EventId second,
+    const EnumerateOptions& options) {
+  return find_schedule_where(
+      trace, options, [&](const std::vector<EventId>& s) {
+        for (EventId e : s) {
+          if (e == first) return true;  // first came first
+          if (e == second) return false;
+        }
+        return false;
+      });
+}
+
+std::uint64_t count_schedules(const Trace& trace,
+                              const EnumerateOptions& options) {
+  return enumerate_schedules(trace, options,
+                             [](const std::vector<EventId>&) { return true; })
+      .schedules;
+}
+
+}  // namespace evord

@@ -1,0 +1,73 @@
+// Engine B: exhaustive enumeration of every valid complete schedule.
+//
+// Unlike the state-merged search (schedule_space.hpp), this engine visits
+// each complete schedule individually, which is what per-execution causal
+// analysis needs: two schedules through the same state can induce
+// different causal orders.  The cost is exponential in general — that is
+// the paper's theorem — so callers bound it with max_schedules and a time
+// budget, and the tests/benches use it on deliberately small traces.
+//
+// A serial and a root-split parallel variant are provided.  The parallel
+// variant partitions the search on the first-level choice and runs each
+// subtree in a worker with its own stepper; the visitor must then be
+// thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "feasible/stepper.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct EnumerateOptions {
+  StepperOptions stepper;
+  /// Stop after this many complete schedules (0 = unlimited).
+  std::uint64_t max_schedules = 0;
+  /// Stop after this many seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+};
+
+struct EnumerateStats {
+  std::uint64_t schedules = 0;           ///< complete schedules visited
+  std::uint64_t deadlocked_prefixes = 0; ///< maximal incomplete prefixes
+  bool truncated = false;                ///< a budget stopped the search
+  bool stopped_by_visitor = false;       ///< the visitor returned false
+};
+
+/// Called with each complete schedule; return false to stop the search.
+using ScheduleVisitor =
+    std::function<bool(const std::vector<EventId>& schedule)>;
+
+EnumerateStats enumerate_schedules(const Trace& trace,
+                                   const EnumerateOptions& options,
+                                   const ScheduleVisitor& visit);
+
+/// Root-split parallel variant; `visit` must be thread-safe.  With
+/// num_threads == 0 the hardware concurrency is used.
+EnumerateStats enumerate_schedules_parallel(const Trace& trace,
+                                            const EnumerateOptions& options,
+                                            const ScheduleVisitor& visit,
+                                            std::size_t num_threads = 0);
+
+/// Convenience: the first complete schedule satisfying `pred`, if any
+/// exists within the budget.
+std::optional<std::vector<EventId>> find_schedule_where(
+    const Trace& trace, const EnumerateOptions& options,
+    const std::function<bool(const std::vector<EventId>&)>& pred);
+
+/// Convenience: a schedule in which `first` executes before `second`.
+/// This witnesses could-have-happened-before under interleaving
+/// semantics.
+std::optional<std::vector<EventId>> find_schedule_with_order(
+    const Trace& trace, EventId first, EventId second,
+    const EnumerateOptions& options = {});
+
+/// Counts complete schedules (exactly if within budget).
+std::uint64_t count_schedules(const Trace& trace,
+                              const EnumerateOptions& options = {});
+
+}  // namespace evord

@@ -1,0 +1,90 @@
+#include "feasible/feasibility.hpp"
+
+#include "trace/builder.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+ScheduleCheck check_schedule(const Trace& trace,
+                             const std::vector<EventId>& schedule,
+                             StepperOptions options) {
+  if (schedule.size() != trace.num_events()) {
+    return {false, "schedule has " + std::to_string(schedule.size()) +
+                       " entries for " + std::to_string(trace.num_events()) +
+                       " events (F1)"};
+  }
+  std::vector<bool> seen(trace.num_events(), false);
+  for (EventId e : schedule) {
+    if (e >= trace.num_events() || seen[e]) {
+      return {false, "schedule is not a permutation of E (F1)"};
+    }
+    seen[e] = true;
+  }
+  TraceStepper stepper(trace, options);
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (!stepper.enabled(schedule[i])) {
+      return {false, "event " + describe(trace.event(schedule[i])) +
+                         " is not executable at position " +
+                         std::to_string(i)};
+    }
+    stepper.apply(schedule[i]);
+  }
+  return {true, {}};
+}
+
+Trace reorder_trace(const Trace& trace, const std::vector<EventId>& schedule,
+                    std::vector<EventId>* old_to_new) {
+  const ScheduleCheck check = check_schedule(trace, schedule);
+  EVORD_CHECK(check.valid, "reorder_trace: " << check.reason);
+
+  TraceBuilder b;
+  for (const SemaphoreInfo& s : trace.semaphores()) {
+    if (s.binary) {
+      b.binary_semaphore(s.name, s.initial);
+    } else {
+      b.semaphore(s.name, s.initial);
+    }
+  }
+  for (const EventVarInfo& v : trace.event_vars()) {
+    b.event_var(v.name, v.initially_posted);
+  }
+  for (const std::string& v : trace.variables()) b.variable(v);
+  for (ProcId p = 1; p < trace.num_processes(); ++p) b.add_process();
+
+  std::vector<EventId> mapping(trace.num_events(), kNoEvent);
+  for (EventId old_id : schedule) {
+    const Event& e = trace.event(old_id);
+    EventId new_id = kNoEvent;
+    switch (e.kind) {
+      case EventKind::kCompute:
+        new_id = b.compute(e.process, e.label, e.reads, e.writes);
+        break;
+      case EventKind::kSemP:
+        new_id = b.sem_p(e.process, e.object, e.label);
+        break;
+      case EventKind::kSemV:
+        new_id = b.sem_v(e.process, e.object, e.label);
+        break;
+      case EventKind::kPost:
+        new_id = b.post(e.process, e.object, e.label);
+        break;
+      case EventKind::kWait:
+        new_id = b.wait(e.process, e.object, e.label);
+        break;
+      case EventKind::kClear:
+        new_id = b.clear(e.process, e.object, e.label);
+        break;
+      case EventKind::kFork:
+        new_id = b.fork_existing(e.process, e.object);
+        break;
+      case EventKind::kJoin:
+        new_id = b.join(e.process, e.object);
+        break;
+    }
+    mapping[old_id] = new_id;
+  }
+  if (old_to_new != nullptr) *old_to_new = mapping;
+  return b.build();
+}
+
+}  // namespace evord

@@ -1,0 +1,41 @@
+// Feasibility checking (paper §3.1).
+//
+// A feasible program execution for P is any valid execution with the same
+// events (F1), obeying the model axioms (F2) and preserving P's
+// shared-data dependences (F3).  `check_schedule` decides whether one
+// candidate schedule qualifies — an independent validator used to
+// cross-check both enumeration engines — and `reorder_trace` materializes
+// the feasible execution P' = <E, T', D'> induced by a schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "feasible/stepper.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct ScheduleCheck {
+  bool valid = false;
+  std::string reason;  ///< empty when valid; diagnostic otherwise
+};
+
+/// Replays `schedule` against the validity rules (F1: it must be a
+/// permutation of E; F2: program order, fork/join, semaphore and
+/// event-variable semantics; F3: D edges, unless disabled in `options`).
+ScheduleCheck check_schedule(const Trace& trace,
+                             const std::vector<EventId>& schedule,
+                             StepperOptions options = {});
+
+/// Builds the feasible program execution whose observed order is
+/// `schedule`.  Events are renumbered by schedule position; if
+/// `old_to_new` is non-null it receives the id mapping.  The new trace's
+/// D is recomputed from the read/write sets under the new order, so it is
+/// the execution's own dependence relation D' (a superset-in-spirit of D:
+/// every edge of D maps to an edge of D' because the schedule was
+/// validated against D).
+Trace reorder_trace(const Trace& trace, const std::vector<EventId>& schedule,
+                    std::vector<EventId>* old_to_new = nullptr);
+
+}  // namespace evord

@@ -1,0 +1,230 @@
+#include "feasible/schedule_space.hpp"
+
+#include <unordered_map>
+
+#include "util/timer.hpp"
+
+namespace evord {
+
+namespace {
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t w : key) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class Search {
+ public:
+  Search(const Trace& trace, const ScheduleSpaceOptions& options,
+         bool build_matrix)
+      : options_(options),
+        stepper_(trace, options.stepper),
+        deadline_(options.time_budget_seconds),
+        build_matrix_(build_matrix) {
+    if (build_matrix_) {
+      result_.can_precede.assign(trace.num_events(),
+                                 DynamicBitset(trace.num_events()));
+    }
+    if (options.build_coexist) {
+      result_.can_coexist.assign(trace.num_events(),
+                                 DynamicBitset(trace.num_events()));
+    }
+  }
+
+  CanPrecedeResult run() {
+    result_.feasible_nonempty = explore();
+    result_.states_visited = memo_.size();
+    return std::move(result_);
+  }
+
+ private:
+  bool out_of_budget() {
+    if (options_.max_states != 0 && memo_.size() >= options_.max_states) {
+      result_.truncated = true;
+      return true;
+    }
+    if ((++budget_poll_ & 1023u) == 0 && deadline_.expired()) {
+      result_.truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// True iff the current state can be extended to a complete schedule.
+  /// Memoized on the stepper's state key; the state graph is acyclic.
+  bool explore() {
+    if (stepper_.complete()) return true;
+    stepper_.encode_key(key_scratch_);
+    if (const auto it = memo_.find(key_scratch_); it != memo_.end()) {
+      return it->second;
+    }
+    if (out_of_budget()) return false;  // unsound once truncated; flagged
+    const std::vector<std::uint64_t> key = key_scratch_;
+
+    bool completable = false;
+    enabled_stack_.emplace_back();
+    stepper_.enabled_events(enabled_stack_.back());
+    // Iterate by index: recursion reuses enabled_stack_.
+    for (std::size_t i = 0; i < enabled_stack_.back().size(); ++i) {
+      const EventId e = enabled_stack_.back()[i];
+      const TraceStepper::Undo u = stepper_.apply(e);
+      const bool child_ok = explore();
+      stepper_.undo(u);
+      if (child_ok) {
+        completable = true;
+        if (build_matrix_) {
+          // Every already-executed event can precede e in some complete
+          // schedule that goes through this state.
+          result_.can_precede[e] |= stepper_.done_bits();
+        }
+      }
+    }
+    if (options_.build_coexist && completable) {
+      mark_coexistence();
+    }
+    enabled_stack_.pop_back();
+    memo_.emplace(key, completable);
+    return completable;
+  }
+
+  /// For each pair of simultaneously enabled events, check that running
+  /// them back-to-back (either order) still completes; the recursive
+  /// explore() calls hit the memo, so this is cheap after the main DFS.
+  void mark_coexistence() {
+    const std::vector<EventId>& enabled = enabled_stack_.back();
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      for (std::size_t j = i + 1; j < enabled.size(); ++j) {
+        const EventId x = enabled[i];
+        const EventId y = enabled[j];
+        if (result_.can_coexist[x].test(y)) continue;  // already known
+        if (pair_completable(x, y) || pair_completable(y, x)) {
+          result_.can_coexist[x].set(y);
+          result_.can_coexist[y].set(x);
+        }
+      }
+    }
+  }
+
+  bool pair_completable(EventId first, EventId second) {
+    const TraceStepper::Undo u1 = stepper_.apply(first);
+    bool ok = false;
+    if (stepper_.enabled(second)) {
+      const TraceStepper::Undo u2 = stepper_.apply(second);
+      ok = explore();
+      stepper_.undo(u2);
+    }
+    stepper_.undo(u1);
+    return ok;
+  }
+
+  const ScheduleSpaceOptions& options_;
+  TraceStepper stepper_;
+  Deadline deadline_;
+  bool build_matrix_;
+  CanPrecedeResult result_;
+  std::unordered_map<std::vector<std::uint64_t>, bool, KeyHash> memo_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::vector<EventId>> enabled_stack_;
+  std::uint32_t budget_poll_ = 0;
+};
+
+}  // namespace
+
+CanPrecedeResult compute_can_precede(const Trace& trace,
+                                     const ScheduleSpaceOptions& options) {
+  return Search(trace, options, /*build_matrix=*/true).run();
+}
+
+bool has_feasible_schedule(const Trace& trace,
+                           const ScheduleSpaceOptions& options) {
+  return Search(trace, options, /*build_matrix=*/false).run()
+      .feasible_nonempty;
+}
+
+namespace {
+
+/// Early-exit DFS for can_precede_pair: explore only prefixes in which
+/// `second` never runs while `first` is pending; succeed at the first
+/// complete schedule reached.  Memoized on state keys (a state that
+/// failed to complete under this pruning once will fail again).
+class PairSearch {
+ public:
+  PairSearch(const Trace& trace, EventId first, EventId second,
+             const ScheduleSpaceOptions& options)
+      : options_(options),
+        stepper_(trace, options.stepper),
+        first_(first),
+        second_(second),
+        deadline_(options.time_budget_seconds) {}
+
+  PairQueryResult run() {
+    result_.possible = explore();
+    result_.states_visited = memo_.size();
+    return result_;
+  }
+
+ private:
+  bool out_of_budget() {
+    if (options_.max_states != 0 && memo_.size() >= options_.max_states) {
+      result_.truncated = true;
+      return true;
+    }
+    if ((++budget_poll_ & 1023u) == 0 && deadline_.expired()) {
+      result_.truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool explore() {
+    if (stepper_.complete()) return true;
+    stepper_.encode_key(key_scratch_);
+    if (const auto it = memo_.find(key_scratch_); it != memo_.end()) {
+      return it->second;
+    }
+    if (out_of_budget()) return false;
+    const std::vector<std::uint64_t> key = key_scratch_;
+
+    bool found = false;
+    enabled_stack_.emplace_back();
+    stepper_.enabled_events(enabled_stack_.back());
+    for (std::size_t i = 0;
+         !found && i < enabled_stack_.back().size(); ++i) {
+      const EventId e = enabled_stack_.back()[i];
+      if (e == second_ && !stepper_.executed(first_)) continue;  // prune
+      const TraceStepper::Undo u = stepper_.apply(e);
+      found = explore();
+      stepper_.undo(u);
+    }
+    enabled_stack_.pop_back();
+    memo_.emplace(key, found);
+    return found;
+  }
+
+  const ScheduleSpaceOptions& options_;
+  TraceStepper stepper_;
+  EventId first_;
+  EventId second_;
+  Deadline deadline_;
+  PairQueryResult result_;
+  std::unordered_map<std::vector<std::uint64_t>, bool, KeyHash> memo_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::vector<EventId>> enabled_stack_;
+  std::uint32_t budget_poll_ = 0;
+};
+
+}  // namespace
+
+PairQueryResult can_precede_pair(const Trace& trace, EventId first,
+                                 EventId second,
+                                 const ScheduleSpaceOptions& options) {
+  return PairSearch(trace, first, second, options).run();
+}
+
+}  // namespace evord

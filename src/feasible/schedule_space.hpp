@@ -1,0 +1,85 @@
+// Engine A: memoized search over the *state space* of valid schedules.
+//
+// The states of a trace under partial replay form a DAG (every step
+// executes one more event), so a memoized DFS visits each distinct state
+// once even though the number of schedules through it is exponential.
+// This engine answers interleaving-semantics questions:
+//
+//   * is F(P) non-empty (does any valid complete schedule exist)?
+//   * for every ordered pair (a, b): does some valid complete schedule
+//     run a before b?  ("can-precede", the could-have-happened-before
+//     relation under interleaving semantics; its complement transposed is
+//     must-have-happened-before).
+//
+// The sweep marks can_precede[b] |= done(s) at every completable state s
+// from which b can execute into a completable successor — a bit-parallel
+// union, so the whole matrix costs one pass over the state space.
+//
+// The state space itself is exponential in the worst case (that is
+// Theorem 1); max_states and the time budget bound the work, and results
+// are flagged `truncated` when the bound was hit (can_precede is then an
+// under-approximation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "feasible/stepper.hpp"
+#include "trace/trace.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace evord {
+
+struct ScheduleSpaceOptions {
+  StepperOptions stepper;
+  /// Abort after visiting this many distinct states (0 = unlimited).
+  std::size_t max_states = 4'000'000;
+  /// Abort after this many seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+  /// Also compute the coexistence matrix: can_coexist(x, y) iff some
+  /// completable state has x and y simultaneously enabled and executing
+  /// them back-to-back (in some order) still completes.  This is the
+  /// operational "could have run at the same instant" relation — for
+  /// conflicting accesses, a simultaneous-access race.  Adds O(p^2)
+  /// memo lookups per state.
+  bool build_coexist = false;
+};
+
+struct CanPrecedeResult {
+  /// True iff at least one valid complete schedule exists.
+  bool feasible_nonempty = false;
+  /// True iff a budget was exhausted; can_precede is then partial.
+  bool truncated = false;
+  std::size_t states_visited = 0;
+  /// can_precede[b].test(a) == some valid complete schedule runs a
+  /// strictly before b.
+  std::vector<DynamicBitset> can_precede;
+  /// Only with options.build_coexist: symmetric simultaneous-enabledness
+  /// relation (see ScheduleSpaceOptions).
+  std::vector<DynamicBitset> can_coexist;
+};
+
+/// Full can-precede sweep (see file comment).
+CanPrecedeResult compute_can_precede(const Trace& trace,
+                                     const ScheduleSpaceOptions& options = {});
+
+/// Just the F(P) != empty-set check (same search, no matrix marking).
+bool has_feasible_schedule(const Trace& trace,
+                           const ScheduleSpaceOptions& options = {});
+
+/// Targeted single-pair query: does some valid complete schedule run
+/// `first` strictly before `second`?  (Interleaving could-have-happened-
+/// before for one pair.)  Prunes every branch that executes `second`
+/// while `first` is pending and stops at the first witness, so it is
+/// usually far cheaper than the full matrix sweep.
+struct PairQueryResult {
+  bool possible = false;
+  bool truncated = false;  ///< budget hit; `possible == false` is then unproven
+  std::size_t states_visited = 0;
+};
+
+PairQueryResult can_precede_pair(const Trace& trace, EventId first,
+                                 EventId second,
+                                 const ScheduleSpaceOptions& options = {});
+
+}  // namespace evord

@@ -1,0 +1,93 @@
+// Incremental replay of a trace's events under arbitrary valid schedules.
+//
+// A TraceStepper holds the frontier of a partial schedule: per-process
+// positions, semaphore counts, event-variable flags and the executed set.
+// It answers "which events may execute next" under the validity rules of
+// DESIGN.md §3 (program order, fork/join, semaphore and event-variable
+// semantics, and — unless disabled for the paper's §5.3 mode — the
+// shared-data dependences F3).  Both feasible-execution engines (the
+// memoized state-space search and the exhaustive schedule enumerator) are
+// built on it.
+//
+// apply()/undo() are O(1); the stepper is designed for DFS use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace evord {
+
+struct StepperOptions {
+  /// Enforce F3: every D edge (a, b) forces a before b.  Disable to
+  /// explore all executions with the same events regardless of the
+  /// original dependences (paper §5.3).
+  bool respect_dependences = true;
+};
+
+class TraceStepper {
+ public:
+  explicit TraceStepper(const Trace& trace, StepperOptions options = {});
+
+  const Trace& trace() const { return *trace_; }
+
+  // ----- frontier queries ---------------------------------------------
+  bool complete() const { return executed_count_ == trace_->num_events(); }
+  std::size_t num_executed() const { return executed_count_; }
+  const DynamicBitset& done_bits() const { return done_; }
+  bool executed(EventId e) const { return done_.test(e); }
+
+  /// The next unexecuted event of process `p`, or kNoEvent if finished.
+  EventId next_of(ProcId p) const;
+
+  /// True iff `e` is the next event of its process and every validity
+  /// rule permits executing it now.
+  bool enabled(EventId e) const;
+
+  /// Appends all currently enabled events to `out` (cleared first),
+  /// in process-id order.
+  void enabled_events(std::vector<EventId>& out) const;
+
+  // ----- mutation -------------------------------------------------------
+  /// Opaque undo record for one apply().
+  struct Undo {
+    EventId event = kNoEvent;
+    int old_count = 0;     ///< semaphore ops
+    bool old_posted = false;  ///< post/clear
+  };
+
+  /// Executes `e` (must be enabled) and returns the undo record.
+  Undo apply(EventId e);
+  /// Reverts the most recent un-reverted apply (LIFO discipline).
+  void undo(const Undo& u);
+
+  // ----- state fingerprint ----------------------------------------------
+  /// Encodes the scheduling-relevant state: per-process positions, event
+  /// variable flags and binary-semaphore counts.  (Counting-semaphore
+  /// counts are a function of the positions; binary counts are not,
+  /// because clamped V operations do not commute with P.)  Two partial
+  /// schedules with equal keys have identical futures.
+  void encode_key(std::vector<std::uint64_t>& out) const;
+
+  int sem_count(ObjectId sem) const { return counts_[sem]; }
+  bool posted(ObjectId ev) const { return posted_.test(ev); }
+  std::uint32_t position(ProcId p) const { return positions_[p]; }
+
+ private:
+  const Trace* trace_;
+  StepperOptions options_;
+
+  std::vector<std::uint32_t> positions_;  ///< per-process executed prefix
+  std::vector<int> counts_;               ///< semaphore counts
+  std::vector<bool> binary_;
+  DynamicBitset posted_;
+  DynamicBitset done_;
+  std::size_t executed_count_ = 0;
+
+  /// D-predecessors per event (empty when dependences are ignored).
+  std::vector<std::vector<EventId>> dep_preds_;
+};
+
+}  // namespace evord

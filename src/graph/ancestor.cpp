@@ -1,0 +1,49 @@
+#include "graph/ancestor.hpp"
+
+namespace evord {
+
+DynamicBitset ancestors_of(const Digraph& g, NodeId v) {
+  // Ancestors of v = nodes reachable from v in the reversed graph.
+  // For repeated queries callers should reverse once; this helper favors
+  // clarity for the one-shot EGP use case.
+  return reachable_from(g.reversed(), v);
+}
+
+DynamicBitset common_ancestors(const Digraph& g,
+                               const std::vector<NodeId>& nodes) {
+  DynamicBitset result(g.num_nodes());
+  if (nodes.empty()) return result;
+  const Digraph rev = g.reversed();
+  result = reachable_from(rev, nodes.front());
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    result &= reachable_from(rev, nodes[i]);
+  }
+  // A node in `nodes` may appear as an ancestor of the others; that is
+  // legitimate for EGP (a Post may itself dominate the other Posts), but a
+  // node is never its own strict ancestor, which reachable_from already
+  // guarantees for DAGs.
+  return result;
+}
+
+std::vector<NodeId> closest_common_ancestors(
+    const Digraph& g, const std::vector<NodeId>& nodes) {
+  const DynamicBitset ca = common_ancestors(g, nodes);
+  std::vector<NodeId> result;
+  if (ca.none()) return result;
+  const TransitiveClosure tc(g);
+  for (std::size_t c = ca.find_first(); c < ca.size(); c = ca.find_next(c)) {
+    bool maximal = true;
+    for (std::size_t d = ca.find_first(); d < ca.size();
+         d = ca.find_next(d)) {
+      if (d != c && tc.reachable(static_cast<NodeId>(c),
+                                 static_cast<NodeId>(d))) {
+        maximal = false;  // c reaches a later common ancestor
+        break;
+      }
+    }
+    if (maximal) result.push_back(static_cast<NodeId>(c));
+  }
+  return result;
+}
+
+}  // namespace evord

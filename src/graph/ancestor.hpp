@@ -1,0 +1,31 @@
+// Ancestor queries on DAGs, including the "closest common ancestor" set
+// used by the Emrath–Ghosh–Padua task-graph construction: given a set of
+// nodes S, the common ancestors are nodes reaching every member of S, and
+// the *closest* common ancestors are the maximal ones (those not reaching
+// another common ancestor... precisely: a common ancestor c is closest if
+// no other common ancestor c' is reachable FROM c; i.e. c is as late as
+// possible).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/reachability.hpp"
+
+namespace evord {
+
+/// All strict ancestors of `v` (nodes with a path to `v`).
+DynamicBitset ancestors_of(const Digraph& g, NodeId v);
+
+/// Nodes that are strict ancestors of every node in `nodes`.
+/// Empty `nodes` yields an empty set.
+DynamicBitset common_ancestors(const Digraph& g,
+                               const std::vector<NodeId>& nodes);
+
+/// The maximal (latest) common ancestors of `nodes`: common ancestors from
+/// which no other common ancestor is reachable.  This is EGP's "closest
+/// common ancestor" generalized to DAGs, where it need not be unique.
+std::vector<NodeId> closest_common_ancestors(const Digraph& g,
+                                             const std::vector<NodeId>& nodes);
+
+}  // namespace evord

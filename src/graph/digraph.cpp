@@ -1,0 +1,87 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+Digraph::Digraph(std::size_t num_nodes) : out_(num_nodes), in_(num_nodes) {}
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+void Digraph::ensure_nodes(std::size_t n) {
+  if (n > out_.size()) {
+    out_.resize(n);
+    in_.resize(n);
+  }
+}
+
+void Digraph::add_edge(NodeId u, NodeId v) {
+  EVORD_CHECK(u < out_.size() && v < out_.size(),
+              "edge endpoint out of range: " << u << " -> " << v);
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  finalized_ = false;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  EVORD_CHECK(u < out_.size() && v < out_.size(), "node out of range");
+  if (finalized_) {
+    return std::binary_search(out_[u].begin(), out_[u].end(), v);
+  }
+  return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+}
+
+void Digraph::finalize() {
+  if (finalized_) return;
+  num_edges_ = 0;
+  for (auto* lists : {&out_, &in_}) {
+    for (auto& adj : *lists) {
+      std::sort(adj.begin(), adj.end());
+      adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    }
+  }
+  for (const auto& adj : out_) num_edges_ += adj.size();
+  finalized_ = true;
+}
+
+std::vector<NodeId> Digraph::sources() const {
+  std::vector<NodeId> result;
+  for (NodeId u = 0; u < in_.size(); ++u) {
+    if (in_[u].empty()) result.push_back(u);
+  }
+  return result;
+}
+
+std::vector<NodeId> Digraph::sinks() const {
+  std::vector<NodeId> result;
+  for (NodeId u = 0; u < out_.size(); ++u) {
+    if (out_[u].empty()) result.push_back(u);
+  }
+  return result;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(num_nodes());
+  for (NodeId u = 0; u < out_.size(); ++u) {
+    for (NodeId v : out_[u]) rev.add_edge(v, u);
+  }
+  rev.finalize();
+  return rev;
+}
+
+bool Digraph::operator==(const Digraph& o) const {
+  if (num_nodes() != o.num_nodes()) return false;
+  Digraph a = *this;
+  Digraph b = o;
+  a.finalize();
+  b.finalize();
+  return a.out_ == b.out_;
+}
+
+}  // namespace evord

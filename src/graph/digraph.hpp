@@ -1,0 +1,68 @@
+// Directed graph over dense node ids [0, n).
+//
+// Used for causal orders, task graphs and relation graphs.  Nodes are
+// plain indices so the graph composes with the trace module's EventId
+// without any mapping layer.  Edges are deduplicated lazily: `add_edge`
+// is O(1) amortized and `finalize()` (or any algorithm that needs clean
+// adjacency) sorts and uniques.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace evord {
+
+using NodeId = std::uint32_t;
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes);
+
+  std::size_t num_nodes() const noexcept { return out_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Adds a node and returns its id.
+  NodeId add_node();
+  /// Grows the node set so `num_nodes() >= n`.
+  void ensure_nodes(std::size_t n);
+
+  /// Adds edge u -> v (parallel edges collapse at finalize time).
+  void add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Sorts and dedupes adjacency lists; recomputes the edge count.
+  /// Idempotent; algorithms in this module call it as needed.
+  void finalize();
+  bool finalized() const noexcept { return finalized_; }
+
+  std::span<const NodeId> out(NodeId u) const {
+    return {out_[u].data(), out_[u].size()};
+  }
+  std::span<const NodeId> in(NodeId u) const {
+    return {in_[u].data(), in_[u].size()};
+  }
+
+  std::size_t out_degree(NodeId u) const { return out_[u].size(); }
+  std::size_t in_degree(NodeId u) const { return in_[u].size(); }
+
+  /// Nodes with no incoming / no outgoing edges.
+  std::vector<NodeId> sources() const;
+  std::vector<NodeId> sinks() const;
+
+  /// The edge-reversed graph.
+  Digraph reversed() const;
+
+  bool operator==(const Digraph& o) const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t num_edges_ = 0;
+  bool finalized_ = true;  // empty graph is trivially finalized
+};
+
+}  // namespace evord

@@ -1,0 +1,49 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace evord {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(options.graph_name) << "\" {\n";
+  if (options.left_to_right) os << "  rankdir=LR;\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    os << "  n" << u;
+    os << " [label=\""
+       << escape(options.node_label ? options.node_label(u)
+                                    : std::to_string(u))
+       << '"';
+    if (options.node_attrs) {
+      const std::string attrs = options.node_attrs(u);
+      if (!attrs.empty()) os << ", " << attrs;
+    }
+    os << "];\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out(u)) {
+      os << "  n" << u << " -> n" << v;
+      if (options.edge_attrs) {
+        const std::string attrs = options.edge_attrs(u, v);
+        if (!attrs.empty()) os << " [" << attrs << ']';
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace evord

@@ -1,0 +1,25 @@
+// Graphviz DOT export for digraphs, with optional node labels/attributes.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace evord {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  bool left_to_right = false;
+  /// Returns the label for a node; default is the node id.
+  std::function<std::string(NodeId)> node_label;
+  /// Optional extra node attributes, e.g. R"(shape=box, color=red)".
+  std::function<std::string(NodeId)> node_attrs;
+  /// Optional per-edge attributes.
+  std::function<std::string(NodeId, NodeId)> edge_attrs;
+};
+
+/// Serializes `g` to DOT.
+std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace evord

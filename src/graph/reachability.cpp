@@ -1,0 +1,62 @@
+#include "graph/reachability.hpp"
+
+#include <deque>
+
+#include "graph/topo.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+TransitiveClosure::TransitiveClosure(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  rows_.assign(n, DynamicBitset(n));
+  auto order = topological_sort(g);
+  EVORD_CHECK(order.has_value(), "TransitiveClosure requires a DAG");
+  // Process nodes in reverse topological order so every successor's row is
+  // complete when it is merged (bit-parallel union; Per.19 sequential word
+  // access).
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId u = *it;
+    for (NodeId v : g.out(u)) {
+      rows_[u].set(v);
+      rows_[u] |= rows_[v];
+    }
+  }
+}
+
+std::size_t TransitiveClosure::num_ordered_pairs() const {
+  std::size_t total = 0;
+  for (const auto& row : rows_) total += row.count();
+  return total;
+}
+
+DynamicBitset reachable_from(const Digraph& g, NodeId src) {
+  return reachable_from(g, std::vector<NodeId>{src});
+}
+
+DynamicBitset reachable_from(const Digraph& g,
+                             const std::vector<NodeId>& sources) {
+  DynamicBitset seen(g.num_nodes());
+  std::deque<NodeId> frontier;
+  for (NodeId s : sources) {
+    for (NodeId v : g.out(s)) {
+      if (!seen.test(v)) {
+        seen.set(v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (NodeId v : g.out(u)) {
+      if (!seen.test(v)) {
+        seen.set(v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace evord

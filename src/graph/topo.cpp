@@ -1,0 +1,73 @@
+#include "graph/topo.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace evord {
+
+std::optional<std::vector<NodeId>> topological_sort(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> indegree(n);
+  for (NodeId u = 0; u < n; ++u) indegree[u] = g.in(u).size();
+
+  // Min-heap for deterministic tie-breaking.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId u = 0; u < n; ++u) {
+    if (indegree[u] == 0) ready.push(u);
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId v : g.out(u)) {
+      if (--indegree[v] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const Digraph& g) { return topological_sort(g).has_value(); }
+
+std::optional<std::vector<NodeId>> find_cycle(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<NodeId> parent(n, static_cast<NodeId>(n));
+
+  // Iterative DFS keeping an explicit stack of (node, next-child index).
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<NodeId, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [u, idx] = stack.back();
+      const auto adj = g.out(u);
+      if (idx < adj.size()) {
+        const NodeId v = adj[idx++];
+        if (color[v] == Color::kWhite) {
+          color[v] = Color::kGray;
+          parent[v] = u;
+          stack.emplace_back(v, 0);
+        } else if (color[v] == Color::kGray) {
+          // Found a back edge u -> v; walk parents from u back to v.
+          std::vector<NodeId> cycle{v};
+          for (NodeId w = u; w != v; w = parent[w]) cycle.push_back(w);
+          cycle.push_back(v);
+          std::reverse(cycle.begin() + 1, cycle.end() - 1);
+          return cycle;
+        }
+      } else {
+        color[u] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace evord

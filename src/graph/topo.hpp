@@ -1,0 +1,24 @@
+// Topological ordering and cycle detection.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace evord {
+
+/// Kahn's algorithm.  Returns a topological order of all nodes, or
+/// nullopt if the graph has a cycle.  Ties are broken by smallest node id,
+/// making the order deterministic.
+std::optional<std::vector<NodeId>> topological_sort(const Digraph& g);
+
+/// True iff `g` is acyclic.
+bool is_acyclic(const Digraph& g);
+
+/// Returns one directed cycle (as a node sequence, first == last) if the
+/// graph is cyclic, nullopt otherwise.  Used for diagnostics in the axiom
+/// validator.
+std::optional<std::vector<NodeId>> find_cycle(const Digraph& g);
+
+}  // namespace evord

@@ -1,0 +1,28 @@
+#include "graph/transitive_reduction.hpp"
+
+#include "graph/reachability.hpp"
+
+namespace evord {
+
+Digraph transitive_reduction(const Digraph& g) {
+  const TransitiveClosure tc(g);
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  Digraph reduced(n);
+  // Edge u -> v is redundant iff some other successor w of u reaches v.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.out(u)) {
+      bool redundant = false;
+      for (NodeId w : g.out(u)) {
+        if (w != v && tc.reachable(w, v)) {
+          redundant = true;
+          break;
+        }
+      }
+      if (!redundant) reduced.add_edge(u, v);
+    }
+  }
+  reduced.finalize();
+  return reduced;
+}
+
+}  // namespace evord

@@ -1,0 +1,14 @@
+// Transitive reduction of a DAG: the unique minimal edge set with the same
+// reachability.  Used to render causal orders compactly in DOT output and
+// to normalize relation graphs before comparison.
+#pragma once
+
+#include "graph/digraph.hpp"
+
+namespace evord {
+
+/// Returns the transitive reduction of DAG `g`.
+/// O(n * m / 64) using closure rows.
+Digraph transitive_reduction(const Digraph& g);
+
+}  // namespace evord

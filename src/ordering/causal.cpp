@@ -1,0 +1,113 @@
+#include "ordering/causal.hpp"
+
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+Digraph causal_graph(const Trace& trace,
+                     const std::vector<EventId>& schedule,
+                     const CausalOptions& options) {
+  EVORD_CHECK(schedule.size() == trace.num_events(),
+              "schedule / event count mismatch");
+  Digraph g = trace.static_order_graph();  // program order + fork/join
+
+  std::vector<std::size_t> pos(trace.num_events());
+  for (std::size_t i = 0; i < schedule.size(); ++i) pos[schedule[i]] = i;
+
+  // --- synchronization pairing edges, by replaying the schedule -------
+  // Semaphores: FIFO token attribution.  Clamped V on a binary semaphore
+  // contributes no token.
+  std::vector<std::deque<EventId>> tokens(trace.semaphores().size());
+  std::vector<int> count;
+  for (const SemaphoreInfo& s : trace.semaphores()) count.push_back(s.initial);
+  // Event variables: the Post that established the current posted state.
+  std::vector<EventId> establisher(trace.event_vars().size(), kNoEvent);
+  std::vector<bool> posted;
+  for (const EventVarInfo& v : trace.event_vars()) {
+    posted.push_back(v.initially_posted);
+  }
+
+  for (EventId id : schedule) {
+    const Event& e = trace.event(id);
+    switch (e.kind) {
+      case EventKind::kSemV: {
+        const SemaphoreInfo& s = trace.semaphores()[e.object];
+        if (!(s.binary && count[e.object] == 1)) {
+          ++count[e.object];
+          tokens[e.object].push_back(id);
+        }
+        break;
+      }
+      case EventKind::kSemP: {
+        EVORD_CHECK(count[e.object] > 0,
+                    "invalid schedule: P on empty semaphore");
+        --count[e.object];
+        // Initial tokens (from the semaphore's initial count) have no
+        // producing V; the deque then holds fewer entries than the count.
+        if (static_cast<std::size_t>(count[e.object]) <
+            tokens[e.object].size()) {
+          g.add_edge(tokens[e.object].front(), id);
+          tokens[e.object].pop_front();
+        }
+        break;
+      }
+      case EventKind::kPost:
+        if (!posted[e.object]) {
+          posted[e.object] = true;
+          establisher[e.object] = id;
+        }
+        break;
+      case EventKind::kClear:
+        posted[e.object] = false;
+        establisher[e.object] = kNoEvent;
+        break;
+      case EventKind::kWait:
+        EVORD_CHECK(posted[e.object],
+                    "invalid schedule: wait on cleared event variable");
+        if (establisher[e.object] != kNoEvent) {
+          g.add_edge(establisher[e.object], id);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- data edges ------------------------------------------------------
+  if (!options.include_data_edges) {
+    g.finalize();
+    return g;
+  }
+  for (const auto& [a, b] : trace.conflicting_pairs()) {
+    if (pos[a] < pos[b]) {
+      g.add_edge(a, b);
+    } else {
+      g.add_edge(b, a);
+    }
+  }
+  for (const auto& [a, b] : trace.dependences()) {
+    if (pos[a] < pos[b]) {
+      g.add_edge(a, b);
+    } else {
+      g.add_edge(b, a);  // possible only when F3 was disabled
+    }
+  }
+
+  g.finalize();
+  return g;
+}
+
+TransitiveClosure causal_closure(const Trace& trace,
+                                 const std::vector<EventId>& schedule,
+                                 const CausalOptions& options) {
+  return TransitiveClosure(causal_graph(trace, schedule, options));
+}
+
+TransitiveClosure observed_causal_closure(const Trace& trace,
+                                          const CausalOptions& options) {
+  return causal_closure(trace, trace.observed_order(), options);
+}
+
+}  // namespace evord

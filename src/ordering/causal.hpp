@@ -1,0 +1,54 @@
+// The causal (happened-before) order induced by one schedule.
+//
+// C(sigma) is the transitive closure of:
+//   * program order within each process;
+//   * fork -> first child event and last child event -> join;
+//   * synchronization pairing edges: for semaphores, tokens are
+//     attributed FIFO — the P that takes the k-th available token gets an
+//     edge from the V that produced that token (clamped V operations on
+//     binary semaphores produce no token); for event variables, a Wait
+//     gets an edge from the Post that established the current posted
+//     state (the earliest Post since the last Clear);
+//   * data edges: every pair of conflicting shared accesses, directed by
+//     sigma, plus any explicit dependence edges of the trace (directed by
+//     sigma as well, which matters when F3 was disabled).
+//
+// Two schedules with the same C(sigma) describe the same feasible
+// execution under causal semantics; the exact solver deduplicates on it.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/reachability.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct CausalOptions {
+  /// Include the data edges (conflicting accesses plus explicit D edges)
+  /// in the causal order.  This is the paper's full temporal reading.
+  /// Race detection uses the synchronization-only variant (include_data_
+  /// edges = false): two conflicting accesses race precisely when no
+  /// SYNCHRONIZATION chain orders them in some feasible execution — their
+  /// own conflict edge must not count as an ordering.
+  bool include_data_edges = true;
+};
+
+/// Builds C(sigma) as an edge graph (not transitively closed).
+/// `schedule` must be a valid schedule of `trace`.
+Digraph causal_graph(const Trace& trace,
+                     const std::vector<EventId>& schedule,
+                     const CausalOptions& options = {});
+
+/// Closure of causal_graph(); reachable(a, b) == a happened-before b in
+/// this execution.
+TransitiveClosure causal_closure(const Trace& trace,
+                                 const std::vector<EventId>& schedule,
+                                 const CausalOptions& options = {});
+
+/// The causal order of the trace's own observed execution.
+TransitiveClosure observed_causal_closure(const Trace& trace,
+                                          const CausalOptions& options = {});
+
+}  // namespace evord

@@ -1,0 +1,304 @@
+#include "ordering/class_enumerate.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "util/timer.hpp"
+
+namespace evord {
+
+namespace {
+
+/// Incrementally maintained causal ancestry per executed event, plus the
+/// replay state the pairing rules need (token queues, establishers).
+class CausalTracker {
+ public:
+  CausalTracker(const Trace& trace, const CausalOptions& options)
+      : trace_(trace),
+        options_(options),
+        rows_(trace.num_events(), DynamicBitset(trace.num_events())),
+        tokens_(trace.semaphores().size()),
+        establisher_(trace.event_vars().size(), kNoEvent) {
+    counts_.reserve(trace.semaphores().size());
+    for (const SemaphoreInfo& s : trace.semaphores()) {
+      counts_.push_back(s.initial);
+    }
+    posted_.reserve(trace.event_vars().size());
+    for (const EventVarInfo& v : trace.event_vars()) {
+      posted_.push_back(v.initially_posted);
+    }
+    // Conflicting pairs, indexed per event for O(deg) updates.
+    if (options_.include_data_edges) {
+      conflicts_.resize(trace.num_events());
+      for (const auto& [x, y] : trace.conflicting_pairs()) {
+        conflicts_[x].push_back(y);
+        conflicts_[y].push_back(x);
+      }
+      for (const auto& [x, y] : trace.dependences()) {
+        conflicts_[x].push_back(y);
+        conflicts_[y].push_back(x);
+      }
+    }
+  }
+
+  /// Ancestors (strict) of executed event e.
+  const DynamicBitset& ancestors(EventId e) const { return rows_[e]; }
+
+  struct Undo {
+    EventId event = kNoEvent;
+    int old_count = 0;
+    bool old_posted = false;
+    EventId old_establisher = kNoEvent;
+    bool pushed_token = false;
+    bool popped_token = false;
+    EventId popped_producer = kNoEvent;
+  };
+
+  /// Called alongside TraceStepper::apply, with the stepper's done bits
+  /// as they were BEFORE the apply.
+  Undo apply(EventId id, const DynamicBitset& done_before) {
+    const Event& e = trace_.event(id);
+    Undo u;
+    u.event = id;
+
+    DynamicBitset& row = rows_[id];
+    row.reset_all();
+    // Program order predecessor.
+    if (e.index_in_process > 0) {
+      const EventId prev =
+          trace_.program_order(e.process)[e.index_in_process - 1];
+      row.set(prev);
+      row |= rows_[prev];
+    } else if (trace_.process(e.process).creating_fork != kNoEvent) {
+      const EventId creator = trace_.process(e.process).creating_fork;
+      row.set(creator);
+      row |= rows_[creator];
+    }
+    if (e.kind == EventKind::kJoin) {
+      const auto child_po = trace_.program_order(e.object);
+      if (!child_po.empty()) {
+        row.set(child_po.back());
+        row |= rows_[child_po.back()];
+      }
+    }
+    // Data edges: every already-executed conflicting event precedes.
+    if (options_.include_data_edges) {
+      for (EventId other : conflicts_[id]) {
+        if (done_before.test(other)) {
+          row.set(other);
+          row |= rows_[other];
+        }
+      }
+    }
+    // Synchronization pairing.
+    switch (e.kind) {
+      case EventKind::kSemV: {
+        const SemaphoreInfo& s = trace_.semaphores()[e.object];
+        u.old_count = counts_[e.object];
+        if (!(s.binary && counts_[e.object] == 1)) {
+          ++counts_[e.object];
+          tokens_[e.object].push_back(id);
+          u.pushed_token = true;
+        }
+        break;
+      }
+      case EventKind::kSemP: {
+        u.old_count = counts_[e.object];
+        --counts_[e.object];
+        if (static_cast<std::size_t>(counts_[e.object]) <
+            tokens_[e.object].size()) {
+          const EventId producer = tokens_[e.object].front();
+          tokens_[e.object].pop_front();
+          u.popped_token = true;
+          u.popped_producer = producer;
+          row.set(producer);
+          row |= rows_[producer];
+        }
+        break;
+      }
+      case EventKind::kPost:
+        u.old_posted = posted_[e.object];
+        u.old_establisher = establisher_[e.object];
+        if (!posted_[e.object]) {
+          posted_[e.object] = true;
+          establisher_[e.object] = id;
+        }
+        break;
+      case EventKind::kClear:
+        u.old_posted = posted_[e.object];
+        u.old_establisher = establisher_[e.object];
+        posted_[e.object] = false;
+        establisher_[e.object] = kNoEvent;
+        break;
+      case EventKind::kWait:
+        if (establisher_[e.object] != kNoEvent) {
+          row.set(establisher_[e.object]);
+          row |= rows_[establisher_[e.object]];
+        }
+        break;
+      default:
+        break;
+    }
+    return u;
+  }
+
+  void undo(const Undo& u) {
+    const Event& e = trace_.event(u.event);
+    switch (e.kind) {
+      case EventKind::kSemV:
+        counts_[e.object] = u.old_count;
+        if (u.pushed_token) tokens_[e.object].pop_back();
+        break;
+      case EventKind::kSemP:
+        counts_[e.object] = u.old_count;
+        if (u.popped_token) {
+          tokens_[e.object].push_front(u.popped_producer);
+        }
+        break;
+      case EventKind::kPost:
+      case EventKind::kClear:
+        posted_[e.object] = u.old_posted;
+        establisher_[e.object] = u.old_establisher;
+        break;
+      default:
+        break;
+    }
+    // rows_[u.event] is stale after undo; it is recomputed on re-apply.
+  }
+
+  /// Extends the stepper's state key with the causal-prefix identity:
+  /// executed rows, token queues and establishers.
+  void extend_key(const DynamicBitset& done,
+                  std::vector<std::uint64_t>& key) const {
+    for (std::size_t e = done.find_first(); e < done.size();
+         e = done.find_next(e)) {
+      key.push_back(0x9e3779b97f4a7c15ull ^ e);
+      const DynamicBitset& row = rows_[e];
+      for (std::size_t w = 0; w < row.word_count(); ++w) {
+        key.push_back(row.word(w));
+      }
+    }
+    for (const auto& queue : tokens_) {
+      key.push_back(0xc2b2ae3d27d4eb4full ^ queue.size());
+      for (EventId producer : queue) key.push_back(producer);
+    }
+    for (EventId est : establisher_) key.push_back(est);
+  }
+
+ private:
+  const Trace& trace_;
+  CausalOptions options_;
+  std::vector<DynamicBitset> rows_;
+  std::vector<std::vector<EventId>> conflicts_;
+  std::vector<std::deque<EventId>> tokens_;
+  std::vector<int> counts_;
+  std::vector<bool> posted_;
+  std::vector<EventId> establisher_;
+};
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t w : key) {
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+class ClassEnumerator {
+ public:
+  ClassEnumerator(const Trace& trace, const ClassEnumOptions& options,
+                  const std::function<bool(const std::vector<EventId>&)>& visit)
+      : options_(options),
+        stepper_(trace, options.stepper),
+        tracker_(trace, options.causal),
+        visit_(visit),
+        deadline_(options.time_budget_seconds) {
+    schedule_.reserve(trace.num_events());
+  }
+
+  ClassEnumStats run() {
+    dfs();
+    stats_.distinct_prefixes = seen_.size();
+    return stats_;
+  }
+
+ private:
+  bool budget_hit() {
+    if (options_.max_prefixes != 0 && seen_.size() >= options_.max_prefixes) {
+      stats_.truncated = true;
+      return true;
+    }
+    if ((++budget_poll_ & 255u) == 0 && deadline_.expired()) {
+      stats_.truncated = true;
+      return true;
+    }
+    return false;
+  }
+
+  bool dfs() {
+    if (stepper_.complete()) {
+      ++stats_.schedules_visited;
+      if (!visit_(schedule_)) {
+        stats_.stopped_by_visitor = true;
+        return false;
+      }
+      return true;
+    }
+    key_scratch_.clear();
+    stepper_.encode_key(key_scratch_);
+    tracker_.extend_key(stepper_.done_bits(), key_scratch_);
+    if (!seen_.insert(key_scratch_).second) {
+      ++stats_.prefixes_pruned;
+      return true;
+    }
+    if (budget_hit()) return true;
+
+    enabled_stack_.emplace_back();
+    stepper_.enabled_events(enabled_stack_.back());
+    if (enabled_stack_.back().empty()) {
+      ++stats_.deadlocked_prefixes;
+      enabled_stack_.pop_back();
+      return true;
+    }
+    bool keep_going = true;
+    for (std::size_t i = 0;
+         keep_going && i < enabled_stack_.back().size(); ++i) {
+      const EventId e = enabled_stack_.back()[i];
+      const CausalTracker::Undo cu =
+          tracker_.apply(e, stepper_.done_bits());
+      const TraceStepper::Undo su = stepper_.apply(e);
+      schedule_.push_back(e);
+      keep_going = dfs();
+      schedule_.pop_back();
+      stepper_.undo(su);
+      tracker_.undo(cu);
+    }
+    enabled_stack_.pop_back();
+    return keep_going;
+  }
+
+  const ClassEnumOptions& options_;
+  TraceStepper stepper_;
+  CausalTracker tracker_;
+  const std::function<bool(const std::vector<EventId>&)>& visit_;
+  Deadline deadline_;
+  ClassEnumStats stats_;
+  std::vector<EventId> schedule_;
+  std::vector<std::vector<EventId>> enabled_stack_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::unordered_set<std::vector<std::uint64_t>, KeyHash> seen_;
+  std::uint32_t budget_poll_ = 0;
+};
+
+}  // namespace
+
+ClassEnumStats enumerate_causal_classes(
+    const Trace& trace, const ClassEnumOptions& options,
+    const std::function<bool(const std::vector<EventId>&)>& visit) {
+  return ClassEnumerator(trace, options, visit).run();
+}
+
+}  // namespace evord

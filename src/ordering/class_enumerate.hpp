@@ -1,0 +1,54 @@
+// Causal-class enumeration with prefix deduplication.
+//
+// The plain schedule enumerator (feasible/enumerate.hpp) walks every
+// valid schedule; the causal exact solver then deduplicates their causal
+// orders.  Exponentially many schedules can share one causal order, so a
+// lot of that walk is wasted.  This enumerator prunes it: two schedule
+// prefixes with
+//   * the same scheduling state (positions, event flags, binary counts),
+//   * the same causal order over the executed events,
+//   * the same outstanding semaphore token producers (FIFO queues), and
+//   * the same establishing Posts
+// have exactly the same set of causal-class completions, so only one of
+// them needs exploring.  The visitor still receives complete schedules,
+// at least one per distinct complete causal class (possibly more, never
+// one per redundant schedule).
+//
+// This is the evord analogue of partial-order reduction: sound for
+// class-level accumulation (any/all over causal orders), unsound for
+// schedule counting — use the plain enumerator for that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "feasible/stepper.hpp"
+#include "ordering/causal.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct ClassEnumOptions {
+  StepperOptions stepper;
+  CausalOptions causal;
+  /// Stop after this many distinct prefixes (0 = unlimited).
+  std::size_t max_prefixes = 0;
+  double time_budget_seconds = 0.0;
+};
+
+struct ClassEnumStats {
+  std::uint64_t schedules_visited = 0;  ///< complete schedules delivered
+  std::uint64_t prefixes_pruned = 0;    ///< duplicate prefixes skipped
+  std::uint64_t deadlocked_prefixes = 0;
+  std::size_t distinct_prefixes = 0;
+  bool truncated = false;
+  bool stopped_by_visitor = false;
+};
+
+/// Visits complete schedules covering every complete causal class;
+/// return false from the visitor to stop.
+ClassEnumStats enumerate_causal_classes(
+    const Trace& trace, const ClassEnumOptions& options,
+    const std::function<bool(const std::vector<EventId>&)>& visit);
+
+}  // namespace evord

@@ -1,0 +1,259 @@
+#include "ordering/exact.hpp"
+
+#include <string>
+#include <unordered_set>
+
+#include "feasible/enumerate.hpp"
+#include "feasible/schedule_space.hpp"
+#include "ordering/causal.hpp"
+#include "ordering/class_enumerate.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+namespace {
+
+OrderingRelations make_empty_result(const Trace& trace, Semantics semantics) {
+  OrderingRelations r;
+  r.semantics = semantics;
+  r.num_events = trace.num_events();
+  for (RelationMatrix& m : r.matrices) {
+    m = RelationMatrix(trace.num_events());
+  }
+  return r;
+}
+
+/// When F is empty every universally quantified relation is vacuously
+/// total and every existential one empty.
+void fill_vacuous(OrderingRelations& r) {
+  r.feasible_empty = true;
+  for (RelationKind k : kAllRelationKinds) {
+    if (is_must_relation(k)) {
+      r[k].fill_off_diagonal();
+    } else {
+      r[k].clear();
+    }
+  }
+}
+
+OrderingRelations compute_interleaving(const Trace& trace,
+                                       const ExactOptions& options) {
+  OrderingRelations r = make_empty_result(trace, Semantics::kInterleaving);
+
+  ScheduleSpaceOptions sso;
+  sso.stepper.respect_dependences = options.respect_dependences;
+  sso.max_states = options.max_states;
+  sso.time_budget_seconds = options.time_budget_seconds;
+  const CanPrecedeResult cp = compute_can_precede(trace, sso);
+
+  r.truncated = cp.truncated;
+  r.states_visited = cp.states_visited;
+  if (!cp.feasible_nonempty) {
+    fill_vacuous(r);
+    return r;
+  }
+
+  const std::size_t n = trace.num_events();
+  // CHB(a, b) == can_precede[b] contains a (transpose the sweep output).
+  RelationMatrix& chb = r[RelationKind::kCHB];
+  for (EventId b = 0; b < n; ++b) {
+    const DynamicBitset& preds = cp.can_precede[b];
+    for (std::size_t a = preds.find_first(); a < preds.size();
+         a = preds.find_next(a)) {
+      chb.set(static_cast<EventId>(a), b);
+    }
+  }
+  // MHB(a, b) == every schedule runs a before b == no schedule runs b
+  // before a (schedules are total orders).
+  RelationMatrix& mhb = r[RelationKind::kMHB];
+  for (EventId a = 0; a < n; ++a) {
+    for (EventId b = 0; b < n; ++b) {
+      if (a != b && !chb.holds(b, a)) mhb.set(a, b);
+    }
+  }
+  // A total order never exhibits concurrency.
+  r[RelationKind::kMCW].clear();
+  r[RelationKind::kCCW].clear();
+  r[RelationKind::kMOW].fill_off_diagonal();
+  r[RelationKind::kCOW].fill_off_diagonal();
+  return r;
+}
+
+/// Per-causal-class accumulator for the causal and interval semantics.
+class CausalAccumulator {
+ public:
+  CausalAccumulator(const Trace& trace, const CausalOptions& causal)
+      : trace_(trace), causal_(causal), n_(trace.num_events()) {
+    any_c_.assign(n_, DynamicBitset(n_));
+    all_c_.assign(n_, DynamicBitset(n_, true));
+    any_incomp_.assign(n_, DynamicBitset(n_));
+    all_incomp_.assign(n_, DynamicBitset(n_, true));
+    any_notrev_.assign(n_, DynamicBitset(n_));
+    for (EventId a = 0; a < n_; ++a) {
+      all_c_[a].reset(a);
+      all_incomp_[a].reset(a);
+    }
+  }
+
+  std::uint64_t classes() const { return classes_; }
+
+  void accept(const std::vector<EventId>& schedule) {
+    const TransitiveClosure tc = causal_closure(trace_, schedule, causal_);
+    // Deduplicate causal classes on the raw closure rows.
+    std::string fingerprint;
+    fingerprint.reserve(n_ * 8);
+    for (EventId a = 0; a < n_; ++a) {
+      const DynamicBitset& row = tc.descendants(a);
+      for (std::size_t w = 0; w < row.word_count(); ++w) {
+        const std::uint64_t word = row.word(w);
+        fingerprint.append(reinterpret_cast<const char*>(&word),
+                           sizeof(word));
+      }
+    }
+    if (!seen_.insert(std::move(fingerprint)).second) return;
+    ++classes_;
+
+    for (EventId a = 0; a < n_; ++a) {
+      const DynamicBitset& desc = tc.descendants(a);
+      any_c_[a] |= desc;
+      all_c_[a] &= desc;
+      for (EventId b = 0; b < n_; ++b) {
+        if (a == b) continue;
+        const bool ab = desc.test(b);
+        const bool ba = tc.reachable(b, a);
+        if (!ba) any_notrev_[a].set(b);
+        if (!ab && !ba) {
+          any_incomp_[a].set(b);
+        } else {
+          all_incomp_[a].reset(b);
+        }
+      }
+    }
+  }
+
+  void finish(OrderingRelations& r, Semantics semantics) const {
+    r.causal_classes = classes_;
+    if (classes_ == 0) {
+      fill_vacuous(r);
+      return;
+    }
+    const std::size_t n = n_;
+    for (EventId a = 0; a < n; ++a) {
+      r[RelationKind::kMHB].row(a) = all_c_[a];
+      r[RelationKind::kCCW].row(a) = any_incomp_[a];
+      r[RelationKind::kMCW].row(a) =
+          semantics == Semantics::kInterval ? DynamicBitset(n)
+                                            : all_incomp_[a];
+      // MOW: never concurrent == comparable in every class.
+      DynamicBitset mow(n, true);
+      mow.subtract(any_incomp_[a]);
+      mow.reset(a);
+      r[RelationKind::kMOW].row(a) = std::move(mow);
+      if (semantics == Semantics::kInterval) {
+        // Timing freedom: a could precede b iff some class does not force
+        // b before a; any pair can be serialized, so COW is total.
+        r[RelationKind::kCHB].row(a) = any_notrev_[a];
+        DynamicBitset cow(n, true);
+        cow.reset(a);
+        r[RelationKind::kCOW].row(a) = cow;
+      } else {
+        r[RelationKind::kCHB].row(a) = any_c_[a];
+        // COW: comparable in some class == not incomparable in every class.
+        DynamicBitset cow(n, true);
+        cow.subtract(all_incomp_[a]);
+        cow.reset(a);
+        r[RelationKind::kCOW].row(a) = std::move(cow);
+      }
+    }
+  }
+
+ private:
+  const Trace& trace_;
+  CausalOptions causal_;
+  std::size_t n_;
+  std::uint64_t classes_ = 0;
+  std::unordered_set<std::string> seen_;
+  std::vector<DynamicBitset> any_c_, all_c_;
+  std::vector<DynamicBitset> any_incomp_, all_incomp_;
+  std::vector<DynamicBitset> any_notrev_;
+};
+
+OrderingRelations compute_causal_or_interval(const Trace& trace,
+                                             Semantics semantics,
+                                             const ExactOptions& options) {
+  OrderingRelations r = make_empty_result(trace, semantics);
+  const CausalOptions causal{.include_data_edges =
+                                 options.causal_data_edges};
+  CausalAccumulator acc(trace, causal);
+
+  if (options.class_dedup) {
+    ClassEnumOptions co;
+    co.stepper.respect_dependences = options.respect_dependences;
+    co.causal = causal;
+    co.time_budget_seconds = options.time_budget_seconds;
+    std::uint64_t budget = options.max_schedules;
+    const ClassEnumStats stats = enumerate_causal_classes(
+        trace, co, [&](const std::vector<EventId>& s) {
+          acc.accept(s);
+          return budget == 0 || --budget != 0;
+        });
+    r.schedules_seen = stats.schedules_visited;
+    r.deadlocked_prefixes = stats.deadlocked_prefixes;
+    r.truncated = stats.truncated || stats.stopped_by_visitor;
+    // Stopping at exactly max_schedules is the budget, not an error.
+    if (stats.stopped_by_visitor && options.max_schedules != 0) {
+      r.truncated = true;
+    }
+  } else {
+    EnumerateOptions eo;
+    eo.stepper.respect_dependences = options.respect_dependences;
+    eo.max_schedules = options.max_schedules;
+    eo.time_budget_seconds = options.time_budget_seconds;
+    const EnumerateStats stats =
+        enumerate_schedules(trace, eo, [&](const std::vector<EventId>& s) {
+          acc.accept(s);
+          return true;
+        });
+    r.schedules_seen = stats.schedules;
+    r.deadlocked_prefixes = stats.deadlocked_prefixes;
+    r.truncated = stats.truncated;
+  }
+  acc.finish(r, semantics);
+  return r;
+}
+
+}  // namespace
+
+OrderingRelations compute_exact(const Trace& trace, Semantics semantics,
+                                const ExactOptions& options) {
+  switch (semantics) {
+    case Semantics::kInterleaving:
+      return compute_interleaving(trace, options);
+    case Semantics::kCausal:
+    case Semantics::kInterval:
+      return compute_causal_or_interval(trace, semantics, options);
+  }
+  EVORD_CHECK(false, "unknown semantics");
+}
+
+bool must_have_happened_before(const Trace& trace, EventId a, EventId b,
+                               Semantics semantics,
+                               const ExactOptions& options) {
+  return compute_exact(trace, semantics, options)
+      .holds(RelationKind::kMHB, a, b);
+}
+
+bool could_have_happened_before(const Trace& trace, EventId a, EventId b,
+                                Semantics semantics,
+                                const ExactOptions& options) {
+  return compute_exact(trace, semantics, options)
+      .holds(RelationKind::kCHB, a, b);
+}
+
+bool could_have_been_concurrent(const Trace& trace, EventId a, EventId b,
+                                const ExactOptions& options) {
+  return compute_exact(trace, Semantics::kCausal, options)
+      .holds(RelationKind::kCCW, a, b);
+}
+
+}  // namespace evord

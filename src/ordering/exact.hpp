@@ -1,0 +1,63 @@
+// The exact solver: computes all six ordering relations of Table 1 by
+// exhaustive analysis of F(P).
+//
+// Interleaving semantics uses the memoized state-space engine (one pass,
+// no per-schedule work).  Causal and interval semantics enumerate
+// complete schedules, deduplicate them into causal classes and accumulate
+// per-class facts.  Both are exponential in the worst case — Theorems 1-4
+// say they must be, assuming P != NP — so budgets apply and results carry
+// a `truncated` flag.
+#pragma once
+
+#include <cstdint>
+
+#include "ordering/relations.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct ExactOptions {
+  /// Enforce F3 (shared-data dependences constrain the schedules).
+  /// Disable for the paper's §5.3 "ignore dependences" variant.
+  bool respect_dependences = true;
+
+  /// Include data edges in each execution's causal order (the paper's
+  /// full temporal reading).  Race detection sets this to false so that
+  /// "concurrent" means "not ordered by synchronization", while F3 above
+  /// still restricts WHICH executions are feasible.  Only affects causal
+  /// and interval semantics.
+  bool causal_data_edges = true;
+
+  /// Causal/interval engine: stop after this many complete schedules
+  /// (0 = unlimited).
+  std::uint64_t max_schedules = 0;
+
+  /// Causal/interval engine: prune schedule prefixes whose state AND
+  /// induced causal order were already explored (one representative per
+  /// causal-class prefix; see ordering/class_enumerate.hpp).  Exponentially
+  /// faster on traces where many schedules share a causal order; results
+  /// are identical (tested), only `schedules_seen` shrinks.
+  bool class_dedup = true;
+  /// Interleaving engine: stop after this many distinct states
+  /// (0 = unlimited).
+  std::size_t max_states = 4'000'000;
+  /// Either engine: stop after this many seconds (0 = unlimited).
+  double time_budget_seconds = 0.0;
+};
+
+/// Computes all six relations under the chosen semantics.
+OrderingRelations compute_exact(const Trace& trace, Semantics semantics,
+                                const ExactOptions& options = {});
+
+/// Convenience single-pair queries (full computation under the hood; use
+/// compute_exact once when querying many pairs).
+bool must_have_happened_before(const Trace& trace, EventId a, EventId b,
+                               Semantics semantics = Semantics::kCausal,
+                               const ExactOptions& options = {});
+bool could_have_happened_before(const Trace& trace, EventId a, EventId b,
+                                Semantics semantics = Semantics::kCausal,
+                                const ExactOptions& options = {});
+bool could_have_been_concurrent(const Trace& trace, EventId a, EventId b,
+                                const ExactOptions& options = {});
+
+}  // namespace evord

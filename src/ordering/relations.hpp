@@ -1,0 +1,136 @@
+// The six ordering relations of the paper (Table 1) and their storage.
+//
+//   must-have-happened-before  a MHB b  iff  in every feasible execution,
+//                                            a T b
+//   could-have-happened-before a CHB b  iff  in some feasible execution,
+//                                            a T b
+//   must-have-been-concurrent  a MCW b  iff  in every feasible execution,
+//                                            a and b are concurrent
+//   could-have-been-concurrent a CCW b  iff  in some feasible execution,
+//                                            a and b are concurrent
+//   must-have-been-ordered     a MOW b  iff  in every feasible execution,
+//                                            a and b are NOT concurrent
+//   could-have-been-ordered    a COW b  iff  in some feasible execution,
+//                                            a and b are NOT concurrent
+//
+// What "a T b" and "concurrent" mean depends on the chosen semantics of
+// the temporal relation (DESIGN.md §2):
+//
+//   kInterleaving — T is a total schedule; a T b = a precedes b.  No two
+//       events are ever concurrent, so MCW/CCW are empty and MOW/COW are
+//       total.
+//   kCausal — T is the execution's causal (happened-before) order;
+//       concurrent = causally incomparable.  All six relations are
+//       non-trivial.  This is the default and the reading used by vector
+//       clocks and every race detector descended from this paper.
+//   kInterval — events occupy wall-clock intervals chosen freely subject
+//       to the causal order; a T b = a's interval wholly precedes b's.
+//       Any causally incomparable pair can be serialized by timing, so
+//       MCW is necessarily empty and COW necessarily total; the paper's
+//       own definition admits this degeneracy, which EXPERIMENTS.md
+//       discusses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/ids.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace evord {
+
+enum class Semantics : std::uint8_t {
+  kInterleaving,
+  kCausal,
+  kInterval,
+};
+
+const char* to_string(Semantics semantics);
+
+enum class RelationKind : std::uint8_t {
+  kMHB = 0,
+  kCHB = 1,
+  kMCW = 2,
+  kCCW = 3,
+  kMOW = 4,
+  kCOW = 5,
+};
+
+inline constexpr std::size_t kNumRelationKinds = 6;
+inline constexpr std::array<RelationKind, kNumRelationKinds> kAllRelationKinds{
+    RelationKind::kMHB, RelationKind::kCHB, RelationKind::kMCW,
+    RelationKind::kCCW, RelationKind::kMOW, RelationKind::kCOW};
+
+const char* to_string(RelationKind kind);
+bool is_must_relation(RelationKind kind);
+
+/// A boolean relation over E x E, stored as one bitset row per source
+/// event.  holds(a, b) is row a, bit b.
+class RelationMatrix {
+ public:
+  RelationMatrix() = default;
+  explicit RelationMatrix(std::size_t n)
+      : rows_(n, DynamicBitset(n)) {}
+
+  std::size_t size() const { return rows_.size(); }
+
+  bool holds(EventId a, EventId b) const { return rows_[a].test(b); }
+  void set(EventId a, EventId b) { rows_[a].set(b); }
+  void reset(EventId a, EventId b) { rows_[a].reset(b); }
+
+  const DynamicBitset& row(EventId a) const { return rows_[a]; }
+  DynamicBitset& row(EventId a) { return rows_[a]; }
+
+  /// Number of (a, b) pairs in the relation.
+  std::size_t num_pairs() const;
+
+  /// Sets every off-diagonal pair.
+  void fill_off_diagonal();
+  /// Clears everything.
+  void clear();
+
+  /// True iff this relation is a subset of `o`.
+  bool subset_of(const RelationMatrix& o) const;
+
+  bool operator==(const RelationMatrix& o) const { return rows_ == o.rows_; }
+  bool operator!=(const RelationMatrix& o) const { return !(*this == o); }
+
+ private:
+  std::vector<DynamicBitset> rows_;
+};
+
+/// The result of an exact (or approximate) ordering analysis: all six
+/// relations plus provenance.
+struct OrderingRelations {
+  Semantics semantics = Semantics::kCausal;
+  std::size_t num_events = 0;
+
+  /// True iff no feasible execution exists (F = empty set); the must-
+  /// relations are then vacuously total and the could-relations empty,
+  /// and the matrices are left in exactly that state.
+  bool feasible_empty = false;
+  /// True iff a search budget was exhausted: could-relations are then
+  /// under-approximate and must-relations over-approximate.
+  bool truncated = false;
+
+  std::uint64_t schedules_seen = 0;   ///< complete schedules examined (with class dedup: representatives visited)
+  std::uint64_t causal_classes = 0;   ///< distinct causal orders (causal/interval)
+  std::uint64_t deadlocked_prefixes = 0;
+  std::size_t states_visited = 0;     ///< interleaving engine states
+
+  std::array<RelationMatrix, kNumRelationKinds> matrices;
+
+  const RelationMatrix& operator[](RelationKind k) const {
+    return matrices[static_cast<std::size_t>(k)];
+  }
+  RelationMatrix& operator[](RelationKind k) {
+    return matrices[static_cast<std::size_t>(k)];
+  }
+  bool holds(RelationKind k, EventId a, EventId b) const {
+    return (*this)[k].holds(a, b);
+  }
+};
+
+}  // namespace evord

@@ -1,0 +1,36 @@
+// Witness extraction: concrete feasible executions demonstrating a
+// could-have ordering or refuting a must-have one.  A witness is a valid
+// complete schedule; reorder_trace() can materialize it as a full
+// execution P'.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ordering/exact.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+/// A schedule in which a T b holds under `semantics` (a precedes b for
+/// interleaving; a happened-before b causally for causal; the interval
+/// reading coincides with interleaving for witnesses).
+std::optional<std::vector<EventId>> witness_could_happen_before(
+    const Trace& trace, EventId a, EventId b,
+    Semantics semantics = Semantics::kCausal,
+    const ExactOptions& options = {});
+
+/// A schedule whose causal order leaves a and b incomparable
+/// (a witness for CCW, i.e. a potential data race when a, b conflict).
+std::optional<std::vector<EventId>> witness_could_be_concurrent(
+    const Trace& trace, EventId a, EventId b,
+    const ExactOptions& options = {});
+
+/// A feasible execution in which a T b does NOT hold — a refutation of
+/// a MHB b under `semantics`.
+std::optional<std::vector<EventId>> refute_must_happen_before(
+    const Trace& trace, EventId a, EventId b,
+    Semantics semantics = Semantics::kCausal,
+    const ExactOptions& options = {});
+
+}  // namespace evord

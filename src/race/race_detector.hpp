@@ -1,0 +1,64 @@
+// Data-race detection — the application the paper closes with: "an
+// implication of these results is that exhaustively detecting all data
+// races potentially exhibited by a given program execution is an
+// intractable problem."
+//
+// A candidate race is a pair of conflicting shared accesses in different
+// processes.  Three detectors are provided:
+//
+//   * exact      — the pair races iff it could-have-been-concurrent
+//                  (CCW under causal semantics, quantifying over every
+//                  feasible execution).  Exponential; exhaustive.
+//   * observed   — vector clocks over the one observed execution, the
+//                  classic polynomial detector.  Misses races that only
+//                  alternate schedules expose.
+//   * guaranteed — conflicting pairs not ordered by the must-have
+//                  relation of a sound approximation (HMW for semaphore
+//                  traces, EGP for event-style traces): a superset of the
+//                  exact races on §5.3-style feasibility, never missing a
+//                  race but possibly reporting spurious ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ordering/exact.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+enum class RaceDetector : std::uint8_t {
+  kExact,
+  kObserved,
+  kGuaranteed,
+};
+
+const char* to_string(RaceDetector detector);
+
+struct Race {
+  EventId a = kNoEvent;
+  EventId b = kNoEvent;  ///< a < b
+  /// True iff the two events were causally ordered in the observed
+  /// execution (the race needed an alternate schedule to surface).
+  bool hidden_in_observed = false;
+};
+
+struct RaceReport {
+  RaceDetector detector = RaceDetector::kExact;
+  std::vector<Race> races;
+  std::size_t candidate_pairs = 0;  ///< conflicting cross-process pairs
+  bool truncated = false;           ///< exact search hit its budget
+
+  bool contains(EventId a, EventId b) const;
+  std::string summary(const Trace& trace) const;
+};
+
+RaceReport detect_races_exact(const Trace& trace,
+                              const ExactOptions& options = {});
+RaceReport detect_races_observed(const Trace& trace);
+RaceReport detect_races_guaranteed(const Trace& trace);
+
+RaceReport detect_races(const Trace& trace, RaceDetector detector,
+                        const ExactOptions& options = {});
+
+}  // namespace evord

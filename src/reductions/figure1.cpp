@@ -1,0 +1,61 @@
+#include "reductions/figure1.hpp"
+
+#include "sync/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+Program figure1_program() {
+  Program prog;
+  const VarId x = prog.variable("X");
+  const ObjectId ev = prog.event_var("ev");
+  const ProcId main_proc = prog.add_process("main");
+  const ProcId t1 = prog.add_process("t1", /*static_start=*/false);
+  const ProcId t2 = prog.add_process("t2", /*static_start=*/false);
+  const ProcId t3 = prog.add_process("t3", /*static_start=*/false);
+
+  prog.append_all(main_proc,
+                  {Stmt::fork(t1), Stmt::fork(t2), Stmt::fork(t3),
+                   Stmt::join(t1), Stmt::join(t2), Stmt::join(t3)});
+  Stmt post1 = Stmt::post(ev);
+  post1.label = "post-t1";
+  prog.append_all(t1, {std::move(post1), Stmt::assign(x, 1, "X := 1")});
+  Stmt post2 = Stmt::post(ev);
+  post2.label = "post-t2";
+  Stmt wait2 = Stmt::wait(ev);
+  wait2.label = "wait-t2";
+  prog.append(t2, Stmt::if_eq(x, 1, {std::move(post2)}, {std::move(wait2)},
+                              "if X=1 then"));
+  Stmt wait3 = Stmt::wait(ev);
+  wait3.label = "wait-t3";
+  prog.append(t3, {std::move(wait3)});
+  return prog;
+}
+
+Figure1Execution figure1_execution() {
+  const Program prog = figure1_program();
+  // t1 first and to completion, then t2, then t3, then main's joins —
+  // "the first created task completely executes before the other two".
+  PriorityPolicy policy({1, 2, 3, 0});
+  // main must fork everyone first; with priority p1 > p0, p1 is not yet
+  // runnable until forked, so main's forks interleave naturally.
+  const RunResult run = run_program(prog, policy);
+  EVORD_CHECK(run.status == RunStatus::kCompleted,
+              "figure 1 program failed to complete");
+
+  Figure1Execution out;
+  out.post_t1 = run.trace.find_event_by_label("post-t1");
+  out.assign_x = run.trace.find_event_by_label("X := 1");
+  out.if_test = run.trace.find_event_by_label("if X=1 then");
+  out.post_t2 = run.trace.find_event_by_label("post-t2");
+  out.wait_t3 = run.trace.find_event_by_label("wait-t3");
+  EVORD_CHECK(out.post_t1 != kNoEvent && out.assign_x != kNoEvent &&
+                  out.if_test != kNoEvent && out.post_t2 != kNoEvent &&
+                  out.wait_t3 != kNoEvent,
+              "figure 1 events not found; the observed schedule must take "
+              "the then-branch");
+  out.trace = std::move(run.trace);
+  return out;
+}
+
+}  // namespace evord

@@ -1,0 +1,44 @@
+// The paper's Figure 1: a program fragment whose execution carries an
+// ordering that is enforced only by a shared-data dependence, which the
+// EGP task graph (synchronization events only) cannot see.
+//
+//   main:  fork t1; fork t2; fork t3; join t1; join t2; join t3
+//   t1:    Post(ev); X := 1
+//   t2:    if X = 1 then Post(ev) else Wait(ev)
+//   t3:    Wait(ev)
+//
+// Observed execution (the figure's caption: "the first created task
+// completely executes before the other two"): t1 runs to completion,
+// then t2 (reads X = 1, takes the then-branch and posts), then t3.
+//
+// In that execution the dependence  X := 1  --D-->  "if X=1"  orders
+// t1's Post before t2's Post in EVERY feasible execution (t1's Post
+// precedes X := 1 in program order, and the if precedes t2's Post), yet
+// the task graph contains no path between the two Post nodes.  EGP draws
+// only a synchronization edge from the Posts' closest common ancestor
+// (the fork node) to t3's Wait.
+#pragma once
+
+#include "sync/program.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+/// The Figure 1 program.
+Program figure1_program();
+
+/// Key events of the observed Figure 1 execution.
+struct Figure1Execution {
+  Trace trace;
+  EventId post_t1 = kNoEvent;   ///< the left-most Post
+  EventId assign_x = kNoEvent;  ///< X := 1
+  EventId if_test = kNoEvent;   ///< if X=1 then
+  EventId post_t2 = kNoEvent;   ///< the right-most Post
+  EventId wait_t3 = kNoEvent;   ///< the Wait
+};
+
+/// Runs the program so that t1 completes before t2 and t3 start, exactly
+/// as in the figure, and locates the interesting events.
+Figure1Execution figure1_execution();
+
+}  // namespace evord

@@ -1,0 +1,26 @@
+#include "reductions/oracle.hpp"
+
+namespace evord {
+
+OrderingSatDecision decide_sat_via_ordering(const CnfFormula& formula,
+                                            SyncStyle style,
+                                            Semantics semantics,
+                                            const ExactOptions& options) {
+  OrderingSatDecision out;
+  const ReductionProgram reduction = reduce_3sat(formula, style);
+  out.execution = execute_reduction(reduction);
+  out.relations = compute_exact(out.execution.trace, semantics, options);
+  out.satisfiable = !out.relations.holds(RelationKind::kMHB,
+                                         out.execution.a, out.execution.b);
+  return out;
+}
+
+SatOrderingDecision decide_ordering_via_sat(const CnfFormula& formula) {
+  SatOrderingDecision out;
+  out.sat = solve(formula);
+  out.mhb_a_b = !out.sat.satisfiable;
+  out.chb_b_a = out.sat.satisfiable;
+  return out;
+}
+
+}  // namespace evord

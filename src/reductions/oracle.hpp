@@ -1,0 +1,46 @@
+// The two directions of the hardness equivalence, executable:
+//
+//   * decide_sat_via_ordering — decides satisfiability of a 3CNF formula
+//     by building the reduction program, executing it once, and running
+//     the EXACT ordering analysis on the execution (a MHB b iff UNSAT).
+//     This is the paper's reduction made operational; its cost grows
+//     exponentially with the formula (see bench_scaling).
+//
+//   * decide_ordering_via_sat — decides the designated ordering queries
+//     on a reduction instance with the CDCL solver instead of exhaustive
+//     search.  For reduction instances the two agree by Theorems 1-4;
+//     this is the fast path a practical tool would take if it knew the
+//     trace came from a reduction.
+#pragma once
+
+#include "ordering/exact.hpp"
+#include "reductions/reduction.hpp"
+#include "sat/cdcl.hpp"
+
+namespace evord {
+
+struct OrderingSatDecision {
+  bool satisfiable = false;
+  ReductionExecution execution;   ///< the analyzed program execution
+  OrderingRelations relations;    ///< full exact analysis (all six)
+};
+
+/// Decides B via the must-have-happened-before relation of its reduction:
+/// satisfiable iff NOT (a MHB b).  `semantics` must make MHB exact for
+/// the construction (causal and interleaving both do; see reduction.hpp).
+OrderingSatDecision decide_sat_via_ordering(
+    const CnfFormula& formula, SyncStyle style,
+    Semantics semantics = Semantics::kInterleaving,
+    const ExactOptions& options = {});
+
+struct SatOrderingDecision {
+  bool mhb_a_b = false;  ///< a MHB b (== formula unsatisfiable)
+  bool chb_b_a = false;  ///< b CHB a under interleaving (== satisfiable)
+  SatResult sat;         ///< the underlying solver run
+};
+
+/// Decides the designated ordering queries of `formula`'s reduction with
+/// the CDCL solver (no trace ever built).
+SatOrderingDecision decide_ordering_via_sat(const CnfFormula& formula);
+
+}  // namespace evord

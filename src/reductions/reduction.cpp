@@ -1,0 +1,338 @@
+#include "reductions/reduction.hpp"
+
+#include <array>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+const char* to_string(SyncStyle style) {
+  switch (style) {
+    case SyncStyle::kSemaphore:
+      return "semaphore";
+    case SyncStyle::kEventStyle:
+      return "event-style";
+  }
+  return "?";
+}
+
+namespace {
+
+void check_3cnf(const CnfFormula& formula) {
+  EVORD_CHECK(formula.is_kcnf(3), "reduction input must be 3CNF");
+  EVORD_CHECK(formula.num_vars() >= 1, "formula must use variables");
+}
+
+/// Occurrence counts of each literal polarity.
+struct Occurrences {
+  std::vector<std::size_t> positive;  // index: variable (1-based)
+  std::vector<std::size_t> negative;
+};
+
+Occurrences count_occurrences(const CnfFormula& formula) {
+  Occurrences occ;
+  occ.positive.assign(static_cast<std::size_t>(formula.num_vars()) + 1, 0);
+  occ.negative.assign(static_cast<std::size_t>(formula.num_vars()) + 1, 0);
+  for (const Clause& c : formula.clauses()) {
+    for (Lit l : c.lits) {
+      auto& counts = is_positive(l) ? occ.positive : occ.negative;
+      ++counts[static_cast<std::size_t>(var_of(l))];
+    }
+  }
+  return occ;
+}
+
+}  // namespace
+
+ReductionProgram reduce_3sat_semaphores(const CnfFormula& formula) {
+  check_3cnf(formula);
+  const auto n = static_cast<std::size_t>(formula.num_vars());
+  const std::size_t m = formula.num_clauses();
+  const Occurrences occ = count_occurrences(formula);
+
+  ReductionProgram out;
+  out.style = SyncStyle::kSemaphore;
+  out.num_vars = n;
+  out.num_clauses = m;
+  Program& prog = out.program;
+
+  // Semaphores: X_i, notX_i, A_i per variable; C_j per clause; Pass2.
+  std::vector<ObjectId> sem_pos(n + 1), sem_neg(n + 1), sem_gate(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) {
+    sem_pos[i] = prog.semaphore("X" + std::to_string(i));
+    sem_neg[i] = prog.semaphore("notX" + std::to_string(i));
+    sem_gate[i] = prog.semaphore("A" + std::to_string(i));
+  }
+  std::vector<ObjectId> sem_clause(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    sem_clause[j] = prog.semaphore("C" + std::to_string(j + 1));
+  }
+  const ObjectId sem_pass2 = prog.semaphore("Pass2");
+
+  // Variable gadgets: T_i and F_i race for one A_i token in pass 1; the
+  // gate releases the loser only after Pass2 is signaled.
+  for (std::size_t i = 1; i <= n; ++i) {
+    const ProcId t = prog.add_process("T" + std::to_string(i));
+    prog.append(t, Stmt::sem_p(sem_gate[i]));
+    for (std::size_t k = 0; k < occ.positive[i]; ++k) {
+      prog.append(t, Stmt::sem_v(sem_pos[i]));
+    }
+    const ProcId f = prog.add_process("F" + std::to_string(i));
+    prog.append(f, Stmt::sem_p(sem_gate[i]));
+    for (std::size_t k = 0; k < occ.negative[i]; ++k) {
+      prog.append(f, Stmt::sem_v(sem_neg[i]));
+    }
+    const ProcId g = prog.add_process("G" + std::to_string(i));
+    prog.append_all(g, {Stmt::sem_v(sem_gate[i]), Stmt::sem_p(sem_pass2),
+                        Stmt::sem_v(sem_gate[i])});
+  }
+
+  // Clause gadgets: three processes per clause, one per literal.
+  for (std::size_t j = 0; j < m; ++j) {
+    const Clause& c = formula.clause(j);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const Lit l = c.lits[k];
+      const ObjectId lit =
+          is_positive(l) ? sem_pos[static_cast<std::size_t>(var_of(l))]
+                         : sem_neg[static_cast<std::size_t>(var_of(l))];
+      const ProcId p = prog.add_process(
+          "K" + std::to_string(j + 1) + "_" + std::to_string(k + 1));
+      prog.append_all(p, {Stmt::sem_p(lit), Stmt::sem_v(sem_clause[j])});
+    }
+  }
+
+  // The two designated processes.
+  const ProcId proc_a = prog.add_process("Pa");
+  prog.append(proc_a, Stmt::skip(out.label_a));
+  for (std::size_t i = 0; i < n; ++i) {
+    prog.append(proc_a, Stmt::sem_v(sem_pass2));
+  }
+  const ProcId proc_b = prog.add_process("Pb");
+  for (std::size_t j = 0; j < m; ++j) {
+    prog.append(proc_b, Stmt::sem_p(sem_clause[j]));
+  }
+  prog.append(proc_b, Stmt::skip(out.label_b));
+
+  EVORD_DCHECK(prog.num_processes() == 3 * n + 3 * m + 2,
+               "process count mismatch");
+  EVORD_DCHECK(prog.semaphores().size() == 3 * n + m + 1,
+               "semaphore count mismatch");
+  return out;
+}
+
+ReductionProgram reduce_3sat_binary_semaphores(const CnfFormula& formula) {
+  check_3cnf(formula);
+  const auto n = static_cast<std::size_t>(formula.num_vars());
+  const std::size_t m = formula.num_clauses();
+
+  ReductionProgram out;
+  out.style = SyncStyle::kSemaphore;
+  out.num_vars = n;
+  out.num_clauses = m;
+  Program& prog = out.program;
+
+  // Binary semaphores: one gate A_i and one Pass2_i per variable; one
+  // semaphore per literal occurrence (clause j, slot k); one per clause.
+  std::vector<ObjectId> sem_gate(n + 1), sem_pass2(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) {
+    sem_gate[i] = prog.binary_semaphore("A" + std::to_string(i));
+    sem_pass2[i] = prog.binary_semaphore("Pass2_" + std::to_string(i));
+  }
+  std::vector<std::array<ObjectId, 3>> sem_occ(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      sem_occ[j][k] = prog.binary_semaphore(
+          "L" + std::to_string(j + 1) + "_" + std::to_string(k + 1));
+    }
+  }
+  std::vector<ObjectId> sem_clause(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    sem_clause[j] = prog.binary_semaphore("C" + std::to_string(j + 1));
+  }
+
+  // Occurrence lists per literal polarity.
+  const auto occurrences_of = [&](Lit lit) {
+    std::vector<ObjectId> result;
+    for (std::size_t j = 0; j < m; ++j) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        if (formula.clause(j).lits[k] == lit) result.push_back(sem_occ[j][k]);
+      }
+    }
+    return result;
+  };
+
+  // Variable gadgets.
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto lit = static_cast<Lit>(i);
+    const ProcId t = prog.add_process("T" + std::to_string(i));
+    prog.append(t, Stmt::sem_p(sem_gate[i]));
+    for (ObjectId occ : occurrences_of(lit)) {
+      prog.append(t, Stmt::sem_v(occ));
+    }
+    const ProcId f = prog.add_process("F" + std::to_string(i));
+    prog.append(f, Stmt::sem_p(sem_gate[i]));
+    for (ObjectId occ : occurrences_of(-lit)) {
+      prog.append(f, Stmt::sem_v(occ));
+    }
+    const ProcId g = prog.add_process("G" + std::to_string(i));
+    prog.append_all(g, {Stmt::sem_v(sem_gate[i]), Stmt::sem_p(sem_pass2[i]),
+                        Stmt::sem_v(sem_gate[i])});
+  }
+
+  // Clause gadgets: one process per occurrence.
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const ProcId p = prog.add_process(
+          "K" + std::to_string(j + 1) + "_" + std::to_string(k + 1));
+      prog.append_all(p, {Stmt::sem_p(sem_occ[j][k]),
+                          Stmt::sem_v(sem_clause[j])});
+    }
+  }
+
+  // Designated processes.
+  const ProcId proc_a = prog.add_process("Pa");
+  prog.append(proc_a, Stmt::skip(out.label_a));
+  for (std::size_t i = 1; i <= n; ++i) {
+    prog.append(proc_a, Stmt::sem_v(sem_pass2[i]));
+  }
+  const ProcId proc_b = prog.add_process("Pb");
+  for (std::size_t j = 0; j < m; ++j) {
+    prog.append(proc_b, Stmt::sem_p(sem_clause[j]));
+  }
+  prog.append(proc_b, Stmt::skip(out.label_b));
+
+  EVORD_DCHECK(prog.num_processes() == 3 * n + 3 * m + 2,
+               "process count mismatch");
+  EVORD_DCHECK(prog.semaphores().size() == 2 * n + 4 * m,
+               "semaphore count mismatch");
+  return out;
+}
+
+ReductionProgram reduce_3sat_events(const CnfFormula& formula) {
+  check_3cnf(formula);
+  const auto n = static_cast<std::size_t>(formula.num_vars());
+  const std::size_t m = formula.num_clauses();
+
+  ReductionProgram out;
+  out.style = SyncStyle::kEventStyle;
+  out.num_vars = n;
+  out.num_clauses = m;
+  Program& prog = out.program;
+
+  // Event variables: A_i, B_i (the mutual-exclusion flags), X_i, notX_i
+  // per variable; C_j per clause.
+  std::vector<ObjectId> ev_a(n + 1), ev_b(n + 1), ev_pos(n + 1),
+      ev_neg(n + 1);
+  for (std::size_t i = 1; i <= n; ++i) {
+    ev_a[i] = prog.event_var("A" + std::to_string(i));
+    ev_b[i] = prog.event_var("B" + std::to_string(i));
+    ev_pos[i] = prog.event_var("X" + std::to_string(i));
+    ev_neg[i] = prog.event_var("notX" + std::to_string(i));
+  }
+  std::vector<ObjectId> ev_clause(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    ev_clause[j] = prog.event_var("C" + std::to_string(j + 1));
+  }
+
+  // Variable gadgets.  The parent posts A_i and B_i and forks two
+  // children that race under Clear-based mutual exclusion; in executions
+  // not helped by pass 2, at most one of Post(X_i) / Post(notX_i) fires.
+  std::vector<ProcId> parents;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const ProcId parent = prog.add_process("V" + std::to_string(i));
+    parents.push_back(parent);
+    // Children are declared after all parents; fill bodies below.
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    const ProcId parent = parents[i - 1];
+    const ProcId c1 =
+        prog.add_process("V" + std::to_string(i) + "t", /*static=*/false);
+    const ProcId c2 =
+        prog.add_process("V" + std::to_string(i) + "f", /*static=*/false);
+    prog.append_all(parent,
+                    {Stmt::post(ev_a[i]), Stmt::post(ev_b[i]),
+                     Stmt::fork(c1), Stmt::fork(c2), Stmt::join(c1),
+                     Stmt::join(c2)});
+    prog.append_all(c1, {Stmt::clear(ev_a[i]), Stmt::wait(ev_b[i]),
+                         Stmt::post(ev_pos[i])});
+    prog.append_all(c2, {Stmt::clear(ev_b[i]), Stmt::wait(ev_a[i]),
+                         Stmt::post(ev_neg[i])});
+  }
+
+  // Clause gadgets.
+  for (std::size_t j = 0; j < m; ++j) {
+    const Clause& c = formula.clause(j);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const Lit l = c.lits[k];
+      const ObjectId lit =
+          is_positive(l) ? ev_pos[static_cast<std::size_t>(var_of(l))]
+                         : ev_neg[static_cast<std::size_t>(var_of(l))];
+      const ProcId p = prog.add_process(
+          "K" + std::to_string(j + 1) + "_" + std::to_string(k + 1));
+      prog.append_all(p, {Stmt::wait(lit), Stmt::post(ev_clause[j])});
+    }
+  }
+
+  // Designated processes.  Pass 2 reposts every A_i / B_i so a blocked
+  // child always gets released after `a`.
+  const ProcId proc_a = prog.add_process("Pa");
+  prog.append(proc_a, Stmt::skip(out.label_a));
+  for (std::size_t i = 1; i <= n; ++i) {
+    prog.append(proc_a, Stmt::post(ev_a[i]));
+    prog.append(proc_a, Stmt::post(ev_b[i]));
+  }
+  const ProcId proc_b = prog.add_process("Pb");
+  for (std::size_t j = 0; j < m; ++j) {
+    prog.append(proc_b, Stmt::wait(ev_clause[j]));
+  }
+  prog.append(proc_b, Stmt::skip(out.label_b));
+
+  EVORD_DCHECK(prog.num_processes() == 3 * n + 3 * m + 2,
+               "process count mismatch");
+  return out;
+}
+
+ReductionProgram reduce_3sat(const CnfFormula& formula, SyncStyle style) {
+  return style == SyncStyle::kSemaphore ? reduce_3sat_semaphores(formula)
+                                        : reduce_3sat_events(formula);
+}
+
+ReductionExecution execute_reduction(const ReductionProgram& reduction,
+                                     std::uint64_t seed) {
+  // The semaphore construction is deadlock-free; the event-style variable
+  // gadgets "can deadlock" (paper, Theorem 3) when pass 2 races ahead of
+  // the children's Clears.  The observed execution P must be a completed
+  // one, so retry random schedules and finally fall back to a priority
+  // schedule that runs the pass-2 process (Pa, second-to-last) only when
+  // everything else blocks — that schedule always completes: the children
+  // are past their Clears by the time the reposts arrive.
+  RunResult run = run_program_random(reduction.program, seed);
+  for (std::uint64_t attempt = 1;
+       run.status != RunStatus::kCompleted && attempt <= 64; ++attempt) {
+    run = run_program_random(reduction.program,
+                             seed + 0x9e3779b97f4a7c15ull * attempt);
+  }
+  if (run.status != RunStatus::kCompleted) {
+    std::vector<ProcId> priority;
+    const auto num_procs =
+        static_cast<ProcId>(reduction.program.num_processes());
+    for (ProcId p = 0; p < num_procs; ++p) {
+      if (p != num_procs - 2) priority.push_back(p);  // Pa goes last
+    }
+    priority.push_back(num_procs - 2);
+    PriorityPolicy policy(priority);
+    run = run_program(reduction.program, policy);
+  }
+  EVORD_CHECK(run.status == RunStatus::kCompleted,
+              "reduction program failed to complete under every schedule "
+              "tried; this is a bug");
+  ReductionExecution out;
+  out.a = run.trace.find_event_by_label(reduction.label_a);
+  out.b = run.trace.find_event_by_label(reduction.label_b);
+  EVORD_CHECK(out.a != kNoEvent && out.b != kNoEvent,
+              "designated events not found in the execution");
+  out.trace = std::move(run.trace);
+  return out;
+}
+
+}  // namespace evord

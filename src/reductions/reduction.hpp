@@ -1,0 +1,85 @@
+// The paper's hardness reductions (Theorems 1-4), as executable program
+// constructions.
+//
+// Given a 3CNF formula B with n variables and m clauses, both reductions
+// build a program of 3n+3m+2 processes whose executions simulate a
+// nondeterministic evaluation of B in two passes: pass 1 guesses a truth
+// assignment (each variable gadget lets exactly one of "true" / "false"
+// proceed), and pass 2 — gated on the designated event `a` — releases
+// everything that pass 1 held back, guaranteeing the program never gets
+// stuck.  The designated event `b` becomes reachable without pass 2 iff
+// the guessed assignment satisfies every clause.  Consequently:
+//
+//   a MHB b            iff  B is unsatisfiable   (Theorem 1 / 3)
+//   b CHB a  (interleaving/interval semantics)
+//                      iff  B is satisfiable     (Theorem 2 / 4)
+//   a CCW b  (causal)  iff  B is satisfiable     (could-concurrent)
+//   a MOW b  (causal)  iff  B is unsatisfiable   (must-ordered)
+//
+// The semaphore reduction uses 3n+m+1 counting semaphores (Theorem 1);
+// the event-style reduction uses Post/Wait/Clear on 4n+m event variables
+// and fork/join, with Clear implementing two-process mutual exclusion
+// inside each variable gadget (Theorem 3).
+#pragma once
+
+#include <string>
+
+#include "sat/formula.hpp"
+#include "sync/program.hpp"
+#include "sync/scheduler.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+enum class SyncStyle : std::uint8_t {
+  kSemaphore,   ///< counting semaphores (Theorems 1, 2)
+  kEventStyle,  ///< Post/Wait/Clear (Theorems 3, 4)
+};
+
+const char* to_string(SyncStyle style);
+
+struct ReductionProgram {
+  Program program;
+  SyncStyle style = SyncStyle::kSemaphore;
+  std::size_t num_vars = 0;
+  std::size_t num_clauses = 0;
+  /// Labels of the designated skip events in the program.
+  std::string label_a = "a";
+  std::string label_b = "b";
+};
+
+/// Theorem 1/2 construction.  `formula` must be 3CNF.
+ReductionProgram reduce_3sat_semaphores(const CnfFormula& formula);
+
+/// Theorem 3/4 construction.  `formula` must be 3CNF.
+ReductionProgram reduce_3sat_events(const CnfFormula& formula);
+
+/// The binary-semaphore variant of Theorem 1/2 ("the above proofs do not
+/// make use of the general counting ability of counting semaphores, and
+/// therefore also hold for programs that use binary semaphores").
+/// Counting is avoided by giving every literal OCCURRENCE its own
+/// binary semaphore and every gate its own Pass2_i semaphore, so no
+/// semaphore ever needs a count above one; clause semaphores may receive
+/// several (clamped) V operations, which is harmless.  Uses 2n + 4m
+/// binary semaphores and the same 3n+3m+2 processes.
+ReductionProgram reduce_3sat_binary_semaphores(const CnfFormula& formula);
+
+ReductionProgram reduce_3sat(const CnfFormula& formula, SyncStyle style);
+
+/// One observed execution of a reduction program (the trace P handed to
+/// the ordering analyses), with the designated events located.
+struct ReductionExecution {
+  Trace trace;
+  EventId a = kNoEvent;
+  EventId b = kNoEvent;
+};
+
+/// Runs the program until a COMPLETED execution is observed.  The
+/// semaphore construction is deadlock-free; the event-style gadgets can
+/// deadlock under unlucky schedules (the paper says as much in Theorem
+/// 3), so random schedules are retried and a deadlock-avoiding priority
+/// schedule serves as the deterministic fallback.
+ReductionExecution execute_reduction(const ReductionProgram& reduction,
+                                     std::uint64_t seed = 1);
+
+}  // namespace evord

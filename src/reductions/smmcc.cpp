@@ -1,0 +1,157 @@
+#include "reductions/smmcc.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+int SmmccInstance::total_positive_cost() const {
+  int total = 0;
+  for (const SmmccTask& t : tasks) total += std::max(t.cost, 0);
+  return total;
+}
+
+namespace {
+
+/// DFS over done-sets (task-level sequencing).  Negative tasks never
+/// block, so they are taken eagerly — a safe move that prunes hard.
+class SmmccSolver {
+ public:
+  explicit SmmccSolver(const SmmccInstance& instance) : inst_(instance) {
+    EVORD_CHECK(inst_.tasks.size() <= 24,
+                "exact SMMCC limited to 24 tasks");
+    EVORD_CHECK(inst_.budget >= 0, "budget must be >= 0");
+  }
+
+  std::optional<std::vector<std::size_t>> run() {
+    order_.clear();
+    if (search(0u, 0)) {
+      return order_;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  bool ready(std::size_t t, std::uint32_t done) const {
+    if ((done >> t) & 1u) return false;
+    for (std::size_t p : inst_.tasks[t].predecessors) {
+      if (((done >> p) & 1u) == 0) return false;
+    }
+    return true;
+  }
+
+  bool search(std::uint32_t done, int cum) {
+    if (done == (1u << inst_.tasks.size()) - 1u) return true;
+    const auto it = failed_.find(done);
+    if (it != failed_.end()) return false;
+
+    // Eagerly run any ready negative-or-zero task: it cannot hurt.
+    for (std::size_t t = 0; t < inst_.tasks.size(); ++t) {
+      if (inst_.tasks[t].cost <= 0 && ready(t, done)) {
+        order_.push_back(t);
+        if (search(done | (1u << t), cum + inst_.tasks[t].cost)) {
+          return true;
+        }
+        order_.pop_back();
+        failed_.insert(done);
+        return false;  // if it fails with the free move, it always fails
+      }
+    }
+    for (std::size_t t = 0; t < inst_.tasks.size(); ++t) {
+      if (inst_.tasks[t].cost > 0 && ready(t, done) &&
+          cum + inst_.tasks[t].cost <= inst_.budget) {
+        order_.push_back(t);
+        if (search(done | (1u << t), cum + inst_.tasks[t].cost)) {
+          return true;
+        }
+        order_.pop_back();
+      }
+    }
+    failed_.insert(done);
+    return false;
+  }
+
+  const SmmccInstance& inst_;
+  std::vector<std::size_t> order_;
+  std::unordered_set<std::uint32_t> failed_;
+};
+
+}  // namespace
+
+bool solve_smmcc(const SmmccInstance& instance) {
+  return smmcc_witness(instance).has_value();
+}
+
+std::optional<std::vector<std::size_t>> smmcc_witness(
+    const SmmccInstance& instance) {
+  return SmmccSolver(instance).run();
+}
+
+ReductionProgram reduce_smmcc_single_semaphore(
+    const SmmccInstance& instance) {
+  EVORD_CHECK(instance.budget >= 0, "budget must be >= 0");
+  ReductionProgram out;
+  out.style = SyncStyle::kSemaphore;
+  out.num_vars = instance.tasks.size();
+  out.num_clauses = 0;
+  Program& prog = out.program;
+
+  const ObjectId sem =
+      prog.semaphore("S", instance.budget);  // the ONLY semaphore
+
+  // One process per task; precedence via joins.
+  std::vector<ProcId> task_procs;
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    task_procs.push_back(prog.add_process("T" + std::to_string(t)));
+  }
+  for (std::size_t t = 0; t < instance.tasks.size(); ++t) {
+    for (std::size_t p : instance.tasks[t].predecessors) {
+      EVORD_CHECK(p < instance.tasks.size(), "bad predecessor index");
+      prog.append(task_procs[t], Stmt::join(task_procs[p]));
+    }
+    const int cost = instance.tasks[t].cost;
+    for (int i = 0; i < cost; ++i) prog.append(task_procs[t], Stmt::sem_p(sem));
+    for (int i = 0; i < -cost; ++i) {
+      prog.append(task_procs[t], Stmt::sem_v(sem));
+    }
+    // A final marker event so even zero-cost tasks have a body (joins on
+    // empty processes would be vacuous otherwise).
+    prog.append(task_procs[t], Stmt::skip("end-T" + std::to_string(t)));
+  }
+
+  // The relief valve: after `a`, flood the semaphore.
+  const ProcId proc_a = prog.add_process("Pa");
+  prog.append(proc_a, Stmt::skip(out.label_a));
+  for (int i = 0; i < instance.total_positive_cost(); ++i) {
+    prog.append(proc_a, Stmt::sem_v(sem));
+  }
+
+  // b waits for every task.
+  const ProcId proc_b = prog.add_process("Pb");
+  for (ProcId t : task_procs) prog.append(proc_b, Stmt::join(t));
+  prog.append(proc_b, Stmt::skip(out.label_b));
+
+  return out;
+}
+
+SmmccInstance random_smmcc(std::size_t num_tasks, int max_cost,
+                           double edge_probability, int budget, Rng& rng) {
+  SmmccInstance inst;
+  inst.budget = budget;
+  inst.tasks.resize(num_tasks);
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    inst.tasks[t].cost =
+        static_cast<int>(rng.range(-max_cost, max_cost));
+    for (std::size_t p = 0; p < t; ++p) {
+      if (rng.chance(edge_probability)) {
+        inst.tasks[t].predecessors.push_back(p);
+      }
+    }
+  }
+  return inst;
+}
+
+}  // namespace evord

@@ -1,0 +1,69 @@
+// The single-semaphore hardness remark (paper §5.1):
+//
+//   "the above results can be shown to hold for a program execution that
+//    uses a single counting semaphore by a reduction from the problem of
+//    sequencing to minimize maximum cumulative cost [Garey & Johnson]."
+//
+// SMMCC: given tasks with integer costs (positive = consumes resource,
+// negative = releases) and precedence constraints, does a linear
+// extension exist whose every prefix cost stays <= a budget K?
+// NP-complete (G&J problem SS7).
+//
+// The reduction here builds a program with EXACTLY ONE semaphore:
+//   * the semaphore starts at K; a task of cost c > 0 performs c P
+//     operations, a task of cost c < 0 performs -c V operations — so a
+//     prefix is schedulable without help iff its cumulative cost never
+//     exceeds K;
+//   * precedence edges are enforced with join operations (no extra
+//     semaphores needed);
+//   * process Pa runs "a: skip" and then floods the semaphore with
+//     enough V operations to unblock anything (the pass-2 relief valve);
+//   * process Pb joins every task process and then runs "b: skip".
+//
+// Consequently  b CHB a  iff the tasks can all complete without the
+// relief valve  iff the SMMCC instance is a YES instance; equivalently
+// a MHB b iff it is a NO instance.  Deciding the ordering relations on
+// single-semaphore executions therefore inherits SMMCC's hardness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "reductions/reduction.hpp"
+
+namespace evord {
+
+struct SmmccTask {
+  int cost = 0;  ///< > 0 consumes budget, < 0 releases
+  /// Indices of tasks that must complete before this one starts.
+  std::vector<std::size_t> predecessors;
+};
+
+struct SmmccInstance {
+  std::vector<SmmccTask> tasks;
+  int budget = 0;  ///< K >= 0
+
+  /// Total positive cost; the relief valve floods this many tokens.
+  int total_positive_cost() const;
+};
+
+/// Exact decision by DFS with memoization on (done-set), feasible for
+/// ~20 tasks.  Returns true iff a valid sequencing exists.
+bool solve_smmcc(const SmmccInstance& instance);
+
+/// Enumeration-free witness: one valid task order, if any.
+std::optional<std::vector<std::size_t>> smmcc_witness(
+    const SmmccInstance& instance);
+
+/// Builds the single-semaphore program described above.  The designated
+/// events carry labels "a" and "b" as in the 3SAT reductions.
+ReductionProgram reduce_smmcc_single_semaphore(const SmmccInstance& instance);
+
+/// Random SMMCC instances for tests/benches: `num_tasks` tasks, costs in
+/// [-max_cost, max_cost], each pair (i < j) gets an i -> j precedence
+/// edge with probability `edge_probability`.
+SmmccInstance random_smmcc(std::size_t num_tasks, int max_cost,
+                           double edge_probability, int budget, Rng& rng);
+
+}  // namespace evord

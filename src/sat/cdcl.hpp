@@ -1,0 +1,32 @@
+// A conflict-driven clause-learning SAT solver, built from scratch:
+// two-watched-literal propagation, 1-UIP conflict analysis with clause
+// learning, VSIDS-style activity ordering with phase saving, and Luby
+// restarts.  It decides the ordering queries on reduction instances in
+// milliseconds where the exhaustive feasible-execution engines take
+// exponential time — the practical face of Theorems 1-4.
+#pragma once
+
+#include "sat/formula.hpp"
+
+namespace evord {
+
+struct CdclOptions {
+  /// Abort after this many conflicts (0 = unlimited); the result is then
+  /// flagged unknown via `CdclResult::decided == false`.
+  std::uint64_t max_conflicts = 0;
+  double var_decay = 0.95;
+  std::uint32_t luby_unit = 64;  ///< restart interval unit (in conflicts)
+};
+
+struct CdclResult {
+  bool decided = true;  ///< false iff the conflict budget ran out
+  SatResult sat;
+};
+
+CdclResult solve_cdcl(const CnfFormula& formula,
+                      const CdclOptions& options = {});
+
+/// Convenience wrapper asserting the budget was not hit.
+SatResult solve(const CnfFormula& formula);
+
+}  // namespace evord

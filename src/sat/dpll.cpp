@@ -1,0 +1,201 @@
+#include "sat/dpll.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+namespace {
+
+enum class Value : std::int8_t { kFalse = 0, kTrue = 1, kUnset = 2 };
+
+class Dpll {
+ public:
+  explicit Dpll(const CnfFormula& formula)
+      : formula_(formula),
+        values_(static_cast<std::size_t>(formula.num_vars()) + 1,
+                Value::kUnset) {}
+
+  SatResult run() {
+    SatResult result;
+    result.satisfiable = search();
+    result.stats = stats_;
+    if (result.satisfiable) {
+      result.model.assign(values_.size(), false);
+      for (std::size_t v = 1; v < values_.size(); ++v) {
+        result.model[v] = values_[v] == Value::kTrue;
+      }
+    }
+    return result;
+  }
+
+ private:
+  Value value_of(Lit l) const {
+    const Value v = values_[static_cast<std::size_t>(var_of(l))];
+    if (v == Value::kUnset) return Value::kUnset;
+    const bool truth = (v == Value::kTrue) == is_positive(l);
+    return truth ? Value::kTrue : Value::kFalse;
+  }
+
+  /// Unit propagation over all clauses to a fixed point.  Returns false
+  /// on conflict.  `trail` records assignments made, for undoing.
+  bool propagate(std::vector<std::int32_t>& trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& c : formula_.clauses()) {
+        Lit unit = 0;
+        bool satisfied = false;
+        int unset = 0;
+        for (Lit l : c.lits) {
+          const Value v = value_of(l);
+          if (v == Value::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (v == Value::kUnset) {
+            ++unset;
+            unit = l;
+          }
+        }
+        if (satisfied) continue;
+        if (unset == 0) return false;  // conflict
+        if (unset == 1) {
+          assign(unit, trail);
+          ++stats_.propagations;
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  void assign(Lit l, std::vector<std::int32_t>& trail) {
+    values_[static_cast<std::size_t>(var_of(l))] =
+        is_positive(l) ? Value::kTrue : Value::kFalse;
+    trail.push_back(var_of(l));
+  }
+
+  void unwind(const std::vector<std::int32_t>& trail) {
+    for (std::int32_t v : trail) {
+      values_[static_cast<std::size_t>(v)] = Value::kUnset;
+    }
+  }
+
+  /// A literal is pure if its negation never occurs in an unsatisfied
+  /// clause; assigning it can only help.
+  void assign_pure_literals(std::vector<std::int32_t>& trail) {
+    const auto n = static_cast<std::size_t>(formula_.num_vars());
+    std::vector<std::uint8_t> seen_pos(n + 1, 0);
+    std::vector<std::uint8_t> seen_neg(n + 1, 0);
+    for (const Clause& c : formula_.clauses()) {
+      bool satisfied = false;
+      for (Lit l : c.lits) {
+        if (value_of(l) == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      for (Lit l : c.lits) {
+        if (value_of(l) == Value::kUnset) {
+          (is_positive(l) ? seen_pos : seen_neg)[static_cast<std::size_t>(
+              var_of(l))] = 1;
+        }
+      }
+    }
+    for (std::size_t v = 1; v <= n; ++v) {
+      if (values_[v] != Value::kUnset) continue;
+      if (seen_pos[v] != seen_neg[v]) {
+        assign(seen_pos[v] != 0 ? static_cast<Lit>(v)
+                                : -static_cast<Lit>(v),
+               trail);
+      }
+    }
+  }
+
+  Lit pick_branch() const {
+    // First unset variable of the first unsatisfied clause — a simple
+    // MOMS-flavored heuristic without bookkeeping.
+    for (const Clause& c : formula_.clauses()) {
+      bool satisfied = false;
+      Lit candidate = 0;
+      for (Lit l : c.lits) {
+        const Value v = value_of(l);
+        if (v == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (v == Value::kUnset && candidate == 0) candidate = l;
+      }
+      if (!satisfied && candidate != 0) return candidate;
+    }
+    return 0;  // everything satisfied
+  }
+
+  bool search() {
+    std::vector<std::int32_t> trail;
+    if (!propagate(trail)) {
+      ++stats_.conflicts;
+      unwind(trail);
+      return false;
+    }
+    assign_pure_literals(trail);
+    const Lit branch = pick_branch();
+    if (branch == 0) return true;  // no unsatisfied clause remains
+    ++stats_.decisions;
+    for (Lit choice : {branch, -branch}) {
+      std::vector<std::int32_t> sub_trail;
+      assign(choice, sub_trail);
+      if (search()) return true;
+      unwind(sub_trail);
+    }
+    unwind(trail);
+    return false;
+  }
+
+  const CnfFormula& formula_;
+  std::vector<Value> values_;
+  SolverStats stats_;
+};
+
+}  // namespace
+
+SatResult solve_dpll(const CnfFormula& formula) {
+  return Dpll(formula).run();
+}
+
+SatResult solve_brute_force(const CnfFormula& formula) {
+  const auto n = static_cast<std::size_t>(formula.num_vars());
+  EVORD_CHECK(n <= 30, "brute force limited to 30 variables");
+  SatResult result;
+  Assignment assignment(n + 1, false);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    for (std::size_t v = 1; v <= n; ++v) {
+      assignment[v] = (bits >> (v - 1)) & 1;
+    }
+    if (formula.satisfied_by(assignment)) {
+      result.satisfiable = true;
+      result.model = assignment;
+      return result;
+    }
+  }
+  return result;
+}
+
+std::uint64_t count_models(const CnfFormula& formula) {
+  const auto n = static_cast<std::size_t>(formula.num_vars());
+  EVORD_CHECK(n <= 30, "model counting limited to 30 variables");
+  std::uint64_t models = 0;
+  Assignment assignment(n + 1, false);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    for (std::size_t v = 1; v <= n; ++v) {
+      assignment[v] = (bits >> (v - 1)) & 1;
+    }
+    if (formula.satisfied_by(assignment)) ++models;
+  }
+  return models;
+}
+
+}  // namespace evord

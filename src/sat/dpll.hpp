@@ -1,0 +1,19 @@
+// A classic DPLL solver: unit propagation, pure-literal elimination and
+// chronological backtracking.  Kept deliberately simple — it is the
+// reference implementation the CDCL solver is cross-checked against, and
+// the baseline in the SAT substrate benchmarks.
+#pragma once
+
+#include "sat/formula.hpp"
+
+namespace evord {
+
+SatResult solve_dpll(const CnfFormula& formula);
+
+/// Brute force over all 2^n assignments; the ground truth for tests.
+SatResult solve_brute_force(const CnfFormula& formula);
+
+/// Number of satisfying assignments (brute force; n <= 25 or so).
+std::uint64_t count_models(const CnfFormula& formula);
+
+}  // namespace evord

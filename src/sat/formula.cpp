@@ -1,0 +1,111 @@
+#include "sat/formula.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace evord {
+
+void CnfFormula::add_clause(std::vector<Lit> lits) {
+  for (Lit l : lits) {
+    EVORD_CHECK(l != 0, "literal 0 is invalid");
+    num_vars_ = std::max(num_vars_, var_of(l));
+  }
+  clauses_.push_back({std::move(lits)});
+}
+
+bool CnfFormula::clause_satisfied_by(std::size_t i,
+                                     const Assignment& assignment) const {
+  for (Lit l : clauses_[i].lits) {
+    const auto v = static_cast<std::size_t>(var_of(l));
+    EVORD_DCHECK(v < assignment.size(), "assignment too small");
+    if (assignment[v] == is_positive(l)) return true;
+  }
+  return false;
+}
+
+bool CnfFormula::satisfied_by(const Assignment& assignment) const {
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (!clause_satisfied_by(i, assignment)) return false;
+  }
+  return true;
+}
+
+bool CnfFormula::is_kcnf(std::size_t k) const {
+  return std::all_of(clauses_.begin(), clauses_.end(),
+                     [k](const Clause& c) { return c.lits.size() == k; });
+}
+
+std::string CnfFormula::to_dimacs() const {
+  std::ostringstream os;
+  os << "p cnf " << num_vars_ << ' ' << clauses_.size() << '\n';
+  for (const Clause& c : clauses_) {
+    for (Lit l : c.lits) os << l << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+bool CnfFormula::clauses_size_equal(const CnfFormula& o) const {
+  if (clauses_.size() != o.clauses_.size()) return false;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].lits != o.clauses_[i].lits) return false;
+  }
+  return true;
+}
+
+CnfFormula parse_dimacs(std::istream& in) {
+  CnfFormula formula;
+  std::int64_t declared_vars = -1;
+  std::int64_t declared_clauses = -1;
+  std::vector<Lit> current;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view body = trim(line);
+    if (body.empty() || body.front() == 'c') continue;
+    if (body.front() == 'p') {
+      const auto tokens = split_ws(body);
+      EVORD_CHECK(tokens.size() == 4 && tokens[1] == "cnf",
+                  "line " << line_no << ": malformed problem line");
+      const auto nv = parse_int(tokens[2]);
+      const auto nc = parse_int(tokens[3]);
+      EVORD_CHECK(nv && nc && *nv >= 0 && *nc >= 0,
+                  "line " << line_no << ": bad counts in problem line");
+      declared_vars = *nv;
+      declared_clauses = *nc;
+      continue;
+    }
+    EVORD_CHECK(declared_vars >= 0,
+                "line " << line_no << ": clause before problem line");
+    for (std::string_view token : split_ws(body)) {
+      const auto value = parse_int(token);
+      EVORD_CHECK(value.has_value(),
+                  "line " << line_no << ": bad literal '" << token << "'");
+      if (*value == 0) {
+        formula.add_clause(current);
+        current.clear();
+      } else {
+        EVORD_CHECK(std::abs(*value) <= declared_vars,
+                    "line " << line_no << ": literal exceeds variable count");
+        current.push_back(static_cast<Lit>(*value));
+      }
+    }
+  }
+  EVORD_CHECK(current.empty(), "unterminated final clause");
+  EVORD_CHECK(declared_clauses < 0 ||
+                  formula.num_clauses() ==
+                      static_cast<std::size_t>(declared_clauses),
+              "clause count does not match problem line");
+  return formula;
+}
+
+CnfFormula parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+}  // namespace evord

@@ -1,0 +1,82 @@
+// CNF formulas.
+//
+// Literals use the DIMACS convention: variables are 1..num_vars and a
+// negative integer denotes a negated variable.  The hardness reductions
+// (Theorems 1-4) consume 3CNF instances of this type, and the solvers in
+// dpll.hpp / cdcl.hpp decide them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace evord {
+
+using Lit = std::int32_t;  ///< nonzero; -v is the negation of variable v
+
+inline std::int32_t var_of(Lit l) { return l < 0 ? -l : l; }
+inline bool is_positive(Lit l) { return l > 0; }
+
+struct Clause {
+  std::vector<Lit> lits;
+};
+
+/// A truth assignment: values[v] for v in 1..num_vars (index 0 unused).
+using Assignment = std::vector<bool>;
+
+class CnfFormula {
+ public:
+  CnfFormula() = default;
+  explicit CnfFormula(std::int32_t num_vars) : num_vars_(num_vars) {}
+
+  std::int32_t num_vars() const { return num_vars_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  const Clause& clause(std::size_t i) const { return clauses_[i]; }
+
+  /// Adds a clause; literals must reference variables in range (the
+  /// variable count grows to cover them).  Duplicate literals are kept;
+  /// a clause containing both l and -l is tautological and legal.
+  void add_clause(std::vector<Lit> lits);
+
+  bool satisfied_by(const Assignment& assignment) const;
+  bool clause_satisfied_by(std::size_t i, const Assignment& assignment) const;
+
+  /// True iff every clause has exactly `k` literals.
+  bool is_kcnf(std::size_t k) const;
+
+  /// Renders as DIMACS text.
+  std::string to_dimacs() const;
+
+  bool operator==(const CnfFormula& o) const {
+    return num_vars_ == o.num_vars_ && clauses_size_equal(o);
+  }
+
+ private:
+  bool clauses_size_equal(const CnfFormula& o) const;
+
+  std::int32_t num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+/// Parses DIMACS CNF ("c" comments, "p cnf <vars> <clauses>", zero-
+/// terminated clauses).  Throws CheckError on malformed input.
+CnfFormula parse_dimacs(std::istream& in);
+CnfFormula parse_dimacs_string(const std::string& text);
+
+/// Statistics a solver reports alongside its verdict.
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+};
+
+struct SatResult {
+  bool satisfiable = false;
+  Assignment model;  ///< a satisfying assignment when satisfiable
+  SolverStats stats;
+};
+
+}  // namespace evord

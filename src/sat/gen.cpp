@@ -1,0 +1,145 @@
+#include "sat/gen.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+CnfFormula random_ksat(std::int32_t num_vars, std::size_t num_clauses,
+                       std::size_t k, Rng& rng) {
+  EVORD_CHECK(static_cast<std::size_t>(num_vars) >= k,
+              "need at least k variables");
+  CnfFormula f(num_vars);
+  std::vector<std::int32_t> vars(static_cast<std::size_t>(num_vars));
+  for (std::int32_t v = 0; v < num_vars; ++v) {
+    vars[static_cast<std::size_t>(v)] = v + 1;
+  }
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    // Partial Fisher-Yates: the first k entries become the clause vars.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(vars.size() - i));
+      std::swap(vars[i], vars[j]);
+    }
+    std::vector<Lit> lits(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      lits[i] = rng.chance(0.5) ? vars[i] : -vars[i];
+    }
+    f.add_clause(std::move(lits));
+  }
+  return f;
+}
+
+CnfFormula pigeonhole(std::int32_t holes) {
+  EVORD_CHECK(holes >= 1, "need at least one hole");
+  const std::int32_t pigeons = holes + 1;
+  // Variable p_{i,j}: pigeon i sits in hole j.
+  const auto var = [holes](std::int32_t i, std::int32_t j) {
+    return i * holes + j + 1;
+  };
+  CnfFormula f(pigeons * holes);
+  // Every pigeon sits somewhere.
+  for (std::int32_t i = 0; i < pigeons; ++i) {
+    std::vector<Lit> clause;
+    for (std::int32_t j = 0; j < holes; ++j) clause.push_back(var(i, j));
+    f.add_clause(std::move(clause));
+  }
+  // No two pigeons share a hole.
+  for (std::int32_t j = 0; j < holes; ++j) {
+    for (std::int32_t i1 = 0; i1 < pigeons; ++i1) {
+      for (std::int32_t i2 = i1 + 1; i2 < pigeons; ++i2) {
+        f.add_clause({-var(i1, j), -var(i2, j)});
+      }
+    }
+  }
+  return f;
+}
+
+CnfFormula trivially_sat(std::int32_t num_vars, std::size_t num_clauses,
+                         Rng& rng) {
+  EVORD_CHECK(num_vars >= 3, "need at least 3 variables");
+  CnfFormula f(num_vars);
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    const auto v2 = static_cast<Lit>(rng.range(2, num_vars));
+    auto v3 = static_cast<Lit>(rng.range(2, num_vars));
+    f.add_clause({1, rng.chance(0.5) ? v2 : -v2, rng.chance(0.5) ? v3 : -v3});
+  }
+  return f;
+}
+
+std::vector<CnfFormula> all_small_3cnf(std::int32_t num_vars,
+                                       std::size_t num_clauses,
+                                       std::size_t limit) {
+  EVORD_CHECK(num_vars >= 3, "3CNF needs at least 3 variables");
+  // Build the clause universe.
+  std::vector<std::vector<Lit>> universe;
+  for (std::int32_t a = 1; a <= num_vars; ++a) {
+    for (std::int32_t b = a + 1; b <= num_vars; ++b) {
+      for (std::int32_t c = b + 1; c <= num_vars; ++c) {
+        for (int signs = 0; signs < 8; ++signs) {
+          universe.push_back({(signs & 1) != 0 ? -a : a,
+                              (signs & 2) != 0 ? -b : b,
+                              (signs & 4) != 0 ? -c : c});
+        }
+      }
+    }
+  }
+  std::vector<CnfFormula> result;
+  std::vector<std::size_t> pick(num_clauses, 0);
+  for (;;) {
+    CnfFormula f(num_vars);
+    for (std::size_t i = 0; i < num_clauses; ++i) {
+      f.add_clause(universe[pick[i]]);
+    }
+    result.push_back(std::move(f));
+    if (limit != 0 && result.size() >= limit) break;
+    // Odometer increment over non-decreasing index tuples (clause order
+    // is irrelevant, so only combinations-with-repetition are emitted).
+    std::size_t i = num_clauses;
+    while (i > 0) {
+      --i;
+      if (pick[i] + 1 < universe.size()) {
+        ++pick[i];
+        for (std::size_t j = i + 1; j < num_clauses; ++j) {
+          pick[j] = pick[i];
+        }
+        break;
+      }
+      if (i == 0) return result;
+    }
+    if (num_clauses == 0) break;
+  }
+  return result;
+}
+
+CnfFormula planted_3sat(std::int32_t num_vars, std::size_t num_clauses,
+                        Rng& rng) {
+  EVORD_CHECK(num_vars >= 3, "need at least 3 variables");
+  Assignment hidden(static_cast<std::size_t>(num_vars) + 1, false);
+  for (std::int32_t v = 1; v <= num_vars; ++v) {
+    hidden[static_cast<std::size_t>(v)] = rng.chance(0.5);
+  }
+  CnfFormula f(num_vars);
+  std::vector<std::int32_t> vars(static_cast<std::size_t>(num_vars));
+  for (std::int32_t v = 0; v < num_vars; ++v) {
+    vars[static_cast<std::size_t>(v)] = v + 1;
+  }
+  for (std::size_t c = 0; c < num_clauses; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.below(vars.size() - i));
+      std::swap(vars[i], vars[j]);
+    }
+    std::vector<Lit> lits(3);
+    // Force at least the first literal to agree with the hidden model.
+    lits[0] = hidden[static_cast<std::size_t>(vars[0])] ? vars[0] : -vars[0];
+    for (std::size_t i = 1; i < 3; ++i) {
+      lits[i] = rng.chance(0.5) ? vars[i] : -vars[i];
+    }
+    f.add_clause(std::move(lits));
+  }
+  return f;
+}
+
+}  // namespace evord

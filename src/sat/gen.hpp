@@ -1,0 +1,48 @@
+// Workload generators for the SAT substrate and the hardness-reduction
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/formula.hpp"
+#include "util/rng.hpp"
+
+namespace evord {
+
+/// Uniform random k-SAT: `num_clauses` clauses of `k` distinct variables
+/// each, signs fair coins.  At the classic ratio m/n ~ 4.26 (k = 3) half
+/// the instances are satisfiable — the phase-transition workload of the
+/// bench suite.
+CnfFormula random_ksat(std::int32_t num_vars, std::size_t num_clauses,
+                       std::size_t k, Rng& rng);
+
+inline CnfFormula random_3sat(std::int32_t num_vars, std::size_t num_clauses,
+                              Rng& rng) {
+  return random_ksat(num_vars, num_clauses, 3, rng);
+}
+
+/// The pigeonhole principle PHP(holes+1, holes): provably unsatisfiable,
+/// classically hard for resolution-based solvers.
+CnfFormula pigeonhole(std::int32_t holes);
+
+/// A trivially satisfiable formula (every clause contains variable 1
+/// positively) for smoke tests.
+CnfFormula trivially_sat(std::int32_t num_vars, std::size_t num_clauses,
+                         Rng& rng);
+
+/// All 3CNF formulas over exactly `num_vars` variables with
+/// `num_clauses` clauses drawn (with repetition, ordered) from the
+/// canonical clause universe.  Exhaustive only for tiny parameters; used
+/// by the theorem sweep tests.  The universe is every clause of three
+/// distinct variables in increasing order with all 8 sign patterns.
+std::vector<CnfFormula> all_small_3cnf(std::int32_t num_vars,
+                                       std::size_t num_clauses,
+                                       std::size_t limit = 0);
+
+/// A random 3CNF built to be satisfiable (signs chosen to agree with a
+/// hidden assignment in at least one literal per clause).
+CnfFormula planted_3sat(std::int32_t num_vars, std::size_t num_clauses,
+                        Rng& rng);
+
+}  // namespace evord

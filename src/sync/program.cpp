@@ -1,0 +1,121 @@
+#include "sync/program.hpp"
+
+#include "util/check.hpp"
+
+namespace evord {
+
+Stmt Stmt::skip(std::string label) {
+  Stmt s;
+  s.kind = StmtKind::kSkip;
+  s.label = std::move(label);
+  return s;
+}
+
+Stmt Stmt::assign(VarId var, std::int64_t value, std::string label) {
+  Stmt s;
+  s.kind = StmtKind::kAssign;
+  s.var = var;
+  s.value = value;
+  s.label = std::move(label);
+  return s;
+}
+
+Stmt Stmt::if_eq(VarId var, std::int64_t value, std::vector<Stmt> then_branch,
+                 std::vector<Stmt> else_branch, std::string label) {
+  Stmt s;
+  s.kind = StmtKind::kIf;
+  s.var = var;
+  s.value = value;
+  s.then_branch = std::move(then_branch);
+  s.else_branch = std::move(else_branch);
+  s.label = std::move(label);
+  return s;
+}
+
+namespace {
+Stmt make_obj(StmtKind kind, ObjectId object) {
+  Stmt s;
+  s.kind = kind;
+  s.object = object;
+  return s;
+}
+}  // namespace
+
+Stmt Stmt::sem_p(ObjectId sem) { return make_obj(StmtKind::kSemP, sem); }
+Stmt Stmt::sem_v(ObjectId sem) { return make_obj(StmtKind::kSemV, sem); }
+Stmt Stmt::post(ObjectId ev) { return make_obj(StmtKind::kPost, ev); }
+Stmt Stmt::wait(ObjectId ev) { return make_obj(StmtKind::kWait, ev); }
+Stmt Stmt::clear(ObjectId ev) { return make_obj(StmtKind::kClear, ev); }
+
+Stmt Stmt::fork(ProcId target) {
+  Stmt s;
+  s.kind = StmtKind::kFork;
+  s.target = target;
+  return s;
+}
+
+Stmt Stmt::join(ProcId target) {
+  Stmt s;
+  s.kind = StmtKind::kJoin;
+  s.target = target;
+  return s;
+}
+
+ObjectId Program::semaphore(std::string name, int initial) {
+  EVORD_CHECK(initial >= 0, "semaphore initial must be >= 0");
+  semaphores_.push_back({std::move(name), initial, /*binary=*/false});
+  return static_cast<ObjectId>(semaphores_.size() - 1);
+}
+
+ObjectId Program::binary_semaphore(std::string name, int initial) {
+  EVORD_CHECK(initial == 0 || initial == 1,
+              "binary semaphore initial must be 0 or 1");
+  semaphores_.push_back({std::move(name), initial, /*binary=*/true});
+  return static_cast<ObjectId>(semaphores_.size() - 1);
+}
+
+ObjectId Program::event_var(std::string name, bool initially_posted) {
+  event_vars_.push_back({std::move(name), initially_posted});
+  return static_cast<ObjectId>(event_vars_.size() - 1);
+}
+
+VarId Program::variable(std::string name, std::int64_t initial) {
+  var_names_.push_back(std::move(name));
+  var_initials_.push_back(initial);
+  return static_cast<VarId>(var_names_.size() - 1);
+}
+
+ProcId Program::add_process(std::string name, bool static_start) {
+  processes_.push_back({std::move(name), static_start, {}});
+  return static_cast<ProcId>(processes_.size() - 1);
+}
+
+void Program::append(ProcId p, Stmt stmt) {
+  EVORD_CHECK(p < processes_.size(), "unknown process");
+  processes_[p].body.push_back(std::move(stmt));
+}
+
+void Program::append_all(ProcId p, std::vector<Stmt> stmts) {
+  for (Stmt& s : stmts) append(p, std::move(s));
+}
+
+namespace {
+std::size_t count_stmts(const std::vector<Stmt>& body) {
+  std::size_t n = 0;
+  for (const Stmt& s : body) {
+    n += 1;
+    if (s.kind == StmtKind::kIf) {
+      n += count_stmts(s.then_branch) + count_stmts(s.else_branch);
+    }
+  }
+  return n;
+}
+}  // namespace
+
+std::size_t Program::num_statements() const {
+  std::size_t n = 0;
+  for (const ProgramProcess& p : processes_) n += count_stmts(p.body);
+  return n;
+}
+
+}  // namespace evord

@@ -1,0 +1,107 @@
+// A static parallel-program representation.
+//
+// The paper's hardness reductions construct *programs* (Theorems 1 and 3),
+// and its Figure 1 discusses a program fragment with a conditional on a
+// shared variable.  This IR represents exactly that class: straight-line
+// statements plus if/else on a shared-variable comparison, fork/join,
+// counting/binary semaphores and Post/Wait/Clear event variables.
+//
+// Programs are *executed* by the Scheduler (sync/scheduler.hpp), which
+// produces a Trace — an observed program execution in the paper's model —
+// under a pluggable schedule policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace evord {
+
+enum class StmtKind : std::uint8_t {
+  kSkip,    ///< computation with no shared accesses (e.g. the events a, b)
+  kAssign,  ///< var := value
+  kIf,      ///< if var = value then ... else ...
+  kSemP,
+  kSemV,
+  kPost,
+  kWait,
+  kClear,
+  kFork,  ///< start process `target` (declared with static_start = false)
+  kJoin,  ///< wait for process `target` to finish
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kSkip;
+  std::string label;              ///< optional event label
+  VarId var = kNoVar;             ///< kAssign / kIf
+  std::int64_t value = 0;         ///< kAssign / kIf comparison value
+  ObjectId object = kNoObject;    ///< semaphore or event variable
+  ProcId target = kNoProc;        ///< kFork / kJoin
+  std::vector<Stmt> then_branch;  ///< kIf
+  std::vector<Stmt> else_branch;  ///< kIf
+
+  // -- convenience constructors ---------------------------------------
+  static Stmt skip(std::string label = {});
+  static Stmt assign(VarId var, std::int64_t value, std::string label = {});
+  static Stmt if_eq(VarId var, std::int64_t value,
+                    std::vector<Stmt> then_branch,
+                    std::vector<Stmt> else_branch = {},
+                    std::string label = {});
+  static Stmt sem_p(ObjectId sem);
+  static Stmt sem_v(ObjectId sem);
+  static Stmt post(ObjectId ev);
+  static Stmt wait(ObjectId ev);
+  static Stmt clear(ObjectId ev);
+  static Stmt fork(ProcId target);
+  static Stmt join(ProcId target);
+};
+
+struct ProgramProcess {
+  std::string name;
+  /// Static processes exist from the start of the execution; non-static
+  /// processes begin when some process executes a fork naming them.
+  bool static_start = true;
+  std::vector<Stmt> body;
+};
+
+class Program {
+ public:
+  // ----- declarations (mirror the trace object tables) ---------------
+  ObjectId semaphore(std::string name, int initial = 0);
+  ObjectId binary_semaphore(std::string name, int initial = 0);
+  ObjectId event_var(std::string name, bool initially_posted = false);
+  VarId variable(std::string name, std::int64_t initial = 0);
+
+  /// Adds a process and returns its id.  Process ids are also the trace
+  /// process ids of every execution of the program.
+  ProcId add_process(std::string name, bool static_start = true);
+
+  /// Appends a statement to a process body.
+  void append(ProcId p, Stmt stmt);
+  /// Appends several.
+  void append_all(ProcId p, std::vector<Stmt> stmts);
+
+  // ----- access -------------------------------------------------------
+  const std::vector<SemaphoreInfo>& semaphores() const { return semaphores_; }
+  const std::vector<EventVarInfo>& event_vars() const { return event_vars_; }
+  const std::vector<std::string>& variables() const { return var_names_; }
+  const std::vector<std::int64_t>& variable_initials() const {
+    return var_initials_;
+  }
+  std::size_t num_processes() const { return processes_.size(); }
+  const ProgramProcess& process(ProcId p) const { return processes_[p]; }
+
+  /// Total statement count, counting both branches of every if.
+  std::size_t num_statements() const;
+
+ private:
+  std::vector<SemaphoreInfo> semaphores_;
+  std::vector<EventVarInfo> event_vars_;
+  std::vector<std::string> var_names_;
+  std::vector<std::int64_t> var_initials_;
+  std::vector<ProgramProcess> processes_;
+};
+
+}  // namespace evord

@@ -1,0 +1,345 @@
+#include "sync/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sync/sync_state.hpp"
+#include "trace/builder.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+std::size_t RoundRobinPolicy::pick(const std::vector<ProcId>& runnable) {
+  // First runnable process with id strictly greater than the last-run one,
+  // wrapping around.
+  for (std::size_t i = 0; i < runnable.size(); ++i) {
+    if (runnable[i] > last_) {
+      last_ = runnable[i];
+      return i;
+    }
+  }
+  last_ = runnable.front();
+  return 0;
+}
+
+std::size_t PriorityPolicy::pick(const std::vector<ProcId>& runnable) {
+  for (ProcId p : priority_) {
+    const auto it = std::find(runnable.begin(), runnable.end(), p);
+    if (it != runnable.end()) {
+      return static_cast<std::size_t>(it - runnable.begin());
+    }
+  }
+  return 0;  // processes not named in the priority list go last
+}
+
+/// One stack frame of a process's control flow: a statement list and the
+/// index of the next statement to execute within it.
+namespace {
+struct Frame {
+  const std::vector<Stmt>* body;
+  std::size_t next = 0;
+};
+}  // namespace
+
+struct ProgramRunner::Impl {
+  explicit Impl(const Program& program)
+      : prog(program),
+        sync(program.semaphores(), program.event_vars()),
+        memory(program.variable_initials()) {
+    // Mirror the program's declarations into the trace builder so trace
+    // object ids coincide with program object ids.
+    for (const SemaphoreInfo& s : prog.semaphores()) {
+      if (s.binary) {
+        builder.binary_semaphore(s.name, s.initial);
+      } else {
+        builder.semaphore(s.name, s.initial);
+      }
+    }
+    for (const EventVarInfo& v : prog.event_vars()) {
+      builder.event_var(v.name, v.initially_posted);
+    }
+    for (const std::string& v : prog.variables()) builder.variable(v);
+
+    EVORD_CHECK(prog.num_processes() > 0, "program has no processes");
+    EVORD_CHECK(prog.process(0).static_start,
+                "process 0 must be a static process");
+    for (ProcId p = 1; p < prog.num_processes(); ++p) builder.add_process();
+
+    stacks.resize(prog.num_processes());
+    started.resize(prog.num_processes(), false);
+    for (ProcId p = 0; p < prog.num_processes(); ++p) {
+      if (prog.process(p).static_start) start(p);
+    }
+    refresh_runnable();
+  }
+
+  void start(ProcId p) {
+    started[p] = true;
+    if (!prog.process(p).body.empty()) {
+      stacks[p].push_back({&prog.process(p).body, 0});
+    }
+  }
+
+  bool proc_finished(ProcId p) const {
+    return started[p] && stacks[p].empty();
+  }
+
+  bool all_finished() const {
+    for (ProcId p = 0; p < prog.num_processes(); ++p) {
+      // A never-started (forkable but unforked) process performs no
+      // events; only started unfinished processes block completion.
+      if (started[p] && !stacks[p].empty()) return false;
+    }
+    return true;
+  }
+
+  const Stmt& current(ProcId p) const {
+    const Frame& f = stacks[p].back();
+    return (*f.body)[f.next];
+  }
+
+  bool proc_runnable(ProcId p) const {
+    if (!started[p] || stacks[p].empty()) return false;
+    const Stmt& s = current(p);
+    switch (s.kind) {
+      case StmtKind::kSemP:
+        return sync.sem_count(s.object) > 0;
+      case StmtKind::kWait:
+        return sync.posted(s.object);
+      case StmtKind::kJoin:
+        return started[s.target] && stacks[s.target].empty();
+      default:
+        return true;
+    }
+  }
+
+  void refresh_runnable() {
+    runnable.clear();
+    for (ProcId p = 0; p < prog.num_processes(); ++p) {
+      if (proc_runnable(p)) runnable.push_back(p);
+    }
+  }
+
+  /// Pops exhausted frames so the next statement (if any) is on top.
+  void settle(ProcId p) {
+    while (!stacks[p].empty() &&
+           stacks[p].back().next >= stacks[p].back().body->size()) {
+      stacks[p].pop_back();
+    }
+  }
+
+  void step(ProcId p) {
+    EVORD_CHECK(proc_runnable(p), "step on non-runnable process p" << p);
+    const Stmt& s = current(p);
+    ++stacks[p].back().next;  // advance past `s` before any branch push
+    switch (s.kind) {
+      case StmtKind::kSkip:
+        builder.compute(p, s.label);
+        break;
+      case StmtKind::kAssign: {
+        std::string label = s.label.empty()
+                                ? prog.variables()[s.var] + " := " +
+                                      std::to_string(s.value)
+                                : s.label;
+        builder.compute(p, std::move(label), {}, {s.var});
+        memory[s.var] = s.value;
+        break;
+      }
+      case StmtKind::kIf: {
+        std::string label = s.label.empty()
+                                ? "if " + prog.variables()[s.var] + "=" +
+                                      std::to_string(s.value)
+                                : s.label;
+        builder.compute(p, std::move(label), {s.var}, {});
+        const std::vector<Stmt>& branch =
+            memory[s.var] == s.value ? s.then_branch : s.else_branch;
+        if (!branch.empty()) stacks[p].push_back({&branch, 0});
+        break;
+      }
+      case StmtKind::kSemP:
+        builder.sem_p(p, s.object, s.label);
+        sync.apply(EventKind::kSemP, s.object);
+        break;
+      case StmtKind::kSemV:
+        builder.sem_v(p, s.object, s.label);
+        sync.apply(EventKind::kSemV, s.object);
+        break;
+      case StmtKind::kPost:
+        builder.post(p, s.object, s.label);
+        sync.apply(EventKind::kPost, s.object);
+        break;
+      case StmtKind::kWait:
+        builder.wait(p, s.object, s.label);
+        break;
+      case StmtKind::kClear:
+        builder.clear(p, s.object, s.label);
+        sync.apply(EventKind::kClear, s.object);
+        break;
+      case StmtKind::kFork:
+        EVORD_CHECK(s.target < prog.num_processes(),
+                    "fork target out of range");
+        EVORD_CHECK(!prog.process(s.target).static_start,
+                    "fork target p" << s.target << " is a static process");
+        EVORD_CHECK(!started[s.target],
+                    "fork target p" << s.target << " already started");
+        builder.fork_existing(p, s.target);
+        start(s.target);
+        break;
+      case StmtKind::kJoin:
+        builder.join(p, s.target);
+        break;
+    }
+    settle(p);
+    ++step_count;
+    refresh_runnable();
+  }
+
+  const Program& prog;
+  SyncState sync;
+  std::vector<std::int64_t> memory;
+  TraceBuilder builder;
+  std::vector<std::vector<Frame>> stacks;
+  std::vector<bool> started;
+  std::vector<ProcId> runnable;
+  std::size_t step_count = 0;
+};
+
+ProgramRunner::ProgramRunner(const Program& program)
+    : impl_(std::make_unique<Impl>(program)) {}
+
+ProgramRunner::~ProgramRunner() = default;
+
+const std::vector<ProcId>& ProgramRunner::runnable() const {
+  return impl_->runnable;
+}
+
+bool ProgramRunner::finished() const { return impl_->all_finished(); }
+
+void ProgramRunner::step(ProcId p) { impl_->step(p); }
+
+std::size_t ProgramRunner::steps() const { return impl_->step_count; }
+
+Trace ProgramRunner::trace() const { return impl_->builder.build(); }
+
+std::vector<ProcId> ProgramRunner::blocked() const {
+  std::vector<ProcId> result;
+  for (ProcId p = 0; p < impl_->prog.num_processes(); ++p) {
+    if (impl_->started[p] && !impl_->proc_finished(p)) result.push_back(p);
+  }
+  return result;
+}
+
+RunResult run_program(const Program& program, SchedulePolicy& policy,
+                      std::size_t max_steps) {
+  ProgramRunner runner(program);
+  RunResult result;
+  while (!runner.finished()) {
+    const std::vector<ProcId>& runnable = runner.runnable();
+    if (runnable.empty()) {
+      result.status = RunStatus::kDeadlocked;
+      result.blocked = runner.blocked();
+      break;
+    }
+    if (runner.steps() >= max_steps) {
+      result.status = RunStatus::kStepLimit;
+      break;
+    }
+    const std::size_t choice = policy.pick(runnable);
+    EVORD_CHECK(choice < runnable.size(), "policy picked out of range");
+    runner.step(runnable[choice]);
+  }
+  result.trace = runner.trace();
+  return result;
+}
+
+RunResult run_program_random(const Program& program, std::uint64_t seed,
+                             std::size_t max_steps) {
+  RandomPolicy policy(seed);
+  return run_program(program, policy, max_steps);
+}
+
+namespace {
+
+/// DFS over program schedules by prefix replay: to branch at depth d the
+/// program is re-executed from scratch along the prefix.  Quadratic in
+/// schedule length, which is irrelevant next to the exponential number
+/// of schedules — and it avoids making the runner state copyable.
+class ProgramExplorer {
+ public:
+  ProgramExplorer(const Program& program, const ExploreOptions& options,
+                  const std::function<bool(const RunResult&)>& visit)
+      : prog_(program), options_(options), visit_(visit) {}
+
+  ProgramExploration run() {
+    dfs();
+    return stats_;
+  }
+
+ private:
+  bool deliver(ProgramRunner& runner, RunStatus status) {
+    RunResult result;
+    result.status = status;
+    if (status == RunStatus::kDeadlocked) result.blocked = runner.blocked();
+    result.trace = runner.trace();
+    switch (status) {
+      case RunStatus::kCompleted:
+        ++stats_.completed;
+        break;
+      case RunStatus::kDeadlocked:
+        ++stats_.deadlocked;
+        break;
+      case RunStatus::kStepLimit:
+        ++stats_.step_limited;
+        break;
+    }
+    if (!visit_(result)) {
+      stats_.stopped_by_visitor = true;
+      return false;
+    }
+    if (options_.max_executions != 0 &&
+        stats_.completed + stats_.deadlocked + stats_.step_limited >=
+            options_.max_executions) {
+      stats_.truncated = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns false to unwind the whole search.
+  bool dfs() {
+    ProgramRunner runner(prog_);
+    for (ProcId p : prefix_) runner.step(p);
+    if (runner.finished()) {
+      return deliver(runner, RunStatus::kCompleted);
+    }
+    if (runner.steps() >= options_.max_steps) {
+      return deliver(runner, RunStatus::kStepLimit);
+    }
+    const std::vector<ProcId> choices = runner.runnable();
+    if (choices.empty()) {
+      return deliver(runner, RunStatus::kDeadlocked);
+    }
+    for (ProcId p : choices) {
+      prefix_.push_back(p);
+      const bool keep_going = dfs();
+      prefix_.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Program& prog_;
+  const ExploreOptions& options_;
+  const std::function<bool(const RunResult&)>& visit_;
+  ProgramExploration stats_;
+  std::vector<ProcId> prefix_;
+};
+
+}  // namespace
+
+ProgramExploration explore_program_executions(
+    const Program& program, const ExploreOptions& options,
+    const std::function<bool(const RunResult&)>& visit) {
+  return ProgramExplorer(program, options, visit).run();
+}
+
+}  // namespace evord

@@ -1,0 +1,148 @@
+// Sequentially consistent execution of a Program.
+//
+// The scheduler repeatedly picks one runnable process (via a pluggable
+// policy) and executes its next statement atomically, which is exactly
+// the interleaving semantics of a sequentially consistent multiprocessor
+// for this statement class.  The result is an observed Trace — the
+// execution P = <E, T, D> that the ordering analyses take as input.
+//
+// Deadlocks are detected (no runnable process while some are unfinished)
+// and reported with the prefix trace executed so far.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sync/program.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace evord {
+
+enum class RunStatus {
+  kCompleted,   ///< every process ran to completion
+  kDeadlocked,  ///< some processes blocked forever
+  kStepLimit,   ///< max_steps reached (runaway program)
+};
+
+struct RunResult {
+  Trace trace;  ///< the executed prefix (complete iff status == kCompleted)
+  RunStatus status = RunStatus::kCompleted;
+  /// Processes blocked at the end (deadlock) — started but unfinished.
+  std::vector<ProcId> blocked;
+};
+
+/// Chooses which runnable process executes next.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  /// Returns an index into `runnable` (non-empty, sorted by ProcId).
+  virtual std::size_t pick(const std::vector<ProcId>& runnable) = 0;
+};
+
+/// Uniformly random choice; different seeds explore different feasible
+/// executions.
+class RandomPolicy final : public SchedulePolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  std::size_t pick(const std::vector<ProcId>& runnable) override {
+    return static_cast<std::size_t>(rng_.below(runnable.size()));
+  }
+
+ private:
+  Rng rng_;
+};
+
+/// Always the lowest-id runnable process: a deterministic canonical
+/// schedule (runs each process as far as it can go before yielding).
+class FirstRunnablePolicy final : public SchedulePolicy {
+ public:
+  std::size_t pick(const std::vector<ProcId>&) override { return 0; }
+};
+
+/// Rotates through processes for fairness.
+class RoundRobinPolicy final : public SchedulePolicy {
+ public:
+  std::size_t pick(const std::vector<ProcId>& runnable) override;
+
+ private:
+  ProcId last_ = 0;
+};
+
+/// Prefers processes in an explicit priority order (earlier = higher).
+/// Useful for steering a program into a specific feasible execution.
+class PriorityPolicy final : public SchedulePolicy {
+ public:
+  explicit PriorityPolicy(std::vector<ProcId> priority)
+      : priority_(std::move(priority)) {}
+  std::size_t pick(const std::vector<ProcId>& runnable) override;
+
+ private:
+  std::vector<ProcId> priority_;
+};
+
+/// Executes `program` to completion (or deadlock / step limit).
+RunResult run_program(const Program& program, SchedulePolicy& policy,
+                      std::size_t max_steps = 1'000'000);
+
+/// Convenience: run under a seeded RandomPolicy.
+RunResult run_program_random(const Program& program, std::uint64_t seed,
+                             std::size_t max_steps = 1'000'000);
+
+/// Step-by-step program execution, for schedule exploration and
+/// debugging: callers inspect the runnable set and pick each step
+/// themselves.  `run_program` is a loop over this class.
+class ProgramRunner {
+ public:
+  explicit ProgramRunner(const Program& program);
+  ~ProgramRunner();
+  ProgramRunner(const ProgramRunner&) = delete;
+  ProgramRunner& operator=(const ProgramRunner&) = delete;
+
+  /// Processes whose next statement may execute now (sorted by id).
+  const std::vector<ProcId>& runnable() const;
+  /// True iff every started process ran to completion.
+  bool finished() const;
+  /// Executes the next statement of `p` (must be in runnable()).
+  void step(ProcId p);
+  /// Number of statements executed so far.
+  std::size_t steps() const;
+  /// The trace of everything executed so far (valid prefix trace).
+  Trace trace() const;
+  /// Started-but-blocked processes (the deadlock set when runnable()
+  /// is empty and !finished()).
+  std::vector<ProcId> blocked() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Exploration over ALL schedules of a program — the program-level
+/// analogue of the trace-schedule enumerator.  Where trace schedules
+/// always perform the same events, different PROGRAM schedules may take
+/// different branches and perform different events (the crux of the
+/// paper's Figure 1); the visitor sees each complete or deadlocked
+/// outcome.
+struct ExploreOptions {
+  std::uint64_t max_executions = 0;  ///< 0 = unlimited
+  std::size_t max_steps = 10'000;    ///< per execution
+};
+
+struct ProgramExploration {
+  std::uint64_t completed = 0;
+  std::uint64_t deadlocked = 0;
+  std::uint64_t step_limited = 0;
+  bool truncated = false;
+  bool stopped_by_visitor = false;
+};
+
+/// Visits every maximal execution (status kCompleted or kDeadlocked or
+/// kStepLimit); return false to stop early.
+ProgramExploration explore_program_executions(
+    const Program& program, const ExploreOptions& options,
+    const std::function<bool(const RunResult&)>& visit);
+
+}  // namespace evord

@@ -1,0 +1,55 @@
+#include "sync/sync_state.hpp"
+
+#include "util/check.hpp"
+
+namespace evord {
+
+SyncState::SyncState(const std::vector<SemaphoreInfo>& semaphores,
+                     const std::vector<EventVarInfo>& event_vars)
+    : posted_(event_vars.size()) {
+  counts_.reserve(semaphores.size());
+  binary_.reserve(semaphores.size());
+  for (const SemaphoreInfo& s : semaphores) {
+    counts_.push_back(s.initial);
+    binary_.push_back(s.binary);
+  }
+  for (std::size_t i = 0; i < event_vars.size(); ++i) {
+    posted_.set(i, event_vars[i].initially_posted);
+  }
+}
+
+bool SyncState::enabled(EventKind kind, ObjectId object) const {
+  switch (kind) {
+    case EventKind::kSemP:
+      return counts_[object] > 0;
+    case EventKind::kWait:
+      return posted_.test(object);
+    default:
+      return true;
+  }
+}
+
+void SyncState::apply(EventKind kind, ObjectId object) {
+  switch (kind) {
+    case EventKind::kSemP:
+      EVORD_DCHECK(counts_[object] > 0, "P on zero semaphore");
+      --counts_[object];
+      break;
+    case EventKind::kSemV:
+      if (!(binary_[object] && counts_[object] == 1)) ++counts_[object];
+      break;
+    case EventKind::kPost:
+      posted_.set(object);
+      break;
+    case EventKind::kClear:
+      posted_.reset(object);
+      break;
+    case EventKind::kWait:
+      EVORD_DCHECK(posted_.test(object), "wait on cleared event variable");
+      break;
+    default:
+      break;  // compute / fork / join do not touch sync state
+  }
+}
+
+}  // namespace evord

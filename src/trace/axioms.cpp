@@ -1,0 +1,227 @@
+#include "trace/axioms.hpp"
+
+#include <sstream>
+
+namespace evord {
+
+std::string AxiomReport::text() const {
+  std::ostringstream os;
+  for (const AxiomViolation& v : violations) {
+    os << '[' << v.axiom << "] " << v.message << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+class Checker {
+ public:
+  explicit Checker(const Trace& trace) : t_(trace) {}
+
+  AxiomReport run() {
+    check_structure();
+    check_permutation();
+    if (report_.ok()) {
+      // Order-sensitive checks assume a well-formed observed order.
+      check_program_order();
+      check_fork_join();
+      check_semaphores();
+      check_event_vars();
+      check_dependences();
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void fail(const char* axiom, const std::string& message) {
+    report_.violations.push_back({axiom, message});
+  }
+
+  void check_structure() {
+    for (EventId i = 0; i < t_.num_events(); ++i) {
+      const Event& e = t_.event(i);
+      if (e.id != i) {
+        fail("A1", "event at index " + std::to_string(i) +
+                       " has inconsistent id " + std::to_string(e.id));
+      }
+      if (e.process >= t_.num_processes()) {
+        fail("A1", describe(e) + ": unknown process");
+        continue;
+      }
+      const auto po = t_.program_order(e.process);
+      if (e.index_in_process >= po.size() ||
+          po[e.index_in_process] != e.id) {
+        fail("A1", describe(e) + ": index_in_process does not match the "
+                                 "process's program order");
+      }
+      switch (e.kind) {
+        case EventKind::kSemP:
+        case EventKind::kSemV:
+          if (e.object >= t_.semaphores().size()) {
+            fail("A1", describe(e) + ": undeclared semaphore");
+          }
+          break;
+        case EventKind::kPost:
+        case EventKind::kWait:
+        case EventKind::kClear:
+          if (e.object >= t_.event_vars().size()) {
+            fail("A1", describe(e) + ": undeclared event variable");
+          }
+          break;
+        case EventKind::kFork:
+        case EventKind::kJoin:
+          if (e.object >= t_.num_processes()) {
+            fail("A1", describe(e) + ": unknown target process");
+          }
+          break;
+        case EventKind::kCompute:
+          break;
+      }
+      if (e.kind != EventKind::kCompute && e.accesses_shared_data()) {
+        fail("A1", describe(e) +
+                       ": synchronization events carry no shared accesses");
+      }
+      for (VarId v : e.reads) {
+        if (v >= t_.variables().size()) {
+          fail("A1", describe(e) + ": undeclared variable read");
+        }
+      }
+      for (VarId v : e.writes) {
+        if (v >= t_.variables().size()) {
+          fail("A1", describe(e) + ": undeclared variable write");
+        }
+      }
+    }
+  }
+
+  void check_permutation() {
+    if (t_.observed_order().size() != t_.num_events()) {
+      fail("A2", "observed order has " +
+                     std::to_string(t_.observed_order().size()) +
+                     " entries for " + std::to_string(t_.num_events()) +
+                     " events");
+      return;
+    }
+    std::vector<bool> seen(t_.num_events(), false);
+    for (EventId e : t_.observed_order()) {
+      if (e >= t_.num_events() || seen[e]) {
+        fail("A2", "observed order is not a permutation of E");
+        return;
+      }
+      seen[e] = true;
+    }
+  }
+
+  void check_program_order() {
+    for (ProcId p = 0; p < t_.num_processes(); ++p) {
+      const auto po = t_.program_order(p);
+      for (std::size_t i = 1; i < po.size(); ++i) {
+        if (t_.observed_position(po[i - 1]) >= t_.observed_position(po[i])) {
+          fail("A3", "process p" + std::to_string(p) +
+                         ": observed order violates program order between " +
+                         describe(t_.event(po[i - 1])) + " and " +
+                         describe(t_.event(po[i])));
+        }
+      }
+    }
+  }
+
+  void check_fork_join() {
+    for (ProcId p = 0; p < t_.num_processes(); ++p) {
+      const ProcessInfo& info = t_.process(p);
+      if (info.creating_fork != kNoEvent) {
+        const Event& f = t_.event(info.creating_fork);
+        if (f.kind != EventKind::kFork || f.object != p) {
+          fail("A4", "process p" + std::to_string(p) +
+                         ": creating fork event is not a fork of it");
+        } else if (!info.events.empty() &&
+                   t_.observed_position(f.id) >
+                       t_.observed_position(info.events.front())) {
+          fail("A4", "process p" + std::to_string(p) +
+                         " starts before its creating fork");
+        }
+      }
+    }
+    for (const Event& e : t_.events()) {
+      if (e.kind == EventKind::kJoin) {
+        if (e.object == e.process) {
+          fail("A4", describe(e) + ": process joins itself");
+          continue;
+        }
+        const ProcessInfo& child = t_.process(e.object);
+        if (!child.events.empty() &&
+            t_.observed_position(child.events.back()) >
+                t_.observed_position(e.id)) {
+          fail("A4", describe(e) + ": join precedes the completion of p" +
+                         std::to_string(e.object));
+        }
+      }
+    }
+  }
+
+  void check_semaphores() {
+    std::vector<int> count;
+    count.reserve(t_.semaphores().size());
+    for (const SemaphoreInfo& s : t_.semaphores()) count.push_back(s.initial);
+    for (EventId id : t_.observed_order()) {
+      const Event& e = t_.event(id);
+      if (e.kind == EventKind::kSemV) {
+        const SemaphoreInfo& s = t_.semaphores()[e.object];
+        if (!(s.binary && count[e.object] == 1)) ++count[e.object];
+      } else if (e.kind == EventKind::kSemP) {
+        if (count[e.object] == 0) {
+          fail("A5", describe(e) + ": P on semaphore '" +
+                         t_.semaphores()[e.object].name +
+                         "' with zero count in the observed order");
+        } else {
+          --count[e.object];
+        }
+      }
+    }
+  }
+
+  void check_event_vars() {
+    std::vector<bool> posted;
+    posted.reserve(t_.event_vars().size());
+    for (const EventVarInfo& v : t_.event_vars()) {
+      posted.push_back(v.initially_posted);
+    }
+    for (EventId id : t_.observed_order()) {
+      const Event& e = t_.event(id);
+      if (e.kind == EventKind::kPost) {
+        posted[e.object] = true;
+      } else if (e.kind == EventKind::kClear) {
+        posted[e.object] = false;
+      } else if (e.kind == EventKind::kWait && !posted[e.object]) {
+        fail("A6", describe(e) + ": wait on cleared event variable '" +
+                       t_.event_vars()[e.object].name +
+                       "' in the observed order");
+      }
+    }
+  }
+
+  void check_dependences() {
+    for (const auto& [a, b] : t_.dependences()) {
+      if (a >= t_.num_events() || b >= t_.num_events()) {
+        fail("A7", "dependence endpoint out of range");
+        continue;
+      }
+      if (t_.observed_position(a) >= t_.observed_position(b)) {
+        fail("A7", "dependence " + describe(t_.event(a)) + " -> " +
+                       describe(t_.event(b)) +
+                       " contradicts the observed order");
+      }
+    }
+  }
+
+  const Trace& t_;
+  AxiomReport report_;
+};
+
+}  // namespace
+
+AxiomReport validate_axioms(const Trace& trace) {
+  return Checker(trace).run();
+}
+
+}  // namespace evord

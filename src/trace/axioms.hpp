@@ -1,0 +1,45 @@
+// Validation of the model axioms (paper §2, F2 of §3.1), made operational.
+//
+// A trace is a *valid program execution* iff:
+//   A1  structure: dense consistent ids, events belong to their processes,
+//       sync operands name declared objects;
+//   A2  the observed order is a permutation of E;
+//   A3  program order: each process's events appear in order within the
+//       observed order;
+//   A4  fork/join: a process's events follow its creating fork; a join
+//       follows every event of the joined process; no process joins
+//       itself; a fork's target is the process it created;
+//   A5  semaphore semantics: along the observed order no semaphore count
+//       goes negative (binary semaphores clamp at 1, so V at count 1 is a
+//       no-op);
+//   A6  event-variable semantics: every Wait executes while its variable
+//       is posted (some Post since the last Clear, or initially posted);
+//   A7  dependence consistency: every D edge (a, b) has a preceding b in
+//       the observed order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct AxiomViolation {
+  std::string axiom;    ///< "A1" .. "A7"
+  std::string message;  ///< human-readable diagnostic
+};
+
+struct AxiomReport {
+  std::vector<AxiomViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// All diagnostics, one per line.
+  std::string text() const;
+};
+
+/// Checks every axiom and reports all violations found (it does not stop
+/// at the first).
+AxiomReport validate_axioms(const Trace& trace);
+
+}  // namespace evord

@@ -1,0 +1,166 @@
+#include "trace/builder.hpp"
+
+#include <algorithm>
+
+#include "trace/axioms.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+
+TraceBuilder::TraceBuilder() { trace_.processes_.emplace_back(); }
+
+ObjectId TraceBuilder::semaphore(std::string name, int initial) {
+  EVORD_CHECK(initial >= 0, "semaphore '" << name
+                                          << "' initial count must be >= 0");
+  trace_.semaphores_.push_back({std::move(name), initial, /*binary=*/false});
+  return static_cast<ObjectId>(trace_.semaphores_.size() - 1);
+}
+
+ObjectId TraceBuilder::binary_semaphore(std::string name, int initial) {
+  EVORD_CHECK(initial == 0 || initial == 1,
+              "binary semaphore '" << name << "' initial must be 0 or 1");
+  trace_.semaphores_.push_back({std::move(name), initial, /*binary=*/true});
+  return static_cast<ObjectId>(trace_.semaphores_.size() - 1);
+}
+
+ObjectId TraceBuilder::event_var(std::string name, bool initially_posted) {
+  trace_.event_vars_.push_back({std::move(name), initially_posted});
+  return static_cast<ObjectId>(trace_.event_vars_.size() - 1);
+}
+
+VarId TraceBuilder::variable(std::string name) {
+  trace_.variables_.push_back(std::move(name));
+  return static_cast<VarId>(trace_.variables_.size() - 1);
+}
+
+ProcId TraceBuilder::add_process() {
+  trace_.processes_.emplace_back();
+  return static_cast<ProcId>(trace_.processes_.size() - 1);
+}
+
+EventId TraceBuilder::append(ProcId p, EventKind kind, ObjectId object,
+                             std::string label, std::vector<VarId> reads,
+                             std::vector<VarId> writes) {
+  EVORD_CHECK(p < trace_.processes_.size(), "unknown process p" << p);
+  Event e;
+  e.id = static_cast<EventId>(trace_.events_.size());
+  e.process = p;
+  e.index_in_process =
+      static_cast<std::uint32_t>(trace_.processes_[p].events.size());
+  e.kind = kind;
+  e.object = object;
+  e.label = std::move(label);
+  std::sort(reads.begin(), reads.end());
+  reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+  std::sort(writes.begin(), writes.end());
+  writes.erase(std::unique(writes.begin(), writes.end()), writes.end());
+  e.reads = std::move(reads);
+  e.writes = std::move(writes);
+  trace_.processes_[p].events.push_back(e.id);
+  trace_.observed_order_.push_back(e.id);
+  trace_.events_.push_back(std::move(e));
+  return trace_.events_.back().id;
+}
+
+EventId TraceBuilder::compute(ProcId p, std::string label,
+                              std::vector<VarId> reads,
+                              std::vector<VarId> writes) {
+  for (VarId v : reads) {
+    EVORD_CHECK(v < trace_.variables_.size(), "unknown variable v" << v);
+  }
+  for (VarId v : writes) {
+    EVORD_CHECK(v < trace_.variables_.size(), "unknown variable v" << v);
+  }
+  return append(p, EventKind::kCompute, kNoObject, std::move(label),
+                std::move(reads), std::move(writes));
+}
+
+EventId TraceBuilder::sem_p(ProcId p, ObjectId sem, std::string label) {
+  EVORD_CHECK(sem < trace_.semaphores_.size(), "unknown semaphore s" << sem);
+  return append(p, EventKind::kSemP, sem, std::move(label));
+}
+
+EventId TraceBuilder::sem_v(ProcId p, ObjectId sem, std::string label) {
+  EVORD_CHECK(sem < trace_.semaphores_.size(), "unknown semaphore s" << sem);
+  return append(p, EventKind::kSemV, sem, std::move(label));
+}
+
+EventId TraceBuilder::post(ProcId p, ObjectId ev, std::string label) {
+  EVORD_CHECK(ev < trace_.event_vars_.size(), "unknown event variable " << ev);
+  return append(p, EventKind::kPost, ev, std::move(label));
+}
+
+EventId TraceBuilder::wait(ProcId p, ObjectId ev, std::string label) {
+  EVORD_CHECK(ev < trace_.event_vars_.size(), "unknown event variable " << ev);
+  return append(p, EventKind::kWait, ev, std::move(label));
+}
+
+EventId TraceBuilder::clear(ProcId p, ObjectId ev, std::string label) {
+  EVORD_CHECK(ev < trace_.event_vars_.size(), "unknown event variable " << ev);
+  return append(p, EventKind::kClear, ev, std::move(label));
+}
+
+ProcId TraceBuilder::fork(ProcId parent) {
+  const auto child = static_cast<ProcId>(trace_.processes_.size());
+  const EventId fork_event = append(parent, EventKind::kFork, child);
+  ProcessInfo info;
+  info.parent = parent;
+  info.creating_fork = fork_event;
+  trace_.processes_.push_back(std::move(info));
+  return child;
+}
+
+EventId TraceBuilder::fork_existing(ProcId parent, ProcId child) {
+  EVORD_CHECK(child < trace_.processes_.size(), "unknown process p" << child);
+  EVORD_CHECK(child != parent, "process cannot fork itself");
+  EVORD_CHECK(trace_.processes_[child].creating_fork == kNoEvent,
+              "process p" << child << " already has a creating fork");
+  const EventId fork_event = append(parent, EventKind::kFork, child);
+  trace_.processes_[child].parent = parent;
+  trace_.processes_[child].creating_fork = fork_event;
+  return fork_event;
+}
+
+EventId TraceBuilder::join(ProcId parent, ProcId child) {
+  EVORD_CHECK(child < trace_.processes_.size(), "unknown process p" << child);
+  return append(parent, EventKind::kJoin, child);
+}
+
+EventId TraceBuilder::creating_fork(ProcId child) const {
+  EVORD_CHECK(child < trace_.processes_.size(), "unknown process p" << child);
+  return trace_.processes_[child].creating_fork;
+}
+
+void TraceBuilder::add_dependence(EventId a, EventId b) {
+  EVORD_CHECK(a < trace_.events_.size() && b < trace_.events_.size(),
+              "dependence endpoint out of range");
+  explicit_deps_.emplace_back(a, b);
+}
+
+Trace TraceBuilder::build_unchecked() const {
+  Trace t = trace_;
+  t.observed_pos_.assign(t.events_.size(), 0);
+  for (std::size_t i = 0; i < t.observed_order_.size(); ++i) {
+    t.observed_pos_[t.observed_order_[i]] = i;
+  }
+  t.dependences_ = explicit_deps_;
+  if (auto_dependences_) {
+    auto computed = compute_dependences(t.events_, t.observed_order_);
+    t.dependences_.insert(t.dependences_.end(), computed.begin(),
+                          computed.end());
+  }
+  std::sort(t.dependences_.begin(), t.dependences_.end());
+  t.dependences_.erase(
+      std::unique(t.dependences_.begin(), t.dependences_.end()),
+      t.dependences_.end());
+  return t;
+}
+
+Trace TraceBuilder::build() const {
+  Trace t = build_unchecked();
+  const AxiomReport report = validate_axioms(t);
+  EVORD_CHECK(report.ok(), "trace violates model axioms:\n" << report.text());
+  return t;
+}
+
+}  // namespace evord

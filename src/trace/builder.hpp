@@ -1,0 +1,97 @@
+// Fluent construction of traces.
+//
+// The builder records events in the order the calls are made; that global
+// call order becomes the trace's observed temporal order T.  Example:
+//
+//   TraceBuilder b;
+//   ObjectId s = b.semaphore("s");
+//   VarId x = b.variable("x");
+//   ProcId p1 = b.fork(b.root());
+//   b.compute(b.root(), "X := 1", /*reads=*/{}, /*writes=*/{x});
+//   b.sem_v(b.root(), s);
+//   b.sem_p(p1, s);
+//   b.compute(p1, "read X", /*reads=*/{x}, /*writes=*/{});
+//   b.join(b.root(), p1);
+//   Trace t = b.build();
+//
+// `build()` derives D from the read/write sets (unless auto-dependences
+// are disabled), validates the model axioms and returns the immutable
+// Trace.  Violations throw CheckError with a diagnostic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/dependence.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+class TraceBuilder {
+ public:
+  /// A new builder holds a single root process.
+  TraceBuilder();
+
+  ProcId root() const { return 0; }
+
+  // ----- declarations -------------------------------------------------
+  /// Declares a counting semaphore with the given initial count.
+  ObjectId semaphore(std::string name, int initial = 0);
+  /// Declares a binary semaphore (count clamped to {0, 1}).
+  ObjectId binary_semaphore(std::string name, int initial = 0);
+  /// Declares an event variable, initially cleared unless stated.
+  ObjectId event_var(std::string name, bool initially_posted = false);
+  /// Declares a shared variable.
+  VarId variable(std::string name);
+
+  /// Creates a process with no creating fork (a "static" process that
+  /// exists from the start, as in the paper's reduction programs).
+  ProcId add_process();
+
+  // ----- events (appended in observed order) ---------------------------
+  EventId compute(ProcId p, std::string label = {},
+                  std::vector<VarId> reads = {},
+                  std::vector<VarId> writes = {});
+  EventId sem_p(ProcId p, ObjectId sem, std::string label = {});
+  EventId sem_v(ProcId p, ObjectId sem, std::string label = {});
+  EventId post(ProcId p, ObjectId ev, std::string label = {});
+  EventId wait(ProcId p, ObjectId ev, std::string label = {});
+  EventId clear(ProcId p, ObjectId ev, std::string label = {});
+  /// Appends a fork event to `parent` and returns the new child process.
+  ProcId fork(ProcId parent);
+  /// Appends a fork event to `parent` creating the already-declared
+  /// process `child` (which must not yet have a creating fork).  Used by
+  /// the trace parser, where process ids are fixed by the file.
+  EventId fork_existing(ProcId parent, ProcId child);
+  /// Appends a join event to `parent` waiting on `child`.
+  EventId join(ProcId parent, ProcId child);
+
+  /// The fork event that created `child` (for tests).
+  EventId creating_fork(ProcId child) const;
+
+  // ----- dependences ---------------------------------------------------
+  /// When true (default), D is computed from read/write sets at build().
+  void set_auto_dependences(bool enabled) { auto_dependences_ = enabled; }
+  /// Adds an explicit D edge (kept in addition to any computed ones).
+  void add_dependence(EventId a, EventId b);
+
+  // ----- finalization ---------------------------------------------------
+  /// Validates axioms and returns the trace.  The builder may be reused
+  /// to build further (identical) traces.
+  Trace build() const;
+  /// Returns the trace without axiom validation; for validator tests.
+  Trace build_unchecked() const;
+
+  std::size_t num_events() const { return trace_.events_.size(); }
+
+ private:
+  EventId append(ProcId p, EventKind kind, ObjectId object,
+                 std::string label = {}, std::vector<VarId> reads = {},
+                 std::vector<VarId> writes = {});
+
+  Trace trace_;
+  std::vector<DependenceEdge> explicit_deps_;
+  bool auto_dependences_ = true;
+};
+
+}  // namespace evord

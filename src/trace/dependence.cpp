@@ -1,0 +1,58 @@
+#include "trace/dependence.hpp"
+
+#include <algorithm>
+
+namespace evord {
+
+namespace {
+struct Access {
+  EventId event;
+  bool write;
+};
+}  // namespace
+
+std::vector<DependenceEdge> compute_dependences(
+    const std::vector<Event>& events,
+    const std::vector<EventId>& observed_order,
+    const DependenceOptions& options) {
+  // Group accesses per variable in observed order, then emit every
+  // conflicting ordered pair.
+  VarId max_var = 0;
+  for (const Event& e : events) {
+    for (VarId v : e.reads) max_var = std::max(max_var, v + 1);
+    for (VarId v : e.writes) max_var = std::max(max_var, v + 1);
+  }
+  std::vector<std::vector<Access>> per_var(max_var);
+  for (EventId id : observed_order) {
+    const Event& e = events[id];
+    for (VarId v : e.reads) {
+      // A variable in both sets is a read-modify-write: record it once,
+      // as a write.
+      if (!std::binary_search(e.writes.begin(), e.writes.end(), v)) {
+        per_var[v].push_back({id, false});
+      }
+    }
+    for (VarId v : e.writes) per_var[v].push_back({id, true});
+  }
+
+  std::vector<DependenceEdge> edges;
+  for (const auto& accesses : per_var) {
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+      for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+        if (!accesses[i].write && !accesses[j].write) continue;
+        const Event& a = events[accesses[i].event];
+        const Event& b = events[accesses[j].event];
+        if (!options.include_intra_process && a.process == b.process)
+          continue;
+        edges.emplace_back(a.id, b.id);
+      }
+    }
+  }
+  // Distinct variables can produce duplicate (a, b) pairs; D is a relation,
+  // so dedupe.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace evord

@@ -1,0 +1,31 @@
+// Computation of the shared-data-dependence relation D from the events'
+// read/write sets and the observed order (paper §2, footnote ‡).
+//
+// a D b holds iff a accesses a shared variable that b later accesses and
+// at least one of the two accesses is a write.  This combines flow-, anti-
+// and output-dependence and does not name the variable, exactly as the
+// paper defines it.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct DependenceOptions {
+  /// Include dependences between events of the same process.  They are
+  /// subsumed by program order as scheduling constraints, so they are
+  /// excluded by default; enable for a literal rendering of D.
+  bool include_intra_process = false;
+};
+
+/// All D edges of `events` under the completion order `observed_order`
+/// (earlier position = earlier completion).  Every conflicting pair
+/// produces an edge directed from the earlier to the later event.
+std::vector<DependenceEdge> compute_dependences(
+    const std::vector<Event>& events,
+    const std::vector<EventId>& observed_order,
+    const DependenceOptions& options = {});
+
+}  // namespace evord

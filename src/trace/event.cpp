@@ -1,0 +1,74 @@
+#include "trace/event.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace evord {
+
+bool is_semaphore_op(EventKind kind) {
+  return kind == EventKind::kSemP || kind == EventKind::kSemV;
+}
+
+bool is_event_op(EventKind kind) {
+  return kind == EventKind::kPost || kind == EventKind::kWait ||
+         kind == EventKind::kClear;
+}
+
+bool is_synchronization(EventKind kind) { return kind != EventKind::kCompute; }
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kCompute:
+      return "compute";
+    case EventKind::kFork:
+      return "fork";
+    case EventKind::kJoin:
+      return "join";
+    case EventKind::kSemP:
+      return "P";
+    case EventKind::kSemV:
+      return "V";
+    case EventKind::kPost:
+      return "post";
+    case EventKind::kWait:
+      return "wait";
+    case EventKind::kClear:
+      return "clear";
+  }
+  return "?";
+}
+
+namespace {
+/// True iff the sorted ranges intersect.
+bool sorted_intersects(const std::vector<VarId>& a,
+                       const std::vector<VarId>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+bool Event::conflicts_with(const Event& other) const {
+  return sorted_intersects(writes, other.writes) ||
+         sorted_intersects(writes, other.reads) ||
+         sorted_intersects(reads, other.writes);
+}
+
+std::string describe(const Event& e) {
+  std::ostringstream os;
+  os << 'e' << e.id << "=p" << e.process << ':' << to_string(e.kind);
+  if (e.object != kNoObject) os << '(' << e.object << ')';
+  if (!e.label.empty()) os << '[' << e.label << ']';
+  return os.str();
+}
+
+}  // namespace evord

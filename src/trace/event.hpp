@@ -1,0 +1,65 @@
+// Events: execution instances of program statements (paper §2).
+//
+// A *synchronization event* is an instance of a synchronization operation
+// (fork, join, semaphore P/V, Post/Wait/Clear); a *computation event* is an
+// instance of a group of same-process statements containing no
+// synchronization.  Computation events carry read/write sets over shared
+// variables, from which the shared-data-dependence relation D is derived.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/ids.hpp"
+
+namespace evord {
+
+enum class EventKind : std::uint8_t {
+  kCompute,  ///< computation event (may read/write shared variables)
+  kFork,     ///< creates process `object` (an existing ProcId in the trace)
+  kJoin,     ///< waits for termination of process `object`
+  kSemP,     ///< semaphore P (wait / decrement) on semaphore `object`
+  kSemV,     ///< semaphore V (signal / increment) on semaphore `object`
+  kPost,     ///< event-variable Post on `object`
+  kWait,     ///< event-variable Wait on `object`
+  kClear,    ///< event-variable Clear on `object`
+};
+
+/// True for kinds that operate on a semaphore.
+bool is_semaphore_op(EventKind kind);
+/// True for kinds that operate on an event variable.
+bool is_event_op(EventKind kind);
+/// True for every kind except kCompute.
+bool is_synchronization(EventKind kind);
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  EventId id = kNoEvent;
+  ProcId process = kNoProc;
+  /// Position of this event within its process's program order.
+  std::uint32_t index_in_process = 0;
+  EventKind kind = EventKind::kCompute;
+  /// Target object: semaphore / event variable / forked / joined process.
+  /// kNoObject for computation events.
+  ObjectId object = kNoObject;
+  /// Shared variables read / written (computation events only).  Sorted,
+  /// deduplicated.  A variable present in both sets is a read-modify-write.
+  std::vector<VarId> reads;
+  std::vector<VarId> writes;
+  /// Optional human-readable label ("X := 1", "a", ...).
+  std::string label;
+
+  bool is_sync() const { return is_synchronization(kind); }
+  bool accesses_shared_data() const {
+    return !reads.empty() || !writes.empty();
+  }
+  /// True iff the two events access a common variable and at least one of
+  /// the colliding accesses is a write — the paper's conflict condition.
+  bool conflicts_with(const Event& other) const;
+};
+
+/// Compact rendering, e.g. "e7=p2:V(s1)" or "e3=p0:compute[X := 1]".
+std::string describe(const Event& e);
+
+}  // namespace evord

@@ -1,0 +1,23 @@
+// Dense integer identifiers for the execution model.
+//
+// Events, processes, synchronization objects and shared variables are all
+// referred to by dense indices so relation matrices and bitsets index
+// directly (Per.16).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace evord {
+
+using EventId = std::uint32_t;   ///< index into Trace::events()
+using ProcId = std::uint32_t;    ///< index into Trace::processes()
+using ObjectId = std::uint32_t;  ///< semaphore or event-variable index
+using VarId = std::uint32_t;     ///< shared-variable index
+
+inline constexpr EventId kNoEvent = std::numeric_limits<EventId>::max();
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+inline constexpr ObjectId kNoObject = std::numeric_limits<ObjectId>::max();
+inline constexpr VarId kNoVar = std::numeric_limits<VarId>::max();
+
+}  // namespace evord

@@ -1,0 +1,96 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace evord {
+
+namespace {
+template <typename Infos>
+ObjectId find_by_name(const Infos& infos, std::string_view name) {
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].name == name) return static_cast<ObjectId>(i);
+  }
+  return kNoObject;
+}
+}  // namespace
+
+ObjectId Trace::find_semaphore(std::string_view name) const {
+  return find_by_name(semaphores_, name);
+}
+
+ObjectId Trace::find_event_var(std::string_view name) const {
+  return find_by_name(event_vars_, name);
+}
+
+VarId Trace::find_variable(std::string_view name) const {
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i] == name) return static_cast<VarId>(i);
+  }
+  return kNoVar;
+}
+
+EventId Trace::find_event_by_label(std::string_view label) const {
+  EventId found = kNoEvent;
+  for (const Event& e : events_) {
+    if (e.label == label) {
+      if (found != kNoEvent) return kNoEvent;  // ambiguous
+      found = e.id;
+    }
+  }
+  return found;
+}
+
+Digraph Trace::static_order_graph() const {
+  Digraph g(num_events());
+  for (const ProcessInfo& proc : processes_) {
+    for (std::size_t i = 1; i < proc.events.size(); ++i) {
+      g.add_edge(proc.events[i - 1], proc.events[i]);
+    }
+  }
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kFork) {
+      const ProcessInfo& child = processes_[e.object];
+      if (!child.events.empty()) g.add_edge(e.id, child.events.front());
+    } else if (e.kind == EventKind::kJoin) {
+      const ProcessInfo& child = processes_[e.object];
+      if (!child.events.empty()) g.add_edge(child.events.back(), e.id);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Digraph Trace::constraint_graph() const {
+  Digraph g = static_order_graph();
+  for (const auto& [a, b] : dependences_) g.add_edge(a, b);
+  g.finalize();
+  return g;
+}
+
+std::vector<EventId> Trace::events_of_kind(EventKind kind) const {
+  std::vector<EventId> result;
+  for (const Event& e : events_) {
+    if (e.kind == kind) result.push_back(e.id);
+  }
+  return result;
+}
+
+std::vector<DependenceEdge> Trace::conflicting_pairs() const {
+  std::vector<DependenceEdge> result;
+  std::vector<EventId> accessors;
+  for (const Event& e : events_) {
+    if (e.accesses_shared_data()) accessors.push_back(e.id);
+  }
+  for (std::size_t i = 0; i < accessors.size(); ++i) {
+    for (std::size_t j = i + 1; j < accessors.size(); ++j) {
+      const Event& a = events_[accessors[i]];
+      const Event& b = events_[accessors[j]];
+      if (a.process != b.process && a.conflicts_with(b)) {
+        result.emplace_back(a.id, b.id);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace evord

@@ -1,0 +1,348 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "trace/axioms.hpp"
+#include "trace/builder.hpp"
+#include "util/check.hpp"
+#include "util/string_util.hpp"
+
+namespace evord {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::istream& in) : in_(in) {}
+
+  Trace run() {
+    expect_header();
+    parse_declarations();
+    parse_schedule();
+    parse_trailer();
+    Trace t = builder_.build_unchecked();
+    const AxiomReport report = validate_axioms(t);
+    if (!report.ok()) {
+      throw TraceParseError(line_no_,
+                            "trace violates model axioms:\n" + report.text());
+    }
+    return t;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw TraceParseError(line_no_, what);
+  }
+
+  /// Next meaningful line (comments stripped), or nullopt at EOF.
+  std::optional<std::string> next_line() {
+    std::string raw;
+    while (std::getline(in_, raw)) {
+      ++line_no_;
+      const std::size_t hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      const std::string_view body = trim(raw);
+      if (!body.empty()) return std::string(body);
+    }
+    return std::nullopt;
+  }
+
+  void expect_header() {
+    auto line = next_line();
+    if (!line || split_ws(*line) != std::vector<std::string_view>{
+                                        "evord-trace", "1"}) {
+      fail("expected header 'evord-trace 1'");
+    }
+  }
+
+  void parse_declarations() {
+    while (auto line = next_line()) {
+      const auto tokens = split_ws(*line);
+      const std::string_view kw = tokens.front();
+      if (kw == "schedule") {
+        if (tokens.size() != 1) fail("'schedule' takes no arguments");
+        return;
+      }
+      if (kw == "sem") {
+        if (tokens.size() < 3 || tokens.size() > 4) {
+          fail("usage: sem <name> <initial> [binary]");
+        }
+        const auto initial = parse_int(tokens[2]);
+        if (!initial || *initial < 0) fail("bad semaphore initial count");
+        const std::string name(tokens[1]);
+        if (sems_.count(name) != 0) {
+          fail("duplicate semaphore '" + name + "'");
+        }
+        if (tokens.size() == 4) {
+          if (tokens[3] != "binary") fail("expected 'binary'");
+          if (*initial > 1) fail("binary semaphore initial must be 0 or 1");
+          sems_[name] = builder_.binary_semaphore(name,
+                                                  static_cast<int>(*initial));
+        } else {
+          sems_[name] = builder_.semaphore(name, static_cast<int>(*initial));
+        }
+      } else if (kw == "event") {
+        if (tokens.size() < 2 || tokens.size() > 3) {
+          fail("usage: event <name> [posted]");
+        }
+        bool posted = false;
+        if (tokens.size() == 3) {
+          if (tokens[2] != "posted") fail("expected 'posted'");
+          posted = true;
+        }
+        const std::string name(tokens[1]);
+        if (events_.count(name) != 0) {
+          fail("duplicate event variable '" + name + "'");
+        }
+        events_[name] = builder_.event_var(name, posted);
+      } else if (kw == "var") {
+        if (tokens.size() != 2) fail("usage: var <name>");
+        const std::string name(tokens[1]);
+        if (vars_.count(name) != 0) fail("duplicate variable '" + name + "'");
+        vars_[name] = builder_.variable(name);
+      } else if (kw == "procs") {
+        if (tokens.size() != 2) fail("usage: procs <count>");
+        const auto count = parse_int(tokens[1]);
+        if (!count || *count < 1) fail("process count must be >= 1");
+        for (std::int64_t i = 1; i < *count; ++i) builder_.add_process();
+        num_procs_ = static_cast<std::size_t>(*count);
+      } else if (kw == "autodeps") {
+        if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
+          fail("usage: autodeps on|off");
+        }
+        builder_.set_auto_dependences(tokens[1] == "on");
+      } else {
+        fail("unknown declaration '" + std::string(kw) + "'");
+      }
+    }
+    fail("missing 'schedule' section");
+  }
+
+  ProcId parse_proc(std::string_view token) const {
+    const auto p = parse_int(token);
+    if (!p || *p < 0 || static_cast<std::size_t>(*p) >= num_procs_) {
+      fail("bad process id '" + std::string(token) + "'");
+    }
+    return static_cast<ProcId>(*p);
+  }
+
+  ObjectId lookup(const std::map<std::string, ObjectId>& table,
+                  std::string_view name, const char* what) const {
+    const auto it = table.find(std::string(name));
+    if (it == table.end()) {
+      fail(std::string("undeclared ") + what + " '" + std::string(name) +
+           "'");
+    }
+    return it->second;
+  }
+
+  void parse_schedule() {
+    while (auto line = next_line()) {
+      const auto tokens = split_ws(*line);
+      if (tokens.front() == "end") {
+        if (tokens.size() != 1) fail("'end' takes no arguments");
+        return;
+      }
+      if (tokens.size() < 2) fail("expected '<proc> <op> ...'");
+      const ProcId p = parse_proc(tokens[0]);
+      const std::string_view op = tokens[1];
+      if (op == "P" || op == "V") {
+        if (tokens.size() != 3) fail("usage: <proc> P|V <sem>");
+        const ObjectId s = lookup(sems_, tokens[2], "semaphore");
+        if (op == "P") {
+          builder_.sem_p(p, s);
+        } else {
+          builder_.sem_v(p, s);
+        }
+      } else if (op == "post" || op == "wait" || op == "clear") {
+        if (tokens.size() != 3) fail("usage: <proc> post|wait|clear <event>");
+        const ObjectId e = lookup(events_, tokens[2], "event variable");
+        if (op == "post") {
+          builder_.post(p, e);
+        } else if (op == "wait") {
+          builder_.wait(p, e);
+        } else {
+          builder_.clear(p, e);
+        }
+      } else if (op == "fork" || op == "join") {
+        if (tokens.size() != 3) fail("usage: <proc> fork|join <proc>");
+        const ProcId child = parse_proc(tokens[2]);
+        try {
+          if (op == "fork") {
+            builder_.fork_existing(p, child);
+          } else {
+            builder_.join(p, child);
+          }
+        } catch (const CheckError& err) {
+          fail(err.what());
+        }
+      } else if (op == "compute") {
+        parse_compute(p, *line);
+      } else {
+        fail("unknown operation '" + std::string(op) + "'");
+      }
+    }
+    fail("missing 'end' after schedule");
+  }
+
+  void parse_compute(ProcId p, const std::string& line) {
+    // <proc> compute [label="..."] [r=a,b] [w=c]
+    std::string label;
+    std::vector<VarId> reads;
+    std::vector<VarId> writes;
+    // Tokenize respecting the quoted label.
+    std::string_view rest = line;
+    rest.remove_prefix(rest.find("compute") + 7);
+    while (!trim(rest).empty()) {
+      rest = trim(rest);
+      if (starts_with(rest, "label=")) {
+        rest.remove_prefix(6);
+        if (rest.empty() || rest.front() != '"') {
+          fail("label value must be quoted");
+        }
+        rest.remove_prefix(1);
+        const std::size_t close = rest.find('"');
+        if (close == std::string_view::npos) fail("unterminated label");
+        label = std::string(rest.substr(0, close));
+        rest.remove_prefix(close + 1);
+      } else if (starts_with(rest, "r=") || starts_with(rest, "w=")) {
+        const bool is_read = rest.front() == 'r';
+        rest.remove_prefix(2);
+        std::size_t stop = rest.find(' ');
+        if (stop == std::string_view::npos) stop = rest.size();
+        for (std::string_view name : split(rest.substr(0, stop), ',')) {
+          const auto it = vars_.find(std::string(name));
+          if (it == vars_.end()) {
+            fail("undeclared variable '" + std::string(name) + "'");
+          }
+          (is_read ? reads : writes).push_back(it->second);
+        }
+        rest.remove_prefix(stop);
+      } else {
+        fail("unknown compute attribute near '" + std::string(rest) + "'");
+      }
+    }
+    builder_.compute(p, std::move(label), std::move(reads),
+                     std::move(writes));
+  }
+
+  void parse_trailer() {
+    while (auto line = next_line()) {
+      const auto tokens = split_ws(*line);
+      if (tokens.front() != "dep" || tokens.size() != 3) {
+        fail("only 'dep <a> <b>' lines may follow 'end'");
+      }
+      const auto a = parse_int(tokens[1]);
+      const auto b = parse_int(tokens[2]);
+      if (!a || !b || *a < 0 || *b < 0 ||
+          static_cast<std::size_t>(*a) >= builder_.num_events() ||
+          static_cast<std::size_t>(*b) >= builder_.num_events()) {
+        fail("dependence event id out of range");
+      }
+      builder_.add_dependence(static_cast<EventId>(*a),
+                              static_cast<EventId>(*b));
+    }
+  }
+
+  std::istream& in_;
+  std::size_t line_no_ = 0;
+  TraceBuilder builder_;
+  std::size_t num_procs_ = 1;
+  std::map<std::string, ObjectId> sems_;
+  std::map<std::string, ObjectId> events_;
+  std::map<std::string, VarId> vars_;
+};
+
+}  // namespace
+
+Trace parse_trace(std::istream& in) { return Parser(in).run(); }
+
+Trace parse_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  EVORD_CHECK(in.good(), "cannot open trace file '" << path << "'");
+  return parse_trace(in);
+}
+
+std::string write_trace(const Trace& trace) {
+  std::ostringstream os;
+  os << "evord-trace 1\n";
+  for (const SemaphoreInfo& s : trace.semaphores()) {
+    os << "sem " << s.name << ' ' << s.initial << (s.binary ? " binary" : "")
+       << '\n';
+  }
+  for (const EventVarInfo& v : trace.event_vars()) {
+    os << "event " << v.name << (v.initially_posted ? " posted" : "") << '\n';
+  }
+  for (const std::string& v : trace.variables()) os << "var " << v << '\n';
+  os << "procs " << trace.num_processes() << '\n';
+  os << "autodeps off\n";
+  os << "schedule\n";
+  // Event ids in the emitted file are observed positions; remember the
+  // mapping so `dep` lines refer to the new ids.
+  std::vector<EventId> new_id(trace.num_events());
+  for (std::size_t pos = 0; pos < trace.observed_order().size(); ++pos) {
+    const Event& e = trace.event(trace.observed_order()[pos]);
+    new_id[e.id] = static_cast<EventId>(pos);
+    os << e.process << ' ';
+    switch (e.kind) {
+      case EventKind::kSemP:
+        os << "P " << trace.semaphores()[e.object].name;
+        break;
+      case EventKind::kSemV:
+        os << "V " << trace.semaphores()[e.object].name;
+        break;
+      case EventKind::kPost:
+        os << "post " << trace.event_vars()[e.object].name;
+        break;
+      case EventKind::kWait:
+        os << "wait " << trace.event_vars()[e.object].name;
+        break;
+      case EventKind::kClear:
+        os << "clear " << trace.event_vars()[e.object].name;
+        break;
+      case EventKind::kFork:
+        os << "fork " << e.object;
+        break;
+      case EventKind::kJoin:
+        os << "join " << e.object;
+        break;
+      case EventKind::kCompute: {
+        os << "compute";
+        if (!e.label.empty()) os << " label=\"" << e.label << '"';
+        auto emit_vars = [&](const char* key, const std::vector<VarId>& vs) {
+          if (vs.empty()) return;
+          os << ' ' << key << '=';
+          for (std::size_t i = 0; i < vs.size(); ++i) {
+            if (i != 0) os << ',';
+            os << trace.variables()[vs[i]];
+          }
+        };
+        emit_vars("r", e.reads);
+        emit_vars("w", e.writes);
+        break;
+      }
+    }
+    os << '\n';
+  }
+  os << "end\n";
+  for (const auto& [a, b] : trace.dependences()) {
+    os << "dep " << new_id[a] << ' ' << new_id[b] << '\n';
+  }
+  return os.str();
+}
+
+void save_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  EVORD_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << write_trace(trace);
+  EVORD_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace evord

@@ -1,0 +1,58 @@
+// Text serialization of traces.
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   evord-trace 1
+//   sem <name> <initial> [binary]     # declare a semaphore
+//   event <name> [posted]             # declare an event variable
+//   var <name>                        # declare a shared variable
+//   procs <count>                     # total number of processes (>= 1)
+//   autodeps off                      # optional: do not derive D
+//   schedule                          # events follow, in observed order
+//   <proc> P <sem>
+//   <proc> V <sem>
+//   <proc> post <event>
+//   <proc> wait <event>
+//   <proc> clear <event>
+//   <proc> fork <child-proc>
+//   <proc> join <child-proc>
+//   <proc> compute [label=<quoted>] [r=<v1,v2>] [w=<v1,v2>]
+//   end
+//   dep <event-id> <event-id>         # optional explicit D edges
+//
+// Event ids are assigned in schedule order starting from 0, so the file's
+// line order *is* the observed temporal order T.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace evord {
+
+/// Thrown on malformed input; carries a 1-based line number.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a trace; validates the model axioms before returning.
+Trace parse_trace(std::istream& in);
+Trace parse_trace_string(const std::string& text);
+Trace load_trace_file(const std::string& path);
+
+/// Serializes so that parse_trace(write_trace(t)) reproduces `t`.
+/// All D edges are written as explicit `dep` lines (with `autodeps off`),
+/// which makes the round trip exact regardless of how D was obtained.
+std::string write_trace(const Trace& trace);
+void save_trace_file(const Trace& trace, const std::string& path);
+
+}  // namespace evord

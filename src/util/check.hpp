@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking for evord.
+//
+// EVORD_CHECK(cond, msg): always-on check that throws evord::CheckError.
+// Used for API preconditions and for validating untrusted inputs (trace
+// files, DIMACS files).  Internal invariants that are cheap use the same
+// macro; hot-loop invariants use EVORD_DCHECK which compiles away in
+// release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace evord {
+
+/// Thrown when a precondition or invariant check fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "evord check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace evord
+
+#define EVORD_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::evord::detail::check_failed(#cond, __FILE__, __LINE__,            \
+                                    (std::ostringstream{} << msg).str()); \
+    }                                                                     \
+  } while (false)
+
+#ifndef NDEBUG
+#define EVORD_DCHECK(cond, msg) EVORD_CHECK(cond, msg)
+#else
+#define EVORD_DCHECK(cond, msg) \
+  do {                          \
+  } while (false)
+#endif

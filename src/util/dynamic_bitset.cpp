@@ -1,0 +1,150 @@
+#include "util/dynamic_bitset.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+namespace {
+std::size_t words_for(std::size_t nbits) {
+  return (nbits + DynamicBitset::kWordBits - 1) / DynamicBitset::kWordBits;
+}
+}  // namespace
+
+DynamicBitset::DynamicBitset(std::size_t nbits, bool value)
+    : words_(words_for(nbits), value ? ~Word{0} : Word{0}), nbits_(nbits) {
+  trim();
+}
+
+void DynamicBitset::resize(std::size_t nbits, bool value) {
+  const std::size_t old_bits = nbits_;
+  words_.resize(words_for(nbits), value ? ~Word{0} : Word{0});
+  nbits_ = nbits;
+  if (value && nbits > old_bits && old_bits % kWordBits != 0) {
+    // The partially used boundary word kept stale zero bits; set them.
+    const std::size_t w = old_bits / kWordBits;
+    words_[w] |= ~Word{0} << (old_bits % kWordBits);
+  }
+  trim();
+}
+
+void DynamicBitset::set_all() noexcept {
+  for (Word& w : words_) w = ~Word{0};
+  trim();
+}
+
+void DynamicBitset::reset_all() noexcept {
+  for (Word& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t n = 0;
+  for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::any() const noexcept {
+  for (Word w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::all() const noexcept { return count() == nbits_; }
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return nbits_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const noexcept {
+  ++i;
+  if (i >= nbits_) return nbits_;
+  std::size_t w = i / kWordBits;
+  Word masked = words_[w] & (~Word{0} << (i % kWordBits));
+  if (masked != 0) {
+    return w * kWordBits + static_cast<std::size_t>(std::countr_zero(masked));
+  }
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * kWordBits +
+             static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return nbits_;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
+  EVORD_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= o.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
+  EVORD_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= o.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& o) {
+  EVORD_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::subtract(const DynamicBitset& o) {
+  EVORD_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~o.words_[w];
+  return *this;
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& o) const noexcept {
+  return nbits_ == o.nbits_ && words_ == o.words_;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& o) const noexcept {
+  const std::size_t n = std::min(words_.size(), o.words_.size());
+  for (std::size_t w = 0; w < n; ++w) {
+    if ((words_[w] & o.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& o) const noexcept {
+  if (nbits_ != o.nbits_) return false;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & ~o.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t DynamicBitset::hash() const noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (Word w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string s;
+  s.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) s.push_back(test(i) ? '1' : '0');
+  return s;
+}
+
+void DynamicBitset::trim() noexcept {
+  const std::size_t rem = nbits_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= ~Word{0} >> (kWordBits - rem);
+  }
+}
+
+}  // namespace evord

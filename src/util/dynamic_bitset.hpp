@@ -1,0 +1,114 @@
+// A compact runtime-sized bitset used throughout evord for reachability
+// matrices, enabled-event sets and relation storage.
+//
+// The representation is a flat vector of 64-bit words (Per.16: compact data
+// structures).  All word-level operations are branch-free; the class is a
+// value type with the usual copy/move semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace evord {
+
+class DynamicBitset {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kWordBits = 64;
+
+  DynamicBitset() = default;
+  /// Constructs a bitset of `nbits` bits, all zero (or all one).
+  explicit DynamicBitset(std::size_t nbits, bool value = false);
+
+  std::size_t size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+
+  /// Resizes to `nbits`; new bits are `value`.
+  void resize(std::size_t nbits, bool value = false);
+
+  bool test(std::size_t i) const noexcept {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+  bool operator[](std::size_t i) const noexcept { return test(i); }
+
+  void set(std::size_t i) noexcept {
+    words_[i / kWordBits] |= Word{1} << (i % kWordBits);
+  }
+  void reset(std::size_t i) noexcept {
+    words_[i / kWordBits] &= ~(Word{1} << (i % kWordBits));
+  }
+  void set(std::size_t i, bool value) noexcept {
+    if (value) {
+      set(i);
+    } else {
+      reset(i);
+    }
+  }
+  void flip(std::size_t i) noexcept {
+    words_[i / kWordBits] ^= Word{1} << (i % kWordBits);
+  }
+
+  void set_all() noexcept;
+  void reset_all() noexcept;
+
+  /// Number of set bits.
+  std::size_t count() const noexcept;
+  bool any() const noexcept;
+  bool none() const noexcept { return !any(); }
+  bool all() const noexcept;
+
+  /// Index of the first set bit, or `size()` if none.
+  std::size_t find_first() const noexcept;
+  /// Index of the first set bit strictly after `i`, or `size()` if none.
+  std::size_t find_next(std::size_t i) const noexcept;
+
+  DynamicBitset& operator|=(const DynamicBitset& o);
+  DynamicBitset& operator&=(const DynamicBitset& o);
+  DynamicBitset& operator^=(const DynamicBitset& o);
+  /// this := this & ~o
+  DynamicBitset& subtract(const DynamicBitset& o);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator^(DynamicBitset a, const DynamicBitset& b) {
+    a ^= b;
+    return a;
+  }
+
+  bool operator==(const DynamicBitset& o) const noexcept;
+  bool operator!=(const DynamicBitset& o) const noexcept {
+    return !(*this == o);
+  }
+
+  /// True iff this and `o` share at least one set bit.
+  bool intersects(const DynamicBitset& o) const noexcept;
+  /// True iff every set bit of this is also set in `o`.
+  bool is_subset_of(const DynamicBitset& o) const noexcept;
+
+  /// FNV-1a hash over the active words; usable as a state fingerprint.
+  std::uint64_t hash() const noexcept;
+
+  /// "10110..." with bit 0 first; for debugging and tests.
+  std::string to_string() const;
+
+  /// Direct word access (for bit-parallel closure algorithms).
+  std::size_t word_count() const noexcept { return words_.size(); }
+  Word word(std::size_t w) const noexcept { return words_[w]; }
+  Word& word(std::size_t w) noexcept { return words_[w]; }
+
+ private:
+  void trim() noexcept;  // clear bits past nbits_ in the last word
+
+  std::vector<Word> words_;
+  std::size_t nbits_ = 0;
+};
+
+}  // namespace evord

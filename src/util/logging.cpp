@@ -1,0 +1,56 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace evord {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void stderr_sink(LogLevel level, const std::string& message) {
+  // One mutex keeps multi-threaded log lines whole; logging is not on any
+  // hot path (CP.43: critical section is a single fprintf).
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[evord %s] %s\n", level_name(level), message.c_str());
+}
+
+std::atomic<LogSink> g_sink{&stderr_sink};
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+}  // namespace
+
+LogSink set_log_sink(LogSink sink) {
+  return g_sink.exchange(sink != nullptr ? sink : &stderr_sink);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message) {
+  g_sink.load()(level, message);
+}
+}  // namespace detail
+
+}  // namespace evord

@@ -1,0 +1,56 @@
+// Minimal leveled logging.  evord is a library: logging defaults to
+// warnings-and-above on stderr, and the host application can raise or
+// silence it globally.  No global constructors with observable side
+// effects; the sink is a plain function pointer swap.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace evord {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+using LogSink = void (*)(LogLevel, const std::string& message);
+
+/// Replaces the global log sink; returns the previous sink.
+/// Passing nullptr restores the default stderr sink.
+LogSink set_log_sink(LogSink sink);
+
+/// Messages below this level are discarded before formatting.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace evord
+
+#define EVORD_LOG(level)                               \
+  if (static_cast<int>(level) >=                       \
+      static_cast<int>(::evord::log_level()))          \
+  ::evord::detail::LogLine(level)
+
+#define EVORD_LOG_DEBUG EVORD_LOG(::evord::LogLevel::kDebug)
+#define EVORD_LOG_INFO EVORD_LOG(::evord::LogLevel::kInfo)
+#define EVORD_LOG_WARN EVORD_LOG(::evord::LogLevel::kWarn)
+#define EVORD_LOG_ERROR EVORD_LOG(::evord::LogLevel::kError)

@@ -1,0 +1,64 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// Every randomized component in evord (workload generators, random
+// schedulers, SAT instance generators) takes an explicit `Rng&` so that
+// experiments are reproducible from a single seed recorded in the bench
+// output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace evord {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// reimplemented here.  Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via splitmix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with probability `p`.
+  bool chance(double p) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+  /// Picks a uniformly random element index; container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) noexcept {
+    return v[below(v.size())];
+  }
+
+  /// Forks an independent stream (for parallel workers).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace evord

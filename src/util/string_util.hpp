@@ -1,0 +1,34 @@
+// Small string helpers shared by the trace and DIMACS parsers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evord {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; empty pieces are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Whole-string integer parse; nullopt on any trailing garbage or overflow.
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace evord

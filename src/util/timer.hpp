@@ -1,0 +1,49 @@
+// Monotonic wall-clock timing for benches and budget-limited search.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace evord {
+
+/// A started stopwatch.  Value type; copying snapshots the start time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  std::uint64_t micros() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline for exponential searches: callers poll `expired()` and
+/// abandon the search cleanly.  A zero budget means "no limit".
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(double budget_seconds) : budget_(budget_seconds) {}
+
+  bool limited() const { return budget_ > 0.0; }
+  bool expired() const { return limited() && timer_.seconds() >= budget_; }
+  double remaining() const {
+    return limited() ? budget_ - timer_.seconds() : 0.0;
+  }
+
+ private:
+  Timer timer_;
+  double budget_ = 0.0;
+};
+
+}  // namespace evord

@@ -1,0 +1,228 @@
+#include "workload/generators.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+Trace random_semaphore_trace(const SemTraceConfig& config, Rng& rng) {
+  EVORD_CHECK(config.num_processes >= 1, "need a process");
+  TraceBuilder b;
+  std::vector<ObjectId> sems;
+  for (std::size_t s = 0; s < config.num_semaphores; ++s) {
+    const std::string name = "s" + std::to_string(s);
+    sems.push_back(config.binary_semaphores ? b.binary_semaphore(name)
+                                            : b.semaphore(name));
+  }
+  std::vector<VarId> vars;
+  for (std::size_t v = 0; v < config.num_variables; ++v) {
+    vars.push_back(b.variable("x" + std::to_string(v)));
+  }
+  std::vector<ProcId> procs{b.root()};
+  while (procs.size() < config.num_processes) procs.push_back(b.add_process());
+
+  std::vector<int> count(config.num_semaphores, 0);
+  for (std::size_t i = 0; i < config.num_events; ++i) {
+    const ProcId p = procs[rng.below(procs.size())];
+    if (!sems.empty() && rng.chance(config.sync_probability)) {
+      const std::size_t s = rng.below(sems.size());
+      if (count[s] > 0 && rng.chance(0.5)) {
+        b.sem_p(p, sems[s]);
+        --count[s];
+      } else {
+        b.sem_v(p, sems[s]);
+        if (!(config.binary_semaphores && count[s] == 1)) ++count[s];
+      }
+    } else {
+      std::vector<VarId> reads;
+      std::vector<VarId> writes;
+      if (!vars.empty()) {
+        if (rng.chance(0.6)) reads.push_back(vars[rng.below(vars.size())]);
+        if (rng.chance(0.5)) writes.push_back(vars[rng.below(vars.size())]);
+      }
+      b.compute(p, "c" + std::to_string(i), std::move(reads),
+                std::move(writes));
+    }
+  }
+  return b.build();
+}
+
+Trace random_event_trace(const EventTraceConfig& config, Rng& rng) {
+  EVORD_CHECK(config.num_processes >= 1 && config.num_event_vars >= 1,
+              "need a process and an event variable");
+  TraceBuilder b;
+  std::vector<ObjectId> evs;
+  for (std::size_t v = 0; v < config.num_event_vars; ++v) {
+    evs.push_back(b.event_var("e" + std::to_string(v)));
+  }
+  std::vector<VarId> vars;
+  for (std::size_t v = 0; v < config.num_variables; ++v) {
+    vars.push_back(b.variable("x" + std::to_string(v)));
+  }
+  std::vector<ProcId> procs{b.root()};
+  while (procs.size() < config.num_processes) procs.push_back(b.add_process());
+
+  std::vector<bool> posted(config.num_event_vars, false);
+  for (std::size_t i = 0; i < config.num_events; ++i) {
+    const ProcId p = procs[rng.below(procs.size())];
+    if (!vars.empty() && rng.chance(0.3)) {
+      const bool write = rng.chance(0.5);
+      const VarId v = vars[rng.below(vars.size())];
+      b.compute(p, "c" + std::to_string(i),
+                write ? std::vector<VarId>{} : std::vector<VarId>{v},
+                write ? std::vector<VarId>{v} : std::vector<VarId>{});
+      continue;
+    }
+    const std::size_t v = rng.below(evs.size());
+    if (posted[v] && rng.chance(config.wait_probability)) {
+      b.wait(p, evs[v]);
+    } else if (posted[v] && rng.chance(config.clear_probability)) {
+      b.clear(p, evs[v]);
+      posted[v] = false;
+    } else {
+      b.post(p, evs[v]);
+      posted[v] = true;
+    }
+  }
+  return b.build();
+}
+
+Trace random_fork_join_trace(std::size_t num_children,
+                             std::size_t events_per_child, Rng& rng) {
+  EVORD_CHECK(num_children >= 1, "need a child");
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const VarId x = b.variable("x");
+  std::vector<ProcId> children;
+  for (std::size_t c = 0; c < num_children; ++c) {
+    children.push_back(b.fork(b.root()));
+  }
+  int count = 0;
+  for (std::size_t i = 0; i < num_children * events_per_child; ++i) {
+    const ProcId p = children[rng.below(children.size())];
+    const auto choice = rng.below(3);
+    if (choice == 0) {
+      b.sem_v(p, s);
+      ++count;
+    } else if (choice == 1 && count > 0) {
+      b.sem_p(p, s);
+      --count;
+    } else {
+      const bool write = rng.chance(0.5);
+      b.compute(p, "", write ? std::vector<VarId>{} : std::vector<VarId>{x},
+                write ? std::vector<VarId>{x} : std::vector<VarId>{});
+    }
+  }
+  for (ProcId c : children) b.join(b.root(), c);
+  return b.build();
+}
+
+Trace pipeline_trace(std::size_t stages, std::size_t items) {
+  EVORD_CHECK(stages >= 2 && items >= 1, "need >= 2 stages and an item");
+  TraceBuilder b;
+  // `links` carries "cell full" tokens downstream; `acks` carries "cell
+  // free" tokens back upstream (capacity-1 bounded buffer).  Without the
+  // acks a producer could overwrite a cell while the consumer reads it —
+  // a genuine race this generator must not contain.
+  std::vector<ObjectId> links;
+  std::vector<ObjectId> acks;
+  for (std::size_t s = 0; s + 1 < stages; ++s) {
+    links.push_back(b.semaphore("link" + std::to_string(s)));
+    acks.push_back(b.semaphore("ack" + std::to_string(s), 1));
+  }
+  std::vector<VarId> cells;
+  for (std::size_t s = 0; s + 1 < stages; ++s) {
+    cells.push_back(b.variable("cell" + std::to_string(s)));
+  }
+  std::vector<ProcId> procs{b.root()};
+  for (std::size_t s = 1; s < stages; ++s) procs.push_back(b.add_process());
+
+  // Observed order: item-by-item through the whole pipeline (any valid
+  // order would do; this one is simplest to emit).
+  for (std::size_t item = 0; item < items; ++item) {
+    for (std::size_t s = 0; s < stages; ++s) {
+      const std::string tag =
+          "i" + std::to_string(item) + "s" + std::to_string(s);
+      if (s > 0) b.sem_p(procs[s], links[s - 1]);
+      if (s + 1 < stages) b.sem_p(procs[s], acks[s]);
+      std::vector<VarId> reads;
+      std::vector<VarId> writes;
+      if (s > 0) reads.push_back(cells[s - 1]);
+      if (s + 1 < stages) writes.push_back(cells[s]);
+      b.compute(procs[s], "work" + tag, std::move(reads), std::move(writes));
+      if (s > 0) b.sem_v(procs[s], acks[s - 1]);
+      if (s + 1 < stages) b.sem_v(procs[s], links[s]);
+    }
+  }
+  return b.build();
+}
+
+Trace barrier_trace(std::size_t num_processes, std::size_t phases) {
+  EVORD_CHECK(num_processes >= 2, "need >= 2 processes");
+  TraceBuilder b;
+  // One arrive/depart semaphore pair per phase; the last arriver (in the
+  // observed order, process 0 acts as coordinator) releases everyone.
+  std::vector<ObjectId> arrive;
+  std::vector<ObjectId> depart;
+  for (std::size_t ph = 0; ph < phases; ++ph) {
+    arrive.push_back(b.semaphore("arrive" + std::to_string(ph)));
+    depart.push_back(b.semaphore("depart" + std::to_string(ph)));
+  }
+  std::vector<VarId> slots;
+  for (std::size_t p = 0; p < num_processes; ++p) {
+    slots.push_back(b.variable("slot" + std::to_string(p)));
+  }
+  const VarId shared = b.variable("shared");
+  std::vector<ProcId> procs{b.root()};
+  while (procs.size() < num_processes) procs.push_back(b.add_process());
+
+  for (std::size_t ph = 0; ph < phases; ++ph) {
+    // Everyone (including the coordinator) writes its slot and arrives.
+    for (std::size_t p = 0; p < num_processes; ++p) {
+      b.compute(procs[p], "", {}, {slots[p]});
+      if (p != 0) b.sem_v(procs[p], arrive[ph]);
+    }
+    // Coordinator collects arrivals, writes the shared cell, releases.
+    for (std::size_t p = 1; p < num_processes; ++p) {
+      b.sem_p(procs[0], arrive[ph]);
+    }
+    b.compute(procs[0], "publish" + std::to_string(ph), {}, {shared});
+    for (std::size_t p = 1; p < num_processes; ++p) {
+      b.sem_v(procs[0], depart[ph]);
+    }
+    for (std::size_t p = 1; p < num_processes; ++p) {
+      b.sem_p(procs[p], depart[ph]);
+      b.compute(procs[p], "", {shared}, {});
+    }
+  }
+  return b.build();
+}
+
+Program dining_philosophers(std::size_t seats, std::size_t rounds) {
+  EVORD_CHECK(seats >= 2, "need >= 2 philosophers");
+  Program prog;
+  std::vector<ObjectId> forks;
+  for (std::size_t f = 0; f < seats; ++f) {
+    forks.push_back(prog.binary_semaphore("fork" + std::to_string(f), 1));
+  }
+  for (std::size_t p = 0; p < seats; ++p) {
+    const ProcId proc = prog.add_process("phil" + std::to_string(p));
+    // Asymmetric acquisition order breaks the circular wait.
+    const ObjectId first =
+        p + 1 == seats ? forks[0] : forks[p];
+    const ObjectId second =
+        p + 1 == seats ? forks[p] : forks[(p + 1) % seats];
+    for (std::size_t r = 0; r < rounds; ++r) {
+      prog.append(proc, Stmt::sem_p(first));
+      prog.append(proc, Stmt::sem_p(second));
+      prog.append(proc, Stmt::skip("eat" + std::to_string(p) + "_" +
+                                   std::to_string(r)));
+      prog.append(proc, Stmt::sem_v(second));
+      prog.append(proc, Stmt::sem_v(first));
+    }
+  }
+  return prog;
+}
+
+}  // namespace evord

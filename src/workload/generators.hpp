@@ -1,0 +1,63 @@
+// Workload generators: parameterized families of valid traces and
+// programs for tests, benches and experiments.
+//
+// Trace generators emit operations only when the semantics allow them at
+// emission time, so the build order is a valid observed order and the
+// resulting Trace always passes the axiom validator.
+#pragma once
+
+#include <cstdint>
+
+#include "sync/program.hpp"
+#include "trace/builder.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace evord {
+
+struct SemTraceConfig {
+  std::size_t num_processes = 3;
+  std::size_t num_semaphores = 2;
+  std::size_t num_variables = 2;
+  std::size_t num_events = 12;
+  double sync_probability = 0.55;  ///< semaphore op vs computation
+  bool binary_semaphores = false;
+};
+
+/// Random semaphore/computation trace.
+Trace random_semaphore_trace(const SemTraceConfig& config, Rng& rng);
+
+struct EventTraceConfig {
+  std::size_t num_processes = 3;
+  std::size_t num_event_vars = 2;
+  std::size_t num_variables = 0;
+  std::size_t num_events = 12;
+  double wait_probability = 0.4;   ///< when posted
+  double clear_probability = 0.3;  ///< when posted and not waiting
+};
+
+/// Random Post/Wait/Clear trace.
+Trace random_event_trace(const EventTraceConfig& config, Rng& rng);
+
+/// Fork/join tree: the root forks `num_children` workers that perform
+/// random semaphore/computation events, then joins them all.
+Trace random_fork_join_trace(std::size_t num_children,
+                             std::size_t events_per_child, Rng& rng);
+
+/// A producer/consumer pipeline of `stages` processes connected by
+/// semaphores; stage i writes x_i and signals stage i+1.  Fully
+/// synchronized: race-free by construction, MHB-dense.
+Trace pipeline_trace(std::size_t stages, std::size_t items);
+
+/// `phases` barrier rounds over `num_processes` processes, implemented
+/// with a pair of counting semaphores per phase (arrive/depart).  Each
+/// process writes a private slot each phase and reads a shared cell
+/// after the barrier — race-free, heavily concurrent within phases.
+Trace barrier_trace(std::size_t num_processes, std::size_t phases);
+
+/// Dining philosophers as a Program (forks = binary semaphores, with the
+/// classic asymmetric deadlock-avoidance order).  Runnable on the
+/// scheduler; every schedule completes.
+Program dining_philosophers(std::size_t seats, std::size_t rounds);
+
+}  // namespace evord

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hpp"
+#include "core/report.hpp"
+#include "helpers.hpp"
+#include "trace/builder.hpp"
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+namespace {
+
+Trace quickstart_trace() {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "w", {}, {x});  // e0
+  b.sem_v(b.root(), s);               // e1
+  b.sem_p(p1, s);                     // e2
+  b.compute(p1, "r", {x}, {});        // e3
+  return b.build();
+}
+
+TEST(Analyzer, RejectsInvalidTraces) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  b.sem_p(b.root(), s);
+  EXPECT_THROW(OrderingAnalyzer a(b.build_unchecked()), CheckError);
+}
+
+TEST(Analyzer, PairQueriesMatchExactSolver) {
+  OrderingAnalyzer a(quickstart_trace());
+  EXPECT_TRUE(a.must_have_happened_before(0, 3));
+  EXPECT_TRUE(a.could_have_happened_before(0, 3));
+  EXPECT_FALSE(a.could_have_happened_before(3, 0));
+  EXPECT_FALSE(a.could_have_been_concurrent(0, 3));
+  EXPECT_TRUE(a.must_have_been_ordered(0, 3));
+  EXPECT_TRUE(a.could_have_been_ordered(0, 3));
+  EXPECT_FALSE(a.must_have_been_concurrent(0, 3));
+}
+
+TEST(Analyzer, CachesPerSemantics) {
+  OrderingAnalyzer a(quickstart_trace());
+  const OrderingRelations& r1 = a.relations(Semantics::kCausal);
+  const OrderingRelations& r2 = a.relations(Semantics::kCausal);
+  EXPECT_EQ(&r1, &r2);  // same object: cached
+  const OrderingRelations& r3 = a.relations(Semantics::kInterleaving);
+  EXPECT_EQ(r3.semantics, Semantics::kInterleaving);
+}
+
+TEST(Analyzer, WitnessesRoundTrip) {
+  TraceBuilder b;
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "a");
+  b.compute(p1, "b");
+  OrderingAnalyzer a(b.build());
+  EXPECT_TRUE(a.witness_concurrent(0, 1).has_value());
+  EXPECT_TRUE(
+      a.witness_happened_before(1, 0, Semantics::kInterleaving).has_value());
+  EXPECT_FALSE(
+      a.witness_happened_before(1, 0, Semantics::kCausal).has_value());
+}
+
+TEST(Analyzer, BaselinesAccessible) {
+  OrderingAnalyzer a(quickstart_trace());
+  const VectorClockResult& vc = a.vector_clocks();
+  EXPECT_TRUE(vc.happened_before.holds(0, 3));
+  const HmwResult& hmw = a.hmw();
+  EXPECT_TRUE(hmw.safe_happened_before.holds(1, 2));
+  EXPECT_EQ(&a.hmw(), &hmw);  // cached
+}
+
+TEST(Analyzer, EgpOnEventTrace) {
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e");
+  const ProcId p1 = b.add_process();
+  b.post(b.root(), e);
+  b.wait(p1, e);
+  OrderingAnalyzer a(b.build());
+  EXPECT_TRUE(a.egp().guaranteed.holds(0, 1));
+}
+
+TEST(Analyzer, CombinedAndDeadlockFacades) {
+  OrderingAnalyzer a(quickstart_trace());
+  const CombinedResult& combined = a.combined();
+  EXPECT_TRUE(combined.guaranteed.holds(0, 3));
+  EXPECT_EQ(&a.combined(), &combined);  // cached
+  const DeadlockReport& deadlocks = a.deadlocks();
+  EXPECT_FALSE(deadlocks.can_deadlock);
+  EXPECT_EQ(&a.deadlocks(), &deadlocks);
+}
+
+TEST(Analyzer, CoexistenceFacade) {
+  TraceBuilder b;
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "x");
+  b.compute(p1, "y");
+  OrderingAnalyzer a(b.build());
+  EXPECT_TRUE(a.could_have_coexisted(0, 1));
+  OrderingAnalyzer chain(quickstart_trace());
+  EXPECT_FALSE(chain.could_have_coexisted(0, 3));
+}
+
+TEST(Analyzer, RacesDelegate) {
+  OrderingAnalyzer a(quickstart_trace());
+  EXPECT_TRUE(a.races(RaceDetector::kExact).races.empty());
+  EXPECT_TRUE(a.races(RaceDetector::kObserved).races.empty());
+}
+
+TEST(Analyzer, ReportMentionsEventsAndRelations) {
+  OrderingAnalyzer a(quickstart_trace());
+  const std::string report = a.report();
+  EXPECT_NE(report.find("MHB"), std::string::npos);
+  EXPECT_NE(report.find("semantics=causal"), std::string::npos);
+  EXPECT_NE(report.find("compute"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(Report, EventTableListsAllEvents) {
+  const Trace t = quickstart_trace();
+  const std::string table = format_event_table(t);
+  EXPECT_NE(table.find("e0"), std::string::npos);
+  EXPECT_NE(table.find("e3"), std::string::npos);
+  EXPECT_NE(table.find("w:x"), std::string::npos);
+  EXPECT_NE(table.find("r:x"), std::string::npos);
+}
+
+TEST(Report, RelationGridShape) {
+  RelationMatrix m(3);
+  m.set(0, 2);
+  const std::string grid = format_relation_grid(m, "test");
+  EXPECT_NE(grid.find("test (1 pairs)"), std::string::npos);
+  EXPECT_NE(grid.find("..X"), std::string::npos);
+}
+
+TEST(Report, SummaryCountsPairs) {
+  OrderingAnalyzer a(quickstart_trace());
+  const std::string s =
+      summarize_relations(a.trace(), a.relations(Semantics::kCausal));
+  EXPECT_NE(s.find("MHB"), std::string::npos);
+  EXPECT_NE(s.find("causal classes"), std::string::npos);
+}
+
+TEST(Report, RelationDotIsWellFormedAndReduced) {
+  OrderingAnalyzer a(quickstart_trace());
+  const std::string dot = relation_dot(
+      a.trace(), a.relations(Semantics::kCausal)[RelationKind::kMHB], "mhb");
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // Transitive reduction of the 4-chain has exactly 3 edges.
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 3u);
+}
+
+TEST(Report, TraceDotMarksDependences) {
+  const std::string dot = trace_dot(quickstart_trace());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);  // the D edge
+}
+
+TEST(Report, SummaryWarnsOnTruncation) {
+  Rng rng(81);
+  evord::testing::RandomTraceConfig config;
+  config.num_events = 14;
+  const Trace t = evord::testing::random_trace(config, rng);
+  ExactOptions options;
+  options.max_schedules = 1;
+  OrderingAnalyzer a(t, options);
+  const std::string s =
+      summarize_relations(a.trace(), a.relations(Semantics::kCausal));
+  EXPECT_NE(s.find("WARNING"), std::string::npos);
+}
+
+// ----------------------------------------------------- end-to-end flows
+
+TEST(EndToEnd, ParseAnalyzeReport) {
+  const Trace t = parse_trace_string(R"(
+evord-trace 1
+sem ready 0
+var data
+procs 2
+schedule
+0 compute label="write data" w=data
+0 V ready
+1 P ready
+1 compute label="read data" r=data
+end
+)");
+  OrderingAnalyzer a(t);
+  EXPECT_TRUE(a.must_have_happened_before(0, 3));
+  EXPECT_TRUE(a.races().races.empty());
+  EXPECT_FALSE(a.report().empty());
+}
+
+TEST(EndToEnd, RoundTripPreservesRelations) {
+  Rng rng(83);
+  evord::testing::RandomTraceConfig config;
+  config.num_events = 8;
+  const Trace t = evord::testing::random_trace(config, rng);
+  const Trace u = parse_trace_string(write_trace(t));
+  OrderingAnalyzer at(t);
+  OrderingAnalyzer au(u);
+  // The writer renumbers events by observed position.
+  const auto& rt = at.relations(Semantics::kCausal);
+  const auto& ru = au.relations(Semantics::kCausal);
+  for (RelationKind k : kAllRelationKinds) {
+    for (EventId a = 0; a < t.num_events(); ++a) {
+      for (EventId b = 0; b < t.num_events(); ++b) {
+        const EventId oa = t.observed_order()[a];
+        const EventId ob = t.observed_order()[b];
+        EXPECT_EQ(rt.holds(k, oa, ob), ru.holds(k, a, b))
+            << to_string(k) << ' ' << a << ',' << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evord

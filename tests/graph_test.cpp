@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/ancestor.hpp"
+#include "graph/digraph.hpp"
+#include "graph/dot.hpp"
+#include "graph/reachability.hpp"
+#include "graph/topo.hpp"
+#include "graph/transitive_reduction.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace evord {
+namespace {
+
+Digraph diamond() {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.finalize();
+  return g;
+}
+
+/// Random DAG: edges only from lower to higher ids.
+Digraph random_dag(std::size_t n, double p, Rng& rng) {
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+/// O(n^3) reference reachability.
+std::vector<std::vector<bool>> floyd_reach(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<bool>> r(n, std::vector<bool>(n, false));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.out(u)) r[u][v] = true;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (r[i][k] && r[k][j]) r[i][j] = true;
+      }
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------- digraph
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  const NodeId n = g.add_node();
+  EXPECT_EQ(n, 3u);
+  g.add_edge(0, 3);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(Digraph, ParallelEdgesCollapse) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out(0).size(), 1u);
+  EXPECT_EQ(g.in(1).size(), 1u);
+}
+
+TEST(Digraph, OutOfRangeEdgeThrows) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), CheckError);
+}
+
+TEST(Digraph, SourcesAndSinks) {
+  const Digraph g = diamond();
+  EXPECT_EQ(g.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(g.sinks(), std::vector<NodeId>{3});
+}
+
+TEST(Digraph, ReversedSwapsDirections) {
+  const Digraph g = diamond();
+  const Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(3, 1));
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_FALSE(r.has_edge(0, 1));
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+}
+
+TEST(Digraph, EnsureNodesGrows) {
+  Digraph g;
+  g.ensure_nodes(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  g.ensure_nodes(3);
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(Digraph, EqualityIgnoresInsertionOrder) {
+  Digraph a(3);
+  a.add_edge(0, 1);
+  a.add_edge(0, 2);
+  Digraph b(3);
+  b.add_edge(0, 2);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(a == b);
+}
+
+// ------------------------------------------------------------------ topo
+
+TEST(Topo, SortsDag) {
+  const auto order = topological_sort(diamond());
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  EXPECT_LT(pos[0], pos[1]);
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[3]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Topo, DeterministicTieBreak) {
+  Digraph g(4);
+  g.add_edge(0, 3);
+  g.finalize();
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(Topo, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.finalize();
+  EXPECT_FALSE(topological_sort(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Topo, FindCycleReturnsClosedWalk) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  g.finalize();
+  const auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 3u);
+  EXPECT_EQ(cycle->front(), cycle->back());
+  for (std::size_t i = 0; i + 1 < cycle->size(); ++i) {
+    EXPECT_TRUE(g.has_edge((*cycle)[i], (*cycle)[i + 1]));
+  }
+}
+
+TEST(Topo, FindCycleOnDagIsEmpty) {
+  EXPECT_FALSE(find_cycle(diamond()).has_value());
+}
+
+TEST(Topo, SelfLoopIsACycle) {
+  Digraph g(2);
+  g.add_edge(1, 1);
+  g.finalize();
+  EXPECT_FALSE(is_acyclic(g));
+  const auto cycle = find_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+}
+
+// ---------------------------------------------------------- reachability
+
+TEST(TransitiveClosure, Diamond) {
+  const TransitiveClosure tc(diamond());
+  EXPECT_TRUE(tc.reachable(0, 3));
+  EXPECT_TRUE(tc.reachable(0, 1));
+  EXPECT_FALSE(tc.reachable(1, 2));
+  EXPECT_FALSE(tc.reachable(3, 0));
+  EXPECT_FALSE(tc.reachable(0, 0));
+  EXPECT_TRUE(tc.incomparable(1, 2));
+  EXPECT_FALSE(tc.incomparable(0, 3));
+  EXPECT_EQ(tc.num_ordered_pairs(), 5u);
+}
+
+TEST(TransitiveClosure, RequiresDag) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.finalize();
+  EXPECT_THROW(TransitiveClosure tc(g), CheckError);
+}
+
+TEST(TransitiveClosure, MatchesFloydWarshallOnRandomDags) {
+  Rng rng(42);
+  for (int iter = 0; iter < 20; ++iter) {
+    const Digraph g = random_dag(30, 0.1, rng);
+    const TransitiveClosure tc(g);
+    const auto ref = floyd_reach(g);
+    for (NodeId u = 0; u < 30; ++u) {
+      for (NodeId v = 0; v < 30; ++v) {
+        EXPECT_EQ(tc.reachable(u, v), ref[u][v])
+            << "iter " << iter << " pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(ReachableFrom, SingleSource) {
+  const DynamicBitset r = reachable_from(diamond(), 0);
+  EXPECT_TRUE(r.test(1));
+  EXPECT_TRUE(r.test(2));
+  EXPECT_TRUE(r.test(3));
+  EXPECT_FALSE(r.test(0));
+}
+
+TEST(ReachableFrom, WorksOnCyclicGraphs) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.finalize();
+  const DynamicBitset r = reachable_from(g, 0);
+  EXPECT_TRUE(r.test(0));  // via the cycle
+  EXPECT_TRUE(r.test(1));
+  EXPECT_TRUE(r.test(2));
+}
+
+TEST(ReachableFrom, MultiSource) {
+  Digraph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.finalize();
+  const DynamicBitset r = reachable_from(g, std::vector<NodeId>{0, 1});
+  EXPECT_TRUE(r.test(2));
+  EXPECT_TRUE(r.test(3));
+  EXPECT_FALSE(r.test(4));
+}
+
+// ------------------------------------------------- transitive reduction
+
+TEST(TransitiveReduction, RemovesShortcutEdge) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // redundant
+  g.finalize();
+  const Digraph r = transitive_reduction(g);
+  EXPECT_EQ(r.num_edges(), 2u);
+  EXPECT_FALSE(r.has_edge(0, 2));
+}
+
+TEST(TransitiveReduction, PreservesReachabilityOnRandomDags) {
+  Rng rng(7);
+  for (int iter = 0; iter < 10; ++iter) {
+    const Digraph g = random_dag(20, 0.2, rng);
+    const Digraph r = transitive_reduction(g);
+    EXPECT_LE(r.num_edges(), g.num_edges());
+    const TransitiveClosure tg(g);
+    const TransitiveClosure tr(r);
+    for (NodeId u = 0; u < 20; ++u) {
+      for (NodeId v = 0; v < 20; ++v) {
+        EXPECT_EQ(tg.reachable(u, v), tr.reachable(u, v));
+      }
+    }
+  }
+}
+
+TEST(TransitiveReduction, Idempotent) {
+  Rng rng(9);
+  const Digraph g = random_dag(15, 0.3, rng);
+  const Digraph r1 = transitive_reduction(g);
+  const Digraph r2 = transitive_reduction(r1);
+  EXPECT_TRUE(r1 == r2);
+}
+
+// -------------------------------------------------------------- ancestor
+
+TEST(Ancestor, AncestorsOfSink) {
+  const DynamicBitset a = ancestors_of(diamond(), 3);
+  EXPECT_TRUE(a.test(0));
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_FALSE(a.test(3));
+}
+
+TEST(Ancestor, CommonAncestorsOfBranches) {
+  const DynamicBitset ca = common_ancestors(diamond(), {1, 2});
+  EXPECT_TRUE(ca.test(0));
+  EXPECT_EQ(ca.count(), 1u);
+}
+
+TEST(Ancestor, ClosestCommonAncestorsDiamond) {
+  const auto cca = closest_common_ancestors(diamond(), {1, 2});
+  EXPECT_EQ(cca, std::vector<NodeId>{0});
+}
+
+TEST(Ancestor, ClosestPrefersLatest) {
+  // 0 -> 1 -> 2 and 1 -> 3; CCA of {2,3} is 1 (not 0).
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.finalize();
+  EXPECT_EQ(closest_common_ancestors(g, {2, 3}), std::vector<NodeId>{1});
+}
+
+TEST(Ancestor, NoCommonAncestor) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  EXPECT_TRUE(common_ancestors(g, {1, 3}).none());
+  EXPECT_TRUE(closest_common_ancestors(g, {1, 3}).empty());
+}
+
+TEST(Ancestor, MultipleClosestAncestors) {
+  // Two incomparable nodes 0,1 both reach 2 and 3.
+  Digraph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.finalize();
+  const auto cca = closest_common_ancestors(g, {2, 3});
+  EXPECT_EQ(cca, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(Ancestor, EmptyQuery) {
+  EXPECT_TRUE(common_ancestors(diamond(), {}).none());
+}
+
+// ------------------------------------------------------------------- dot
+
+TEST(Dot, ContainsNodesAndEdges) {
+  DotOptions options;
+  options.graph_name = "test";
+  options.node_label = [](NodeId u) { return "N" + std::to_string(u); };
+  const std::string dot = to_dot(diamond(), options);
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"N0\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes) {
+  Digraph g(1);
+  DotOptions options;
+  options.node_label = [](NodeId) { return std::string("say \"hi\""); };
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(Dot, EdgeAttributes) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  DotOptions options;
+  options.edge_attrs = [](NodeId, NodeId) { return std::string("color=red"); };
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("n0 -> n1 [color=red]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evord

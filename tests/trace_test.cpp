@@ -1,0 +1,549 @@
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "trace/axioms.hpp"
+#include "trace/builder.hpp"
+#include "trace/dependence.hpp"
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+
+namespace evord {
+namespace {
+
+using evord::testing::RandomTraceConfig;
+using evord::testing::random_trace;
+
+// ---------------------------------------------------------------- events
+
+TEST(Event, KindPredicates) {
+  EXPECT_TRUE(is_semaphore_op(EventKind::kSemP));
+  EXPECT_TRUE(is_semaphore_op(EventKind::kSemV));
+  EXPECT_FALSE(is_semaphore_op(EventKind::kPost));
+  EXPECT_TRUE(is_event_op(EventKind::kPost));
+  EXPECT_TRUE(is_event_op(EventKind::kWait));
+  EXPECT_TRUE(is_event_op(EventKind::kClear));
+  EXPECT_FALSE(is_event_op(EventKind::kJoin));
+  EXPECT_TRUE(is_synchronization(EventKind::kFork));
+  EXPECT_FALSE(is_synchronization(EventKind::kCompute));
+}
+
+TEST(Event, ConflictRequiresWriteOverlap) {
+  Event a;
+  a.reads = {0};
+  a.writes = {1};
+  Event b;
+  b.reads = {1};
+  Event c;
+  c.reads = {0};
+  Event d;
+  d.writes = {0};
+  EXPECT_TRUE(a.conflicts_with(b));   // a writes 1, b reads 1
+  EXPECT_FALSE(a.conflicts_with(c));  // both only read 0
+  EXPECT_TRUE(a.conflicts_with(d));   // a reads 0, d writes 0
+  EXPECT_TRUE(d.conflicts_with(d));   // write-write
+}
+
+TEST(Event, DescribeMentionsKindAndLabel) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  b.compute(b.root(), "init", {}, {x});
+  const Trace t = b.build();
+  const std::string d = describe(t.event(0));
+  EXPECT_NE(d.find("compute"), std::string::npos);
+  EXPECT_NE(d.find("init"), std::string::npos);
+}
+
+// --------------------------------------------------------------- builder
+
+TEST(Builder, AssignsSequentialIdsInBuildOrder) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const ProcId p1 = b.add_process();
+  const EventId e0 = b.sem_v(b.root(), s);
+  const EventId e1 = b.sem_p(p1, s);
+  EXPECT_EQ(e0, 0u);
+  EXPECT_EQ(e1, 1u);
+  const Trace t = b.build();
+  EXPECT_EQ(t.num_events(), 2u);
+  EXPECT_EQ(t.observed_order(), (std::vector<EventId>{0, 1}));
+  EXPECT_EQ(t.observed_position(1), 1u);
+}
+
+TEST(Builder, ForkCreatesChildProcess) {
+  TraceBuilder b;
+  const ProcId child = b.fork(b.root());
+  b.compute(child, "work");
+  b.join(b.root(), child);
+  const Trace t = b.build();
+  EXPECT_EQ(t.num_processes(), 2u);
+  EXPECT_EQ(t.process(child).parent, b.root());
+  EXPECT_EQ(t.process(child).creating_fork, 0u);
+  EXPECT_EQ(t.event(0).kind, EventKind::kFork);
+  EXPECT_EQ(t.event(2).kind, EventKind::kJoin);
+}
+
+TEST(Builder, SemaphoreUnderflowRejectedAtBuild) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s", 0);
+  b.sem_p(b.root(), s);  // P before any V
+  EXPECT_THROW(b.build(), CheckError);
+}
+
+TEST(Builder, InitialCountAllowsP) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s", 2);
+  b.sem_p(b.root(), s);
+  b.sem_p(b.root(), s);
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(Builder, WaitWithoutPostRejected) {
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e");
+  b.wait(b.root(), e);
+  EXPECT_THROW(b.build(), CheckError);
+}
+
+TEST(Builder, InitiallyPostedAllowsWait) {
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e", /*initially_posted=*/true);
+  b.wait(b.root(), e);
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(Builder, ClearDisablesWait) {
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e");
+  const ProcId p1 = b.add_process();
+  b.post(b.root(), e);
+  b.clear(p1, e);
+  b.wait(b.root(), e);
+  EXPECT_THROW(b.build(), CheckError);
+}
+
+TEST(Builder, UnknownObjectsRejectedEagerly) {
+  TraceBuilder b;
+  EXPECT_THROW(b.sem_p(b.root(), 0), CheckError);
+  EXPECT_THROW(b.post(b.root(), 5), CheckError);
+  EXPECT_THROW(b.compute(b.root(), "", {0}, {}), CheckError);
+  EXPECT_THROW(b.compute(99, ""), CheckError);
+}
+
+TEST(Builder, NegativeSemaphoreInitialRejected) {
+  TraceBuilder b;
+  EXPECT_THROW(b.semaphore("s", -1), CheckError);
+  EXPECT_THROW(b.binary_semaphore("m", 2), CheckError);
+}
+
+TEST(Builder, ReadsWritesAreSortedAndDeduped) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const VarId y = b.variable("y");
+  b.compute(b.root(), "", {y, x, y}, {y, y});
+  const Trace t = b.build();
+  EXPECT_EQ(t.event(0).reads, (std::vector<VarId>{x, y}));
+  EXPECT_EQ(t.event(0).writes, (std::vector<VarId>{y}));
+}
+
+TEST(Builder, ForkExistingBindsStaticProcess) {
+  TraceBuilder b;
+  const ProcId p1 = b.add_process();
+  b.fork_existing(b.root(), p1);
+  b.compute(p1, "w");
+  const Trace t = b.build();
+  EXPECT_EQ(t.process(p1).creating_fork, 0u);
+}
+
+TEST(Builder, ForkExistingRejectsDoubleBind) {
+  TraceBuilder b;
+  const ProcId p1 = b.add_process();
+  b.fork_existing(b.root(), p1);
+  EXPECT_THROW(b.fork_existing(b.root(), p1), CheckError);
+}
+
+TEST(Builder, FindByNameAndLabel) {
+  TraceBuilder b;
+  b.semaphore("mutex");
+  b.event_var("done");
+  b.variable("x");
+  b.compute(b.root(), "unique");
+  b.compute(b.root(), "dup");
+  b.compute(b.root(), "dup");
+  const Trace t = b.build();
+  EXPECT_EQ(t.find_semaphore("mutex"), 0u);
+  EXPECT_EQ(t.find_semaphore("nope"), kNoObject);
+  EXPECT_EQ(t.find_event_var("done"), 0u);
+  EXPECT_EQ(t.find_variable("x"), 0u);
+  EXPECT_EQ(t.find_event_by_label("unique"), 0u);
+  EXPECT_EQ(t.find_event_by_label("dup"), kNoEvent);  // ambiguous
+  EXPECT_EQ(t.find_event_by_label("missing"), kNoEvent);
+}
+
+// ------------------------------------------------------------ dependence
+
+TEST(Dependence, WriteReadCreatesEdge) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  const EventId w = b.compute(b.root(), "w", {}, {x});
+  const EventId r = b.compute(p1, "r", {x}, {});
+  const Trace t = b.build();
+  ASSERT_EQ(t.dependences().size(), 1u);
+  EXPECT_EQ(t.dependences()[0], std::make_pair(w, r));
+}
+
+TEST(Dependence, ReadReadIsNoEdge) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "", {x}, {});
+  b.compute(p1, "", {x}, {});
+  EXPECT_TRUE(b.build().dependences().empty());
+}
+
+TEST(Dependence, AllConflictingPairsNotJustAdjacent) {
+  // w0 then r1 then r2: both reads depend on the write.
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  const EventId w = b.compute(b.root(), "", {}, {x});
+  const EventId r1 = b.compute(p1, "", {x}, {});
+  const EventId r2 = b.compute(p2, "", {x}, {});
+  const Trace t = b.build();
+  ASSERT_EQ(t.dependences().size(), 2u);
+  EXPECT_EQ(t.dependences()[0], std::make_pair(w, r1));
+  EXPECT_EQ(t.dependences()[1], std::make_pair(w, r2));
+}
+
+TEST(Dependence, IntraProcessExcludedByDefault) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  b.compute(b.root(), "", {}, {x});
+  b.compute(b.root(), "", {x}, {});
+  EXPECT_TRUE(b.build().dependences().empty());
+
+  DependenceOptions opts;
+  opts.include_intra_process = true;
+  const Trace t = b.build_unchecked();
+  const auto deps = compute_dependences(t.events(), t.observed_order(), opts);
+  EXPECT_EQ(deps.size(), 1u);
+}
+
+TEST(Dependence, ReadModifyWriteCountsOnceAsWrite) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "rmw", {x}, {x});
+  b.compute(p1, "rmw", {x}, {x});
+  const Trace t = b.build();
+  EXPECT_EQ(t.dependences().size(), 1u);  // one edge, not duplicated
+}
+
+TEST(Dependence, ExplicitEdgesKept) {
+  TraceBuilder b;
+  b.compute(b.root(), "a");
+  const ProcId p1 = b.add_process();
+  b.compute(p1, "b");
+  b.add_dependence(0, 1);
+  const Trace t = b.build();
+  ASSERT_EQ(t.dependences().size(), 1u);
+  EXPECT_EQ(t.dependences()[0], std::make_pair(EventId{0}, EventId{1}));
+}
+
+TEST(Dependence, ConflictingPairsAreCrossProcess) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "", {}, {x});
+  b.compute(b.root(), "", {x}, {});  // same process: excluded
+  b.compute(p1, "", {x}, {});
+  const Trace t = b.build();
+  const auto pairs = t.conflicting_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], std::make_pair(EventId{0}, EventId{2}));
+}
+
+// ----------------------------------------------------------------- graphs
+
+TEST(TraceGraphs, StaticOrderGraphHasPoAndForkJoin) {
+  TraceBuilder b;
+  const ProcId c = b.fork(b.root());
+  b.compute(c, "w1");
+  b.compute(c, "w2");
+  b.join(b.root(), c);
+  const Trace t = b.build();
+  const Digraph g = t.static_order_graph();
+  EXPECT_TRUE(g.has_edge(0, 1));  // fork -> first child event
+  EXPECT_TRUE(g.has_edge(1, 2));  // child program order
+  EXPECT_TRUE(g.has_edge(2, 3));  // last child event -> join
+  EXPECT_TRUE(g.has_edge(0, 3));  // parent program order
+}
+
+TEST(TraceGraphs, ConstraintGraphAddsDependences) {
+  TraceBuilder b;
+  const VarId x = b.variable("x");
+  const ProcId p1 = b.add_process();
+  b.compute(b.root(), "", {}, {x});
+  b.compute(p1, "", {x}, {});
+  const Trace t = b.build();
+  EXPECT_FALSE(t.static_order_graph().has_edge(0, 1));
+  EXPECT_TRUE(t.constraint_graph().has_edge(0, 1));
+}
+
+TEST(TraceGraphs, EventsOfKind) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  b.sem_v(b.root(), s);
+  b.sem_v(b.root(), s);
+  b.sem_p(b.root(), s);
+  const Trace t = b.build();
+  EXPECT_EQ(t.events_of_kind(EventKind::kSemV),
+            (std::vector<EventId>{0, 1}));
+  EXPECT_EQ(t.events_of_kind(EventKind::kSemP), (std::vector<EventId>{2}));
+  EXPECT_TRUE(t.events_of_kind(EventKind::kFork).empty());
+}
+
+// ----------------------------------------------------------------- axioms
+
+TEST(Axioms, ValidTracesPass) {
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    RandomTraceConfig config;
+    config.num_event_vars = i % 3;
+    config.num_events = 10 + i;
+    const Trace t = random_trace(config, rng);
+    const AxiomReport report = validate_axioms(t);
+    EXPECT_TRUE(report.ok()) << report.text();
+  }
+}
+
+TEST(Axioms, DetectsSemaphoreUnderflow) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  b.sem_p(b.root(), s);
+  b.sem_v(b.root(), s);
+  const AxiomReport report = validate_axioms(b.build_unchecked());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].axiom, "A5");
+}
+
+TEST(Axioms, DetectsWaitOnCleared) {
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e");
+  b.wait(b.root(), e);
+  const AxiomReport report = validate_axioms(b.build_unchecked());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].axiom, "A6");
+}
+
+TEST(Axioms, DetectsBadDependenceDirection) {
+  TraceBuilder b;
+  b.compute(b.root(), "a");
+  const ProcId p1 = b.add_process();
+  b.compute(p1, "b");
+  b.add_dependence(1, 0);  // against the observed order
+  const AxiomReport report = validate_axioms(b.build_unchecked());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].axiom, "A7");
+}
+
+TEST(Axioms, BinarySemaphoreClampKeepsTraceValid) {
+  TraceBuilder b;
+  const ObjectId m = b.binary_semaphore("m", 0);
+  b.sem_v(b.root(), m);
+  b.sem_v(b.root(), m);  // clamped
+  b.sem_p(b.root(), m);
+  b.sem_p(b.root(), m);  // would need a second token: invalid
+  const AxiomReport report = validate_axioms(b.build_unchecked());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.violations[0].axiom, "A5");
+}
+
+TEST(Axioms, CountingSemaphoreSameSequenceValid) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s", 0);
+  b.sem_v(b.root(), s);
+  b.sem_v(b.root(), s);
+  b.sem_p(b.root(), s);
+  b.sem_p(b.root(), s);
+  EXPECT_TRUE(validate_axioms(b.build_unchecked()).ok());
+}
+
+TEST(Axioms, ReportTextListsAll) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const ObjectId e = b.event_var("e");
+  b.sem_p(b.root(), s);
+  b.wait(b.root(), e);
+  const AxiomReport report = validate_axioms(b.build_unchecked());
+  EXPECT_EQ(report.violations.size(), 2u);
+  EXPECT_NE(report.text().find("A5"), std::string::npos);
+  EXPECT_NE(report.text().find("A6"), std::string::npos);
+}
+
+// -------------------------------------------------------------- trace I/O
+
+TEST(TraceIo, RoundTripRandomTraces) {
+  Rng rng(31);
+  for (int i = 0; i < 25; ++i) {
+    RandomTraceConfig config;
+    config.num_event_vars = i % 4;
+    config.num_events = 8 + i % 10;
+    const Trace t = random_trace(config, rng);
+    const std::string text = write_trace(t);
+    const Trace u = parse_trace_string(text);
+    ASSERT_EQ(u.num_events(), t.num_events());
+    EXPECT_EQ(u.num_processes(), t.num_processes());
+    EXPECT_EQ(u.dependences().size(), t.dependences().size());
+    for (EventId e = 0; e < t.num_events(); ++e) {
+      // The writer renumbers by observed position; map through it.
+      const EventId orig = t.observed_order()[e];
+      EXPECT_EQ(u.event(e).kind, t.event(orig).kind);
+      EXPECT_EQ(u.event(e).process, t.event(orig).process);
+      EXPECT_EQ(u.event(e).label, t.event(orig).label);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripForkJoin) {
+  Rng rng(33);
+  const Trace t = evord::testing::random_fork_join_trace(3, 4, rng);
+  const Trace u = parse_trace_string(write_trace(t));
+  EXPECT_EQ(u.num_events(), t.num_events());
+  EXPECT_EQ(u.num_processes(), t.num_processes());
+  EXPECT_TRUE(validate_axioms(u).ok());
+}
+
+TEST(TraceIo, ParsesHandwrittenTrace) {
+  const Trace t = parse_trace_string(R"(
+evord-trace 1
+# a producer/consumer example
+sem items 0
+var buf
+procs 2
+schedule
+0 compute label="produce" w=buf
+0 V items
+1 P items
+1 compute label="consume" r=buf
+end
+)");
+  EXPECT_EQ(t.num_events(), 4u);
+  EXPECT_EQ(t.event(0).label, "produce");
+  EXPECT_EQ(t.event(2).kind, EventKind::kSemP);
+  ASSERT_EQ(t.dependences().size(), 1u);
+}
+
+TEST(TraceIo, BinarySemaphoreAndPostedEventDeclarations) {
+  const Trace t = parse_trace_string(R"(
+evord-trace 1
+sem m 1 binary
+event go posted
+procs 1
+schedule
+0 P m
+0 wait go
+0 V m
+end
+)");
+  EXPECT_TRUE(t.semaphores()[0].binary);
+  EXPECT_EQ(t.semaphores()[0].initial, 1);
+  EXPECT_TRUE(t.event_vars()[0].initially_posted);
+}
+
+TEST(TraceIo, ExplicitDepLines) {
+  const Trace t = parse_trace_string(R"(
+evord-trace 1
+procs 2
+autodeps off
+schedule
+0 compute label="a"
+1 compute label="b"
+end
+dep 0 1
+)");
+  ASSERT_EQ(t.dependences().size(), 1u);
+}
+
+TEST(TraceIo, ErrorsCarryLineNumbers) {
+  const std::string bad = R"(
+evord-trace 1
+procs 1
+schedule
+0 P missing
+end
+)";
+  try {
+    parse_trace_string(bad);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 5u);
+    EXPECT_NE(std::string(e.what()).find("undeclared semaphore"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInputs) {
+  EXPECT_THROW(parse_trace_string("not a trace"), TraceParseError);
+  EXPECT_THROW(parse_trace_string("evord-trace 2\nschedule\nend\n"),
+               TraceParseError);
+  EXPECT_THROW(parse_trace_string("evord-trace 1\nprocs 0\nschedule\nend\n"),
+               TraceParseError);
+  EXPECT_THROW(
+      parse_trace_string("evord-trace 1\nschedule\n5 compute\nend\n"),
+      TraceParseError);
+  EXPECT_THROW(
+      parse_trace_string("evord-trace 1\nschedule\n0 dance\nend\n"),
+      TraceParseError);
+  EXPECT_THROW(parse_trace_string("evord-trace 1\nschedule\n"),
+               TraceParseError);
+  EXPECT_THROW(parse_trace_string("evord-trace 1\nsem s -1\nschedule\nend\n"),
+               TraceParseError);
+  EXPECT_THROW(
+      parse_trace_string(
+          "evord-trace 1\nschedule\nend\ndep 0 1\n"),
+      TraceParseError);
+}
+
+TEST(TraceIo, RejectsAxiomViolatingSchedule) {
+  const std::string bad = R"(
+evord-trace 1
+sem s 0
+procs 1
+schedule
+0 P s
+end
+)";
+  EXPECT_THROW(parse_trace_string(bad), TraceParseError);
+}
+
+TEST(TraceIo, RejectsDuplicateDeclarations) {
+  EXPECT_THROW(parse_trace_string(
+                   "evord-trace 1\nsem s 0\nsem s 0\nschedule\nend\n"),
+               TraceParseError);
+  EXPECT_THROW(parse_trace_string(
+                   "evord-trace 1\nvar x\nvar x\nschedule\nend\n"),
+               TraceParseError);
+}
+
+TEST(TraceIo, QuotedLabelWithSpaces) {
+  const Trace t = parse_trace_string(
+      "evord-trace 1\nvar X\nprocs 1\nschedule\n"
+      "0 compute label=\"if X=1 then\" r=X\nend\n");
+  EXPECT_EQ(t.event(0).label, "if X=1 then");
+  EXPECT_EQ(t.event(0).reads.size(), 1u);
+}
+
+TEST(TraceIo, FileSaveAndLoad) {
+  Rng rng(77);
+  const Trace t = random_trace({}, rng);
+  const std::string path = ::testing::TempDir() + "/evord_trace_test.txt";
+  save_trace_file(t, path);
+  const Trace u = load_trace_file(path);
+  EXPECT_EQ(u.num_events(), t.num_events());
+  EXPECT_THROW(load_trace_file("/nonexistent/path/file.txt"), CheckError);
+}
+
+}  // namespace
+}  // namespace evord

@@ -1,0 +1,416 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace evord {
+namespace {
+
+// ---------------------------------------------------------------- check
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(EVORD_CHECK(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Check, FailingCheckThrowsWithMessage) {
+  try {
+    EVORD_CHECK(false, "the answer is " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+  }
+}
+
+// -------------------------------------------------------- dynamic bitset
+
+TEST(DynamicBitset, StartsAllZero) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(DynamicBitset, ConstructAllOnes) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DynamicBitset, SetWithValue) {
+  DynamicBitset b(10);
+  b.set(3, true);
+  EXPECT_TRUE(b.test(3));
+  b.set(3, false);
+  EXPECT_FALSE(b.test(3));
+}
+
+TEST(DynamicBitset, FlipTogglesBit) {
+  DynamicBitset b(10);
+  b.flip(5);
+  EXPECT_TRUE(b.test(5));
+  b.flip(5);
+  EXPECT_FALSE(b.test(5));
+}
+
+TEST(DynamicBitset, FindFirstAndNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(3);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 3u);
+  EXPECT_EQ(b.find_next(3), 64u);
+  EXPECT_EQ(b.find_next(64), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+}
+
+TEST(DynamicBitset, IterationVisitsAllSetBits) {
+  DynamicBitset b(300);
+  const std::set<std::size_t> expected{0, 1, 63, 64, 65, 128, 299};
+  for (std::size_t i : expected) b.set(i);
+  std::set<std::size_t> seen;
+  for (std::size_t i = b.find_first(); i < b.size(); i = b.find_next(i)) {
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DynamicBitset, BitwiseOps) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a ^ b).count(), 2u);
+  DynamicBitset c = a;
+  c.subtract(b);
+  EXPECT_TRUE(c.test(1));
+  EXPECT_FALSE(c.test(65));
+}
+
+TEST(DynamicBitset, SizeMismatchThrows) {
+  DynamicBitset a(10);
+  DynamicBitset b(11);
+  EXPECT_THROW(a |= b, CheckError);
+}
+
+TEST(DynamicBitset, SubsetAndIntersects) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.set(10);
+  b.set(10);
+  b.set(20);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  a.reset(10);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.is_subset_of(b));  // empty set
+}
+
+TEST(DynamicBitset, ResizeGrowZeroAndOne) {
+  DynamicBitset b(10);
+  b.set(9);
+  b.resize(100);
+  EXPECT_TRUE(b.test(9));
+  EXPECT_EQ(b.count(), 1u);
+  b.resize(130, true);
+  EXPECT_EQ(b.count(), 1u + 30u);
+  EXPECT_TRUE(b.test(100));
+  EXPECT_FALSE(b.test(99));
+}
+
+TEST(DynamicBitset, ResizeShrinkTrims) {
+  DynamicBitset b(100, true);
+  b.resize(10);
+  EXPECT_EQ(b.count(), 10u);
+  b.resize(100);
+  EXPECT_EQ(b.count(), 10u);  // regrown bits are zero
+}
+
+TEST(DynamicBitset, SetAllRespectsSize) {
+  DynamicBitset b(67);
+  b.set_all();
+  EXPECT_EQ(b.count(), 67u);
+  b.reset_all();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(DynamicBitset, EqualityAndHash) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  EXPECT_EQ(a, b);
+  a.set(42);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.hash(), b.hash());
+  b.set(42);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(DynamicBitset, ToString) {
+  DynamicBitset b(5);
+  b.set(1);
+  b.set(4);
+  EXPECT_EQ(b.to_string(), "01001");
+}
+
+TEST(DynamicBitset, EmptyBitset) {
+  DynamicBitset b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.find_first(), 0u);
+  EXPECT_TRUE(b.none());
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000000007ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit with overwhelming prob.
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng a(21);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// --------------------------------------------------------- string utils
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtil, SplitKeepsEmptyPieces) {
+  const auto parts = split("a, b,, c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(StringUtil, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int(" 13 "), 13);
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("4 2").has_value());
+  EXPECT_FALSE(parse_int("999999999999999999999999").has_value());
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("hello world", "hello"));
+  EXPECT_FALSE(starts_with("hel", "hello"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtil, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strprintf("%.2f", 1.5), "1.50");
+}
+
+// ---------------------------------------------------------------- timer
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.micros(), 0u);
+}
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.limited());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, GenerousBudgetNotExpired) {
+  Deadline d(3600.0);
+  EXPECT_TRUE(d.limited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining(), 3599.0);
+}
+
+TEST(Deadline, TinyBudgetExpires) {
+  Deadline d(1e-9);
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + i;
+  EXPECT_TRUE(d.expired());
+}
+
+// ---------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&total] { ++total; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 500);
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Logging, SinkReceivesMessagesAtOrAboveLevel) {
+  static std::vector<std::string>* captured = nullptr;
+  std::vector<std::string> messages;
+  captured = &messages;
+  LogSink old = set_log_sink([](LogLevel, const std::string& m) {
+    captured->push_back(m);
+  });
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kInfo);
+  EVORD_LOG_DEBUG << "dropped";
+  EVORD_LOG_INFO << "kept " << 1;
+  EVORD_LOG_ERROR << "kept " << 2;
+  set_log_sink(old);
+  set_log_level(old_level);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0], "kept 1");
+  EXPECT_EQ(messages[1], "kept 2");
+}
+
+}  // namespace
+}  // namespace evord

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "approx/combined.hpp"
+#include "approx/comparison.hpp"
+#include "approx/egp.hpp"
+#include "approx/hmw.hpp"
+#include "ordering/exact.hpp"
+#include "race/race_detector.hpp"
+#include "reductions/figure1.hpp"
+#include "reductions/reduction.hpp"
+#include "sync/scheduler.hpp"
+#include "trace/axioms.hpp"
+#include "workload/generators.hpp"
+
+namespace evord {
+namespace {
+
+// -------------------------------------------------------------- generators
+
+TEST(Workload, RandomSemaphoreTracesAreValid) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    SemTraceConfig config;
+    config.num_events = 10 + static_cast<std::size_t>(i);
+    config.binary_semaphores = i % 2 == 1;
+    const Trace t = random_semaphore_trace(config, rng);
+    EXPECT_TRUE(validate_axioms(t).ok());
+    EXPECT_EQ(t.num_events(), config.num_events);
+    if (config.binary_semaphores) {
+      for (const SemaphoreInfo& s : t.semaphores()) EXPECT_TRUE(s.binary);
+    }
+  }
+}
+
+TEST(Workload, RandomEventTracesAreValid) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EventTraceConfig config;
+    config.num_events = 10;
+    config.num_variables = static_cast<std::size_t>(i % 3);
+    const Trace t = random_event_trace(config, rng);
+    EXPECT_TRUE(validate_axioms(t).ok());
+  }
+}
+
+TEST(Workload, GeneratorsAreDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  const Trace ta = random_semaphore_trace({}, a);
+  const Trace tb = random_semaphore_trace({}, b);
+  ASSERT_EQ(ta.num_events(), tb.num_events());
+  for (EventId e = 0; e < ta.num_events(); ++e) {
+    EXPECT_EQ(ta.event(e).kind, tb.event(e).kind);
+    EXPECT_EQ(ta.event(e).process, tb.event(e).process);
+  }
+}
+
+TEST(Workload, ForkJoinTraceShape) {
+  Rng rng(3);
+  const Trace t = random_fork_join_trace(3, 4, rng);
+  EXPECT_TRUE(validate_axioms(t).ok());
+  EXPECT_EQ(t.num_processes(), 4u);
+  EXPECT_EQ(t.events_of_kind(EventKind::kFork).size(), 3u);
+  EXPECT_EQ(t.events_of_kind(EventKind::kJoin).size(), 3u);
+}
+
+TEST(Workload, PipelineIsRaceFreeAndOrdered) {
+  const Trace t = pipeline_trace(3, 2);
+  EXPECT_TRUE(validate_axioms(t).ok());
+  EXPECT_TRUE(detect_races_observed(t).races.empty());
+  EXPECT_TRUE(detect_races_exact(t).races.empty());
+  // First stage's first work MHB last stage's last work.
+  const EventId first = t.find_event_by_label("worki0s0");
+  const EventId last = t.find_event_by_label("worki1s2");
+  ASSERT_NE(first, kNoEvent);
+  ASSERT_NE(last, kNoEvent);
+  const OrderingRelations r = compute_exact(t, Semantics::kCausal);
+  EXPECT_TRUE(r.holds(RelationKind::kMHB, first, last));
+}
+
+TEST(Workload, BarrierTraceIsRaceFree) {
+  const Trace t = barrier_trace(3, 2);
+  EXPECT_TRUE(validate_axioms(t).ok());
+  EXPECT_TRUE(detect_races_observed(t).races.empty());
+  EXPECT_TRUE(detect_races_guaranteed(t).races.empty());
+}
+
+TEST(Workload, DiningPhilosophersCompleteUnderAnySchedule) {
+  const Program prog = dining_philosophers(3, 2);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const RunResult run = run_program_random(prog, seed);
+    EXPECT_EQ(run.status, RunStatus::kCompleted) << "seed " << seed;
+    EXPECT_TRUE(validate_axioms(run.trace).ok());
+  }
+}
+
+TEST(Workload, PhilosophersEatInMutualExclusionPerFork) {
+  const Program prog = dining_philosophers(2, 1);
+  const RunResult run = run_program_random(prog, 7);
+  ASSERT_EQ(run.status, RunStatus::kCompleted);
+  // With 2 philosophers and 2 forks, the two eat events are MOW (never
+  // concurrent) in every feasible execution.
+  const Trace& t = run.trace;
+  const EventId eat0 = t.find_event_by_label("eat0_0");
+  const EventId eat1 = t.find_event_by_label("eat1_0");
+  ASSERT_NE(eat0, kNoEvent);
+  ASSERT_NE(eat1, kNoEvent);
+  const OrderingRelations r = compute_exact(t, Semantics::kCausal);
+  EXPECT_TRUE(r.holds(RelationKind::kMOW, eat0, eat1));
+  EXPECT_FALSE(r.holds(RelationKind::kCCW, eat0, eat1));
+}
+
+// -------------------------------------------------------- combined engine
+
+TEST(Combined, FindsFigure1OrderingThatEgpMisses) {
+  const Figure1Execution fig = figure1_execution();
+  const CombinedResult combined = compute_combined(fig.trace);
+  EXPECT_TRUE(combined.guaranteed.holds(fig.post_t1, fig.post_t2))
+      << "the dependence-aware analysis must order the Posts";
+  const EgpResult egp = compute_egp(fig.trace);
+  EXPECT_FALSE(egp.guaranteed.holds(fig.post_t1, fig.post_t2));
+}
+
+TEST(Combined, SoundOnRandomSemaphoreTraces) {
+  Rng rng(17);
+  for (int i = 0; i < 12; ++i) {
+    SemTraceConfig config;
+    config.num_events = 9;
+    const Trace t = random_semaphore_trace(config, rng);
+    const CombinedResult combined = compute_combined(t);
+    const OrderingRelations exact = compute_exact(t, Semantics::kCausal);
+    EXPECT_TRUE(
+        combined.guaranteed.subset_of(exact[RelationKind::kMHB]))
+        << "iteration " << i;
+  }
+}
+
+TEST(Combined, SoundOnRandomEventTraces) {
+  Rng rng(19);
+  for (int i = 0; i < 12; ++i) {
+    EventTraceConfig config;
+    config.num_events = 9;
+    config.num_variables = 1;
+    const Trace t = random_event_trace(config, rng);
+    const CombinedResult combined = compute_combined(t);
+    const OrderingRelations exact = compute_exact(t, Semantics::kCausal);
+    EXPECT_TRUE(
+        combined.guaranteed.subset_of(exact[RelationKind::kMHB]))
+        << "iteration " << i;
+  }
+}
+
+TEST(Combined, AtLeastAsStrongAsHmwAndDependences) {
+  Rng rng(23);
+  for (int i = 0; i < 10; ++i) {
+    SemTraceConfig config;
+    config.num_events = 10;
+    const Trace t = random_semaphore_trace(config, rng);
+    const CombinedResult combined = compute_combined(t);
+    const HmwResult hmw = compute_hmw(t);
+    // HMW's safe orderings hold ignoring D; with D they hold a fortiori,
+    // and combined includes the HMW rule, so combined must know them.
+    EXPECT_TRUE(
+        hmw.safe_happened_before.subset_of(combined.guaranteed));
+    // Every D edge is guaranteed.
+    for (const auto& [a, b] : t.dependences()) {
+      EXPECT_TRUE(combined.guaranteed.holds(a, b));
+    }
+  }
+}
+
+TEST(Combined, HandlesMixedTraces) {
+  TraceBuilder b;
+  const ObjectId s = b.semaphore("s");
+  const ObjectId e = b.event_var("e");
+  const ProcId p1 = b.add_process();
+  b.sem_v(b.root(), s);
+  b.post(b.root(), e);
+  b.sem_p(p1, s);
+  b.wait(p1, e);
+  const Trace t = b.build();
+  const CombinedResult combined = compute_combined(t);
+  EXPECT_TRUE(combined.guaranteed.holds(0, 2));  // unique token
+  EXPECT_TRUE(combined.guaranteed.holds(1, 3));  // unique post
+  EXPECT_GT(combined.semaphore_edges + combined.event_edges, 0u);
+}
+
+// --------------------------------------------- binary-semaphore reduction
+
+CnfFormula tiny(bool satisfiable) {
+  CnfFormula f;
+  f.add_clause({1, 1, 1});
+  if (!satisfiable) f.add_clause({-1, -1, -1});
+  return f;
+}
+
+TEST(BinaryReduction, AllSemaphoresAreBinary) {
+  const ReductionProgram r = reduce_3sat_binary_semaphores(tiny(true));
+  EXPECT_FALSE(r.program.semaphores().empty());
+  for (const SemaphoreInfo& s : r.program.semaphores()) {
+    EXPECT_TRUE(s.binary) << s.name;
+  }
+  EXPECT_EQ(r.program.num_processes(), 3u * 1 + 3u * 1 + 2);
+}
+
+TEST(BinaryReduction, TheoremBiconditionalsHold) {
+  for (const bool satisfiable : {true, false}) {
+    const ReductionProgram reduction =
+        reduce_3sat_binary_semaphores(tiny(satisfiable));
+    const ReductionExecution e = execute_reduction(reduction);
+    ExactOptions options;
+    options.max_states = 20'000'000;
+    const OrderingRelations r =
+        compute_exact(e.trace, Semantics::kInterleaving, options);
+    ASSERT_FALSE(r.truncated);
+    EXPECT_EQ(r.holds(RelationKind::kMHB, e.a, e.b), !satisfiable);
+    EXPECT_EQ(r.holds(RelationKind::kCHB, e.b, e.a), satisfiable);
+  }
+}
+
+TEST(BinaryReduction, TwoVariableInstance) {
+  CnfFormula f;
+  f.add_clause({1, -2, -2});  // satisfiable
+  const ReductionExecution e =
+      execute_reduction(reduce_3sat_binary_semaphores(f));
+  ExactOptions options;
+  options.max_states = 20'000'000;
+  const OrderingRelations r =
+      compute_exact(e.trace, Semantics::kInterleaving, options);
+  ASSERT_FALSE(r.truncated);
+  EXPECT_FALSE(r.holds(RelationKind::kMHB, e.a, e.b));
+}
+
+}  // namespace
+}  // namespace evord
