@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx.dir/bench_approx.cpp.o"
+  "CMakeFiles/bench_approx.dir/bench_approx.cpp.o.d"
+  "bench_approx"
+  "bench_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

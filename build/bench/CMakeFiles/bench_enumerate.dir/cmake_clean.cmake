@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enumerate.dir/bench_enumerate.cpp.o"
+  "CMakeFiles/bench_enumerate.dir/bench_enumerate.cpp.o.d"
+  "bench_enumerate"
+  "bench_enumerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sat.cpp" "bench/CMakeFiles/bench_sat.dir/bench_sat.cpp.o" "gcc" "bench/CMakeFiles/bench_sat.dir/bench_sat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/evord_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reductions/CMakeFiles/evord_reductions.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/evord_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/evord_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/evord_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/evord_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/evord_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/evord_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/feasible/CMakeFiles/evord_feasible.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/evord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/evord_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_clock.dir/bench_vector_clock.cpp.o"
+  "CMakeFiles/bench_vector_clock.dir/bench_vector_clock.cpp.o.d"
+  "bench_vector_clock"
+  "bench_vector_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

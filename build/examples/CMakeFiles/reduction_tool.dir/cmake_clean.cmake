@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_tool.dir/reduction_tool.cpp.o"
+  "CMakeFiles/reduction_tool.dir/reduction_tool.cpp.o.d"
+  "reduction_tool"
+  "reduction_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_via_ordering.dir/sat_via_ordering.cpp.o"
+  "CMakeFiles/sat_via_ordering.dir/sat_via_ordering.cpp.o.d"
+  "sat_via_ordering"
+  "sat_via_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_via_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_figure1 "/root/repo/build/examples/figure1")
+set_tests_properties(example_figure1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_race_hunt "/root/repo/build/examples/race_hunt")
+set_tests_properties(example_race_hunt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sat_via_ordering "/root/repo/build/examples/sat_via_ordering")
+set_tests_properties(example_sat_via_ordering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_inspect "/root/repo/build/examples/trace_inspect" "/root/repo/data/hidden_race.evord" "--races" "--grid" "--json" "--csv" "MHB" "--deadlocks" "--dot")
+set_tests_properties(example_trace_inspect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reduction_tool "/root/repo/build/examples/reduction_tool" "/root/repo/data/unsat.cnf" "--analyze")
+set_tests_properties(example_reduction_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ordering_study "/root/repo/build/examples/ordering_study" "1")
+set_tests_properties(example_ordering_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

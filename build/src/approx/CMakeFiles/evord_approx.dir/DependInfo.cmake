@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/combined.cpp" "src/approx/CMakeFiles/evord_approx.dir/combined.cpp.o" "gcc" "src/approx/CMakeFiles/evord_approx.dir/combined.cpp.o.d"
+  "/root/repo/src/approx/comparison.cpp" "src/approx/CMakeFiles/evord_approx.dir/comparison.cpp.o" "gcc" "src/approx/CMakeFiles/evord_approx.dir/comparison.cpp.o.d"
+  "/root/repo/src/approx/egp.cpp" "src/approx/CMakeFiles/evord_approx.dir/egp.cpp.o" "gcc" "src/approx/CMakeFiles/evord_approx.dir/egp.cpp.o.d"
+  "/root/repo/src/approx/hmw.cpp" "src/approx/CMakeFiles/evord_approx.dir/hmw.cpp.o" "gcc" "src/approx/CMakeFiles/evord_approx.dir/hmw.cpp.o.d"
+  "/root/repo/src/approx/vector_clock.cpp" "src/approx/CMakeFiles/evord_approx.dir/vector_clock.cpp.o" "gcc" "src/approx/CMakeFiles/evord_approx.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/evord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/evord_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/evord_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/feasible/CMakeFiles/evord_feasible.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

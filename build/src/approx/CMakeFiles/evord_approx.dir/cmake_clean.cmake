@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_approx.dir/combined.cpp.o"
+  "CMakeFiles/evord_approx.dir/combined.cpp.o.d"
+  "CMakeFiles/evord_approx.dir/comparison.cpp.o"
+  "CMakeFiles/evord_approx.dir/comparison.cpp.o.d"
+  "CMakeFiles/evord_approx.dir/egp.cpp.o"
+  "CMakeFiles/evord_approx.dir/egp.cpp.o.d"
+  "CMakeFiles/evord_approx.dir/hmw.cpp.o"
+  "CMakeFiles/evord_approx.dir/hmw.cpp.o.d"
+  "CMakeFiles/evord_approx.dir/vector_clock.cpp.o"
+  "CMakeFiles/evord_approx.dir/vector_clock.cpp.o.d"
+  "libevord_approx.a"
+  "libevord_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_core.dir/analyzer.cpp.o"
+  "CMakeFiles/evord_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/evord_core.dir/report.cpp.o"
+  "CMakeFiles/evord_core.dir/report.cpp.o.d"
+  "libevord_core.a"
+  "libevord_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

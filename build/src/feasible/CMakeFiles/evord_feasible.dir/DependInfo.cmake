@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/feasible/deadlock.cpp" "src/feasible/CMakeFiles/evord_feasible.dir/deadlock.cpp.o" "gcc" "src/feasible/CMakeFiles/evord_feasible.dir/deadlock.cpp.o.d"
+  "/root/repo/src/feasible/enumerate.cpp" "src/feasible/CMakeFiles/evord_feasible.dir/enumerate.cpp.o" "gcc" "src/feasible/CMakeFiles/evord_feasible.dir/enumerate.cpp.o.d"
+  "/root/repo/src/feasible/feasibility.cpp" "src/feasible/CMakeFiles/evord_feasible.dir/feasibility.cpp.o" "gcc" "src/feasible/CMakeFiles/evord_feasible.dir/feasibility.cpp.o.d"
+  "/root/repo/src/feasible/schedule_space.cpp" "src/feasible/CMakeFiles/evord_feasible.dir/schedule_space.cpp.o" "gcc" "src/feasible/CMakeFiles/evord_feasible.dir/schedule_space.cpp.o.d"
+  "/root/repo/src/feasible/stepper.cpp" "src/feasible/CMakeFiles/evord_feasible.dir/stepper.cpp.o" "gcc" "src/feasible/CMakeFiles/evord_feasible.dir/stepper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/evord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/evord_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

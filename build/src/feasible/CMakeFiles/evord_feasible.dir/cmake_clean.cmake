@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_feasible.dir/deadlock.cpp.o"
+  "CMakeFiles/evord_feasible.dir/deadlock.cpp.o.d"
+  "CMakeFiles/evord_feasible.dir/enumerate.cpp.o"
+  "CMakeFiles/evord_feasible.dir/enumerate.cpp.o.d"
+  "CMakeFiles/evord_feasible.dir/feasibility.cpp.o"
+  "CMakeFiles/evord_feasible.dir/feasibility.cpp.o.d"
+  "CMakeFiles/evord_feasible.dir/schedule_space.cpp.o"
+  "CMakeFiles/evord_feasible.dir/schedule_space.cpp.o.d"
+  "CMakeFiles/evord_feasible.dir/stepper.cpp.o"
+  "CMakeFiles/evord_feasible.dir/stepper.cpp.o.d"
+  "libevord_feasible.a"
+  "libevord_feasible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_feasible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libevord_feasible.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/ancestor.cpp" "src/graph/CMakeFiles/evord_graph.dir/ancestor.cpp.o" "gcc" "src/graph/CMakeFiles/evord_graph.dir/ancestor.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/evord_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/evord_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/evord_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/evord_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "src/graph/CMakeFiles/evord_graph.dir/reachability.cpp.o" "gcc" "src/graph/CMakeFiles/evord_graph.dir/reachability.cpp.o.d"
+  "/root/repo/src/graph/topo.cpp" "src/graph/CMakeFiles/evord_graph.dir/topo.cpp.o" "gcc" "src/graph/CMakeFiles/evord_graph.dir/topo.cpp.o.d"
+  "/root/repo/src/graph/transitive_reduction.cpp" "src/graph/CMakeFiles/evord_graph.dir/transitive_reduction.cpp.o" "gcc" "src/graph/CMakeFiles/evord_graph.dir/transitive_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

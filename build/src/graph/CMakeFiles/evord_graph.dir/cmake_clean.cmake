@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_graph.dir/ancestor.cpp.o"
+  "CMakeFiles/evord_graph.dir/ancestor.cpp.o.d"
+  "CMakeFiles/evord_graph.dir/digraph.cpp.o"
+  "CMakeFiles/evord_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/evord_graph.dir/dot.cpp.o"
+  "CMakeFiles/evord_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/evord_graph.dir/reachability.cpp.o"
+  "CMakeFiles/evord_graph.dir/reachability.cpp.o.d"
+  "CMakeFiles/evord_graph.dir/topo.cpp.o"
+  "CMakeFiles/evord_graph.dir/topo.cpp.o.d"
+  "CMakeFiles/evord_graph.dir/transitive_reduction.cpp.o"
+  "CMakeFiles/evord_graph.dir/transitive_reduction.cpp.o.d"
+  "libevord_graph.a"
+  "libevord_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

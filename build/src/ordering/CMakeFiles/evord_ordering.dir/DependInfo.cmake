@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/causal.cpp" "src/ordering/CMakeFiles/evord_ordering.dir/causal.cpp.o" "gcc" "src/ordering/CMakeFiles/evord_ordering.dir/causal.cpp.o.d"
+  "/root/repo/src/ordering/class_enumerate.cpp" "src/ordering/CMakeFiles/evord_ordering.dir/class_enumerate.cpp.o" "gcc" "src/ordering/CMakeFiles/evord_ordering.dir/class_enumerate.cpp.o.d"
+  "/root/repo/src/ordering/exact.cpp" "src/ordering/CMakeFiles/evord_ordering.dir/exact.cpp.o" "gcc" "src/ordering/CMakeFiles/evord_ordering.dir/exact.cpp.o.d"
+  "/root/repo/src/ordering/intervals.cpp" "src/ordering/CMakeFiles/evord_ordering.dir/intervals.cpp.o" "gcc" "src/ordering/CMakeFiles/evord_ordering.dir/intervals.cpp.o.d"
+  "/root/repo/src/ordering/relations.cpp" "src/ordering/CMakeFiles/evord_ordering.dir/relations.cpp.o" "gcc" "src/ordering/CMakeFiles/evord_ordering.dir/relations.cpp.o.d"
+  "/root/repo/src/ordering/witness.cpp" "src/ordering/CMakeFiles/evord_ordering.dir/witness.cpp.o" "gcc" "src/ordering/CMakeFiles/evord_ordering.dir/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/evord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/feasible/CMakeFiles/evord_feasible.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/evord_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

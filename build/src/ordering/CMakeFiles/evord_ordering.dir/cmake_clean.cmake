@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_ordering.dir/causal.cpp.o"
+  "CMakeFiles/evord_ordering.dir/causal.cpp.o.d"
+  "CMakeFiles/evord_ordering.dir/class_enumerate.cpp.o"
+  "CMakeFiles/evord_ordering.dir/class_enumerate.cpp.o.d"
+  "CMakeFiles/evord_ordering.dir/exact.cpp.o"
+  "CMakeFiles/evord_ordering.dir/exact.cpp.o.d"
+  "CMakeFiles/evord_ordering.dir/intervals.cpp.o"
+  "CMakeFiles/evord_ordering.dir/intervals.cpp.o.d"
+  "CMakeFiles/evord_ordering.dir/relations.cpp.o"
+  "CMakeFiles/evord_ordering.dir/relations.cpp.o.d"
+  "CMakeFiles/evord_ordering.dir/witness.cpp.o"
+  "CMakeFiles/evord_ordering.dir/witness.cpp.o.d"
+  "libevord_ordering.a"
+  "libevord_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

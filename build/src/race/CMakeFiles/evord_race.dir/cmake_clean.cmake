@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_race.dir/race_detector.cpp.o"
+  "CMakeFiles/evord_race.dir/race_detector.cpp.o.d"
+  "libevord_race.a"
+  "libevord_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

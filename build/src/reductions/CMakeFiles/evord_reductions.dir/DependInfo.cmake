@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reductions/figure1.cpp" "src/reductions/CMakeFiles/evord_reductions.dir/figure1.cpp.o" "gcc" "src/reductions/CMakeFiles/evord_reductions.dir/figure1.cpp.o.d"
+  "/root/repo/src/reductions/oracle.cpp" "src/reductions/CMakeFiles/evord_reductions.dir/oracle.cpp.o" "gcc" "src/reductions/CMakeFiles/evord_reductions.dir/oracle.cpp.o.d"
+  "/root/repo/src/reductions/reduction.cpp" "src/reductions/CMakeFiles/evord_reductions.dir/reduction.cpp.o" "gcc" "src/reductions/CMakeFiles/evord_reductions.dir/reduction.cpp.o.d"
+  "/root/repo/src/reductions/smmcc.cpp" "src/reductions/CMakeFiles/evord_reductions.dir/smmcc.cpp.o" "gcc" "src/reductions/CMakeFiles/evord_reductions.dir/smmcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/evord_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/evord_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/evord_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/feasible/CMakeFiles/evord_feasible.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/evord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/evord_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

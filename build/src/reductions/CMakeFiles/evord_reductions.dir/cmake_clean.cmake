@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_reductions.dir/figure1.cpp.o"
+  "CMakeFiles/evord_reductions.dir/figure1.cpp.o.d"
+  "CMakeFiles/evord_reductions.dir/oracle.cpp.o"
+  "CMakeFiles/evord_reductions.dir/oracle.cpp.o.d"
+  "CMakeFiles/evord_reductions.dir/reduction.cpp.o"
+  "CMakeFiles/evord_reductions.dir/reduction.cpp.o.d"
+  "CMakeFiles/evord_reductions.dir/smmcc.cpp.o"
+  "CMakeFiles/evord_reductions.dir/smmcc.cpp.o.d"
+  "libevord_reductions.a"
+  "libevord_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

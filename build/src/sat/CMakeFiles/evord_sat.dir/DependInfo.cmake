@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sat/cdcl.cpp" "src/sat/CMakeFiles/evord_sat.dir/cdcl.cpp.o" "gcc" "src/sat/CMakeFiles/evord_sat.dir/cdcl.cpp.o.d"
+  "/root/repo/src/sat/dpll.cpp" "src/sat/CMakeFiles/evord_sat.dir/dpll.cpp.o" "gcc" "src/sat/CMakeFiles/evord_sat.dir/dpll.cpp.o.d"
+  "/root/repo/src/sat/formula.cpp" "src/sat/CMakeFiles/evord_sat.dir/formula.cpp.o" "gcc" "src/sat/CMakeFiles/evord_sat.dir/formula.cpp.o.d"
+  "/root/repo/src/sat/gen.cpp" "src/sat/CMakeFiles/evord_sat.dir/gen.cpp.o" "gcc" "src/sat/CMakeFiles/evord_sat.dir/gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

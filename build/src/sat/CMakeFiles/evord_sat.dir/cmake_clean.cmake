@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_sat.dir/cdcl.cpp.o"
+  "CMakeFiles/evord_sat.dir/cdcl.cpp.o.d"
+  "CMakeFiles/evord_sat.dir/dpll.cpp.o"
+  "CMakeFiles/evord_sat.dir/dpll.cpp.o.d"
+  "CMakeFiles/evord_sat.dir/formula.cpp.o"
+  "CMakeFiles/evord_sat.dir/formula.cpp.o.d"
+  "CMakeFiles/evord_sat.dir/gen.cpp.o"
+  "CMakeFiles/evord_sat.dir/gen.cpp.o.d"
+  "libevord_sat.a"
+  "libevord_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

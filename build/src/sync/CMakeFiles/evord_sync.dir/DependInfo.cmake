@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/program.cpp" "src/sync/CMakeFiles/evord_sync.dir/program.cpp.o" "gcc" "src/sync/CMakeFiles/evord_sync.dir/program.cpp.o.d"
+  "/root/repo/src/sync/scheduler.cpp" "src/sync/CMakeFiles/evord_sync.dir/scheduler.cpp.o" "gcc" "src/sync/CMakeFiles/evord_sync.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sync/sync_state.cpp" "src/sync/CMakeFiles/evord_sync.dir/sync_state.cpp.o" "gcc" "src/sync/CMakeFiles/evord_sync.dir/sync_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/evord_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/evord_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/evord_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

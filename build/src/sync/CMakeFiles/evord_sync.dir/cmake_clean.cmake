@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_sync.dir/program.cpp.o"
+  "CMakeFiles/evord_sync.dir/program.cpp.o.d"
+  "CMakeFiles/evord_sync.dir/scheduler.cpp.o"
+  "CMakeFiles/evord_sync.dir/scheduler.cpp.o.d"
+  "CMakeFiles/evord_sync.dir/sync_state.cpp.o"
+  "CMakeFiles/evord_sync.dir/sync_state.cpp.o.d"
+  "libevord_sync.a"
+  "libevord_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

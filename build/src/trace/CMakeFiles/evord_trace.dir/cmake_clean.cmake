@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_trace.dir/axioms.cpp.o"
+  "CMakeFiles/evord_trace.dir/axioms.cpp.o.d"
+  "CMakeFiles/evord_trace.dir/builder.cpp.o"
+  "CMakeFiles/evord_trace.dir/builder.cpp.o.d"
+  "CMakeFiles/evord_trace.dir/dependence.cpp.o"
+  "CMakeFiles/evord_trace.dir/dependence.cpp.o.d"
+  "CMakeFiles/evord_trace.dir/event.cpp.o"
+  "CMakeFiles/evord_trace.dir/event.cpp.o.d"
+  "CMakeFiles/evord_trace.dir/trace.cpp.o"
+  "CMakeFiles/evord_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/evord_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/evord_trace.dir/trace_io.cpp.o.d"
+  "libevord_trace.a"
+  "libevord_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_util.dir/dynamic_bitset.cpp.o"
+  "CMakeFiles/evord_util.dir/dynamic_bitset.cpp.o.d"
+  "CMakeFiles/evord_util.dir/logging.cpp.o"
+  "CMakeFiles/evord_util.dir/logging.cpp.o.d"
+  "CMakeFiles/evord_util.dir/rng.cpp.o"
+  "CMakeFiles/evord_util.dir/rng.cpp.o.d"
+  "CMakeFiles/evord_util.dir/string_util.cpp.o"
+  "CMakeFiles/evord_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/evord_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/evord_util.dir/thread_pool.cpp.o.d"
+  "libevord_util.a"
+  "libevord_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

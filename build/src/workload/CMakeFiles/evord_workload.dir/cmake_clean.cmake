@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evord_workload.dir/generators.cpp.o"
+  "CMakeFiles/evord_workload.dir/generators.cpp.o.d"
+  "libevord_workload.a"
+  "libevord_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evord_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_enumerate_test.dir/class_enumerate_test.cpp.o"
+  "CMakeFiles/class_enumerate_test.dir/class_enumerate_test.cpp.o.d"
+  "class_enumerate_test"
+  "class_enumerate_test.pdb"
+  "class_enumerate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_enumerate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasible_test.dir/feasible_test.cpp.o"
+  "CMakeFiles/feasible_test.dir/feasible_test.cpp.o.d"
+  "feasible_test"
+  "feasible_test.pdb"
+  "feasible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

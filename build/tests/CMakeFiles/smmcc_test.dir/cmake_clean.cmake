@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smmcc_test.dir/smmcc_test.cpp.o"
+  "CMakeFiles/smmcc_test.dir/smmcc_test.cpp.o.d"
+  "smmcc_test"
+  "smmcc_test.pdb"
+  "smmcc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smmcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
