@@ -4,7 +4,11 @@
 // test code).
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sat/formula.hpp"
@@ -12,6 +16,53 @@
 #include "util/rng.hpp"
 
 namespace evord::bench {
+
+/// One flat JSON object; fields keep insertion order.  Values are
+/// rendered on add() so the writer stays a dumb string joiner.
+struct JsonRecord {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  JsonRecord& add(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    fields.emplace_back(key, os.str());
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, std::uint64_t value) {
+    fields.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& add(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    fields.emplace_back(key, std::move(quoted));
+    return *this;
+  }
+};
+
+/// Writes `rows` as a JSON array of objects — the BENCH_*.json format the
+/// experiment scripts ingest.  Returns false on I/O failure.
+inline bool write_json_records(const std::string& path,
+                               const std::vector<JsonRecord>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "  {";
+    for (std::size_t f = 0; f < rows[i].fields.size(); ++f) {
+      if (f != 0) out << ", ";
+      out << '"' << rows[i].fields[f].first
+          << "\": " << rows[i].fields[f].second;
+    }
+    out << (i + 1 < rows.size() ? "},\n" : "}\n");
+  }
+  out << "]\n";
+  return out.good();
+}
 
 /// (x v x v x): satisfiable, the smallest reduction instance.
 inline CnfFormula tiny_sat() {

@@ -103,6 +103,64 @@ BENCHMARK(BM_SatOracle_LargeInstances)
     ->Range(4, 256)
     ->Unit(benchmark::kMicrosecond);
 
+// Thread sweep of the parallel causal engine (experiment E20): the
+// Theorem-1 SAT/UNSAT reductions analysed under causal semantics at
+// 1/2/4/8 worker threads.  Every multi-threaded result is checked
+// bit-identical to the serial one before its wall time is recorded, so
+// the emitted numbers can never describe a wrong answer.  Rows land in
+// BENCH_exact.json next to the binary's working directory.
+std::vector<JsonRecord> run_exact_thread_sweep() {
+  std::vector<JsonRecord> rows;
+  const std::pair<const char*, CnfFormula> instances[] = {
+      {"theorem1_sat", tiny_sat()},
+      {"theorem1_unsat", tiny_unsat()},
+  };
+  for (const auto& [name, formula] : instances) {
+    const ReductionProgram reduction =
+        reduce_3sat(formula, SyncStyle::kSemaphore);
+    const ReductionExecution e = execute_reduction(reduction);
+    OrderingRelations serial;
+    for (const std::size_t threads : {1, 2, 4, 8}) {
+      ExactOptions options;
+      options.num_threads = threads;
+      Timer timer;
+      const OrderingRelations r =
+          compute_exact(e.trace, Semantics::kCausal, options);
+      const double wall_ms =
+          static_cast<double>(timer.micros()) / 1000.0;
+      if (threads == 1) {
+        serial = r;
+      } else {
+        EVORD_CHECK(r.matrices == serial.matrices &&
+                        r.causal_classes == serial.causal_classes &&
+                        r.feasible_empty == serial.feasible_empty,
+                    name << ": " << threads
+                         << "-thread result differs from serial");
+      }
+      rows.push_back(JsonRecord{}
+                         .add("name", std::string(name))
+                         .add("events",
+                              static_cast<std::uint64_t>(
+                                  e.trace.num_events()))
+                         .add("classes", r.causal_classes)
+                         .add("threads",
+                              static_cast<std::uint64_t>(threads))
+                         .add("wall_ms", wall_ms));
+    }
+  }
+  return rows;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::vector<JsonRecord> rows = run_exact_thread_sweep();
+  if (!write_json_records("BENCH_exact.json", rows)) {
+    return 1;
+  }
+  return 0;
+}

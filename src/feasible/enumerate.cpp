@@ -21,6 +21,7 @@ class Enumerator {
         visit_(visit),
         deadline_(options.time_budget_seconds) {
     schedule_.reserve(trace.num_events());
+    seed(options.seed_prefix);
   }
 
   /// Fast-forwards through `prefix` before enumerating (for root-split
@@ -34,6 +35,9 @@ class Enumerator {
   }
 
   EnumerateStats run() {
+    // Depth is bounded by the event count; reserving keeps the per-depth
+    // references below stable across recursive emplace_backs.
+    enabled_stack_.reserve(stepper_.trace().num_events() + 1);
     dfs();
     return stats_;
   }
@@ -53,7 +57,7 @@ class Enumerator {
   }
 
   /// Returns false to unwind the whole search (stop / budget).
-  bool dfs() {
+  bool dfs(std::size_t depth = 0) {
     if (stepper_.complete()) {
       ++stats_.schedules;
       if (!visit_(schedule_)) {
@@ -62,24 +66,23 @@ class Enumerator {
       }
       return !budget_hit();
     }
-    enabled_stack_.emplace_back();
-    stepper_.enabled_events(enabled_stack_.back());
-    if (enabled_stack_.back().empty()) {
+    // One vector per depth, reused across siblings (capacity kept).
+    if (depth == enabled_stack_.size()) enabled_stack_.emplace_back();
+    std::vector<EventId>& enabled = enabled_stack_[depth];
+    stepper_.enabled_events(enabled);
+    if (enabled.empty()) {
       ++stats_.deadlocked_prefixes;
-      enabled_stack_.pop_back();
       return true;
     }
     bool keep_going = true;
-    for (std::size_t i = 0;
-         keep_going && i < enabled_stack_.back().size(); ++i) {
-      const EventId e = enabled_stack_.back()[i];
+    for (std::size_t i = 0; keep_going && i < enabled.size(); ++i) {
+      const EventId e = enabled[i];
       const TraceStepper::Undo u = stepper_.apply(e);
       schedule_.push_back(e);
-      keep_going = dfs();
+      keep_going = dfs(depth + 1);
       schedule_.pop_back();
       stepper_.undo(u);
     }
-    enabled_stack_.pop_back();
     return keep_going;
   }
 

@@ -29,6 +29,10 @@ struct EnumerateOptions {
   std::uint64_t max_schedules = 0;
   /// Stop after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+  /// Fast-forward through this schedule prefix before enumerating (every
+  /// event must be enabled in sequence).  Callers doing their own
+  /// root-split parallelism seed each subtree this way.
+  std::vector<EventId> seed_prefix;
 };
 
 struct EnumerateStats {

@@ -1,0 +1,63 @@
+#include "ordering/class_dedup.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+ShardedFingerprintSet::ShardedFingerprintSet(std::size_t num_shards,
+                                             bool verify_collisions)
+    : verify_(verify_collisions) {
+  const std::size_t n = std::bit_ceil(std::max<std::size_t>(1, num_shards));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Head-start on rehashing: enumeration inserts are the hot path.
+    shards_.back()->fingerprints.reserve(1024);
+  }
+}
+
+ShardedFingerprintSet::Shard& ShardedFingerprintSet::shard_for(
+    std::uint64_t fingerprint) noexcept {
+  // Finalizer mix (splitmix64): the low bits pick the shard, so they must
+  // depend on every input bit even though the fingerprint is already an
+  // FNV hash.
+  std::uint64_t h = fingerprint;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+bool ShardedFingerprintSet::insert(std::uint64_t fingerprint,
+                                   const std::vector<std::uint64_t>* payload) {
+  Shard& shard = shard_for(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool inserted = shard.fingerprints.insert(fingerprint).second;
+  if (verify_ && payload != nullptr) {
+    if (inserted) {
+      shard.payloads.emplace(fingerprint, *payload);
+    } else {
+      const auto it = shard.payloads.find(fingerprint);
+      EVORD_CHECK(it == shard.payloads.end() || it->second == *payload,
+                  "64-bit fingerprint collision: distinct payloads hash to "
+                      << fingerprint);
+    }
+  }
+  return inserted;
+}
+
+std::uint64_t ShardedFingerprintSet::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->fingerprints.size();
+  }
+  return total;
+}
+
+}  // namespace evord

@@ -1,0 +1,90 @@
+// Sharded 64-bit fingerprint sets for causal-class deduplication.
+//
+// The exact causal/interval solver deduplicates two kinds of objects,
+// both of which the seed implementation materialized in full:
+//   * complete causal classes — the n²-bit transitive closure of one
+//     execution's causal order, previously an n²/8-byte string per class;
+//   * causal-class prefixes — the enumerator's state key (executed
+//     closure rows, token queues, establishers), previously a
+//     std::vector<std::uint64_t> of O(n²/64) words per distinct prefix.
+// Both are now reduced to a chained 64-bit FNV-1a fingerprint
+// (DynamicBitset::hash_words / fingerprint_words), so dedup costs O(1)
+// space per element in release builds.
+//
+// The set is sharded by fingerprint with one mutex per shard, so the
+// root-split parallel engine's workers dedup against each other with
+// minimal contention; the same type serves the serial engine.
+//
+// Collision safety net: with `verify_collisions` on (the default in
+// !NDEBUG builds) the full word payload is retained per fingerprint and
+// every hash-equal re-insert is checked for genuine equality — a 64-bit
+// collision between distinct payloads throws CheckError instead of
+// silently dropping a class or pruning an unexplored prefix.  Release
+// builds keep nothing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace evord {
+
+/// Chained FNV-1a over a word sequence; seed with
+/// DynamicBitset::kHashSeed (or a previous chain value).
+inline std::uint64_t fingerprint_words(const std::vector<std::uint64_t>& words,
+                                       std::uint64_t seed) noexcept {
+  for (std::uint64_t w : words) {
+    seed ^= w;
+    seed *= 1099511628211ull;  // FNV prime
+  }
+  return seed;
+}
+
+class ShardedFingerprintSet {
+ public:
+#ifndef NDEBUG
+  static constexpr bool kVerifyByDefault = true;
+#else
+  static constexpr bool kVerifyByDefault = false;
+#endif
+
+  /// `num_shards` is rounded up to a power of two (minimum 1).
+  explicit ShardedFingerprintSet(std::size_t num_shards = 16,
+                                 bool verify_collisions = kVerifyByDefault);
+
+  ShardedFingerprintSet(const ShardedFingerprintSet&) = delete;
+  ShardedFingerprintSet& operator=(const ShardedFingerprintSet&) = delete;
+
+  bool verify_collisions() const noexcept { return verify_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Inserts `fingerprint`; returns true iff it was not present (the
+  /// caller owns this element).  Thread-safe.  When collision
+  /// verification is on and `payload` is non-null, the payload is
+  /// retained on first insert and compared on every hash-equal re-insert;
+  /// a mismatch (a true 64-bit collision) throws CheckError.
+  bool insert(std::uint64_t fingerprint,
+              const std::vector<std::uint64_t>* payload = nullptr);
+
+  /// Total distinct fingerprints across all shards.  Thread-safe, but
+  /// only a snapshot while inserts are in flight.
+  std::uint64_t size() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_set<std::uint64_t> fingerprints;
+    /// Populated only in collision-verification mode.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> payloads;
+  };
+
+  Shard& shard_for(std::uint64_t fingerprint) noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool verify_;
+};
+
+}  // namespace evord

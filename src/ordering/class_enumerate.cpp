@@ -1,13 +1,35 @@
 #include "ordering/class_enumerate.hpp"
 
+#include <atomic>
 #include <deque>
-#include <unordered_set>
+#include <mutex>
 
+#include "ordering/class_dedup.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace evord {
 
 namespace {
+
+/// Salted splitmix64 mix for the tracker's incremental (Zobrist-style)
+/// prefix hashes: each state component contributes one well-mixed word,
+/// XOR-combined so apply/undo update the running hash in O(1).
+std::uint64_t zobrist(std::uint64_t salt, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = salt ^ (a * 0x9e3779b97f4a7c15ull) ^
+                    (b * 0xc2b2ae3d27d4eb4full);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+constexpr std::uint64_t kRowSalt = 0x8f14e45fceea167aull;
+constexpr std::uint64_t kTokenSalt = 0x5bd1e995973f0f5cull;
+constexpr std::uint64_t kEstablisherSalt = 0x27d4eb2f165667c5ull;
 
 /// Incrementally maintained causal ancestry per executed event, plus the
 /// replay state the pairing rules need (token queues, establishers).
@@ -17,7 +39,9 @@ class CausalTracker {
       : trace_(trace),
         options_(options),
         rows_(trace.num_events(), DynamicBitset(trace.num_events())),
+        row_hash_(trace.num_events(), 0),
         tokens_(trace.semaphores().size()),
+        token_heads_(trace.semaphores().size(), 0),
         establisher_(trace.event_vars().size(), kNoEvent) {
     counts_.reserve(trace.semaphores().size());
     for (const SemaphoreInfo& s : trace.semaphores()) {
@@ -26,6 +50,9 @@ class CausalTracker {
     posted_.reserve(trace.event_vars().size());
     for (const EventVarInfo& v : trace.event_vars()) {
       posted_.push_back(v.initially_posted);
+    }
+    for (std::size_t v = 0; v < establisher_.size(); ++v) {
+      establisher_hash_ ^= zobrist(kEstablisherSalt, v, kNoEvent);
     }
     // Conflicting pairs, indexed per event for O(deg) updates.
     if (options_.include_data_edges) {
@@ -98,6 +125,9 @@ class CausalTracker {
         if (!(s.binary && counts_[e.object] == 1)) {
           ++counts_[e.object];
           tokens_[e.object].push_back(id);
+          tokens_hash_ ^= token_hash(
+              e.object,
+              token_heads_[e.object] + tokens_[e.object].size() - 1, id);
           u.pushed_token = true;
         }
         break;
@@ -108,6 +138,9 @@ class CausalTracker {
         if (static_cast<std::size_t>(counts_[e.object]) <
             tokens_[e.object].size()) {
           const EventId producer = tokens_[e.object].front();
+          tokens_hash_ ^=
+              token_hash(e.object, token_heads_[e.object], producer);
+          ++token_heads_[e.object];
           tokens_[e.object].pop_front();
           u.popped_token = true;
           u.popped_producer = producer;
@@ -121,14 +154,14 @@ class CausalTracker {
         u.old_establisher = establisher_[e.object];
         if (!posted_[e.object]) {
           posted_[e.object] = true;
-          establisher_[e.object] = id;
+          set_establisher(e.object, id);
         }
         break;
       case EventKind::kClear:
         u.old_posted = posted_[e.object];
         u.old_establisher = establisher_[e.object];
         posted_[e.object] = false;
-        establisher_[e.object] = kNoEvent;
+        set_establisher(e.object, kNoEvent);
         break;
       case EventKind::kWait:
         if (establisher_[e.object] != kNoEvent) {
@@ -139,26 +172,39 @@ class CausalTracker {
       default:
         break;
     }
+    // The row is final here; fold it into the running prefix hash.
+    row_hash_[id] = zobrist(kRowSalt, id, row.hash());
+    rows_hash_ ^= row_hash_[id];
     return u;
   }
 
   void undo(const Undo& u) {
     const Event& e = trace_.event(u.event);
+    rows_hash_ ^= row_hash_[u.event];
     switch (e.kind) {
       case EventKind::kSemV:
         counts_[e.object] = u.old_count;
-        if (u.pushed_token) tokens_[e.object].pop_back();
+        if (u.pushed_token) {
+          tokens_hash_ ^= token_hash(
+              e.object,
+              token_heads_[e.object] + tokens_[e.object].size() - 1,
+              tokens_[e.object].back());
+          tokens_[e.object].pop_back();
+        }
         break;
       case EventKind::kSemP:
         counts_[e.object] = u.old_count;
         if (u.popped_token) {
+          --token_heads_[e.object];
+          tokens_hash_ ^= token_hash(e.object, token_heads_[e.object],
+                                     u.popped_producer);
           tokens_[e.object].push_front(u.popped_producer);
         }
         break;
       case EventKind::kPost:
       case EventKind::kClear:
         posted_[e.object] = u.old_posted;
-        establisher_[e.object] = u.old_establisher;
+        set_establisher(e.object, u.old_establisher);
         break;
       default:
         break;
@@ -166,8 +212,21 @@ class CausalTracker {
     // rows_[u.event] is stale after undo; it is recomputed on re-apply.
   }
 
+  /// 64-bit fingerprint of the causal-prefix identity (executed rows,
+  /// token queues, establishers) combined with the caller's hash of the
+  /// stepper key.  Maintained incrementally by apply/undo, so reading it
+  /// is O(1); equal prefix states yield equal fingerprints.
+  std::uint64_t fingerprint(std::uint64_t stepper_hash) const {
+    std::uint64_t h = zobrist(0x2545f4914f6cdd1dull, stepper_hash,
+                              rows_hash_);
+    h = zobrist(0x9e3779b185ebca87ull, h, tokens_hash_);
+    return zobrist(0x94d049bb133111ebull, h, establisher_hash_);
+  }
+
   /// Extends the stepper's state key with the causal-prefix identity:
-  /// executed rows, token queues and establishers.
+  /// executed rows, token queues and establishers.  Only used to retain
+  /// full keys for the debug-mode collision safety net; the hot path
+  /// dedups on fingerprint() alone.
   void extend_key(const DynamicBitset& done,
                   std::vector<std::uint64_t>& key) const {
     for (std::size_t e = done.find_first(); e < done.size();
@@ -186,48 +245,72 @@ class CausalTracker {
   }
 
  private:
+  static std::uint64_t token_hash(ObjectId sem, std::uint64_t abs_index,
+                                  EventId producer) {
+    return zobrist(
+        kTokenSalt ^ (static_cast<std::uint64_t>(sem) * 0xff51afd7ed558ccdull),
+        abs_index, producer);
+  }
+
+  void set_establisher(ObjectId var, EventId est) {
+    establisher_hash_ ^= zobrist(kEstablisherSalt, var, establisher_[var]);
+    establisher_[var] = est;
+    establisher_hash_ ^= zobrist(kEstablisherSalt, var, est);
+  }
+
   const Trace& trace_;
   CausalOptions options_;
   std::vector<DynamicBitset> rows_;
+  std::vector<std::uint64_t> row_hash_;  ///< zobrist term per executed event
   std::vector<std::vector<EventId>> conflicts_;
   std::vector<std::deque<EventId>> tokens_;
+  /// Tokens popped so far per semaphore; gives queue elements stable
+  /// absolute indices so FIFO order is part of the incremental hash.
+  std::vector<std::uint64_t> token_heads_;
   std::vector<int> counts_;
   std::vector<bool> posted_;
   std::vector<EventId> establisher_;
-};
-
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::uint64_t w : key) {
-      h ^= w;
-      h *= 1099511628211ull;
-    }
-    return static_cast<std::size_t>(h);
-  }
+  std::uint64_t rows_hash_ = 0;
+  std::uint64_t tokens_hash_ = 0;
+  std::uint64_t establisher_hash_ = 0;
 };
 
 class ClassEnumerator {
  public:
+  /// `prefix_seen` dedups causal-class prefixes by 64-bit fingerprint;
+  /// the parallel variant shares one set across all subtree workers so a
+  /// prefix state reached from two different roots is explored once.
   ClassEnumerator(const Trace& trace, const ClassEnumOptions& options,
+                  ShardedFingerprintSet& prefix_seen,
                   const std::function<bool(const std::vector<EventId>&)>& visit)
       : options_(options),
         stepper_(trace, options.stepper),
         tracker_(trace, options.causal),
         visit_(visit),
+        seen_(&prefix_seen),
         deadline_(options.time_budget_seconds) {
     schedule_.reserve(trace.num_events());
+    for (EventId e : options.seed_prefix) {
+      EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
+      tracker_.apply(e, stepper_.done_bits());
+      stepper_.apply(e);
+      schedule_.push_back(e);
+    }
   }
 
   ClassEnumStats run() {
+    // Depth is bounded by the event count; reserving keeps the per-depth
+    // references below stable across recursive emplace_backs.
+    enabled_stack_.reserve(stepper_.trace().num_events() + 1);
     dfs();
-    stats_.distinct_prefixes = seen_.size();
+    stats_.distinct_prefixes = distinct_prefixes_;
     return stats_;
   }
 
  private:
   bool budget_hit() {
-    if (options_.max_prefixes != 0 && seen_.size() >= options_.max_prefixes) {
+    if (options_.max_prefixes != 0 &&
+        distinct_prefixes_ >= options_.max_prefixes) {
       stats_.truncated = true;
       return true;
     }
@@ -238,7 +321,7 @@ class ClassEnumerator {
     return false;
   }
 
-  bool dfs() {
+  bool dfs(std::size_t depth = 0) {
     if (stepper_.complete()) {
       ++stats_.schedules_visited;
       if (!visit_(schedule_)) {
@@ -247,36 +330,47 @@ class ClassEnumerator {
       }
       return true;
     }
+    // O(1)-space, O(1)-extra-time prefix dedup: the stepper key is
+    // hashed fresh (it is small — positions, flags, binary counts) and
+    // combined with the tracker's incrementally maintained causal-prefix
+    // hash.  Debug builds additionally materialize the full key so the
+    // set can verify that hash-equal prefixes really are equal.
     key_scratch_.clear();
     stepper_.encode_key(key_scratch_);
-    tracker_.extend_key(stepper_.done_bits(), key_scratch_);
-    if (!seen_.insert(key_scratch_).second) {
+    const std::uint64_t fp = tracker_.fingerprint(
+        fingerprint_words(key_scratch_, DynamicBitset::kHashSeed));
+    const std::vector<std::uint64_t>* payload = nullptr;
+    if (seen_->verify_collisions()) {
+      tracker_.extend_key(stepper_.done_bits(), key_scratch_);
+      payload = &key_scratch_;
+    }
+    if (!seen_->insert(fp, payload)) {
       ++stats_.prefixes_pruned;
       return true;
     }
+    ++distinct_prefixes_;
     if (budget_hit()) return true;
 
-    enabled_stack_.emplace_back();
-    stepper_.enabled_events(enabled_stack_.back());
-    if (enabled_stack_.back().empty()) {
+    // One vector per depth, reused across siblings (capacity kept).
+    if (depth == enabled_stack_.size()) enabled_stack_.emplace_back();
+    std::vector<EventId>& enabled = enabled_stack_[depth];
+    stepper_.enabled_events(enabled);
+    if (enabled.empty()) {
       ++stats_.deadlocked_prefixes;
-      enabled_stack_.pop_back();
       return true;
     }
     bool keep_going = true;
-    for (std::size_t i = 0;
-         keep_going && i < enabled_stack_.back().size(); ++i) {
-      const EventId e = enabled_stack_.back()[i];
+    for (std::size_t i = 0; keep_going && i < enabled.size(); ++i) {
+      const EventId e = enabled[i];
       const CausalTracker::Undo cu =
           tracker_.apply(e, stepper_.done_bits());
       const TraceStepper::Undo su = stepper_.apply(e);
       schedule_.push_back(e);
-      keep_going = dfs();
+      keep_going = dfs(depth + 1);
       schedule_.pop_back();
       stepper_.undo(su);
       tracker_.undo(cu);
     }
-    enabled_stack_.pop_back();
     return keep_going;
   }
 
@@ -284,12 +378,13 @@ class ClassEnumerator {
   TraceStepper stepper_;
   CausalTracker tracker_;
   const std::function<bool(const std::vector<EventId>&)>& visit_;
+  ShardedFingerprintSet* seen_;
   Deadline deadline_;
   ClassEnumStats stats_;
   std::vector<EventId> schedule_;
   std::vector<std::vector<EventId>> enabled_stack_;
   std::vector<std::uint64_t> key_scratch_;
-  std::unordered_set<std::vector<std::uint64_t>, KeyHash> seen_;
+  std::size_t distinct_prefixes_ = 0;  ///< this worker's winning inserts
   std::uint32_t budget_poll_ = 0;
 };
 
@@ -298,7 +393,77 @@ class ClassEnumerator {
 ClassEnumStats enumerate_causal_classes(
     const Trace& trace, const ClassEnumOptions& options,
     const std::function<bool(const std::vector<EventId>&)>& visit) {
-  return ClassEnumerator(trace, options, visit).run();
+  ShardedFingerprintSet prefix_seen;
+  return ClassEnumerator(trace, options, prefix_seen, visit).run();
+}
+
+std::size_t num_root_subtrees(const Trace& trace,
+                              const ClassEnumOptions& options) {
+  TraceStepper root(trace, options.stepper);
+  for (EventId e : options.seed_prefix) {
+    EVORD_CHECK(root.enabled(e), "seed prefix is not schedulable");
+    root.apply(e);
+  }
+  std::vector<EventId> enabled;
+  root.enabled_events(enabled);
+  return enabled.size();
+}
+
+ClassEnumStats enumerate_causal_classes_parallel(
+    const Trace& trace, const ClassEnumOptions& options,
+    std::size_t num_threads,
+    const std::function<bool(std::size_t, const std::vector<EventId>&)>&
+        visit) {
+  TraceStepper root(trace, options.stepper);
+  for (EventId e : options.seed_prefix) {
+    EVORD_CHECK(root.enabled(e), "seed prefix is not schedulable");
+    root.apply(e);
+  }
+  std::vector<EventId> first;
+  root.enabled_events(first);
+  if (first.empty()) {
+    ClassEnumStats stats;
+    if (root.complete()) {
+      ++stats.schedules_visited;
+      if (!visit(0, options.seed_prefix)) stats.stopped_by_visitor = true;
+    } else {
+      ++stats.deadlocked_prefixes;
+    }
+    return stats;
+  }
+
+  ThreadPool pool(num_threads);
+  // One prefix-fingerprint set shared by every subtree worker: a state
+  // reachable from two roots is explored by whichever worker gets there
+  // first (its completions are identical either way).
+  ShardedFingerprintSet prefix_seen;
+  std::mutex stats_mu;
+  ClassEnumStats total;
+  std::atomic<bool> stop{false};
+  pool.parallel_for(first.size(), [&](std::size_t i) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    const auto wrapped = [&, i](const std::vector<EventId>& s) {
+      if (stop.load(std::memory_order_relaxed)) return false;
+      if (!visit(i, s)) {
+        stop.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return true;
+    };
+    ClassEnumOptions sub = options;
+    sub.seed_prefix.push_back(first[i]);
+    const ClassEnumStats stats =
+        ClassEnumerator(trace, sub, prefix_seen, wrapped).run();
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.schedules_visited += stats.schedules_visited;
+    total.prefixes_pruned += stats.prefixes_pruned;
+    total.deadlocked_prefixes += stats.deadlocked_prefixes;
+    total.distinct_prefixes += stats.distinct_prefixes;
+    total.truncated = total.truncated || stats.truncated;
+    total.stopped_by_visitor =
+        total.stopped_by_visitor || stats.stopped_by_visitor;
+  });
+  return total;
 }
 
 }  // namespace evord

@@ -34,6 +34,10 @@ struct ClassEnumOptions {
   /// Stop after this many distinct prefixes (0 = unlimited).
   std::size_t max_prefixes = 0;
   double time_budget_seconds = 0.0;
+  /// Fast-forward through this schedule prefix before enumerating (every
+  /// event must be enabled in sequence).  The root-split parallel variant
+  /// seeds each worker's subtree this way.
+  std::vector<EventId> seed_prefix;
 };
 
 struct ClassEnumStats {
@@ -50,5 +54,29 @@ struct ClassEnumStats {
 ClassEnumStats enumerate_causal_classes(
     const Trace& trace, const ClassEnumOptions& options,
     const std::function<bool(const std::vector<EventId>&)>& visit);
+
+/// Number of subtrees the parallel variant splits the search into: the
+/// events enabled after `options.seed_prefix` (usually empty) has been
+/// applied.  Callers size per-subtree state with this.
+std::size_t num_root_subtrees(const Trace& trace,
+                              const ClassEnumOptions& options);
+
+/// Root-split parallel variant: subtree `i` of num_root_subtrees() runs
+/// on a thread-pool worker with its own stepper and causal tracker.  The
+/// visitor is invoked concurrently and receives the subtree index first,
+/// so callers can keep per-subtree accumulators lock-free; it must
+/// otherwise be thread-safe.  Prefix dedup runs through one sharded
+/// fingerprint set shared by all workers: a prefix state reachable from
+/// two roots is expanded by whichever worker claims it first (its
+/// completions are identical either way), so every distinct state is
+/// expanded exactly once and — absent budgets — schedules_visited and
+/// the union of delivered causal classes match the serial engine
+/// exactly.  `max_prefixes` applies per worker.  num_threads == 0 uses
+/// the hardware concurrency.
+ClassEnumStats enumerate_causal_classes_parallel(
+    const Trace& trace, const ClassEnumOptions& options,
+    std::size_t num_threads,
+    const std::function<bool(std::size_t, const std::vector<EventId>&)>&
+        visit);
 
 }  // namespace evord

@@ -1,13 +1,18 @@
 #include "ordering/exact.hpp"
 
-#include <string>
-#include <unordered_set>
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "feasible/enumerate.hpp"
 #include "feasible/schedule_space.hpp"
+#include "feasible/stepper.hpp"
 #include "ordering/causal.hpp"
+#include "ordering/class_dedup.hpp"
 #include "ordering/class_enumerate.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace evord {
 
@@ -80,15 +85,22 @@ OrderingRelations compute_interleaving(const Trace& trace,
 }
 
 /// Per-causal-class accumulator for the causal and interval semantics.
+/// In parallel mode each root subtree gets a private accumulator; they
+/// all share one ShardedFingerprintSet so every distinct class is accumulated
+/// by exactly one of them, and merge() combines the results.
 class CausalAccumulator {
  public:
-  CausalAccumulator(const Trace& trace, const CausalOptions& causal)
-      : trace_(trace), causal_(causal), n_(trace.num_events()) {
+  CausalAccumulator(const Trace& trace, const CausalOptions& causal,
+                    ShardedFingerprintSet& dedup)
+      : trace_(trace), causal_(causal), dedup_(&dedup),
+        n_(trace.num_events()) {
     any_c_.assign(n_, DynamicBitset(n_));
     all_c_.assign(n_, DynamicBitset(n_, true));
     any_incomp_.assign(n_, DynamicBitset(n_));
     all_incomp_.assign(n_, DynamicBitset(n_, true));
     any_notrev_.assign(n_, DynamicBitset(n_));
+    anc_.assign(n_, DynamicBitset(n_));
+    scratch_ = DynamicBitset(n_);
     for (EventId a = 0; a < n_; ++a) {
       all_c_[a].reset(a);
       all_incomp_[a].reset(a);
@@ -99,35 +111,65 @@ class CausalAccumulator {
 
   void accept(const std::vector<EventId>& schedule) {
     const TransitiveClosure tc = causal_closure(trace_, schedule, causal_);
-    // Deduplicate causal classes on the raw closure rows.
-    std::string fingerprint;
-    fingerprint.reserve(n_ * 8);
+    // Deduplicate on a chained 64-bit hash of the closure rows: O(1)
+    // space per class instead of an n²/8-byte string.  Debug builds keep
+    // the rows and verify hash-equal classes really are equal.
+    std::uint64_t fingerprint = DynamicBitset::kHashSeed;
     for (EventId a = 0; a < n_; ++a) {
-      const DynamicBitset& row = tc.descendants(a);
-      for (std::size_t w = 0; w < row.word_count(); ++w) {
-        const std::uint64_t word = row.word(w);
-        fingerprint.append(reinterpret_cast<const char*>(&word),
-                           sizeof(word));
-      }
+      fingerprint = tc.descendants(a).hash_words(fingerprint);
     }
-    if (!seen_.insert(std::move(fingerprint)).second) return;
+    const std::vector<std::uint64_t>* verify_payload = nullptr;
+#ifndef NDEBUG
+    std::vector<std::uint64_t> closure_words;
+    if (dedup_->verify_collisions()) {
+      for (EventId a = 0; a < n_; ++a) {
+        const DynamicBitset& row = tc.descendants(a);
+        for (std::size_t w = 0; w < row.word_count(); ++w) {
+          closure_words.push_back(row.word(w));
+        }
+      }
+      verify_payload = &closure_words;
+    }
+#endif
+    if (!dedup_->insert(fingerprint, verify_payload)) return;
     ++classes_;
 
+    // Closure transpose, once per class: anc_[b] = { a : a -> b }.
+    for (DynamicBitset& row : anc_) row.reset_all();
+    for (EventId a = 0; a < n_; ++a) {
+      const DynamicBitset& desc = tc.descendants(a);
+      for (std::size_t b = desc.find_first(); b < desc.size();
+           b = desc.find_next(b)) {
+        anc_[b].set(static_cast<std::size_t>(a));
+      }
+    }
+    // Word-parallel updates: not-reversed(a) = ~(anc(a) | {a}) and
+    // incomparable(a) = ~(desc(a) | anc(a) | {a}).
     for (EventId a = 0; a < n_; ++a) {
       const DynamicBitset& desc = tc.descendants(a);
       any_c_[a] |= desc;
       all_c_[a] &= desc;
-      for (EventId b = 0; b < n_; ++b) {
-        if (a == b) continue;
-        const bool ab = desc.test(b);
-        const bool ba = tc.reachable(b, a);
-        if (!ba) any_notrev_[a].set(b);
-        if (!ab && !ba) {
-          any_incomp_[a].set(b);
-        } else {
-          all_incomp_[a].reset(b);
-        }
-      }
+      scratch_ = anc_[a];
+      scratch_.set(a);
+      any_notrev_[a].or_complement(scratch_);
+      scratch_ |= desc;
+      any_incomp_[a].or_complement(scratch_);
+      all_incomp_[a].subtract(scratch_);
+    }
+  }
+
+  /// Associative cross-worker merge: any_* rows OR, all_* rows AND,
+  /// class counts summed (the shared dedup set guarantees each class was
+  /// accumulated by exactly one worker, so the sum is the distinct
+  /// count).  A worker that saw no classes contributes identities.
+  void merge(const CausalAccumulator& o) {
+    classes_ += o.classes_;
+    for (EventId a = 0; a < n_; ++a) {
+      any_c_[a] |= o.any_c_[a];
+      all_c_[a] &= o.all_c_[a];
+      any_incomp_[a] |= o.any_incomp_[a];
+      all_incomp_[a] &= o.all_incomp_[a];
+      any_notrev_[a] |= o.any_notrev_[a];
     }
   }
 
@@ -170,13 +212,20 @@ class CausalAccumulator {
  private:
   const Trace& trace_;
   CausalOptions causal_;
+  ShardedFingerprintSet* dedup_;
   std::size_t n_;
   std::uint64_t classes_ = 0;
-  std::unordered_set<std::string> seen_;
   std::vector<DynamicBitset> any_c_, all_c_;
   std::vector<DynamicBitset> any_incomp_, all_incomp_;
   std::vector<DynamicBitset> any_notrev_;
+  std::vector<DynamicBitset> anc_;  ///< per-class closure transpose
+  DynamicBitset scratch_;
 };
+
+std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
 
 OrderingRelations compute_causal_or_interval(const Trace& trace,
                                              Semantics semantics,
@@ -184,31 +233,71 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
   OrderingRelations r = make_empty_result(trace, semantics);
   const CausalOptions causal{.include_data_edges =
                                  options.causal_data_edges};
-  CausalAccumulator acc(trace, causal);
+  ShardedFingerprintSet dedup;
+  const std::size_t num_threads = resolve_num_threads(options.num_threads);
 
   if (options.class_dedup) {
     ClassEnumOptions co;
     co.stepper.respect_dependences = options.respect_dependences;
     co.causal = causal;
     co.time_budget_seconds = options.time_budget_seconds;
-    std::uint64_t budget = options.max_schedules;
-    const ClassEnumStats stats = enumerate_causal_classes(
-        trace, co, [&](const std::vector<EventId>& s) {
-          acc.accept(s);
-          return budget == 0 || --budget != 0;
+    const std::size_t subtrees =
+        num_threads > 1 ? num_root_subtrees(trace, co) : 0;
+    if (num_threads <= 1 || subtrees <= 1) {
+      CausalAccumulator acc(trace, causal, dedup);
+      std::uint64_t budget = options.max_schedules;
+      const ClassEnumStats stats = enumerate_causal_classes(
+          trace, co, [&](const std::vector<EventId>& s) {
+            acc.accept(s);
+            return budget == 0 || --budget != 0;
+          });
+      r.schedules_seen = stats.schedules_visited;
+      r.deadlocked_prefixes = stats.deadlocked_prefixes;
+      r.truncated = stats.truncated || stats.stopped_by_visitor;
+      // Stopping at exactly max_schedules is the budget, not an error.
+      if (stats.stopped_by_visitor && options.max_schedules != 0) {
+        r.truncated = true;
+      }
+      acc.finish(r, semantics);
+      return r;
+    }
+    // Root-split parallel engine: one private accumulator per subtree
+    // (lock-free accepts), class dedup shared through the sharded set,
+    // schedule budgets per subtree.
+    std::vector<CausalAccumulator> accs;
+    accs.reserve(subtrees);
+    for (std::size_t i = 0; i < subtrees; ++i) {
+      accs.emplace_back(trace, causal, dedup);
+    }
+    std::vector<std::uint64_t> budgets(subtrees, options.max_schedules);
+    const ClassEnumStats stats = enumerate_causal_classes_parallel(
+        trace, co, num_threads,
+        [&](std::size_t i, const std::vector<EventId>& s) {
+          accs[i].accept(s);
+          return budgets[i] == 0 || --budgets[i] != 0;
         });
     r.schedules_seen = stats.schedules_visited;
     r.deadlocked_prefixes = stats.deadlocked_prefixes;
     r.truncated = stats.truncated || stats.stopped_by_visitor;
-    // Stopping at exactly max_schedules is the budget, not an error.
     if (stats.stopped_by_visitor && options.max_schedules != 0) {
       r.truncated = true;
     }
-  } else {
-    EnumerateOptions eo;
-    eo.stepper.respect_dependences = options.respect_dependences;
-    eo.max_schedules = options.max_schedules;
-    eo.time_budget_seconds = options.time_budget_seconds;
+    for (std::size_t i = 1; i < subtrees; ++i) accs[0].merge(accs[i]);
+    accs[0].finish(r, semantics);
+    return r;
+  }
+
+  EnumerateOptions eo;
+  eo.stepper.respect_dependences = options.respect_dependences;
+  eo.max_schedules = options.max_schedules;
+  eo.time_budget_seconds = options.time_budget_seconds;
+  std::vector<EventId> first;
+  if (num_threads > 1) {
+    TraceStepper root(trace, eo.stepper);
+    root.enabled_events(first);
+  }
+  if (num_threads <= 1 || first.size() <= 1) {
+    CausalAccumulator acc(trace, causal, dedup);
     const EnumerateStats stats =
         enumerate_schedules(trace, eo, [&](const std::vector<EventId>& s) {
           acc.accept(s);
@@ -217,8 +306,37 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     r.schedules_seen = stats.schedules;
     r.deadlocked_prefixes = stats.deadlocked_prefixes;
     r.truncated = stats.truncated;
+    acc.finish(r, semantics);
+    return r;
   }
-  acc.finish(r, semantics);
+  // Root-split parallel walk of the plain (non-prefix-dedup) enumerator;
+  // class-level dedup still runs through the shared sharded set.
+  std::vector<CausalAccumulator> accs;
+  accs.reserve(first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    accs.emplace_back(trace, causal, dedup);
+  }
+  ThreadPool pool(num_threads);
+  std::mutex stats_mu;
+  EnumerateStats total;
+  pool.parallel_for(first.size(), [&](std::size_t i) {
+    EnumerateOptions sub = eo;
+    sub.seed_prefix.push_back(first[i]);
+    const EnumerateStats stats =
+        enumerate_schedules(trace, sub, [&](const std::vector<EventId>& s) {
+          accs[i].accept(s);
+          return true;
+        });
+    std::lock_guard<std::mutex> lock(stats_mu);
+    total.schedules += stats.schedules;
+    total.deadlocked_prefixes += stats.deadlocked_prefixes;
+    total.truncated = total.truncated || stats.truncated;
+  });
+  r.schedules_seen = total.schedules;
+  r.deadlocked_prefixes = total.deadlocked_prefixes;
+  r.truncated = total.truncated;
+  for (std::size_t i = 1; i < accs.size(); ++i) accs[0].merge(accs[i]);
+  accs[0].finish(r, semantics);
   return r;
 }
 

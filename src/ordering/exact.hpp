@@ -43,6 +43,18 @@ struct ExactOptions {
   std::size_t max_states = 4'000'000;
   /// Either engine: stop after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+
+  /// Causal/interval engine: number of worker threads (0 = hardware
+  /// concurrency, 1 = serial).  The search is root-split across the
+  /// first-level enabled events; workers accumulate into private
+  /// per-class state merged associatively at the end, and deduplicate
+  /// classes AND class prefixes against shared sharded fingerprint sets,
+  /// so every distinct prefix state is expanded exactly once across all
+  /// workers.  Relation matrices, causal_classes, feasible_empty and —
+  /// absent budgets — schedules_seen are identical to the serial
+  /// engine's (tested).  max_schedules applies per subtree in parallel
+  /// mode; tests pin 1 thread when exercising tight budgets.
+  std::size_t num_threads = 1;
 };
 
 /// Computes all six relations under the chosen semantics.

@@ -104,6 +104,13 @@ DynamicBitset& DynamicBitset::subtract(const DynamicBitset& o) {
   return *this;
 }
 
+DynamicBitset& DynamicBitset::or_complement(const DynamicBitset& o) {
+  EVORD_CHECK(nbits_ == o.nbits_, "bitset size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= ~o.words_[w];
+  trim();
+  return *this;
+}
+
 bool DynamicBitset::operator==(const DynamicBitset& o) const noexcept {
   return nbits_ == o.nbits_ && words_ == o.words_;
 }
@@ -124,13 +131,12 @@ bool DynamicBitset::is_subset_of(const DynamicBitset& o) const noexcept {
   return true;
 }
 
-std::uint64_t DynamicBitset::hash() const noexcept {
-  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+std::uint64_t DynamicBitset::hash_words(std::uint64_t seed) const noexcept {
   for (Word w : words_) {
-    h ^= w;
-    h *= 1099511628211ull;  // FNV prime
+    seed ^= w;
+    seed *= 1099511628211ull;  // FNV prime
   }
-  return h;
+  return seed;
 }
 
 std::string DynamicBitset::to_string() const {

@@ -69,6 +69,8 @@ class DynamicBitset {
   DynamicBitset& operator^=(const DynamicBitset& o);
   /// this := this & ~o
   DynamicBitset& subtract(const DynamicBitset& o);
+  /// this := this | ~o (bits past size() stay clear)
+  DynamicBitset& or_complement(const DynamicBitset& o);
 
   friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
     a |= b;
@@ -93,8 +95,16 @@ class DynamicBitset {
   /// True iff every set bit of this is also set in `o`.
   bool is_subset_of(const DynamicBitset& o) const noexcept;
 
+  /// Chaining seed for hash_words(); the FNV-1a offset basis.
+  static constexpr std::uint64_t kHashSeed = 1469598103934665603ull;
+
   /// FNV-1a hash over the active words; usable as a state fingerprint.
-  std::uint64_t hash() const noexcept;
+  std::uint64_t hash() const noexcept { return hash_words(kHashSeed); }
+
+  /// FNV-1a over the words, continuing from `seed`.  Chain across several
+  /// bitsets to fingerprint a whole matrix in O(words) with no
+  /// per-row allocation: `h = row.hash_words(h)`.
+  std::uint64_t hash_words(std::uint64_t seed) const noexcept;
 
   /// "10110..." with bit 0 first; for debugging and tests.
   std::string to_string() const;

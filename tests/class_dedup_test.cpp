@@ -1,0 +1,94 @@
+// ShardedFingerprintSet: the 64-bit dedup store behind causal-class and
+// prefix deduplication, including the debug collision safety net that
+// keeps full payloads and cross-checks them on every hash-equal insert.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "ordering/class_dedup.hpp"
+#include "util/check.hpp"
+#include "util/dynamic_bitset.hpp"
+
+namespace evord {
+namespace {
+
+TEST(FingerprintWords, DependsOnContentOrderAndSeed) {
+  const std::vector<std::uint64_t> ab{1, 2};
+  const std::vector<std::uint64_t> ba{2, 1};
+  const std::uint64_t seed = DynamicBitset::kHashSeed;
+  EXPECT_EQ(fingerprint_words(ab, seed), fingerprint_words({1, 2}, seed));
+  EXPECT_NE(fingerprint_words(ab, seed), fingerprint_words(ba, seed));
+  EXPECT_NE(fingerprint_words(ab, seed), fingerprint_words(ab, seed + 1));
+}
+
+TEST(ShardedFingerprintSet, InsertDeduplicates) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{16}}) {
+    ShardedFingerprintSet set(shards, /*verify_collisions=*/false);
+    EXPECT_TRUE(set.insert(7));
+    EXPECT_TRUE(set.insert(8));
+    EXPECT_FALSE(set.insert(7));
+    EXPECT_EQ(set.size(), 2u);
+  }
+}
+
+TEST(ShardedFingerprintSet, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedFingerprintSet set(/*num_shards=*/5);
+  EXPECT_EQ(set.num_shards(), 8u);
+  ShardedFingerprintSet one(/*num_shards=*/0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(ShardedFingerprintSet, VerifyAcceptsIdenticalPayloads) {
+  ShardedFingerprintSet set(4, /*verify_collisions=*/true);
+  const std::vector<std::uint64_t> payload{1, 2, 3};
+  EXPECT_TRUE(set.insert(99, &payload));
+  // A true duplicate (same state re-reached) must dedup silently.
+  EXPECT_FALSE(set.insert(99, &payload));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(ShardedFingerprintSet, VerifyThrowsOnRealCollision) {
+  ShardedFingerprintSet set(4, /*verify_collisions=*/true);
+  const std::vector<std::uint64_t> payload{1, 2, 3};
+  const std::vector<std::uint64_t> other{4, 5, 6};
+  EXPECT_TRUE(set.insert(99, &payload));
+  // Same 64-bit fingerprint, different underlying state: the safety net
+  // must refuse to silently merge two distinct causal classes.
+  EXPECT_THROW(set.insert(99, &other), CheckError);
+}
+
+TEST(ShardedFingerprintSet, NoVerifyIgnoresPayloads) {
+  ShardedFingerprintSet set(4, /*verify_collisions=*/false);
+  const std::vector<std::uint64_t> payload{1, 2, 3};
+  const std::vector<std::uint64_t> other{4, 5, 6};
+  EXPECT_TRUE(set.insert(99, &payload));
+  EXPECT_FALSE(set.insert(99, &other));  // release path: dedup only
+}
+
+// Concurrent inserts from several threads must agree on exactly one
+// winner per fingerprint and lose no entries (exercised under TSan via
+// the `tsan` ctest label).
+TEST(ShardedFingerprintSet, ConcurrentInsertsCountEachValueOnce) {
+  ShardedFingerprintSet set(8, /*verify_collisions=*/false);
+  constexpr std::uint64_t kValues = 2000;
+  constexpr int kThreads = 4;
+  std::vector<std::uint64_t> wins(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&set, &wins, t] {
+      for (std::uint64_t v = 0; v < kValues; ++v) {
+        if (set.insert(v * 0x9e3779b97f4a7c15ull)) ++wins[t];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(set.size(), kValues);
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : wins) total += w;
+  EXPECT_EQ(total, kValues);  // each fingerprint won exactly once
+}
+
+}  // namespace
+}  // namespace evord

@@ -1,0 +1,117 @@
+// Serial vs parallel exact engine equivalence.
+//
+// The root-split parallel engine (ExactOptions::num_threads > 1) shares
+// one sharded fingerprint set across workers, so every distinct prefix
+// state is expanded exactly once and — absent budgets — its results are
+// bit-identical to the serial engine's.  This test pins that contract
+// across workload-generator traces, all three semantics, and both
+// settings of causal_data_edges.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "ordering/exact.hpp"
+#include "ordering/relations.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace evord {
+namespace {
+
+OrderingRelations analyze(const Trace& trace, Semantics semantics,
+                          bool data_edges, std::size_t threads) {
+  ExactOptions options;
+  options.causal_data_edges = data_edges;
+  options.num_threads = threads;
+  return compute_exact(trace, semantics, options);
+}
+
+void expect_identical(const OrderingRelations& serial,
+                      const OrderingRelations& parallel,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(serial.feasible_empty, parallel.feasible_empty);
+  EXPECT_EQ(serial.truncated, parallel.truncated);
+  EXPECT_EQ(serial.causal_classes, parallel.causal_classes);
+  EXPECT_EQ(serial.schedules_seen, parallel.schedules_seen);
+  for (const RelationKind kind : kAllRelationKinds) {
+    EXPECT_EQ(serial[kind], parallel[kind]) << to_string(kind);
+  }
+}
+
+void check_trace(const Trace& trace, const std::string& label) {
+  for (const Semantics semantics :
+       {Semantics::kInterleaving, Semantics::kCausal, Semantics::kInterval}) {
+    for (const bool data_edges : {true, false}) {
+      const OrderingRelations serial =
+          analyze(trace, semantics, data_edges, 1);
+      const OrderingRelations parallel =
+          analyze(trace, semantics, data_edges, 4);
+      std::ostringstream os;
+      os << label << " / " << to_string(semantics)
+         << (data_edges ? " / data-edges" : " / no-data-edges");
+      expect_identical(serial, parallel, os.str());
+    }
+  }
+}
+
+TEST(ParallelExact, MatchesSerialOnRandomSemaphoreTraces) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    SemTraceConfig config;
+    config.num_events = 12;
+    const Trace trace = random_semaphore_trace(config, rng);
+    check_trace(trace, "sem-trace seed " + std::to_string(seed));
+  }
+}
+
+TEST(ParallelExact, MatchesSerialOnRandomEventTraces) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    EventTraceConfig config;
+    config.num_events = 12;
+    config.num_variables = 2;
+    const Trace trace = random_event_trace(config, rng);
+    check_trace(trace, "event-trace seed " + std::to_string(seed));
+  }
+}
+
+TEST(ParallelExact, MatchesSerialOnForkJoin) {
+  Rng rng(7);
+  const Trace trace = random_fork_join_trace(/*num_children=*/2,
+                                             /*events_per_child=*/3, rng);
+  check_trace(trace, "fork-join");
+}
+
+TEST(ParallelExact, MatchesSerialOnPipeline) {
+  const Trace trace = pipeline_trace(/*stages=*/3, /*items=*/2);
+  check_trace(trace, "pipeline");
+}
+
+TEST(ParallelExact, HardwareConcurrencyRequestMatchesSerial) {
+  Rng rng(11);
+  SemTraceConfig config;
+  config.num_events = 10;
+  const Trace trace = random_semaphore_trace(config, rng);
+  const OrderingRelations serial =
+      analyze(trace, Semantics::kCausal, /*data_edges=*/true, 1);
+  // num_threads == 0 resolves to the hardware concurrency.
+  const OrderingRelations parallel =
+      analyze(trace, Semantics::kCausal, /*data_edges=*/true, 0);
+  expect_identical(serial, parallel, "hardware-concurrency");
+}
+
+// More threads than root subtrees (single enabled root event) must fall
+// back to the serial path without deadlock or double counting.
+TEST(ParallelExact, SingleRootSubtreeFallsBackToSerial) {
+  const Trace trace = pipeline_trace(/*stages=*/2, /*items=*/1);
+  const OrderingRelations serial =
+      analyze(trace, Semantics::kCausal, /*data_edges=*/true, 1);
+  const OrderingRelations parallel =
+      analyze(trace, Semantics::kCausal, /*data_edges=*/true, 8);
+  expect_identical(serial, parallel, "single-root");
+}
+
+}  // namespace
+}  // namespace evord

@@ -177,6 +177,50 @@ TEST(DynamicBitset, EqualityAndHash) {
   EXPECT_EQ(a.hash(), b.hash());
 }
 
+TEST(DynamicBitset, HashWordsChains) {
+  DynamicBitset a(70);
+  a.set(3);
+  a.set(69);
+  DynamicBitset b(70);
+  b.set(3);
+  b.set(69);
+  // Same words, same seed -> same hash; different seed -> different chain.
+  EXPECT_EQ(a.hash_words(DynamicBitset::kHashSeed),
+            b.hash_words(DynamicBitset::kHashSeed));
+  EXPECT_NE(a.hash_words(DynamicBitset::kHashSeed), a.hash_words(12345));
+  // Chaining a over b differs from b over a (order sensitivity).
+  DynamicBitset c(70);
+  c.set(1);
+  EXPECT_NE(c.hash_words(a.hash_words(DynamicBitset::kHashSeed)),
+            a.hash_words(c.hash_words(DynamicBitset::kHashSeed)));
+}
+
+TEST(DynamicBitset, OrComplement) {
+  DynamicBitset a(70);
+  a.set(0);
+  DynamicBitset mask(70);
+  mask.set(0);
+  mask.set(68);
+  // a |= ~mask: everything except bit 68 ends up set (bit 0 was already).
+  a.or_complement(mask);
+  EXPECT_EQ(a.count(), 69u);
+  EXPECT_TRUE(a.test(0));
+  EXPECT_FALSE(a.test(68));
+  EXPECT_TRUE(a.test(69));  // tail bits beyond the last word boundary
+}
+
+TEST(DynamicBitset, SubtractClearsMaskedBits) {
+  DynamicBitset a(70);
+  a.set(2);
+  a.set(65);
+  DynamicBitset mask(70);
+  mask.set(65);
+  a.subtract(mask);
+  EXPECT_TRUE(a.test(2));
+  EXPECT_FALSE(a.test(65));
+  EXPECT_EQ(a.count(), 1u);
+}
+
 TEST(DynamicBitset, ToString) {
   DynamicBitset b(5);
   b.set(1);
