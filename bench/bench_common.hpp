@@ -8,11 +8,16 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "feasible/stepper.hpp"
 #include "sat/formula.hpp"
 #include "trace/builder.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace evord::bench {
@@ -62,6 +67,143 @@ inline bool write_json_records(const std::string& path,
   }
   out << "]\n";
   return out.good();
+}
+
+/// Renders one record the way write_json_records does, without the
+/// surrounding array syntax.
+inline std::string render_json_record(const JsonRecord& row) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t f = 0; f < row.fields.size(); ++f) {
+    if (f != 0) os << ", ";
+    os << '"' << row.fields[f].first << "\": " << row.fields[f].second;
+  }
+  os << '}';
+  return os.str();
+}
+
+/// Appends `rows` to the JSON array at `path`, creating it if absent —
+/// several bench binaries contribute rows to one BENCH_*.json this way.
+/// Only understands the one-object-per-line format of
+/// write_json_records; anything else is overwritten.
+inline bool append_json_records(const std::string& path,
+                                const std::vector<JsonRecord>& rows) {
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const std::size_t begin = line.find('{');
+      const std::size_t end = line.rfind('}');
+      if (begin == std::string::npos || end == std::string::npos) continue;
+      lines.push_back(line.substr(begin, end - begin + 1));
+    }
+  }
+  for (const JsonRecord& row : rows) lines.push_back(render_json_record(row));
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    out << "  " << lines[i] << (i + 1 < lines.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  return out.good();
+}
+
+// ----------------------------------------------------------------------
+// Legacy memo-representation baselines for BENCH_search.json.
+//
+// Before the unified search core, the memoized engines keyed their
+// memo/visited tables on full encode_key() word vectors; the core now
+// keys them on 64-bit incremental fingerprints (8-9 bytes/state, with a
+// debug collision cross-check).  The walkers below reconstruct the old
+// representation — full key vector per state — so the benches can report
+// measured before/after states/sec and bytes/state.  They live here, in
+// bench code, on purpose: no analysis engine keeps a private DFS anymore.
+
+struct KeyVectorHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
+    return static_cast<std::size_t>(
+        fingerprint_words(key, DynamicBitset::kHashSeed));
+  }
+};
+
+struct LegacyWalkStats {
+  std::uint64_t states = 0;       ///< distinct states tabled
+  std::uint64_t table_bytes = 0;  ///< payload bytes held by the table
+  bool result = false;            ///< completable / can-deadlock verdict
+};
+
+/// The pre-refactor memoized completability sweep: memo maps each full
+/// encode_key vector to "a complete schedule is reachable from here".
+inline LegacyWalkStats legacy_keyvec_completable(const Trace& trace,
+                                                 StepperOptions options = {}) {
+  TraceStepper st(trace, options);
+  std::unordered_map<std::vector<std::uint64_t>, bool, KeyVectorHash> memo;
+  const auto explore = [&](const auto& self) -> bool {
+    if (st.complete()) return true;
+    std::vector<std::uint64_t> key;
+    st.encode_key(key);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+    bool ok = false;
+    std::vector<EventId> enabled;
+    st.enabled_events(enabled);
+    // No early exit: the old matrix-building engine explored every child
+    // (it needed marks from all of them), and so does the new one — this
+    // keeps the two sweeps' state sets identical for the comparison.
+    for (const EventId e : enabled) {
+      const TraceStepper::Undo u = st.apply(e);
+      const bool child = self(self);
+      st.undo(u);
+      ok = ok || child;
+    }
+    memo.emplace(std::move(key), ok);
+    return ok;
+  };
+  LegacyWalkStats stats;
+  stats.result = explore(explore);
+  stats.states = memo.size();
+  for (const auto& [key, value] : memo) {
+    stats.table_bytes += sizeof(key) + key.capacity() * sizeof(std::uint64_t) +
+                         sizeof(value);
+  }
+  return stats;
+}
+
+/// The pre-refactor deadlock search: the visited set holds one full
+/// encode_key vector per distinct state.
+inline LegacyWalkStats legacy_keyvec_deadlock(const Trace& trace,
+                                              StepperOptions options = {}) {
+  TraceStepper st(trace, options);
+  std::unordered_set<std::vector<std::uint64_t>, KeyVectorHash> visited;
+  bool can_deadlock = false;
+  const auto explore = [&](const auto& self) -> void {
+    if (st.complete()) return;
+    std::vector<std::uint64_t> key;
+    st.encode_key(key);
+    if (!visited.insert(std::move(key)).second) return;
+    std::vector<EventId> enabled;
+    st.enabled_events(enabled);
+    if (enabled.empty()) {
+      can_deadlock = true;
+      return;
+    }
+    for (const EventId e : enabled) {
+      const TraceStepper::Undo u = st.apply(e);
+      self(self);
+      st.undo(u);
+    }
+  };
+  LegacyWalkStats stats;
+  explore(explore);
+  stats.result = can_deadlock;
+  stats.states = visited.size();
+  for (const auto& key : visited) {
+    stats.table_bytes +=
+        sizeof(key) + key.capacity() * sizeof(std::uint64_t);
+  }
+  return stats;
 }
 
 /// (x v x v x): satisfiable, the smallest reduction instance.

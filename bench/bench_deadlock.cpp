@@ -15,6 +15,7 @@
 #include "feasible/schedule_space.hpp"
 #include "reductions/reduction.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -104,6 +105,70 @@ BENCHMARK(BM_Coexist_ReductionDecidesSat)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
+// Memo-key compression, deadlock engine (rows appended to
+// BENCH_search.json): the Theorem-1 UNSAT reduction trace swept once with
+// the legacy full-key-vector visited set and once with the unified search
+// core's 8-byte fingerprint set.  Verdicts and distinct-state counts must
+// agree; bytes/state must drop at least 4x.
+std::vector<JsonRecord> run_deadlock_memory_sweep() {
+  const ReductionExecution e =
+      execute_reduction(reduce_3sat_semaphores(tiny_unsat()));
+
+  Timer legacy_timer;
+  const LegacyWalkStats legacy = legacy_keyvec_deadlock(e.trace);
+  const double legacy_ms =
+      static_cast<double>(legacy_timer.micros()) / 1000.0;
+
+  Timer engine_timer;
+  const DeadlockReport report = analyze_deadlocks(e.trace);
+  const double engine_ms =
+      static_cast<double>(engine_timer.micros()) / 1000.0;
+
+  EVORD_CHECK(report.can_deadlock == legacy.result,
+              "legacy and fingerprint deadlock verdicts differ");
+  EVORD_CHECK(report.states_visited == legacy.states,
+              "legacy and fingerprint deadlock sweeps visited different "
+              "state sets: " << legacy.states << " vs "
+                             << report.states_visited);
+
+  const double legacy_bytes = static_cast<double>(legacy.table_bytes) /
+                              static_cast<double>(legacy.states);
+  const double engine_bytes =
+      static_cast<double>(report.search.memo_bytes) /
+      static_cast<double>(report.states_visited);
+  EVORD_CHECK(legacy_bytes >= 4.0 * engine_bytes,
+              "memo-key compression regressed below 4x: "
+                  << legacy_bytes << " -> " << engine_bytes
+                  << " bytes/state");
+
+  const auto row = [&](const char* variant, std::uint64_t states,
+                       std::uint64_t bytes, double wall_ms) {
+    return JsonRecord{}
+        .add("engine", std::string("deadlock"))
+        .add("variant", std::string(variant))
+        .add("workload", std::string("theorem1_unsat"))
+        .add("states", states)
+        .add("wall_ms", wall_ms)
+        .add("states_per_sec",
+             static_cast<double>(states) / (wall_ms / 1000.0))
+        .add("bytes_per_state",
+             static_cast<double>(bytes) / static_cast<double>(states));
+  };
+  return {row("legacy_keyvec", legacy.states, legacy.table_bytes, legacy_ms),
+          row("fingerprint", report.states_visited, report.search.memo_bytes,
+              engine_ms)};
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!append_json_records("BENCH_search.json",
+                           run_deadlock_memory_sweep())) {
+    return 1;
+  }
+  return 0;
+}

@@ -13,9 +13,11 @@
 #include "feasible/enumerate.hpp"
 #include "feasible/schedule_space.hpp"
 #include "reductions/figure1.hpp"
+#include "reductions/reduction.hpp"
 #include "sync/scheduler.hpp"
 #include "trace/builder.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 #include "workload/generators.hpp"
 
 namespace {
@@ -182,6 +184,73 @@ BENCHMARK(BM_ExploreProgram_Philosophers)
     ->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
+// Memo-key compression, state-merged engine (rows appended to
+// BENCH_search.json): the Theorem-1 UNSAT reduction trace swept once with
+// the legacy full-key-vector memo and once through the unified search
+// core's 9-byte fingerprint memo.  Both sweeps expand every child of
+// every reachable state, so the distinct-state sets are identical; the
+// engine sweep additionally builds the can-precede matrix, which makes
+// its states/sec figure conservative.
+std::vector<evord::bench::JsonRecord> run_space_memory_sweep() {
+  using evord::bench::JsonRecord;
+  const ReductionExecution e = execute_reduction(
+      reduce_3sat_semaphores(evord::bench::tiny_unsat()));
+
+  Timer legacy_timer;
+  const evord::bench::LegacyWalkStats legacy =
+      evord::bench::legacy_keyvec_completable(e.trace);
+  const double legacy_ms =
+      static_cast<double>(legacy_timer.micros()) / 1000.0;
+
+  Timer engine_timer;
+  const CanPrecedeResult result = compute_can_precede(e.trace);
+  const double engine_ms =
+      static_cast<double>(engine_timer.micros()) / 1000.0;
+
+  EVORD_CHECK(result.feasible_nonempty == legacy.result,
+              "legacy and fingerprint feasibility verdicts differ");
+  EVORD_CHECK(result.states_visited == legacy.states,
+              "legacy and fingerprint sweeps memoized different state "
+              "sets: " << legacy.states << " vs " << result.states_visited);
+
+  const double legacy_bytes = static_cast<double>(legacy.table_bytes) /
+                              static_cast<double>(legacy.states);
+  const double engine_bytes =
+      static_cast<double>(result.search.memo_bytes) /
+      static_cast<double>(result.states_visited);
+  EVORD_CHECK(legacy_bytes >= 4.0 * engine_bytes,
+              "memo-key compression regressed below 4x: "
+                  << legacy_bytes << " -> " << engine_bytes
+                  << " bytes/state");
+
+  const auto row = [&](const char* variant, std::uint64_t states,
+                       std::uint64_t bytes, double wall_ms) {
+    return JsonRecord{}
+        .add("engine", std::string("schedule_space"))
+        .add("variant", std::string(variant))
+        .add("workload", std::string("theorem1_unsat"))
+        .add("states", states)
+        .add("wall_ms", wall_ms)
+        .add("states_per_sec",
+             static_cast<double>(states) / (wall_ms / 1000.0))
+        .add("bytes_per_state",
+             static_cast<double>(bytes) / static_cast<double>(states));
+  };
+  return {row("legacy_keyvec", legacy.states, legacy.table_bytes, legacy_ms),
+          row("fingerprint", result.states_visited, result.search.memo_bytes,
+              engine_ms)};
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!evord::bench::append_json_records("BENCH_search.json",
+                                         run_space_memory_sweep())) {
+    return 1;
+  }
+  return 0;
+}

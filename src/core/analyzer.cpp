@@ -85,6 +85,7 @@ const DeadlockReport& OrderingAnalyzer::deadlocks() {
     options.stepper.respect_dependences = options_.respect_dependences;
     options.max_states = options_.max_states;
     options.time_budget_seconds = options_.time_budget_seconds;
+    options.num_threads = options_.num_threads;
     deadlocks_ = analyze_deadlocks(trace_, options);
   }
   return *deadlocks_;
@@ -96,6 +97,7 @@ bool OrderingAnalyzer::could_have_coexisted(EventId a, EventId b) {
     options.stepper.respect_dependences = options_.respect_dependences;
     options.max_states = options_.max_states;
     options.time_budget_seconds = options_.time_budget_seconds;
+    options.num_threads = options_.num_threads;
     options.build_coexist = true;
     coexist_ = compute_can_precede(trace_, options);
   }
@@ -104,6 +106,11 @@ bool OrderingAnalyzer::could_have_coexisted(EventId a, EventId b) {
 
 RaceReport OrderingAnalyzer::races(RaceDetector detector) {
   return detect_races(trace_, detector, options_);
+}
+
+const search::SearchStats& OrderingAnalyzer::search_stats(
+    Semantics semantics) {
+  return relations(semantics).search;
 }
 
 std::string OrderingAnalyzer::report(Semantics semantics) {

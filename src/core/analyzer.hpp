@@ -76,6 +76,12 @@ class OrderingAnalyzer {
   // ----- applications ----------------------------------------------------
   RaceReport races(RaceDetector detector = RaceDetector::kExact);
 
+  /// Unified search-core statistics (states, dedup hits, memo bytes,
+  /// stop reason) of the exact analysis under `semantics`; runs the
+  /// analysis if not yet cached.
+  const search::SearchStats& search_stats(
+      Semantics semantics = Semantics::kCausal);
+
   /// Multi-line human-readable summary of the trace and its exact
   /// relations under the given semantics.
   std::string report(Semantics semantics = Semantics::kCausal);

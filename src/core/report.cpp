@@ -76,6 +76,13 @@ std::string summarize_relations(const Trace& trace,
        << "  causal classes: " << relations.causal_classes
        << "  deadlocked prefixes: " << relations.deadlocked_prefixes << '\n';
   }
+  os << "search: states=" << relations.search.states_visited
+     << " dedup hits=" << relations.search.dedup_hits
+     << " memo bytes=" << relations.search.memo_bytes << '\n';
+  if (relations.search.stop_reason != search::StopReason::kNone) {
+    os << "search stopped by: "
+       << search::to_string(relations.search.stop_reason) << '\n';
+  }
   if (relations.truncated) {
     os << "WARNING: search truncated by budget; could-relations are "
           "under-approximate, must-relations over-approximate\n";

@@ -1,95 +1,147 @@
 #include "feasible/deadlock.hpp"
 
-#include <unordered_set>
+#include <optional>
 
-#include "util/timer.hpp"
+#include "search/engine.hpp"
 
 namespace evord {
 
 namespace {
 
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::uint64_t w : key) {
-      h ^= w;
-      h *= 1099511628211ull;
-    }
-    return static_cast<std::size_t>(h);
+/// Deadlock hooks: terminals just continue; stuck states update the
+/// per-instance best witness (strictly shorter replaces, so the
+/// first-discovered witness of the minimal length is kept) and, in
+/// parallel mode, a shared stuck-state fingerprint set that counts each
+/// distinct stuck state once across workers.
+struct DeadlockHooks {
+  search::ShardedFingerprintSet* stuck_set;  ///< null in serial mode
+  bool* can_deadlock;
+  std::vector<EventId>* witness;
+
+  bool on_terminal(const std::vector<EventId>& /*schedule*/) { return true; }
+
+  void on_stuck(const std::vector<EventId>& path, std::uint64_t fp) {
+    // No payload: any colliding fingerprints already tripped the visited
+    // set's collision check (stuck fingerprints are claim fingerprints).
+    if (stuck_set != nullptr) stuck_set->insert(fp);
+    if (!*can_deadlock || path.size() < witness->size()) *witness = path;
+    *can_deadlock = true;
   }
 };
 
-class DeadlockSearch {
- public:
-  DeadlockSearch(const Trace& trace, const DeadlockOptions& options)
-      : options_(options),
-        stepper_(trace, options.stepper),
-        deadline_(options.time_budget_seconds) {}
+template <class Dedup>
+using DeadlockSearch =
+    search::EnumerationSearch<search::NullTracker, Dedup, DeadlockHooks>;
 
-  DeadlockReport run() {
-    explore();
-    report_.states_visited = visited_.size();
-    return std::move(report_);
+search::SearchOptions to_search_options(const DeadlockOptions& options) {
+  search::SearchOptions so;
+  so.max_states = options.max_states;
+  so.time_budget_seconds = options.time_budget_seconds;
+  so.num_threads = options.num_threads;
+  return so;
+}
+
+constexpr std::uint64_t kVisitedBytesPerState = 8;  ///< one fingerprint
+
+DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options) {
+  const search::SearchOptions so = to_search_options(options);
+  search::SharedContext ctx(so);
+  search::ShardedFingerprintSet visited(1);
+  DeadlockReport report;
+  DeadlockSearch<search::SharedSetDedup> engine(
+      trace, options.stepper, so, &ctx, search::NullTracker{},
+      search::SharedSetDedup(&visited),
+      DeadlockHooks{nullptr, &report.can_deadlock, &report.witness_prefix});
+  report.search = engine.run();
+  report.search.memo_bytes = visited.size() * kVisitedBytesPerState;
+  report.stuck_states = report.search.deadlocked_prefixes;
+  report.states_visited = static_cast<std::size_t>(visited.size());
+  report.truncated = report.search.truncated;
+  return report;
+}
+
+DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
+                            const std::vector<EventId>& roots,
+                            std::size_t threads) {
+  const search::SearchOptions so = to_search_options(options);
+  search::SharedContext ctx(so);
+  search::ShardedFingerprintSet visited(4 * threads);
+  // Claim fingerprints double as stuck-state identity, so this set can
+  // skip payload verification (see DeadlockHooks::on_stuck).
+  search::ShardedFingerprintSet stuck(4 * threads,
+                                      /*verify_collisions=*/false);
+
+  // Count the root state once, as the serial search would at its first
+  // explore() entry (workers start one event in and never revisit it).
+  {
+    TraceStepper root(trace, options.stepper);
+    std::vector<std::uint64_t> key;
+    const std::vector<std::uint64_t>* payload = nullptr;
+    if (visited.verify_collisions()) {
+      root.encode_key(key);
+      payload = &key;
+    }
+    visited.insert(root.state_hash(), payload);
+    ctx.states.fetch_add(1, std::memory_order_relaxed);
   }
 
- private:
-  bool out_of_budget() {
-    if (options_.max_states != 0 && visited_.size() >= options_.max_states) {
-      report_.truncated = true;
-      return true;
+  // Per-subtree witness candidates, merged deterministically below.
+  // (char, not bool: vector<bool> bit-packs and adjacent-index writes
+  // from different workers would race.)
+  std::vector<char> sub_deadlock(roots.size(), 0);
+  std::vector<std::vector<EventId>> sub_witness(roots.size());
+
+  search::SearchStats total = search::run_root_split(
+      roots.size(), threads, ctx, [&](std::size_t i) {
+        bool local_deadlock = false;
+        DeadlockSearch<search::PrivateSetDedup> engine(
+            trace, options.stepper, so, &ctx, search::NullTracker{},
+            search::PrivateSetDedup(&visited),
+            DeadlockHooks{&stuck, &local_deadlock, &sub_witness[i]});
+        engine.seed({roots[i]});
+        const search::SearchStats stats = engine.run();
+        sub_deadlock[i] = local_deadlock;
+        return stats;
+      });
+  total.states_visited += 1;  // the root claim above
+
+  DeadlockReport report;
+  // Deterministic witness: minimal length wins; among equals, the lowest
+  // subtree index — exactly the prefix the serial search would keep,
+  // because each worker's private-set traversal of its subtree matches
+  // the serial traversal order there (docs/SEARCH.md).
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (!sub_deadlock[i]) continue;
+    if (!report.can_deadlock ||
+        sub_witness[i].size() < report.witness_prefix.size()) {
+      report.witness_prefix = sub_witness[i];
     }
-    if ((++budget_poll_ & 1023u) == 0 && deadline_.expired()) {
-      report_.truncated = true;
-      return true;
-    }
-    return false;
+    report.can_deadlock = true;
   }
-
-  void explore() {
-    if (stepper_.complete()) return;
-    stepper_.encode_key(key_scratch_);
-    if (!visited_.insert(key_scratch_).second) return;
-    if (out_of_budget()) return;
-
-    enabled_stack_.emplace_back();
-    stepper_.enabled_events(enabled_stack_.back());
-    if (enabled_stack_.back().empty()) {
-      ++report_.stuck_states;
-      if (!report_.can_deadlock ||
-          path_.size() < report_.witness_prefix.size()) {
-        report_.witness_prefix = path_;
-      }
-      report_.can_deadlock = true;
-      enabled_stack_.pop_back();
-      return;
-    }
-    for (std::size_t i = 0; i < enabled_stack_.back().size(); ++i) {
-      const EventId e = enabled_stack_.back()[i];
-      const TraceStepper::Undo u = stepper_.apply(e);
-      path_.push_back(e);
-      explore();
-      path_.pop_back();
-      stepper_.undo(u);
-    }
-    enabled_stack_.pop_back();
-  }
-
-  const DeadlockOptions& options_;
-  TraceStepper stepper_;
-  Deadline deadline_;
-  DeadlockReport report_;
-  std::unordered_set<std::vector<std::uint64_t>, KeyHash> visited_;
-  std::vector<std::uint64_t> key_scratch_;
-  std::vector<EventId> path_;
-  std::vector<std::vector<EventId>> enabled_stack_;
-  std::uint32_t budget_poll_ = 0;
-};
+  report.search = total;
+  // Workers overcount stuck prefixes they both reach; the shared set has
+  // the distinct total.
+  report.search.deadlocked_prefixes = stuck.size();
+  report.search.states_visited = visited.size();
+  report.search.memo_bytes = visited.size() * kVisitedBytesPerState;
+  report.stuck_states = stuck.size();
+  report.states_visited = static_cast<std::size_t>(visited.size());
+  report.truncated = report.search.truncated;
+  return report;
+}
 
 }  // namespace
 
 DeadlockReport analyze_deadlocks(const Trace& trace,
                                  const DeadlockOptions& options) {
-  return DeadlockSearch(trace, options).run();
+  const std::size_t threads =
+      search::resolve_num_threads(options.num_threads);
+  if (threads > 1) {
+    const std::vector<EventId> roots =
+        search::root_events(trace, options.stepper);
+    if (roots.size() > 1) return run_parallel(trace, options, roots, threads);
+  }
+  return run_serial(trace, options);
 }
 
 }  // namespace evord

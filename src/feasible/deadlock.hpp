@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "feasible/stepper.hpp"
+#include "search/search.hpp"
 #include "trace/trace.hpp"
 
 namespace evord {
@@ -24,6 +25,10 @@ struct DeadlockOptions {
   StepperOptions stepper;
   std::size_t max_states = 4'000'000;  ///< 0 = unlimited
   double time_budget_seconds = 0.0;    ///< 0 = unlimited
+  /// Root-split worker count: 1 = serial (default), 0 = hardware
+  /// concurrency.  The parallel search returns bit-identical reports
+  /// (verdict, witness, counts); see docs/SEARCH.md for the argument.
+  std::size_t num_threads = 1;
 };
 
 struct DeadlockReport {
@@ -36,6 +41,7 @@ struct DeadlockReport {
   std::size_t states_visited = 0;
   /// True iff a budget stopped the search (result may miss deadlocks).
   bool truncated = false;
+  search::SearchStats search;  ///< unified engine statistics
 };
 
 DeadlockReport analyze_deadlocks(const Trace& trace,

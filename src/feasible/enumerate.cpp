@@ -1,156 +1,107 @@
 #include "feasible/enumerate.hpp"
 
-#include <atomic>
-#include <mutex>
 #include <optional>
 
-#include "util/check.hpp"
-#include "util/thread_pool.hpp"
-#include "util/timer.hpp"
+#include "search/engine.hpp"
 
 namespace evord {
 
 namespace {
 
-class Enumerator {
- public:
-  Enumerator(const Trace& trace, const EnumerateOptions& options,
-             const ScheduleVisitor& visit)
-      : options_(options),
-        stepper_(trace, options.stepper),
-        visit_(visit),
-        deadline_(options.time_budget_seconds) {
-    schedule_.reserve(trace.num_events());
-    seed(options.seed_prefix);
+/// Enumeration hooks: forward terminals to the caller's visitor; stuck
+/// prefixes are only counted (by the engine).
+struct EnumHooks {
+  const ScheduleVisitor* visit;
+  bool on_terminal(const std::vector<EventId>& schedule) {
+    return (*visit)(schedule);
   }
-
-  /// Fast-forwards through `prefix` before enumerating (for root-split
-  /// parallelism).  Every prefix event must be enabled in sequence.
-  void seed(const std::vector<EventId>& prefix) {
-    for (EventId e : prefix) {
-      EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
-      stepper_.apply(e);
-      schedule_.push_back(e);
-    }
-  }
-
-  EnumerateStats run() {
-    // Depth is bounded by the event count; reserving keeps the per-depth
-    // references below stable across recursive emplace_backs.
-    enabled_stack_.reserve(stepper_.trace().num_events() + 1);
-    dfs();
-    return stats_;
-  }
-
- private:
-  bool budget_hit() {
-    if (options_.max_schedules != 0 &&
-        stats_.schedules >= options_.max_schedules) {
-      stats_.truncated = true;
-      return true;
-    }
-    if ((++budget_poll_ & 255u) == 0 && deadline_.expired()) {
-      stats_.truncated = true;
-      return true;
-    }
-    return false;
-  }
-
-  /// Returns false to unwind the whole search (stop / budget).
-  bool dfs(std::size_t depth = 0) {
-    if (stepper_.complete()) {
-      ++stats_.schedules;
-      if (!visit_(schedule_)) {
-        stats_.stopped_by_visitor = true;
-        return false;
-      }
-      return !budget_hit();
-    }
-    // One vector per depth, reused across siblings (capacity kept).
-    if (depth == enabled_stack_.size()) enabled_stack_.emplace_back();
-    std::vector<EventId>& enabled = enabled_stack_[depth];
-    stepper_.enabled_events(enabled);
-    if (enabled.empty()) {
-      ++stats_.deadlocked_prefixes;
-      return true;
-    }
-    bool keep_going = true;
-    for (std::size_t i = 0; keep_going && i < enabled.size(); ++i) {
-      const EventId e = enabled[i];
-      const TraceStepper::Undo u = stepper_.apply(e);
-      schedule_.push_back(e);
-      keep_going = dfs(depth + 1);
-      schedule_.pop_back();
-      stepper_.undo(u);
-    }
-    return keep_going;
-  }
-
-  const EnumerateOptions& options_;
-  TraceStepper stepper_;
-  const ScheduleVisitor& visit_;
-  Deadline deadline_;
-  EnumerateStats stats_;
-  std::vector<EventId> schedule_;
-  std::vector<std::vector<EventId>> enabled_stack_;
-  std::uint32_t budget_poll_ = 0;
+  void on_stuck(const std::vector<EventId>& /*path*/, std::uint64_t /*fp*/) {}
 };
+
+using EnumSearch =
+    search::EnumerationSearch<search::NullTracker, search::NoDedup, EnumHooks>;
+
+search::SearchOptions to_search_options(const EnumerateOptions& options) {
+  search::SearchOptions so;
+  so.max_terminals = options.max_schedules;
+  so.time_budget_seconds = options.time_budget_seconds;
+  return so;
+}
+
+EnumerateStats finish(const search::SearchStats& stats) {
+  EnumerateStats out;
+  out.schedules = stats.terminals;
+  out.deadlocked_prefixes = stats.deadlocked_prefixes;
+  out.truncated = stats.truncated;
+  out.stopped_by_visitor = stats.stopped_by_visitor;
+  out.search = stats;
+  return out;
+}
 
 }  // namespace
 
 EnumerateStats enumerate_schedules(const Trace& trace,
                                    const EnumerateOptions& options,
                                    const ScheduleVisitor& visit) {
-  return Enumerator(trace, options, visit).run();
+  const search::SearchOptions so = to_search_options(options);
+  search::SharedContext ctx(so);
+  EnumSearch engine(trace, options.stepper, so, &ctx, search::NullTracker{},
+                    search::NoDedup{}, EnumHooks{&visit});
+  engine.seed(options.seed_prefix);
+  return finish(engine.run());
+}
+
+std::size_t num_enumerate_subtrees(const Trace& trace,
+                                   const EnumerateOptions& options) {
+  return search::root_events(trace, options.stepper, options.seed_prefix)
+      .size();
+}
+
+EnumerateStats enumerate_schedules_parallel_indexed(
+    const Trace& trace, const EnumerateOptions& options,
+    const IndexedScheduleVisitor& visit, std::size_t num_threads) {
+  // Partition on the first-level enabled events; each subtree gets its
+  // own stepper.  All budgets stay strict and global: the subtrees share
+  // one SharedContext, so max_schedules caps the combined visit count
+  // exactly (the historical per-subtree overshoot is gone).
+  const std::vector<EventId> first =
+      search::root_events(trace, options.stepper, options.seed_prefix);
+  if (first.size() <= 1) {
+    // Serial fallback also covers empty traces and deadlocked roots.
+    const ScheduleVisitor wrapped = [&](const std::vector<EventId>& s) {
+      return visit(0, s);
+    };
+    return enumerate_schedules(trace, options, wrapped);
+  }
+
+  const search::SearchOptions so = to_search_options(options);
+  search::SharedContext ctx(so);
+  const search::SearchStats total = search::run_root_split(
+      first.size(), num_threads, ctx, [&](std::size_t i) {
+        const ScheduleVisitor sub =
+            [&visit, i](const std::vector<EventId>& s) {
+              return visit(i, s);
+            };
+        EnumSearch engine(trace, options.stepper, so, &ctx,
+                          search::NullTracker{}, search::NoDedup{},
+                          EnumHooks{&sub});
+        engine.seed(options.seed_prefix);
+        engine.seed({first[i]});
+        return engine.run();
+      });
+  return finish(total);
 }
 
 EnumerateStats enumerate_schedules_parallel(const Trace& trace,
                                             const EnumerateOptions& options,
                                             const ScheduleVisitor& visit,
                                             std::size_t num_threads) {
-  // Partition on the first-level enabled events; each subtree gets its own
-  // stepper.  Budgets apply per subtree (the combined schedule count can
-  // therefore exceed max_schedules by up to a factor of the root width;
-  // callers that need a strict cap use the serial variant).
-  TraceStepper root(trace, options.stepper);
-  std::vector<EventId> first;
-  root.enabled_events(first);
-  if (first.empty()) {
-    EnumerateStats stats;
-    if (trace.num_events() == 0) {
-      ++stats.schedules;
-      visit({});
-    } else {
-      ++stats.deadlocked_prefixes;
-    }
-    return stats;
-  }
-
-  ThreadPool pool(num_threads);
-  std::mutex stats_mu;
-  EnumerateStats total;
-  std::atomic<bool> stop{false};
-  pool.parallel_for(first.size(), [&](std::size_t i) {
-    if (stop.load(std::memory_order_relaxed)) return;
-    ScheduleVisitor wrapped = [&](const std::vector<EventId>& s) {
-      if (stop.load(std::memory_order_relaxed)) return false;
-      if (!visit(s)) {
-        stop.store(true, std::memory_order_relaxed);
-        return false;
-      }
-      return true;
-    };
-    Enumerator e(trace, options, wrapped);
-    e.seed({first[i]});
-    const EnumerateStats stats = e.run();
-    std::lock_guard<std::mutex> lock(stats_mu);
-    total.schedules += stats.schedules;
-    total.deadlocked_prefixes += stats.deadlocked_prefixes;
-    total.truncated = total.truncated || stats.truncated;
-    total.stopped_by_visitor =
-        total.stopped_by_visitor || stats.stopped_by_visitor;
-  });
-  return total;
+  return enumerate_schedules_parallel_indexed(
+      trace, options,
+      [&visit](std::size_t /*subtree*/, const std::vector<EventId>& s) {
+        return visit(s);
+      },
+      num_threads);
 }
 
 std::optional<std::vector<EventId>> find_schedule_where(

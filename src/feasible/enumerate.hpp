@@ -7,10 +7,12 @@
 // the paper's theorem — so callers bound it with max_schedules and a time
 // budget, and the tests/benches use it on deliberately small traces.
 //
-// A serial and a root-split parallel variant are provided.  The parallel
-// variant partitions the search on the first-level choice and runs each
-// subtree in a worker with its own stepper; the visitor must then be
-// thread-safe.
+// Both variants run on the unified search core (search/engine.hpp).  The
+// parallel variant partitions the search on the first-level choice and
+// runs each subtree in a worker with its own stepper; the visitor must
+// then be thread-safe.  Budgets are strict and global: max_schedules is
+// enforced through a shared atomic counter, so the combined visit count
+// never exceeds it even in parallel mode.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +21,15 @@
 #include <vector>
 
 #include "feasible/stepper.hpp"
+#include "search/search.hpp"
 #include "trace/trace.hpp"
 
 namespace evord {
 
 struct EnumerateOptions {
   StepperOptions stepper;
-  /// Stop after this many complete schedules (0 = unlimited).
+  /// Stop after this many complete schedules (0 = unlimited).  Strict and
+  /// global, including in the parallel variant.
   std::uint64_t max_schedules = 0;
   /// Stop after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
@@ -40,15 +44,27 @@ struct EnumerateStats {
   std::uint64_t deadlocked_prefixes = 0; ///< maximal incomplete prefixes
   bool truncated = false;                ///< a budget stopped the search
   bool stopped_by_visitor = false;       ///< the visitor returned false
+  search::SearchStats search;            ///< unified engine statistics
 };
 
 /// Called with each complete schedule; return false to stop the search.
 using ScheduleVisitor =
     std::function<bool(const std::vector<EventId>& schedule)>;
 
+/// Parallel visitor that also receives the root-split subtree index (the
+/// position of the schedule's first post-seed event among the first-level
+/// enabled events).  Must be thread-safe.
+using IndexedScheduleVisitor = std::function<bool(
+    std::size_t subtree, const std::vector<EventId>& schedule)>;
+
 EnumerateStats enumerate_schedules(const Trace& trace,
                                    const EnumerateOptions& options,
                                    const ScheduleVisitor& visit);
+
+/// Number of root-split subtrees the parallel variant would use: the
+/// count of first-level enabled events after the seed prefix.
+std::size_t num_enumerate_subtrees(const Trace& trace,
+                                   const EnumerateOptions& options);
 
 /// Root-split parallel variant; `visit` must be thread-safe.  With
 /// num_threads == 0 the hardware concurrency is used.
@@ -56,6 +72,13 @@ EnumerateStats enumerate_schedules_parallel(const Trace& trace,
                                             const EnumerateOptions& options,
                                             const ScheduleVisitor& visit,
                                             std::size_t num_threads = 0);
+
+/// As above, but the visitor also learns which root subtree produced each
+/// schedule — callers keeping per-subtree accumulators merge without
+/// locking.
+EnumerateStats enumerate_schedules_parallel_indexed(
+    const Trace& trace, const EnumerateOptions& options,
+    const IndexedScheduleVisitor& visit, std::size_t num_threads = 0);
 
 /// Convenience: the first complete schedule satisfying `pred`, if any
 /// exists within the budget.

@@ -1,222 +1,182 @@
 #include "feasible/schedule_space.hpp"
 
-#include <unordered_map>
+#include <mutex>
 
-#include "util/timer.hpp"
+#include "search/engine.hpp"
 
 namespace evord {
 
 namespace {
 
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::uint64_t>& key) const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::uint64_t w : key) {
-      h ^= w;
-      h *= 1099511628211ull;
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
+/// Matrix-building hooks for the memoized sweep.  The matrices are
+/// per-instance (per worker in parallel mode) and OR-merged afterwards:
+/// every mark is deterministic — a function of the state and the
+/// completability predicate — so whichever worker expands a state
+/// produces the same bits.
+struct CanPrecedeHooks {
+  static constexpr bool kFirstHit = false;
 
-class Search {
- public:
-  Search(const Trace& trace, const ScheduleSpaceOptions& options,
-         bool build_matrix)
-      : options_(options),
-        stepper_(trace, options.stepper),
-        deadline_(options.time_budget_seconds),
-        build_matrix_(build_matrix) {
-    if (build_matrix_) {
-      result_.can_precede.assign(trace.num_events(),
-                                 DynamicBitset(trace.num_events()));
-    }
-    if (options.build_coexist) {
-      result_.can_coexist.assign(trace.num_events(),
-                                 DynamicBitset(trace.num_events()));
-    }
+  std::vector<DynamicBitset>* can_precede;  ///< null = no matrix
+  std::vector<DynamicBitset>* can_coexist;  ///< null = no coexistence
+
+  bool child_allowed(EventId /*e*/, const TraceStepper& /*stepper*/) const {
+    return true;
   }
 
-  CanPrecedeResult run() {
-    result_.feasible_nonempty = explore();
-    result_.states_visited = memo_.size();
-    return std::move(result_);
-  }
-
- private:
-  bool out_of_budget() {
-    if (options_.max_states != 0 && memo_.size() >= options_.max_states) {
-      result_.truncated = true;
-      return true;
-    }
-    if ((++budget_poll_ & 1023u) == 0 && deadline_.expired()) {
-      result_.truncated = true;
-      return true;
-    }
-    return false;
-  }
-
-  /// True iff the current state can be extended to a complete schedule.
-  /// Memoized on the stepper's state key; the state graph is acyclic.
-  bool explore() {
-    if (stepper_.complete()) return true;
-    stepper_.encode_key(key_scratch_);
-    if (const auto it = memo_.find(key_scratch_); it != memo_.end()) {
-      return it->second;
-    }
-    if (out_of_budget()) return false;  // unsound once truncated; flagged
-    const std::vector<std::uint64_t> key = key_scratch_;
-
-    bool completable = false;
-    enabled_stack_.emplace_back();
-    stepper_.enabled_events(enabled_stack_.back());
-    // Iterate by index: recursion reuses enabled_stack_.
-    for (std::size_t i = 0; i < enabled_stack_.back().size(); ++i) {
-      const EventId e = enabled_stack_.back()[i];
-      const TraceStepper::Undo u = stepper_.apply(e);
-      const bool child_ok = explore();
-      stepper_.undo(u);
-      if (child_ok) {
-        completable = true;
-        if (build_matrix_) {
-          // Every already-executed event can precede e in some complete
-          // schedule that goes through this state.
-          result_.can_precede[e] |= stepper_.done_bits();
-        }
-      }
-    }
-    if (options_.build_coexist && completable) {
-      mark_coexistence();
-    }
-    enabled_stack_.pop_back();
-    memo_.emplace(key, completable);
-    return completable;
+  void on_child_completable(EventId e, const DynamicBitset& done_before) {
+    // Every already-executed event can precede e in some complete
+    // schedule that goes through this state.
+    if (can_precede != nullptr) (*can_precede)[e] |= done_before;
   }
 
   /// For each pair of simultaneously enabled events, check that running
   /// them back-to-back (either order) still completes; the recursive
   /// explore() calls hit the memo, so this is cheap after the main DFS.
-  void mark_coexistence() {
-    const std::vector<EventId>& enabled = enabled_stack_.back();
-    for (std::size_t i = 0; i < enabled.size(); ++i) {
-      for (std::size_t j = i + 1; j < enabled.size(); ++j) {
-        const EventId x = enabled[i];
-        const EventId y = enabled[j];
-        if (result_.can_coexist[x].test(y)) continue;  // already known
-        if (pair_completable(x, y) || pair_completable(y, x)) {
-          result_.can_coexist[x].set(y);
-          result_.can_coexist[y].set(x);
+  template <class Search>
+  void on_completable_state(Search& search, std::size_t depth) {
+    if (can_coexist == nullptr) return;
+    const std::size_t n = search.enabled_at(depth).size();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const EventId x = search.enabled_at(depth)[i];
+        const EventId y = search.enabled_at(depth)[j];
+        if ((*can_coexist)[x].test(y)) continue;  // already known
+        if (search.pair_completable(x, y, depth + 2) ||
+            search.pair_completable(y, x, depth + 2)) {
+          (*can_coexist)[x].set(y);
+          (*can_coexist)[y].set(x);
         }
       }
     }
   }
+};
 
-  bool pair_completable(EventId first, EventId second) {
-    const TraceStepper::Undo u1 = stepper_.apply(first);
-    bool ok = false;
-    if (stepper_.enabled(second)) {
-      const TraceStepper::Undo u2 = stepper_.apply(second);
-      ok = explore();
-      stepper_.undo(u2);
-    }
-    stepper_.undo(u1);
-    return ok;
+using SpaceSearch = search::MemoizedSearch<CanPrecedeHooks>;
+
+search::SearchOptions to_search_options(const ScheduleSpaceOptions& options) {
+  search::SearchOptions so;
+  so.max_states = options.max_states;
+  so.time_budget_seconds = options.time_budget_seconds;
+  so.num_threads = options.num_threads;
+  return so;
+}
+
+void init_matrices(const Trace& trace, const ScheduleSpaceOptions& options,
+                   bool build_matrix, CanPrecedeResult& result) {
+  if (build_matrix) {
+    result.can_precede.assign(trace.num_events(),
+                              DynamicBitset(trace.num_events()));
+  }
+  if (options.build_coexist) {
+    result.can_coexist.assign(trace.num_events(),
+                              DynamicBitset(trace.num_events()));
+  }
+}
+
+void or_merge(std::vector<DynamicBitset>& into,
+              const std::vector<DynamicBitset>& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] |= from[i];
+}
+
+/// Per-state memo cost: 8-byte fingerprint + 1-byte memoized verdict.
+constexpr std::uint64_t kMemoBytesPerState = 9;
+
+CanPrecedeResult run_search(const Trace& trace,
+                            const ScheduleSpaceOptions& options,
+                            bool build_matrix) {
+  const search::SearchOptions so = to_search_options(options);
+  const std::size_t threads =
+      search::resolve_num_threads(options.num_threads);
+  const std::vector<EventId> roots =
+      search::root_events(trace, options.stepper);
+
+  CanPrecedeResult result;
+  init_matrices(trace, options, build_matrix, result);
+  search::SharedContext ctx(so);
+
+  if (threads <= 1 || roots.size() <= 1) {
+    search::FingerprintBoolMap memo(1, /*synchronized=*/false);
+    SpaceSearch engine(
+        trace, options.stepper, so, &ctx, &memo,
+        CanPrecedeHooks{build_matrix ? &result.can_precede : nullptr,
+                        options.build_coexist ? &result.can_coexist
+                                              : nullptr});
+    result.feasible_nonempty = engine.explore(0);
+    result.search = engine.stats();
+    result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+    result.states_visited = static_cast<std::size_t>(memo.size());
+    result.truncated = result.search.truncated;
+    return result;
   }
 
-  const ScheduleSpaceOptions& options_;
-  TraceStepper stepper_;
-  Deadline deadline_;
-  bool build_matrix_;
-  CanPrecedeResult result_;
-  std::unordered_map<std::vector<std::uint64_t>, bool, KeyHash> memo_;
-  std::vector<std::uint64_t> key_scratch_;
-  std::vector<std::vector<EventId>> enabled_stack_;
-  std::uint32_t budget_poll_ = 0;
-};
+  // Root-split: workers warm the shared memo with their whole subtree
+  // (building private matrices), then the main thread finishes from the
+  // root — its children all hit the memo, so root-level marks and the
+  // feasibility verdict are computed deterministically.
+  search::FingerprintBoolMap memo(4 * threads, /*synchronized=*/true);
+  std::mutex matrix_mu;
+  const search::SearchStats worker_stats = search::run_root_split(
+      roots.size(), threads, ctx, [&](std::size_t i) {
+        CanPrecedeResult local;
+        init_matrices(trace, options, build_matrix, local);
+        SpaceSearch engine(
+            trace, options.stepper, so, &ctx, &memo,
+            CanPrecedeHooks{build_matrix ? &local.can_precede : nullptr,
+                            options.build_coexist ? &local.can_coexist
+                                                  : nullptr});
+        engine.seed({roots[i]});
+        engine.explore(0);
+        std::lock_guard<std::mutex> lock(matrix_mu);
+        if (build_matrix) or_merge(result.can_precede, local.can_precede);
+        if (options.build_coexist) {
+          or_merge(result.can_coexist, local.can_coexist);
+        }
+        return engine.stats();
+      });
+
+  SpaceSearch engine(
+      trace, options.stepper, so, &ctx, &memo,
+      CanPrecedeHooks{build_matrix ? &result.can_precede : nullptr,
+                      options.build_coexist ? &result.can_coexist : nullptr});
+  result.feasible_nonempty = engine.explore(0);
+  result.search = engine.stats();
+  result.search.merge(worker_stats);
+  result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+  result.states_visited = static_cast<std::size_t>(memo.size());
+  result.truncated = result.search.truncated;
+  return result;
+}
 
 }  // namespace
 
 CanPrecedeResult compute_can_precede(const Trace& trace,
                                      const ScheduleSpaceOptions& options) {
-  return Search(trace, options, /*build_matrix=*/true).run();
+  return run_search(trace, options, /*build_matrix=*/true);
 }
 
 bool has_feasible_schedule(const Trace& trace,
                            const ScheduleSpaceOptions& options) {
-  return Search(trace, options, /*build_matrix=*/false).run()
-      .feasible_nonempty;
+  return run_search(trace, options, /*build_matrix=*/false).feasible_nonempty;
 }
 
 namespace {
 
-/// Early-exit DFS for can_precede_pair: explore only prefixes in which
-/// `second` never runs while `first` is pending; succeed at the first
-/// complete schedule reached.  Memoized on state keys (a state that
-/// failed to complete under this pruning once will fail again).
-class PairSearch {
- public:
-  PairSearch(const Trace& trace, EventId first, EventId second,
-             const ScheduleSpaceOptions& options)
-      : options_(options),
-        stepper_(trace, options.stepper),
-        first_(first),
-        second_(second),
-        deadline_(options.time_budget_seconds) {}
+/// Early-exit pruning for can_precede_pair: explore only prefixes in
+/// which `second` never runs while `first` is pending; succeed at the
+/// first complete schedule reached.
+struct PairHooks {
+  static constexpr bool kFirstHit = true;
 
-  PairQueryResult run() {
-    result_.possible = explore();
-    result_.states_visited = memo_.size();
-    return result_;
+  EventId first;
+  EventId second;
+
+  bool child_allowed(EventId e, const TraceStepper& stepper) const {
+    return !(e == second && !stepper.executed(first));  // prune
   }
-
- private:
-  bool out_of_budget() {
-    if (options_.max_states != 0 && memo_.size() >= options_.max_states) {
-      result_.truncated = true;
-      return true;
-    }
-    if ((++budget_poll_ & 1023u) == 0 && deadline_.expired()) {
-      result_.truncated = true;
-      return true;
-    }
-    return false;
-  }
-
-  bool explore() {
-    if (stepper_.complete()) return true;
-    stepper_.encode_key(key_scratch_);
-    if (const auto it = memo_.find(key_scratch_); it != memo_.end()) {
-      return it->second;
-    }
-    if (out_of_budget()) return false;
-    const std::vector<std::uint64_t> key = key_scratch_;
-
-    bool found = false;
-    enabled_stack_.emplace_back();
-    stepper_.enabled_events(enabled_stack_.back());
-    for (std::size_t i = 0;
-         !found && i < enabled_stack_.back().size(); ++i) {
-      const EventId e = enabled_stack_.back()[i];
-      if (e == second_ && !stepper_.executed(first_)) continue;  // prune
-      const TraceStepper::Undo u = stepper_.apply(e);
-      found = explore();
-      stepper_.undo(u);
-    }
-    enabled_stack_.pop_back();
-    memo_.emplace(key, found);
-    return found;
-  }
-
-  const ScheduleSpaceOptions& options_;
-  TraceStepper stepper_;
-  EventId first_;
-  EventId second_;
-  Deadline deadline_;
-  PairQueryResult result_;
-  std::unordered_map<std::vector<std::uint64_t>, bool, KeyHash> memo_;
-  std::vector<std::uint64_t> key_scratch_;
-  std::vector<std::vector<EventId>> enabled_stack_;
-  std::uint32_t budget_poll_ = 0;
+  void on_child_completable(EventId /*e*/,
+                            const DynamicBitset& /*done_before*/) {}
+  template <class Search>
+  void on_completable_state(Search& /*search*/, std::size_t /*depth*/) {}
 };
 
 }  // namespace
@@ -224,7 +184,18 @@ class PairSearch {
 PairQueryResult can_precede_pair(const Trace& trace, EventId first,
                                  EventId second,
                                  const ScheduleSpaceOptions& options) {
-  return PairSearch(trace, first, second, options).run();
+  const search::SearchOptions so = to_search_options(options);
+  search::SharedContext ctx(so);
+  search::FingerprintBoolMap memo(1, /*synchronized=*/false);
+  search::MemoizedSearch<PairHooks> engine(trace, options.stepper, so, &ctx,
+                                           &memo, PairHooks{first, second});
+  PairQueryResult result;
+  result.possible = engine.explore(0);
+  result.search = engine.stats();
+  result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+  result.states_visited = static_cast<std::size_t>(memo.size());
+  result.truncated = result.search.truncated;
+  return result;
 }
 
 }  // namespace evord

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "feasible/stepper.hpp"
+#include "search/search.hpp"
 #include "trace/trace.hpp"
 #include "util/dynamic_bitset.hpp"
 
@@ -43,6 +44,10 @@ struct ScheduleSpaceOptions {
   /// conflicting accesses, a simultaneous-access race.  Adds O(p^2)
   /// memo lookups per state.
   bool build_coexist = false;
+  /// Root-split worker count for the memoized sweep: 1 = serial (the
+  /// default), 0 = hardware concurrency.  Workers share one memo table;
+  /// results are identical to the serial sweep (see docs/SEARCH.md).
+  std::size_t num_threads = 1;
 };
 
 struct CanPrecedeResult {
@@ -57,6 +62,8 @@ struct CanPrecedeResult {
   /// Only with options.build_coexist: symmetric simultaneous-enabledness
   /// relation (see ScheduleSpaceOptions).
   std::vector<DynamicBitset> can_coexist;
+  /// Unified engine statistics (dedup hits, memo bytes, stop reason...).
+  search::SearchStats search;
 };
 
 /// Full can-precede sweep (see file comment).
@@ -76,6 +83,7 @@ struct PairQueryResult {
   bool possible = false;
   bool truncated = false;  ///< budget hit; `possible == false` is then unproven
   std::size_t states_visited = 0;
+  search::SearchStats search;  ///< unified engine statistics
 };
 
 PairQueryResult can_precede_pair(const Trace& trace, EventId first,

@@ -1,8 +1,17 @@
 #include "feasible/stepper.hpp"
 
 #include "util/check.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/hash.hpp"
 
 namespace evord {
+
+namespace {
+// Independent Zobrist families for the three encode_key() components.
+constexpr std::uint64_t kPositionSalt = 0xa0761d6478bd642full;
+constexpr std::uint64_t kPostedSalt = 0xe7037ed1a0b428dbull;
+constexpr std::uint64_t kBinaryCountSalt = 0x8ebc6af09c88c6e3ull;
+}  // namespace
 
 TraceStepper::TraceStepper(const Trace& trace, StepperOptions options)
     : trace_(&trace),
@@ -22,6 +31,20 @@ TraceStepper::TraceStepper(const Trace& trace, StepperOptions options)
   if (options_.respect_dependences) {
     dep_preds_.resize(trace.num_events());
     for (const auto& [a, b] : trace.dependences()) dep_preds_[b].push_back(a);
+  }
+  // One Zobrist term per component of the current value; apply/undo swap
+  // terms in and out by XOR, so equal states always hash equal.
+  state_hash_ = DynamicBitset::kHashSeed;
+  for (ProcId p = 0; p < trace.num_processes(); ++p) {
+    state_hash_ ^= hash_mix(kPositionSalt, p, 0);
+  }
+  for (std::size_t v = 0; v < trace.event_vars().size(); ++v) {
+    state_hash_ ^= hash_mix(kPostedSalt, v, posted_.test(v) ? 1 : 0);
+  }
+  for (std::size_t s = 0; s < counts_.size(); ++s) {
+    if (binary_[s]) {
+      state_hash_ ^= hash_mix(kBinaryCountSalt, s, counts_[s] & 1);
+    }
   }
 }
 
@@ -84,22 +107,45 @@ TraceStepper::Undo TraceStepper::apply(EventId id) {
     case EventKind::kSemP:
       u.old_count = counts_[e.object];
       --counts_[e.object];
+      if (binary_[e.object]) {
+        state_hash_ ^= hash_mix(kBinaryCountSalt, e.object, u.old_count & 1) ^
+                       hash_mix(kBinaryCountSalt, e.object,
+                                counts_[e.object] & 1);
+      }
       break;
     case EventKind::kSemV:
       u.old_count = counts_[e.object];
-      if (!(binary_[e.object] && counts_[e.object] == 1)) ++counts_[e.object];
+      if (!(binary_[e.object] && counts_[e.object] == 1)) {
+        ++counts_[e.object];
+        if (binary_[e.object]) {
+          state_hash_ ^=
+              hash_mix(kBinaryCountSalt, e.object, u.old_count & 1) ^
+              hash_mix(kBinaryCountSalt, e.object, counts_[e.object] & 1);
+        }
+      }
       break;
     case EventKind::kPost:
       u.old_posted = posted_.test(e.object);
       posted_.set(e.object);
+      if (!u.old_posted) {
+        state_hash_ ^= hash_mix(kPostedSalt, e.object, 0) ^
+                       hash_mix(kPostedSalt, e.object, 1);
+      }
       break;
     case EventKind::kClear:
       u.old_posted = posted_.test(e.object);
       posted_.reset(e.object);
+      if (u.old_posted) {
+        state_hash_ ^= hash_mix(kPostedSalt, e.object, 1) ^
+                       hash_mix(kPostedSalt, e.object, 0);
+      }
       break;
     default:
       break;
   }
+  state_hash_ ^= hash_mix(kPositionSalt, e.process, positions_[e.process]) ^
+                 hash_mix(kPositionSalt, e.process,
+                          positions_[e.process] + 1);
   ++positions_[e.process];
   done_.set(id);
   ++executed_count_;
@@ -111,15 +157,28 @@ void TraceStepper::undo(const Undo& u) {
   switch (e.kind) {
     case EventKind::kSemP:
     case EventKind::kSemV:
+      if (binary_[e.object] && counts_[e.object] != u.old_count) {
+        state_hash_ ^=
+            hash_mix(kBinaryCountSalt, e.object, counts_[e.object] & 1) ^
+            hash_mix(kBinaryCountSalt, e.object, u.old_count & 1);
+      }
       counts_[e.object] = u.old_count;
       break;
     case EventKind::kPost:
     case EventKind::kClear:
+      if (posted_.test(e.object) != u.old_posted) {
+        state_hash_ ^=
+            hash_mix(kPostedSalt, e.object, posted_.test(e.object) ? 1 : 0) ^
+            hash_mix(kPostedSalt, e.object, u.old_posted ? 1 : 0);
+      }
       posted_.set(e.object, u.old_posted);
       break;
     default:
       break;
   }
+  state_hash_ ^= hash_mix(kPositionSalt, e.process, positions_[e.process]) ^
+                 hash_mix(kPositionSalt, e.process,
+                          positions_[e.process] - 1);
   --positions_[e.process];
   done_.reset(u.event);
   --executed_count_;

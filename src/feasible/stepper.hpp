@@ -71,6 +71,14 @@ class TraceStepper {
   /// schedules with equal keys have identical futures.
   void encode_key(std::vector<std::uint64_t>& out) const;
 
+  /// Incrementally maintained 64-bit Zobrist hash of exactly the
+  /// encode_key() state: equal keys always yield equal hashes, regardless
+  /// of the schedule that reached the state.  O(1) to read and O(1) per
+  /// apply/undo to maintain, so dedup engines fingerprint states without
+  /// materializing keys (debug builds still materialize them for the
+  /// collision cross-check; see search/fingerprint_set.hpp).
+  std::uint64_t state_hash() const { return state_hash_; }
+
   int sem_count(ObjectId sem) const { return counts_[sem]; }
   bool posted(ObjectId ev) const { return posted_.test(ev); }
   std::uint32_t position(ProcId p) const { return positions_[p]; }
@@ -85,6 +93,7 @@ class TraceStepper {
   DynamicBitset posted_;
   DynamicBitset done_;
   std::size_t executed_count_ = 0;
+  std::uint64_t state_hash_ = 0;
 
   /// D-predecessors per event (empty when dependences are ignored).
   std::vector<std::vector<EventId>> dep_preds_;

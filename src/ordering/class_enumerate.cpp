@@ -1,32 +1,18 @@
 #include "ordering/class_enumerate.hpp"
 
-#include <atomic>
 #include <deque>
-#include <mutex>
 
-#include "ordering/class_dedup.hpp"
+#include "search/engine.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
-#include "util/timer.hpp"
+#include "util/hash.hpp"
 
 namespace evord {
 
 namespace {
 
-/// Salted splitmix64 mix for the tracker's incremental (Zobrist-style)
-/// prefix hashes: each state component contributes one well-mixed word,
-/// XOR-combined so apply/undo update the running hash in O(1).
-std::uint64_t zobrist(std::uint64_t salt, std::uint64_t a, std::uint64_t b) {
-  std::uint64_t h = salt ^ (a * 0x9e3779b97f4a7c15ull) ^
-                    (b * 0xc2b2ae3d27d4eb4full);
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ull;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebull;
-  h ^= h >> 31;
-  return h;
-}
-
+// The tracker's incremental (Zobrist-style) prefix hashes use hash_mix
+// (util/hash.hpp): each state component contributes one well-mixed word,
+// XOR-combined so apply/undo update the running hash in O(1).
 constexpr std::uint64_t kRowSalt = 0x8f14e45fceea167aull;
 constexpr std::uint64_t kTokenSalt = 0x5bd1e995973f0f5cull;
 constexpr std::uint64_t kEstablisherSalt = 0x27d4eb2f165667c5ull;
@@ -52,7 +38,7 @@ class CausalTracker {
       posted_.push_back(v.initially_posted);
     }
     for (std::size_t v = 0; v < establisher_.size(); ++v) {
-      establisher_hash_ ^= zobrist(kEstablisherSalt, v, kNoEvent);
+      establisher_hash_ ^= hash_mix(kEstablisherSalt, v, kNoEvent);
     }
     // Conflicting pairs, indexed per event for O(deg) updates.
     if (options_.include_data_edges) {
@@ -173,7 +159,7 @@ class CausalTracker {
         break;
     }
     // The row is final here; fold it into the running prefix hash.
-    row_hash_[id] = zobrist(kRowSalt, id, row.hash());
+    row_hash_[id] = hash_mix(kRowSalt, id, row.hash());
     rows_hash_ ^= row_hash_[id];
     return u;
   }
@@ -217,10 +203,10 @@ class CausalTracker {
   /// stepper key.  Maintained incrementally by apply/undo, so reading it
   /// is O(1); equal prefix states yield equal fingerprints.
   std::uint64_t fingerprint(std::uint64_t stepper_hash) const {
-    std::uint64_t h = zobrist(0x2545f4914f6cdd1dull, stepper_hash,
+    std::uint64_t h = hash_mix(0x2545f4914f6cdd1dull, stepper_hash,
                               rows_hash_);
-    h = zobrist(0x9e3779b185ebca87ull, h, tokens_hash_);
-    return zobrist(0x94d049bb133111ebull, h, establisher_hash_);
+    h = hash_mix(0x9e3779b185ebca87ull, h, tokens_hash_);
+    return hash_mix(0x94d049bb133111ebull, h, establisher_hash_);
   }
 
   /// Extends the stepper's state key with the causal-prefix identity:
@@ -247,15 +233,15 @@ class CausalTracker {
  private:
   static std::uint64_t token_hash(ObjectId sem, std::uint64_t abs_index,
                                   EventId producer) {
-    return zobrist(
+    return hash_mix(
         kTokenSalt ^ (static_cast<std::uint64_t>(sem) * 0xff51afd7ed558ccdull),
         abs_index, producer);
   }
 
   void set_establisher(ObjectId var, EventId est) {
-    establisher_hash_ ^= zobrist(kEstablisherSalt, var, establisher_[var]);
+    establisher_hash_ ^= hash_mix(kEstablisherSalt, var, establisher_[var]);
     establisher_[var] = est;
-    establisher_hash_ ^= zobrist(kEstablisherSalt, var, est);
+    establisher_hash_ ^= hash_mix(kEstablisherSalt, var, est);
   }
 
   const Trace& trace_;
@@ -275,138 +261,62 @@ class CausalTracker {
   std::uint64_t establisher_hash_ = 0;
 };
 
-class ClassEnumerator {
- public:
-  /// `prefix_seen` dedups causal-class prefixes by 64-bit fingerprint;
-  /// the parallel variant shares one set across all subtree workers so a
-  /// prefix state reached from two different roots is explored once.
-  ClassEnumerator(const Trace& trace, const ClassEnumOptions& options,
-                  ShardedFingerprintSet& prefix_seen,
-                  const std::function<bool(const std::vector<EventId>&)>& visit)
-      : options_(options),
-        stepper_(trace, options.stepper),
-        tracker_(trace, options.causal),
-        visit_(visit),
-        seen_(&prefix_seen),
-        deadline_(options.time_budget_seconds) {
-    schedule_.reserve(trace.num_events());
-    for (EventId e : options.seed_prefix) {
-      EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
-      tracker_.apply(e, stepper_.done_bits());
-      stepper_.apply(e);
-      schedule_.push_back(e);
-    }
+/// Enumeration hooks: forward complete schedules to the caller's
+/// visitor; deduped/stuck prefixes are counted by the engine.
+struct ClassHooks {
+  const std::function<bool(const std::vector<EventId>&)>* visit;
+  bool on_terminal(const std::vector<EventId>& schedule) {
+    return (*visit)(schedule);
   }
-
-  ClassEnumStats run() {
-    // Depth is bounded by the event count; reserving keeps the per-depth
-    // references below stable across recursive emplace_backs.
-    enabled_stack_.reserve(stepper_.trace().num_events() + 1);
-    dfs();
-    stats_.distinct_prefixes = distinct_prefixes_;
-    return stats_;
-  }
-
- private:
-  bool budget_hit() {
-    if (options_.max_prefixes != 0 &&
-        distinct_prefixes_ >= options_.max_prefixes) {
-      stats_.truncated = true;
-      return true;
-    }
-    if ((++budget_poll_ & 255u) == 0 && deadline_.expired()) {
-      stats_.truncated = true;
-      return true;
-    }
-    return false;
-  }
-
-  bool dfs(std::size_t depth = 0) {
-    if (stepper_.complete()) {
-      ++stats_.schedules_visited;
-      if (!visit_(schedule_)) {
-        stats_.stopped_by_visitor = true;
-        return false;
-      }
-      return true;
-    }
-    // O(1)-space, O(1)-extra-time prefix dedup: the stepper key is
-    // hashed fresh (it is small — positions, flags, binary counts) and
-    // combined with the tracker's incrementally maintained causal-prefix
-    // hash.  Debug builds additionally materialize the full key so the
-    // set can verify that hash-equal prefixes really are equal.
-    key_scratch_.clear();
-    stepper_.encode_key(key_scratch_);
-    const std::uint64_t fp = tracker_.fingerprint(
-        fingerprint_words(key_scratch_, DynamicBitset::kHashSeed));
-    const std::vector<std::uint64_t>* payload = nullptr;
-    if (seen_->verify_collisions()) {
-      tracker_.extend_key(stepper_.done_bits(), key_scratch_);
-      payload = &key_scratch_;
-    }
-    if (!seen_->insert(fp, payload)) {
-      ++stats_.prefixes_pruned;
-      return true;
-    }
-    ++distinct_prefixes_;
-    if (budget_hit()) return true;
-
-    // One vector per depth, reused across siblings (capacity kept).
-    if (depth == enabled_stack_.size()) enabled_stack_.emplace_back();
-    std::vector<EventId>& enabled = enabled_stack_[depth];
-    stepper_.enabled_events(enabled);
-    if (enabled.empty()) {
-      ++stats_.deadlocked_prefixes;
-      return true;
-    }
-    bool keep_going = true;
-    for (std::size_t i = 0; keep_going && i < enabled.size(); ++i) {
-      const EventId e = enabled[i];
-      const CausalTracker::Undo cu =
-          tracker_.apply(e, stepper_.done_bits());
-      const TraceStepper::Undo su = stepper_.apply(e);
-      schedule_.push_back(e);
-      keep_going = dfs(depth + 1);
-      schedule_.pop_back();
-      stepper_.undo(su);
-      tracker_.undo(cu);
-    }
-    return keep_going;
-  }
-
-  const ClassEnumOptions& options_;
-  TraceStepper stepper_;
-  CausalTracker tracker_;
-  const std::function<bool(const std::vector<EventId>&)>& visit_;
-  ShardedFingerprintSet* seen_;
-  Deadline deadline_;
-  ClassEnumStats stats_;
-  std::vector<EventId> schedule_;
-  std::vector<std::vector<EventId>> enabled_stack_;
-  std::vector<std::uint64_t> key_scratch_;
-  std::size_t distinct_prefixes_ = 0;  ///< this worker's winning inserts
-  std::uint32_t budget_poll_ = 0;
+  void on_stuck(const std::vector<EventId>& /*path*/, std::uint64_t /*fp*/) {}
 };
+
+using ClassSearch =
+    search::EnumerationSearch<CausalTracker, search::SharedSetDedup,
+                              ClassHooks>;
+
+search::SearchOptions to_search_options(const ClassEnumOptions& options) {
+  search::SearchOptions so;
+  so.max_states = options.max_prefixes;
+  so.max_terminals = options.max_schedules;
+  so.time_budget_seconds = options.time_budget_seconds;
+  return so;
+}
+
+ClassEnumStats finish(const search::SearchStats& stats,
+                      const search::ShardedFingerprintSet& prefix_seen) {
+  ClassEnumStats out;
+  out.schedules_visited = stats.terminals;
+  out.prefixes_pruned = stats.dedup_hits;
+  out.deadlocked_prefixes = stats.deadlocked_prefixes;
+  out.distinct_prefixes = static_cast<std::size_t>(stats.states_visited);
+  out.truncated = stats.truncated;
+  out.stopped_by_visitor = stats.stopped_by_visitor;
+  out.search = stats;
+  out.search.memo_bytes = prefix_seen.size() * 8;  // one fingerprint each
+  return out;
+}
 
 }  // namespace
 
 ClassEnumStats enumerate_causal_classes(
     const Trace& trace, const ClassEnumOptions& options,
     const std::function<bool(const std::vector<EventId>&)>& visit) {
-  ShardedFingerprintSet prefix_seen;
-  return ClassEnumerator(trace, options, prefix_seen, visit).run();
+  const search::SearchOptions so = to_search_options(options);
+  search::SharedContext ctx(so);
+  search::ShardedFingerprintSet prefix_seen;
+  ClassSearch engine(trace, options.stepper, so, &ctx,
+                     CausalTracker(trace, options.causal),
+                     search::SharedSetDedup(&prefix_seen),
+                     ClassHooks{&visit});
+  engine.seed(options.seed_prefix);
+  return finish(engine.run(), prefix_seen);
 }
 
 std::size_t num_root_subtrees(const Trace& trace,
                               const ClassEnumOptions& options) {
-  TraceStepper root(trace, options.stepper);
-  for (EventId e : options.seed_prefix) {
-    EVORD_CHECK(root.enabled(e), "seed prefix is not schedulable");
-    root.apply(e);
-  }
-  std::vector<EventId> enabled;
-  root.enabled_events(enabled);
-  return enabled.size();
+  return search::root_events(trace, options.stepper, options.seed_prefix)
+      .size();
 }
 
 ClassEnumStats enumerate_causal_classes_parallel(
@@ -414,56 +324,59 @@ ClassEnumStats enumerate_causal_classes_parallel(
     std::size_t num_threads,
     const std::function<bool(std::size_t, const std::vector<EventId>&)>&
         visit) {
-  TraceStepper root(trace, options.stepper);
-  for (EventId e : options.seed_prefix) {
-    EVORD_CHECK(root.enabled(e), "seed prefix is not schedulable");
-    root.apply(e);
-  }
-  std::vector<EventId> first;
-  root.enabled_events(first);
-  if (first.empty()) {
-    ClassEnumStats stats;
-    if (root.complete()) {
-      ++stats.schedules_visited;
-      if (!visit(0, options.seed_prefix)) stats.stopped_by_visitor = true;
-    } else {
-      ++stats.deadlocked_prefixes;
-    }
-    return stats;
+  const std::vector<EventId> first =
+      search::root_events(trace, options.stepper, options.seed_prefix);
+  if (first.size() <= 1) {
+    // Serial fallback also covers empty traces and deadlocked roots.
+    const std::function<bool(const std::vector<EventId>&)> wrapped =
+        [&](const std::vector<EventId>& s) { return visit(0, s); };
+    return enumerate_causal_classes(trace, options, wrapped);
   }
 
-  ThreadPool pool(num_threads);
+  const search::SearchOptions so = to_search_options(options);
+  search::SharedContext ctx(so);
   // One prefix-fingerprint set shared by every subtree worker: a state
   // reachable from two roots is explored by whichever worker gets there
   // first (its completions are identical either way).
-  ShardedFingerprintSet prefix_seen;
-  std::mutex stats_mu;
-  ClassEnumStats total;
-  std::atomic<bool> stop{false};
-  pool.parallel_for(first.size(), [&](std::size_t i) {
-    if (stop.load(std::memory_order_relaxed)) return;
-    const auto wrapped = [&, i](const std::vector<EventId>& s) {
-      if (stop.load(std::memory_order_relaxed)) return false;
-      if (!visit(i, s)) {
-        stop.store(true, std::memory_order_relaxed);
-        return false;
-      }
-      return true;
-    };
-    ClassEnumOptions sub = options;
-    sub.seed_prefix.push_back(first[i]);
-    const ClassEnumStats stats =
-        ClassEnumerator(trace, sub, prefix_seen, wrapped).run();
-    std::lock_guard<std::mutex> lock(stats_mu);
-    total.schedules_visited += stats.schedules_visited;
-    total.prefixes_pruned += stats.prefixes_pruned;
-    total.deadlocked_prefixes += stats.deadlocked_prefixes;
-    total.distinct_prefixes += stats.distinct_prefixes;
-    total.truncated = total.truncated || stats.truncated;
-    total.stopped_by_visitor =
-        total.stopped_by_visitor || stats.stopped_by_visitor;
-  });
-  return total;
+  search::ShardedFingerprintSet prefix_seen;
+
+  // Claim the root (post-seed) state once, as the serial engine would at
+  // its first dfs() entry, so distinct-prefix counts match it exactly.
+  search::SearchStats total;
+  {
+    TraceStepper root_stepper(trace, options.stepper);
+    CausalTracker root_tracker(trace, options.causal);
+    for (EventId e : options.seed_prefix) {
+      EVORD_CHECK(root_stepper.enabled(e), "seed prefix is not schedulable");
+      root_tracker.apply(e, root_stepper.done_bits());
+      root_stepper.apply(e);
+    }
+    std::vector<std::uint64_t> key;
+    const std::vector<std::uint64_t>* payload = nullptr;
+    if (prefix_seen.verify_collisions()) {
+      root_stepper.encode_key(key);
+      root_tracker.extend_key(root_stepper.done_bits(), key);
+      payload = &key;
+    }
+    prefix_seen.insert(root_tracker.fingerprint(root_stepper.state_hash()),
+                       payload);
+    ctx.states.fetch_add(1, std::memory_order_relaxed);
+    total.states_visited = 1;
+  }
+
+  total.merge(search::run_root_split(
+      first.size(), num_threads, ctx, [&](std::size_t i) {
+        const std::function<bool(const std::vector<EventId>&)> sub =
+            [&visit, i](const std::vector<EventId>& s) { return visit(i, s); };
+        ClassSearch engine(trace, options.stepper, so, &ctx,
+                           CausalTracker(trace, options.causal),
+                           search::SharedSetDedup(&prefix_seen),
+                           ClassHooks{&sub});
+        engine.seed(options.seed_prefix);
+        engine.seed({first[i]});
+        return engine.run();
+      }));
+  return finish(total, prefix_seen);
 }
 
 }  // namespace evord

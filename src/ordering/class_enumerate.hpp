@@ -24,6 +24,7 @@
 
 #include "feasible/stepper.hpp"
 #include "ordering/causal.hpp"
+#include "search/search.hpp"
 #include "trace/trace.hpp"
 
 namespace evord {
@@ -31,8 +32,15 @@ namespace evord {
 struct ClassEnumOptions {
   StepperOptions stepper;
   CausalOptions causal;
-  /// Stop after this many distinct prefixes (0 = unlimited).
+  /// Stop expanding after this many distinct prefixes (0 = unlimited).
+  /// Global across all workers in the parallel variant: prefixes past the
+  /// budget are still claimed and counted but not expanded.
   std::size_t max_prefixes = 0;
+  /// Stop after this many complete schedules delivered to the visitor
+  /// (0 = unlimited).  Strict and global: enforced through a shared
+  /// atomic counter, so the combined visit count never exceeds it even
+  /// in parallel mode.
+  std::uint64_t max_schedules = 0;
   double time_budget_seconds = 0.0;
   /// Fast-forward through this schedule prefix before enumerating (every
   /// event must be enabled in sequence).  The root-split parallel variant
@@ -47,6 +55,7 @@ struct ClassEnumStats {
   std::size_t distinct_prefixes = 0;
   bool truncated = false;
   bool stopped_by_visitor = false;
+  search::SearchStats search;  ///< unified engine statistics
 };
 
 /// Visits complete schedules covering every complete causal class;
@@ -71,8 +80,9 @@ std::size_t num_root_subtrees(const Trace& trace,
 /// completions are identical either way), so every distinct state is
 /// expanded exactly once and — absent budgets — schedules_visited and
 /// the union of delivered causal classes match the serial engine
-/// exactly.  `max_prefixes` applies per worker.  num_threads == 0 uses
-/// the hardware concurrency.
+/// exactly.  All budgets (max_prefixes, max_schedules, the deadline)
+/// are global across workers.  num_threads == 0 uses the hardware
+/// concurrency.
 ClassEnumStats enumerate_causal_classes_parallel(
     const Trace& trace, const ClassEnumOptions& options,
     std::size_t num_threads,

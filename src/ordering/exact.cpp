@@ -1,18 +1,15 @@
 #include "ordering/exact.hpp"
 
-#include <algorithm>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "feasible/enumerate.hpp"
 #include "feasible/schedule_space.hpp"
 #include "feasible/stepper.hpp"
 #include "ordering/causal.hpp"
-#include "ordering/class_dedup.hpp"
 #include "ordering/class_enumerate.hpp"
+#include "search/engine.hpp"
+#include "search/fingerprint_set.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
 
 namespace evord {
 
@@ -49,10 +46,12 @@ OrderingRelations compute_interleaving(const Trace& trace,
   sso.stepper.respect_dependences = options.respect_dependences;
   sso.max_states = options.max_states;
   sso.time_budget_seconds = options.time_budget_seconds;
+  sso.num_threads = options.num_threads;
   const CanPrecedeResult cp = compute_can_precede(trace, sso);
 
   r.truncated = cp.truncated;
   r.states_visited = cp.states_visited;
+  r.search = cp.search;
   if (!cp.feasible_nonempty) {
     fill_vacuous(r);
     return r;
@@ -86,12 +85,12 @@ OrderingRelations compute_interleaving(const Trace& trace,
 
 /// Per-causal-class accumulator for the causal and interval semantics.
 /// In parallel mode each root subtree gets a private accumulator; they
-/// all share one ShardedFingerprintSet so every distinct class is accumulated
+/// all share one sharded fingerprint set so every distinct class is accumulated
 /// by exactly one of them, and merge() combines the results.
 class CausalAccumulator {
  public:
   CausalAccumulator(const Trace& trace, const CausalOptions& causal,
-                    ShardedFingerprintSet& dedup)
+                    search::ShardedFingerprintSet& dedup)
       : trace_(trace), causal_(causal), dedup_(&dedup),
         n_(trace.num_events()) {
     any_c_.assign(n_, DynamicBitset(n_));
@@ -212,7 +211,7 @@ class CausalAccumulator {
  private:
   const Trace& trace_;
   CausalOptions causal_;
-  ShardedFingerprintSet* dedup_;
+  search::ShardedFingerprintSet* dedup_;
   std::size_t n_;
   std::uint64_t classes_ = 0;
   std::vector<DynamicBitset> any_c_, all_c_;
@@ -222,66 +221,56 @@ class CausalAccumulator {
   DynamicBitset scratch_;
 };
 
-std::size_t resolve_num_threads(std::size_t requested) {
-  if (requested != 0) return requested;
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
-}
-
 OrderingRelations compute_causal_or_interval(const Trace& trace,
                                              Semantics semantics,
                                              const ExactOptions& options) {
   OrderingRelations r = make_empty_result(trace, semantics);
   const CausalOptions causal{.include_data_edges =
                                  options.causal_data_edges};
-  ShardedFingerprintSet dedup;
-  const std::size_t num_threads = resolve_num_threads(options.num_threads);
+  search::ShardedFingerprintSet dedup;
+  const std::size_t num_threads =
+      search::resolve_num_threads(options.num_threads);
 
   if (options.class_dedup) {
     ClassEnumOptions co;
     co.stepper.respect_dependences = options.respect_dependences;
     co.causal = causal;
+    co.max_schedules = options.max_schedules;
     co.time_budget_seconds = options.time_budget_seconds;
     const std::size_t subtrees =
         num_threads > 1 ? num_root_subtrees(trace, co) : 0;
     if (num_threads <= 1 || subtrees <= 1) {
       CausalAccumulator acc(trace, causal, dedup);
-      std::uint64_t budget = options.max_schedules;
       const ClassEnumStats stats = enumerate_causal_classes(
           trace, co, [&](const std::vector<EventId>& s) {
             acc.accept(s);
-            return budget == 0 || --budget != 0;
+            return true;
           });
       r.schedules_seen = stats.schedules_visited;
       r.deadlocked_prefixes = stats.deadlocked_prefixes;
       r.truncated = stats.truncated || stats.stopped_by_visitor;
-      // Stopping at exactly max_schedules is the budget, not an error.
-      if (stats.stopped_by_visitor && options.max_schedules != 0) {
-        r.truncated = true;
-      }
+      r.search = stats.search;
       acc.finish(r, semantics);
       return r;
     }
     // Root-split parallel engine: one private accumulator per subtree
     // (lock-free accepts), class dedup shared through the sharded set,
-    // schedule budgets per subtree.
+    // all budgets strict and global via the shared search context.
     std::vector<CausalAccumulator> accs;
     accs.reserve(subtrees);
     for (std::size_t i = 0; i < subtrees; ++i) {
       accs.emplace_back(trace, causal, dedup);
     }
-    std::vector<std::uint64_t> budgets(subtrees, options.max_schedules);
     const ClassEnumStats stats = enumerate_causal_classes_parallel(
         trace, co, num_threads,
         [&](std::size_t i, const std::vector<EventId>& s) {
           accs[i].accept(s);
-          return budgets[i] == 0 || --budgets[i] != 0;
+          return true;
         });
     r.schedules_seen = stats.schedules_visited;
     r.deadlocked_prefixes = stats.deadlocked_prefixes;
     r.truncated = stats.truncated || stats.stopped_by_visitor;
-    if (stats.stopped_by_visitor && options.max_schedules != 0) {
-      r.truncated = true;
-    }
+    r.search = stats.search;
     for (std::size_t i = 1; i < subtrees; ++i) accs[0].merge(accs[i]);
     accs[0].finish(r, semantics);
     return r;
@@ -291,12 +280,9 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
   eo.stepper.respect_dependences = options.respect_dependences;
   eo.max_schedules = options.max_schedules;
   eo.time_budget_seconds = options.time_budget_seconds;
-  std::vector<EventId> first;
-  if (num_threads > 1) {
-    TraceStepper root(trace, eo.stepper);
-    root.enabled_events(first);
-  }
-  if (num_threads <= 1 || first.size() <= 1) {
+  const std::size_t subtrees =
+      num_threads > 1 ? num_enumerate_subtrees(trace, eo) : 0;
+  if (num_threads <= 1 || subtrees <= 1) {
     CausalAccumulator acc(trace, causal, dedup);
     const EnumerateStats stats =
         enumerate_schedules(trace, eo, [&](const std::vector<EventId>& s) {
@@ -306,35 +292,29 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     r.schedules_seen = stats.schedules;
     r.deadlocked_prefixes = stats.deadlocked_prefixes;
     r.truncated = stats.truncated;
+    r.search = stats.search;
     acc.finish(r, semantics);
     return r;
   }
   // Root-split parallel walk of the plain (non-prefix-dedup) enumerator;
-  // class-level dedup still runs through the shared sharded set.
+  // class-level dedup still runs through the shared sharded set, and the
+  // subtree index routes each schedule to a private accumulator.
   std::vector<CausalAccumulator> accs;
-  accs.reserve(first.size());
-  for (std::size_t i = 0; i < first.size(); ++i) {
+  accs.reserve(subtrees);
+  for (std::size_t i = 0; i < subtrees; ++i) {
     accs.emplace_back(trace, causal, dedup);
   }
-  ThreadPool pool(num_threads);
-  std::mutex stats_mu;
-  EnumerateStats total;
-  pool.parallel_for(first.size(), [&](std::size_t i) {
-    EnumerateOptions sub = eo;
-    sub.seed_prefix.push_back(first[i]);
-    const EnumerateStats stats =
-        enumerate_schedules(trace, sub, [&](const std::vector<EventId>& s) {
-          accs[i].accept(s);
-          return true;
-        });
-    std::lock_guard<std::mutex> lock(stats_mu);
-    total.schedules += stats.schedules;
-    total.deadlocked_prefixes += stats.deadlocked_prefixes;
-    total.truncated = total.truncated || stats.truncated;
-  });
-  r.schedules_seen = total.schedules;
-  r.deadlocked_prefixes = total.deadlocked_prefixes;
-  r.truncated = total.truncated;
+  const EnumerateStats stats = enumerate_schedules_parallel_indexed(
+      trace, eo,
+      [&](std::size_t i, const std::vector<EventId>& s) {
+        accs[i].accept(s);
+        return true;
+      },
+      num_threads);
+  r.schedules_seen = stats.schedules;
+  r.deadlocked_prefixes = stats.deadlocked_prefixes;
+  r.truncated = stats.truncated;
+  r.search = stats.search;
   for (std::size_t i = 1; i < accs.size(); ++i) accs[0].merge(accs[i]);
   accs[0].finish(r, semantics);
   return r;

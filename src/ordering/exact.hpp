@@ -52,8 +52,12 @@ struct ExactOptions {
   /// so every distinct prefix state is expanded exactly once across all
   /// workers.  Relation matrices, causal_classes, feasible_empty and —
   /// absent budgets — schedules_seen are identical to the serial
-  /// engine's (tested).  max_schedules applies per subtree in parallel
-  /// mode; tests pin 1 thread when exercising tight budgets.
+  /// engine's (tested).  All budgets (max_schedules, max_states and the
+  /// time budget) are strict and global across workers: they share one
+  /// search context, so a budget of N caps the combined total at N.
+  /// Interleaving semantics also honors this: the memoized state-space
+  /// sweep root-splits across the same subtrees and its parallel results
+  /// are bit-identical to serial (docs/SEARCH.md).
   std::size_t num_threads = 1;
 };
 

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "search/search.hpp"
 #include "trace/ids.hpp"
 #include "util/dynamic_bitset.hpp"
 
@@ -119,6 +120,11 @@ struct OrderingRelations {
   std::uint64_t causal_classes = 0;   ///< distinct causal orders (causal/interval)
   std::uint64_t deadlocked_prefixes = 0;
   std::size_t states_visited = 0;     ///< interleaving engine states
+
+  /// Unified search-core statistics from whichever engine ran (dedup
+  /// hits, memo bytes, stop reason...); zeroed for approximate analyses
+  /// that do not search.
+  search::SearchStats search;
 
   std::array<RelationMatrix, kNumRelationKinds> matrices;
 

@@ -1,0 +1,490 @@
+// Generic memoized/deduped DFS engines over TraceStepper.
+//
+// Two engine shapes cover every trace-level explorer in the repo:
+//
+//   * EnumerationSearch<Tracker, Dedup, Hooks> — walks the schedule tree,
+//     delivering terminal (complete) schedules and stuck prefixes to the
+//     hooks.  A pluggable per-event Tracker rides along the DFS (the
+//     causal-class tracker maintains closure rows / token queues); a
+//     pluggable Dedup policy prunes revisited states by 64-bit
+//     fingerprint.  Used by schedule enumeration, causal-class
+//     enumeration and deadlock search.
+//
+//   * MemoizedSearch<Hooks> — computes "is a complete schedule reachable
+//     from this state" per state, memoized in a FingerprintBoolMap.
+//     Used by the can-precede/coexistence sweep and the pairwise
+//     ordering query.
+//
+// Contracts (see docs/SEARCH.md for the full write-up):
+//
+//   Tracker: `Undo apply(EventId e, const DynamicBitset& done_before)`
+//   is called BEFORE the stepper executes e (done_before is the executed
+//   set without e); `void undo(const Undo&)` reverts it (LIFO);
+//   `std::uint64_t fingerprint(std::uint64_t stepper_hash)` folds the
+//   tracker's own state hash into the stepper's; `void extend_key(const
+//   DynamicBitset& done, std::vector<std::uint64_t>&)` appends the
+//   tracker's full payload words for the debug collision cross-check.
+//
+//   Dedup: `ClaimResult claim(fp, payload)` — `expand` says this engine
+//   should expand the state; `first_claim` says the state was never seen
+//   by any engine sharing the store (it counts toward the global
+//   distinct-state budget).
+//
+//   Enumeration hooks: `bool on_terminal(const std::vector<EventId>&)`
+//   (false stops the whole search), `void on_stuck(const
+//   std::vector<EventId>& path, std::uint64_t fp)`.
+//
+//   Memoized hooks: `kFirstHit` (stop at the first completable child),
+//   `bool child_allowed(EventId, const TraceStepper&)`,
+//   `void on_child_completable(EventId, const DynamicBitset&
+//   done_before)` (called after undo, so the bitset is the state the
+//   child was applied from), and `void on_completable_state(Search&,
+//   std::size_t depth)` (called once per completable state, before it is
+//   memoized; may re-enter the search via pair_completable()).
+//
+// Budget semantics (shared, via SharedContext):
+//   max_states    — claim-then-check: state #max_states is still claimed
+//                   and counted but not expanded; siblings continue (no
+//                   global unwind), matching the historical per-explorer
+//                   behaviour.  In MemoizedSearch a budgeted state
+//                   returns "not completable" WITHOUT memoizing it —
+//                   unsound once truncated, which is why `truncated` is
+//                   flagged.
+//   max_terminals — strict and global: a shared atomic counter ensures
+//                   the combined number of terminal visits never exceeds
+//                   the budget, serial or parallel.
+//   deadline      — polled every 256 states; trips request a global stop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "feasible/stepper.hpp"
+#include "search/fingerprint_set.hpp"
+#include "search/search.hpp"
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace evord::search {
+
+/// Tracker that tracks nothing (fingerprint = the stepper's state hash).
+struct NullTracker {
+  struct Undo {};
+  Undo apply(EventId /*e*/, const DynamicBitset& /*done_before*/) {
+    return {};
+  }
+  void undo(const Undo& /*u*/) {}
+  std::uint64_t fingerprint(std::uint64_t stepper_hash) const {
+    return stepper_hash;
+  }
+  void extend_key(const DynamicBitset& /*done*/,
+                  std::vector<std::uint64_t>& /*key*/) const {}
+};
+
+struct ClaimResult {
+  bool expand = true;       ///< this engine should expand the state
+  bool first_claim = true;  ///< no engine sharing the store saw it before
+};
+
+/// No deduplication: every state is expanded wherever reached.
+struct NoDedup {
+  static constexpr bool kEnabled = false;
+  bool verify_collisions() const { return false; }
+  ClaimResult claim(std::uint64_t /*fp*/,
+                    const std::vector<std::uint64_t>* /*payload*/) {
+    return {true, true};
+  }
+};
+
+/// Dedup against a (possibly shared) sharded set: whoever inserts first
+/// expands the state; everyone else prunes.
+class SharedSetDedup {
+ public:
+  static constexpr bool kEnabled = true;
+  explicit SharedSetDedup(ShardedFingerprintSet* set) : set_(set) {}
+  bool verify_collisions() const { return set_->verify_collisions(); }
+  ClaimResult claim(std::uint64_t fp,
+                    const std::vector<std::uint64_t>* payload) {
+    const bool won = set_->insert(fp, payload);
+    return {won, won};
+  }
+
+ private:
+  ShardedFingerprintSet* set_;
+};
+
+/// Per-worker full exploration with global distinct-state accounting:
+/// each worker prunes only against its own private set (so every worker
+/// expands its whole subtree deterministically, exactly as a serial
+/// search of that subtree would), while the shared set decides which
+/// worker's visit counts as the first claim.
+class PrivateSetDedup {
+ public:
+  static constexpr bool kEnabled = true;
+  explicit PrivateSetDedup(ShardedFingerprintSet* shared) : shared_(shared) {}
+  bool verify_collisions() const { return shared_->verify_collisions(); }
+  ClaimResult claim(std::uint64_t fp,
+                    const std::vector<std::uint64_t>* payload) {
+    if (!private_.insert(fp).second) return {false, false};
+    return {true, shared_->insert(fp, payload)};
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> private_;
+  ShardedFingerprintSet* shared_;
+};
+
+/// State shared by every engine instance of one logical search (one
+/// instance per worker in root-split mode; the serial case uses a single
+/// context the same way).
+struct SharedContext {
+  explicit SharedContext(const SearchOptions& options)
+      : deadline(options.time_budget_seconds) {}
+
+  Deadline deadline;
+  std::atomic<std::uint64_t> terminals{0};  ///< strict max_terminals gate
+  std::atomic<std::uint64_t> states{0};     ///< global distinct states
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint8_t> stop_reason{0};
+
+  /// First caller's reason sticks; everyone observes the stop flag.
+  void request_stop(StopReason reason) {
+    std::uint8_t expected = 0;
+    stop_reason.compare_exchange_strong(expected,
+                                        static_cast<std::uint8_t>(reason));
+    stop.store(true, std::memory_order_release);
+  }
+  bool stop_requested() const {
+    return stop.load(std::memory_order_acquire);
+  }
+  StopReason reason() const {
+    return static_cast<StopReason>(stop_reason.load());
+  }
+};
+
+inline std::size_t resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// The first-level enabled events after `seed_prefix` — the root-split
+/// partition: every schedule extends exactly one of them, so subtrees
+/// can be explored independently.
+inline std::vector<EventId> root_events(
+    const Trace& trace, const StepperOptions& stepper_options,
+    const std::vector<EventId>& seed_prefix = {}) {
+  TraceStepper stepper(trace, stepper_options);
+  for (EventId e : seed_prefix) {
+    EVORD_CHECK(stepper.enabled(e), "seed prefix is not schedulable");
+    stepper.apply(e);
+  }
+  std::vector<EventId> first;
+  stepper.enabled_events(first);
+  return first;
+}
+
+/// The one shared root-split runner: executes `subtree(i)` for each of
+/// the `num_subtrees` first-level subtrees on `threads` pooled workers
+/// (skipping subtrees once a global stop is requested) and returns the
+/// associatively merged worker stats.  `subtree` builds, seeds and runs
+/// its own engine instance and returns that engine's SearchStats;
+/// engine-specific results (matrices, witnesses, accumulators) are
+/// written to per-subtree slots or merged inside `subtree` under the
+/// caller's own lock.
+template <class Subtree>
+SearchStats run_root_split(std::size_t num_subtrees, std::size_t threads,
+                           SharedContext& ctx, Subtree&& subtree) {
+  ThreadPool pool(threads);
+  std::mutex merge_mu;
+  SearchStats total;
+  pool.parallel_for(num_subtrees, [&](std::size_t i) {
+    if (ctx.stop_requested()) return;
+    const SearchStats stats = subtree(i);
+    std::lock_guard<std::mutex> lock(merge_mu);
+    total.merge(stats);
+  });
+  return total;
+}
+
+/// DFS over the schedule tree; delivers terminals and stuck prefixes.
+template <class Tracker, class Dedup, class Hooks>
+class EnumerationSearch {
+ public:
+  EnumerationSearch(const Trace& trace, const StepperOptions& stepper_options,
+                    const SearchOptions& options, SharedContext* ctx,
+                    Tracker tracker, Dedup dedup, Hooks hooks)
+      : options_(options),
+        ctx_(ctx),
+        stepper_(trace, stepper_options),
+        tracker_(std::move(tracker)),
+        dedup_(std::move(dedup)),
+        hooks_(std::move(hooks)) {
+    path_.reserve(trace.num_events());
+    enabled_stack_.reserve(trace.num_events() + 1);
+  }
+
+  /// Fast-forwards through `prefix` before searching (root-split seeding
+  /// and user seed prefixes).  Every event must be enabled in sequence.
+  void seed(const std::vector<EventId>& prefix) {
+    for (EventId e : prefix) {
+      EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
+      tracker_.apply(e, stepper_.done_bits());
+      stepper_.apply(e);
+      path_.push_back(e);
+    }
+  }
+
+  SearchStats run() {
+    dfs(0);
+    return stats_;
+  }
+
+  const TraceStepper& stepper() const { return stepper_; }
+  Tracker& tracker() { return tracker_; }
+
+ private:
+  void set_reason(StopReason reason) {
+    if (stats_.stop_reason == StopReason::kNone) stats_.stop_reason = reason;
+  }
+
+  const std::vector<std::uint64_t>* payload() {
+    if (!dedup_.verify_collisions()) return nullptr;
+    stepper_.encode_key(key_scratch_);
+    tracker_.extend_key(stepper_.done_bits(), key_scratch_);
+    return &key_scratch_;
+  }
+
+  /// Visits one complete schedule under the strict global terminal
+  /// budget; returns false to unwind the whole search.
+  bool visit_terminal() {
+    const std::uint64_t count =
+        ctx_->terminals.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (options_.max_terminals != 0 && count > options_.max_terminals) {
+      stats_.truncated = true;
+      set_reason(StopReason::kMaxTerminals);
+      ctx_->request_stop(StopReason::kMaxTerminals);
+      return false;
+    }
+    ++stats_.terminals;
+    if (!hooks_.on_terminal(path_)) {
+      stats_.stopped_by_visitor = true;
+      set_reason(StopReason::kVisitor);
+      ctx_->request_stop(StopReason::kVisitor);
+      return false;
+    }
+    if (options_.max_terminals != 0 && count >= options_.max_terminals) {
+      stats_.truncated = true;
+      set_reason(StopReason::kMaxTerminals);
+      ctx_->request_stop(StopReason::kMaxTerminals);
+      return false;
+    }
+    return true;
+  }
+
+  /// Returns false to unwind the whole search (stop / strict budgets).
+  bool dfs(std::size_t depth) {
+    if (ctx_->stop_requested()) return false;
+    if (stepper_.complete()) return visit_terminal();
+
+    std::uint64_t fp = 0;
+    if constexpr (Dedup::kEnabled) {
+      fp = tracker_.fingerprint(stepper_.state_hash());
+      const ClaimResult claim = dedup_.claim(fp, payload());
+      if (!claim.expand) {
+        ++stats_.dedup_hits;
+        return true;
+      }
+      std::uint64_t global;
+      if (claim.first_claim) {
+        ++stats_.states_visited;
+        global = ctx_->states.fetch_add(1, std::memory_order_relaxed) + 1;
+      } else {
+        global = ctx_->states.load(std::memory_order_relaxed);
+      }
+      // Claim-then-check: this state is counted but not expanded once the
+      // budget is reached; siblings keep getting claimed (no unwind).
+      if (options_.max_states != 0 && global >= options_.max_states) {
+        stats_.truncated = true;
+        set_reason(StopReason::kMaxStates);
+        return true;
+      }
+    } else {
+      ++stats_.states_visited;
+    }
+    if ((++budget_poll_ & 255u) == 0 && ctx_->deadline.expired()) {
+      stats_.truncated = true;
+      set_reason(StopReason::kDeadline);
+      ctx_->request_stop(StopReason::kDeadline);
+      return false;
+    }
+
+    // One vector per depth, reused across siblings (capacity kept); the
+    // ctor reserve keeps per-depth slots stable across recursion.
+    if (depth == enabled_stack_.size()) enabled_stack_.emplace_back();
+    stepper_.enabled_events(enabled_stack_[depth]);
+    if (enabled_stack_[depth].empty()) {
+      ++stats_.deadlocked_prefixes;
+      if constexpr (!Dedup::kEnabled) {
+        fp = tracker_.fingerprint(stepper_.state_hash());
+      }
+      hooks_.on_stuck(path_, fp);
+      return true;
+    }
+    bool keep_going = true;
+    for (std::size_t i = 0;
+         keep_going && i < enabled_stack_[depth].size(); ++i) {
+      const EventId e = enabled_stack_[depth][i];
+      const typename Tracker::Undo tu = tracker_.apply(e, stepper_.done_bits());
+      const TraceStepper::Undo su = stepper_.apply(e);
+      path_.push_back(e);
+      keep_going = dfs(depth + 1);
+      path_.pop_back();
+      stepper_.undo(su);
+      tracker_.undo(tu);
+    }
+    return keep_going;
+  }
+
+  SearchOptions options_;
+  SharedContext* ctx_;
+  TraceStepper stepper_;
+  Tracker tracker_;
+  Dedup dedup_;
+  Hooks hooks_;
+  SearchStats stats_;
+  std::vector<EventId> path_;
+  std::vector<std::vector<EventId>> enabled_stack_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::uint32_t budget_poll_ = 0;
+};
+
+/// Memoized completability search: per state, "is a complete schedule
+/// reachable from here", with the answer cached in a FingerprintBoolMap
+/// keyed by the stepper's 64-bit state hash.  The state graph is acyclic,
+/// so the memoized recursion terminates.
+template <class Hooks>
+class MemoizedSearch {
+ public:
+  MemoizedSearch(const Trace& trace, const StepperOptions& stepper_options,
+                 const SearchOptions& options, SharedContext* ctx,
+                 FingerprintBoolMap* memo, Hooks hooks)
+      : options_(options),
+        ctx_(ctx),
+        memo_(memo),
+        stepper_(trace, stepper_options),
+        hooks_(std::move(hooks)) {
+    enabled_stack_.reserve(trace.num_events() + 4);
+  }
+
+  void seed(const std::vector<EventId>& prefix) {
+    for (EventId e : prefix) {
+      EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
+      stepper_.apply(e);
+    }
+  }
+
+  /// True iff the current state can be extended to a complete schedule.
+  /// `depth` indexes the per-depth scratch stack; re-entrant calls (from
+  /// on_completable_state hooks) must pass an index beyond the depths in
+  /// use.
+  bool explore(std::size_t depth) {
+    if (stepper_.complete()) return true;
+    const std::uint64_t fp = stepper_.state_hash();
+    bool memoized = false;
+    if (memo_->lookup(fp, &memoized, payload())) {
+      ++stats_.dedup_hits;
+      return memoized;
+    }
+    if (ctx_->stop_requested()) {
+      stats_.truncated = true;
+      return false;  // unsound once truncated; flagged
+    }
+    if (options_.max_states != 0 &&
+        ctx_->states.load(std::memory_order_relaxed) >= options_.max_states) {
+      stats_.truncated = true;
+      set_reason(StopReason::kMaxStates);
+      return false;  // unsound once truncated; flagged
+    }
+    if ((++budget_poll_ & 1023u) == 0 && ctx_->deadline.expired()) {
+      stats_.truncated = true;
+      set_reason(StopReason::kDeadline);
+      ctx_->request_stop(StopReason::kDeadline);
+      return false;
+    }
+
+    if (depth >= enabled_stack_.size()) enabled_stack_.resize(depth + 1);
+    stepper_.enabled_events(enabled_stack_[depth]);
+    bool completable = false;
+    // Iterate by index: recursion reuses deeper enabled_stack_ slots.
+    for (std::size_t i = 0; i < enabled_stack_[depth].size(); ++i) {
+      const EventId e = enabled_stack_[depth][i];
+      if (!hooks_.child_allowed(e, stepper_)) continue;
+      const TraceStepper::Undo u = stepper_.apply(e);
+      const bool child_ok = explore(depth + 1);
+      stepper_.undo(u);
+      if (child_ok) {
+        completable = true;
+        hooks_.on_child_completable(e, stepper_.done_bits());
+        if constexpr (Hooks::kFirstHit) break;
+      }
+    }
+    if (completable) hooks_.on_completable_state(*this, depth);
+    if (memo_->store(fp, completable, payload())) {
+      ++stats_.states_visited;
+      ctx_->states.fetch_add(1, std::memory_order_relaxed);
+    }
+    return completable;
+  }
+
+  /// Can `first` then immediately `second` run from the current state and
+  /// still complete?  Used by coexistence marking; re-enters explore() at
+  /// `depth` (pass an unused stack index, e.g. current depth + 2).
+  bool pair_completable(EventId first, EventId second, std::size_t depth) {
+    const TraceStepper::Undo u1 = stepper_.apply(first);
+    bool ok = false;
+    if (stepper_.enabled(second)) {
+      const TraceStepper::Undo u2 = stepper_.apply(second);
+      ok = explore(depth);
+      stepper_.undo(u2);
+    }
+    stepper_.undo(u1);
+    return ok;
+  }
+
+  const std::vector<EventId>& enabled_at(std::size_t depth) const {
+    return enabled_stack_[depth];
+  }
+  const TraceStepper& stepper() const { return stepper_; }
+  const SearchStats& stats() const { return stats_; }
+  SearchStats take_stats() { return stats_; }
+
+ private:
+  void set_reason(StopReason reason) {
+    if (stats_.stop_reason == StopReason::kNone) stats_.stop_reason = reason;
+  }
+
+  const std::vector<std::uint64_t>* payload() {
+    if (!memo_->verify_collisions()) return nullptr;
+    stepper_.encode_key(key_scratch_);
+    return &key_scratch_;
+  }
+
+  SearchOptions options_;
+  SharedContext* ctx_;
+  FingerprintBoolMap* memo_;
+  TraceStepper stepper_;
+  Hooks hooks_;
+  SearchStats stats_;
+  std::vector<std::vector<EventId>> enabled_stack_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::uint32_t budget_poll_ = 0;
+};
+
+}  // namespace evord::search

@@ -1,0 +1,118 @@
+#include "search/fingerprint_set.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace evord::search {
+
+ShardedFingerprintSet::ShardedFingerprintSet(std::size_t num_shards,
+                                             bool verify_collisions)
+    : verify_(verify_collisions) {
+  const std::size_t n = std::bit_ceil(std::max<std::size_t>(1, num_shards));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    // Head-start on rehashing: enumeration inserts are the hot path.
+    shards_.back()->fingerprints.reserve(1024);
+  }
+}
+
+ShardedFingerprintSet::Shard& ShardedFingerprintSet::shard_for(
+    std::uint64_t fingerprint) noexcept {
+  // Finalizer mix: the low bits pick the shard, so they must depend on
+  // every input bit even though the fingerprint is already a hash.
+  return *shards_[splitmix64(fingerprint) & (shards_.size() - 1)];
+}
+
+bool ShardedFingerprintSet::insert(std::uint64_t fingerprint,
+                                   const std::vector<std::uint64_t>* payload) {
+  Shard& shard = shard_for(fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const bool inserted = shard.fingerprints.insert(fingerprint).second;
+  if (verify_ && payload != nullptr) {
+    if (inserted) {
+      shard.payloads.emplace(fingerprint, *payload);
+    } else {
+      const auto it = shard.payloads.find(fingerprint);
+      EVORD_CHECK(it == shard.payloads.end() || it->second == *payload,
+                  "64-bit fingerprint collision: distinct payloads hash to "
+                      << fingerprint);
+    }
+  }
+  return inserted;
+}
+
+std::uint64_t ShardedFingerprintSet::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->fingerprints.size();
+  }
+  return total;
+}
+
+FingerprintBoolMap::FingerprintBoolMap(std::size_t num_shards,
+                                       bool synchronized,
+                                       bool verify_collisions)
+    : synchronized_(synchronized), verify_(verify_collisions) {
+  const std::size_t n = std::bit_ceil(std::max<std::size_t>(1, num_shards));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->values.reserve(1024);
+  }
+}
+
+FingerprintBoolMap::Shard& FingerprintBoolMap::shard_for(
+    std::uint64_t fingerprint) noexcept {
+  return *shards_[splitmix64(fingerprint) & (shards_.size() - 1)];
+}
+
+void FingerprintBoolMap::check_payload(
+    Shard& shard, std::uint64_t fingerprint,
+    const std::vector<std::uint64_t>* payload) {
+  if (!verify_ || payload == nullptr) return;
+  const auto [it, inserted] = shard.payloads.try_emplace(fingerprint, *payload);
+  EVORD_CHECK(inserted || it->second == *payload,
+              "64-bit fingerprint collision: distinct payloads hash to "
+                  << fingerprint);
+}
+
+bool FingerprintBoolMap::lookup(std::uint64_t fingerprint, bool* value,
+                                const std::vector<std::uint64_t>* payload) {
+  Shard& shard = shard_for(fingerprint);
+  std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
+  if (synchronized_) lock.lock();
+  const auto it = shard.values.find(fingerprint);
+  if (it == shard.values.end()) return false;
+  check_payload(shard, fingerprint, payload);
+  *value = it->second;
+  return true;
+}
+
+bool FingerprintBoolMap::store(std::uint64_t fingerprint, bool value,
+                               const std::vector<std::uint64_t>* payload) {
+  Shard& shard = shard_for(fingerprint);
+  std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
+  if (synchronized_) lock.lock();
+  const auto [it, inserted] = shard.values.emplace(fingerprint, value);
+  EVORD_CHECK(inserted || it->second == value,
+              "memoized value mismatch for fingerprint " << fingerprint);
+  check_payload(shard, fingerprint, payload);
+  return inserted;
+}
+
+std::uint64_t FingerprintBoolMap::size() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu, std::defer_lock);
+    if (synchronized_) lock.lock();
+    total += shard->values.size();
+  }
+  return total;
+}
+
+}  // namespace evord::search

@@ -1,0 +1,130 @@
+// Sharded 64-bit fingerprint containers for state-space deduplication.
+//
+// Every explorer in the unified search core dedups or memoizes states
+// through one of the two containers here, so a visited state costs 8
+// bytes (set) or 9 bytes (bool map) in release builds no matter which
+// analysis is running:
+//   * ShardedFingerprintSet — membership only.  Used to dedup causal
+//     classes, causal-class prefixes and deadlock-search states.
+//   * FingerprintBoolMap    — fingerprint -> bool memo.  Used by the
+//     memoized completability search (can-precede / coexistence), where
+//     each state memoizes "is a complete schedule reachable from here".
+//
+// Both are sharded by fingerprint with one mutex per shard, so the
+// root-split parallel engine's workers share one store with minimal
+// contention; the same types serve the serial engines (the map can skip
+// locking entirely when constructed unsynchronized).
+//
+// Collision safety net: with `verify_collisions` on (the default in
+// !NDEBUG builds) the full word payload of each state key is retained
+// per fingerprint and every hash-equal access is checked for genuine
+// equality — a 64-bit collision between distinct payloads throws
+// CheckError instead of silently pruning an unexplored state or reusing
+// a wrong memo value.  Release builds keep nothing beyond the
+// fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace evord::search {
+
+class ShardedFingerprintSet {
+ public:
+#ifndef NDEBUG
+  static constexpr bool kVerifyByDefault = true;
+#else
+  static constexpr bool kVerifyByDefault = false;
+#endif
+
+  /// `num_shards` is rounded up to a power of two (minimum 1).
+  explicit ShardedFingerprintSet(std::size_t num_shards = 16,
+                                 bool verify_collisions = kVerifyByDefault);
+
+  ShardedFingerprintSet(const ShardedFingerprintSet&) = delete;
+  ShardedFingerprintSet& operator=(const ShardedFingerprintSet&) = delete;
+
+  bool verify_collisions() const noexcept { return verify_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Inserts `fingerprint`; returns true iff it was not present (the
+  /// caller owns this element).  Thread-safe.  When collision
+  /// verification is on and `payload` is non-null, the payload is
+  /// retained on first insert and compared on every hash-equal re-insert;
+  /// a mismatch (a true 64-bit collision) throws CheckError.
+  bool insert(std::uint64_t fingerprint,
+              const std::vector<std::uint64_t>* payload = nullptr);
+
+  /// Total distinct fingerprints across all shards.  Thread-safe, but
+  /// only a snapshot while inserts are in flight.
+  std::uint64_t size() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_set<std::uint64_t> fingerprints;
+    /// Populated only in collision-verification mode.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> payloads;
+  };
+
+  Shard& shard_for(std::uint64_t fingerprint) noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool verify_;
+};
+
+/// Sharded fingerprint -> bool memo table.  Duplicate stores of the same
+/// value are permitted (concurrent workers may race to memoize the same
+/// state; the memoized predicate is deterministic, so every store agrees).
+class FingerprintBoolMap {
+ public:
+  /// `num_shards` is rounded up to a power of two (minimum 1).  With
+  /// `synchronized` false, per-shard locking is skipped entirely — valid
+  /// only for single-threaded use.
+  explicit FingerprintBoolMap(
+      std::size_t num_shards = 16, bool synchronized = true,
+      bool verify_collisions = ShardedFingerprintSet::kVerifyByDefault);
+
+  FingerprintBoolMap(const FingerprintBoolMap&) = delete;
+  FingerprintBoolMap& operator=(const FingerprintBoolMap&) = delete;
+
+  bool verify_collisions() const noexcept { return verify_; }
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// If `fingerprint` is memoized, writes its value to `*value` and
+  /// returns true.  When verification is on and `payload` is non-null, a
+  /// hash-equal hit with a different retained payload throws CheckError.
+  bool lookup(std::uint64_t fingerprint, bool* value,
+              const std::vector<std::uint64_t>* payload = nullptr);
+
+  /// Memoizes `fingerprint` -> `value`; returns true iff the fingerprint
+  /// was newly inserted.  A re-store must carry the same value (checked);
+  /// payload handling is as in lookup().
+  bool store(std::uint64_t fingerprint, bool value,
+             const std::vector<std::uint64_t>* payload = nullptr);
+
+  /// Total memoized states across all shards (snapshot under concurrency).
+  std::uint64_t size() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, bool> values;
+    /// Populated only in collision-verification mode.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> payloads;
+  };
+
+  void check_payload(Shard& shard, std::uint64_t fingerprint,
+                     const std::vector<std::uint64_t>* payload);
+  Shard& shard_for(std::uint64_t fingerprint) noexcept;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool synchronized_;
+  bool verify_;
+};
+
+}  // namespace evord::search

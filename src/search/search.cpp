@@ -1,0 +1,32 @@
+#include "search/search.hpp"
+
+namespace evord::search {
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kMaxStates:
+      return "max-states";
+    case StopReason::kMaxTerminals:
+      return "max-terminals";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kVisitor:
+      return "visitor";
+  }
+  return "unknown";
+}
+
+void SearchStats::merge(const SearchStats& other) {
+  states_visited += other.states_visited;
+  dedup_hits += other.dedup_hits;
+  terminals += other.terminals;
+  deadlocked_prefixes += other.deadlocked_prefixes;
+  memo_bytes += other.memo_bytes;
+  truncated = truncated || other.truncated;
+  stopped_by_visitor = stopped_by_visitor || other.stopped_by_visitor;
+  if (stop_reason == StopReason::kNone) stop_reason = other.stop_reason;
+}
+
+}  // namespace evord::search

@@ -1,0 +1,62 @@
+// Unified options and statistics for the state-space search core.
+//
+// Every trace-level explorer (schedule enumeration, causal-class
+// enumeration, the memoized can-precede/coexist sweep, deadlock search)
+// runs on the generic engines in search/engine.hpp and reports through
+// the SearchStats defined here, so budgets, truncation provenance and
+// dedup behaviour look the same no matter which analysis ran.  See
+// docs/SEARCH.md for the tracker/visitor contracts and the fingerprint
+// safety argument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace evord::search {
+
+/// Why a search stopped early (kNone == ran to natural exhaustion).
+enum class StopReason : std::uint8_t {
+  kNone = 0,
+  kMaxStates = 1,     ///< distinct-state budget (max_states)
+  kMaxTerminals = 2,  ///< terminal budget (max_terminals / max_schedules)
+  kDeadline = 3,      ///< wall-clock time budget
+  kVisitor = 4,       ///< a visitor returned false
+};
+
+const char* to_string(StopReason reason);
+
+/// Budgets shared by every engine.  All zero values mean "unlimited".
+struct SearchOptions {
+  /// Stop expanding new distinct states after this many (global across
+  /// all workers in parallel mode).
+  std::size_t max_states = 0;
+  /// Stop after this many terminal (complete-schedule) visits.  Enforced
+  /// strictly via a shared atomic counter: the combined visit count never
+  /// exceeds the budget, serial or parallel.
+  std::uint64_t max_terminals = 0;
+  /// Stop after this many seconds of wall clock.
+  double time_budget_seconds = 0.0;
+  /// Root-split width: 0 = hardware concurrency, 1 = serial.
+  std::size_t num_threads = 1;
+};
+
+/// What one engine run did.  Per-worker instances are merged
+/// associatively by merge(); counters sum, flags OR, and the first
+/// recorded stop reason wins.
+struct SearchStats {
+  std::uint64_t states_visited = 0;  ///< distinct states expanded
+  std::uint64_t dedup_hits = 0;      ///< states pruned as already seen
+  std::uint64_t terminals = 0;       ///< complete schedules delivered
+  std::uint64_t deadlocked_prefixes = 0;  ///< stuck states reached
+  /// Bytes held by the dedup/memo store at the end of the search (the
+  /// 8-byte-per-state fingerprint representation; debug payload retention
+  /// is excluded — it exists only to cross-check collisions).
+  std::uint64_t memo_bytes = 0;
+  bool truncated = false;          ///< a budget stopped the search
+  bool stopped_by_visitor = false;
+  StopReason stop_reason = StopReason::kNone;
+
+  void merge(const SearchStats& other);
+};
+
+}  // namespace evord::search

@@ -1,0 +1,375 @@
+// Cross-engine equivalence sweep for the unified search core
+// (src/search/): every explorer — serial, root-split parallel, and a
+// deliberately naive brute-force reference that shares no code with the
+// engine — must agree on coexistence matrices, deadlock verdicts and
+// schedule counts over random traces, under all three semantics and with
+// dependences (F3) both enforced and ignored.  Also pins down the strict
+// global budget semantics and the stepper's incremental state hash.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "feasible/deadlock.hpp"
+#include "feasible/enumerate.hpp"
+#include "feasible/schedule_space.hpp"
+#include "feasible/stepper.hpp"
+#include "ordering/exact.hpp"
+#include "helpers.hpp"
+#include "trace/builder.hpp"
+#include "util/rng.hpp"
+
+namespace evord {
+namespace {
+
+// ----------------------------------------------------------------------
+// Brute-force reference: plain recursion on the stepper, no dedup, no
+// memoization, no fingerprints.  Exponential^2, so only for tiny traces.
+
+bool brute_completable(TraceStepper& st) {
+  if (st.complete()) return true;
+  std::vector<EventId> enabled;
+  st.enabled_events(enabled);
+  for (const EventId e : enabled) {
+    const TraceStepper::Undo u = st.apply(e);
+    const bool ok = brute_completable(st);
+    st.undo(u);
+    if (ok) return true;
+  }
+  return false;
+}
+
+struct BruteResult {
+  std::uint64_t schedules = 0;
+  std::uint64_t stuck_prefixes = 0;  ///< per-path, like the enumerator
+  bool can_deadlock = false;
+  std::vector<DynamicBitset> can_precede;
+  std::vector<DynamicBitset> can_coexist;
+};
+
+void brute_walk(TraceStepper& st, BruteResult& r) {
+  if (st.complete()) {
+    ++r.schedules;
+    return;
+  }
+  std::vector<EventId> enabled;
+  st.enabled_events(enabled);
+  if (enabled.empty()) {
+    ++r.stuck_prefixes;
+    r.can_deadlock = true;
+    return;
+  }
+  // Matrix marks only at completable states, mirroring the definitions in
+  // feasible/schedule_space.hpp (marks are state-deterministic, so the
+  // repeat visits of this dedup-free walk are idempotent).
+  if (brute_completable(st)) {
+    for (const EventId e : enabled) {
+      const TraceStepper::Undo u = st.apply(e);
+      const bool ok = brute_completable(st);
+      st.undo(u);
+      if (ok) r.can_precede[e] |= st.done_bits();
+    }
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      for (std::size_t j = i + 1; j < enabled.size(); ++j) {
+        const EventId x = enabled[i];
+        const EventId y = enabled[j];
+        if (r.can_coexist[x].test(y)) continue;
+        bool ok = false;
+        for (int order = 0; order < 2 && !ok; ++order) {
+          const EventId a = order == 0 ? x : y;
+          const EventId b = order == 0 ? y : x;
+          const TraceStepper::Undo ua = st.apply(a);
+          if (st.enabled(b)) {
+            const TraceStepper::Undo ub = st.apply(b);
+            ok = brute_completable(st);
+            st.undo(ub);
+          }
+          st.undo(ua);
+        }
+        if (ok) {
+          r.can_coexist[x].set(y);
+          r.can_coexist[y].set(x);
+        }
+      }
+    }
+  }
+  for (const EventId e : enabled) {
+    const TraceStepper::Undo u = st.apply(e);
+    brute_walk(st, r);
+    st.undo(u);
+  }
+}
+
+BruteResult brute_force(const Trace& trace, const StepperOptions& options) {
+  BruteResult r;
+  r.can_precede.assign(trace.num_events(), DynamicBitset(trace.num_events()));
+  r.can_coexist.assign(trace.num_events(), DynamicBitset(trace.num_events()));
+  TraceStepper st(trace, options);
+  brute_walk(st, r);
+  return r;
+}
+
+Trace small_random_trace(std::uint64_t seed, std::size_t num_events) {
+  Rng rng(seed);
+  evord::testing::RandomTraceConfig config;
+  config.num_events = num_events;
+  config.num_event_vars = seed % 2;  // alternate semaphore/event mixes
+  return evord::testing::random_trace(config, rng);
+}
+
+/// A trace where some interleavings wedge: p1 grants both semaphores,
+/// then p2 takes a-then-b while p3 takes b-then-a (circular wait).
+Trace deadlockable_trace() {
+  TraceBuilder b;
+  const ObjectId a = b.semaphore("a");
+  const ObjectId sb = b.semaphore("b");
+  const ProcId p2 = b.add_process();
+  const ProcId p3 = b.add_process();
+  b.sem_v(b.root(), a);
+  b.sem_v(b.root(), sb);
+  b.sem_p(p2, a);
+  b.sem_p(p2, sb);
+  b.sem_v(p2, a);
+  b.sem_v(p2, sb);
+  b.sem_p(p3, sb);
+  b.sem_p(p3, a);
+  return b.build();
+}
+
+// ----------------------------------------------------------------------
+// Schedule-space engine: serial == parallel == brute force.
+
+TEST(SearchEquivalence, CoexistMatricesMatchBruteAndParallel) {
+  for (const bool respect_deps : {true, false}) {
+    for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+      const Trace t = small_random_trace(seed, 10);
+      ScheduleSpaceOptions options;
+      options.stepper.respect_dependences = respect_deps;
+      options.build_coexist = true;
+
+      options.num_threads = 1;
+      const CanPrecedeResult serial = compute_can_precede(t, options);
+      options.num_threads = 4;
+      const CanPrecedeResult parallel = compute_can_precede(t, options);
+      const BruteResult brute = brute_force(t, options.stepper);
+
+      EXPECT_EQ(serial.feasible_nonempty, brute.schedules > 0)
+          << "seed " << seed;
+      EXPECT_EQ(serial.can_precede, brute.can_precede) << "seed " << seed;
+      EXPECT_EQ(serial.can_coexist, brute.can_coexist) << "seed " << seed;
+
+      // Parallel results are bit-identical to serial, including the
+      // distinct-state count (every mark and memo verdict is a
+      // deterministic function of the state; docs/SEARCH.md).
+      EXPECT_EQ(parallel.feasible_nonempty, serial.feasible_nonempty);
+      EXPECT_EQ(parallel.can_precede, serial.can_precede) << "seed " << seed;
+      EXPECT_EQ(parallel.can_coexist, serial.can_coexist) << "seed " << seed;
+      EXPECT_EQ(parallel.states_visited, serial.states_visited);
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Deadlock engine: serial == parallel == brute force.
+
+TEST(SearchEquivalence, DeadlockVerdictsMatchBruteAndParallel) {
+  std::size_t deadlocks_seen = 0;
+  for (const bool respect_deps : {true, false}) {
+    for (const std::uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+      const Trace t = seed == 25u ? deadlockable_trace()
+                                  : small_random_trace(seed, 11);
+      DeadlockOptions options;
+      options.stepper.respect_dependences = respect_deps;
+
+      options.num_threads = 1;
+      const DeadlockReport serial = analyze_deadlocks(t, options);
+      options.num_threads = 4;
+      const DeadlockReport parallel = analyze_deadlocks(t, options);
+      const BruteResult brute = brute_force(t, options.stepper);
+
+      EXPECT_EQ(serial.can_deadlock, brute.can_deadlock) << "seed " << seed;
+      if (serial.can_deadlock) ++deadlocks_seen;
+
+      // Bit-identical parallel report: verdict, witness, distinct stuck
+      // states and distinct states visited (docs/SEARCH.md).
+      EXPECT_EQ(parallel.can_deadlock, serial.can_deadlock);
+      EXPECT_EQ(parallel.witness_prefix, serial.witness_prefix)
+          << "seed " << seed;
+      EXPECT_EQ(parallel.stuck_states, serial.stuck_states);
+      EXPECT_EQ(parallel.states_visited, serial.states_visited);
+    }
+  }
+  EXPECT_GE(deadlocks_seen, 2u);  // the sweep exercised real deadlocks
+}
+
+// ----------------------------------------------------------------------
+// Enumerator: serial == parallel == brute force.
+
+TEST(SearchEquivalence, ScheduleCountsMatchBruteAndParallel) {
+  for (const bool respect_deps : {true, false}) {
+    for (const std::uint64_t seed : {31u, 32u, 33u}) {
+      const Trace t = small_random_trace(seed, 10);
+      EnumerateOptions options;
+      options.stepper.respect_dependences = respect_deps;
+
+      const EnumerateStats serial = enumerate_schedules(
+          t, options, [](const std::vector<EventId>&) { return true; });
+      std::atomic<std::uint64_t> parallel_visits{0};
+      const EnumerateStats parallel = enumerate_schedules_parallel(
+          t, options,
+          [&parallel_visits](const std::vector<EventId>&) {
+            parallel_visits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          },
+          4);
+      const BruteResult brute = brute_force(t, options.stepper);
+
+      EXPECT_EQ(serial.schedules, brute.schedules) << "seed " << seed;
+      EXPECT_EQ(serial.deadlocked_prefixes, brute.stuck_prefixes);
+      EXPECT_EQ(parallel.schedules, serial.schedules) << "seed " << seed;
+      EXPECT_EQ(parallel_visits.load(), serial.schedules);
+      EXPECT_EQ(parallel.deadlocked_prefixes, serial.deadlocked_prefixes);
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Exact relations: serial == parallel under all three semantics.
+
+TEST(SearchEquivalence, ExactRelationsSerialVsParallel) {
+  for (const bool respect_deps : {true, false}) {
+    for (const bool class_dedup : {true, false}) {
+      for (const std::uint64_t seed : {41u, 42u}) {
+        const Trace t = small_random_trace(seed, 10);
+        for (const Semantics semantics :
+             {Semantics::kInterleaving, Semantics::kCausal,
+              Semantics::kInterval}) {
+          ExactOptions options;
+          options.respect_dependences = respect_deps;
+          options.class_dedup = class_dedup;
+          options.num_threads = 1;
+          const OrderingRelations serial =
+              compute_exact(t, semantics, options);
+          options.num_threads = 4;
+          const OrderingRelations parallel =
+              compute_exact(t, semantics, options);
+
+          EXPECT_EQ(parallel.feasible_empty, serial.feasible_empty);
+          EXPECT_EQ(parallel.schedules_seen, serial.schedules_seen)
+              << "seed " << seed << " semantics "
+              << to_string(semantics) << " dedup " << class_dedup;
+          EXPECT_EQ(parallel.causal_classes, serial.causal_classes);
+          for (const RelationKind k : kAllRelationKinds) {
+            EXPECT_EQ(parallel[k], serial[k])
+                << to_string(k) << " seed " << seed << " semantics "
+                << to_string(semantics);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Strict global budgets (the historical per-subtree overshoot is gone).
+
+TEST(SearchBudget, ParallelMaxSchedulesIsStrictAndGlobal) {
+  // 3 processes x 3 independent computes: 9!/(3!)^3 = 1680 schedules
+  // across 3 root subtrees.
+  TraceBuilder b;
+  std::vector<ProcId> procs{b.root(), b.add_process(), b.add_process()};
+  for (int i = 0; i < 3; ++i) {
+    for (const ProcId p : procs) b.compute(p, "", {}, {});
+  }
+  const Trace t = b.build();
+  constexpr std::uint64_t kTotal = 1680;
+
+  for (const std::uint64_t budget :
+       {std::uint64_t{1}, std::uint64_t{7}, kTotal - 1, kTotal,
+        std::uint64_t{0}}) {
+    EnumerateOptions options;
+    options.max_schedules = budget;
+    std::atomic<std::uint64_t> visits{0};
+    const EnumerateStats stats = enumerate_schedules_parallel(
+        t, options,
+        [&visits](const std::vector<EventId>&) {
+          visits.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        },
+        4);
+    const std::uint64_t expect =
+        budget == 0 ? kTotal : std::min(budget, kTotal);
+    EXPECT_EQ(visits.load(), expect) << "budget " << budget;
+    EXPECT_EQ(stats.schedules, expect) << "budget " << budget;
+    // Hitting the cap flags truncation even at budget == kTotal: the
+    // engine stops there without learning the space was exhausted
+    // (the serial enumerator has always reported it this way).
+    EXPECT_EQ(stats.truncated, budget != 0 && budget <= kTotal);
+  }
+}
+
+// ----------------------------------------------------------------------
+// The stepper's incremental state hash is a function of the state alone.
+
+TEST(StateHash, PathIndependentAndExactUnderUndo) {
+  for (const std::uint64_t seed : {51u, 52u, 53u}) {
+    const Trace t = small_random_trace(seed, 12);
+    TraceStepper st(t);
+    const std::uint64_t initial = st.state_hash();
+
+    // Many random walks with full unwinding: every distinct encode_key
+    // must map to exactly one hash, and vice versa along each walk.
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> seen;
+    Rng rng(seed * 977);
+    std::vector<EventId> enabled;
+    std::vector<std::uint64_t> key;
+    for (int walk = 0; walk < 50; ++walk) {
+      std::vector<TraceStepper::Undo> undos;
+      for (;;) {
+        st.encode_key(key);
+        const auto [it, inserted] = seen.try_emplace(st.state_hash(), key);
+        if (!inserted) {
+          EXPECT_EQ(it->second, key) << "hash collision or path dependence";
+        }
+        st.enabled_events(enabled);
+        if (enabled.empty()) break;
+        undos.push_back(st.apply(enabled[rng.below(enabled.size())]));
+      }
+      while (!undos.empty()) {
+        st.undo(undos.back());
+        undos.pop_back();
+      }
+      EXPECT_EQ(st.state_hash(), initial);  // exact restoration
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// SearchStats are surfaced end to end.
+
+TEST(SearchStats, SurfacedThroughResultsAnalyzerAndReport) {
+  const Trace t = small_random_trace(61, 10);
+
+  ScheduleSpaceOptions sso;
+  sso.build_coexist = true;
+  const CanPrecedeResult cp = compute_can_precede(t, sso);
+  EXPECT_EQ(cp.search.states_visited, cp.states_visited);
+  EXPECT_EQ(cp.search.memo_bytes, cp.states_visited * 9u);  // fp + verdict
+
+  const DeadlockReport dl = analyze_deadlocks(t, {});
+  EXPECT_EQ(dl.search.states_visited, dl.states_visited);
+  EXPECT_EQ(dl.search.memo_bytes, dl.states_visited * 8u);  // fp only
+
+  OrderingAnalyzer an(t);
+  EXPECT_GT(an.search_stats(Semantics::kCausal).states_visited, 0u);
+  EXPECT_GT(an.search_stats(Semantics::kInterleaving).memo_bytes, 0u);
+  const std::string report = an.report(Semantics::kCausal);
+  EXPECT_NE(report.find("search: states="), std::string::npos);
+  EXPECT_NE(report.find("memo bytes="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evord
