@@ -241,6 +241,36 @@ std::vector<evord::bench::JsonRecord> run_space_memory_sweep() {
               engine_ms)};
 }
 
+// Work-stealing thread sweep of the plain enumerator (rows appended to
+// BENCH_search.json): a 14-event random semaphore trace enumerated at
+// 1/2/4/8 requested workers.  Schedule counts are checked against the
+// serial engine before each row is recorded.
+std::vector<evord::bench::JsonRecord> run_enumerate_thread_sweep() {
+  Rng rng(11);
+  const Trace t = evord::bench::random_sem_trace(14, 3, 2, rng);
+  std::uint64_t serial_count = 0;
+  return evord::bench::run_thread_sweep(
+      "enumerate", "random_sem_14", [&](std::size_t threads) {
+        std::atomic<std::uint64_t> seen{0};
+        const EnumerateStats stats = enumerate_schedules_parallel(
+            t, {},
+            [&](const std::vector<EventId>&) {
+              seen.fetch_add(1, std::memory_order_relaxed);
+              return true;
+            },
+            threads);
+        if (threads == 1) {
+          serial_count = stats.schedules;
+        } else {
+          EVORD_CHECK(stats.schedules == serial_count &&
+                          seen.load() == serial_count,
+                      threads << "-thread enumeration count differs from "
+                                 "serial");
+        }
+        return stats.search;
+      });
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -248,8 +278,11 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!evord::bench::append_json_records("BENCH_search.json",
-                                         run_space_memory_sweep())) {
+  std::vector<evord::bench::JsonRecord> rows = run_space_memory_sweep();
+  for (evord::bench::JsonRecord& row : run_enumerate_thread_sweep()) {
+    rows.push_back(std::move(row));
+  }
+  if (!evord::bench::append_json_records("BENCH_search.json", rows)) {
     return 1;
   }
   return 0;

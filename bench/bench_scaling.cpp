@@ -120,6 +120,7 @@ std::vector<JsonRecord> run_exact_thread_sweep() {
         reduce_3sat(formula, SyncStyle::kSemaphore);
     const ReductionExecution e = execute_reduction(reduction);
     OrderingRelations serial;
+    double serial_ms = 0.0;
     for (const std::size_t threads : {1, 2, 4, 8}) {
       ExactOptions options;
       options.num_threads = threads;
@@ -130,6 +131,7 @@ std::vector<JsonRecord> run_exact_thread_sweep() {
           static_cast<double>(timer.micros()) / 1000.0;
       if (threads == 1) {
         serial = r;
+        serial_ms = wall_ms;
       } else {
         EVORD_CHECK(r.matrices == serial.matrices &&
                         r.causal_classes == serial.causal_classes &&
@@ -137,6 +139,13 @@ std::vector<JsonRecord> run_exact_thread_sweep() {
                     name << ": " << threads
                          << "-thread result differs from serial");
       }
+      // Requested thread counts are clamped to
+      // search::max_worker_threads(); effective_threads records what
+      // actually ran so speedups stay honest on small machines.
+      const std::uint64_t effective =
+          r.search.workers.empty()
+              ? 1
+              : static_cast<std::uint64_t>(r.search.workers.size());
       rows.push_back(JsonRecord{}
                          .add("name", std::string(name))
                          .add("events",
@@ -145,7 +154,12 @@ std::vector<JsonRecord> run_exact_thread_sweep() {
                          .add("classes", r.causal_classes)
                          .add("threads",
                               static_cast<std::uint64_t>(threads))
-                         .add("wall_ms", wall_ms));
+                         .add("effective_threads", effective)
+                         .add("wall_ms", wall_ms)
+                         .add("speedup_vs_serial",
+                              wall_ms > 0.0 ? serial_ms / wall_ms : 0.0)
+                         .add("tasks_stolen", r.search.tasks_stolen())
+                         .add("tasks_spawned", r.search.tasks_spawned()));
     }
   }
   return rows;

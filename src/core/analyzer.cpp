@@ -86,6 +86,7 @@ const DeadlockReport& OrderingAnalyzer::deadlocks() {
     options.max_states = options_.max_states;
     options.time_budget_seconds = options_.time_budget_seconds;
     options.num_threads = options_.num_threads;
+    options.steal = options_.steal;
     deadlocks_ = analyze_deadlocks(trace_, options);
   }
   return *deadlocks_;
@@ -98,6 +99,7 @@ bool OrderingAnalyzer::could_have_coexisted(EventId a, EventId b) {
     options.max_states = options_.max_states;
     options.time_budget_seconds = options_.time_budget_seconds;
     options.num_threads = options_.num_threads;
+    options.steal = options_.steal;
     options.build_coexist = true;
     coexist_ = compute_can_precede(trace_, options);
   }

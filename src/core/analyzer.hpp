@@ -77,8 +77,9 @@ class OrderingAnalyzer {
   RaceReport races(RaceDetector detector = RaceDetector::kExact);
 
   /// Unified search-core statistics (states, dedup hits, memo bytes,
-  /// stop reason) of the exact analysis under `semantics`; runs the
-  /// analysis if not yet cached.
+  /// stop reason, per-worker scheduler counters, per-depth state
+  /// histogram, fingerprint shard loads) of the exact analysis under
+  /// `semantics`; runs the analysis if not yet cached.
   const search::SearchStats& search_stats(
       Semantics semantics = Semantics::kCausal);
 

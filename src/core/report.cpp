@@ -79,6 +79,25 @@ std::string summarize_relations(const Trace& trace,
   os << "search: states=" << relations.search.states_visited
      << " dedup hits=" << relations.search.dedup_hits
      << " memo bytes=" << relations.search.memo_bytes << '\n';
+  if (!relations.search.workers.empty()) {
+    const search::SearchStats& s = relations.search;
+    os << "scheduler: workers=" << s.workers.size()
+       << " tasks=" << s.tasks_executed() << " stolen=" << s.tasks_stolen()
+       << " spawned=" << s.tasks_spawned()
+       << " steal attempts=" << s.steal_attempts()
+       << strprintf(" idle=%.1fms",
+                    static_cast<double>(s.idle_nanos()) / 1e6)
+       << '\n';
+  }
+  if (!relations.search.depth_states.empty()) {
+    os << "depth histogram: peak=" << relations.search.peak_depth()
+       << " buckets=" << relations.search.depth_states.size() << '\n';
+  }
+  if (!relations.search.shard_sizes.empty()) {
+    os << strprintf("fingerprint shards: %zu, load imbalance=%.2f\n",
+                    relations.search.shard_sizes.size(),
+                    relations.search.shard_imbalance());
+  }
   if (relations.search.stop_reason != search::StopReason::kNone) {
     os << "search stopped by: "
        << search::to_string(relations.search.stop_reason) << '\n';

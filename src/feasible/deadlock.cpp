@@ -1,5 +1,6 @@
 #include "feasible/deadlock.hpp"
 
+#include <mutex>
 #include <optional>
 
 #include "search/engine.hpp"
@@ -8,24 +9,56 @@ namespace evord {
 
 namespace {
 
+/// One witness candidate with its canonical DFS key.  The serial search
+/// reports the first stuck prefix of minimal length it finds; because
+/// DFS visits states in lexicographic dewey order, that is exactly the
+/// minimum under (length, dewey) — a characterization independent of how
+/// the tree was partitioned into tasks, which is what makes the parallel
+/// merge bit-identical to serial under any split/steal pattern.
+struct WitnessCandidate {
+  bool found = false;
+  std::vector<EventId> path;
+  std::vector<std::uint32_t> dewey;
+
+  void offer(const std::vector<EventId>& p,
+             const std::vector<std::uint32_t>& d) {
+    if (found && !wins(p.size(), d)) return;
+    found = true;
+    path = p;
+    dewey = d;
+  }
+
+  void merge(WitnessCandidate&& other) {
+    if (!other.found) return;
+    if (found && !wins(other.path.size(), other.dewey)) return;
+    found = true;
+    path = std::move(other.path);
+    dewey = std::move(other.dewey);
+  }
+
+ private:
+  bool wins(std::size_t len, const std::vector<std::uint32_t>& d) const {
+    if (len != path.size()) return len < path.size();
+    return d < dewey;
+  }
+};
+
 /// Deadlock hooks: terminals just continue; stuck states update the
-/// per-instance best witness (strictly shorter replaces, so the
-/// first-discovered witness of the minimal length is kept) and, in
-/// parallel mode, a shared stuck-state fingerprint set that counts each
-/// distinct stuck state once across workers.
+/// per-task witness candidate and, in parallel mode, a shared
+/// stuck-state fingerprint set that counts each distinct stuck state
+/// once across tasks.
 struct DeadlockHooks {
   search::ShardedFingerprintSet* stuck_set;  ///< null in serial mode
-  bool* can_deadlock;
-  std::vector<EventId>* witness;
+  WitnessCandidate* witness;
 
   bool on_terminal(const std::vector<EventId>& /*schedule*/) { return true; }
 
-  void on_stuck(const std::vector<EventId>& path, std::uint64_t fp) {
+  void on_stuck(const std::vector<EventId>& path, std::uint64_t fp,
+                const std::vector<std::uint32_t>& dewey) {
     // No payload: any colliding fingerprints already tripped the visited
     // set's collision check (stuck fingerprints are claim fingerprints).
     if (stuck_set != nullptr) stuck_set->insert(fp);
-    if (!*can_deadlock || path.size() < witness->size()) *witness = path;
-    *can_deadlock = true;
+    witness->offer(path, dewey);
   }
 };
 
@@ -38,6 +71,7 @@ search::SearchOptions to_search_options(const DeadlockOptions& options) {
   so.max_states = options.max_states;
   so.time_budget_seconds = options.time_budget_seconds;
   so.num_threads = options.num_threads;
+  so.steal = options.steal;
   return so;
 }
 
@@ -47,13 +81,16 @@ DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options) {
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet visited(1);
+  WitnessCandidate witness;
   DeadlockReport report;
   DeadlockSearch<search::SharedSetDedup> engine(
       trace, options.stepper, so, &ctx, search::NullTracker{},
-      search::SharedSetDedup(&visited),
-      DeadlockHooks{nullptr, &report.can_deadlock, &report.witness_prefix});
+      search::SharedSetDedup(&visited), DeadlockHooks{nullptr, &witness});
   report.search = engine.run();
+  report.can_deadlock = witness.found;
+  report.witness_prefix = std::move(witness.path);
   report.search.memo_bytes = visited.size() * kVisitedBytesPerState;
+  report.search.shard_sizes = visited.shard_sizes();
   report.stuck_states = report.search.deadlocked_prefixes;
   report.states_visited = static_cast<std::size_t>(visited.size());
   report.truncated = report.search.truncated;
@@ -61,9 +98,16 @@ DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options) {
 }
 
 DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
-                            const std::vector<EventId>& roots,
+                            std::vector<search::SearchTask> roots,
                             std::size_t threads) {
-  const search::SearchOptions so = to_search_options(options);
+  search::SearchOptions so = to_search_options(options);
+  // Private-set tasks re-explore states their regions share (that is
+  // what makes the witness deterministic), so on DAG-shaped state
+  // spaces every extra task multiplies duplicated work.  Unless the
+  // caller tuned the cutoff, cap donations to the shallow levels:
+  // enough to balance first-level skew, bounded duplication.  Never
+  // affects results — only who explores what.
+  if (so.steal.max_split_depth == 0) so.steal.max_split_depth = 3;
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet visited(4 * threads);
   // Claim fingerprints double as stuck-state identity, so this set can
@@ -72,7 +116,8 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
                                       /*verify_collisions=*/false);
 
   // Count the root state once, as the serial search would at its first
-  // explore() entry (workers start one event in and never revisit it).
+  // explore() entry (tasks start at least one event in and never revisit
+  // it).
   {
     TraceStepper root(trace, options.stepper);
     std::vector<std::uint64_t> key;
@@ -85,45 +130,44 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
     ctx.states.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Per-subtree witness candidates, merged deterministically below.
-  // (char, not bool: vector<bool> bit-packs and adjacent-index writes
-  // from different workers would race.)
-  std::vector<char> sub_deadlock(roots.size(), 0);
-  std::vector<std::vector<EventId>> sub_witness(roots.size());
-
-  search::SearchStats total = search::run_root_split(
-      roots.size(), threads, ctx, [&](std::size_t i) {
-        bool local_deadlock = false;
+  std::mutex witness_mu;
+  WitnessCandidate best;
+  const search::SearchStats total = search::run_work_stealing(
+      std::move(roots), threads, so.steal.seed, ctx,
+      [&](const search::SearchTask& task, search::WorkerHandle& worker) {
+        WitnessCandidate local;
         DeadlockSearch<search::PrivateSetDedup> engine(
             trace, options.stepper, so, &ctx, search::NullTracker{},
             search::PrivateSetDedup(&visited),
-            DeadlockHooks{&stuck, &local_deadlock, &sub_witness[i]});
-        engine.seed({roots[i]});
+            DeadlockHooks{&stuck, &local});
+        engine.seed(task.seed);
+        engine.attach_worker(&worker, &task);
         const search::SearchStats stats = engine.run();
-        sub_deadlock[i] = local_deadlock;
+        if (local.found) {
+          std::lock_guard<std::mutex> lock(witness_mu);
+          best.merge(std::move(local));
+        }
         return stats;
       });
-  total.states_visited += 1;  // the root claim above
 
   DeadlockReport report;
-  // Deterministic witness: minimal length wins; among equals, the lowest
-  // subtree index — exactly the prefix the serial search would keep,
-  // because each worker's private-set traversal of its subtree matches
-  // the serial traversal order there (docs/SEARCH.md).
-  for (std::size_t i = 0; i < roots.size(); ++i) {
-    if (!sub_deadlock[i]) continue;
-    if (!report.can_deadlock ||
-        sub_witness[i].size() < report.witness_prefix.size()) {
-      report.witness_prefix = sub_witness[i];
-    }
-    report.can_deadlock = true;
-  }
+  report.can_deadlock = best.found;
+  report.witness_prefix = std::move(best.path);
   report.search = total;
-  // Workers overcount stuck prefixes they both reach; the shared set has
-  // the distinct total.
+  // The shared stores are authoritative: tasks overcount states and
+  // stuck prefixes they both reach (private-set walks), so the distinct
+  // totals come from the sets, never from summing per task.
   report.search.deadlocked_prefixes = stuck.size();
   report.search.states_visited = visited.size();
+  // The manually claimed root lands in the depth histogram here (tasks
+  // start one event in); a state's depth is its done-set size, so the
+  // histogram is deterministic no matter which task first-claims a state.
+  if (report.search.depth_states.empty()) {
+    report.search.depth_states.resize(1, 0);
+  }
+  report.search.depth_states[0] += 1;
   report.search.memo_bytes = visited.size() * kVisitedBytesPerState;
+  report.search.shard_sizes = visited.shard_sizes();
   report.stuck_states = stuck.size();
   report.states_visited = static_cast<std::size_t>(visited.size());
   report.truncated = report.search.truncated;
@@ -137,9 +181,11 @@ DeadlockReport analyze_deadlocks(const Trace& trace,
   const std::size_t threads =
       search::resolve_num_threads(options.num_threads);
   if (threads > 1) {
-    const std::vector<EventId> roots =
-        search::root_events(trace, options.stepper);
-    if (roots.size() > 1) return run_parallel(trace, options, roots, threads);
+    std::vector<search::SearchTask> roots =
+        search::root_tasks(trace, options.stepper);
+    if (!roots.empty()) {
+      return run_parallel(trace, options, std::move(roots), threads);
+    }
   }
   return run_serial(trace, options);
 }

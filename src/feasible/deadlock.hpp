@@ -25,10 +25,17 @@ struct DeadlockOptions {
   StepperOptions stepper;
   std::size_t max_states = 4'000'000;  ///< 0 = unlimited
   double time_budget_seconds = 0.0;    ///< 0 = unlimited
-  /// Root-split worker count: 1 = serial (default), 0 = hardware
-  /// concurrency.  The parallel search returns bit-identical reports
-  /// (verdict, witness, counts); see docs/SEARCH.md for the argument.
+  /// Worker count: 1 = serial (default), 0 = hardware concurrency;
+  /// clamped to search::max_worker_threads().  The parallel search runs
+  /// on the work-stealing scheduler and returns bit-identical reports
+  /// (verdict, witness, counts) under any split/steal pattern; see
+  /// docs/SEARCH.md for the argument.
   std::size_t num_threads = 1;
+  /// Work-stealing scheduler tuning (never affects results).  This
+  /// engine's tasks deliberately re-explore states their regions share
+  /// (witness determinism), so a max_split_depth of 0 is replaced by a
+  /// small default cap rather than unlimited splitting.
+  search::StealOptions steal;
 };
 
 struct DeadlockReport {

@@ -15,7 +15,8 @@ struct EnumHooks {
   bool on_terminal(const std::vector<EventId>& schedule) {
     return (*visit)(schedule);
   }
-  void on_stuck(const std::vector<EventId>& /*path*/, std::uint64_t /*fp*/) {}
+  void on_stuck(const std::vector<EventId>& /*path*/, std::uint64_t /*fp*/,
+                const std::vector<std::uint32_t>& /*dewey*/) {}
 };
 
 using EnumSearch =
@@ -25,6 +26,7 @@ search::SearchOptions to_search_options(const EnumerateOptions& options) {
   search::SearchOptions so;
   so.max_terminals = options.max_schedules;
   so.time_budget_seconds = options.time_budget_seconds;
+  so.steal = options.steal;
   return so;
 }
 
@@ -60,13 +62,15 @@ std::size_t num_enumerate_subtrees(const Trace& trace,
 EnumerateStats enumerate_schedules_parallel_indexed(
     const Trace& trace, const EnumerateOptions& options,
     const IndexedScheduleVisitor& visit, std::size_t num_threads) {
-  // Partition on the first-level enabled events; each subtree gets its
-  // own stepper.  All budgets stay strict and global: the subtrees share
-  // one SharedContext, so max_schedules caps the combined visit count
-  // exactly (the historical per-subtree overshoot is gone).
-  const std::vector<EventId> first =
-      search::root_events(trace, options.stepper, options.seed_prefix);
-  if (first.size() <= 1) {
+  // One initial task per first-level enabled event; the work-stealing
+  // scheduler splits further subtrees off adaptively, so even a single
+  // root child parallelises.  All budgets stay strict and global: the
+  // tasks share one SharedContext, so max_schedules caps the combined
+  // visit count exactly.
+  const std::size_t threads = search::resolve_num_threads(num_threads);
+  std::vector<search::SearchTask> roots =
+      search::root_tasks(trace, options.stepper, options.seed_prefix);
+  if (threads <= 1 || roots.empty()) {
     // Serial fallback also covers empty traces and deadlocked roots.
     const ScheduleVisitor wrapped = [&](const std::vector<EventId>& s) {
       return visit(0, s);
@@ -76,17 +80,19 @@ EnumerateStats enumerate_schedules_parallel_indexed(
 
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
-  const search::SearchStats total = search::run_root_split(
-      first.size(), num_threads, ctx, [&](std::size_t i) {
+  const search::SearchStats total = search::run_work_stealing(
+      std::move(roots), threads, so.steal.seed, ctx,
+      [&](const search::SearchTask& task, search::WorkerHandle& worker) {
         const ScheduleVisitor sub =
-            [&visit, i](const std::vector<EventId>& s) {
-              return visit(i, s);
+            [&visit, slot = worker.worker_id()](const std::vector<EventId>& s) {
+              return visit(slot, s);
             };
         EnumSearch engine(trace, options.stepper, so, &ctx,
                           search::NullTracker{}, search::NoDedup{},
                           EnumHooks{&sub});
         engine.seed(options.seed_prefix);
-        engine.seed({first[i]});
+        engine.seed(task.seed);
+        engine.attach_worker(&worker, &task);
         return engine.run();
       });
   return finish(total);
@@ -98,7 +104,7 @@ EnumerateStats enumerate_schedules_parallel(const Trace& trace,
                                             std::size_t num_threads) {
   return enumerate_schedules_parallel_indexed(
       trace, options,
-      [&visit](std::size_t /*subtree*/, const std::vector<EventId>& s) {
+      [&visit](std::size_t /*slot*/, const std::vector<EventId>& s) {
         return visit(s);
       },
       num_threads);

@@ -8,11 +8,13 @@
 // budget, and the tests/benches use it on deliberately small traces.
 //
 // Both variants run on the unified search core (search/engine.hpp).  The
-// parallel variant partitions the search on the first-level choice and
-// runs each subtree in a worker with its own stepper; the visitor must
-// then be thread-safe.  Budgets are strict and global: max_schedules is
-// enforced through a shared atomic counter, so the combined visit count
-// never exceeds it even in parallel mode.
+// parallel variant runs the schedule tree on the work-stealing scheduler
+// (search/scheduler.hpp): one initial task per first-level choice, with
+// further subtrees split off adaptively whenever a worker runs dry; each
+// task gets its own stepper, so the visitor must be thread-safe.
+// Budgets are strict and global: max_schedules is enforced through a
+// shared atomic counter, so the combined visit count never exceeds it
+// even in parallel mode.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +39,9 @@ struct EnumerateOptions {
   /// event must be enabled in sequence).  Callers doing their own
   /// root-split parallelism seed each subtree this way.
   std::vector<EventId> seed_prefix;
+  /// Work-stealing scheduler tuning (parallel variant only; never
+  /// affects results).
+  search::StealOptions steal;
 };
 
 struct EnumerateStats {
@@ -51,30 +56,32 @@ struct EnumerateStats {
 using ScheduleVisitor =
     std::function<bool(const std::vector<EventId>& schedule)>;
 
-/// Parallel visitor that also receives the root-split subtree index (the
-/// position of the schedule's first post-seed event among the first-level
-/// enabled events).  Must be thread-safe.
+/// Parallel visitor that also receives the executing worker's slot index
+/// (in [0, resolved thread count)): calls with the same slot never
+/// overlap, so callers can keep per-slot accumulators and merge without
+/// locking.  Must be thread-safe across slots.
 using IndexedScheduleVisitor = std::function<bool(
-    std::size_t subtree, const std::vector<EventId>& schedule)>;
+    std::size_t slot, const std::vector<EventId>& schedule)>;
 
 EnumerateStats enumerate_schedules(const Trace& trace,
                                    const EnumerateOptions& options,
                                    const ScheduleVisitor& visit);
 
-/// Number of root-split subtrees the parallel variant would use: the
-/// count of first-level enabled events after the seed prefix.
+/// Number of initial scheduler tasks the parallel variant starts from:
+/// the count of first-level enabled events after the seed prefix.
 std::size_t num_enumerate_subtrees(const Trace& trace,
                                    const EnumerateOptions& options);
 
-/// Root-split parallel variant; `visit` must be thread-safe.  With
-/// num_threads == 0 the hardware concurrency is used.
+/// Work-stealing parallel variant; `visit` must be thread-safe.  With
+/// num_threads == 0 the hardware concurrency is used; every request is
+/// clamped to search::max_worker_threads().
 EnumerateStats enumerate_schedules_parallel(const Trace& trace,
                                             const EnumerateOptions& options,
                                             const ScheduleVisitor& visit,
                                             std::size_t num_threads = 0);
 
-/// As above, but the visitor also learns which root subtree produced each
-/// schedule — callers keeping per-subtree accumulators merge without
+/// As above, but the visitor also learns which worker slot delivered
+/// each schedule — callers keeping per-slot accumulators merge without
 /// locking.
 EnumerateStats enumerate_schedules_parallel_indexed(
     const Trace& trace, const EnumerateOptions& options,

@@ -58,6 +58,7 @@ search::SearchOptions to_search_options(const ScheduleSpaceOptions& options) {
   so.max_states = options.max_states;
   so.time_budget_seconds = options.time_budget_seconds;
   so.num_threads = options.num_threads;
+  so.steal = options.steal;
   return so;
 }
 
@@ -87,14 +88,14 @@ CanPrecedeResult run_search(const Trace& trace,
   const search::SearchOptions so = to_search_options(options);
   const std::size_t threads =
       search::resolve_num_threads(options.num_threads);
-  const std::vector<EventId> roots =
-      search::root_events(trace, options.stepper);
+  std::vector<search::SearchTask> roots =
+      search::root_tasks(trace, options.stepper);
 
   CanPrecedeResult result;
   init_matrices(trace, options, build_matrix, result);
   search::SharedContext ctx(so);
 
-  if (threads <= 1 || roots.size() <= 1) {
+  if (threads <= 1 || roots.empty()) {
     search::FingerprintBoolMap memo(1, /*synchronized=*/false);
     SpaceSearch engine(
         trace, options.stepper, so, &ctx, &memo,
@@ -104,35 +105,41 @@ CanPrecedeResult run_search(const Trace& trace,
     result.feasible_nonempty = engine.explore(0);
     result.search = engine.stats();
     result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+    result.search.shard_sizes = memo.shard_sizes();
     result.states_visited = static_cast<std::size_t>(memo.size());
     result.truncated = result.search.truncated;
     return result;
   }
 
-  // Root-split: workers warm the shared memo with their whole subtree
-  // (building private matrices), then the main thread finishes from the
-  // root — its children all hit the memo, so root-level marks and the
-  // feasibility verdict are computed deterministically.
+  // Work-stealing warm-up: tasks warm the shared memo (building
+  // per-worker matrices), then the main thread finishes from the root —
+  // its children all hit the memo, so root-level marks and the
+  // feasibility verdict are computed deterministically.  Matrix slots
+  // are per worker, not per task: tasks on the same worker run
+  // sequentially, so the slot is never written concurrently.
   search::FingerprintBoolMap memo(4 * threads, /*synchronized=*/true);
-  std::mutex matrix_mu;
-  const search::SearchStats worker_stats = search::run_root_split(
-      roots.size(), threads, ctx, [&](std::size_t i) {
-        CanPrecedeResult local;
-        init_matrices(trace, options, build_matrix, local);
+  std::vector<CanPrecedeResult> locals(threads);
+  for (CanPrecedeResult& local : locals) {
+    init_matrices(trace, options, build_matrix, local);
+  }
+  const search::SearchStats worker_stats = search::run_work_stealing(
+      std::move(roots), threads, so.steal.seed, ctx,
+      [&](const search::SearchTask& task, search::WorkerHandle& worker) {
+        CanPrecedeResult& local = locals[worker.worker_id()];
         SpaceSearch engine(
             trace, options.stepper, so, &ctx, &memo,
             CanPrecedeHooks{build_matrix ? &local.can_precede : nullptr,
                             options.build_coexist ? &local.can_coexist
                                                   : nullptr});
-        engine.seed({roots[i]});
+        engine.seed(task.seed);
+        engine.attach_worker(&worker, &task);
         engine.explore(0);
-        std::lock_guard<std::mutex> lock(matrix_mu);
-        if (build_matrix) or_merge(result.can_precede, local.can_precede);
-        if (options.build_coexist) {
-          or_merge(result.can_coexist, local.can_coexist);
-        }
-        return engine.stats();
+        return engine.take_stats();
       });
+  for (const CanPrecedeResult& local : locals) {
+    if (build_matrix) or_merge(result.can_precede, local.can_precede);
+    if (options.build_coexist) or_merge(result.can_coexist, local.can_coexist);
+  }
 
   SpaceSearch engine(
       trace, options.stepper, so, &ctx, &memo,
@@ -142,6 +149,7 @@ CanPrecedeResult run_search(const Trace& trace,
   result.search = engine.stats();
   result.search.merge(worker_stats);
   result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+  result.search.shard_sizes = memo.shard_sizes();
   result.states_visited = static_cast<std::size_t>(memo.size());
   result.truncated = result.search.truncated;
   return result;
@@ -193,6 +201,7 @@ PairQueryResult can_precede_pair(const Trace& trace, EventId first,
   result.possible = engine.explore(0);
   result.search = engine.stats();
   result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+  result.search.shard_sizes = memo.shard_sizes();
   result.states_visited = static_cast<std::size_t>(memo.size());
   result.truncated = result.search.truncated;
   return result;

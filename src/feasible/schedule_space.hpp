@@ -44,10 +44,14 @@ struct ScheduleSpaceOptions {
   /// conflicting accesses, a simultaneous-access race.  Adds O(p^2)
   /// memo lookups per state.
   bool build_coexist = false;
-  /// Root-split worker count for the memoized sweep: 1 = serial (the
-  /// default), 0 = hardware concurrency.  Workers share one memo table;
-  /// results are identical to the serial sweep (see docs/SEARCH.md).
+  /// Worker count for the memoized sweep: 1 = serial (the default),
+  /// 0 = hardware concurrency; clamped to search::max_worker_threads().
+  /// Workers run warming tasks on the work-stealing scheduler and share
+  /// one memo table; results are identical to the serial sweep (see
+  /// docs/SEARCH.md).
   std::size_t num_threads = 1;
+  /// Work-stealing scheduler tuning (never affects results).
+  search::StealOptions steal;
 };
 
 struct CanPrecedeResult {

@@ -268,7 +268,8 @@ struct ClassHooks {
   bool on_terminal(const std::vector<EventId>& schedule) {
     return (*visit)(schedule);
   }
-  void on_stuck(const std::vector<EventId>& /*path*/, std::uint64_t /*fp*/) {}
+  void on_stuck(const std::vector<EventId>& /*path*/, std::uint64_t /*fp*/,
+                const std::vector<std::uint32_t>& /*dewey*/) {}
 };
 
 using ClassSearch =
@@ -280,6 +281,7 @@ search::SearchOptions to_search_options(const ClassEnumOptions& options) {
   so.max_states = options.max_prefixes;
   so.max_terminals = options.max_schedules;
   so.time_budget_seconds = options.time_budget_seconds;
+  so.steal = options.steal;
   return so;
 }
 
@@ -294,6 +296,7 @@ ClassEnumStats finish(const search::SearchStats& stats,
   out.stopped_by_visitor = stats.stopped_by_visitor;
   out.search = stats;
   out.search.memo_bytes = prefix_seen.size() * 8;  // one fingerprint each
+  out.search.shard_sizes = prefix_seen.shard_sizes();
   return out;
 }
 
@@ -324,9 +327,10 @@ ClassEnumStats enumerate_causal_classes_parallel(
     std::size_t num_threads,
     const std::function<bool(std::size_t, const std::vector<EventId>&)>&
         visit) {
-  const std::vector<EventId> first =
-      search::root_events(trace, options.stepper, options.seed_prefix);
-  if (first.size() <= 1) {
+  const std::size_t threads = search::resolve_num_threads(num_threads);
+  std::vector<search::SearchTask> roots =
+      search::root_tasks(trace, options.stepper, options.seed_prefix);
+  if (threads <= 1 || roots.empty()) {
     // Serial fallback also covers empty traces and deadlocked roots.
     const std::function<bool(const std::vector<EventId>&)> wrapped =
         [&](const std::vector<EventId>& s) { return visit(0, s); };
@@ -335,9 +339,9 @@ ClassEnumStats enumerate_causal_classes_parallel(
 
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
-  // One prefix-fingerprint set shared by every subtree worker: a state
-  // reachable from two roots is explored by whichever worker gets there
-  // first (its completions are identical either way).
+  // One prefix-fingerprint set shared by every task: a state reachable
+  // from two task regions is explored by whichever task gets there first
+  // (its completions are identical either way).
   search::ShardedFingerprintSet prefix_seen;
 
   // Claim the root (post-seed) state once, as the serial engine would at
@@ -362,18 +366,24 @@ ClassEnumStats enumerate_causal_classes_parallel(
                        payload);
     ctx.states.fetch_add(1, std::memory_order_relaxed);
     total.states_visited = 1;
+    total.depth_states.assign(trace.num_events() + 1, 0);
+    total.depth_states[options.seed_prefix.size()] = 1;
   }
 
-  total.merge(search::run_root_split(
-      first.size(), num_threads, ctx, [&](std::size_t i) {
+  total.merge(search::run_work_stealing(
+      std::move(roots), threads, so.steal.seed, ctx,
+      [&](const search::SearchTask& task, search::WorkerHandle& worker) {
         const std::function<bool(const std::vector<EventId>&)> sub =
-            [&visit, i](const std::vector<EventId>& s) { return visit(i, s); };
+            [&visit, slot = worker.worker_id()](const std::vector<EventId>& s) {
+              return visit(slot, s);
+            };
         ClassSearch engine(trace, options.stepper, so, &ctx,
                            CausalTracker(trace, options.causal),
                            search::SharedSetDedup(&prefix_seen),
                            ClassHooks{&sub});
         engine.seed(options.seed_prefix);
-        engine.seed({first[i]});
+        engine.seed(task.seed);
+        engine.attach_worker(&worker, &task);
         return engine.run();
       }));
   return finish(total, prefix_seen);

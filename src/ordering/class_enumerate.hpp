@@ -43,9 +43,12 @@ struct ClassEnumOptions {
   std::uint64_t max_schedules = 0;
   double time_budget_seconds = 0.0;
   /// Fast-forward through this schedule prefix before enumerating (every
-  /// event must be enabled in sequence).  The root-split parallel variant
-  /// seeds each worker's subtree this way.
+  /// event must be enabled in sequence).  The parallel variant seeds
+  /// each task's subtree this way.
   std::vector<EventId> seed_prefix;
+  /// Work-stealing scheduler tuning (parallel variant only; never
+  /// affects results).
+  search::StealOptions steal;
 };
 
 struct ClassEnumStats {
@@ -64,25 +67,26 @@ ClassEnumStats enumerate_causal_classes(
     const Trace& trace, const ClassEnumOptions& options,
     const std::function<bool(const std::vector<EventId>&)>& visit);
 
-/// Number of subtrees the parallel variant splits the search into: the
-/// events enabled after `options.seed_prefix` (usually empty) has been
-/// applied.  Callers size per-subtree state with this.
+/// Number of initial scheduler tasks the parallel variant starts from:
+/// the events enabled after `options.seed_prefix` (usually empty) has
+/// been applied.
 std::size_t num_root_subtrees(const Trace& trace,
                               const ClassEnumOptions& options);
 
-/// Root-split parallel variant: subtree `i` of num_root_subtrees() runs
-/// on a thread-pool worker with its own stepper and causal tracker.  The
-/// visitor is invoked concurrently and receives the subtree index first,
-/// so callers can keep per-subtree accumulators lock-free; it must
+/// Work-stealing parallel variant: each scheduler task runs an engine
+/// with its own stepper and causal tracker.  The visitor is invoked
+/// concurrently and receives the executing worker's slot index (in
+/// [0, resolved thread count)) first: calls with the same slot never
+/// overlap, so callers can keep per-slot accumulators lock-free; it must
 /// otherwise be thread-safe.  Prefix dedup runs through one sharded
-/// fingerprint set shared by all workers: a prefix state reachable from
-/// two roots is expanded by whichever worker claims it first (its
+/// fingerprint set shared by all tasks: a prefix state reachable from
+/// two task regions is expanded by whichever task claims it first (its
 /// completions are identical either way), so every distinct state is
 /// expanded exactly once and — absent budgets — schedules_visited and
 /// the union of delivered causal classes match the serial engine
 /// exactly.  All budgets (max_prefixes, max_schedules, the deadline)
 /// are global across workers.  num_threads == 0 uses the hardware
-/// concurrency.
+/// concurrency; every request is clamped to search::max_worker_threads().
 ClassEnumStats enumerate_causal_classes_parallel(
     const Trace& trace, const ClassEnumOptions& options,
     std::size_t num_threads,

@@ -47,6 +47,7 @@ OrderingRelations compute_interleaving(const Trace& trace,
   sso.max_states = options.max_states;
   sso.time_budget_seconds = options.time_budget_seconds;
   sso.num_threads = options.num_threads;
+  sso.steal = options.steal;
   const CanPrecedeResult cp = compute_can_precede(trace, sso);
 
   r.truncated = cp.truncated;
@@ -84,9 +85,10 @@ OrderingRelations compute_interleaving(const Trace& trace,
 }
 
 /// Per-causal-class accumulator for the causal and interval semantics.
-/// In parallel mode each root subtree gets a private accumulator; they
-/// all share one sharded fingerprint set so every distinct class is accumulated
-/// by exactly one of them, and merge() combines the results.
+/// In parallel mode each worker slot gets a private accumulator (visits
+/// with the same slot never overlap); they all share one sharded
+/// fingerprint set so every distinct class is accumulated by exactly one
+/// of them, and merge() combines the results.
 class CausalAccumulator {
  public:
   CausalAccumulator(const Trace& trace, const CausalOptions& causal,
@@ -237,9 +239,8 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     co.causal = causal;
     co.max_schedules = options.max_schedules;
     co.time_budget_seconds = options.time_budget_seconds;
-    const std::size_t subtrees =
-        num_threads > 1 ? num_root_subtrees(trace, co) : 0;
-    if (num_threads <= 1 || subtrees <= 1) {
+    co.steal = options.steal;
+    if (num_threads <= 1) {
       CausalAccumulator acc(trace, causal, dedup);
       const ClassEnumStats stats = enumerate_causal_classes(
           trace, co, [&](const std::vector<EventId>& s) {
@@ -250,28 +251,35 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
       r.deadlocked_prefixes = stats.deadlocked_prefixes;
       r.truncated = stats.truncated || stats.stopped_by_visitor;
       r.search = stats.search;
+      r.search.memo_bytes += dedup.size() * 8;  // class-dedup fingerprints
       acc.finish(r, semantics);
       return r;
     }
-    // Root-split parallel engine: one private accumulator per subtree
-    // (lock-free accepts), class dedup shared through the sharded set,
-    // all budgets strict and global via the shared search context.
+    // Work-stealing parallel engine: one private accumulator per worker
+    // slot (lock-free accepts — same-slot visits never overlap), class
+    // dedup shared through the sharded set, all budgets strict and
+    // global via the shared search context.
     std::vector<CausalAccumulator> accs;
-    accs.reserve(subtrees);
-    for (std::size_t i = 0; i < subtrees; ++i) {
+    accs.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
       accs.emplace_back(trace, causal, dedup);
     }
     const ClassEnumStats stats = enumerate_causal_classes_parallel(
         trace, co, num_threads,
-        [&](std::size_t i, const std::vector<EventId>& s) {
-          accs[i].accept(s);
+        [&](std::size_t slot, const std::vector<EventId>& s) {
+          accs[slot].accept(s);
           return true;
         });
     r.schedules_seen = stats.schedules_visited;
     r.deadlocked_prefixes = stats.deadlocked_prefixes;
     r.truncated = stats.truncated || stats.stopped_by_visitor;
     r.search = stats.search;
-    for (std::size_t i = 1; i < subtrees; ++i) accs[0].merge(accs[i]);
+    // The shared stores are authoritative for memo bytes: prefix-set
+    // bytes arrive via stats.search (set once from the set itself),
+    // and the class-dedup set is added here exactly once — never
+    // summed per worker.
+    r.search.memo_bytes += dedup.size() * 8;
+    for (std::size_t i = 1; i < accs.size(); ++i) accs[0].merge(accs[i]);
     accs[0].finish(r, semantics);
     return r;
   }
@@ -280,9 +288,8 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
   eo.stepper.respect_dependences = options.respect_dependences;
   eo.max_schedules = options.max_schedules;
   eo.time_budget_seconds = options.time_budget_seconds;
-  const std::size_t subtrees =
-      num_threads > 1 ? num_enumerate_subtrees(trace, eo) : 0;
-  if (num_threads <= 1 || subtrees <= 1) {
+  eo.steal = options.steal;
+  if (num_threads <= 1) {
     CausalAccumulator acc(trace, causal, dedup);
     const EnumerateStats stats =
         enumerate_schedules(trace, eo, [&](const std::vector<EventId>& s) {
@@ -293,21 +300,23 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     r.deadlocked_prefixes = stats.deadlocked_prefixes;
     r.truncated = stats.truncated;
     r.search = stats.search;
+    r.search.memo_bytes += dedup.size() * 8;  // class-dedup fingerprints
     acc.finish(r, semantics);
     return r;
   }
-  // Root-split parallel walk of the plain (non-prefix-dedup) enumerator;
-  // class-level dedup still runs through the shared sharded set, and the
-  // subtree index routes each schedule to a private accumulator.
+  // Work-stealing parallel walk of the plain (non-prefix-dedup)
+  // enumerator; class-level dedup still runs through the shared sharded
+  // set, and the worker slot routes each schedule to a private
+  // accumulator.
   std::vector<CausalAccumulator> accs;
-  accs.reserve(subtrees);
-  for (std::size_t i = 0; i < subtrees; ++i) {
+  accs.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
     accs.emplace_back(trace, causal, dedup);
   }
   const EnumerateStats stats = enumerate_schedules_parallel_indexed(
       trace, eo,
-      [&](std::size_t i, const std::vector<EventId>& s) {
-        accs[i].accept(s);
+      [&](std::size_t slot, const std::vector<EventId>& s) {
+        accs[slot].accept(s);
         return true;
       },
       num_threads);
@@ -315,6 +324,8 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
   r.deadlocked_prefixes = stats.deadlocked_prefixes;
   r.truncated = stats.truncated;
   r.search = stats.search;
+  r.search.memo_bytes += dedup.size() * 8;  // class-dedup fingerprints
+  if (r.search.shard_sizes.empty()) r.search.shard_sizes = dedup.shard_sizes();
   for (std::size_t i = 1; i < accs.size(); ++i) accs[0].merge(accs[i]);
   accs[0].finish(r, semantics);
   return r;

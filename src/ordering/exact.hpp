@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "ordering/relations.hpp"
+#include "search/search.hpp"
 #include "trace/trace.hpp"
 
 namespace evord {
@@ -45,20 +46,26 @@ struct ExactOptions {
   double time_budget_seconds = 0.0;
 
   /// Causal/interval engine: number of worker threads (0 = hardware
-  /// concurrency, 1 = serial).  The search is root-split across the
-  /// first-level enabled events; workers accumulate into private
-  /// per-class state merged associatively at the end, and deduplicate
-  /// classes AND class prefixes against shared sharded fingerprint sets,
-  /// so every distinct prefix state is expanded exactly once across all
-  /// workers.  Relation matrices, causal_classes, feasible_empty and —
-  /// absent budgets — schedules_seen are identical to the serial
-  /// engine's (tested).  All budgets (max_schedules, max_states and the
-  /// time budget) are strict and global across workers: they share one
+  /// concurrency, 1 = serial; every request is clamped to
+  /// search::max_worker_threads()).  The search runs on the
+  /// work-stealing scheduler: workers accumulate into private per-slot
+  /// state merged associatively at the end, and deduplicate classes AND
+  /// class prefixes against shared sharded fingerprint sets, so every
+  /// distinct prefix state is expanded exactly once across all workers.
+  /// Relation matrices, causal_classes, feasible_empty and — absent
+  /// budgets — schedules_seen are identical to the serial engine's
+  /// (tested), regardless of thread count, steal order or subtree
+  /// splits.  All budgets (max_schedules, max_states and the time
+  /// budget) are strict and global across workers: they share one
   /// search context, so a budget of N caps the combined total at N.
   /// Interleaving semantics also honors this: the memoized state-space
-  /// sweep root-splits across the same subtrees and its parallel results
-  /// are bit-identical to serial (docs/SEARCH.md).
+  /// sweep runs warming tasks on the same scheduler and its parallel
+  /// results are bit-identical to serial (docs/SEARCH.md).
   std::size_t num_threads = 1;
+
+  /// Work-stealing scheduler tuning (never affects results; see
+  /// search::StealOptions).
+  search::StealOptions steal;
 };
 
 /// Computes all six relations under the chosen semantics.

@@ -32,7 +32,12 @@
 //
 //   Enumeration hooks: `bool on_terminal(const std::vector<EventId>&)`
 //   (false stops the whole search), `void on_stuck(const
-//   std::vector<EventId>& path, std::uint64_t fp)`.
+//   std::vector<EventId>& path, std::uint64_t fp, const
+//   std::vector<std::uint32_t>& dewey)` — `dewey` is the stuck state's
+//   canonical DFS key (sibling index per depth, absolute from the
+//   explorer's seed point): lexicographic order on (length, dewey) is
+//   exactly the serial discovery order, which is what the deadlock
+//   witness merge keys on.
 //
 //   Memoized hooks: `kFirstHit` (stop at the first completable child),
 //   `bool child_allowed(EventId, const TraceStepper&)`,
@@ -41,6 +46,17 @@
 //   child was applied from), and `void on_completable_state(Search&,
 //   std::size_t depth)` (called once per completable state, before it is
 //   memoized; may re-enter the search via pair_completable()).
+//
+// Work stealing: in parallel mode each engine instance runs one
+// SearchTask on a scheduler worker (search/scheduler.hpp).  After
+// seeding, attach_worker() hands the engine its WorkerHandle; the DFS
+// then polls steal demand once per expanded state and answers it by
+// donating the deepest unexplored siblings of its current path as new
+// tasks (adaptive subtree splitting).  EnumerationSearch removes the
+// donated siblings from its own walk (the visit sets partition);
+// MemoizedSearch keeps them (a donated warming task and the donor may
+// race on the same states — the memo is idempotent, and the donor's own
+// completable verdicts must still OR over every child).
 //
 // Budget semantics (shared, via SharedContext):
 //   max_states    — claim-then-check: state #max_states is still claimed
@@ -58,17 +74,15 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "feasible/stepper.hpp"
 #include "search/fingerprint_set.hpp"
+#include "search/scheduler.hpp"
 #include "search/search.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace evord::search {
@@ -119,11 +133,11 @@ class SharedSetDedup {
   ShardedFingerprintSet* set_;
 };
 
-/// Per-worker full exploration with global distinct-state accounting:
-/// each worker prunes only against its own private set (so every worker
-/// expands its whole subtree deterministically, exactly as a serial
-/// search of that subtree would), while the shared set decides which
-/// worker's visit counts as the first claim.
+/// Per-task full exploration with global distinct-state accounting:
+/// each task prunes only against its own private set (so every task
+/// expands its whole region deterministically, exactly as a serial
+/// search of that region would), while the shared set decides which
+/// task's visit counts as the first claim.
 class PrivateSetDedup {
  public:
   static constexpr bool kEnabled = true;
@@ -141,8 +155,8 @@ class PrivateSetDedup {
 };
 
 /// State shared by every engine instance of one logical search (one
-/// instance per worker in root-split mode; the serial case uses a single
-/// context the same way).
+/// instance per scheduler task in parallel mode; the serial case uses a
+/// single context the same way).
 struct SharedContext {
   explicit SharedContext(const SearchOptions& options)
       : deadline(options.time_budget_seconds) {}
@@ -168,13 +182,7 @@ struct SharedContext {
   }
 };
 
-inline std::size_t resolve_num_threads(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
-}
-
-/// The first-level enabled events after `seed_prefix` — the root-split
+/// The first-level enabled events after `seed_prefix` — the initial task
 /// partition: every schedule extends exactly one of them, so subtrees
 /// can be explored independently.
 inline std::vector<EventId> root_events(
@@ -190,27 +198,20 @@ inline std::vector<EventId> root_events(
   return first;
 }
 
-/// The one shared root-split runner: executes `subtree(i)` for each of
-/// the `num_subtrees` first-level subtrees on `threads` pooled workers
-/// (skipping subtrees once a global stop is requested) and returns the
-/// associatively merged worker stats.  `subtree` builds, seeds and runs
-/// its own engine instance and returns that engine's SearchStats;
-/// engine-specific results (matrices, witnesses, accumulators) are
-/// written to per-subtree slots or merged inside `subtree` under the
-/// caller's own lock.
-template <class Subtree>
-SearchStats run_root_split(std::size_t num_subtrees, std::size_t threads,
-                           SharedContext& ctx, Subtree&& subtree) {
-  ThreadPool pool(threads);
-  std::mutex merge_mu;
-  SearchStats total;
-  pool.parallel_for(num_subtrees, [&](std::size_t i) {
-    if (ctx.stop_requested()) return;
-    const SearchStats stats = subtree(i);
-    std::lock_guard<std::mutex> lock(merge_mu);
-    total.merge(stats);
-  });
-  return total;
+/// Builds the initial work-stealing tasks: one per first-level enabled
+/// event after `seed_prefix`, with dewey key {i}.  Empty when the seeded
+/// state is already terminal or stuck (callers fall back to serial).
+inline std::vector<SearchTask> root_tasks(
+    const Trace& trace, const StepperOptions& stepper_options,
+    const std::vector<EventId>& seed_prefix = {}) {
+  const std::vector<EventId> first =
+      root_events(trace, stepper_options, seed_prefix);
+  std::vector<SearchTask> tasks(first.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    tasks[i].seed.push_back(first[i]);
+    tasks[i].dewey.push_back(static_cast<std::uint32_t>(i));
+  }
+  return tasks;
 }
 
 /// DFS over the schedule tree; delivers terminals and stuck prefixes.
@@ -225,13 +226,16 @@ class EnumerationSearch {
         stepper_(trace, stepper_options),
         tracker_(std::move(tracker)),
         dedup_(std::move(dedup)),
-        hooks_(std::move(hooks)) {
-    path_.reserve(trace.num_events());
-    enabled_stack_.reserve(trace.num_events() + 1);
+        hooks_(std::move(hooks)),
+        num_events_(trace.num_events()) {
+    path_.reserve(num_events_);
+    enabled_stack_.reserve(num_events_ + 1);
+    sibling_index_.reserve(num_events_ + 1);
+    stats_.depth_states.assign(num_events_ + 1, 0);
   }
 
-  /// Fast-forwards through `prefix` before searching (root-split seeding
-  /// and user seed prefixes).  Every event must be enabled in sequence.
+  /// Fast-forwards through `prefix` before searching (task seeding and
+  /// user seed prefixes).  Every event must be enabled in sequence.
   void seed(const std::vector<EventId>& prefix) {
     for (EventId e : prefix) {
       EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
@@ -239,6 +243,18 @@ class EnumerationSearch {
       stepper_.apply(e);
       path_.push_back(e);
     }
+  }
+
+  /// Enables adaptive subtree splitting for this scheduler task.  Must
+  /// be called after all seed() calls; `task->seed` must be the suffix
+  /// of the seeded path that belongs to the task (the rest is the user
+  /// seed prefix shared by every task).
+  void attach_worker(WorkerHandle* worker, const SearchTask* task) {
+    worker_ = worker;
+    task_ = task;
+    EVORD_CHECK(task->seed.size() <= path_.size(),
+                "task seed longer than the seeded path");
+    user_seed_len_ = path_.size() - task->seed.size();
   }
 
   SearchStats run() {
@@ -288,9 +304,55 @@ class EnumerationSearch {
     return true;
   }
 
+  /// The stuck state's canonical DFS key: the task's dewey prefix plus
+  /// the sibling index chosen at each depth of this walk.
+  const std::vector<std::uint32_t>& stuck_key(std::size_t depth) {
+    dewey_scratch_.clear();
+    if (task_ != nullptr) dewey_scratch_ = task_->dewey;
+    dewey_scratch_.insert(dewey_scratch_.end(), sibling_index_.begin(),
+                          sibling_index_.begin() + depth);
+    return dewey_scratch_;
+  }
+
+  /// Answers steal demand by donating the deepest unexplored siblings of
+  /// the current path that satisfy the grain/depth cutoffs, as one task
+  /// each.  The donated siblings are removed from this walk: the
+  /// enumeration visit sets partition across tasks, so the donor must
+  /// not revisit them.
+  void try_split(std::size_t cur_depth) {
+    const std::size_t seed_len = path_.size() - cur_depth;
+    for (std::size_t d = cur_depth; d-- > 0;) {
+      if (sibling_index_[d] + 1 >= enabled_stack_[d].size()) continue;
+      // Depth of a subtree donated from here, in events executed.
+      const std::size_t donated_depth = seed_len + d + 1;
+      if (options_.steal.max_split_depth != 0 &&
+          donated_depth > options_.steal.max_split_depth) {
+        continue;
+      }
+      if (num_events_ - donated_depth < options_.steal.grain) continue;
+      std::vector<EventId>& siblings = enabled_stack_[d];
+      for (std::size_t j = sibling_index_[d] + 1; j < siblings.size(); ++j) {
+        SearchTask task;
+        task.seed.assign(path_.begin() +
+                             static_cast<std::ptrdiff_t>(user_seed_len_),
+                         path_.begin() +
+                             static_cast<std::ptrdiff_t>(seed_len + d));
+        task.seed.push_back(siblings[j]);
+        task.dewey = task_->dewey;
+        task.dewey.insert(task.dewey.end(), sibling_index_.begin(),
+                          sibling_index_.begin() + d);
+        task.dewey.push_back(static_cast<std::uint32_t>(j));
+        worker_->spawn(std::move(task));
+      }
+      siblings.resize(sibling_index_[d] + 1);
+      return;
+    }
+  }
+
   /// Returns false to unwind the whole search (stop / strict budgets).
   bool dfs(std::size_t depth) {
     if (ctx_->stop_requested()) return false;
+    if (worker_ != nullptr && worker_->split_wanted()) try_split(depth);
     if (stepper_.complete()) return visit_terminal();
 
     std::uint64_t fp = 0;
@@ -304,6 +366,7 @@ class EnumerationSearch {
       std::uint64_t global;
       if (claim.first_claim) {
         ++stats_.states_visited;
+        ++stats_.depth_states[stepper_.num_executed()];
         global = ctx_->states.fetch_add(1, std::memory_order_relaxed) + 1;
       } else {
         global = ctx_->states.load(std::memory_order_relaxed);
@@ -317,6 +380,7 @@ class EnumerationSearch {
       }
     } else {
       ++stats_.states_visited;
+      ++stats_.depth_states[stepper_.num_executed()];
     }
     if ((++budget_poll_ & 255u) == 0 && ctx_->deadline.expired()) {
       stats_.truncated = true;
@@ -327,19 +391,25 @@ class EnumerationSearch {
 
     // One vector per depth, reused across siblings (capacity kept); the
     // ctor reserve keeps per-depth slots stable across recursion.
-    if (depth == enabled_stack_.size()) enabled_stack_.emplace_back();
+    if (depth == enabled_stack_.size()) {
+      enabled_stack_.emplace_back();
+      sibling_index_.push_back(0);
+    }
     stepper_.enabled_events(enabled_stack_[depth]);
     if (enabled_stack_[depth].empty()) {
       ++stats_.deadlocked_prefixes;
       if constexpr (!Dedup::kEnabled) {
         fp = tracker_.fingerprint(stepper_.state_hash());
       }
-      hooks_.on_stuck(path_, fp);
+      hooks_.on_stuck(path_, fp, stuck_key(depth));
       return true;
     }
     bool keep_going = true;
+    // The loop re-reads size() each iteration: try_split() deeper in the
+    // recursion may shrink this very vector to donate its tail.
     for (std::size_t i = 0;
          keep_going && i < enabled_stack_[depth].size(); ++i) {
+      sibling_index_[depth] = static_cast<std::uint32_t>(i);
       const EventId e = enabled_stack_[depth][i];
       const typename Tracker::Undo tu = tracker_.apply(e, stepper_.done_bits());
       const TraceStepper::Undo su = stepper_.apply(e);
@@ -361,7 +431,13 @@ class EnumerationSearch {
   SearchStats stats_;
   std::vector<EventId> path_;
   std::vector<std::vector<EventId>> enabled_stack_;
+  std::vector<std::uint32_t> sibling_index_;
+  std::vector<std::uint32_t> dewey_scratch_;
   std::vector<std::uint64_t> key_scratch_;
+  WorkerHandle* worker_ = nullptr;
+  const SearchTask* task_ = nullptr;
+  std::size_t user_seed_len_ = 0;
+  std::size_t num_events_;
   std::uint32_t budget_poll_ = 0;
 };
 
@@ -379,8 +455,10 @@ class MemoizedSearch {
         ctx_(ctx),
         memo_(memo),
         stepper_(trace, stepper_options),
-        hooks_(std::move(hooks)) {
-    enabled_stack_.reserve(trace.num_events() + 4);
+        hooks_(std::move(hooks)),
+        num_events_(trace.num_events()) {
+    enabled_stack_.reserve(num_events_ + 4);
+    stats_.depth_states.assign(num_events_ + 1, 0);
   }
 
   void seed(const std::vector<EventId>& prefix) {
@@ -388,6 +466,13 @@ class MemoizedSearch {
       EVORD_CHECK(stepper_.enabled(e), "seed prefix is not schedulable");
       stepper_.apply(e);
     }
+  }
+
+  /// Enables splitting (see try_split below).  Must be called after
+  /// seed(); memoized tasks carry their whole seed (no user prefix).
+  void attach_worker(WorkerHandle* worker, const SearchTask* task) {
+    worker_ = worker;
+    task_ = task;
   }
 
   /// True iff the current state can be extended to a complete schedule.
@@ -419,16 +504,30 @@ class MemoizedSearch {
       return false;
     }
 
-    if (depth >= enabled_stack_.size()) enabled_stack_.resize(depth + 1);
+    const bool tracked = worker_ != nullptr && suspend_ == 0;
+    if (depth >= enabled_stack_.size()) {
+      enabled_stack_.resize(depth + 1);
+      sibling_index_.resize(depth + 1, 0);
+      donated_upto_.resize(depth + 1, 0);
+    }
     stepper_.enabled_events(enabled_stack_[depth]);
+    if (tracked) {
+      donated_upto_[depth] = 0;
+      if (worker_->split_wanted()) try_split(depth);
+    }
     bool completable = false;
     // Iterate by index: recursion reuses deeper enabled_stack_ slots.
     for (std::size_t i = 0; i < enabled_stack_[depth].size(); ++i) {
       const EventId e = enabled_stack_[depth][i];
       if (!hooks_.child_allowed(e, stepper_)) continue;
+      if (tracked) {
+        sibling_index_[depth] = static_cast<std::uint32_t>(i);
+        path_.push_back(e);
+      }
       const TraceStepper::Undo u = stepper_.apply(e);
       const bool child_ok = explore(depth + 1);
       stepper_.undo(u);
+      if (tracked) path_.pop_back();
       if (child_ok) {
         completable = true;
         hooks_.on_child_completable(e, stepper_.done_bits());
@@ -438,6 +537,7 @@ class MemoizedSearch {
     if (completable) hooks_.on_completable_state(*this, depth);
     if (memo_->store(fp, completable, payload())) {
       ++stats_.states_visited;
+      ++stats_.depth_states[stepper_.num_executed()];
       ctx_->states.fetch_add(1, std::memory_order_relaxed);
     }
     return completable;
@@ -447,6 +547,9 @@ class MemoizedSearch {
   /// still complete?  Used by coexistence marking; re-enters explore() at
   /// `depth` (pass an unused stack index, e.g. current depth + 2).
   bool pair_completable(EventId first, EventId second, std::size_t depth) {
+    // The re-entrant walk is off the main DFS path: suspend path/sibling
+    // tracking (and thus splitting) until it returns.
+    ++suspend_;
     const TraceStepper::Undo u1 = stepper_.apply(first);
     bool ok = false;
     if (stepper_.enabled(second)) {
@@ -455,6 +558,7 @@ class MemoizedSearch {
       stepper_.undo(u2);
     }
     stepper_.undo(u1);
+    --suspend_;
     return ok;
   }
 
@@ -476,14 +580,59 @@ class MemoizedSearch {
     return &key_scratch_;
   }
 
+  /// Answers steal demand by donating the deepest eligible unexplored
+  /// siblings of the main walk as warming tasks.  Unlike the
+  /// enumeration engine, the donor KEEPS the donated children in its own
+  /// loop: the memoized verdict of each state must OR over all children,
+  /// so dropping any would store wrong memo values.  The donor's later
+  /// visit of a donated subtree hits whatever the thief already
+  /// memoized, so the duplicated walk collapses to memo lookups.
+  /// donated_upto_ stops re-donating the same siblings on every poll.
+  void try_split(std::size_t cur_depth) {
+    for (std::size_t d = cur_depth + 1; d-- > 0;) {
+      std::vector<EventId>& siblings = enabled_stack_[d];
+      const std::size_t from =
+          std::max<std::size_t>(d == cur_depth ? 0 : sibling_index_[d] + 1,
+                                donated_upto_[d]);
+      if (from >= siblings.size()) continue;
+      const std::size_t donated_depth = task_->seed.size() + d + 1;
+      if (options_.steal.max_split_depth != 0 &&
+          donated_depth > options_.steal.max_split_depth) {
+        continue;
+      }
+      if (num_events_ - donated_depth < options_.steal.grain) continue;
+      for (std::size_t j = from; j < siblings.size(); ++j) {
+        SearchTask task;
+        task.seed = task_->seed;
+        task.seed.insert(task.seed.end(), path_.begin(),
+                         path_.begin() + static_cast<std::ptrdiff_t>(d));
+        task.seed.push_back(siblings[j]);
+        task.dewey = task_->dewey;
+        task.dewey.insert(task.dewey.end(), sibling_index_.begin(),
+                          sibling_index_.begin() + d);
+        task.dewey.push_back(static_cast<std::uint32_t>(j));
+        worker_->spawn(std::move(task));
+      }
+      donated_upto_[d] = siblings.size();
+      return;
+    }
+  }
+
   SearchOptions options_;
   SharedContext* ctx_;
   FingerprintBoolMap* memo_;
   TraceStepper stepper_;
   Hooks hooks_;
   SearchStats stats_;
+  std::vector<EventId> path_;
   std::vector<std::vector<EventId>> enabled_stack_;
+  std::vector<std::uint32_t> sibling_index_;
+  std::vector<std::size_t> donated_upto_;
   std::vector<std::uint64_t> key_scratch_;
+  WorkerHandle* worker_ = nullptr;
+  const SearchTask* task_ = nullptr;
+  std::size_t num_events_;
+  int suspend_ = 0;
   std::uint32_t budget_poll_ = 0;
 };
 

@@ -54,6 +54,16 @@ std::uint64_t ShardedFingerprintSet::size() const {
   return total;
 }
 
+std::vector<std::uint64_t> ShardedFingerprintSet::shard_sizes() const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    sizes.push_back(shard->fingerprints.size());
+  }
+  return sizes;
+}
+
 FingerprintBoolMap::FingerprintBoolMap(std::size_t num_shards,
                                        bool synchronized,
                                        bool verify_collisions)
@@ -113,6 +123,17 @@ std::uint64_t FingerprintBoolMap::size() const {
     total += shard->values.size();
   }
   return total;
+}
+
+std::vector<std::uint64_t> FingerprintBoolMap::shard_sizes() const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mu, std::defer_lock);
+    if (synchronized_) lock.lock();
+    sizes.push_back(shard->values.size());
+  }
+  return sizes;
 }
 
 }  // namespace evord::search

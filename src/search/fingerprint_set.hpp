@@ -63,6 +63,10 @@ class ShardedFingerprintSet {
   /// only a snapshot while inserts are in flight.
   std::uint64_t size() const;
 
+  /// Per-shard element counts (load-factor diagnostics; the sharding
+  /// hash should spread these evenly).  Snapshot under concurrency.
+  std::vector<std::uint64_t> shard_sizes() const;
+
  private:
   struct Shard {
     std::mutex mu;
@@ -109,6 +113,10 @@ class FingerprintBoolMap {
 
   /// Total memoized states across all shards (snapshot under concurrency).
   std::uint64_t size() const;
+
+  /// Per-shard element counts (load-factor diagnostics).  Snapshot under
+  /// concurrency.
+  std::vector<std::uint64_t> shard_sizes() const;
 
  private:
   struct Shard {

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace evord::search {
 
@@ -25,6 +26,23 @@ enum class StopReason : std::uint8_t {
 
 const char* to_string(StopReason reason);
 
+/// Work-stealing scheduler tuning.  None of these affect results — the
+/// deterministic merges key on canonical task ids, so any split pattern
+/// and any victim order produce bit-identical output (the stress test in
+/// tests/search_test.cpp perturbs `seed` to prove it).
+struct StealOptions {
+  /// Minimum number of still-unexecuted events below a donated subtree
+  /// root.  Subtrees smaller than this are never split off, keeping the
+  /// task grain coarse enough to amortise task setup (seed replay).
+  std::size_t grain = 4;
+  /// Maximum schedule depth (events executed, counting the seed prefix)
+  /// at which a split may occur.  0 = no depth cutoff.
+  std::size_t max_split_depth = 0;
+  /// Seeds the per-worker victim-selection RNG.  Varying it perturbs the
+  /// steal order without affecting results.
+  std::uint64_t seed = 0;
+};
+
 /// Budgets shared by every engine.  All zero values mean "unlimited".
 struct SearchOptions {
   /// Stop expanding new distinct states after this many (global across
@@ -36,8 +54,24 @@ struct SearchOptions {
   std::uint64_t max_terminals = 0;
   /// Stop after this many seconds of wall clock.
   double time_budget_seconds = 0.0;
-  /// Root-split width: 0 = hardware concurrency, 1 = serial.
+  /// Worker count: 0 = hardware concurrency, 1 = serial.  Clamped to
+  /// max_worker_threads() (scheduler.hpp) so oversubscription is
+  /// impossible.
   std::size_t num_threads = 1;
+  /// Work-stealing knobs (steal_grain / max_split_depth / steal_seed).
+  StealOptions steal;
+};
+
+/// Per-worker scheduler counters (SearchStats::workers, one entry per
+/// worker thread of the work-stealing scheduler).
+struct WorkerStats {
+  std::uint64_t tasks_executed = 0;  ///< tasks this worker ran
+  std::uint64_t tasks_stolen = 0;    ///< of those, taken from another deque
+  std::uint64_t tasks_spawned = 0;   ///< tasks this worker split off
+  std::uint64_t steal_attempts = 0;  ///< victim probes (successful or not)
+  std::uint64_t idle_nanos = 0;      ///< time spent looking for work
+
+  void merge(const WorkerStats& other);
 };
 
 /// What one engine run did.  Per-worker instances are merged
@@ -50,13 +84,38 @@ struct SearchStats {
   std::uint64_t deadlocked_prefixes = 0;  ///< stuck states reached
   /// Bytes held by the dedup/memo store at the end of the search (the
   /// 8-byte-per-state fingerprint representation; debug payload retention
-  /// is excluded — it exists only to cross-check collisions).
+  /// is excluded — it exists only to cross-check collisions).  In
+  /// parallel mode this is set once from the shared stores, never summed
+  /// per worker (workers report 0), so shared-set insertions are not
+  /// double-counted.
   std::uint64_t memo_bytes = 0;
   bool truncated = false;          ///< a budget stopped the search
   bool stopped_by_visitor = false;
   StopReason stop_reason = StopReason::kNone;
 
+  /// States counted per schedule depth (events executed, including any
+  /// seed prefix), same counting rule as states_visited.  Element-wise
+  /// summed by merge().
+  std::vector<std::uint64_t> depth_states;
+  /// Per-worker scheduler counters; empty for serial runs.  Index-wise
+  /// merged (worker i of every task batch is the same OS thread).
+  std::vector<WorkerStats> workers;
+  /// Final per-shard sizes of the shared fingerprint store (load-factor
+  /// diagnostics); empty when the explorer used no shared store.  Set
+  /// once at top level; merge() adopts whichever side is non-empty.
+  std::vector<std::uint64_t> shard_sizes;
+
   void merge(const SearchStats& other);
+
+  std::uint64_t tasks_executed() const;
+  std::uint64_t tasks_stolen() const;
+  std::uint64_t tasks_spawned() const;
+  std::uint64_t steal_attempts() const;
+  std::uint64_t idle_nanos() const;
+  /// Peak depth_states entry and its depth; {0, 0} when no histogram.
+  std::uint64_t peak_depth() const;
+  /// max(shard size) / mean(shard size); 0 when no shard data.
+  double shard_imbalance() const;
 };
 
 }  // namespace evord::search

@@ -1,5 +1,8 @@
-// A fixed-size work-queue thread pool used by the feasible-execution
-// enumerator's root-split parallel mode.
+// A fixed-size work-queue thread pool for simple fork-join parallel_for
+// workloads.  The search core no longer runs on it — its parallel mode
+// moved to the work-stealing scheduler in search/scheduler.hpp, which
+// balances skewed subtrees dynamically — but the pool remains for
+// fixed-shape batch work.
 //
 // Design follows CP.4 (think in tasks, not threads), CP.20/CP.42 (RAII
 // locking, condition-guarded waits) and CP.26 (threads are joined in the

@@ -17,8 +17,10 @@
 #include "feasible/enumerate.hpp"
 #include "feasible/schedule_space.hpp"
 #include "feasible/stepper.hpp"
+#include "ordering/class_enumerate.hpp"
 #include "ordering/exact.hpp"
 #include "helpers.hpp"
+#include "search/search.hpp"
 #include "trace/builder.hpp"
 #include "util/rng.hpp"
 
@@ -345,6 +347,214 @@ TEST(StateHash, PathIndependentAndExactUnderUndo) {
       EXPECT_EQ(st.state_hash(), initial);  // exact restoration
     }
   }
+}
+
+// ----------------------------------------------------------------------
+// Steal-order stress (runs under the `tsan` and `scaling-smoke` ctest
+// labels): every explorer is run repeatedly at 2/4/8 workers with
+// perturbed seeded victim selection and maximally aggressive subtree
+// splitting (steal grain 0-1 instead of the default 4, so nearly every
+// DFS level is eligible for donation).  Results, witnesses and
+// strict-budget stop points must be bit-identical to serial on every
+// run — the scheduler may only change WHO explores a subtree, never
+// what is found.
+
+/// Perturbed scheduler tuning for stress run `run`: alternating split
+/// aggressiveness and a different victim-selection seed every time.
+search::StealOptions stress_steal(int run, std::size_t threads) {
+  search::StealOptions steal;
+  steal.grain = static_cast<std::size_t>(run % 2);
+  steal.seed = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(run + 1) +
+               threads;
+  return steal;
+}
+
+constexpr std::size_t kStressThreads[] = {2, 4, 8};
+constexpr int kStressRunsPerThreadCount = 4;  // 12 parallel runs total
+
+TEST(StealStress, EnumerateCountsAndBudgetStopsBitIdentical) {
+  const Trace t = small_random_trace(71, 10);
+  EnumerateOptions options;
+  const EnumerateStats serial = enumerate_schedules(
+      t, options, [](const std::vector<EventId>&) { return true; });
+
+  EnumerateOptions budgeted = options;
+  budgeted.max_schedules = serial.schedules / 2 + 1;
+
+  int run = 0;
+  for (const std::size_t threads : kStressThreads) {
+    for (int i = 0; i < kStressRunsPerThreadCount; ++i, ++run) {
+      options.steal = stress_steal(run, threads);
+      std::atomic<std::uint64_t> visits{0};
+      const EnumerateStats parallel = enumerate_schedules_parallel(
+          t, options,
+          [&visits](const std::vector<EventId>&) {
+            visits.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          },
+          threads);
+      EXPECT_EQ(parallel.schedules, serial.schedules)
+          << "run " << run << " threads " << threads;
+      EXPECT_EQ(visits.load(), serial.schedules);
+      EXPECT_EQ(parallel.deadlocked_prefixes, serial.deadlocked_prefixes);
+      EXPECT_FALSE(parallel.truncated);
+
+      // Strict budget: the stop point is exactly the budget, at every
+      // thread count and steal order.
+      budgeted.steal = options.steal;
+      std::atomic<std::uint64_t> capped{0};
+      const EnumerateStats stopped = enumerate_schedules_parallel(
+          t, budgeted,
+          [&capped](const std::vector<EventId>&) {
+            capped.fetch_add(1, std::memory_order_relaxed);
+            return true;
+          },
+          threads);
+      EXPECT_EQ(capped.load(), budgeted.max_schedules) << "run " << run;
+      EXPECT_EQ(stopped.schedules, budgeted.max_schedules);
+      EXPECT_TRUE(stopped.truncated);
+      EXPECT_EQ(stopped.search.stop_reason,
+                search::StopReason::kMaxTerminals);
+    }
+  }
+}
+
+TEST(StealStress, DeadlockWitnessBitIdentical) {
+  for (const std::uint64_t seed : {25u, 23u}) {
+    const Trace t =
+        seed == 25u ? deadlockable_trace() : small_random_trace(seed, 11);
+    DeadlockOptions options;
+    options.num_threads = 1;
+    const DeadlockReport serial = analyze_deadlocks(t, options);
+
+    int run = 0;
+    for (const std::size_t threads : kStressThreads) {
+      for (int i = 0; i < kStressRunsPerThreadCount; ++i, ++run) {
+        options.num_threads = threads;
+        options.steal = stress_steal(run, threads);
+        const DeadlockReport parallel = analyze_deadlocks(t, options);
+        EXPECT_EQ(parallel.can_deadlock, serial.can_deadlock)
+            << "run " << run << " threads " << threads;
+        EXPECT_EQ(parallel.witness_prefix, serial.witness_prefix)
+            << "run " << run << " threads " << threads;
+        EXPECT_EQ(parallel.stuck_states, serial.stuck_states);
+        EXPECT_EQ(parallel.states_visited, serial.states_visited);
+      }
+    }
+  }
+}
+
+TEST(StealStress, ScheduleSpaceMatricesBitIdentical) {
+  const Trace t = small_random_trace(72, 10);
+  ScheduleSpaceOptions options;
+  options.build_coexist = true;
+  options.num_threads = 1;
+  const CanPrecedeResult serial = compute_can_precede(t, options);
+
+  int run = 0;
+  for (const std::size_t threads : kStressThreads) {
+    for (int i = 0; i < kStressRunsPerThreadCount; ++i, ++run) {
+      options.num_threads = threads;
+      options.steal = stress_steal(run, threads);
+      const CanPrecedeResult parallel = compute_can_precede(t, options);
+      EXPECT_EQ(parallel.feasible_nonempty, serial.feasible_nonempty);
+      EXPECT_EQ(parallel.can_precede, serial.can_precede)
+          << "run " << run << " threads " << threads;
+      EXPECT_EQ(parallel.can_coexist, serial.can_coexist)
+          << "run " << run << " threads " << threads;
+      EXPECT_EQ(parallel.states_visited, serial.states_visited);
+    }
+  }
+}
+
+TEST(StealStress, ClassEnumerationCountsBitIdentical) {
+  const Trace t = small_random_trace(73, 10);
+  ClassEnumOptions options;
+  const ClassEnumStats serial = enumerate_causal_classes(
+      t, options, [](const std::vector<EventId>&) { return true; });
+
+  int run = 0;
+  for (const std::size_t threads : kStressThreads) {
+    for (int i = 0; i < kStressRunsPerThreadCount; ++i, ++run) {
+      options.steal = stress_steal(run, threads);
+      const ClassEnumStats parallel = enumerate_causal_classes_parallel(
+          t, options, threads,
+          [](std::size_t, const std::vector<EventId>&) { return true; });
+      EXPECT_EQ(parallel.schedules_visited, serial.schedules_visited)
+          << "run " << run << " threads " << threads;
+      EXPECT_EQ(parallel.distinct_prefixes, serial.distinct_prefixes);
+      EXPECT_EQ(parallel.deadlocked_prefixes, serial.deadlocked_prefixes);
+    }
+  }
+}
+
+TEST(StealStress, ExactRelationsBitIdentical) {
+  const Trace t = small_random_trace(74, 10);
+  for (const Semantics semantics :
+       {Semantics::kInterleaving, Semantics::kCausal, Semantics::kInterval}) {
+    ExactOptions options;
+    options.num_threads = 1;
+    const OrderingRelations serial = compute_exact(t, semantics, options);
+
+    int run = 0;
+    for (const std::size_t threads : kStressThreads) {
+      for (int i = 0; i < kStressRunsPerThreadCount; ++i, ++run) {
+        options.num_threads = threads;
+        options.steal = stress_steal(run, threads);
+        const OrderingRelations parallel =
+            compute_exact(t, semantics, options);
+        EXPECT_EQ(parallel.feasible_empty, serial.feasible_empty);
+        EXPECT_EQ(parallel.schedules_seen, serial.schedules_seen)
+            << "run " << run << " threads " << threads << " semantics "
+            << to_string(semantics);
+        EXPECT_EQ(parallel.causal_classes, serial.causal_classes);
+        for (const RelationKind k : kAllRelationKinds) {
+          EXPECT_EQ(parallel[k], serial[k])
+              << to_string(k) << " run " << run << " threads " << threads;
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Scheduler instrumentation: per-worker counters, the depth histogram
+// and shard load factors are filled in and consistent.
+
+TEST(StealStress, SchedulerCountersAndHistogramsSurfaced) {
+  const Trace t = small_random_trace(75, 10);
+  DeadlockOptions options;
+  options.num_threads = 4;
+  options.steal.grain = 1;
+  const DeadlockReport r = analyze_deadlocks(t, options);
+
+  // One WorkerStats per resolved worker; every executed task was either
+  // an initial root task or spawned by a split.
+  ASSERT_FALSE(r.search.workers.empty());
+  EXPECT_GT(r.search.tasks_executed(), 0u);
+  EXPECT_LE(r.search.tasks_stolen(), r.search.tasks_executed());
+
+  // The depth histogram counts every distinct state exactly once.
+  std::uint64_t histogram_total = 0;
+  for (const std::uint64_t c : r.search.depth_states) histogram_total += c;
+  EXPECT_EQ(histogram_total, r.search.states_visited);
+  EXPECT_LE(r.search.peak_depth(), t.num_events());
+
+  // Shard loads sum to the states in the shared fingerprint set.
+  std::uint64_t shard_total = 0;
+  for (const std::uint64_t s : r.search.shard_sizes) shard_total += s;
+  EXPECT_EQ(shard_total, r.search.states_visited);
+  EXPECT_GE(r.search.shard_imbalance(), 1.0);
+
+  // And the analyzer's text report mentions the scheduler when the
+  // exact analysis ran parallel.
+  ExactOptions eo;
+  eo.num_threads = 4;
+  eo.steal.grain = 1;
+  OrderingAnalyzer an(t, eo);
+  const std::string report = an.report(Semantics::kCausal);
+  EXPECT_NE(report.find("scheduler: workers="), std::string::npos);
+  EXPECT_NE(report.find("depth histogram:"), std::string::npos);
 }
 
 // ----------------------------------------------------------------------
