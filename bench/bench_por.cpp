@@ -1,0 +1,157 @@
+// Partial-order reduction experiment: the same class enumeration with
+// reduction off vs on (sleep + persistent sets, search/independence.hpp),
+// on the Theorem-1 reduction traces and the wide fork/join family where
+// pairwise-independent children make the unreduced schedule tree
+// maximally interleaved.
+//
+// Every off/on pair is checked for identical causal-class sets before
+// its wall times land in a row, so BENCH_por.json can never describe a
+// wrong answer.  Each row carries states/terminals/wall for both modes
+// plus `reduction_factor` = states_off / states_on.
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/reachability.hpp"
+#include "ordering/causal.hpp"
+#include "ordering/class_enumerate.hpp"
+#include "reductions/reduction.hpp"
+#include "search/search.hpp"
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace evord;
+using namespace evord::bench;
+
+// Canonical identity of a causal class: the closure rows of C(sigma).
+std::string class_fingerprint(const Trace& t,
+                              const std::vector<EventId>& schedule) {
+  const TransitiveClosure tc = causal_closure(t, schedule, {});
+  std::string fp;
+  for (EventId a = 0; a < t.num_events(); ++a) {
+    fp += tc.descendants(a).to_string();
+    fp += '|';
+  }
+  return fp;
+}
+
+struct ModeResult {
+  ClassEnumStats stats;
+  std::set<std::string> classes;
+  double wall_ms = 0.0;
+};
+
+ModeResult run_mode(const Trace& trace, search::ReductionMode mode) {
+  ModeResult r;
+  ClassEnumOptions options;
+  options.reduction = mode;
+  Timer timer;
+  r.stats = enumerate_causal_classes(
+      trace, options, [&](const std::vector<EventId>& s) {
+        r.classes.insert(class_fingerprint(trace, s));
+        return true;
+      });
+  r.wall_ms = static_cast<double>(timer.micros()) / 1000.0;
+  return r;
+}
+
+JsonRecord run_family(const std::string& workload, const Trace& trace) {
+  const ModeResult off = run_mode(trace, search::ReductionMode::kOff);
+  const ModeResult on =
+      run_mode(trace, search::ReductionMode::kSleepPersistent);
+  EVORD_CHECK(on.classes == off.classes,
+              workload << ": reduction changed the causal-class set");
+  const double factor =
+      on.stats.search.states_visited > 0
+          ? static_cast<double>(off.stats.search.states_visited) /
+                static_cast<double>(on.stats.search.states_visited)
+          : 0.0;
+  return JsonRecord{}
+      .add("engine", std::string("class_enumerate"))
+      .add("variant", std::string("por"))
+      .add("workload", workload)
+      .add("events", static_cast<std::uint64_t>(trace.num_events()))
+      .add("classes", static_cast<std::uint64_t>(off.classes.size()))
+      .add("states_off", off.stats.search.states_visited)
+      .add("states_on", on.stats.search.states_visited)
+      .add("terminals_off", off.stats.schedules_visited)
+      .add("terminals_on", on.stats.schedules_visited)
+      .add("wall_ms_off", off.wall_ms)
+      .add("wall_ms_on", on.wall_ms)
+      .add("sleep_pruned", on.stats.search.sleep_pruned)
+      .add("persistent_skipped", on.stats.search.persistent_skipped)
+      .add("reduction_factor", factor);
+}
+
+Trace theorem1_trace(const CnfFormula& formula) {
+  return execute_reduction(reduce_3sat(formula, SyncStyle::kSemaphore))
+      .trace;
+}
+
+std::vector<JsonRecord> run_por_sweep() {
+  std::vector<JsonRecord> rows;
+  rows.push_back(run_family("theorem1_sat", theorem1_trace(tiny_sat())));
+  rows.push_back(run_family("theorem1_unsat", theorem1_trace(tiny_unsat())));
+  for (const auto& [children, per_child] :
+       {std::pair<std::size_t, std::size_t>{4, 2}, {5, 2}, {4, 3}, {6, 2}}) {
+    const std::string name = "wide_fork_" + std::to_string(children) + "x" +
+                             std::to_string(per_child);
+    rows.push_back(
+        run_family(name, wide_fork_trace(children, per_child)));
+    // The acceptance bar: on the wide-fork family the reduced walk must
+    // visit at least 5x fewer states at identical results.
+    const JsonRecord& row = rows.back();
+    double factor = 0.0;
+    for (const auto& [key, value] : row.fields) {
+      if (key == "reduction_factor") factor = std::stod(value);
+    }
+    EVORD_CHECK(factor >= 5.0,
+                name << ": reduction factor " << factor << " < 5");
+  }
+  return rows;
+}
+
+// Timed off/on pair for the interactive benchmark runner.
+void BM_ClassEnum_WideFork_Unreduced(benchmark::State& state) {
+  const Trace t = wide_fork_trace(4, 2);
+  ClassEnumOptions options;
+  options.reduction = search::ReductionMode::kOff;
+  for (auto _ : state) {
+    const ClassEnumStats stats = enumerate_causal_classes(
+        t, options, [](const std::vector<EventId>&) { return true; });
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+void BM_ClassEnum_WideFork_Reduced(benchmark::State& state) {
+  const Trace t = wide_fork_trace(4, 2);
+  for (auto _ : state) {
+    const ClassEnumStats stats = enumerate_causal_classes(
+        t, {}, [](const std::vector<EventId>&) { return true; });
+    benchmark::DoNotOptimize(stats);
+  }
+}
+
+BENCHMARK(BM_ClassEnum_WideFork_Unreduced)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClassEnum_WideFork_Reduced)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!append_json_records("BENCH_por.json", run_por_sweep())) {
+    return 1;
+  }
+  return 0;
+}

@@ -79,6 +79,12 @@ std::string summarize_relations(const Trace& trace,
   os << "search: states=" << relations.search.states_visited
      << " dedup hits=" << relations.search.dedup_hits
      << " memo bytes=" << relations.search.memo_bytes << '\n';
+  if (relations.search.sleep_pruned != 0 ||
+      relations.search.persistent_skipped != 0) {
+    os << "reduction: sleep pruned=" << relations.search.sleep_pruned
+       << " persistent skipped=" << relations.search.persistent_skipped
+       << '\n';
+  }
   if (!relations.search.workers.empty()) {
     const search::SearchStats& s = relations.search;
     os << "scheduler: workers=" << s.workers.size()

@@ -1,5 +1,6 @@
 #include "feasible/deadlock.hpp"
 
+#include <memory>
 #include <mutex>
 #include <optional>
 
@@ -72,25 +73,37 @@ search::SearchOptions to_search_options(const DeadlockOptions& options) {
   so.time_budget_seconds = options.time_budget_seconds;
   so.num_threads = options.num_threads;
   so.steal = options.steal;
+  so.reduction = options.reduction;
   return so;
 }
 
 constexpr std::uint64_t kVisitedBytesPerState = 8;  ///< one fingerprint
 
-DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options) {
+DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options,
+                          const search::IndependenceRelation* indep) {
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet visited(1);
+  // Under reduction the visited claims key (state, sleep set) pairs, so
+  // the engine's per-visit deadlocked_prefixes can count one physical
+  // stuck frontier once per sleep context; a raw-fingerprint stuck set
+  // restores the distinct-stuck-state count (exactly as parallel mode
+  // always has).
+  const bool reduced = so.reduction != search::ReductionMode::kOff;
+  std::optional<search::ShardedFingerprintSet> stuck;
+  if (reduced) stuck.emplace(1, /*verify_collisions=*/false);
   WitnessCandidate witness;
   DeadlockReport report;
   DeadlockSearch<search::SharedSetDedup> engine(
       trace, options.stepper, so, &ctx, search::NullTracker{},
-      search::SharedSetDedup(&visited), DeadlockHooks{nullptr, &witness});
+      search::SharedSetDedup(&visited),
+      DeadlockHooks{reduced ? &*stuck : nullptr, &witness}, indep);
   report.search = engine.run();
   report.can_deadlock = witness.found;
   report.witness_prefix = std::move(witness.path);
   report.search.memo_bytes = visited.size() * kVisitedBytesPerState;
   report.search.shard_sizes = visited.shard_sizes();
+  if (reduced) report.search.deadlocked_prefixes = stuck->size();
   report.stuck_states = report.search.deadlocked_prefixes;
   report.states_visited = static_cast<std::size_t>(visited.size());
   report.truncated = report.search.truncated;
@@ -99,8 +112,10 @@ DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options) {
 
 DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
                             std::vector<search::SearchTask> roots,
-                            std::size_t threads) {
+                            std::size_t threads,
+                            const search::IndependenceRelation* indep) {
   search::SearchOptions so = to_search_options(options);
+  const bool reduced = so.reduction != search::ReductionMode::kOff;
   // Private-set tasks re-explore states their regions share (that is
   // what makes the witness deterministic), so on DAG-shaped state
   // spaces every extra task multiplies duplicated work.  Unless the
@@ -110,23 +125,34 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
   if (so.steal.max_split_depth == 0) so.steal.max_split_depth = 3;
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet visited(4 * threads);
-  // Claim fingerprints double as stuck-state identity, so this set can
-  // skip payload verification (see DeadlockHooks::on_stuck).
+  // Stuck states are identified by their raw state fingerprint (without
+  // reduction that IS the claim fingerprint, which already went through
+  // the visited set's collision check; under reduction the raw
+  // fingerprint is the same stepper hash, just not sleep-folded), so
+  // this set skips payload verification.
   search::ShardedFingerprintSet stuck(4 * threads,
                                       /*verify_collisions=*/false);
 
   // Count the root state once, as the serial search would at its first
   // explore() entry (tasks start at least one event in and never revisit
-  // it).
+  // it).  Under reduction the serial claim keys the (state, sleep set)
+  // pair — the root sleeps on nothing.
   {
     TraceStepper root(trace, options.stepper);
     std::vector<std::uint64_t> key;
     const std::vector<std::uint64_t>* payload = nullptr;
+    const std::vector<EventId> root_sleep;
     if (visited.verify_collisions()) {
       root.encode_key(key);
+      if (reduced) search::extend_key_with_sleep(root_sleep, key);
       payload = &key;
     }
-    visited.insert(root.state_hash(), payload);
+    std::uint64_t root_fp = root.state_hash();
+    if (reduced) {
+      root_fp = search::fold_sleep(root_fp,
+                                   search::sleep_set_hash(root_sleep));
+    }
+    visited.insert(root_fp, payload);
     ctx.states.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -139,9 +165,10 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
         DeadlockSearch<search::PrivateSetDedup> engine(
             trace, options.stepper, so, &ctx, search::NullTracker{},
             search::PrivateSetDedup(&visited),
-            DeadlockHooks{&stuck, &local});
+            DeadlockHooks{&stuck, &local}, indep);
         engine.seed(task.seed);
         engine.attach_worker(&worker, &task);
+        if (reduced) engine.set_initial_sleep(task.sleep);
         const search::SearchStats stats = engine.run();
         if (local.found) {
           std::lock_guard<std::mutex> lock(witness_mu);
@@ -180,14 +207,19 @@ DeadlockReport analyze_deadlocks(const Trace& trace,
                                  const DeadlockOptions& options) {
   const std::size_t threads =
       search::resolve_num_threads(options.num_threads);
+  std::unique_ptr<search::IndependenceRelation> indep;
+  if (options.reduction != search::ReductionMode::kOff) {
+    indep = std::make_unique<search::IndependenceRelation>(trace);
+  }
   if (threads > 1) {
-    std::vector<search::SearchTask> roots =
-        search::root_tasks(trace, options.stepper);
+    std::vector<search::SearchTask> roots = search::root_tasks(
+        trace, options.stepper, {}, options.reduction, indep.get());
     if (!roots.empty()) {
-      return run_parallel(trace, options, std::move(roots), threads);
+      return run_parallel(trace, options, std::move(roots), threads,
+                          indep.get());
     }
   }
-  return run_serial(trace, options);
+  return run_serial(trace, options, indep.get());
 }
 
 }  // namespace evord

@@ -36,6 +36,12 @@ struct DeadlockOptions {
   /// (witness determinism), so a max_split_depth of 0 is replaced by a
   /// small default cap rather than unlimited splitting.
   search::StealOptions steal;
+  /// Partial-order reduction (search/independence.hpp).  ON by default:
+  /// sleep + persistent sets preserve every reachable transition-less
+  /// state, so the verdict and the distinct-stuck-state count are exact
+  /// and the witness is a valid stuck prefix (though not necessarily
+  /// the globally shortest one — turn reduction off for that).
+  search::ReductionMode reduction = search::ReductionMode::kSleepPersistent;
 };
 
 struct DeadlockReport {

@@ -1,5 +1,6 @@
 #include "feasible/enumerate.hpp"
 
+#include <memory>
 #include <optional>
 
 #include "search/engine.hpp"
@@ -27,6 +28,9 @@ search::SearchOptions to_search_options(const EnumerateOptions& options) {
   so.max_terminals = options.max_schedules;
   so.time_budget_seconds = options.time_budget_seconds;
   so.steal = options.steal;
+  if (options.representatives_only) {
+    so.reduction = search::ReductionMode::kSleepPersistent;
+  }
   return so;
 }
 
@@ -47,8 +51,12 @@ EnumerateStats enumerate_schedules(const Trace& trace,
                                    const ScheduleVisitor& visit) {
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
+  std::unique_ptr<search::IndependenceRelation> indep;
+  if (so.reduction != search::ReductionMode::kOff) {
+    indep = std::make_unique<search::IndependenceRelation>(trace);
+  }
   EnumSearch engine(trace, options.stepper, so, &ctx, search::NullTracker{},
-                    search::NoDedup{}, EnumHooks{&visit});
+                    search::NoDedup{}, EnumHooks{&visit}, indep.get());
   engine.seed(options.seed_prefix);
   return finish(engine.run());
 }
@@ -68,8 +76,15 @@ EnumerateStats enumerate_schedules_parallel_indexed(
   // tasks share one SharedContext, so max_schedules caps the combined
   // visit count exactly.
   const std::size_t threads = search::resolve_num_threads(num_threads);
-  std::vector<search::SearchTask> roots =
-      search::root_tasks(trace, options.stepper, options.seed_prefix);
+  const search::ReductionMode reduction =
+      options.representatives_only ? search::ReductionMode::kSleepPersistent
+                                   : search::ReductionMode::kOff;
+  std::unique_ptr<search::IndependenceRelation> indep;
+  if (reduction != search::ReductionMode::kOff) {
+    indep = std::make_unique<search::IndependenceRelation>(trace);
+  }
+  std::vector<search::SearchTask> roots = search::root_tasks(
+      trace, options.stepper, options.seed_prefix, reduction, indep.get());
   if (threads <= 1 || roots.empty()) {
     // Serial fallback also covers empty traces and deadlocked roots.
     const ScheduleVisitor wrapped = [&](const std::vector<EventId>& s) {
@@ -89,10 +104,11 @@ EnumerateStats enumerate_schedules_parallel_indexed(
             };
         EnumSearch engine(trace, options.stepper, so, &ctx,
                           search::NullTracker{}, search::NoDedup{},
-                          EnumHooks{&sub});
+                          EnumHooks{&sub}, indep.get());
         engine.seed(options.seed_prefix);
         engine.seed(task.seed);
         engine.attach_worker(&worker, &task);
+        if (indep != nullptr) engine.set_initial_sleep(task.sleep);
         return engine.run();
       });
   return finish(total);

@@ -42,6 +42,15 @@ struct EnumerateOptions {
   /// Work-stealing scheduler tuning (parallel variant only; never
   /// affects results).
   search::StealOptions steal;
+  /// Opt-in partial-order reduction: visit only representative schedules
+  /// (at least one per Mazurkiewicz trace / causal class) instead of all
+  /// of them.  OFF by default because it changes this engine's contract:
+  /// schedule counts drop, and per-schedule accumulation (e.g. "does any
+  /// schedule order a before b") under-approximates when a/b commute.
+  /// Feasibility ("does a complete schedule exist") and deadlocked-
+  /// prefix reachability remain exact.  When set, SearchOptions
+  /// ReductionMode::kSleepPersistent is applied.
+  bool representatives_only = false;
 };
 
 struct EnumerateStats {

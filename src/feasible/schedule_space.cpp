@@ -1,5 +1,6 @@
 #include "feasible/schedule_space.hpp"
 
+#include <memory>
 #include <mutex>
 
 #include "search/engine.hpp"
@@ -85,11 +86,18 @@ constexpr std::uint64_t kMemoBytesPerState = 9;
 CanPrecedeResult run_search(const Trace& trace,
                             const ScheduleSpaceOptions& options,
                             bool build_matrix) {
-  const search::SearchOptions so = to_search_options(options);
+  search::SearchOptions so = to_search_options(options);
+  if (options.representatives_only) {
+    so.reduction = search::ReductionMode::kSleepPersistent;
+  }
+  std::unique_ptr<search::IndependenceRelation> indep;
+  if (so.reduction != search::ReductionMode::kOff) {
+    indep = std::make_unique<search::IndependenceRelation>(trace);
+  }
   const std::size_t threads =
       search::resolve_num_threads(options.num_threads);
-  std::vector<search::SearchTask> roots =
-      search::root_tasks(trace, options.stepper);
+  std::vector<search::SearchTask> roots = search::root_tasks(
+      trace, options.stepper, {}, so.reduction, indep.get());
 
   CanPrecedeResult result;
   init_matrices(trace, options, build_matrix, result);
@@ -101,7 +109,8 @@ CanPrecedeResult run_search(const Trace& trace,
         trace, options.stepper, so, &ctx, &memo,
         CanPrecedeHooks{build_matrix ? &result.can_precede : nullptr,
                         options.build_coexist ? &result.can_coexist
-                                              : nullptr});
+                                              : nullptr},
+        indep.get());
     result.feasible_nonempty = engine.explore(0);
     result.search = engine.stats();
     result.search.memo_bytes = memo.size() * kMemoBytesPerState;
@@ -130,9 +139,11 @@ CanPrecedeResult run_search(const Trace& trace,
             trace, options.stepper, so, &ctx, &memo,
             CanPrecedeHooks{build_matrix ? &local.can_precede : nullptr,
                             options.build_coexist ? &local.can_coexist
-                                                  : nullptr});
+                                                  : nullptr},
+            indep.get());
         engine.seed(task.seed);
         engine.attach_worker(&worker, &task);
+        if (indep != nullptr) engine.set_initial_sleep(task.sleep);
         engine.explore(0);
         return engine.take_stats();
       });
@@ -144,7 +155,8 @@ CanPrecedeResult run_search(const Trace& trace,
   SpaceSearch engine(
       trace, options.stepper, so, &ctx, &memo,
       CanPrecedeHooks{build_matrix ? &result.can_precede : nullptr,
-                      options.build_coexist ? &result.can_coexist : nullptr});
+                      options.build_coexist ? &result.can_coexist : nullptr},
+      indep.get());
   result.feasible_nonempty = engine.explore(0);
   result.search = engine.stats();
   result.search.merge(worker_stats);
@@ -192,6 +204,9 @@ struct PairHooks {
 PairQueryResult can_precede_pair(const Trace& trace, EventId first,
                                  EventId second,
                                  const ScheduleSpaceOptions& options) {
+  // Never reduced (representatives_only is deliberately ignored): the
+  // query's verdict is an exact "does such a schedule exist", and the
+  // pruning hooks already restrict the walk.
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
   search::FingerprintBoolMap memo(1, /*synchronized=*/false);

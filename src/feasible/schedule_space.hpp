@@ -52,6 +52,14 @@ struct ScheduleSpaceOptions {
   std::size_t num_threads = 1;
   /// Work-stealing scheduler tuning (never affects results).
   search::StealOptions steal;
+  /// Opt-in partial-order reduction for the sweep.  OFF by default
+  /// because it changes the contract: the feasibility verdict stays
+  /// exact (sleep + persistent sets preserve terminal reachability), but
+  /// can_precede / can_coexist become under-approximations — marks come
+  /// only from states and children the reduced walk expands.  Ignored by
+  /// can_precede_pair (the pair query's verdict must stay exact).  When
+  /// set, SearchOptions ReductionMode::kSleepPersistent is applied.
+  bool representatives_only = false;
 };
 
 struct CanPrecedeResult {

@@ -1,6 +1,7 @@
 #include "ordering/class_enumerate.hpp"
 
 #include <deque>
+#include <memory>
 
 #include "search/engine.hpp"
 #include "util/check.hpp"
@@ -282,6 +283,7 @@ search::SearchOptions to_search_options(const ClassEnumOptions& options) {
   so.max_terminals = options.max_schedules;
   so.time_budget_seconds = options.time_budget_seconds;
   so.steal = options.steal;
+  so.reduction = options.reduction;
   return so;
 }
 
@@ -308,10 +310,13 @@ ClassEnumStats enumerate_causal_classes(
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet prefix_seen;
+  const bool reduced = so.reduction != search::ReductionMode::kOff;
+  std::unique_ptr<search::IndependenceRelation> indep;
+  if (reduced) indep = std::make_unique<search::IndependenceRelation>(trace);
   ClassSearch engine(trace, options.stepper, so, &ctx,
                      CausalTracker(trace, options.causal),
                      search::SharedSetDedup(&prefix_seen),
-                     ClassHooks{&visit});
+                     ClassHooks{&visit}, indep.get());
   engine.seed(options.seed_prefix);
   return finish(engine.run(), prefix_seen);
 }
@@ -328,8 +333,12 @@ ClassEnumStats enumerate_causal_classes_parallel(
     const std::function<bool(std::size_t, const std::vector<EventId>&)>&
         visit) {
   const std::size_t threads = search::resolve_num_threads(num_threads);
-  std::vector<search::SearchTask> roots =
-      search::root_tasks(trace, options.stepper, options.seed_prefix);
+  const bool reduced = options.reduction != search::ReductionMode::kOff;
+  std::unique_ptr<search::IndependenceRelation> indep;
+  if (reduced) indep = std::make_unique<search::IndependenceRelation>(trace);
+  std::vector<search::SearchTask> roots = search::root_tasks(
+      trace, options.stepper, options.seed_prefix, options.reduction,
+      indep.get());
   if (threads <= 1 || roots.empty()) {
     // Serial fallback also covers empty traces and deadlocked roots.
     const std::function<bool(const std::vector<EventId>&)> wrapped =
@@ -357,13 +366,22 @@ ClassEnumStats enumerate_causal_classes_parallel(
     }
     std::vector<std::uint64_t> key;
     const std::vector<std::uint64_t>* payload = nullptr;
+    const std::vector<EventId> root_sleep;  // the root sleeps on nothing
     if (prefix_seen.verify_collisions()) {
       root_stepper.encode_key(key);
       root_tracker.extend_key(root_stepper.done_bits(), key);
+      if (reduced) search::extend_key_with_sleep(root_sleep, key);
       payload = &key;
     }
-    prefix_seen.insert(root_tracker.fingerprint(root_stepper.state_hash()),
-                       payload);
+    std::uint64_t root_fp =
+        root_tracker.fingerprint(root_stepper.state_hash());
+    if (reduced) {
+      // Must match the serial engine's claim key exactly: the (state,
+      // sleep set) pair, with an empty sleep set at the root.
+      root_fp = search::fold_sleep(root_fp,
+                                   search::sleep_set_hash(root_sleep));
+    }
+    prefix_seen.insert(root_fp, payload);
     ctx.states.fetch_add(1, std::memory_order_relaxed);
     total.states_visited = 1;
     total.depth_states.assign(trace.num_events() + 1, 0);
@@ -380,10 +398,11 @@ ClassEnumStats enumerate_causal_classes_parallel(
         ClassSearch engine(trace, options.stepper, so, &ctx,
                            CausalTracker(trace, options.causal),
                            search::SharedSetDedup(&prefix_seen),
-                           ClassHooks{&sub});
+                           ClassHooks{&sub}, indep.get());
         engine.seed(options.seed_prefix);
         engine.seed(task.seed);
         engine.attach_worker(&worker, &task);
+        if (reduced) engine.set_initial_sleep(task.sleep);
         return engine.run();
       }));
   return finish(total, prefix_seen);

@@ -49,6 +49,13 @@ struct ClassEnumOptions {
   /// Work-stealing scheduler tuning (parallel variant only; never
   /// affects results).
   search::StealOptions steal;
+  /// Partial-order reduction (search/independence.hpp).  ON by default:
+  /// class enumeration accumulates over causal classes, and sleep +
+  /// persistent sets preserve every complete causal class (the pruned
+  /// schedules are causal-equivalent permutations of explored ones) and
+  /// every deadlocked frontier.  Schedule COUNTS drop under reduction —
+  /// use the plain enumerator for counting.
+  search::ReductionMode reduction = search::ReductionMode::kSleepPersistent;
 };
 
 struct ClassEnumStats {

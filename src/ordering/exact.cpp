@@ -240,6 +240,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     co.max_schedules = options.max_schedules;
     co.time_budget_seconds = options.time_budget_seconds;
     co.steal = options.steal;
+    co.reduction = options.reduction;
     if (num_threads <= 1) {
       CausalAccumulator acc(trace, causal, dedup);
       const ClassEnumStats stats = enumerate_causal_classes(

@@ -39,6 +39,16 @@ struct ExactOptions {
   /// faster on traces where many schedules share a causal order; results
   /// are identical (tested), only `schedules_seen` shrinks.
   bool class_dedup = true;
+  /// Causal/interval engine, class_dedup path only: partial-order
+  /// reduction in the underlying class enumeration
+  /// (search/independence.hpp).  ON by default — reduction preserves the
+  /// set of complete causal classes (pruned schedules are commuting
+  /// permutations of explored ones), so the relation matrices,
+  /// causal_classes and feasible_empty are unchanged; only
+  /// `schedules_seen` shrinks further.  Ignored with class_dedup ==
+  /// false (the plain enumerator's schedule counts stay exact) and by
+  /// interleaving semantics (its matrices need the unreduced sweep).
+  search::ReductionMode reduction = search::ReductionMode::kSleepPersistent;
   /// Interleaving engine: stop after this many distinct states
   /// (0 = unlimited).
   std::size_t max_states = 4'000'000;

@@ -47,6 +47,20 @@
 //   std::size_t depth)` (called once per completable state, before it is
 //   memoized; may re-enter the search via pair_completable()).
 //
+// Partial-order reduction (SearchOptions::reduction != kOff): both
+// engines thread a sleep set through the DFS — inherited along edges,
+// extended across explored siblings — and, under kSleepPersistent,
+// expand only a persistent subset of the enabled events at each state
+// (search/independence.hpp).  Dedup/memo claims then key on the
+// (state, sleep set) pair: the reduced subtree below a node is a
+// deterministic function of exactly that pair, which keeps pruning
+// sound and the parallel walk bit-identical to serial.  Donated tasks
+// carry their subtree root's sleep set in SearchTask::sleep.  Stuck
+// states are still reported under their raw state fingerprint (not
+// sleep-folded), so distinct-stuck-state counting is reduction-blind.
+// Soundness per explorer is a front-end decision; see docs/SEARCH.md
+// §POR.
+//
 // Work stealing: in parallel mode each engine instance runs one
 // SearchTask on a scheduler worker (search/scheduler.hpp).  After
 // seeding, attach_worker() hands the engine its WorkerHandle; the DFS
@@ -72,6 +86,7 @@
 //   deadline      — polled every 256 states; trips request a global stop.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <unordered_set>
@@ -79,6 +94,7 @@
 
 #include "feasible/stepper.hpp"
 #include "search/fingerprint_set.hpp"
+#include "search/independence.hpp"
 #include "search/scheduler.hpp"
 #include "search/search.hpp"
 #include "trace/trace.hpp"
@@ -201,15 +217,37 @@ inline std::vector<EventId> root_events(
 /// Builds the initial work-stealing tasks: one per first-level enabled
 /// event after `seed_prefix`, with dewey key {i}.  Empty when the seeded
 /// state is already terminal or stuck (callers fall back to serial).
+/// Under reduction the first level is reduced exactly as the serial
+/// engine would reduce it — tasks cover the persistent subset only, and
+/// each carries the sleep set its subtree root inherits from its earlier
+/// siblings — so the parallel walk covers the same reduced tree.
 inline std::vector<SearchTask> root_tasks(
     const Trace& trace, const StepperOptions& stepper_options,
-    const std::vector<EventId>& seed_prefix = {}) {
-  const std::vector<EventId> first =
-      root_events(trace, stepper_options, seed_prefix);
+    const std::vector<EventId>& seed_prefix = {},
+    ReductionMode reduction = ReductionMode::kOff,
+    const IndependenceRelation* indep = nullptr) {
+  TraceStepper stepper(trace, stepper_options);
+  for (EventId e : seed_prefix) {
+    EVORD_CHECK(stepper.enabled(e), "seed prefix is not schedulable");
+    stepper.apply(e);
+  }
+  std::vector<EventId> first;
+  stepper.enabled_events(first);
+  if (reduction == ReductionMode::kSleepPersistent && indep != nullptr &&
+      !first.empty()) {
+    PersistentSetSelector selector(indep);
+    std::vector<EventId> chosen;
+    selector.select(stepper, first, chosen);
+    first = std::move(chosen);
+  }
   std::vector<SearchTask> tasks(first.size());
+  const std::vector<EventId> no_sleep;
   for (std::size_t i = 0; i < first.size(); ++i) {
     tasks[i].seed.push_back(first[i]);
     tasks[i].dewey.push_back(static_cast<std::uint32_t>(i));
+    if (reduction != ReductionMode::kOff && indep != nullptr) {
+      child_sleep_set(*indep, no_sleep, first, i, tasks[i].sleep);
+    }
   }
   return tasks;
 }
@@ -220,14 +258,21 @@ class EnumerationSearch {
  public:
   EnumerationSearch(const Trace& trace, const StepperOptions& stepper_options,
                     const SearchOptions& options, SharedContext* ctx,
-                    Tracker tracker, Dedup dedup, Hooks hooks)
+                    Tracker tracker, Dedup dedup, Hooks hooks,
+                    const IndependenceRelation* indep = nullptr)
       : options_(options),
         ctx_(ctx),
         stepper_(trace, stepper_options),
         tracker_(std::move(tracker)),
         dedup_(std::move(dedup)),
         hooks_(std::move(hooks)),
+        indep_(indep),
+        selector_(indep),
+        reduce_(options.reduction != ReductionMode::kOff),
+        persistent_(options.reduction == ReductionMode::kSleepPersistent),
         num_events_(trace.num_events()) {
+    EVORD_CHECK(!reduce_ || indep_ != nullptr,
+                "reduction requires an IndependenceRelation");
     path_.reserve(num_events_);
     enabled_stack_.reserve(num_events_ + 1);
     sibling_index_.reserve(num_events_ + 1);
@@ -257,7 +302,15 @@ class EnumerationSearch {
     user_seed_len_ = path_.size() - task->seed.size();
   }
 
+  /// Installs the sleep set of the engine's start state (the subtree
+  /// root a task replays to; see SearchTask::sleep).  Reduction only;
+  /// must be called before run().
+  void set_initial_sleep(std::vector<EventId> sleep) {
+    initial_sleep_ = std::move(sleep);
+  }
+
   SearchStats run() {
+    if (reduce_) sleep_stack_.assign(1, initial_sleep_);
     dfs(0);
     return stats_;
   }
@@ -270,10 +323,13 @@ class EnumerationSearch {
     if (stats_.stop_reason == StopReason::kNone) stats_.stop_reason = reason;
   }
 
-  const std::vector<std::uint64_t>* payload() {
+  const std::vector<std::uint64_t>* payload(std::size_t depth) {
     if (!dedup_.verify_collisions()) return nullptr;
     stepper_.encode_key(key_scratch_);
     tracker_.extend_key(stepper_.done_bits(), key_scratch_);
+    // Under reduction the claim keys the (state, sleep set) pair, so the
+    // collision-check payload must cover the sleep set too.
+    if (reduce_) extend_key_with_sleep(sleep_stack_[depth], key_scratch_);
     return &key_scratch_;
   }
 
@@ -342,6 +398,12 @@ class EnumerationSearch {
         task.dewey.insert(task.dewey.end(), sibling_index_.begin(),
                           sibling_index_.begin() + d);
         task.dewey.push_back(static_cast<std::uint32_t>(j));
+        if (reduce_) {
+          // The stolen subtree starts from exactly the sleep set the
+          // serial walk would carry into sibling j.
+          child_sleep_set(*indep_, sleep_stack_[d], enabled_stack_[d], j,
+                          task.sleep);
+        }
         worker_->spawn(std::move(task));
       }
       siblings.resize(sibling_index_[d] + 1);
@@ -358,7 +420,9 @@ class EnumerationSearch {
     std::uint64_t fp = 0;
     if constexpr (Dedup::kEnabled) {
       fp = tracker_.fingerprint(stepper_.state_hash());
-      const ClaimResult claim = dedup_.claim(fp, payload());
+      const std::uint64_t claim_fp =
+          reduce_ ? fold_sleep(fp, sleep_set_hash(sleep_stack_[depth])) : fp;
+      const ClaimResult claim = dedup_.claim(claim_fp, payload(depth));
       if (!claim.expand) {
         ++stats_.dedup_hits;
         return true;
@@ -395,14 +459,53 @@ class EnumerationSearch {
       enabled_stack_.emplace_back();
       sibling_index_.push_back(0);
     }
-    stepper_.enabled_events(enabled_stack_[depth]);
-    if (enabled_stack_[depth].empty()) {
-      ++stats_.deadlocked_prefixes;
-      if constexpr (!Dedup::kEnabled) {
-        fp = tracker_.fingerprint(stepper_.state_hash());
+    if (reduce_) {
+      stepper_.enabled_events(full_enabled_);
+      if (full_enabled_.empty()) {
+        ++stats_.deadlocked_prefixes;
+        if constexpr (!Dedup::kEnabled) {
+          fp = tracker_.fingerprint(stepper_.state_hash());
+        }
+        // Stuck states report their RAW state fingerprint: the same
+        // deadlocked frontier reached under different sleep contexts is
+        // one stuck state, not several.
+        hooks_.on_stuck(path_, fp, stuck_key(depth));
+        return true;
       }
-      hooks_.on_stuck(path_, fp, stuck_key(depth));
-      return true;
+      std::vector<EventId>& selected = enabled_stack_[depth];
+      if (persistent_) {
+        selector_.select(stepper_, full_enabled_, selected);
+        stats_.persistent_skipped += full_enabled_.size() - selected.size();
+      } else {
+        selected = full_enabled_;
+      }
+      // Drop sleeping events (every schedule through them is equivalent
+      // to one already explored from an earlier sibling of an ancestor).
+      const std::vector<EventId>& zset = sleep_stack_[depth];
+      if (!zset.empty()) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+          if (std::binary_search(zset.begin(), zset.end(), selected[i])) {
+            ++stats_.sleep_pruned;
+          } else {
+            selected[kept++] = selected[i];
+          }
+        }
+        selected.resize(kept);
+      }
+      // Fully slept: not stuck — the state has enabled events, they are
+      // just all covered by earlier exploration.
+      if (selected.empty()) return true;
+    } else {
+      stepper_.enabled_events(enabled_stack_[depth]);
+      if (enabled_stack_[depth].empty()) {
+        ++stats_.deadlocked_prefixes;
+        if constexpr (!Dedup::kEnabled) {
+          fp = tracker_.fingerprint(stepper_.state_hash());
+        }
+        hooks_.on_stuck(path_, fp, stuck_key(depth));
+        return true;
+      }
     }
     bool keep_going = true;
     // The loop re-reads size() each iteration: try_split() deeper in the
@@ -411,6 +514,11 @@ class EnumerationSearch {
          keep_going && i < enabled_stack_[depth].size(); ++i) {
       sibling_index_[depth] = static_cast<std::uint32_t>(i);
       const EventId e = enabled_stack_[depth][i];
+      if (reduce_) {
+        if (sleep_stack_.size() < depth + 2) sleep_stack_.resize(depth + 2);
+        child_sleep_set(*indep_, sleep_stack_[depth], enabled_stack_[depth], i,
+                        sleep_stack_[depth + 1]);
+      }
       const typename Tracker::Undo tu = tracker_.apply(e, stepper_.done_bits());
       const TraceStepper::Undo su = stepper_.apply(e);
       path_.push_back(e);
@@ -434,6 +542,13 @@ class EnumerationSearch {
   std::vector<std::uint32_t> sibling_index_;
   std::vector<std::uint32_t> dewey_scratch_;
   std::vector<std::uint64_t> key_scratch_;
+  const IndependenceRelation* indep_;
+  PersistentSetSelector selector_;
+  bool reduce_;
+  bool persistent_;
+  std::vector<std::vector<EventId>> sleep_stack_;  ///< sleep set per depth
+  std::vector<EventId> initial_sleep_;
+  std::vector<EventId> full_enabled_;  ///< pre-reduction enabled scratch
   WorkerHandle* worker_ = nullptr;
   const SearchTask* task_ = nullptr;
   std::size_t user_seed_len_ = 0;
@@ -450,13 +565,20 @@ class MemoizedSearch {
  public:
   MemoizedSearch(const Trace& trace, const StepperOptions& stepper_options,
                  const SearchOptions& options, SharedContext* ctx,
-                 FingerprintBoolMap* memo, Hooks hooks)
+                 FingerprintBoolMap* memo, Hooks hooks,
+                 const IndependenceRelation* indep = nullptr)
       : options_(options),
         ctx_(ctx),
         memo_(memo),
         stepper_(trace, stepper_options),
         hooks_(std::move(hooks)),
+        indep_(indep),
+        selector_(indep),
+        reduce_(options.reduction != ReductionMode::kOff),
+        persistent_(options.reduction == ReductionMode::kSleepPersistent),
         num_events_(trace.num_events()) {
+    EVORD_CHECK(!reduce_ || indep_ != nullptr,
+                "reduction requires an IndependenceRelation");
     enabled_stack_.reserve(num_events_ + 4);
     stats_.depth_states.assign(num_events_ + 1, 0);
   }
@@ -475,15 +597,28 @@ class MemoizedSearch {
     task_ = task;
   }
 
+  /// Installs the sleep set of the engine's start state (see
+  /// SearchTask::sleep).  Reduction only; call before explore(0).
+  void set_initial_sleep(std::vector<EventId> sleep) {
+    sleep_stack_.assign(1, std::move(sleep));
+  }
+
   /// True iff the current state can be extended to a complete schedule.
   /// `depth` indexes the per-depth scratch stack; re-entrant calls (from
   /// on_completable_state hooks) must pass an index beyond the depths in
   /// use.
   bool explore(std::size_t depth) {
     if (stepper_.complete()) return true;
-    const std::uint64_t fp = stepper_.state_hash();
+    // Under reduction the memo keys the (state, sleep set) pair: the
+    // reduced completability verdict below a node is a deterministic
+    // function of exactly that pair.  New slots start empty (Z = ∅).
+    if (reduce_ && depth >= sleep_stack_.size()) {
+      sleep_stack_.resize(depth + 1);
+    }
+    std::uint64_t fp = stepper_.state_hash();
+    if (reduce_) fp = fold_sleep(fp, sleep_set_hash(sleep_stack_[depth]));
     bool memoized = false;
-    if (memo_->lookup(fp, &memoized, payload())) {
+    if (memo_->lookup(fp, &memoized, payload(depth))) {
       ++stats_.dedup_hits;
       return memoized;
     }
@@ -511,6 +646,7 @@ class MemoizedSearch {
       donated_upto_.resize(depth + 1, 0);
     }
     stepper_.enabled_events(enabled_stack_[depth]);
+    if (reduce_ && !enabled_stack_[depth].empty()) reduce_enabled(depth);
     if (tracked) {
       donated_upto_[depth] = 0;
       if (worker_->split_wanted()) try_split(depth);
@@ -524,6 +660,11 @@ class MemoizedSearch {
         sibling_index_[depth] = static_cast<std::uint32_t>(i);
         path_.push_back(e);
       }
+      if (reduce_) {
+        if (sleep_stack_.size() < depth + 2) sleep_stack_.resize(depth + 2);
+        child_sleep_set(*indep_, sleep_stack_[depth], enabled_stack_[depth], i,
+                        sleep_stack_[depth + 1]);
+      }
       const TraceStepper::Undo u = stepper_.apply(e);
       const bool child_ok = explore(depth + 1);
       stepper_.undo(u);
@@ -535,7 +676,7 @@ class MemoizedSearch {
       }
     }
     if (completable) hooks_.on_completable_state(*this, depth);
-    if (memo_->store(fp, completable, payload())) {
+    if (memo_->store(fp, completable, payload(depth))) {
       ++stats_.states_visited;
       ++stats_.depth_states[stepper_.num_executed()];
       ctx_->states.fetch_add(1, std::memory_order_relaxed);
@@ -548,7 +689,13 @@ class MemoizedSearch {
   /// `depth` (pass an unused stack index, e.g. current depth + 2).
   bool pair_completable(EventId first, EventId second, std::size_t depth) {
     // The re-entrant walk is off the main DFS path: suspend path/sibling
-    // tracking (and thus splitting) until it returns.
+    // tracking (and thus splitting) until it returns.  Under reduction
+    // it starts from an empty sleep set — the query is about THIS
+    // specific continuation, not about schedules covered elsewhere.
+    if (reduce_) {
+      if (depth >= sleep_stack_.size()) sleep_stack_.resize(depth + 1);
+      sleep_stack_[depth].clear();
+    }
     ++suspend_;
     const TraceStepper::Undo u1 = stepper_.apply(first);
     bool ok = false;
@@ -574,10 +721,42 @@ class MemoizedSearch {
     if (stats_.stop_reason == StopReason::kNone) stats_.stop_reason = reason;
   }
 
-  const std::vector<std::uint64_t>* payload() {
+  const std::vector<std::uint64_t>* payload(std::size_t depth) {
     if (!memo_->verify_collisions()) return nullptr;
     stepper_.encode_key(key_scratch_);
+    if (reduce_) extend_key_with_sleep(sleep_stack_[depth], key_scratch_);
     return &key_scratch_;
+  }
+
+  /// Persistent-selects and sleep-filters enabled_stack_[depth] in
+  /// place.  Also drops hook-disallowed children up front: sleep-set
+  /// inheritance treats every earlier listed sibling as explored, so a
+  /// child the hooks would skip must not enter later siblings' sleep.
+  void reduce_enabled(std::size_t depth) {
+    std::vector<EventId>& selected = enabled_stack_[depth];
+    if (persistent_) {
+      full_enabled_.swap(selected);
+      selector_.select(stepper_, full_enabled_, selected);
+      stats_.persistent_skipped += full_enabled_.size() - selected.size();
+    }
+    const std::vector<EventId>& zset = sleep_stack_[depth];
+    if (!zset.empty()) {
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < selected.size(); ++i) {
+        if (std::binary_search(zset.begin(), zset.end(), selected[i])) {
+          ++stats_.sleep_pruned;
+        } else {
+          selected[kept++] = selected[i];
+        }
+      }
+      selected.resize(kept);
+    }
+    selected.erase(
+        std::remove_if(selected.begin(), selected.end(),
+                       [&](EventId e) {
+                         return !hooks_.child_allowed(e, stepper_);
+                       }),
+        selected.end());
   }
 
   /// Answers steal demand by donating the deepest eligible unexplored
@@ -611,6 +790,10 @@ class MemoizedSearch {
         task.dewey.insert(task.dewey.end(), sibling_index_.begin(),
                           sibling_index_.begin() + d);
         task.dewey.push_back(static_cast<std::uint32_t>(j));
+        if (reduce_) {
+          child_sleep_set(*indep_, sleep_stack_[d], enabled_stack_[d], j,
+                          task.sleep);
+        }
         worker_->spawn(std::move(task));
       }
       donated_upto_[d] = siblings.size();
@@ -629,6 +812,12 @@ class MemoizedSearch {
   std::vector<std::uint32_t> sibling_index_;
   std::vector<std::size_t> donated_upto_;
   std::vector<std::uint64_t> key_scratch_;
+  const IndependenceRelation* indep_;
+  PersistentSetSelector selector_;
+  bool reduce_;
+  bool persistent_;
+  std::vector<std::vector<EventId>> sleep_stack_;  ///< sleep set per depth
+  std::vector<EventId> full_enabled_;  ///< pre-reduction enabled scratch
   WorkerHandle* worker_ = nullptr;
   const SearchTask* task_ = nullptr;
   std::size_t num_events_;

@@ -1,0 +1,70 @@
+#include "search/independence.hpp"
+
+#include "trace/event.hpp"
+
+namespace evord::search {
+
+namespace {
+
+/// The static dependence test for one cross-process pair (see the file
+/// comment in independence.hpp for the case-by-case argument).
+bool statically_dependent(const Event& a, const Event& b) {
+  if (is_semaphore_op(a.kind) && is_semaphore_op(b.kind)) {
+    return a.object == b.object;
+  }
+  if (is_event_op(a.kind) && is_event_op(b.kind)) {
+    if (a.object != b.object) return false;
+    // Wait/Wait only reads (posted flag, establisher): commutes.
+    return !(a.kind == EventKind::kWait && b.kind == EventKind::kWait);
+  }
+  // Conflicting shared-data accesses (covers every D edge between
+  // computes; D edges are added explicitly by the caller anyway).
+  return a.conflicts_with(b);
+}
+
+}  // namespace
+
+IndependenceRelation::IndependenceRelation(const Trace& trace)
+    : n_(trace.num_events()),
+      num_procs_(trace.num_processes()),
+      dep_(n_, DynamicBitset(n_)),
+      max_dep_index_(n_ * num_procs_, -1) {
+  const auto mark = [&](EventId a, EventId b) {
+    dep_[a].set(b);
+    dep_[b].set(a);
+  };
+  for (EventId a = 0; a < n_; ++a) {
+    const Event& ea = trace.event(a);
+    for (EventId b = a + 1; b < n_; ++b) {
+      const Event& eb = trace.event(b);
+      if (ea.process == eb.process) {
+        // Program order; never co-enabled.  Kept dependent so the
+        // relation reads as "definitely commute" only across processes.
+        mark(a, b);
+        continue;
+      }
+      if (statically_dependent(ea, eb)) mark(a, b);
+    }
+  }
+  // Observed shared-data dependences (D): dependent in either direction.
+  // Cross-process D edges between computes are already conflict-marked;
+  // this also covers any explicitly declared edges.
+  for (const auto& [x, y] : trace.dependences()) mark(x, y);
+  for (EventId a = 0; a < n_; ++a) dep_[a].reset(a);
+
+  // max_dep_index_[a][q]: the largest program-order position of an event
+  // of process q dependent with a (the persistent-set closure asks
+  // "does q still have a dependent event at position >= pos_q?").
+  for (EventId a = 0; a < n_; ++a) {
+    const DynamicBitset& row = dep_[a];
+    for (std::size_t b = row.find_first(); b < row.size();
+         b = row.find_next(b)) {
+      const Event& eb = trace.event(static_cast<EventId>(b));
+      if (eb.process == trace.event(a).process) continue;
+      std::int64_t& slot = max_dep_index_[a * num_procs_ + eb.process];
+      slot = std::max(slot, static_cast<std::int64_t>(eb.index_in_process));
+    }
+  }
+}
+
+}  // namespace evord::search

@@ -1,0 +1,203 @@
+// Trace-level independence relation and persistent-set selection for
+// partial-order reduction (search/engine.hpp, SearchOptions::reduction).
+//
+// Two events are *independent* when, whenever both are enabled, executing
+// them in either order reaches the same state — same stepper frontier AND
+// same causal-tracker state — and neither disables the other.  The
+// relation here is static (computed once per trace, O(n^2) bits) and
+// conservative: a pair is declared dependent unless one of the proofs in
+// docs/SEARCH.md §POR applies.  Concretely, (a, b) with a != b is
+// DEPENDENT iff any of
+//   * same process (program order; never co-enabled, kept dependent for
+//     conceptual safety — no query ever needs this pair),
+//   * both semaphore ops on the same semaphore (P/P compete for tokens,
+//     binary V's clamp, V/V order is FIFO-queue-visible to the causal
+//     tracker),
+//   * both event-variable ops on the same variable, EXCEPT Wait/Wait
+//     (Waits read the posted flag and the establisher; they commute),
+//   * conflicting shared-data accesses (Event::conflicts_with) or an
+//     observed dependence edge of D (either direction).
+// Fork/join pairs are NOT dependent on the events of the forked/joined
+// process: fork(c) before any event of c, and every event of c before
+// join(c), is forced by enabledness, so such pairs are never co-enabled
+// and independence is vacuous (and required — marking them dependent
+// would glue every child to its parent and erase the reduction on
+// fork/join-parallel workloads).
+//
+// The persistent-set selector returns, for a given state, a subset P of
+// the enabled events such that every schedule from the state that avoids
+// P executes only events independent of all of P.  Construction (one
+// candidate per enabled seed event, smallest wins):
+//   W := {proc(seed)};  repeat: for p in W with next event a, add every
+//   process q not in W that still has an unexecuted event dependent with
+//   a; give up (return all enabled) if some p in W has its next event
+//   disabled.  P := {next event of p : p in W}.
+// Soundness: a schedule avoiding P never executes an event of a W
+// process (its next event is in P and program order gates the rest), and
+// by the closure no event of a non-W process is dependent with any next
+// event of W, so every executed event is independent of all of P.  The
+// "∃ unexecuted dependent event" test is O(1) via a precomputed
+// per-(event, process) maximum dependent position.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "feasible/stepper.hpp"
+#include "trace/trace.hpp"
+#include "util/dynamic_bitset.hpp"
+#include "util/hash.hpp"
+
+namespace evord::search {
+
+class IndependenceRelation {
+ public:
+  explicit IndependenceRelation(const Trace& trace);
+
+  std::size_t num_events() const { return n_; }
+  std::size_t num_processes() const { return num_procs_; }
+
+  bool dependent(EventId a, EventId b) const { return dep_[a].test(b); }
+  bool independent(EventId a, EventId b) const { return !dep_[a].test(b); }
+
+  /// Does process `q` still have an unexecuted event dependent with `a`,
+  /// given that `q` has executed its first `pos_q` events?
+  bool process_has_dependent_after(EventId a, ProcId q,
+                                   std::uint32_t pos_q) const {
+    const std::int64_t m = max_dep_index_[a * num_procs_ + q];
+    return m >= static_cast<std::int64_t>(pos_q);
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t num_procs_;
+  std::vector<DynamicBitset> dep_;  ///< symmetric n x n dependence
+  /// max index_in_process over events of process q dependent with event
+  /// a, or -1; indexed [a * num_procs_ + q].
+  std::vector<std::int64_t> max_dep_index_;
+};
+
+/// Per-engine scratch for persistent-set selection (reused per state).
+class PersistentSetSelector {
+ public:
+  explicit PersistentSetSelector(const IndependenceRelation* indep)
+      : indep_(indep) {}
+
+  /// Writes into `out` a persistent subset of `enabled` (which must be
+  /// the state's full enabled list in process-id order, non-empty),
+  /// preserving that order.  Falls back to the full enabled list when
+  /// every closure gives up.  Deterministic: a pure function of the
+  /// stepper state.
+  void select(const TraceStepper& stepper, const std::vector<EventId>& enabled,
+              std::vector<EventId>& out) {
+    const Trace& trace = stepper.trace();
+    const std::size_t num_procs = indep_->num_processes();
+    best_.clear();
+    for (const EventId seed : enabled) {
+      in_w_.assign(num_procs, false);
+      w_.clear();
+      w_.push_back(trace.event(seed).process);
+      in_w_[trace.event(seed).process] = true;
+      bool ok = true;
+      for (std::size_t head = 0; ok && head < w_.size(); ++head) {
+        const EventId a = stepper.next_of(w_[head]);
+        // Every W process has an unexecuted event (it was added because
+        // one of them is dependent with a next event of W), but that
+        // next event must also be ENABLED: a schedule avoiding a
+        // disabled next event could still be blocked by it forever, so
+        // the persistence argument needs all of P enabled.
+        if (a == kNoEvent || !stepper.enabled(a)) {
+          ok = false;
+          break;
+        }
+        for (ProcId q = 0; q < num_procs; ++q) {
+          if (in_w_[q] || stepper.next_of(q) == kNoEvent) continue;
+          if (indep_->process_has_dependent_after(a, q,
+                                                  stepper.position(q))) {
+            in_w_[q] = true;
+            w_.push_back(q);
+          }
+        }
+      }
+      if (!ok) continue;
+      if (best_.empty() || w_.size() < best_.size()) best_ = w_;
+      if (best_.size() == 1) break;
+    }
+    out.clear();
+    if (best_.empty()) {  // every closure hit a disabled next event
+      out = enabled;
+      return;
+    }
+    // P = the next (enabled) events of the chosen processes, in the
+    // enabled list's process-id order.
+    for (const EventId e : enabled) {
+      if (std::find(best_.begin(), best_.end(), trace.event(e).process) !=
+          best_.end()) {
+        out.push_back(e);
+      }
+    }
+  }
+
+ private:
+  const IndependenceRelation* indep_;
+  std::vector<ProcId> w_;
+  std::vector<ProcId> best_;
+  std::vector<bool> in_w_;
+};
+
+// ----------------------------------------------------------------------
+// Sleep-set plumbing shared by the engines and the explorer front-ends
+// (root claims must fold exactly like engine claims).
+
+inline constexpr std::uint64_t kSleepHashSeed = 0x632be59bd9b4e019ull;
+inline constexpr std::uint64_t kSleepHashSalt = 0xd6e8feb86659fd93ull;
+inline constexpr std::uint64_t kSleepFoldSalt = 0xa0761d6478bd642full;
+inline constexpr std::uint64_t kSleepKeySentinel = 0xe7037ed1a0b428dbull;
+
+/// Order-sensitive hash of a sorted sleep set.
+inline std::uint64_t sleep_set_hash(const std::vector<EventId>& sleep) {
+  std::uint64_t h = kSleepHashSeed;
+  for (const EventId e : sleep) h = hash_mix(kSleepHashSalt, h, e);
+  return h;
+}
+
+/// Folds the sleep-set hash into a state fingerprint.  Under reduction
+/// the dedup/memo key is the (state, sleep set) pair: the reduced
+/// subtree below a node is a deterministic function of exactly that
+/// pair, so claims keyed this way prune only genuinely identical
+/// subtrees (the classical sleep-sets-with-state-matching pitfall is
+/// avoided by construction).
+inline std::uint64_t fold_sleep(std::uint64_t fp, std::uint64_t sleep_hash) {
+  return hash_mix(kSleepFoldSalt, fp, sleep_hash);
+}
+
+/// Extends a debug collision-check payload with the sleep set, matching
+/// fold_sleep's contribution to the fingerprint.
+inline void extend_key_with_sleep(const std::vector<EventId>& sleep,
+                                  std::vector<std::uint64_t>& key) {
+  key.push_back(kSleepKeySentinel ^ sleep.size());
+  for (const EventId e : sleep) key.push_back(e);
+}
+
+/// The sleep set a child inherits: keep every event of the parent's
+/// sleep set and every earlier-explored sibling that is independent of
+/// the chosen event, sorted by id (sleep and earlier siblings are
+/// disjoint — siblings are drawn from P \ sleep).
+inline void child_sleep_set(const IndependenceRelation& indep,
+                            const std::vector<EventId>& sleep,
+                            const std::vector<EventId>& selected,
+                            std::size_t chosen_index,
+                            std::vector<EventId>& out) {
+  const EventId chosen = selected[chosen_index];
+  out.clear();
+  for (const EventId x : sleep) {
+    if (indep.independent(x, chosen)) out.push_back(x);
+  }
+  for (std::size_t j = 0; j < chosen_index; ++j) {
+    if (indep.independent(selected[j], chosen)) out.push_back(selected[j]);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace evord::search

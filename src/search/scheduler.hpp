@@ -44,6 +44,13 @@ class WorkStealingScheduler;
 struct SearchTask {
   std::vector<EventId> seed;
   std::vector<std::uint32_t> dewey;
+  /// Partial-order reduction only: the sleep set of the subtree root
+  /// this task replays to (sorted event ids).  Donors compute it at
+  /// donation time — sleep sets are inherited along DFS edges, so a
+  /// stolen subtree must start from exactly the sleep set the serial
+  /// walk would carry into it; engines install it via
+  /// set_initial_sleep().  Empty when reduction is off.
+  std::vector<EventId> sleep;
 };
 
 /// Per-worker face of the scheduler, handed to the task runner.  The

@@ -20,6 +20,18 @@ const char* to_string(StopReason reason) {
   return "unknown";
 }
 
+const char* to_string(ReductionMode mode) {
+  switch (mode) {
+    case ReductionMode::kOff:
+      return "off";
+    case ReductionMode::kSleep:
+      return "sleep";
+    case ReductionMode::kSleepPersistent:
+      return "sleep+persistent";
+  }
+  return "unknown";
+}
+
 void WorkerStats::merge(const WorkerStats& other) {
   tasks_executed += other.tasks_executed;
   tasks_stolen += other.tasks_stolen;
@@ -33,6 +45,8 @@ void SearchStats::merge(const SearchStats& other) {
   dedup_hits += other.dedup_hits;
   terminals += other.terminals;
   deadlocked_prefixes += other.deadlocked_prefixes;
+  sleep_pruned += other.sleep_pruned;
+  persistent_skipped += other.persistent_skipped;
   memo_bytes += other.memo_bytes;
   truncated = truncated || other.truncated;
   stopped_by_visitor = stopped_by_visitor || other.stopped_by_visitor;

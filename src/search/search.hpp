@@ -26,6 +26,27 @@ enum class StopReason : std::uint8_t {
 
 const char* to_string(StopReason reason);
 
+/// Partial-order reduction mode for the engines in search/engine.hpp.
+/// Reduction explores one representative schedule per Mazurkiewicz trace
+/// (events reorderable when adjacent and independent) instead of every
+/// interleaving.  Sound for per-trace facts — causal classes, deadlock
+/// verdicts, exact causal/interval relations — and unsound for schedule
+/// counts or interleaving-semantics matrices; each explorer front-end
+/// picks the default that matches its semantics (docs/SEARCH.md §POR).
+enum class ReductionMode : std::uint8_t {
+  kOff = 0,
+  /// Sleep sets only: every state is still reachable, but transitions
+  /// whose trace was covered by an earlier sibling are pruned.
+  kSleep = 1,
+  /// Sleep sets + persistent sets (the full reduction): at each state
+  /// only a provably sufficient subset of the enabled events is
+  /// expanded.  All transition-less (terminal / stuck) states remain
+  /// reachable, so verdict- and class-level results are preserved.
+  kSleepPersistent = 2,
+};
+
+const char* to_string(ReductionMode mode);
+
 /// Work-stealing scheduler tuning.  None of these affect results — the
 /// deterministic merges key on canonical task ids, so any split pattern
 /// and any victim order produce bit-identical output (the stress test in
@@ -60,6 +81,11 @@ struct SearchOptions {
   std::size_t num_threads = 1;
   /// Work-stealing knobs (steal_grain / max_split_depth / steal_seed).
   StealOptions steal;
+  /// Partial-order reduction (sleep sets + persistent sets).  Engines
+  /// running with a mode other than kOff must be handed an
+  /// IndependenceRelation (search/independence.hpp).  Explorer
+  /// front-ends choose soundness-matched defaults; see docs/SEARCH.md.
+  ReductionMode reduction = ReductionMode::kOff;
 };
 
 /// Per-worker scheduler counters (SearchStats::workers, one entry per
@@ -82,6 +108,13 @@ struct SearchStats {
   std::uint64_t dedup_hits = 0;      ///< states pruned as already seen
   std::uint64_t terminals = 0;       ///< complete schedules delivered
   std::uint64_t deadlocked_prefixes = 0;  ///< stuck states reached
+  /// Enabled events skipped because they were in the state's sleep set
+  /// (their Mazurkiewicz trace was covered by an earlier sibling).  Zero
+  /// unless SearchOptions::reduction enables sleep sets.
+  std::uint64_t sleep_pruned = 0;
+  /// Enabled events skipped because the chosen persistent set did not
+  /// contain them.  Zero unless reduction == kSleepPersistent.
+  std::uint64_t persistent_skipped = 0;
   /// Bytes held by the dedup/memo store at the end of the search (the
   /// 8-byte-per-state fingerprint representation; debug payload retention
   /// is excluded — it exists only to cross-check collisions).  In

@@ -118,6 +118,25 @@ Trace random_fork_join_trace(std::size_t num_children,
   return b.build();
 }
 
+Trace wide_fork_trace(std::size_t num_children,
+                      std::size_t events_per_child) {
+  EVORD_CHECK(num_children >= 1, "need a child");
+  TraceBuilder b;
+  std::vector<ProcId> children;
+  std::vector<VarId> slots;
+  for (std::size_t c = 0; c < num_children; ++c) {
+    children.push_back(b.fork(b.root()));
+    slots.push_back(b.variable("slot" + std::to_string(c)));
+  }
+  for (std::size_t i = 0; i < events_per_child; ++i) {
+    for (std::size_t c = 0; c < num_children; ++c) {
+      b.compute(children[c], "", {}, {slots[c]});
+    }
+  }
+  for (ProcId c : children) b.join(b.root(), c);
+  return b.build();
+}
+
 Trace pipeline_trace(std::size_t stages, std::size_t items) {
   EVORD_CHECK(stages >= 2 && items >= 1, "need >= 2 stages and an item");
   TraceBuilder b;

@@ -44,6 +44,14 @@ Trace random_event_trace(const EventTraceConfig& config, Rng& rng);
 Trace random_fork_join_trace(std::size_t num_children,
                              std::size_t events_per_child, Rng& rng);
 
+/// Deterministic wide fork/join: the root forks `num_children` workers,
+/// each computing `events_per_child` times on its OWN private variable,
+/// then joins them all.  The children are pairwise independent, so the
+/// schedule tree is maximally interleaved — the canonical stress case
+/// for partial-order reduction (one representative order suffices).
+Trace wide_fork_trace(std::size_t num_children,
+                      std::size_t events_per_child);
+
 /// A producer/consumer pipeline of `stages` processes connected by
 /// semaphores; stage i writes x_i and signals stage i+1.  Fully
 /// synchronized: race-free by construction, MHB-dense.

@@ -140,11 +140,25 @@ TEST(ClassEnumerate, PrunesReportedInStats) {
     b.compute(p1, "");
     b.compute(p2, "");
   }
+  const Trace t = b.build();
+  // Default reduction: the fully-independent trace collapses to (nearly)
+  // a single chain, so the savings show up as reduction counters rather
+  // than prefix dedup hits.
   const ClassEnumStats stats = enumerate_causal_classes(
-      b.build(), {}, [](const std::vector<EventId>&) { return true; });
-  EXPECT_GT(stats.prefixes_pruned, 0u);
+      t, {}, [](const std::vector<EventId>&) { return true; });
+  EXPECT_GT(stats.search.sleep_pruned + stats.search.persistent_skipped, 0u);
   EXPECT_GT(stats.distinct_prefixes, 0u);
   EXPECT_LT(stats.schedules_visited, 1680u);  // 9!/(3!)^3 plain schedules
+
+  // Reduction off: the prefix dedup does the pruning.
+  ClassEnumOptions unreduced;
+  unreduced.reduction = search::ReductionMode::kOff;
+  const ClassEnumStats off = enumerate_causal_classes(
+      t, unreduced, [](const std::vector<EventId>&) { return true; });
+  EXPECT_GT(off.prefixes_pruned, 0u);
+  EXPECT_EQ(off.search.sleep_pruned, 0u);
+  EXPECT_EQ(off.search.persistent_skipped, 0u);
+  EXPECT_GE(off.schedules_visited, stats.schedules_visited);
 }
 
 }  // namespace

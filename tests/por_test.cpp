@@ -1,0 +1,320 @@
+// Partial-order reduction equivalence suite.
+//
+// The reduction (search/independence.hpp: sleep sets + persistent sets,
+// engine plumbing in search/engine.hpp) promises:
+//   * class enumeration delivers the SAME set of complete causal classes
+//     with reduction on as off (only the per-class schedule multiplicity
+//     shrinks),
+//   * deadlock analysis keeps its verdict, its distinct-stuck-state
+//     count, and a valid witness,
+//   * exact causal/interval relation matrices are bit-identical,
+//   * the parallel reduced walk is bit-identical to the serial reduced
+//     walk at any worker count and under perturbed steal seeds.
+// This suite pins all four on randomized and structured trace families.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "feasible/deadlock.hpp"
+#include "feasible/enumerate.hpp"
+#include "feasible/schedule_space.hpp"
+#include "feasible/stepper.hpp"
+#include "helpers.hpp"
+#include "ordering/causal.hpp"
+#include "ordering/class_enumerate.hpp"
+#include "ordering/exact.hpp"
+#include "search/search.hpp"
+#include "trace/builder.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace evord {
+namespace {
+
+using search::ReductionMode;
+
+/// Canonical identity of one causal class: the concatenated closure rows
+/// of C(sigma).  Two schedules map to the same key iff they induce the
+/// same causal order.
+using ClassKey = std::vector<std::uint64_t>;
+
+ClassKey class_key(const Trace& trace, const std::vector<EventId>& schedule,
+                   const CausalOptions& causal) {
+  const TransitiveClosure tc = causal_closure(trace, schedule, causal);
+  ClassKey key;
+  for (NodeId u = 0; u < tc.num_nodes(); ++u) {
+    const DynamicBitset& row = tc.descendants(u);
+    for (std::size_t w = 0; w < row.word_count(); ++w) {
+      key.push_back(row.word(w));
+    }
+  }
+  return key;
+}
+
+std::set<ClassKey> enumerated_classes(const Trace& trace,
+                                      ReductionMode reduction) {
+  ClassEnumOptions options;
+  options.reduction = reduction;
+  std::set<ClassKey> out;
+  enumerate_causal_classes(trace, options,
+                           [&](const std::vector<EventId>& s) {
+                             out.insert(class_key(trace, s, options.causal));
+                             return true;
+                           });
+  return out;
+}
+
+/// A mix of small trace families, deterministic per seed.
+std::vector<std::pair<std::string, Trace>> test_traces(std::uint64_t seed) {
+  std::vector<std::pair<std::string, Trace>> traces;
+  {
+    Rng rng(seed);
+    testing::RandomTraceConfig config;
+    config.num_events = 10;
+    traces.emplace_back("sem", testing::random_trace(config, rng));
+  }
+  {
+    Rng rng(seed + 100);
+    testing::RandomTraceConfig config;
+    config.num_semaphores = 1;
+    config.num_event_vars = 2;
+    config.num_events = 10;
+    traces.emplace_back("event", testing::random_trace(config, rng));
+  }
+  {
+    Rng rng(seed + 200);
+    traces.emplace_back("forkjoin",
+                        testing::random_fork_join_trace(3, 2, rng));
+  }
+  traces.emplace_back("widefork", wide_fork_trace(3, 2));
+  {
+    // Clear races the Wait: scheduling the Clear first wedges p1, so the
+    // deadlock path is exercised on every seed.  Extra independent
+    // computations widen the tree around the race.
+    Rng rng(seed + 300);
+    TraceBuilder b;
+    const ObjectId e = b.event_var("e");
+    const ProcId p1 = b.add_process();
+    const ProcId p2 = b.add_process();
+    b.post(b.root(), e);
+    for (std::size_t i = 0; i < 1 + seed % 3; ++i) {
+      b.compute(b.root(), "r" + std::to_string(i));
+      if (rng.chance(0.5)) b.compute(p2, "q" + std::to_string(i));
+    }
+    b.wait(p1, e);
+    b.clear(p2, e);
+    traces.emplace_back("clearrace", b.build());
+  }
+  return traces;
+}
+
+TEST(Por, ClassSetsMatchUnreduced) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (const auto& [label, trace] : test_traces(seed)) {
+      SCOPED_TRACE(label + " seed " + std::to_string(seed));
+      const std::set<ClassKey> full =
+          enumerated_classes(trace, ReductionMode::kOff);
+      EXPECT_EQ(enumerated_classes(trace, ReductionMode::kSleep), full);
+      EXPECT_EQ(enumerated_classes(trace, ReductionMode::kSleepPersistent),
+                full);
+    }
+  }
+}
+
+TEST(Por, RepresentativeEnumerationPreservesClassesAndFeasibility) {
+  const CausalOptions causal;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const auto& [label, trace] : test_traces(seed)) {
+      SCOPED_TRACE(label + " seed " + std::to_string(seed));
+      EnumerateOptions full;
+      std::set<ClassKey> full_classes;
+      const EnumerateStats full_stats = enumerate_schedules(
+          trace, full, [&](const std::vector<EventId>& s) {
+            full_classes.insert(class_key(trace, s, causal));
+            return true;
+          });
+      EnumerateOptions reduced;
+      reduced.representatives_only = true;
+      std::set<ClassKey> reduced_classes;
+      const EnumerateStats reduced_stats = enumerate_schedules(
+          trace, reduced, [&](const std::vector<EventId>& s) {
+            reduced_classes.insert(class_key(trace, s, causal));
+            return true;
+          });
+      EXPECT_EQ(reduced_classes, full_classes);
+      EXPECT_LE(reduced_stats.schedules, full_stats.schedules);
+      EXPECT_EQ(reduced_stats.schedules > 0, full_stats.schedules > 0);
+    }
+  }
+}
+
+void expect_valid_witness(const Trace& trace,
+                          const std::vector<EventId>& witness) {
+  TraceStepper stepper(trace, {});
+  for (const EventId e : witness) {
+    ASSERT_TRUE(stepper.enabled(e)) << "witness is not schedulable";
+    stepper.apply(e);
+  }
+  ASSERT_FALSE(stepper.complete());
+  std::vector<EventId> enabled;
+  stepper.enabled_events(enabled);
+  EXPECT_TRUE(enabled.empty()) << "witness does not end in a stuck state";
+}
+
+TEST(Por, DeadlockVerdictAndStuckCountMatchUnreduced) {
+  std::size_t deadlocking = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const auto& [label, trace] : test_traces(seed)) {
+      SCOPED_TRACE(label + " seed " + std::to_string(seed));
+      DeadlockOptions off;
+      off.reduction = ReductionMode::kOff;
+      const DeadlockReport full = analyze_deadlocks(trace, off);
+      const DeadlockReport reduced = analyze_deadlocks(trace, {});
+      EXPECT_EQ(reduced.can_deadlock, full.can_deadlock);
+      // Sleep + persistent sets preserve every transition-less state.
+      EXPECT_EQ(reduced.stuck_states, full.stuck_states);
+      EXPECT_LE(reduced.states_visited, full.states_visited);
+      if (reduced.can_deadlock) {
+        ++deadlocking;
+        expect_valid_witness(trace, reduced.witness_prefix);
+      }
+    }
+  }
+  EXPECT_GT(deadlocking, 0u) << "no family exercised the deadlock path";
+}
+
+TEST(Por, ExactMatricesMatchUnreduced) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const auto& [label, trace] : test_traces(seed)) {
+      for (const Semantics semantics :
+           {Semantics::kCausal, Semantics::kInterval}) {
+        for (const bool data_edges : {true, false}) {
+          std::ostringstream os;
+          os << label << " seed " << seed << ' ' << to_string(semantics)
+             << (data_edges ? " data" : " nodata");
+          SCOPED_TRACE(os.str());
+          ExactOptions off;
+          off.reduction = ReductionMode::kOff;
+          off.causal_data_edges = data_edges;
+          ExactOptions on;
+          on.causal_data_edges = data_edges;
+          const OrderingRelations full =
+              compute_exact(trace, semantics, off);
+          const OrderingRelations reduced =
+              compute_exact(trace, semantics, on);
+          EXPECT_EQ(reduced.feasible_empty, full.feasible_empty);
+          EXPECT_EQ(reduced.causal_classes, full.causal_classes);
+          EXPECT_LE(reduced.schedules_seen, full.schedules_seen);
+          for (const RelationKind kind : kAllRelationKinds) {
+            EXPECT_EQ(reduced[kind], full[kind]) << to_string(kind);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Por, ScheduleSpaceRepresentativesKeepFeasibilityExact) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (const auto& [label, trace] : test_traces(seed)) {
+      SCOPED_TRACE(label + " seed " + std::to_string(seed));
+      ScheduleSpaceOptions reduced;
+      reduced.representatives_only = true;
+      const CanPrecedeResult r = compute_can_precede(trace, reduced);
+      const CanPrecedeResult full = compute_can_precede(trace, {});
+      EXPECT_EQ(r.feasible_nonempty, full.feasible_nonempty);
+      EXPECT_LE(r.states_visited, full.states_visited);
+      // The reduced matrix must stay an under-approximation.
+      for (EventId b = 0; b < trace.num_events(); ++b) {
+        for (EventId a = 0; a < trace.num_events(); ++a) {
+          if (r.can_precede[b].test(a)) {
+            EXPECT_TRUE(full.can_precede[b].test(a))
+                << "reduced marked (" << a << ", " << b
+                << ") but the full sweep did not";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Por, ParallelReducedExactBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const auto& [label, trace] : test_traces(seed)) {
+      ExactOptions serial_options;  // reduction ON by default
+      const OrderingRelations serial =
+          compute_exact(trace, Semantics::kCausal, serial_options);
+      for (const std::size_t threads : {2u, 4u, 8u}) {
+        for (const std::uint64_t steal_seed : {1ull, 7ull, 12345ull}) {
+          std::ostringstream os;
+          os << label << " seed " << seed << " threads " << threads
+             << " steal " << steal_seed;
+          SCOPED_TRACE(os.str());
+          ExactOptions options;
+          options.num_threads = threads;
+          options.steal.seed = steal_seed;
+          options.steal.grain = 1;  // provoke deep splits
+          const OrderingRelations parallel =
+              compute_exact(trace, Semantics::kCausal, options);
+          EXPECT_EQ(parallel.feasible_empty, serial.feasible_empty);
+          EXPECT_EQ(parallel.causal_classes, serial.causal_classes);
+          EXPECT_EQ(parallel.schedules_seen, serial.schedules_seen);
+          for (const RelationKind kind : kAllRelationKinds) {
+            EXPECT_EQ(parallel[kind], serial[kind]) << to_string(kind);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Por, ParallelReducedDeadlockBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const auto& [label, trace] : test_traces(seed)) {
+      const DeadlockReport serial = analyze_deadlocks(trace, {});
+      for (const std::size_t threads : {2u, 4u, 8u}) {
+        for (const std::uint64_t steal_seed : {1ull, 7ull, 12345ull}) {
+          std::ostringstream os;
+          os << label << " seed " << seed << " threads " << threads
+             << " steal " << steal_seed;
+          SCOPED_TRACE(os.str());
+          DeadlockOptions options;
+          options.num_threads = threads;
+          options.steal.seed = steal_seed;
+          options.steal.grain = 1;
+          const DeadlockReport parallel = analyze_deadlocks(trace, options);
+          EXPECT_EQ(parallel.can_deadlock, serial.can_deadlock);
+          EXPECT_EQ(parallel.witness_prefix, serial.witness_prefix);
+          EXPECT_EQ(parallel.stuck_states, serial.stuck_states);
+          EXPECT_EQ(parallel.states_visited, serial.states_visited);
+        }
+      }
+    }
+  }
+}
+
+TEST(Por, WideForkReductionFactor) {
+  // The acceptance benchmark family in miniature: pairwise-independent
+  // children make the unreduced schedule tree explode while one
+  // representative order suffices.
+  const Trace t = wide_fork_trace(4, 2);
+  ClassEnumOptions off;
+  off.reduction = ReductionMode::kOff;
+  const ClassEnumStats full = enumerate_causal_classes(
+      t, off, [](const std::vector<EventId>&) { return true; });
+  const ClassEnumStats reduced = enumerate_causal_classes(
+      t, {}, [](const std::vector<EventId>&) { return true; });
+  EXPECT_EQ(reduced.schedules_visited, 1u);  // a single causal class
+  EXPECT_GE(full.distinct_prefixes,
+            5 * reduced.search.states_visited);
+  EXPECT_GT(reduced.search.persistent_skipped +
+                reduced.search.sleep_pruned,
+            0u);
+}
+
+}  // namespace
+}  // namespace evord

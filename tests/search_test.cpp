@@ -581,5 +581,48 @@ TEST(SearchStats, SurfacedThroughResultsAnalyzerAndReport) {
   EXPECT_NE(report.find("memo bytes="), std::string::npos);
 }
 
+// ----------------------------------------------------------------------
+// SearchStats helpers and enum names: exhaustive small-value coverage.
+
+TEST(SearchStats, StopReasonNamesAreExhaustive) {
+  using search::StopReason;
+  EXPECT_STREQ(search::to_string(StopReason::kNone), "none");
+  EXPECT_STREQ(search::to_string(StopReason::kMaxStates), "max-states");
+  EXPECT_STREQ(search::to_string(StopReason::kMaxTerminals), "max-terminals");
+  EXPECT_STREQ(search::to_string(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(search::to_string(StopReason::kVisitor), "visitor");
+  EXPECT_STREQ(search::to_string(static_cast<StopReason>(0xff)), "unknown");
+}
+
+TEST(SearchStats, ReductionModeNamesAreExhaustive) {
+  using search::ReductionMode;
+  EXPECT_STREQ(search::to_string(ReductionMode::kOff), "off");
+  EXPECT_STREQ(search::to_string(ReductionMode::kSleep), "sleep");
+  EXPECT_STREQ(search::to_string(ReductionMode::kSleepPersistent),
+               "sleep+persistent");
+  EXPECT_STREQ(search::to_string(static_cast<ReductionMode>(0xff)),
+               "unknown");
+}
+
+TEST(SearchStats, PeakDepthEdgeCases) {
+  search::SearchStats s;
+  EXPECT_EQ(s.peak_depth(), 0u);  // no histogram at all
+  s.depth_states = {7};
+  EXPECT_EQ(s.peak_depth(), 0u);  // single bucket: the peak is depth 0
+  s.depth_states = {0, 1, 9, 9, 2};
+  EXPECT_EQ(s.peak_depth(), 2u);  // ties resolve to the shallower depth
+}
+
+TEST(SearchStats, ShardImbalanceEdgeCases) {
+  search::SearchStats s;
+  EXPECT_EQ(s.shard_imbalance(), 0.0);  // no shard data
+  s.shard_sizes = {42};
+  EXPECT_EQ(s.shard_imbalance(), 1.0);  // single shard: peak == mean
+  s.shard_sizes = {0, 0, 0};
+  EXPECT_EQ(s.shard_imbalance(), 0.0);  // empty shards: no load factor
+  s.shard_sizes = {1, 3};
+  EXPECT_EQ(s.shard_imbalance(), 1.5);  // peak 3 over mean 2
+}
+
 }  // namespace
 }  // namespace evord
