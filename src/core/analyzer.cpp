@@ -110,6 +110,31 @@ RaceReport OrderingAnalyzer::races(RaceDetector detector) {
   return detect_races(trace_, detector, options_);
 }
 
+AnytimeQuery& OrderingAnalyzer::anytime(
+    const std::vector<QueryBudget>& ladder) {
+  if (!anytime_.has_value() || !ladder.empty()) {
+    AnytimeOptions options;
+    options.ladder = ladder;
+    options.exact = options_;
+    anytime_.emplace(trace_, std::move(options));
+  }
+  return *anytime_;
+}
+
+BoundedVerdict OrderingAnalyzer::anytime_must_have_happened_before(
+    EventId a, EventId b, Semantics semantics) {
+  return anytime().must_have_happened_before(a, b, semantics);
+}
+
+BoundedVerdict OrderingAnalyzer::anytime_could_have_been_concurrent(
+    EventId a, EventId b) {
+  return anytime().could_have_been_concurrent(a, b);
+}
+
+BoundedVerdict OrderingAnalyzer::anytime_can_deadlock() {
+  return anytime().can_deadlock();
+}
+
 const search::SearchStats& OrderingAnalyzer::search_stats(
     Semantics semantics) {
   return relations(semantics).search;

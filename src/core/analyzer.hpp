@@ -25,6 +25,7 @@
 #include "ordering/exact.hpp"
 #include "ordering/witness.hpp"
 #include "race/race_detector.hpp"
+#include "resilience/anytime.hpp"
 #include "trace/trace.hpp"
 
 namespace evord {
@@ -76,6 +77,21 @@ class OrderingAnalyzer {
   // ----- applications ----------------------------------------------------
   RaceReport races(RaceDetector detector = RaceDetector::kExact);
 
+  // ----- resource-governed anytime queries ------------------------------
+  /// The budgeted variants (src/resilience/anytime.hpp): instead of an
+  /// exact answer that may take exponential resources, each returns a
+  /// BoundedVerdict {proven | refuted | unknown} obtained within the
+  /// escalating budget ladder, degrading to sound one-sided bounds with
+  /// full provenance when every rung truncates.  The underlying
+  /// AnytimeQuery is built lazily from `ladder` (default ladder when
+  /// empty) over this analyzer's ExactOptions and reused across calls;
+  /// pass a different ladder to rebuild it.
+  AnytimeQuery& anytime(const std::vector<QueryBudget>& ladder = {});
+  BoundedVerdict anytime_must_have_happened_before(
+      EventId a, EventId b, Semantics semantics = Semantics::kCausal);
+  BoundedVerdict anytime_could_have_been_concurrent(EventId a, EventId b);
+  BoundedVerdict anytime_can_deadlock();
+
   /// Unified search-core statistics (states, dedup hits, memo bytes,
   /// stop reason, per-worker scheduler counters, per-depth state
   /// histogram, fingerprint shard loads) of the exact analysis under
@@ -97,6 +113,7 @@ class OrderingAnalyzer {
   std::optional<CombinedResult> combined_;
   std::optional<DeadlockReport> deadlocks_;
   std::optional<CanPrecedeResult> coexist_;
+  std::optional<AnytimeQuery> anytime_;
 };
 
 }  // namespace evord

@@ -110,7 +110,8 @@ std::string summarize_relations(const Trace& trace,
   }
   if (relations.truncated) {
     os << "WARNING: search truncated by budget; could-relations are "
-          "under-approximate, must-relations over-approximate\n";
+          "under-approximate, must-relations over-approximate "
+          "(AnytimeQuery degrades such runs to sound bounded verdicts)\n";
   }
   for (RelationKind k : kAllRelationKinds) {
     os << strprintf("  %-3s : %6zu pairs\n", to_string(k),

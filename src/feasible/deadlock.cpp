@@ -20,6 +20,11 @@ struct WitnessCandidate {
   bool found = false;
   std::vector<EventId> path;
   std::vector<std::uint32_t> dewey;
+  /// When set, the held witness buffers are charged against the search's
+  /// byte budget (and re-charged as better candidates replace them).
+  search::MemoryAccountant* memory = nullptr;
+
+  ~WitnessCandidate() { drop_charge(); }
 
   void offer(const std::vector<EventId>& p,
              const std::vector<std::uint32_t>& d) {
@@ -27,14 +32,17 @@ struct WitnessCandidate {
     found = true;
     path = p;
     dewey = d;
+    recharge();
   }
 
   void merge(WitnessCandidate&& other) {
     if (!other.found) return;
+    other.drop_charge();
     if (found && !wins(other.path.size(), other.dewey)) return;
     found = true;
     path = std::move(other.path);
     dewey = std::move(other.dewey);
+    recharge();
   }
 
  private:
@@ -42,6 +50,22 @@ struct WitnessCandidate {
     if (len != path.size()) return len < path.size();
     return d < dewey;
   }
+
+  void recharge() {
+    if (memory == nullptr) return;
+    memory->release(charged_);
+    charged_ = path.size() * sizeof(EventId) +
+               dewey.size() * sizeof(std::uint32_t);
+    memory->charge(charged_);
+  }
+
+  void drop_charge() {
+    if (memory == nullptr) return;
+    memory->release(charged_);
+    charged_ = 0;
+  }
+
+  std::uint64_t charged_ = 0;
 };
 
 /// Deadlock hooks: terminals just continue; stuck states update the
@@ -71,6 +95,7 @@ search::SearchOptions to_search_options(const DeadlockOptions& options) {
   search::SearchOptions so;
   so.max_states = options.max_states;
   so.time_budget_seconds = options.time_budget_seconds;
+  so.max_memory_bytes = options.max_memory_bytes;
   so.num_threads = options.num_threads;
   so.steal = options.steal;
   so.reduction = options.reduction;
@@ -84,6 +109,7 @@ DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options,
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet visited(1);
+  visited.set_accountant(&ctx.memory);
   // Under reduction the visited claims key (state, sleep set) pairs, so
   // the engine's per-visit deadlocked_prefixes can count one physical
   // stuck frontier once per sleep context; a raw-fingerprint stuck set
@@ -91,8 +117,12 @@ DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options,
   // always has).
   const bool reduced = so.reduction != search::ReductionMode::kOff;
   std::optional<search::ShardedFingerprintSet> stuck;
-  if (reduced) stuck.emplace(1, /*verify_collisions=*/false);
+  if (reduced) {
+    stuck.emplace(1, /*verify_collisions=*/false);
+    stuck->set_accountant(&ctx.memory);
+  }
   WitnessCandidate witness;
+  witness.memory = &ctx.memory;
   DeadlockReport report;
   DeadlockSearch<search::SharedSetDedup> engine(
       trace, options.stepper, so, &ctx, search::NullTracker{},
@@ -125,6 +155,7 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
   if (so.steal.max_split_depth == 0) so.steal.max_split_depth = 3;
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet visited(4 * threads);
+  visited.set_accountant(&ctx.memory);
   // Stuck states are identified by their raw state fingerprint (without
   // reduction that IS the claim fingerprint, which already went through
   // the visited set's collision check; under reduction the raw
@@ -132,6 +163,7 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
   // this set skips payload verification.
   search::ShardedFingerprintSet stuck(4 * threads,
                                       /*verify_collisions=*/false);
+  stuck.set_accountant(&ctx.memory);
 
   // Count the root state once, as the serial search would at its first
   // explore() entry (tasks start at least one event in and never revisit
@@ -162,6 +194,7 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
       std::move(roots), threads, so.steal.seed, ctx,
       [&](const search::SearchTask& task, search::WorkerHandle& worker) {
         WitnessCandidate local;
+        local.memory = &ctx.memory;
         DeadlockSearch<search::PrivateSetDedup> engine(
             trace, options.stepper, so, &ctx, search::NullTracker{},
             search::PrivateSetDedup(&visited),

@@ -25,6 +25,10 @@ struct DeadlockOptions {
   StepperOptions stepper;
   std::size_t max_states = 4'000'000;  ///< 0 = unlimited
   double time_budget_seconds = 0.0;    ///< 0 = unlimited
+  /// Byte budget over the visited/stuck stores, witness buffers and
+  /// queued task descriptors (0 = unlimited).  Strict and global across
+  /// workers; see search::SearchOptions::max_memory_bytes.
+  std::uint64_t max_memory_bytes = 0;
   /// Worker count: 1 = serial (default), 0 = hardware concurrency;
   /// clamped to search::max_worker_threads().  The parallel search runs
   /// on the work-stealing scheduler and returns bit-identical reports

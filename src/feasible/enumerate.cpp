@@ -27,6 +27,7 @@ search::SearchOptions to_search_options(const EnumerateOptions& options) {
   search::SearchOptions so;
   so.max_terminals = options.max_schedules;
   so.time_budget_seconds = options.time_budget_seconds;
+  so.max_memory_bytes = options.max_memory_bytes;
   so.steal = options.steal;
   if (options.representatives_only) {
     so.reduction = search::ReductionMode::kSleepPersistent;

@@ -35,6 +35,10 @@ struct EnumerateOptions {
   std::uint64_t max_schedules = 0;
   /// Stop after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+  /// Stop once the search's charged memory reaches this many bytes
+  /// (0 = unlimited).  Strict and global across workers; see
+  /// search::SearchOptions::max_memory_bytes.
+  std::uint64_t max_memory_bytes = 0;
   /// Fast-forward through this schedule prefix before enumerating (every
   /// event must be enabled in sequence).  Callers doing their own
   /// root-split parallelism seed each subtree this way.

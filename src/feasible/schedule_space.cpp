@@ -58,6 +58,7 @@ search::SearchOptions to_search_options(const ScheduleSpaceOptions& options) {
   search::SearchOptions so;
   so.max_states = options.max_states;
   so.time_budget_seconds = options.time_budget_seconds;
+  so.max_memory_bytes = options.max_memory_bytes;
   so.num_threads = options.num_threads;
   so.steal = options.steal;
   return so;
@@ -105,6 +106,7 @@ CanPrecedeResult run_search(const Trace& trace,
 
   if (threads <= 1 || roots.empty()) {
     search::FingerprintBoolMap memo(1, /*synchronized=*/false);
+    memo.set_accountant(&ctx.memory);
     SpaceSearch engine(
         trace, options.stepper, so, &ctx, &memo,
         CanPrecedeHooks{build_matrix ? &result.can_precede : nullptr,
@@ -127,6 +129,7 @@ CanPrecedeResult run_search(const Trace& trace,
   // are per worker, not per task: tasks on the same worker run
   // sequentially, so the slot is never written concurrently.
   search::FingerprintBoolMap memo(4 * threads, /*synchronized=*/true);
+  memo.set_accountant(&ctx.memory);
   std::vector<CanPrecedeResult> locals(threads);
   for (CanPrecedeResult& local : locals) {
     init_matrices(trace, options, build_matrix, local);
@@ -210,6 +213,7 @@ PairQueryResult can_precede_pair(const Trace& trace, EventId first,
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
   search::FingerprintBoolMap memo(1, /*synchronized=*/false);
+  memo.set_accountant(&ctx.memory);
   search::MemoizedSearch<PairHooks> engine(trace, options.stepper, so, &ctx,
                                            &memo, PairHooks{first, second});
   PairQueryResult result;

@@ -37,6 +37,10 @@ struct ScheduleSpaceOptions {
   std::size_t max_states = 4'000'000;
   /// Abort after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+  /// Abort once the memo store (plus scheduler task descriptors) has
+  /// charged this many bytes (0 = unlimited).  Strict and global across
+  /// workers; see search::SearchOptions::max_memory_bytes.
+  std::uint64_t max_memory_bytes = 0;
   /// Also compute the coexistence matrix: can_coexist(x, y) iff some
   /// completable state has x and y simultaneously enabled and executing
   /// them back-to-back (in some order) still completes.  This is the

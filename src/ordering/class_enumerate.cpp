@@ -282,6 +282,7 @@ search::SearchOptions to_search_options(const ClassEnumOptions& options) {
   so.max_states = options.max_prefixes;
   so.max_terminals = options.max_schedules;
   so.time_budget_seconds = options.time_budget_seconds;
+  so.max_memory_bytes = options.max_memory_bytes;
   so.steal = options.steal;
   so.reduction = options.reduction;
   return so;
@@ -310,6 +311,7 @@ ClassEnumStats enumerate_causal_classes(
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
   search::ShardedFingerprintSet prefix_seen;
+  prefix_seen.set_accountant(&ctx.memory);
   const bool reduced = so.reduction != search::ReductionMode::kOff;
   std::unique_ptr<search::IndependenceRelation> indep;
   if (reduced) indep = std::make_unique<search::IndependenceRelation>(trace);
@@ -352,6 +354,7 @@ ClassEnumStats enumerate_causal_classes_parallel(
   // from two task regions is explored by whichever task gets there first
   // (its completions are identical either way).
   search::ShardedFingerprintSet prefix_seen;
+  prefix_seen.set_accountant(&ctx.memory);
 
   // Claim the root (post-seed) state once, as the serial engine would at
   // its first dfs() entry, so distinct-prefix counts match it exactly.

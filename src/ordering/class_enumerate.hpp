@@ -42,6 +42,10 @@ struct ClassEnumOptions {
   /// in parallel mode.
   std::uint64_t max_schedules = 0;
   double time_budget_seconds = 0.0;
+  /// Byte budget over the prefix-fingerprint store and queued task
+  /// descriptors (0 = unlimited).  Strict and global across workers;
+  /// see search::SearchOptions::max_memory_bytes.
+  std::uint64_t max_memory_bytes = 0;
   /// Fast-forward through this schedule prefix before enumerating (every
   /// event must be enabled in sequence).  The parallel variant seeds
   /// each task's subtree this way.

@@ -46,6 +46,7 @@ OrderingRelations compute_interleaving(const Trace& trace,
   sso.stepper.respect_dependences = options.respect_dependences;
   sso.max_states = options.max_states;
   sso.time_budget_seconds = options.time_budget_seconds;
+  sso.max_memory_bytes = options.max_memory_bytes;
   sso.num_threads = options.num_threads;
   sso.steal = options.steal;
   const CanPrecedeResult cp = compute_can_precede(trace, sso);
@@ -239,6 +240,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     co.causal = causal;
     co.max_schedules = options.max_schedules;
     co.time_budget_seconds = options.time_budget_seconds;
+    co.max_memory_bytes = options.max_memory_bytes;
     co.steal = options.steal;
     co.reduction = options.reduction;
     if (num_threads <= 1) {
@@ -289,6 +291,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
   eo.stepper.respect_dependences = options.respect_dependences;
   eo.max_schedules = options.max_schedules;
   eo.time_budget_seconds = options.time_budget_seconds;
+  eo.max_memory_bytes = options.max_memory_bytes;
   eo.steal = options.steal;
   if (num_threads <= 1) {
     CausalAccumulator acc(trace, causal, dedup);

@@ -54,6 +54,12 @@ struct ExactOptions {
   std::size_t max_states = 4'000'000;
   /// Either engine: stop after this many seconds (0 = unlimited).
   double time_budget_seconds = 0.0;
+  /// Either engine: stop once the underlying search's charged memory —
+  /// prefix/memo fingerprint stores, queued task descriptors — reaches
+  /// this many bytes (0 = unlimited).  Strict and global across
+  /// workers; the result is flagged `truncated` with
+  /// StopReason::kMemory.  See search::SearchOptions::max_memory_bytes.
+  std::uint64_t max_memory_bytes = 0;
 
   /// Causal/interval engine: number of worker threads (0 = hardware
   /// concurrency, 1 = serial; every request is clamped to

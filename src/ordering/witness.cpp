@@ -12,6 +12,7 @@ EnumerateOptions to_enum_options(const ExactOptions& options) {
   eo.stepper.respect_dependences = options.respect_dependences;
   eo.max_schedules = options.max_schedules;
   eo.time_budget_seconds = options.time_budget_seconds;
+  eo.max_memory_bytes = options.max_memory_bytes;
   return eo;
 }
 

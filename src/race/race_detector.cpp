@@ -33,7 +33,10 @@ std::string RaceReport::summary(const Trace& trace) const {
   std::ostringstream os;
   os << to_string(detector) << " detector: " << races.size() << " race(s) in "
      << candidate_pairs << " conflicting pair(s)";
-  if (truncated) os << " [truncated search]";
+  if (truncated) {
+    os << " [truncated search: " << search::to_string(search.stop_reason)
+       << "]";
+  }
   os << '\n';
   for (const Race& r : races) {
     os << "  " << describe(trace.event(r.a)) << " <-> "
@@ -84,6 +87,7 @@ RaceReport detect_races_exact(const Trace& trace,
   RaceReport report;
   report.detector = RaceDetector::kExact;
   report.truncated = rel.truncated;
+  report.search = rel.search;
   const TransitiveClosure observed =
       observed_causal_closure(trace, {.include_data_edges = false});
   for (const auto& [a, b] : trace.conflicting_pairs()) {

@@ -48,6 +48,10 @@ struct RaceReport {
   std::vector<Race> races;
   std::size_t candidate_pairs = 0;  ///< conflicting cross-process pairs
   bool truncated = false;           ///< exact search hit its budget
+  /// Unified search-core statistics of the underlying exact analysis
+  /// (which budget tripped, states, memo bytes); zeroed for the
+  /// polynomial detectors, which do not search.
+  search::SearchStats search;
 
   bool contains(EventId a, EventId b) const;
   std::string summary(const Trace& trace) const;

@@ -1,0 +1,177 @@
+// Resource-governed anytime queries.
+//
+// Theorems 1-4 say the exact ordering relations cannot be computed in
+// polynomial time (assuming P != NP), so any exact query can exhaust a
+// realistic resource budget.  This module makes that failure mode a
+// first-class result instead of an error: AnytimeQuery runs a query
+// through an escalating ladder of budgets (states / schedules / bytes /
+// seconds) and, when even the largest rung is exhausted, degrades to a
+// sound one-sided answer built from
+//
+//   * the truncated exact run's partial matrices — a budget-stopped
+//     search visits a SUBSET of the feasible causal classes, so its
+//     could-relations are under-approximate (every set bit is a proof)
+//     and its must-relations over-approximate (every clear bit is a
+//     refutation);
+//   * the polynomial approximations of the paper's §4 — the combined
+//     HMW + EGP + closest-common-ancestor fixpoint (approx/combined.hpp)
+//     whose guaranteed orderings are a sound subset of exact causal MHB,
+//     and the observed execution's vector clocks, which exhibit one
+//     concrete feasible execution;
+//   * partial-search witnesses: a stuck prefix found by a truncated
+//     deadlock search is a valid deadlock witness regardless of
+//     truncation, and a schedule witnessing a could-relation replays
+//     validly no matter which budget found it.
+//
+// Every verdict carries full provenance: which engine answered, which
+// budget tripped, and the resources spent getting there.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "approx/combined.hpp"
+#include "approx/vector_clock.hpp"
+#include "feasible/deadlock.hpp"
+#include "ordering/exact.hpp"
+#include "race/race_detector.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+/// Three-valued answer of a budgeted query.  kProven / kRefuted are
+/// definitive (backed by sound evidence); kUnknown means every rung
+/// truncated and no one-sided bound decided the pair.
+enum class VerdictState : std::uint8_t {
+  kUnknown = 0,
+  kProven = 1,
+  kRefuted = 2,
+};
+
+const char* to_string(VerdictState state);
+
+/// One rung of the escalation ladder.  Zero means "unlimited" for that
+/// axis, exactly as in ExactOptions / SearchOptions.
+struct QueryBudget {
+  std::size_t max_states = 0;         ///< interleaving / deadlock engines
+  std::uint64_t max_schedules = 0;    ///< causal / interval engines
+  std::uint64_t max_memory_bytes = 0; ///< strict global byte budget
+  double time_budget_seconds = 0.0;
+};
+
+/// Where a verdict came from and what it cost.
+struct QueryProvenance {
+  /// The engine whose evidence decided (or failed to decide) the query:
+  /// "exact" (un-truncated run), "exact-partial" (one-sided bit of a
+  /// truncated run), "combined" (sound guaranteed-orderings fixpoint),
+  /// "vector-clock" (the observed execution as an existence proof),
+  /// "guaranteed-races" (superset race detector), or "none".
+  std::string engine = "none";
+  /// True iff an exact run completed without truncation (the verdict is
+  /// then the exact Table-1 answer, not a bound).
+  bool exact_complete = false;
+  /// True iff the final exact rung was truncated.
+  bool truncated = false;
+  /// Which budget tripped on the final exact rung (kNone if complete).
+  search::StopReason stop_reason = search::StopReason::kNone;
+  /// Ladder rungs attempted (1-based count; 0 if the ladder was empty).
+  std::size_t rungs_tried = 0;
+  std::uint64_t states_visited = 0;  ///< final rung's engine states
+  std::uint64_t memo_bytes = 0;      ///< final rung's store footprint
+  double seconds_spent = 0.0;        ///< wall clock across ALL rungs
+
+  /// One line: engine, completeness, stop reason, resources.
+  std::string summary() const;
+};
+
+/// A query answer that is honest about resource exhaustion.
+struct BoundedVerdict {
+  VerdictState state = VerdictState::kUnknown;
+  QueryProvenance provenance;
+  /// Supporting schedule when one exists: a witness schedule for proven
+  /// could-queries, a counterexample schedule for refuted must-queries,
+  /// a stuck prefix for a proven deadlock.  May be absent even for
+  /// definitive verdicts (e.g. refutations need no schedule).
+  std::optional<std::vector<EventId>> witness;
+
+  bool proven() const { return state == VerdictState::kProven; }
+  bool refuted() const { return state == VerdictState::kRefuted; }
+  bool unknown() const { return state == VerdictState::kUnknown; }
+
+  /// One line: verdict + provenance summary.
+  std::string summary() const;
+};
+
+struct AnytimeOptions {
+  /// Escalating budgets, tried in order; the first un-truncated rung
+  /// answers exactly.  Empty = default_ladder().
+  std::vector<QueryBudget> ladder;
+  /// Base exact configuration (semantics knobs, thread count, reduction
+  /// mode...).  The per-rung budgets override max_states, max_schedules,
+  /// max_memory_bytes and time_budget_seconds.
+  ExactOptions exact;
+
+  /// Three rungs escalating states/schedules/bytes by ~16x each, no
+  /// time budgets (deterministic across machines).
+  static std::vector<QueryBudget> default_ladder();
+};
+
+/// Runs ordering / race / deadlock queries under the budget ladder.
+/// Exact results are cached per semantics (like OrderingAnalyzer), so
+/// querying many pairs costs one ladder climb.  The referenced trace
+/// must outlive the query object.
+class AnytimeQuery {
+ public:
+  explicit AnytimeQuery(const Trace& trace, AnytimeOptions options = {});
+
+  const AnytimeOptions& options() const { return options_; }
+
+  // ----- ordering queries (Table 1) ------------------------------------
+  BoundedVerdict must_have_happened_before(
+      EventId a, EventId b, Semantics semantics = Semantics::kCausal);
+  BoundedVerdict could_have_happened_before(
+      EventId a, EventId b, Semantics semantics = Semantics::kCausal);
+  BoundedVerdict could_have_been_concurrent(EventId a, EventId b);
+
+  // ----- applications ---------------------------------------------------
+  /// Does the conflicting pair (a, b) race?  Proven by a (possibly
+  /// truncated) exact detector hit; refuted when even the superset
+  /// guaranteed detector reports no race.
+  BoundedVerdict race_between(EventId a, EventId b);
+  /// Could any feasible schedule prefix wedge?  A stuck witness from a
+  /// truncated search still proves; refutation needs exhaustion.
+  BoundedVerdict can_deadlock();
+
+ private:
+  struct LadderRun {
+    OrderingRelations relations;
+    QueryProvenance provenance;
+  };
+
+  /// Climbs the ladder for `semantics` (cached): stops at the first
+  /// un-truncated rung, else keeps the final (largest) truncated run.
+  const LadderRun& exact_run(Semantics semantics);
+  ExactOptions rung_options(const QueryBudget& rung) const;
+  /// Budgets of the rung that produced a cached result (the last rung
+  /// that provenance records as attempted) — used for witness searches.
+  ExactOptions witness_options(const QueryProvenance& provenance) const;
+  /// True iff the polynomial causal bounds (combined / vector clocks)
+  /// are comparable with the configured exact causal order.
+  bool causal_bounds_apply(Semantics semantics) const;
+  const CombinedResult& combined();
+  const VectorClockResult& observed();
+
+  const Trace& trace_;
+  AnytimeOptions options_;
+  std::array<std::optional<LadderRun>, 3> exact_;
+  std::optional<std::pair<DeadlockReport, QueryProvenance>> deadlock_;
+  std::optional<std::pair<RaceReport, QueryProvenance>> races_;
+  std::optional<RaceReport> guaranteed_races_;
+  std::optional<CombinedResult> combined_;
+  std::optional<VectorClockResult> observed_;
+};
+
+}  // namespace evord

@@ -83,7 +83,14 @@
 //   max_terminals — strict and global: a shared atomic counter ensures
 //                   the combined number of terminal visits never exceeds
 //                   the budget, serial or parallel.
-//   deadline      — polled every 256 states; trips request a global stop.
+//   deadline      — polled every 256 states (memo hits included); trips
+//                   request a global stop.
+//   max_memory_bytes — strict and global: the stores/scheduler/witness
+//                   buffers charge one shared MemoryAccountant and both
+//                   engines poll it per expanded state, stopping with
+//                   StopReason::kMemory (overshoot bounded by one
+//                   state's charge per worker).  The deterministic
+//                   fault hooks (util/fault.hpp) ride the same polls.
 #pragma once
 
 #include <algorithm>
@@ -95,10 +102,12 @@
 #include "feasible/stepper.hpp"
 #include "search/fingerprint_set.hpp"
 #include "search/independence.hpp"
+#include "search/memory.hpp"
 #include "search/scheduler.hpp"
 #include "search/search.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace evord::search {
@@ -175,9 +184,13 @@ class PrivateSetDedup {
 /// single context the same way).
 struct SharedContext {
   explicit SharedContext(const SearchOptions& options)
-      : deadline(options.time_budget_seconds) {}
+      : deadline(options.time_budget_seconds),
+        memory(options.max_memory_bytes) {}
 
   Deadline deadline;
+  /// Strict global max_memory_bytes gate; the stores, scheduler and
+  /// witness buffers charge it, the engines poll it (search/memory.hpp).
+  MemoryAccountant memory;
   std::atomic<std::uint64_t> terminals{0};  ///< strict max_terminals gate
   std::atomic<std::uint64_t> states{0};     ///< global distinct states
   std::atomic<bool> stop{false};
@@ -446,10 +459,20 @@ class EnumerationSearch {
       ++stats_.states_visited;
       ++stats_.depth_states[stepper_.num_executed()];
     }
-    if ((++budget_poll_ & 255u) == 0 && ctx_->deadline.expired()) {
+    if ((((++budget_poll_ & 255u) == 0) && ctx_->deadline.expired()) ||
+        (fault::enabled() && fault::on_state_expanded())) {
       stats_.truncated = true;
       set_reason(StopReason::kDeadline);
       ctx_->request_stop(StopReason::kDeadline);
+      return false;
+    }
+    // Memory is polled per expanded state (one relaxed load): the store
+    // charge for this state has just landed, so a budget of N bytes
+    // overshoots by at most one state's charge per worker.
+    if (ctx_->memory.exceeded()) {
+      stats_.truncated = true;
+      set_reason(StopReason::kMemory);
+      ctx_->request_stop(StopReason::kMemory);
       return false;
     }
 
@@ -609,6 +632,24 @@ class MemoizedSearch {
   /// use.
   bool explore(std::size_t depth) {
     if (stepper_.complete()) return true;
+    // The deadline/memory polls run BEFORE the memo lookup: the memo-hit
+    // fast path is the common case in warmed sweeps, and a hit path that
+    // never polls would let a memo-dominated run overrun its
+    // time_budget_seconds arbitrarily.  Same 256-interval counter as the
+    // enumeration engine.
+    if ((((++budget_poll_ & 255u) == 0) && ctx_->deadline.expired()) ||
+        (fault::enabled() && fault::on_state_expanded())) {
+      stats_.truncated = true;
+      set_reason(StopReason::kDeadline);
+      ctx_->request_stop(StopReason::kDeadline);
+      return false;
+    }
+    if (ctx_->memory.exceeded()) {
+      stats_.truncated = true;
+      set_reason(StopReason::kMemory);
+      ctx_->request_stop(StopReason::kMemory);
+      return false;  // unsound once truncated; flagged
+    }
     // Under reduction the memo keys the (state, sleep set) pair: the
     // reduced completability verdict below a node is a deterministic
     // function of exactly that pair.  New slots start empty (Z = ∅).
@@ -631,12 +672,6 @@ class MemoizedSearch {
       stats_.truncated = true;
       set_reason(StopReason::kMaxStates);
       return false;  // unsound once truncated; flagged
-    }
-    if ((++budget_poll_ & 1023u) == 0 && ctx_->deadline.expired()) {
-      stats_.truncated = true;
-      set_reason(StopReason::kDeadline);
-      ctx_->request_stop(StopReason::kDeadline);
-      return false;
     }
 
     const bool tracked = worker_ != nullptr && suspend_ == 0;

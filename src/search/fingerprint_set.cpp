@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/hash.hpp"
 
 namespace evord::search {
@@ -29,9 +30,20 @@ ShardedFingerprintSet::Shard& ShardedFingerprintSet::shard_for(
 
 bool ShardedFingerprintSet::insert(std::uint64_t fingerprint,
                                    const std::vector<std::uint64_t>* payload) {
+  if (fault::enabled() && fault::on_store_insert() && accountant_ != nullptr) {
+    // Injected insertion failure: the store refuses to grow, surfaced
+    // through the governed memory path (StopReason::kMemory).
+    accountant_->exhaust();
+  }
   Shard& shard = shard_for(fingerprint);
   std::lock_guard<std::mutex> lock(shard.mu);
   const bool inserted = shard.fingerprints.insert(fingerprint).second;
+  if (inserted && accountant_ != nullptr) {
+    accountant_->charge(kBytesPerEntry +
+                        (verify_ && payload != nullptr
+                             ? payload->size() * sizeof(std::uint64_t)
+                             : 0));
+  }
   if (verify_ && payload != nullptr) {
     if (inserted) {
       shard.payloads.emplace(fingerprint, *payload);
@@ -105,12 +117,21 @@ bool FingerprintBoolMap::lookup(std::uint64_t fingerprint, bool* value,
 
 bool FingerprintBoolMap::store(std::uint64_t fingerprint, bool value,
                                const std::vector<std::uint64_t>* payload) {
+  if (fault::enabled() && fault::on_store_insert() && accountant_ != nullptr) {
+    accountant_->exhaust();
+  }
   Shard& shard = shard_for(fingerprint);
   std::unique_lock<std::mutex> lock(shard.mu, std::defer_lock);
   if (synchronized_) lock.lock();
   const auto [it, inserted] = shard.values.emplace(fingerprint, value);
   EVORD_CHECK(inserted || it->second == value,
               "memoized value mismatch for fingerprint " << fingerprint);
+  if (inserted && accountant_ != nullptr) {
+    accountant_->charge(kBytesPerEntry +
+                        (verify_ && payload != nullptr
+                             ? payload->size() * sizeof(std::uint64_t)
+                             : 0));
+  }
   check_payload(shard, fingerprint, payload);
   return inserted;
 }

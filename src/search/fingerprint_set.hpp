@@ -22,6 +22,13 @@
 // CheckError instead of silently pruning an unexplored state or reusing
 // a wrong memo value.  Release builds keep nothing beyond the
 // fingerprints.
+// Memory accounting: attach a MemoryAccountant (search/memory.hpp) via
+// set_accountant() and every newly retained entry charges its release-
+// build footprint (kBytesPerEntry), plus the retained payload words in
+// collision-verification builds.  The deterministic fault layer
+// (util/fault.hpp, kStoreFailAt) can make the K-th insertion "fail":
+// the store then force-exhausts the accountant, so the owning search
+// stops with StopReason::kMemory exactly as if the byte budget tripped.
 #pragma once
 
 #include <cstdint>
@@ -31,10 +38,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "search/memory.hpp"
+
 namespace evord::search {
 
 class ShardedFingerprintSet {
  public:
+  /// Release-build bytes per retained fingerprint.
+  static constexpr std::uint64_t kBytesPerEntry = 8;
 #ifndef NDEBUG
   static constexpr bool kVerifyByDefault = true;
 #else
@@ -50,6 +61,12 @@ class ShardedFingerprintSet {
 
   bool verify_collisions() const noexcept { return verify_; }
   std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Attaches the accountant newly retained entries are charged to.
+  /// Call before any concurrent use; nullptr detaches.
+  void set_accountant(MemoryAccountant* accountant) noexcept {
+    accountant_ = accountant;
+  }
 
   /// Inserts `fingerprint`; returns true iff it was not present (the
   /// caller owns this element).  Thread-safe.  When collision
@@ -79,6 +96,7 @@ class ShardedFingerprintSet {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   bool verify_;
+  MemoryAccountant* accountant_ = nullptr;
 };
 
 /// Sharded fingerprint -> bool memo table.  Duplicate stores of the same
@@ -86,6 +104,9 @@ class ShardedFingerprintSet {
 /// state; the memoized predicate is deterministic, so every store agrees).
 class FingerprintBoolMap {
  public:
+  /// Release-build bytes per memoized state (fingerprint + bool).
+  static constexpr std::uint64_t kBytesPerEntry = 9;
+
   /// `num_shards` is rounded up to a power of two (minimum 1).  With
   /// `synchronized` false, per-shard locking is skipped entirely — valid
   /// only for single-threaded use.
@@ -98,6 +119,12 @@ class FingerprintBoolMap {
 
   bool verify_collisions() const noexcept { return verify_; }
   std::size_t num_shards() const noexcept { return shards_.size(); }
+
+  /// Attaches the accountant newly memoized entries are charged to.
+  /// Call before any concurrent use; nullptr detaches.
+  void set_accountant(MemoryAccountant* accountant) noexcept {
+    accountant_ = accountant;
+  }
 
   /// If `fingerprint` is memoized, writes its value to `*value` and
   /// returns true.  When verification is on and `payload` is non-null, a
@@ -133,6 +160,7 @@ class FingerprintBoolMap {
   std::vector<std::unique_ptr<Shard>> shards_;
   bool synchronized_;
   bool verify_;
+  MemoryAccountant* accountant_ = nullptr;
 };
 
 }  // namespace evord::search

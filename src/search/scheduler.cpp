@@ -10,11 +10,19 @@
 #include <thread>
 
 #include "search/engine.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace evord::search {
 
 namespace {
+
+/// Heap footprint of a task descriptor (charged while it sits queued).
+std::uint64_t task_bytes(const SearchTask& task) {
+  return sizeof(SearchTask) + task.seed.size() * sizeof(EventId) +
+         task.dewey.size() * sizeof(std::uint32_t) +
+         task.sleep.size() * sizeof(EventId);
+}
 
 /// Chase–Lev work-stealing deque of SearchTask*.  The owner pushes and
 /// pops at the bottom (LIFO, so it keeps working near its current
@@ -152,6 +160,7 @@ class WorkStealingScheduler {
     // Round-robin initial distribution; single-threaded here, so owner
     // pushes into foreign deques are safe.
     for (std::size_t i = 0; i < roots.size(); ++i) {
+      ctx_->memory.charge(task_bytes(roots[i]));
       workers_[i % workers_.size()]->deque.push(
           new SearchTask(std::move(roots[i])));
     }
@@ -176,6 +185,9 @@ class WorkStealingScheduler {
   void spawn(std::size_t worker_id, SearchTask task) {
     outstanding_.fetch_add(1, std::memory_order_relaxed);
     ++workers_[worker_id]->stats.tasks_spawned;
+    // Donated tasks are real allocations a budgeted search must answer
+    // for: charge while queued, released when the task is consumed.
+    ctx_->memory.charge(task_bytes(task));
     workers_[worker_id]->deque.push(new SearchTask(std::move(task)));
   }
 
@@ -228,6 +240,7 @@ class WorkStealingScheduler {
 
   void run_task(SearchTask* task, WorkerHandle& handle) {
     std::unique_ptr<SearchTask> owned(task);
+    ctx_->memory.release(task_bytes(*owned));
     if (abort_.load(std::memory_order_acquire)) return;  // drain only
     try {
       const SearchStats stats = (*run_)(*owned, handle);
@@ -244,6 +257,13 @@ class WorkStealingScheduler {
   SearchTask* steal_task(Worker& self, std::size_t id, bool* stolen) {
     const std::size_t n = workers_.size();
     if (n <= 1) return nullptr;
+    if (fault::enabled() &&
+        fault::on_steal_attempt(id) == fault::StealAction::kPoison) {
+      // Injected steal failure: this worker's probe round reports empty.
+      // Every queued task is still consumed by its owner's LIFO pop, so
+      // the search completes with identical results.
+      return nullptr;
+    }
     // One round of seeded-random victim probes; the outer loop retries
     // until global termination, so one pass per wakeup is enough.
     for (std::size_t attempt = 0; attempt + 1 < 2 * n; ++attempt) {

@@ -16,6 +16,8 @@ const char* to_string(StopReason reason) {
       return "deadline";
     case StopReason::kVisitor:
       return "visitor";
+    case StopReason::kMemory:
+      return "memory";
   }
   return "unknown";
 }

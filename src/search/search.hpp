@@ -22,6 +22,7 @@ enum class StopReason : std::uint8_t {
   kMaxTerminals = 2,  ///< terminal budget (max_terminals / max_schedules)
   kDeadline = 3,      ///< wall-clock time budget
   kVisitor = 4,       ///< a visitor returned false
+  kMemory = 5,        ///< byte budget (max_memory_bytes) or store failure
 };
 
 const char* to_string(StopReason reason);
@@ -75,6 +76,14 @@ struct SearchOptions {
   std::uint64_t max_terminals = 0;
   /// Stop after this many seconds of wall clock.
   double time_budget_seconds = 0.0;
+  /// Stop once the search's charged memory — fingerprint/memo store
+  /// entries, retained collision payloads, donated task descriptors,
+  /// witness buffers — reaches this many bytes.  Strict and global
+  /// across all workers (one shared MemoryAccountant per search, see
+  /// search/memory.hpp): a budget of N caps the combined total at N,
+  /// the same contract as max_states.  Engines poll per expanded state,
+  /// so overshoot is bounded by one state's charge per worker.
+  std::uint64_t max_memory_bytes = 0;
   /// Worker count: 0 = hardware concurrency, 1 = serial.  Clamped to
   /// max_worker_threads() (scheduler.hpp) so oversubscription is
   /// impossible.

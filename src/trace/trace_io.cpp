@@ -15,14 +15,21 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::istream& in) : in_(in) {}
+  Parser(std::istream& in, const TraceParseLimits& limits)
+      : in_(in), limits_(limits) {}
 
   Trace run() {
     expect_header();
     parse_declarations();
     parse_schedule();
     parse_trailer();
-    Trace t = builder_.build_unchecked();
+    Trace t = [&] {
+      try {
+        return builder_.build_unchecked();
+      } catch (const CheckError& err) {
+        fail(err.what());
+      }
+    }();
     const AxiomReport report = validate_axioms(t);
     if (!report.ok()) {
       throw TraceParseError(line_no_,
@@ -41,6 +48,10 @@ class Parser {
     std::string raw;
     while (std::getline(in_, raw)) {
       ++line_no_;
+      if (raw.size() > limits_.max_line_bytes) {
+        fail("line exceeds " + std::to_string(limits_.max_line_bytes) +
+             " bytes");
+      }
       const std::size_t hash = raw.find('#');
       if (hash != std::string::npos) raw.resize(hash);
       const std::string_view body = trim(raw);
@@ -106,6 +117,10 @@ class Parser {
         if (tokens.size() != 2) fail("usage: procs <count>");
         const auto count = parse_int(tokens[1]);
         if (!count || *count < 1) fail("process count must be >= 1");
+        if (static_cast<std::uint64_t>(*count) > limits_.max_processes) {
+          fail("process count exceeds limit of " +
+               std::to_string(limits_.max_processes));
+        }
         for (std::int64_t i = 1; i < *count; ++i) builder_.add_process();
         num_procs_ = static_cast<std::size_t>(*count);
       } else if (kw == "autodeps") {
@@ -146,45 +161,57 @@ class Parser {
         return;
       }
       if (tokens.size() < 2) fail("expected '<proc> <op> ...'");
+      if (builder_.num_events() >= limits_.max_events) {
+        fail("event count exceeds limit of " +
+             std::to_string(limits_.max_events));
+      }
       const ProcId p = parse_proc(tokens[0]);
       const std::string_view op = tokens[1];
-      if (op == "P" || op == "V") {
-        if (tokens.size() != 3) fail("usage: <proc> P|V <sem>");
-        const ObjectId s = lookup(sems_, tokens[2], "semaphore");
-        if (op == "P") {
-          builder_.sem_p(p, s);
-        } else {
-          builder_.sem_v(p, s);
-        }
-      } else if (op == "post" || op == "wait" || op == "clear") {
-        if (tokens.size() != 3) fail("usage: <proc> post|wait|clear <event>");
-        const ObjectId e = lookup(events_, tokens[2], "event variable");
-        if (op == "post") {
-          builder_.post(p, e);
-        } else if (op == "wait") {
-          builder_.wait(p, e);
-        } else {
-          builder_.clear(p, e);
-        }
-      } else if (op == "fork" || op == "join") {
-        if (tokens.size() != 3) fail("usage: <proc> fork|join <proc>");
-        const ProcId child = parse_proc(tokens[2]);
-        try {
-          if (op == "fork") {
-            builder_.fork_existing(p, child);
-          } else {
-            builder_.join(p, child);
-          }
-        } catch (const CheckError& err) {
-          fail(err.what());
-        }
-      } else if (op == "compute") {
-        parse_compute(p, *line);
-      } else {
-        fail("unknown operation '" + std::string(op) + "'");
+      // Any builder-level invariant violation on malformed input is a
+      // parse error with a line number, never an escaping CheckError.
+      try {
+        dispatch_op(p, op, tokens, *line);
+      } catch (const CheckError& err) {
+        fail(err.what());
       }
     }
     fail("missing 'end' after schedule");
+  }
+
+  void dispatch_op(ProcId p, std::string_view op,
+                   const std::vector<std::string_view>& tokens,
+                   const std::string& line) {
+    if (op == "P" || op == "V") {
+      if (tokens.size() != 3) fail("usage: <proc> P|V <sem>");
+      const ObjectId s = lookup(sems_, tokens[2], "semaphore");
+      if (op == "P") {
+        builder_.sem_p(p, s);
+      } else {
+        builder_.sem_v(p, s);
+      }
+    } else if (op == "post" || op == "wait" || op == "clear") {
+      if (tokens.size() != 3) fail("usage: <proc> post|wait|clear <event>");
+      const ObjectId e = lookup(events_, tokens[2], "event variable");
+      if (op == "post") {
+        builder_.post(p, e);
+      } else if (op == "wait") {
+        builder_.wait(p, e);
+      } else {
+        builder_.clear(p, e);
+      }
+    } else if (op == "fork" || op == "join") {
+      if (tokens.size() != 3) fail("usage: <proc> fork|join <proc>");
+      const ProcId child = parse_proc(tokens[2]);
+      if (op == "fork") {
+        builder_.fork_existing(p, child);
+      } else {
+        builder_.join(p, child);
+      }
+    } else if (op == "compute") {
+      parse_compute(p, line);
+    } else {
+      fail("unknown operation '" + std::string(op) + "'");
+    }
   }
 
   void parse_compute(ProcId p, const std::string& line) {
@@ -241,12 +268,17 @@ class Parser {
           static_cast<std::size_t>(*b) >= builder_.num_events()) {
         fail("dependence event id out of range");
       }
-      builder_.add_dependence(static_cast<EventId>(*a),
-                              static_cast<EventId>(*b));
+      try {
+        builder_.add_dependence(static_cast<EventId>(*a),
+                                static_cast<EventId>(*b));
+      } catch (const CheckError& err) {
+        fail(err.what());
+      }
     }
   }
 
   std::istream& in_;
+  TraceParseLimits limits_;
   std::size_t line_no_ = 0;
   TraceBuilder builder_;
   std::size_t num_procs_ = 1;
@@ -257,17 +289,21 @@ class Parser {
 
 }  // namespace
 
-Trace parse_trace(std::istream& in) { return Parser(in).run(); }
-
-Trace parse_trace_string(const std::string& text) {
-  std::istringstream in(text);
-  return parse_trace(in);
+Trace parse_trace(std::istream& in, const TraceParseLimits& limits) {
+  return Parser(in, limits).run();
 }
 
-Trace load_trace_file(const std::string& path) {
+Trace parse_trace_string(const std::string& text,
+                         const TraceParseLimits& limits) {
+  std::istringstream in(text);
+  return parse_trace(in, limits);
+}
+
+Trace load_trace_file(const std::string& path,
+                      const TraceParseLimits& limits) {
   std::ifstream in(path);
   EVORD_CHECK(in.good(), "cannot open trace file '" << path << "'");
-  return parse_trace(in);
+  return parse_trace(in, limits);
 }
 
 std::string write_trace(const Trace& trace) {

@@ -44,10 +44,23 @@ class TraceParseError : public std::runtime_error {
   std::size_t line_;
 };
 
+/// Ingestion caps.  Untrusted input must not be able to allocate
+/// unbounded memory before validation rejects it, so the parser fails
+/// fast (TraceParseError with the offending line) once any of these is
+/// exceeded.  The defaults comfortably cover every workload generator in
+/// this repo; raise them explicitly for bigger traces.
+struct TraceParseLimits {
+  std::size_t max_events = 1'000'000;   ///< schedule lines
+  std::size_t max_processes = 10'000;   ///< `procs` count
+  std::size_t max_line_bytes = 65'536;  ///< raw line length, pre-trim
+};
+
 /// Parses a trace; validates the model axioms before returning.
-Trace parse_trace(std::istream& in);
-Trace parse_trace_string(const std::string& text);
-Trace load_trace_file(const std::string& path);
+Trace parse_trace(std::istream& in, const TraceParseLimits& limits = {});
+Trace parse_trace_string(const std::string& text,
+                         const TraceParseLimits& limits = {});
+Trace load_trace_file(const std::string& path,
+                      const TraceParseLimits& limits = {});
 
 /// Serializes so that parse_trace(write_trace(t)) reproduces `t`.
 /// All D edges are written as explicit `dep` lines (with `autodeps off`),

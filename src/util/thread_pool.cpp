@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace evord {
 
@@ -45,14 +47,32 @@ void ThreadPool::parallel_for(std::size_t n,
     futures.push_back(submit([&f, i] { f(i); }));
   }
   std::exception_ptr first_error;
+  std::size_t suppressed = 0;
   for (auto& fut : futures) {
     try {
       fut.get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      if (!first_error) {
+        first_error = std::current_exception();
+      } else {
+        ++suppressed;
+      }
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (!first_error) return;
+  if (suppressed == 0) std::rethrow_exception(first_error);
+  // More than one task failed: only one exception can propagate, so the
+  // rethrown message must carry the count of the ones it eclipsed.
+  const std::string tail = " (+" + std::to_string(suppressed) +
+                           " suppressed task exception" +
+                           (suppressed == 1 ? ")" : "s)");
+  try {
+    std::rethrow_exception(first_error);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + tail);
+  } catch (...) {
+    throw std::runtime_error("non-standard task exception" + tail);
+  }
 }
 
 }  // namespace evord

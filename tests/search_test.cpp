@@ -20,6 +20,8 @@
 #include "ordering/class_enumerate.hpp"
 #include "ordering/exact.hpp"
 #include "helpers.hpp"
+#include "search/fingerprint_set.hpp"
+#include "search/memory.hpp"
 #include "search/search.hpp"
 #include "trace/builder.hpp"
 #include "util/rng.hpp"
@@ -591,7 +593,98 @@ TEST(SearchStats, StopReasonNamesAreExhaustive) {
   EXPECT_STREQ(search::to_string(StopReason::kMaxTerminals), "max-terminals");
   EXPECT_STREQ(search::to_string(StopReason::kDeadline), "deadline");
   EXPECT_STREQ(search::to_string(StopReason::kVisitor), "visitor");
+  EXPECT_STREQ(search::to_string(StopReason::kMemory), "memory");
   EXPECT_STREQ(search::to_string(static_cast<StopReason>(0xff)), "unknown");
+}
+
+// ----------------------------------------------------------------------
+// Memory accounting: the byte budget layer under max_memory_bytes.
+
+TEST(MemoryAccountant, ChargeReleaseAndLimit) {
+  search::MemoryAccountant acc(100);
+  EXPECT_FALSE(acc.exceeded());
+  acc.charge(40);
+  EXPECT_EQ(acc.bytes(), 40u);
+  EXPECT_FALSE(acc.exceeded());
+  acc.charge(60);
+  EXPECT_TRUE(acc.exceeded());  // at the limit counts as exceeded
+  acc.release(1);
+  EXPECT_FALSE(acc.exceeded());
+  EXPECT_EQ(acc.bytes(), 99u);
+}
+
+TEST(MemoryAccountant, UnlimitedUnlessExhausted) {
+  search::MemoryAccountant acc(0);  // 0 = unlimited
+  acc.charge(1'000'000'000);
+  EXPECT_FALSE(acc.exceeded());
+  acc.exhaust();  // a failed store insertion force-exhausts
+  EXPECT_TRUE(acc.exceeded());
+}
+
+TEST(MemoryAccountant, StoreChargesMatchReportedMemoBytes) {
+  // The sharded set charges kBytesPerEntry per retained fingerprint (no
+  // collision payloads with verify off), so the accountant's total must
+  // equal size() * kBytesPerEntry exactly.
+  search::MemoryAccountant acc(0);
+  search::ShardedFingerprintSet set(4, /*verify_collisions=*/false);
+  set.set_accountant(&acc);
+  std::uint64_t inserted = 0;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    if (set.insert(i * 0x9e3779b97f4a7c15ull)) ++inserted;
+    set.insert(i * 0x9e3779b97f4a7c15ull);  // duplicate: must not charge
+  }
+  EXPECT_EQ(set.size(), inserted);
+  EXPECT_EQ(acc.bytes(),
+            inserted * search::ShardedFingerprintSet::kBytesPerEntry);
+}
+
+TEST(MemoryAccountant, BoolMapChargesPerStoredState) {
+  search::MemoryAccountant acc(0);
+  search::FingerprintBoolMap memo(2, /*synchronized=*/true,
+                                  /*verify_collisions=*/false);
+  memo.set_accountant(&acc);
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    memo.store(i * 0x9e3779b97f4a7c15ull, (i & 1) != 0);
+  }
+  EXPECT_EQ(acc.bytes(),
+            memo.size() * search::FingerprintBoolMap::kBytesPerEntry);
+}
+
+TEST(SearchBudgets, MemoryBudgetStopsDeadlockSearch) {
+  Rng rng(9);
+  testing::RandomTraceConfig config;
+  config.num_events = 14;
+  const Trace trace = testing::random_trace(config, rng);
+  DeadlockOptions unbudgeted;
+  const DeadlockReport full = analyze_deadlocks(trace, unbudgeted);
+  ASSERT_FALSE(full.truncated);
+  ASSERT_GT(full.search.memo_bytes, 256u);
+
+  DeadlockOptions budgeted;
+  budgeted.max_memory_bytes = 256;
+  const DeadlockReport r = analyze_deadlocks(trace, budgeted);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.search.stop_reason, search::StopReason::kMemory);
+  EXPECT_LT(r.states_visited, full.states_visited);
+}
+
+TEST(SearchBudgets, MemoizedSearchPollsDeadlineOnMemoHits) {
+  // Regression: the memo-hit fast path used to skip the budget poll, so
+  // a search spending all its time on hits never noticed an expired
+  // deadline.  An already-expired deadline must now stop the sweep
+  // almost immediately even though hits dominate.
+  // The budget is polled every 256 states, so the trace must be big
+  // enough for the sweep to cross at least one poll boundary.
+  Rng rng(4);
+  testing::RandomTraceConfig config;
+  config.num_events = 48;
+  config.num_processes = 4;
+  const Trace trace = testing::random_trace(config, rng);
+  ScheduleSpaceOptions options;
+  options.time_budget_seconds = 1e-9;  // expired before the first poll
+  const CanPrecedeResult r = compute_can_precede(trace, options);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.search.stop_reason, search::StopReason::kDeadline);
 }
 
 TEST(SearchStats, ReductionModeNamesAreExhaustive) {

@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "helpers.hpp"
 #include "trace/axioms.hpp"
 #include "trace/builder.hpp"
 #include "trace/dependence.hpp"
 #include "trace/trace_io.hpp"
 #include "util/check.hpp"
+#include "util/string_util.hpp"
 
 namespace evord {
 namespace {
@@ -533,6 +541,135 @@ TEST(TraceIo, QuotedLabelWithSpaces) {
       "0 compute label=\"if X=1 then\" r=X\nend\n");
   EXPECT_EQ(t.event(0).label, "if X=1 then");
   EXPECT_EQ(t.event(0).reads.size(), 1u);
+}
+
+TEST(TraceIo, RejectsOverlongLines) {
+  TraceParseLimits limits;
+  limits.max_line_bytes = 32;
+  const std::string padding(40, ' ');
+  const std::string text =
+      "evord-trace 1\nprocs 1\nschedule\n0 compute" + padding + "\nend\n";
+  EXPECT_NO_THROW(parse_trace_string(text));  // default cap is generous
+  try {
+    parse_trace_string(text, limits);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("line exceeds"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, RejectsTooManyProcesses) {
+  TraceParseLimits limits;
+  limits.max_processes = 4;
+  const std::string text = "evord-trace 1\nprocs 5\nschedule\nend\n";
+  EXPECT_NO_THROW(parse_trace_string(text));
+  try {
+    parse_trace_string(text, limits);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(TraceIo, RejectsTooManyEvents) {
+  TraceParseLimits limits;
+  limits.max_events = 3;
+  std::string text = "evord-trace 1\nprocs 1\nschedule\n";
+  for (int i = 0; i < 5; ++i) text += "0 compute\n";
+  text += "end\n";
+  EXPECT_NO_THROW(parse_trace_string(text));
+  try {
+    parse_trace_string(text, limits);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_GE(e.line(), 4u);  // one of the schedule lines
+    EXPECT_NE(std::string(e.what()).find("event count exceeds"),
+              std::string::npos);
+  }
+}
+
+// Randomized robustness sweep: no mutation of a well-formed trace file may
+// crash the parser or escape as anything other than TraceParseError.  Byte
+// flips, deletions, truncations, and line duplications model the realistic
+// corruptions of hand-edited or truncated capture files.
+TEST(TraceIo, MutatedInputsNeverEscapeTraceParseError) {
+  std::vector<std::string> corpus;
+  {
+    Rng gen(99);
+    corpus.push_back(write_trace(random_trace({}, gen)));
+    corpus.push_back(write_trace(random_trace({}, gen)));
+  }
+  if (const char* dir = std::getenv("EVORD_DATA_DIR")) {
+    for (const char* name :
+         {"barrier", "figure1", "hidden_race", "producer_consumer",
+          "wedgeable"}) {
+      std::ifstream in(std::string(dir) + "/" + name + ".evord");
+      if (!in) continue;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      corpus.push_back(buf.str());
+    }
+  }
+  ASSERT_GE(corpus.size(), 2u);
+
+  Rng rng(4242);
+  std::size_t parsed_ok = 0;
+  std::size_t rejected = 0;
+  for (const std::string& original : corpus) {
+    for (int trial = 0; trial < 60; ++trial) {
+      std::string text = original;
+      const int kind = static_cast<int>(rng.below(4));
+      switch (kind) {
+        case 0: {  // flip a byte
+          if (text.empty()) break;
+          const std::size_t pos = rng.below(text.size());
+          text[pos] = static_cast<char>(rng.below(256));
+          break;
+        }
+        case 1: {  // delete a span
+          if (text.empty()) break;
+          const std::size_t pos = rng.below(text.size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.below(8), text.size() - pos);
+          text.erase(pos, len);
+          break;
+        }
+        case 2: {  // truncate
+          text.resize(rng.below(text.size() + 1));
+          break;
+        }
+        default: {  // duplicate a line
+          const auto lines = split(text, '\n');
+          if (lines.empty()) break;
+          const std::size_t which = rng.below(lines.size());
+          std::string rebuilt;
+          for (std::size_t i = 0; i < lines.size(); ++i) {
+            rebuilt += lines[i];
+            rebuilt += '\n';
+            if (i == which) {
+              rebuilt += lines[i];
+              rebuilt += '\n';
+            }
+          }
+          text = rebuilt;
+          break;
+        }
+      }
+      try {
+        const Trace t = parse_trace_string(text);
+        (void)t;
+        ++parsed_ok;
+      } catch (const TraceParseError& e) {
+        EXPECT_GE(e.line(), 1u);
+        ++rejected;
+      }
+      // Anything else (CheckError, std::bad_alloc, segfault) fails the test.
+    }
+  }
+  // Most mutations break the file; a few (e.g. comment edits) survive.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(parsed_ok + rejected, 0u);
 }
 
 TEST(TraceIo, FileSaveAndLoad) {

@@ -424,6 +424,48 @@ TEST(ThreadPool, PropagatesExceptions) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, SingleFailureRethrowsOriginalMessage) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(8, [](std::size_t i) {
+      if (i == 3) throw std::runtime_error("lonely failure");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "lonely failure");
+  }
+}
+
+TEST(ThreadPool, MultipleFailuresReportSuppressedCount) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(4, [](std::size_t i) {
+      throw std::runtime_error("task " + std::to_string(i) + " boom");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(" boom"), std::string::npos) << what;
+    EXPECT_NE(what.find("(+3 suppressed task exceptions)"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ThreadPool, TwoFailuresUseSingularSuffix) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(6, [](std::size_t i) {
+      if (i == 1 || i == 4) throw std::runtime_error("dup");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dup (+1 suppressed task exception)"),
+              std::string::npos)
+        << what;
+  }
+}
+
 TEST(ThreadPool, ManyTasksComplete) {
   ThreadPool pool(3);
   std::atomic<int> total{0};
