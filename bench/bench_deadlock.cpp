@@ -14,6 +14,7 @@
 #include "feasible/deadlock.hpp"
 #include "feasible/schedule_space.hpp"
 #include "reductions/reduction.hpp"
+#include "search/fingerprint_set.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 #include "workload/generators.hpp"
@@ -107,9 +108,14 @@ BENCHMARK(BM_Coexist_ReductionDecidesSat)
 
 // Memo-key compression, deadlock engine (rows appended to
 // BENCH_search.json): the Theorem-1 UNSAT reduction trace swept once with
-// the legacy full-key-vector visited set and once with the unified search
-// core's 8-byte fingerprint set.  Verdicts and distinct-state counts must
-// agree; bytes/state must drop at least 4x.
+// the legacy full-key-vector visited set and once with the packed state
+// registry (reduction off, so both walks expand the identical full state
+// space and the registry stores exact single-word packed keys).  Verdicts
+// and distinct-state counts must agree; bytes/state must drop at least 4x
+// against the legacy walker and at least 2x against the pre-packed
+// 8-byte-fingerprint nominal cost.  A third, byte-budgeted run forces the
+// spill tier to engage and must reproduce the unbudgeted result
+// bit-identically.
 std::vector<JsonRecord> run_deadlock_memory_sweep() {
   const ReductionExecution e =
       execute_reduction(reduce_3sat_semaphores(tiny_unsat()));
@@ -119,15 +125,17 @@ std::vector<JsonRecord> run_deadlock_memory_sweep() {
   const double legacy_ms =
       static_cast<double>(legacy_timer.micros()) / 1000.0;
 
+  DeadlockOptions packed_options;
+  packed_options.reduction = search::ReductionMode::kOff;
   Timer engine_timer;
-  const DeadlockReport report = analyze_deadlocks(e.trace);
+  const DeadlockReport report = analyze_deadlocks(e.trace, packed_options);
   const double engine_ms =
       static_cast<double>(engine_timer.micros()) / 1000.0;
 
   EVORD_CHECK(report.can_deadlock == legacy.result,
-              "legacy and fingerprint deadlock verdicts differ");
+              "legacy and packed deadlock verdicts differ");
   EVORD_CHECK(report.states_visited == legacy.states,
-              "legacy and fingerprint deadlock sweeps visited different "
+              "legacy and packed deadlock sweeps visited different "
               "state sets: " << legacy.states << " vs "
                              << report.states_visited);
 
@@ -140,6 +148,31 @@ std::vector<JsonRecord> run_deadlock_memory_sweep() {
               "memo-key compression regressed below 4x: "
                   << legacy_bytes << " -> " << engine_bytes
                   << " bytes/state");
+  EVORD_CHECK(2.0 * engine_bytes <=
+                  static_cast<double>(
+                      search::ShardedFingerprintSet::kBytesPerEntry),
+              "packed visited set regressed below 2x vs the 8-byte "
+              "fingerprint baseline: " << engine_bytes << " bytes/state");
+
+  // Spill tier: rerun with half the measured resident footprint as the
+  // byte budget.  Without spilling that budget stops the search with
+  // StopReason::kMemory; with it the sweep must run to completion and
+  // agree with the unbudgeted run bit for bit.
+  DeadlockOptions spill_options = packed_options;
+  spill_options.max_memory_bytes = report.search.memo_bytes / 2;
+  spill_options.spill = true;
+  Timer spill_timer;
+  const DeadlockReport spilled = analyze_deadlocks(e.trace, spill_options);
+  const double spill_ms =
+      static_cast<double>(spill_timer.micros()) / 1000.0;
+  EVORD_CHECK(!spilled.truncated, "spill-tier sweep hit its budget");
+  EVORD_CHECK(spilled.search.spill_events > 0,
+              "budgeted sweep never engaged the spill tier");
+  EVORD_CHECK(spilled.can_deadlock == report.can_deadlock &&
+                  spilled.witness_prefix == report.witness_prefix &&
+                  spilled.stuck_states == report.stuck_states &&
+                  spilled.states_visited == report.states_visited,
+              "spill-tier deadlock sweep diverged from the in-memory run");
 
   const auto row = [&](const char* variant, std::uint64_t states,
                        std::uint64_t bytes, double wall_ms) {
@@ -155,7 +188,59 @@ std::vector<JsonRecord> run_deadlock_memory_sweep() {
              static_cast<double>(bytes) / static_cast<double>(states));
   };
   return {row("legacy_keyvec", legacy.states, legacy.table_bytes, legacy_ms),
-          row("fingerprint", report.states_visited, report.search.memo_bytes,
+          row("packed", report.states_visited, report.search.memo_bytes,
+              engine_ms),
+          row("packed_spill", spilled.states_visited,
+              spilled.search.memo_bytes, spill_ms)
+              .add("spilled_bytes", spilled.search.spilled_bytes)
+              .add("spill_events", spilled.search.spill_events)};
+}
+
+// Packed-layer wall-time sweep (rows appended to BENCH_search.json): a
+// wide fork/join large enough (~2.9M distinct states) that memo-table
+// cache behaviour dominates the walk.  The legacy full-key-vector walker
+// heap-allocates and hashes a vector per state; the packed registry
+// probes a flat arena of 4-byte quotiented keys.  The packed walk must
+// agree with the legacy one exactly and finish at least 1.3x faster.
+std::vector<JsonRecord> run_deadlock_walltime_sweep() {
+  const Trace t = wide_fork_trace(9, 4);
+
+  Timer legacy_timer;
+  const LegacyWalkStats legacy = legacy_keyvec_deadlock(t);
+  const double legacy_ms =
+      static_cast<double>(legacy_timer.micros()) / 1000.0;
+
+  DeadlockOptions packed_options;
+  packed_options.reduction = search::ReductionMode::kOff;
+  packed_options.max_states = 8'000'000;
+  Timer engine_timer;
+  const DeadlockReport report = analyze_deadlocks(t, packed_options);
+  const double engine_ms =
+      static_cast<double>(engine_timer.micros()) / 1000.0;
+
+  EVORD_CHECK(report.can_deadlock == legacy.result &&
+                  report.states_visited == legacy.states,
+              "legacy and packed wide-fork sweeps disagree");
+  EVORD_CHECK(legacy_ms >= 1.3 * engine_ms,
+              "packed state layer lost its 1.3x wall-time edge on the "
+              "wide-fork sweep: " << legacy_ms << " ms vs " << engine_ms
+                                  << " ms");
+
+  const auto row = [&](const char* variant, std::uint64_t states,
+                       std::uint64_t bytes, double wall_ms) {
+    return JsonRecord{}
+        .add("engine", std::string("deadlock"))
+        .add("variant", std::string(variant))
+        .add("workload", std::string("wide_fork_9x4"))
+        .add("states", states)
+        .add("wall_ms", wall_ms)
+        .add("states_per_sec",
+             static_cast<double>(states) / (wall_ms / 1000.0))
+        .add("bytes_per_state",
+             static_cast<double>(bytes) / static_cast<double>(states));
+  };
+  return {row("legacy_keyvec", legacy.states, legacy.table_bytes, legacy_ms),
+          row("packed", report.states_visited, report.search.memo_bytes,
               engine_ms)};
 }
 
@@ -195,6 +280,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   std::vector<JsonRecord> rows = run_deadlock_memory_sweep();
+  for (JsonRecord& row : run_deadlock_walltime_sweep()) {
+    rows.push_back(std::move(row));
+  }
   for (JsonRecord& row : run_deadlock_thread_sweep()) {
     rows.push_back(std::move(row));
   }

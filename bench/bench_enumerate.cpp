@@ -14,6 +14,7 @@
 #include "feasible/schedule_space.hpp"
 #include "reductions/figure1.hpp"
 #include "reductions/reduction.hpp"
+#include "search/fingerprint_set.hpp"
 #include "sync/scheduler.hpp"
 #include "trace/builder.hpp"
 #include "util/check.hpp"
@@ -186,11 +187,15 @@ BENCHMARK(BM_ExploreProgram_Philosophers)
 
 // Memo-key compression, state-merged engine (rows appended to
 // BENCH_search.json): the Theorem-1 UNSAT reduction trace swept once with
-// the legacy full-key-vector memo and once through the unified search
-// core's 9-byte fingerprint memo.  Both sweeps expand every child of
-// every reachable state, so the distinct-state sets are identical; the
-// engine sweep additionally builds the can-precede matrix, which makes
-// its states/sec figure conservative.
+// the legacy full-key-vector memo and once through the packed state
+// registry (exact single-word keys plus a 1-bit completability value).
+// Both sweeps expand every child of every reachable state, so the
+// distinct-state sets are identical; the engine sweep additionally builds
+// the can-precede matrix, which makes its states/sec figure conservative.
+// Bytes/state must drop at least 4x against the legacy walker and at
+// least 2x against the pre-packed 9-byte-fingerprint nominal cost, and a
+// byte-budgeted rerun must spill to disk yet reproduce the unbudgeted
+// result bit-identically.
 std::vector<evord::bench::JsonRecord> run_space_memory_sweep() {
   using evord::bench::JsonRecord;
   const ReductionExecution e = execute_reduction(
@@ -208,9 +213,9 @@ std::vector<evord::bench::JsonRecord> run_space_memory_sweep() {
       static_cast<double>(engine_timer.micros()) / 1000.0;
 
   EVORD_CHECK(result.feasible_nonempty == legacy.result,
-              "legacy and fingerprint feasibility verdicts differ");
+              "legacy and packed feasibility verdicts differ");
   EVORD_CHECK(result.states_visited == legacy.states,
-              "legacy and fingerprint sweeps memoized different state "
+              "legacy and packed sweeps memoized different state "
               "sets: " << legacy.states << " vs " << result.states_visited);
 
   const double legacy_bytes = static_cast<double>(legacy.table_bytes) /
@@ -222,6 +227,30 @@ std::vector<evord::bench::JsonRecord> run_space_memory_sweep() {
               "memo-key compression regressed below 4x: "
                   << legacy_bytes << " -> " << engine_bytes
                   << " bytes/state");
+  EVORD_CHECK(2.0 * engine_bytes <=
+                  static_cast<double>(
+                      search::FingerprintBoolMap::kBytesPerEntry),
+              "packed memo regressed below 2x vs the 9-byte fingerprint "
+              "baseline: " << engine_bytes << " bytes/state");
+
+  // Spill tier: half the measured resident footprint as the byte budget
+  // forces cold memo shards onto disk mid-sweep; the matrix and every
+  // count must still match the in-memory run exactly.
+  ScheduleSpaceOptions spill_options;
+  spill_options.max_memory_bytes = result.search.memo_bytes / 2;
+  spill_options.spill = true;
+  Timer spill_timer;
+  const CanPrecedeResult spilled = compute_can_precede(e.trace, spill_options);
+  const double spill_ms =
+      static_cast<double>(spill_timer.micros()) / 1000.0;
+  EVORD_CHECK(!spilled.truncated, "spill-tier sweep hit its budget");
+  EVORD_CHECK(spilled.search.spill_events > 0,
+              "budgeted sweep never engaged the spill tier");
+  EVORD_CHECK(spilled.feasible_nonempty == result.feasible_nonempty &&
+                  spilled.states_visited == result.states_visited &&
+                  spilled.can_precede == result.can_precede,
+              "spill-tier can-precede sweep diverged from the in-memory "
+              "run");
 
   const auto row = [&](const char* variant, std::uint64_t states,
                        std::uint64_t bytes, double wall_ms) {
@@ -237,8 +266,12 @@ std::vector<evord::bench::JsonRecord> run_space_memory_sweep() {
              static_cast<double>(bytes) / static_cast<double>(states));
   };
   return {row("legacy_keyvec", legacy.states, legacy.table_bytes, legacy_ms),
-          row("fingerprint", result.states_visited, result.search.memo_bytes,
-              engine_ms)};
+          row("packed", result.states_visited, result.search.memo_bytes,
+              engine_ms),
+          row("packed_spill", spilled.states_visited,
+              spilled.search.memo_bytes, spill_ms)
+              .add("spilled_bytes", spilled.search.spilled_bytes)
+              .add("spill_events", spilled.search.spill_events)};
 }
 
 // Work-stealing thread sweep of the plain enumerator (rows appended to

@@ -99,16 +99,28 @@ search::SearchOptions to_search_options(const DeadlockOptions& options) {
   so.num_threads = options.num_threads;
   so.steal = options.steal;
   so.reduction = options.reduction;
+  so.spill = options.spill;
   return so;
 }
 
-constexpr std::uint64_t kVisitedBytesPerState = 8;  ///< one fingerprint
+/// The stuck-state set always keys raw 64-bit state fingerprints (they
+/// already went through the visited set's collision check), so it skips
+/// verification; it spills alongside the visited set.
+search::PackedStateRegistry::Config stuck_config(
+    const search::SearchOptions& so, std::size_t num_shards) {
+  search::PackedStateRegistry::Config cfg;
+  cfg.num_shards = num_shards;
+  cfg.verify_collisions = false;
+  cfg.spill = so.spill;
+  return cfg;
+}
 
 DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options,
                           const search::IndependenceRelation* indep) {
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
-  search::ShardedFingerprintSet visited(1);
+  search::ShardedFingerprintSet visited(
+      search::make_store_config(trace, so, 1));
   visited.set_accountant(&ctx.memory);
   // Under reduction the visited claims key (state, sleep set) pairs, so
   // the engine's per-visit deadlocked_prefixes can count one physical
@@ -118,7 +130,7 @@ DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options,
   const bool reduced = so.reduction != search::ReductionMode::kOff;
   std::optional<search::ShardedFingerprintSet> stuck;
   if (reduced) {
-    stuck.emplace(1, /*verify_collisions=*/false);
+    stuck.emplace(stuck_config(so, 1));
     stuck->set_accountant(&ctx.memory);
   }
   WitnessCandidate witness;
@@ -131,7 +143,11 @@ DeadlockReport run_serial(const Trace& trace, const DeadlockOptions& options,
   report.search = engine.run();
   report.can_deadlock = witness.found;
   report.witness_prefix = std::move(witness.path);
-  report.search.memo_bytes = visited.size() * kVisitedBytesPerState;
+  report.search.memo_bytes = visited.bytes();
+  report.search.spilled_bytes =
+      visited.spilled_bytes() + (reduced ? stuck->spilled_bytes() : 0);
+  report.search.spill_events =
+      visited.spill_events() + (reduced ? stuck->spill_events() : 0);
   report.search.shard_sizes = visited.shard_sizes();
   if (reduced) report.search.deadlocked_prefixes = stuck->size();
   report.stuck_states = report.search.deadlocked_prefixes;
@@ -154,15 +170,15 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
   // affects results — only who explores what.
   if (so.steal.max_split_depth == 0) so.steal.max_split_depth = 3;
   search::SharedContext ctx(so);
-  search::ShardedFingerprintSet visited(4 * threads);
+  search::ShardedFingerprintSet visited(
+      search::make_store_config(trace, so, 4 * threads));
   visited.set_accountant(&ctx.memory);
   // Stuck states are identified by their raw state fingerprint (without
   // reduction that IS the claim fingerprint, which already went through
   // the visited set's collision check; under reduction the raw
   // fingerprint is the same stepper hash, just not sleep-folded), so
   // this set skips payload verification.
-  search::ShardedFingerprintSet stuck(4 * threads,
-                                      /*verify_collisions=*/false);
+  search::ShardedFingerprintSet stuck(stuck_config(so, 4 * threads));
   stuck.set_accountant(&ctx.memory);
 
   // Count the root state once, as the serial search would at its first
@@ -179,7 +195,8 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
       if (reduced) search::extend_key_with_sleep(root_sleep, key);
       payload = &key;
     }
-    std::uint64_t root_fp = root.state_hash();
+    std::uint64_t root_fp =
+        visited.exact_keys() ? root.packed_word() : root.state_hash();
     if (reduced) {
       root_fp = search::fold_sleep(root_fp,
                                    search::sleep_set_hash(root_sleep));
@@ -226,7 +243,10 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
     report.search.depth_states.resize(1, 0);
   }
   report.search.depth_states[0] += 1;
-  report.search.memo_bytes = visited.size() * kVisitedBytesPerState;
+  report.search.memo_bytes = visited.bytes();
+  report.search.spilled_bytes =
+      visited.spilled_bytes() + stuck.spilled_bytes();
+  report.search.spill_events = visited.spill_events() + stuck.spill_events();
   report.search.shard_sizes = visited.shard_sizes();
   report.stuck_states = stuck.size();
   report.states_visited = static_cast<std::size_t>(visited.size());

@@ -29,6 +29,11 @@ struct DeadlockOptions {
   /// queued task descriptors (0 = unlimited).  Strict and global across
   /// workers; see search::SearchOptions::max_memory_bytes.
   std::uint64_t max_memory_bytes = 0;
+  /// Spill cold dedup/memo shards to an mmap-backed temp file when the
+  /// byte budget nears exhaustion instead of stopping with
+  /// StopReason::kMemory; results stay bit-identical.  Only meaningful
+  /// with max_memory_bytes set.  See search::SearchOptions::spill.
+  bool spill = false;
   /// Worker count: 1 = serial (default), 0 = hardware concurrency;
   /// clamped to search::max_worker_threads().  The parallel search runs
   /// on the work-stealing scheduler and returns bit-identical reports

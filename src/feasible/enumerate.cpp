@@ -52,6 +52,8 @@ EnumerateStats enumerate_schedules(const Trace& trace,
                                    const ScheduleVisitor& visit) {
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
+  const search::ScopedAccountant charge_guard(options.charge_store,
+                                              &ctx.memory);
   std::unique_ptr<search::IndependenceRelation> indep;
   if (so.reduction != search::ReductionMode::kOff) {
     indep = std::make_unique<search::IndependenceRelation>(trace);
@@ -96,6 +98,8 @@ EnumerateStats enumerate_schedules_parallel_indexed(
 
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
+  const search::ScopedAccountant charge_guard(options.charge_store,
+                                              &ctx.memory);
   const search::SearchStats total = search::run_work_stealing(
       std::move(roots), threads, so.steal.seed, ctx,
       [&](const search::SearchTask& task, search::WorkerHandle& worker) {

@@ -26,6 +26,10 @@
 #include "search/search.hpp"
 #include "trace/trace.hpp"
 
+namespace evord::search {
+class PackedStateRegistry;
+}
+
 namespace evord {
 
 struct EnumerateOptions {
@@ -39,6 +43,11 @@ struct EnumerateOptions {
   /// (0 = unlimited).  Strict and global across workers; see
   /// search::SearchOptions::max_memory_bytes.
   std::uint64_t max_memory_bytes = 0;
+  /// Optional caller-owned store (e.g. an exact solver's class-dedup
+  /// set) attached to the search's memory accountant for the duration of
+  /// the run, so its footprint counts against max_memory_bytes; detached
+  /// before return.
+  search::PackedStateRegistry* charge_store = nullptr;
   /// Fast-forward through this schedule prefix before enumerating (every
   /// event must be enabled in sequence).  Callers doing their own
   /// root-split parallelism seed each subtree this way.

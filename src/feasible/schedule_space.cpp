@@ -61,6 +61,7 @@ search::SearchOptions to_search_options(const ScheduleSpaceOptions& options) {
   so.max_memory_bytes = options.max_memory_bytes;
   so.num_threads = options.num_threads;
   so.steal = options.steal;
+  so.spill = options.spill;
   return so;
 }
 
@@ -80,9 +81,6 @@ void or_merge(std::vector<DynamicBitset>& into,
               const std::vector<DynamicBitset>& from) {
   for (std::size_t i = 0; i < into.size(); ++i) into[i] |= from[i];
 }
-
-/// Per-state memo cost: 8-byte fingerprint + 1-byte memoized verdict.
-constexpr std::uint64_t kMemoBytesPerState = 9;
 
 CanPrecedeResult run_search(const Trace& trace,
                             const ScheduleSpaceOptions& options,
@@ -105,7 +103,8 @@ CanPrecedeResult run_search(const Trace& trace,
   search::SharedContext ctx(so);
 
   if (threads <= 1 || roots.empty()) {
-    search::FingerprintBoolMap memo(1, /*synchronized=*/false);
+    search::FingerprintBoolMap memo(
+        search::make_store_config(trace, so, 1, /*synchronized=*/false));
     memo.set_accountant(&ctx.memory);
     SpaceSearch engine(
         trace, options.stepper, so, &ctx, &memo,
@@ -115,7 +114,9 @@ CanPrecedeResult run_search(const Trace& trace,
         indep.get());
     result.feasible_nonempty = engine.explore(0);
     result.search = engine.stats();
-    result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+    result.search.memo_bytes = memo.bytes();
+    result.search.spilled_bytes = memo.spilled_bytes();
+    result.search.spill_events = memo.spill_events();
     result.search.shard_sizes = memo.shard_sizes();
     result.states_visited = static_cast<std::size_t>(memo.size());
     result.truncated = result.search.truncated;
@@ -128,7 +129,8 @@ CanPrecedeResult run_search(const Trace& trace,
   // feasibility verdict are computed deterministically.  Matrix slots
   // are per worker, not per task: tasks on the same worker run
   // sequentially, so the slot is never written concurrently.
-  search::FingerprintBoolMap memo(4 * threads, /*synchronized=*/true);
+  search::FingerprintBoolMap memo(
+      search::make_store_config(trace, so, 4 * threads));
   memo.set_accountant(&ctx.memory);
   std::vector<CanPrecedeResult> locals(threads);
   for (CanPrecedeResult& local : locals) {
@@ -163,7 +165,9 @@ CanPrecedeResult run_search(const Trace& trace,
   result.feasible_nonempty = engine.explore(0);
   result.search = engine.stats();
   result.search.merge(worker_stats);
-  result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+  result.search.memo_bytes = memo.bytes();
+  result.search.spilled_bytes = memo.spilled_bytes();
+  result.search.spill_events = memo.spill_events();
   result.search.shard_sizes = memo.shard_sizes();
   result.states_visited = static_cast<std::size_t>(memo.size());
   result.truncated = result.search.truncated;
@@ -212,14 +216,17 @@ PairQueryResult can_precede_pair(const Trace& trace, EventId first,
   // pruning hooks already restrict the walk.
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
-  search::FingerprintBoolMap memo(1, /*synchronized=*/false);
+  search::FingerprintBoolMap memo(
+      search::make_store_config(trace, so, 1, /*synchronized=*/false));
   memo.set_accountant(&ctx.memory);
   search::MemoizedSearch<PairHooks> engine(trace, options.stepper, so, &ctx,
                                            &memo, PairHooks{first, second});
   PairQueryResult result;
   result.possible = engine.explore(0);
   result.search = engine.stats();
-  result.search.memo_bytes = memo.size() * kMemoBytesPerState;
+  result.search.memo_bytes = memo.bytes();
+  result.search.spilled_bytes = memo.spilled_bytes();
+  result.search.spill_events = memo.spill_events();
   result.search.shard_sizes = memo.shard_sizes();
   result.states_visited = static_cast<std::size_t>(memo.size());
   result.truncated = result.search.truncated;

@@ -41,6 +41,11 @@ struct ScheduleSpaceOptions {
   /// charged this many bytes (0 = unlimited).  Strict and global across
   /// workers; see search::SearchOptions::max_memory_bytes.
   std::uint64_t max_memory_bytes = 0;
+  /// Spill cold dedup/memo shards to an mmap-backed temp file when the
+  /// byte budget nears exhaustion instead of stopping with
+  /// StopReason::kMemory; results stay bit-identical.  Only meaningful
+  /// with max_memory_bytes set.  See search::SearchOptions::spill.
+  bool spill = false;
   /// Also compute the coexistence matrix: can_coexist(x, y) iff some
   /// completable state has x and y simultaneously enabled and executing
   /// them back-to-back (in some order) still completes.  This is the

@@ -32,6 +32,8 @@ TraceStepper::TraceStepper(const Trace& trace, StepperOptions options)
     dep_preds_.resize(trace.num_events());
     for (const auto& [a, b] : trace.dependences()) dep_preds_[b].push_back(a);
   }
+  layout_ = search::PackedStateLayout(trace);
+  layout_.encode(positions_, posted_, counts_, binary_, packed_);
   // One Zobrist term per component of the current value; apply/undo swap
   // terms in and out by XOR, so equal states always hash equal.
   state_hash_ = DynamicBitset::kHashSeed;
@@ -111,6 +113,9 @@ TraceStepper::Undo TraceStepper::apply(EventId id) {
         state_hash_ ^= hash_mix(kBinaryCountSalt, e.object, u.old_count & 1) ^
                        hash_mix(kBinaryCountSalt, e.object,
                                 counts_[e.object] & 1);
+        // A semaphore op changes the count by one: the parity flips.
+        search::PackedStateLayout::toggle_bit(packed_.data(),
+                                              layout_.binary_offset(e.object));
       }
       break;
     case EventKind::kSemV:
@@ -121,6 +126,8 @@ TraceStepper::Undo TraceStepper::apply(EventId id) {
           state_hash_ ^=
               hash_mix(kBinaryCountSalt, e.object, u.old_count & 1) ^
               hash_mix(kBinaryCountSalt, e.object, counts_[e.object] & 1);
+          search::PackedStateLayout::toggle_bit(
+              packed_.data(), layout_.binary_offset(e.object));
         }
       }
       break;
@@ -130,6 +137,8 @@ TraceStepper::Undo TraceStepper::apply(EventId id) {
       if (!u.old_posted) {
         state_hash_ ^= hash_mix(kPostedSalt, e.object, 0) ^
                        hash_mix(kPostedSalt, e.object, 1);
+        search::PackedStateLayout::toggle_bit(packed_.data(),
+                                              layout_.posted_offset(e.object));
       }
       break;
     case EventKind::kClear:
@@ -138,6 +147,8 @@ TraceStepper::Undo TraceStepper::apply(EventId id) {
       if (u.old_posted) {
         state_hash_ ^= hash_mix(kPostedSalt, e.object, 1) ^
                        hash_mix(kPostedSalt, e.object, 0);
+        search::PackedStateLayout::toggle_bit(packed_.data(),
+                                              layout_.posted_offset(e.object));
       }
       break;
     default:
@@ -147,6 +158,7 @@ TraceStepper::Undo TraceStepper::apply(EventId id) {
                  hash_mix(kPositionSalt, e.process,
                           positions_[e.process] + 1);
   ++positions_[e.process];
+  layout_.set_position(packed_.data(), e.process, positions_[e.process]);
   done_.set(id);
   ++executed_count_;
   return u;
@@ -161,6 +173,8 @@ void TraceStepper::undo(const Undo& u) {
         state_hash_ ^=
             hash_mix(kBinaryCountSalt, e.object, counts_[e.object] & 1) ^
             hash_mix(kBinaryCountSalt, e.object, u.old_count & 1);
+        search::PackedStateLayout::toggle_bit(packed_.data(),
+                                              layout_.binary_offset(e.object));
       }
       counts_[e.object] = u.old_count;
       break;
@@ -170,6 +184,8 @@ void TraceStepper::undo(const Undo& u) {
         state_hash_ ^=
             hash_mix(kPostedSalt, e.object, posted_.test(e.object) ? 1 : 0) ^
             hash_mix(kPostedSalt, e.object, u.old_posted ? 1 : 0);
+        search::PackedStateLayout::toggle_bit(packed_.data(),
+                                              layout_.posted_offset(e.object));
       }
       posted_.set(e.object, u.old_posted);
       break;
@@ -180,45 +196,13 @@ void TraceStepper::undo(const Undo& u) {
                  hash_mix(kPositionSalt, e.process,
                           positions_[e.process] - 1);
   --positions_[e.process];
+  layout_.set_position(packed_.data(), e.process, positions_[e.process]);
   done_.reset(u.event);
   --executed_count_;
 }
 
 void TraceStepper::encode_key(std::vector<std::uint64_t>& out) const {
-  out.clear();
-  // Positions, packed four 16-bit values per word.
-  std::uint64_t word = 0;
-  int shift = 0;
-  for (std::uint32_t pos : positions_) {
-    EVORD_DCHECK(pos <= 0xffff, "process longer than 65535 events");
-    word |= static_cast<std::uint64_t>(pos) << shift;
-    shift += 16;
-    if (shift == 64) {
-      out.push_back(word);
-      word = 0;
-      shift = 0;
-    }
-  }
-  if (shift != 0) out.push_back(word);
-  // Event-variable flags.
-  for (std::size_t w = 0; w < posted_.word_count(); ++w) {
-    out.push_back(posted_.word(w));
-  }
-  // Binary-semaphore counts (one bit each).
-  word = 0;
-  shift = 0;
-  bool any_binary = false;
-  for (std::size_t s = 0; s < counts_.size(); ++s) {
-    if (!binary_[s]) continue;
-    any_binary = true;
-    word |= static_cast<std::uint64_t>(counts_[s] & 1) << shift;
-    if (++shift == 64) {
-      out.push_back(word);
-      word = 0;
-      shift = 0;
-    }
-  }
-  if (any_binary && shift != 0) out.push_back(word);
+  layout_.to_legacy_key(packed_.data(), out);
 }
 
 }  // namespace evord

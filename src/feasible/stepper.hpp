@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "search/state_registry.hpp"
 #include "trace/trace.hpp"
 #include "util/dynamic_bitset.hpp"
 
@@ -68,8 +69,20 @@ class TraceStepper {
   /// variable flags and binary-semaphore counts.  (Counting-semaphore
   /// counts are a function of the positions; binary counts are not,
   /// because clamped V operations do not commute with P.)  Two partial
-  /// schedules with equal keys have identical futures.
+  /// schedules with equal keys have identical futures.  The buffer is
+  /// sized exactly (assign, no incremental push_back), so a reused
+  /// buffer never reallocates after its first call.
   void encode_key(std::vector<std::uint64_t>& out) const;
+
+  /// The bit-packed state layout (search/state_registry.hpp): positions
+  /// at ceil(log2(len+1)) bits, event-variable and binary-parity bits
+  /// inline.  Maintained incrementally, O(1) per apply/undo.
+  const search::PackedStateLayout& layout() const { return layout_; }
+  /// All packed words of the current state.
+  const std::vector<std::uint64_t>& packed_words() const { return packed_; }
+  /// The packed state as a single word — an exact, collision-free state
+  /// key when layout().single_word().
+  std::uint64_t packed_word() const { return packed_[0]; }
 
   /// Incrementally maintained 64-bit Zobrist hash of exactly the
   /// encode_key() state: equal keys always yield equal hashes, regardless
@@ -94,6 +107,8 @@ class TraceStepper {
   DynamicBitset done_;
   std::size_t executed_count_ = 0;
   std::uint64_t state_hash_ = 0;
+  search::PackedStateLayout layout_;
+  std::vector<std::uint64_t> packed_;  ///< bit-packed state, incremental
 
   /// D-predecessors per event (empty when dependences are ignored).
   std::vector<std::vector<EventId>> dep_preds_;

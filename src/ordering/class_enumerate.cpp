@@ -285,6 +285,7 @@ search::SearchOptions to_search_options(const ClassEnumOptions& options) {
   so.max_memory_bytes = options.max_memory_bytes;
   so.steal = options.steal;
   so.reduction = options.reduction;
+  so.spill = options.spill;
   return so;
 }
 
@@ -298,7 +299,9 @@ ClassEnumStats finish(const search::SearchStats& stats,
   out.truncated = stats.truncated;
   out.stopped_by_visitor = stats.stopped_by_visitor;
   out.search = stats;
-  out.search.memo_bytes = prefix_seen.size() * 8;  // one fingerprint each
+  out.search.memo_bytes = prefix_seen.bytes();
+  out.search.spilled_bytes = prefix_seen.spilled_bytes();
+  out.search.spill_events = prefix_seen.spill_events();
   out.search.shard_sizes = prefix_seen.shard_sizes();
   return out;
 }
@@ -310,7 +313,12 @@ ClassEnumStats enumerate_causal_classes(
     const std::function<bool(const std::vector<EventId>&)>& visit) {
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
-  search::ShardedFingerprintSet prefix_seen;
+  const search::ScopedAccountant charge_guard(options.charge_store,
+                                              &ctx.memory);
+  // Prefix fingerprints fold the causal tracker's state into the hash,
+  // so the store stays in 64-bit hash mode (never exact packed keys).
+  search::ShardedFingerprintSet prefix_seen(search::make_store_config(
+      trace, so, 16, /*synchronized=*/true, /*pure_state_key=*/false));
   prefix_seen.set_accountant(&ctx.memory);
   const bool reduced = so.reduction != search::ReductionMode::kOff;
   std::unique_ptr<search::IndependenceRelation> indep;
@@ -350,10 +358,14 @@ ClassEnumStats enumerate_causal_classes_parallel(
 
   const search::SearchOptions so = to_search_options(options);
   search::SharedContext ctx(so);
+  const search::ScopedAccountant charge_guard(options.charge_store,
+                                              &ctx.memory);
   // One prefix-fingerprint set shared by every task: a state reachable
   // from two task regions is explored by whichever task gets there first
-  // (its completions are identical either way).
-  search::ShardedFingerprintSet prefix_seen;
+  // (its completions are identical either way).  Hash mode: the prefix
+  // fingerprints fold the causal tracker's state into the hash.
+  search::ShardedFingerprintSet prefix_seen(search::make_store_config(
+      trace, so, 16, /*synchronized=*/true, /*pure_state_key=*/false));
   prefix_seen.set_accountant(&ctx.memory);
 
   // Claim the root (post-seed) state once, as the serial engine would at

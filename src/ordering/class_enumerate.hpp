@@ -27,6 +27,10 @@
 #include "search/search.hpp"
 #include "trace/trace.hpp"
 
+namespace evord::search {
+class PackedStateRegistry;
+}
+
 namespace evord {
 
 struct ClassEnumOptions {
@@ -46,6 +50,16 @@ struct ClassEnumOptions {
   /// descriptors (0 = unlimited).  Strict and global across workers;
   /// see search::SearchOptions::max_memory_bytes.
   std::uint64_t max_memory_bytes = 0;
+  /// Spill cold dedup/memo shards to an mmap-backed temp file when the
+  /// byte budget nears exhaustion instead of stopping with
+  /// StopReason::kMemory; results stay bit-identical.  Only meaningful
+  /// with max_memory_bytes set.  See search::SearchOptions::spill.
+  bool spill = false;
+  /// Optional caller-owned store (e.g. an exact solver's class-dedup
+  /// set) attached to the search's memory accountant for the duration of
+  /// the run, so its footprint counts against max_memory_bytes alongside
+  /// the prefix store; detached before return.
+  search::PackedStateRegistry* charge_store = nullptr;
   /// Fast-forward through this schedule prefix before enumerating (every
   /// event must be enabled in sequence).  The parallel variant seeds
   /// each task's subtree this way.

@@ -49,6 +49,7 @@ OrderingRelations compute_interleaving(const Trace& trace,
   sso.max_memory_bytes = options.max_memory_bytes;
   sso.num_threads = options.num_threads;
   sso.steal = options.steal;
+  sso.spill = options.spill;
   const CanPrecedeResult cp = compute_can_precede(trace, sso);
 
   r.truncated = cp.truncated;
@@ -60,22 +61,36 @@ OrderingRelations compute_interleaving(const Trace& trace,
   }
 
   const std::size_t n = trace.num_events();
-  // CHB(a, b) == can_precede[b] contains a (transpose the sweep output).
+  // CHB(a, b) == can_precede[b] contains a: CHB is the transpose of the
+  // sweep output, computed 64x64 bits at a time.
   RelationMatrix& chb = r[RelationKind::kCHB];
-  for (EventId b = 0; b < n; ++b) {
-    const DynamicBitset& preds = cp.can_precede[b];
-    for (std::size_t a = preds.find_first(); a < preds.size();
-         a = preds.find_next(a)) {
-      chb.set(static_cast<EventId>(a), b);
+  const std::size_t wpr = (n + 63) / 64;
+  std::uint64_t blk[64];
+  for (std::size_t bi = 0; bi < wpr; ++bi) {
+    for (std::size_t bj = 0; bj < wpr; ++bj) {
+      bool any = false;
+      for (int k = 0; k < 64; ++k) {
+        const std::size_t a = bi * 64 + static_cast<std::size_t>(k);
+        blk[k] = a < n ? cp.can_precede[a].word(bj) : 0;
+        any = any || blk[k] != 0;
+      }
+      if (!any) continue;
+      search::transpose64(blk);
+      for (int k = 0; k < 64; ++k) {
+        const std::size_t b = bj * 64 + static_cast<std::size_t>(k);
+        if (b < n && blk[k] != 0) chb.row(b).word(bi) = blk[k];
+      }
     }
   }
   // MHB(a, b) == every schedule runs a before b == no schedule runs b
-  // before a (schedules are total orders).
+  // before a (schedules are total orders), i.e. row a is the complement
+  // of can_precede[a] minus the diagonal.
   RelationMatrix& mhb = r[RelationKind::kMHB];
   for (EventId a = 0; a < n; ++a) {
-    for (EventId b = 0; b < n; ++b) {
-      if (a != b && !chb.holds(b, a)) mhb.set(a, b);
-    }
+    DynamicBitset row(n);
+    row.or_complement(cp.can_precede[a]);
+    row.reset(a);
+    mhb.row(a) = std::move(row);
   }
   // A total order never exhibits concurrency.
   r[RelationKind::kMCW].clear();
@@ -96,16 +111,21 @@ class CausalAccumulator {
                     search::ShardedFingerprintSet& dedup)
       : trace_(trace), causal_(causal), dedup_(&dedup),
         n_(trace.num_events()) {
-    any_c_.assign(n_, DynamicBitset(n_));
-    all_c_.assign(n_, DynamicBitset(n_, true));
-    any_incomp_.assign(n_, DynamicBitset(n_));
-    all_incomp_.assign(n_, DynamicBitset(n_, true));
-    any_notrev_.assign(n_, DynamicBitset(n_));
-    anc_.assign(n_, DynamicBitset(n_));
-    scratch_ = DynamicBitset(n_);
+    any_c_.reset(n_, n_);
+    all_c_.reset(n_, n_);
+    any_incomp_.reset(n_, n_);
+    all_incomp_.reset(n_, n_);
+    any_notrev_.reset(n_, n_);
+    anc_.reset(n_, n_);
+    scratch_words_.assign(any_c_.words_per_row(), 0);
     for (EventId a = 0; a < n_; ++a) {
-      all_c_[a].reset(a);
-      all_incomp_[a].reset(a);
+      // all_* start full (AND identity) minus the diagonal.
+      search::BitRow c = all_c_.row(a);
+      c.set_all();
+      c.reset(a);
+      search::BitRow i = all_incomp_.row(a);
+      i.set_all();
+      i.reset(a);
     }
   }
 
@@ -136,27 +156,40 @@ class CausalAccumulator {
     if (!dedup_->insert(fingerprint, verify_payload)) return;
     ++classes_;
 
-    // Closure transpose, once per class: anc_[b] = { a : a -> b }.
-    for (DynamicBitset& row : anc_) row.reset_all();
-    for (EventId a = 0; a < n_; ++a) {
-      const DynamicBitset& desc = tc.descendants(a);
-      for (std::size_t b = desc.find_first(); b < desc.size();
-           b = desc.find_next(b)) {
-        anc_[b].set(static_cast<std::size_t>(a));
+    // Closure transpose, once per class: anc_[b] = { a : a -> b },
+    // computed 64x64 bits at a time.
+    anc_.reset(n_, n_);
+    const std::size_t wpr = anc_.words_per_row();
+    std::uint64_t blk[64];
+    for (std::size_t bi = 0; bi < wpr; ++bi) {
+      for (std::size_t bj = 0; bj < wpr; ++bj) {
+        bool any = false;
+        for (int k = 0; k < 64; ++k) {
+          const std::size_t a = bi * 64 + static_cast<std::size_t>(k);
+          blk[k] = a < n_ ? tc.descendants(a).word(bj) : 0;
+          any = any || blk[k] != 0;
+        }
+        if (!any) continue;
+        search::transpose64(blk);
+        for (int k = 0; k < 64; ++k) {
+          const std::size_t b = bj * 64 + static_cast<std::size_t>(k);
+          if (b < n_ && blk[k] != 0) anc_.row(b).word(bi) = blk[k];
+        }
       }
     }
     // Word-parallel updates: not-reversed(a) = ~(anc(a) | {a}) and
     // incomparable(a) = ~(desc(a) | anc(a) | {a}).
     for (EventId a = 0; a < n_; ++a) {
-      const DynamicBitset& desc = tc.descendants(a);
-      any_c_[a] |= desc;
-      all_c_[a] &= desc;
-      scratch_ = anc_[a];
-      scratch_.set(a);
-      any_notrev_[a].or_complement(scratch_);
-      scratch_ |= desc;
-      any_incomp_[a].or_complement(scratch_);
-      all_incomp_[a].subtract(scratch_);
+      const search::ConstBitRow desc = search::row_view(tc.descendants(a));
+      any_c_.row(a) |= desc;
+      all_c_.row(a) &= desc;
+      search::BitRow scratch(scratch_words_.data(), n_);
+      scratch.assign(anc_.row(a));
+      scratch.set(a);
+      any_notrev_.row(a).or_complement(scratch);
+      scratch |= desc;
+      any_incomp_.row(a).or_complement(scratch);
+      all_incomp_.row(a).subtract(scratch);
     }
   }
 
@@ -167,11 +200,11 @@ class CausalAccumulator {
   void merge(const CausalAccumulator& o) {
     classes_ += o.classes_;
     for (EventId a = 0; a < n_; ++a) {
-      any_c_[a] |= o.any_c_[a];
-      all_c_[a] &= o.all_c_[a];
-      any_incomp_[a] |= o.any_incomp_[a];
-      all_incomp_[a] &= o.all_incomp_[a];
-      any_notrev_[a] |= o.any_notrev_[a];
+      any_c_.row(a) |= o.any_c_.row(a);
+      all_c_.row(a) &= o.all_c_.row(a);
+      any_incomp_.row(a) |= o.any_incomp_.row(a);
+      all_incomp_.row(a) &= o.all_incomp_.row(a);
+      any_notrev_.row(a) |= o.any_notrev_.row(a);
     }
   }
 
@@ -182,29 +215,34 @@ class CausalAccumulator {
       return;
     }
     const std::size_t n = n_;
+    DynamicBitset tmp(n);
     for (EventId a = 0; a < n; ++a) {
-      r[RelationKind::kMHB].row(a) = all_c_[a];
-      r[RelationKind::kCCW].row(a) = any_incomp_[a];
-      r[RelationKind::kMCW].row(a) =
-          semantics == Semantics::kInterval ? DynamicBitset(n)
-                                            : all_incomp_[a];
+      all_c_.row(a).to_bitset(r[RelationKind::kMHB].row(a));
+      any_incomp_.row(a).to_bitset(r[RelationKind::kCCW].row(a));
+      if (semantics == Semantics::kInterval) {
+        r[RelationKind::kMCW].row(a) = DynamicBitset(n);
+      } else {
+        all_incomp_.row(a).to_bitset(r[RelationKind::kMCW].row(a));
+      }
       // MOW: never concurrent == comparable in every class.
       DynamicBitset mow(n, true);
-      mow.subtract(any_incomp_[a]);
+      any_incomp_.row(a).to_bitset(tmp);
+      mow.subtract(tmp);
       mow.reset(a);
       r[RelationKind::kMOW].row(a) = std::move(mow);
       if (semantics == Semantics::kInterval) {
         // Timing freedom: a could precede b iff some class does not force
         // b before a; any pair can be serialized, so COW is total.
-        r[RelationKind::kCHB].row(a) = any_notrev_[a];
+        any_notrev_.row(a).to_bitset(r[RelationKind::kCHB].row(a));
         DynamicBitset cow(n, true);
         cow.reset(a);
         r[RelationKind::kCOW].row(a) = cow;
       } else {
-        r[RelationKind::kCHB].row(a) = any_c_[a];
+        any_c_.row(a).to_bitset(r[RelationKind::kCHB].row(a));
         // COW: comparable in some class == not incomparable in every class.
         DynamicBitset cow(n, true);
-        cow.subtract(all_incomp_[a]);
+        all_incomp_.row(a).to_bitset(tmp);
+        cow.subtract(tmp);
         cow.reset(a);
         r[RelationKind::kCOW].row(a) = std::move(cow);
       }
@@ -217,11 +255,14 @@ class CausalAccumulator {
   search::ShardedFingerprintSet* dedup_;
   std::size_t n_;
   std::uint64_t classes_ = 0;
-  std::vector<DynamicBitset> any_c_, all_c_;
-  std::vector<DynamicBitset> any_incomp_, all_incomp_;
-  std::vector<DynamicBitset> any_notrev_;
-  std::vector<DynamicBitset> anc_;  ///< per-class closure transpose
-  DynamicBitset scratch_;
+  // One contiguous word arena per matrix (search::PerStateBitset): the
+  // row kernels above stream cache-friendly 64-bit blocks instead of
+  // hopping across n separately allocated bitsets.
+  search::PerStateBitset any_c_, all_c_;
+  search::PerStateBitset any_incomp_, all_incomp_;
+  search::PerStateBitset any_notrev_;
+  search::PerStateBitset anc_;  ///< per-class closure transpose
+  std::vector<std::uint64_t> scratch_words_;
 };
 
 OrderingRelations compute_causal_or_interval(const Trace& trace,
@@ -242,6 +283,10 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     co.time_budget_seconds = options.time_budget_seconds;
     co.max_memory_bytes = options.max_memory_bytes;
     co.steal = options.steal;
+    co.spill = options.spill;
+    // The class-dedup set lives here but grows inside the enumeration:
+    // charge it against the same byte budget as the prefix store.
+    co.charge_store = &dedup;
     co.reduction = options.reduction;
     if (num_threads <= 1) {
       CausalAccumulator acc(trace, causal, dedup);
@@ -254,7 +299,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
       r.deadlocked_prefixes = stats.deadlocked_prefixes;
       r.truncated = stats.truncated || stats.stopped_by_visitor;
       r.search = stats.search;
-      r.search.memo_bytes += dedup.size() * 8;  // class-dedup fingerprints
+      r.search.memo_bytes += dedup.bytes();  // class-dedup fingerprints
       acc.finish(r, semantics);
       return r;
     }
@@ -281,7 +326,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     // bytes arrive via stats.search (set once from the set itself),
     // and the class-dedup set is added here exactly once — never
     // summed per worker.
-    r.search.memo_bytes += dedup.size() * 8;
+    r.search.memo_bytes += dedup.bytes();
     for (std::size_t i = 1; i < accs.size(); ++i) accs[0].merge(accs[i]);
     accs[0].finish(r, semantics);
     return r;
@@ -293,6 +338,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
   eo.time_budget_seconds = options.time_budget_seconds;
   eo.max_memory_bytes = options.max_memory_bytes;
   eo.steal = options.steal;
+  eo.charge_store = &dedup;
   if (num_threads <= 1) {
     CausalAccumulator acc(trace, causal, dedup);
     const EnumerateStats stats =
@@ -304,7 +350,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
     r.deadlocked_prefixes = stats.deadlocked_prefixes;
     r.truncated = stats.truncated;
     r.search = stats.search;
-    r.search.memo_bytes += dedup.size() * 8;  // class-dedup fingerprints
+    r.search.memo_bytes += dedup.bytes();  // class-dedup fingerprints
     acc.finish(r, semantics);
     return r;
   }
@@ -328,7 +374,7 @@ OrderingRelations compute_causal_or_interval(const Trace& trace,
   r.deadlocked_prefixes = stats.deadlocked_prefixes;
   r.truncated = stats.truncated;
   r.search = stats.search;
-  r.search.memo_bytes += dedup.size() * 8;  // class-dedup fingerprints
+  r.search.memo_bytes += dedup.bytes();  // class-dedup fingerprints
   if (r.search.shard_sizes.empty()) r.search.shard_sizes = dedup.shard_sizes();
   for (std::size_t i = 1; i < accs.size(); ++i) accs[0].merge(accs[i]);
   accs[0].finish(r, semantics);

@@ -60,6 +60,11 @@ struct ExactOptions {
   /// workers; the result is flagged `truncated` with
   /// StopReason::kMemory.  See search::SearchOptions::max_memory_bytes.
   std::uint64_t max_memory_bytes = 0;
+  /// Spill cold dedup/memo shards to an mmap-backed temp file when the
+  /// byte budget nears exhaustion instead of stopping with
+  /// StopReason::kMemory; results stay bit-identical.  Only meaningful
+  /// with max_memory_bytes set.  See search::SearchOptions::spill.
+  bool spill = false;
 
   /// Causal/interval engine: number of worker threads (0 = hardware
   /// concurrency, 1 = serial; every request is clamped to

@@ -96,6 +96,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <type_traits>
 #include <unordered_set>
 #include <vector>
 
@@ -135,6 +136,7 @@ struct ClaimResult {
 struct NoDedup {
   static constexpr bool kEnabled = false;
   bool verify_collisions() const { return false; }
+  bool exact_keys() const { return false; }
   ClaimResult claim(std::uint64_t /*fp*/,
                     const std::vector<std::uint64_t>* /*payload*/) {
     return {true, true};
@@ -148,6 +150,7 @@ class SharedSetDedup {
   static constexpr bool kEnabled = true;
   explicit SharedSetDedup(ShardedFingerprintSet* set) : set_(set) {}
   bool verify_collisions() const { return set_->verify_collisions(); }
+  bool exact_keys() const { return set_->exact_keys(); }
   ClaimResult claim(std::uint64_t fp,
                     const std::vector<std::uint64_t>* payload) {
     const bool won = set_->insert(fp, payload);
@@ -168,6 +171,7 @@ class PrivateSetDedup {
   static constexpr bool kEnabled = true;
   explicit PrivateSetDedup(ShardedFingerprintSet* shared) : shared_(shared) {}
   bool verify_collisions() const { return shared_->verify_collisions(); }
+  bool exact_keys() const { return shared_->exact_keys(); }
   ClaimResult claim(std::uint64_t fp,
                     const std::vector<std::uint64_t>* payload) {
     if (!private_.insert(fp).second) return {false, false};
@@ -286,6 +290,17 @@ class EnumerationSearch {
         num_events_(trace.num_events()) {
     EVORD_CHECK(!reduce_ || indep_ != nullptr,
                 "reduction requires an IndependenceRelation");
+    // Exact-key mode: when the store holds injective single-word packed
+    // states (front-end contract: NullTracker, reduction off, layout
+    // fits one word), dedup directly on the packed word — collision-free
+    // and cheaper than hashing.
+    if constexpr (Dedup::kEnabled) {
+      exact_ = dedup_.exact_keys() && !reduce_;
+      EVORD_CHECK(!exact_ || (stepper_.layout().single_word() &&
+                              std::is_same_v<Tracker, NullTracker>),
+                  "exact-key dedup requires a single-word packed layout "
+                  "and no tracker state");
+    }
     path_.reserve(num_events_);
     enabled_stack_.reserve(num_events_ + 1);
     sibling_index_.reserve(num_events_ + 1);
@@ -432,7 +447,8 @@ class EnumerationSearch {
 
     std::uint64_t fp = 0;
     if constexpr (Dedup::kEnabled) {
-      fp = tracker_.fingerprint(stepper_.state_hash());
+      fp = exact_ ? stepper_.packed_word()
+                  : tracker_.fingerprint(stepper_.state_hash());
       const std::uint64_t claim_fp =
           reduce_ ? fold_sleep(fp, sleep_set_hash(sleep_stack_[depth])) : fp;
       const ClaimResult claim = dedup_.claim(claim_fp, payload(depth));
@@ -569,6 +585,7 @@ class EnumerationSearch {
   PersistentSetSelector selector_;
   bool reduce_;
   bool persistent_;
+  bool exact_ = false;  ///< dedup on the packed word, not a hash
   std::vector<std::vector<EventId>> sleep_stack_;  ///< sleep set per depth
   std::vector<EventId> initial_sleep_;
   std::vector<EventId> full_enabled_;  ///< pre-reduction enabled scratch
@@ -602,6 +619,11 @@ class MemoizedSearch {
         num_events_(trace.num_events()) {
     EVORD_CHECK(!reduce_ || indep_ != nullptr,
                 "reduction requires an IndependenceRelation");
+    // Exact-key mode: memoize directly on the injective packed word
+    // (front-end contract: reduction off, layout fits one word).
+    exact_ = memo_->exact_keys() && !reduce_;
+    EVORD_CHECK(!exact_ || stepper_.layout().single_word(),
+                "exact-key memo requires a single-word packed layout");
     enabled_stack_.reserve(num_events_ + 4);
     stats_.depth_states.assign(num_events_ + 1, 0);
   }
@@ -656,7 +678,7 @@ class MemoizedSearch {
     if (reduce_ && depth >= sleep_stack_.size()) {
       sleep_stack_.resize(depth + 1);
     }
-    std::uint64_t fp = stepper_.state_hash();
+    std::uint64_t fp = exact_ ? stepper_.packed_word() : stepper_.state_hash();
     if (reduce_) fp = fold_sleep(fp, sleep_set_hash(sleep_stack_[depth]));
     bool memoized = false;
     if (memo_->lookup(fp, &memoized, payload(depth))) {
@@ -851,6 +873,7 @@ class MemoizedSearch {
   PersistentSetSelector selector_;
   bool reduce_;
   bool persistent_;
+  bool exact_ = false;  ///< memoize on the packed word, not a hash
   std::vector<std::vector<EventId>> sleep_stack_;  ///< sleep set per depth
   std::vector<EventId> full_enabled_;  ///< pre-reduction enabled scratch
   WorkerHandle* worker_ = nullptr;

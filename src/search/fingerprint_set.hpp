@@ -1,110 +1,84 @@
-// Sharded 64-bit fingerprint containers for state-space deduplication.
+// Sharded state-key containers for state-space deduplication.
 //
 // Every explorer in the unified search core dedups or memoizes states
-// through one of the two containers here, so a visited state costs 8
-// bytes (set) or 9 bytes (bool map) in release builds no matter which
-// analysis is running:
+// through one of the two containers here, both thin fronts over the
+// packed state layer (search/state_registry.hpp):
 //   * ShardedFingerprintSet — membership only.  Used to dedup causal
 //     classes, causal-class prefixes and deadlock-search states.
-//   * FingerprintBoolMap    — fingerprint -> bool memo.  Used by the
-//     memoized completability search (can-precede / coexistence), where
-//     each state memoizes "is a complete schedule reachable from here".
+//   * FingerprintBoolMap    — key -> bool memo.  Used by the memoized
+//     completability search (can-precede / coexistence), where each
+//     state memoizes "is a complete schedule reachable from here".
 //
-// Both are sharded by fingerprint with one mutex per shard, so the
-// root-split parallel engine's workers share one store with minimal
-// contention; the same types serve the serial engines (the map can skip
-// locking entirely when constructed unsynchronized).
+// Both are sharded with one mutex per shard, so the root-split parallel
+// engine's workers share one store with minimal contention; the same
+// types serve the serial engines (the map can skip locking entirely
+// when constructed unsynchronized).  Keys are quotiented and bit-packed
+// (see PackedStateRegistry), so a retained state costs a fraction of
+// the historical 8/9 bytes; with exact packed keys (Config::exact_keys)
+// the stores dedup collision-free.  With Config::spill and a byte
+// budget attached, cold shards spill to an mmap-backed temp file
+// instead of stopping the search with StopReason::kMemory.
 //
 // Collision safety net: with `verify_collisions` on (the default in
 // !NDEBUG builds) the full word payload of each state key is retained
 // per fingerprint and every hash-equal access is checked for genuine
 // equality — a 64-bit collision between distinct payloads throws
 // CheckError instead of silently pruning an unexplored state or reusing
-// a wrong memo value.  Release builds keep nothing beyond the
-// fingerprints.
+// a wrong memo value.
 // Memory accounting: attach a MemoryAccountant (search/memory.hpp) via
-// set_accountant() and every newly retained entry charges its release-
-// build footprint (kBytesPerEntry), plus the retained payload words in
-// collision-verification builds.  The deterministic fault layer
-// (util/fault.hpp, kStoreFailAt) can make the K-th insertion "fail":
-// the store then force-exhausts the accountant, so the owning search
-// stops with StopReason::kMemory exactly as if the byte budget tripped.
+// set_accountant() and the store's real heap footprint (bucket arrays,
+// packed entry words, retained payloads) is charged as it grows.  The
+// deterministic fault layer (util/fault.hpp, kStoreFailAt) can make the
+// K-th insertion "fail": the store then force-exhausts the accountant,
+// so the owning search stops with StopReason::kMemory exactly as if the
+// byte budget tripped.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "search/memory.hpp"
+#include "search/search.hpp"
+#include "search/state_registry.hpp"
 
 namespace evord::search {
 
-class ShardedFingerprintSet {
- public:
-  /// Release-build bytes per retained fingerprint.
-  static constexpr std::uint64_t kBytesPerEntry = 8;
-#ifndef NDEBUG
-  static constexpr bool kVerifyByDefault = true;
-#else
-  static constexpr bool kVerifyByDefault = false;
-#endif
+using ShardedFingerprintSet = PackedStateRegistry;
 
-  /// `num_shards` is rounded up to a power of two (minimum 1).
-  explicit ShardedFingerprintSet(std::size_t num_shards = 16,
-                                 bool verify_collisions = kVerifyByDefault);
-
-  ShardedFingerprintSet(const ShardedFingerprintSet&) = delete;
-  ShardedFingerprintSet& operator=(const ShardedFingerprintSet&) = delete;
-
-  bool verify_collisions() const noexcept { return verify_; }
-  std::size_t num_shards() const noexcept { return shards_.size(); }
-
-  /// Attaches the accountant newly retained entries are charged to.
-  /// Call before any concurrent use; nullptr detaches.
-  void set_accountant(MemoryAccountant* accountant) noexcept {
-    accountant_ = accountant;
+/// Store configuration for an explorer's dedup/memo store.  Engages
+/// exact packed keys when the trace's whole scheduling state fits one
+/// 64-bit word AND the search runs unreduced with no tracker state in
+/// the dedup key (`pure_state_key`) — the store then dedups
+/// collision-free on key_bits, storing each state in a fraction of 8
+/// bytes.  Collision verification is dropped when keys are exact (no
+/// collisions exist) or when spilling (payload retention would defeat
+/// the byte budget).
+inline PackedStateRegistry::Config make_store_config(
+    const Trace& trace, const SearchOptions& options, std::size_t num_shards,
+    bool synchronized = true, bool pure_state_key = true) {
+  PackedStateRegistry::Config cfg;
+  cfg.num_shards = num_shards;
+  cfg.synchronized = synchronized;
+  cfg.spill = options.spill;
+  if (pure_state_key && options.reduction == ReductionMode::kOff) {
+    const PackedStateLayout layout(trace);
+    if (layout.single_word() && layout.key_bits() > 0) {
+      cfg.exact_keys = true;
+      cfg.key_bits = layout.key_bits();
+    }
   }
+  if (cfg.exact_keys || cfg.spill) cfg.verify_collisions = false;
+  return cfg;
+}
 
-  /// Inserts `fingerprint`; returns true iff it was not present (the
-  /// caller owns this element).  Thread-safe.  When collision
-  /// verification is on and `payload` is non-null, the payload is
-  /// retained on first insert and compared on every hash-equal re-insert;
-  /// a mismatch (a true 64-bit collision) throws CheckError.
-  bool insert(std::uint64_t fingerprint,
-              const std::vector<std::uint64_t>* payload = nullptr);
-
-  /// Total distinct fingerprints across all shards.  Thread-safe, but
-  /// only a snapshot while inserts are in flight.
-  std::uint64_t size() const;
-
-  /// Per-shard element counts (load-factor diagnostics; the sharding
-  /// hash should spread these evenly).  Snapshot under concurrency.
-  std::vector<std::uint64_t> shard_sizes() const;
-
- private:
-  struct Shard {
-    std::mutex mu;
-    std::unordered_set<std::uint64_t> fingerprints;
-    /// Populated only in collision-verification mode.
-    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> payloads;
-  };
-
-  Shard& shard_for(std::uint64_t fingerprint) noexcept;
-
-  std::vector<std::unique_ptr<Shard>> shards_;
-  bool verify_;
-  MemoryAccountant* accountant_ = nullptr;
-};
-
-/// Sharded fingerprint -> bool memo table.  Duplicate stores of the same
-/// value are permitted (concurrent workers may race to memoize the same
-/// state; the memoized predicate is deterministic, so every store agrees).
+/// Sharded key -> bool memo table.  Duplicate stores of the same value
+/// are permitted (concurrent workers may race to memoize the same
+/// state; the memoized predicate is deterministic, so every store
+/// agrees); a re-store with a different value throws CheckError.
 class FingerprintBoolMap {
  public:
-  /// Release-build bytes per memoized state (fingerprint + bool).
+  /// Legacy nominal release-build bytes per memoized state, kept as the
+  /// bench baseline for the bytes/state comparison rows.
   static constexpr std::uint64_t kBytesPerEntry = 9;
 
   /// `num_shards` is rounded up to a power of two (minimum 1).  With
@@ -112,55 +86,61 @@ class FingerprintBoolMap {
   /// only for single-threaded use.
   explicit FingerprintBoolMap(
       std::size_t num_shards = 16, bool synchronized = true,
-      bool verify_collisions = ShardedFingerprintSet::kVerifyByDefault);
+      bool verify_collisions = PackedStateRegistry::kVerifyByDefault)
+      : core_(PackedStateRegistry::Config{num_shards, verify_collisions, 64,
+                                          false, synchronized, 1, false}) {}
+  /// Full-config constructor (exact keys, spill tier); value_bits is
+  /// forced to 1.
+  explicit FingerprintBoolMap(PackedStateRegistry::Config config)
+      : core_((config.value_bits = 1, config)) {}
 
   FingerprintBoolMap(const FingerprintBoolMap&) = delete;
   FingerprintBoolMap& operator=(const FingerprintBoolMap&) = delete;
 
-  bool verify_collisions() const noexcept { return verify_; }
-  std::size_t num_shards() const noexcept { return shards_.size(); }
+  bool verify_collisions() const noexcept { return core_.verify_collisions(); }
+  bool exact_keys() const noexcept { return core_.exact_keys(); }
+  std::size_t num_shards() const noexcept { return core_.num_shards(); }
 
-  /// Attaches the accountant newly memoized entries are charged to.
+  /// Attaches the accountant the store's footprint is charged to.
   /// Call before any concurrent use; nullptr detaches.
   void set_accountant(MemoryAccountant* accountant) noexcept {
-    accountant_ = accountant;
+    core_.set_accountant(accountant);
   }
 
-  /// If `fingerprint` is memoized, writes its value to `*value` and
-  /// returns true.  When verification is on and `payload` is non-null, a
+  /// If `key` is memoized, writes its value to `*value` and returns
+  /// true.  When verification is on and `payload` is non-null, a
   /// hash-equal hit with a different retained payload throws CheckError.
-  bool lookup(std::uint64_t fingerprint, bool* value,
-              const std::vector<std::uint64_t>* payload = nullptr);
+  bool lookup(std::uint64_t key, bool* value,
+              const std::vector<std::uint64_t>* payload = nullptr) {
+    return core_.lookup(key, value, payload);
+  }
 
-  /// Memoizes `fingerprint` -> `value`; returns true iff the fingerprint
-  /// was newly inserted.  A re-store must carry the same value (checked);
-  /// payload handling is as in lookup().
-  bool store(std::uint64_t fingerprint, bool value,
-             const std::vector<std::uint64_t>* payload = nullptr);
+  /// Memoizes `key` -> `value`; returns true iff the key was newly
+  /// inserted.  A re-store must carry the same value (checked); payload
+  /// handling is as in lookup().
+  bool store(std::uint64_t key, bool value,
+             const std::vector<std::uint64_t>* payload = nullptr) {
+    return core_.store(key, value, payload);
+  }
 
-  /// Total memoized states across all shards (snapshot under concurrency).
-  std::uint64_t size() const;
+  /// Total memoized states across all shards (snapshot under
+  /// concurrency).
+  std::uint64_t size() const { return core_.size(); }
+  /// Actual resident heap bytes (matches the accountant's charges).
+  std::uint64_t bytes() const noexcept { return core_.bytes(); }
+  std::uint64_t spilled_bytes() const noexcept {
+    return core_.spilled_bytes();
+  }
+  std::uint64_t spill_events() const noexcept { return core_.spill_events(); }
 
   /// Per-shard element counts (load-factor diagnostics).  Snapshot under
   /// concurrency.
-  std::vector<std::uint64_t> shard_sizes() const;
+  std::vector<std::uint64_t> shard_sizes() const {
+    return core_.shard_sizes();
+  }
 
  private:
-  struct Shard {
-    std::mutex mu;
-    std::unordered_map<std::uint64_t, bool> values;
-    /// Populated only in collision-verification mode.
-    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> payloads;
-  };
-
-  void check_payload(Shard& shard, std::uint64_t fingerprint,
-                     const std::vector<std::uint64_t>* payload);
-  Shard& shard_for(std::uint64_t fingerprint) noexcept;
-
-  std::vector<std::unique_ptr<Shard>> shards_;
-  bool synchronized_;
-  bool verify_;
-  MemoryAccountant* accountant_ = nullptr;
+  PackedStateRegistry core_;
 };
 
 }  // namespace evord::search

@@ -1,49 +1,72 @@
 #include "search/independence.hpp"
 
+#include <bit>
+
 #include "trace/event.hpp"
 
 namespace evord::search {
 
-namespace {
-
-/// The static dependence test for one cross-process pair (see the file
-/// comment in independence.hpp for the case-by-case argument).
-bool statically_dependent(const Event& a, const Event& b) {
-  if (is_semaphore_op(a.kind) && is_semaphore_op(b.kind)) {
-    return a.object == b.object;
-  }
-  if (is_event_op(a.kind) && is_event_op(b.kind)) {
-    if (a.object != b.object) return false;
-    // Wait/Wait only reads (posted flag, establisher): commutes.
-    return !(a.kind == EventKind::kWait && b.kind == EventKind::kWait);
-  }
-  // Conflicting shared-data accesses (covers every D edge between
-  // computes; D edges are added explicitly by the caller anyway).
-  return a.conflicts_with(b);
-}
-
-}  // namespace
-
+// The relation is assembled class-by-class with word-parallel bitset
+// unions instead of testing every O(n^2) pair individually:
+//   * one mask per process (program-order pairs),
+//   * one mask per semaphore over its ops (P/P, P/V, V/V all dependent),
+//   * two masks per event variable — all ops, and the non-Wait ops —
+//     so a Wait ORs in only posts/clears (Wait/Wait commutes) while a
+//     post/clear ORs in everything on its variable.
+// Only shared-data conflicts (a sparse subset: computation events with
+// non-empty read/write sets) and explicit D edges fall back to scalar
+// pair marking.  The result is bit-identical to the old per-pair loop.
 IndependenceRelation::IndependenceRelation(const Trace& trace)
     : n_(trace.num_events()),
       num_procs_(trace.num_processes()),
       dep_(n_, DynamicBitset(n_)),
-      max_dep_index_(n_ * num_procs_, -1) {
+      max_dep_index_(n_ * num_procs_, -1),
+      dep_proc_mask_(n_, 0) {
+  std::vector<DynamicBitset> proc_events(num_procs_, DynamicBitset(n_));
+  std::vector<DynamicBitset> sem_ops(trace.semaphores().size(),
+                                     DynamicBitset(n_));
+  std::vector<DynamicBitset> ev_ops(trace.event_vars().size(),
+                                    DynamicBitset(n_));
+  std::vector<DynamicBitset> ev_nonwait(trace.event_vars().size(),
+                                        DynamicBitset(n_));
+  std::vector<EventId> data_events;
+  for (EventId a = 0; a < n_; ++a) {
+    const Event& e = trace.event(a);
+    proc_events[e.process].set(a);
+    if (is_semaphore_op(e.kind)) sem_ops[e.object].set(a);
+    if (is_event_op(e.kind)) {
+      ev_ops[e.object].set(a);
+      if (e.kind != EventKind::kWait) ev_nonwait[e.object].set(a);
+    }
+    if (e.accesses_shared_data()) data_events.push_back(a);
+  }
+
+  for (EventId a = 0; a < n_; ++a) {
+    const Event& e = trace.event(a);
+    DynamicBitset& row = dep_[a];
+    // Program order; never co-enabled.  Kept dependent so the relation
+    // reads as "definitely commute" only across processes.
+    row |= proc_events[e.process];
+    if (is_semaphore_op(e.kind)) row |= sem_ops[e.object];
+    if (is_event_op(e.kind)) {
+      row |= e.kind == EventKind::kWait ? ev_nonwait[e.object]
+                                        : ev_ops[e.object];
+    }
+  }
+
   const auto mark = [&](EventId a, EventId b) {
     dep_[a].set(b);
     dep_[b].set(a);
   };
-  for (EventId a = 0; a < n_; ++a) {
-    const Event& ea = trace.event(a);
-    for (EventId b = a + 1; b < n_; ++b) {
-      const Event& eb = trace.event(b);
-      if (ea.process == eb.process) {
-        // Program order; never co-enabled.  Kept dependent so the
-        // relation reads as "definitely commute" only across processes.
-        mark(a, b);
-        continue;
+  // Conflicting shared-data accesses: only computation events with
+  // non-empty read/write sets can conflict, so scan that subset.
+  for (std::size_t i = 0; i < data_events.size(); ++i) {
+    const Event& ea = trace.event(data_events[i]);
+    for (std::size_t j = i + 1; j < data_events.size(); ++j) {
+      const Event& eb = trace.event(data_events[j]);
+      if (ea.process != eb.process && ea.conflicts_with(eb)) {
+        mark(data_events[i], data_events[j]);
       }
-      if (statically_dependent(ea, eb)) mark(a, b);
     }
   }
   // Observed shared-data dependences (D): dependent in either direction.
@@ -55,14 +78,33 @@ IndependenceRelation::IndependenceRelation(const Trace& trace)
   // max_dep_index_[a][q]: the largest program-order position of an event
   // of process q dependent with a (the persistent-set closure asks
   // "does q still have a dependent event at position >= pos_q?").
+  // Iterated word-at-a-time over the dependence row.
   for (EventId a = 0; a < n_; ++a) {
     const DynamicBitset& row = dep_[a];
-    for (std::size_t b = row.find_first(); b < row.size();
-         b = row.find_next(b)) {
-      const Event& eb = trace.event(static_cast<EventId>(b));
-      if (eb.process == trace.event(a).process) continue;
-      std::int64_t& slot = max_dep_index_[a * num_procs_ + eb.process];
-      slot = std::max(slot, static_cast<std::int64_t>(eb.index_in_process));
+    const ProcId pa = trace.event(a).process;
+    for (std::size_t w = 0; w < row.word_count(); ++w) {
+      std::uint64_t bits = row.word(w);
+      while (bits != 0) {
+        const std::size_t b = w * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        const Event& eb = trace.event(static_cast<EventId>(b));
+        if (eb.process == pa) continue;
+        std::int64_t& slot = max_dep_index_[a * num_procs_ + eb.process];
+        slot = std::max(slot, static_cast<std::int64_t>(eb.index_in_process));
+      }
+    }
+  }
+  // dep_proc_mask_[a]: bit q set iff process q has ANY event dependent
+  // with a — the persistent-set closure's candidate filter, one word
+  // per event when the trace has at most 64 processes.
+  if (num_procs_ <= 64) {
+    for (EventId a = 0; a < n_; ++a) {
+      std::uint64_t m = 0;
+      for (ProcId q = 0; q < num_procs_; ++q) {
+        if (max_dep_index_[a * num_procs_ + q] >= 0) m |= std::uint64_t{1}
+                                                         << q;
+      }
+      dep_proc_mask_[a] = m;
     }
   }
 }

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,13 @@ class IndependenceRelation {
     return m >= static_cast<std::int64_t>(pos_q);
   }
 
+  /// True when per-event process masks are available (<= 64 processes),
+  /// enabling the word-parallel persistent-set closure.
+  bool has_proc_masks() const { return num_procs_ <= 64; }
+  /// Bit q set iff process q has any event dependent with `a`.  All-zero
+  /// when has_proc_masks() is false.
+  std::uint64_t dep_proc_mask(EventId a) const { return dep_proc_mask_[a]; }
+
  private:
   std::size_t n_;
   std::size_t num_procs_;
@@ -76,13 +84,24 @@ class IndependenceRelation {
   /// max index_in_process over events of process q dependent with event
   /// a, or -1; indexed [a * num_procs_ + q].
   std::vector<std::int64_t> max_dep_index_;
+  /// One word per event: the processes holding a dependent event.
+  std::vector<std::uint64_t> dep_proc_mask_;
 };
 
 /// Per-engine scratch for persistent-set selection (reused per state).
+/// With at most 64 processes the closure runs word-parallel: candidate
+/// processes for each head event come from one AND of the event's
+/// dependent-process mask with the still-active, not-yet-in-W mask,
+/// then only the surviving bits pay the per-process position check.
+/// `force_scalar` keeps the per-process scan (bench comparison knob);
+/// both paths produce identical sets.
 class PersistentSetSelector {
  public:
-  explicit PersistentSetSelector(const IndependenceRelation* indep)
-      : indep_(indep) {}
+  explicit PersistentSetSelector(const IndependenceRelation* indep,
+                                 bool force_scalar = false)
+      : indep_(indep),
+        masked_(indep != nullptr && indep->has_proc_masks() &&
+                !force_scalar) {}
 
   /// Writes into `out` a persistent subset of `enabled` (which must be
   /// the state's full enabled list in process-id order, non-empty),
@@ -93,12 +112,24 @@ class PersistentSetSelector {
               std::vector<EventId>& out) {
     const Trace& trace = stepper.trace();
     const std::size_t num_procs = indep_->num_processes();
+    // Processes with any unexecuted event; fixed for the whole state.
+    std::uint64_t active = 0;
+    if (masked_) {
+      for (ProcId q = 0; q < num_procs; ++q) {
+        if (stepper.next_of(q) != kNoEvent) active |= std::uint64_t{1} << q;
+      }
+    }
     best_.clear();
     for (const EventId seed : enabled) {
-      in_w_.assign(num_procs, false);
+      std::uint64_t w_mask = 0;
+      if (masked_) {
+        w_mask = std::uint64_t{1} << trace.event(seed).process;
+      } else {
+        in_w_.assign(num_procs, false);
+        in_w_[trace.event(seed).process] = true;
+      }
       w_.clear();
       w_.push_back(trace.event(seed).process);
-      in_w_[trace.event(seed).process] = true;
       bool ok = true;
       for (std::size_t head = 0; ok && head < w_.size(); ++head) {
         const EventId a = stepper.next_of(w_[head]);
@@ -110,6 +141,19 @@ class PersistentSetSelector {
         if (a == kNoEvent || !stepper.enabled(a)) {
           ok = false;
           break;
+        }
+        if (masked_) {
+          std::uint64_t cand = indep_->dep_proc_mask(a) & active & ~w_mask;
+          while (cand != 0) {
+            const ProcId q = static_cast<ProcId>(std::countr_zero(cand));
+            cand &= cand - 1;
+            if (indep_->process_has_dependent_after(a, q,
+                                                    stepper.position(q))) {
+              w_mask |= std::uint64_t{1} << q;
+              w_.push_back(q);
+            }
+          }
+          continue;
         }
         for (ProcId q = 0; q < num_procs; ++q) {
           if (in_w_[q] || stepper.next_of(q) == kNoEvent) continue;
@@ -141,6 +185,7 @@ class PersistentSetSelector {
 
  private:
   const IndependenceRelation* indep_;
+  bool masked_;
   std::vector<ProcId> w_;
   std::vector<ProcId> best_;
   std::vector<bool> in_w_;

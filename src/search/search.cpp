@@ -50,6 +50,8 @@ void SearchStats::merge(const SearchStats& other) {
   sleep_pruned += other.sleep_pruned;
   persistent_skipped += other.persistent_skipped;
   memo_bytes += other.memo_bytes;
+  spilled_bytes += other.spilled_bytes;
+  spill_events += other.spill_events;
   truncated = truncated || other.truncated;
   stopped_by_visitor = stopped_by_visitor || other.stopped_by_visitor;
   if (stop_reason == StopReason::kNone) stop_reason = other.stop_reason;

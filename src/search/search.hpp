@@ -95,6 +95,12 @@ struct SearchOptions {
   /// IndependenceRelation (search/independence.hpp).  Explorer
   /// front-ends choose soundness-matched defaults; see docs/SEARCH.md.
   ReductionMode reduction = ReductionMode::kOff;
+  /// Spill the dedup/memo store's cold shards to an mmap-backed temp
+  /// file when the byte budget nears exhaustion, instead of stopping
+  /// with StopReason::kMemory.  Only meaningful with max_memory_bytes
+  /// set; results are bit-identical to an unbudgeted run.  Off keeps
+  /// today's stop-at-budget behaviour exactly.
+  bool spill = false;
 };
 
 /// Per-worker scheduler counters (SearchStats::workers, one entry per
@@ -131,6 +137,11 @@ struct SearchStats {
   /// per worker (workers report 0), so shared-set insertions are not
   /// double-counted.
   std::uint64_t memo_bytes = 0;
+  /// Bytes written to the spill tier (0 unless SearchOptions::spill) and
+  /// the number of spill sweeps that ran.  Like memo_bytes, set once at
+  /// top level from the shared stores.
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t spill_events = 0;
   bool truncated = false;          ///< a budget stopped the search
   bool stopped_by_visitor = false;
   StopReason stop_reason = StopReason::kNone;

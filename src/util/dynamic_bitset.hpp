@@ -113,6 +113,8 @@ class DynamicBitset {
   std::size_t word_count() const noexcept { return words_.size(); }
   Word word(std::size_t w) const noexcept { return words_[w]; }
   Word& word(std::size_t w) noexcept { return words_[w]; }
+  const Word* data() const noexcept { return words_.data(); }
+  Word* data() noexcept { return words_.data(); }
 
  private:
   void trim() noexcept;  // clear bits past nbits_ in the last word

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 #include <set>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/dynamic_bitset.hpp"
@@ -233,6 +236,77 @@ TEST(DynamicBitset, EmptyBitset) {
   EXPECT_TRUE(b.empty());
   EXPECT_EQ(b.find_first(), 0u);
   EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitset, WordIterationCoversEveryBit) {
+  // Block iteration (word() / word_count() / data()) must see exactly
+  // the set bits, at sizes around the 64-bit block boundary.
+  for (const std::size_t bits : {1ul, 63ul, 64ul, 65ul, 127ul, 130ul}) {
+    DynamicBitset b(bits);
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < bits; i += 7) {
+      b.set(i);
+      expected.push_back(i);
+    }
+    ASSERT_EQ(b.word_count(), (bits + 63) / 64) << bits;
+    ASSERT_EQ(b.data()[0], b.word(0)) << bits;
+    std::vector<std::size_t> got;
+    for (std::size_t w = 0; w < b.word_count(); ++w) {
+      std::uint64_t word = b.word(w);
+      while (word != 0) {
+        got.push_back(w * 64 +
+                      static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+      }
+    }
+    EXPECT_EQ(got, expected) << bits;
+  }
+}
+
+TEST(DynamicBitset, CountMatchesWordPopcounts) {
+  Rng rng(17);
+  for (const std::size_t bits : {63ul, 64ul, 65ul, 129ul, 1000ul}) {
+    DynamicBitset b(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (rng.chance(0.37)) b.set(i);
+    }
+    std::size_t pop = 0;
+    for (std::size_t w = 0; w < b.word_count(); ++w) {
+      pop += static_cast<std::size_t>(std::popcount(b.word(w)));
+    }
+    EXPECT_EQ(b.count(), pop) << bits;
+  }
+}
+
+TEST(DynamicBitset, AndOrAssignAtNonWordMultipleSizes) {
+  Rng rng(23);
+  for (const std::size_t bits : {1ul, 63ul, 65ul, 127ul, 130ul}) {
+    DynamicBitset a(bits), b(bits);
+    std::vector<bool> ra(bits), rb(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      ra[i] = rng.chance(0.5);
+      rb[i] = rng.chance(0.5);
+      if (ra[i]) a.set(i);
+      if (rb[i]) b.set(i);
+    }
+    DynamicBitset o = a;
+    o |= b;
+    DynamicBitset n = a;
+    n &= b;
+    for (std::size_t i = 0; i < bits; ++i) {
+      ASSERT_EQ(o.test(i), ra[i] || rb[i]) << bits << ":" << i;
+      ASSERT_EQ(n.test(i), ra[i] && rb[i]) << bits << ":" << i;
+    }
+    // The last partial word must stay trimmed: no ghost bits past size()
+    // can leak into count() or equality.
+    o |= o;
+    EXPECT_LE(o.count(), bits);
+    DynamicBitset all(bits, true);
+    all &= all;
+    EXPECT_EQ(all.count(), bits);
+    all |= o;
+    EXPECT_EQ(all.count(), bits);
+  }
 }
 
 // ------------------------------------------------------------------ rng
