@@ -3,23 +3,23 @@
 #include <sstream>
 
 #include "core/report.hpp"
-#include "trace/axioms.hpp"
 #include "util/check.hpp"
 
 namespace evord {
 
 OrderingAnalyzer::OrderingAnalyzer(Trace trace, ExactOptions options)
-    : trace_(std::move(trace)), options_(options) {
-  const AxiomReport axioms = validate_axioms(trace_);
-  EVORD_CHECK(axioms.ok(),
-              "trace violates model axioms:\n" << axioms.text());
+    : session_(std::make_shared<service::AnalysisSession>(
+          std::make_shared<const Trace>(std::move(trace)), options)) {}
+
+OrderingAnalyzer::OrderingAnalyzer(
+    std::shared_ptr<service::AnalysisSession> session)
+    : session_(std::move(session)) {
+  EVORD_CHECK(session_ != nullptr, "OrderingAnalyzer needs a session");
 }
 
 const OrderingRelations& OrderingAnalyzer::relations(Semantics semantics) {
-  auto& slot = cached_[static_cast<std::size_t>(semantics)];
-  if (!slot.has_value()) {
-    slot = compute_exact(trace_, semantics, options_);
-  }
+  auto& slot = relations_[static_cast<std::size_t>(semantics)];
+  if (slot == nullptr) slot = session_->relations(semantics);
   return *slot;
 }
 
@@ -51,74 +51,47 @@ bool OrderingAnalyzer::could_have_been_ordered(EventId a, EventId b) {
 
 std::optional<std::vector<EventId>> OrderingAnalyzer::witness_happened_before(
     EventId a, EventId b, Semantics semantics) {
-  return witness_could_happen_before(trace_, a, b, semantics, options_);
+  return witness_could_happen_before(session_->trace(), a, b, semantics,
+                                     session_->options());
 }
 
 std::optional<std::vector<EventId>> OrderingAnalyzer::witness_concurrent(
     EventId a, EventId b) {
-  return witness_could_be_concurrent(trace_, a, b, options_);
+  return witness_could_be_concurrent(session_->trace(), a, b,
+                                     session_->options());
 }
 
 const VectorClockResult& OrderingAnalyzer::vector_clocks() {
-  if (!vc_.has_value()) vc_ = compute_vector_clocks(trace_);
-  return *vc_;
+  return session_->vector_clocks();
 }
 
-const HmwResult& OrderingAnalyzer::hmw() {
-  if (!hmw_.has_value()) hmw_ = compute_hmw(trace_);
-  return *hmw_;
-}
+const HmwResult& OrderingAnalyzer::hmw() { return session_->hmw(); }
 
-const EgpResult& OrderingAnalyzer::egp() {
-  if (!egp_.has_value()) egp_ = compute_egp(trace_);
-  return *egp_;
-}
+const EgpResult& OrderingAnalyzer::egp() { return session_->egp(); }
 
 const CombinedResult& OrderingAnalyzer::combined() {
-  if (!combined_.has_value()) combined_ = compute_combined(trace_);
-  return *combined_;
+  return session_->combined();
 }
 
 const DeadlockReport& OrderingAnalyzer::deadlocks() {
-  if (!deadlocks_.has_value()) {
-    DeadlockOptions options;
-    options.stepper.respect_dependences = options_.respect_dependences;
-    options.max_states = options_.max_states;
-    options.time_budget_seconds = options_.time_budget_seconds;
-    options.num_threads = options_.num_threads;
-    options.steal = options_.steal;
-    deadlocks_ = analyze_deadlocks(trace_, options);
-  }
+  if (deadlocks_ == nullptr) deadlocks_ = session_->deadlocks();
   return *deadlocks_;
 }
 
 bool OrderingAnalyzer::could_have_coexisted(EventId a, EventId b) {
-  if (!coexist_.has_value()) {
-    ScheduleSpaceOptions options;
-    options.stepper.respect_dependences = options_.respect_dependences;
-    options.max_states = options_.max_states;
-    options.time_budget_seconds = options_.time_budget_seconds;
-    options.num_threads = options_.num_threads;
-    options.steal = options_.steal;
-    options.build_coexist = true;
-    coexist_ = compute_can_precede(trace_, options);
-  }
+  if (coexist_ == nullptr) coexist_ = session_->coexistence();
   return coexist_->can_coexist[a].test(b);
 }
 
 RaceReport OrderingAnalyzer::races(RaceDetector detector) {
-  return detect_races(trace_, detector, options_);
+  auto& slot = races_[static_cast<std::size_t>(detector)];
+  if (slot == nullptr) slot = session_->races(detector);
+  return *slot;
 }
 
 AnytimeQuery& OrderingAnalyzer::anytime(
     const std::vector<QueryBudget>& ladder) {
-  if (!anytime_.has_value() || !ladder.empty()) {
-    AnytimeOptions options;
-    options.ladder = ladder;
-    options.exact = options_;
-    anytime_.emplace(trace_, std::move(options));
-  }
-  return *anytime_;
+  return session_->anytime(ladder);
 }
 
 BoundedVerdict OrderingAnalyzer::anytime_must_have_happened_before(
@@ -142,8 +115,8 @@ const search::SearchStats& OrderingAnalyzer::search_stats(
 
 std::string OrderingAnalyzer::report(Semantics semantics) {
   std::ostringstream os;
-  os << format_event_table(trace_);
-  os << summarize_relations(trace_, relations(semantics));
+  os << format_event_table(session_->trace());
+  os << summarize_relations(session_->trace(), relations(semantics));
   return os.str();
 }
 

@@ -7,12 +7,19 @@
 //   an.races(RaceDetector::kExact);      // exhaustive race report
 //   an.report();                         // human-readable summary
 //
-// Exact queries lazily run the exhaustive analysis once per semantics and
-// cache it.  The polynomial baselines (vector clocks, HMW, EGP) are
-// exposed alongside for comparison.
+// Since the service refactor the analyzer is a thin CLIENT of an
+// AnalysisSession (src/service/session.hpp): every exact result is
+// computed once through the session's result cache and pinned here, so
+// the historic contract — lazy computation, one analysis per semantics,
+// stable references across calls — is unchanged, while the same session
+// (and therefore every cached result) can be shared service-wide by
+// constructing the analyzer over a TraceRegistry session.  The
+// polynomial baselines (vector clocks, HMW, EGP) are exposed alongside
+// for comparison.
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -26,16 +33,26 @@
 #include "ordering/witness.hpp"
 #include "race/race_detector.hpp"
 #include "resilience/anytime.hpp"
+#include "service/session.hpp"
 #include "trace/trace.hpp"
 
 namespace evord {
 
 class OrderingAnalyzer {
  public:
+  /// Private-session form: owns its trace and an AnalysisSession with a
+  /// private result cache (the historic behavior, byte for byte).
   explicit OrderingAnalyzer(Trace trace, ExactOptions options = {});
+  /// Service-client form: analyze through an existing (e.g.
+  /// TraceRegistry-shared) session, reusing everything it has cached.
+  explicit OrderingAnalyzer(
+      std::shared_ptr<service::AnalysisSession> session);
 
-  const Trace& trace() const { return trace_; }
-  const ExactOptions& options() const { return options_; }
+  const Trace& trace() const { return session_->trace(); }
+  const ExactOptions& options() const { return session_->options(); }
+
+  /// The backing session (shared cache stats, batched pair queries...).
+  service::AnalysisSession& session() { return *session_; }
 
   /// The full exact relations under `semantics` (computed once, cached).
   const OrderingRelations& relations(
@@ -75,6 +92,8 @@ class OrderingAnalyzer {
   bool could_have_coexisted(EventId a, EventId b);
 
   // ----- applications ----------------------------------------------------
+  /// Cached per detector (the historic analyzer reran the exponential
+  /// exact detection on every call).
   RaceReport races(RaceDetector detector = RaceDetector::kExact);
 
   // ----- resource-governed anytime queries ------------------------------
@@ -84,8 +103,9 @@ class OrderingAnalyzer {
   /// escalating budget ladder, degrading to sound one-sided bounds with
   /// full provenance when every rung truncates.  The underlying
   /// AnytimeQuery is built lazily from `ladder` (default ladder when
-  /// empty) over this analyzer's ExactOptions and reused across calls;
-  /// pass a different ladder to rebuild it.
+  /// empty) and reused across calls — including when the same non-empty
+  /// ladder is passed again; only a genuinely DIFFERENT ladder rebuilds
+  /// it (and discards its cached ladder runs).
   AnytimeQuery& anytime(const std::vector<QueryBudget>& ladder = {});
   BoundedVerdict anytime_must_have_happened_before(
       EventId a, EventId b, Semantics semantics = Semantics::kCausal);
@@ -104,16 +124,14 @@ class OrderingAnalyzer {
   std::string report(Semantics semantics = Semantics::kCausal);
 
  private:
-  Trace trace_;
-  ExactOptions options_;
-  std::array<std::optional<OrderingRelations>, 3> cached_;
-  std::optional<VectorClockResult> vc_;
-  std::optional<HmwResult> hmw_;
-  std::optional<EgpResult> egp_;
-  std::optional<CombinedResult> combined_;
-  std::optional<DeadlockReport> deadlocks_;
-  std::optional<CanPrecedeResult> coexist_;
-  std::optional<AnytimeQuery> anytime_;
+  std::shared_ptr<service::AnalysisSession> session_;
+  // Pinned session results: keep every result this analyzer ever handed
+  // out alive (and its references stable) regardless of result-cache
+  // eviction — the historic reference-stability contract.
+  std::array<std::shared_ptr<const OrderingRelations>, 3> relations_;
+  std::shared_ptr<const DeadlockReport> deadlocks_;
+  std::shared_ptr<const CanPrecedeResult> coexist_;
+  std::array<std::shared_ptr<const RaceReport>, 3> races_;
 };
 
 }  // namespace evord

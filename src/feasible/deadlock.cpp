@@ -275,4 +275,9 @@ DeadlockReport analyze_deadlocks(const Trace& trace,
   return run_serial(trace, options, indep.get());
 }
 
+std::uint64_t DeadlockReport::approx_bytes() const {
+  return sizeof(DeadlockReport) + search.approx_bytes() +
+         witness_prefix.capacity() * sizeof(EventId);
+}
+
 }  // namespace evord

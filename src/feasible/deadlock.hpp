@@ -64,6 +64,10 @@ struct DeadlockReport {
   /// True iff a budget stopped the search (result may miss deadlocks).
   bool truncated = false;
   search::SearchStats search;  ///< unified engine statistics
+
+  /// Approximate resident bytes (witness + search-stats vectors); the
+  /// unit the service result cache charges per cached DeadlockReport.
+  std::uint64_t approx_bytes() const;
 };
 
 DeadlockReport analyze_deadlocks(const Trace& trace,

@@ -102,23 +102,49 @@ CanPrecedeResult run_search(const Trace& trace,
   init_matrices(trace, options, build_matrix, result);
   search::SharedContext ctx(so);
 
+  // Warm-store reuse (ScheduleSpaceOptions::warm_memo contract): a
+  // caller-owned memo may only replace the private one when its entries
+  // mean exactly the same thing in every run — serial, unreduced,
+  // unbudgeted, unspilled — and when a non-empty store cannot
+  // short-circuit matrix marks (verdict-only sweep, or the store is
+  // still empty and this run is the one that fills it).  The warm store
+  // is never attached to this run's accountant: it outlives the run and
+  // its bytes belong to its owner, not to this search's budget (which
+  // the gate forces to "unlimited" anyway).
+  const bool verdict_only = !build_matrix && !options.build_coexist;
+  search::FingerprintBoolMap* const warm = options.warm_memo;
+  const bool use_warm = warm != nullptr && threads <= 1 &&
+                        so.reduction == search::ReductionMode::kOff &&
+                        so.max_memory_bytes == 0 && !so.spill &&
+                        (verdict_only || warm->size() == 0);
+
   if (threads <= 1 || roots.empty()) {
-    search::FingerprintBoolMap memo(
-        search::make_store_config(trace, so, 1, /*synchronized=*/false));
-    memo.set_accountant(&ctx.memory);
+    std::unique_ptr<search::FingerprintBoolMap> own;
+    search::FingerprintBoolMap* memo = warm;
+    const std::uint64_t preexisting = use_warm ? warm->size() : 0;
+    if (!use_warm) {
+      own = std::make_unique<search::FingerprintBoolMap>(
+          search::make_store_config(trace, so, 1, /*synchronized=*/false));
+      own->set_accountant(&ctx.memory);
+      memo = own.get();
+    }
     SpaceSearch engine(
-        trace, options.stepper, so, &ctx, &memo,
+        trace, options.stepper, so, &ctx, memo,
         CanPrecedeHooks{build_matrix ? &result.can_precede : nullptr,
                         options.build_coexist ? &result.can_coexist
                                               : nullptr},
         indep.get());
     result.feasible_nonempty = engine.explore(0);
     result.search = engine.stats();
-    result.search.memo_bytes = memo.bytes();
-    result.search.spilled_bytes = memo.spilled_bytes();
-    result.search.spill_events = memo.spill_events();
-    result.search.shard_sizes = memo.shard_sizes();
-    result.states_visited = static_cast<std::size_t>(memo.size());
+    result.search.memo_bytes = memo->bytes();
+    result.search.spilled_bytes = memo->spilled_bytes();
+    result.search.spill_events = memo->spill_events();
+    result.search.shard_sizes = memo->shard_sizes();
+    // With a warm store, memo->size() counts entries from earlier runs
+    // too; report only the states THIS run added, so a run through a
+    // still-empty warm store is byte-identical to a private-memo run.
+    result.states_visited =
+        static_cast<std::size_t>(memo->size() - preexisting);
     result.truncated = result.search.truncated;
     return result;
   }
@@ -176,6 +202,19 @@ CanPrecedeResult run_search(const Trace& trace,
 
 }  // namespace
 
+std::uint64_t CanPrecedeResult::approx_bytes() const {
+  std::uint64_t bytes = sizeof(CanPrecedeResult) + search.approx_bytes();
+  bytes += can_precede.capacity() * sizeof(DynamicBitset);
+  for (const DynamicBitset& row : can_precede) {
+    bytes += row.word_count() * sizeof(std::uint64_t);
+  }
+  bytes += can_coexist.capacity() * sizeof(DynamicBitset);
+  for (const DynamicBitset& row : can_coexist) {
+    bytes += row.word_count() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
 CanPrecedeResult compute_can_precede(const Trace& trace,
                                      const ScheduleSpaceOptions& options) {
   return run_search(trace, options, /*build_matrix=*/true);
@@ -184,6 +223,18 @@ CanPrecedeResult compute_can_precede(const Trace& trace,
 bool has_feasible_schedule(const Trace& trace,
                            const ScheduleSpaceOptions& options) {
   return run_search(trace, options, /*build_matrix=*/false).feasible_nonempty;
+}
+
+CanPrecedeResult compute_feasibility(const Trace& trace,
+                                     const ScheduleSpaceOptions& options) {
+  return run_search(trace, options, /*build_matrix=*/false);
+}
+
+std::unique_ptr<search::FingerprintBoolMap> make_feasibility_memo(
+    const Trace& trace, const ScheduleSpaceOptions& options) {
+  const search::SearchOptions so = to_search_options(options);
+  return std::make_unique<search::FingerprintBoolMap>(
+      search::make_store_config(trace, so, 1, /*synchronized=*/false));
 }
 
 namespace {

@@ -22,12 +22,17 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "feasible/stepper.hpp"
 #include "search/search.hpp"
 #include "trace/trace.hpp"
 #include "util/dynamic_bitset.hpp"
+
+namespace evord::search {
+class FingerprintBoolMap;
+}  // namespace evord::search
 
 namespace evord {
 
@@ -69,6 +74,19 @@ struct ScheduleSpaceOptions {
   /// can_precede_pair (the pair query's verdict must stay exact).  When
   /// set, SearchOptions ReductionMode::kSleepPersistent is applied.
   bool representatives_only = false;
+  /// Caller-owned completability memo that survives across sweeps on the
+  /// same trace (service layer: AnalysisSession keeps one per trace, so
+  /// a repeated feasibility query answers from the root memo hit without
+  /// expanding a single state).  Create it with make_feasibility_memo()
+  /// from the SAME options.  The engine engages it only when reuse is
+  /// provably sound: serial, unreduced, no byte budget / spill, and
+  /// either a verdict-only sweep or a still-empty store — matrix marks
+  /// are emitted per *expanded* child, so a warm (non-empty) store would
+  /// short-circuit them and leave matrix bits unset.  Otherwise a fresh
+  /// private memo is used and this pointer is untouched.  Never shared
+  /// with can_precede_pair (its pruned walk memoizes a different
+  /// predicate).  nullptr (the default) = always private.
+  search::FingerprintBoolMap* warm_memo = nullptr;
 };
 
 struct CanPrecedeResult {
@@ -85,6 +103,11 @@ struct CanPrecedeResult {
   std::vector<DynamicBitset> can_coexist;
   /// Unified engine statistics (dedup hits, memo bytes, stop reason...).
   search::SearchStats search;
+
+  /// Approximate resident bytes of the whole result (matrices plus
+  /// search-stats vectors); the unit the service result cache charges
+  /// per cached CanPrecedeResult.
+  std::uint64_t approx_bytes() const;
 };
 
 /// Full can-precede sweep (see file comment).
@@ -94,6 +117,19 @@ CanPrecedeResult compute_can_precede(const Trace& trace,
 /// Just the F(P) != empty-set check (same search, no matrix marking).
 bool has_feasible_schedule(const Trace& trace,
                            const ScheduleSpaceOptions& options = {});
+
+/// The F(P) != empty-set check with full provenance (truncation flag,
+/// SearchStats) — the cacheable form of has_feasible_schedule().  The
+/// matrices of the returned result stay empty.
+CanPrecedeResult compute_feasibility(const Trace& trace,
+                                     const ScheduleSpaceOptions& options = {});
+
+/// A completability memo configured exactly as the sweep engine would
+/// configure its private store for `options` — pass it back in via
+/// ScheduleSpaceOptions::warm_memo to reuse it across sweeps on one
+/// trace (see the warm_memo contract above).
+std::unique_ptr<search::FingerprintBoolMap> make_feasibility_memo(
+    const Trace& trace, const ScheduleSpaceOptions& options = {});
 
 /// Targeted single-pair query: does some valid complete schedule run
 /// `first` strictly before `second`?  (Interleaving could-have-happened-

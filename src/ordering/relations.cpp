@@ -62,4 +62,19 @@ bool RelationMatrix::subset_of(const RelationMatrix& o) const {
   return true;
 }
 
+std::uint64_t RelationMatrix::approx_bytes() const {
+  std::uint64_t bytes =
+      sizeof(RelationMatrix) + rows_.capacity() * sizeof(DynamicBitset);
+  for (const DynamicBitset& row : rows_) {
+    bytes += row.word_count() * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+std::uint64_t OrderingRelations::approx_bytes() const {
+  std::uint64_t bytes = sizeof(OrderingRelations) + search.approx_bytes();
+  for (const RelationMatrix& m : matrices) bytes += m.approx_bytes();
+  return bytes;
+}
+
 }  // namespace evord

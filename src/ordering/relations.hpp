@@ -98,6 +98,10 @@ class RelationMatrix {
   bool operator==(const RelationMatrix& o) const { return rows_ == o.rows_; }
   bool operator!=(const RelationMatrix& o) const { return !(*this == o); }
 
+  /// Approximate resident bytes (row headers + bit words); used to
+  /// charge cached matrices against a result-cache byte budget.
+  std::uint64_t approx_bytes() const;
+
  private:
   std::vector<DynamicBitset> rows_;
 };
@@ -137,6 +141,11 @@ struct OrderingRelations {
   bool holds(RelationKind k, EventId a, EventId b) const {
     return (*this)[k].holds(a, b);
   }
+
+  /// Approximate resident bytes of the whole result (six matrices plus
+  /// search-stats vectors); the unit the service result cache charges
+  /// per cached OrderingRelations.
+  std::uint64_t approx_bytes() const;
 };
 
 }  // namespace evord

@@ -133,4 +133,9 @@ RaceReport detect_races(const Trace& trace, RaceDetector detector,
   return {};
 }
 
+std::uint64_t RaceReport::approx_bytes() const {
+  return sizeof(RaceReport) + search.approx_bytes() +
+         races.capacity() * sizeof(Race);
+}
+
 }  // namespace evord

@@ -55,6 +55,10 @@ struct RaceReport {
 
   bool contains(EventId a, EventId b) const;
   std::string summary(const Trace& trace) const;
+
+  /// Approximate resident bytes (race list + search-stats vectors); the
+  /// unit the service result cache charges per cached RaceReport.
+  std::uint64_t approx_bytes() const;
 };
 
 RaceReport detect_races_exact(const Trace& trace,

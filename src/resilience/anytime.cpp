@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 
 #include "ordering/witness.hpp"
 #include "trace/axioms.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace evord {
 
@@ -62,6 +64,21 @@ std::string BoundedVerdict::summary() const {
     line += " witness-length=" + std::to_string(witness->size());
   }
   return line;
+}
+
+std::uint64_t ladder_digest(const std::vector<QueryBudget>& ladder) {
+  std::uint64_t h = hash_mix(0x1adde4, ladder.size(), 0);
+  for (const QueryBudget& rung : ladder) {
+    h = hash_mix(0x01, h, rung.max_states);
+    h = hash_mix(0x02, h, rung.max_schedules);
+    h = hash_mix(0x03, h, rung.max_memory_bytes);
+    std::uint64_t seconds_bits = 0;
+    static_assert(sizeof(seconds_bits) == sizeof(rung.time_budget_seconds));
+    std::memcpy(&seconds_bits, &rung.time_budget_seconds,
+                sizeof(seconds_bits));
+    h = hash_mix(0x04, h, seconds_bits);
+  }
+  return h;
 }
 
 std::vector<QueryBudget> AnytimeOptions::default_ladder() {
@@ -148,6 +165,7 @@ const VectorClockResult& AnytimeQuery::observed() {
 const AnytimeQuery::LadderRun& AnytimeQuery::exact_run(Semantics semantics) {
   auto& slot = exact_[static_cast<std::size_t>(semantics)];
   if (slot.has_value()) return *slot;
+  ++climbs_;
   const Clock::time_point start = Clock::now();
   LadderRun run;
   for (std::size_t i = 0; i < options_.ladder.size(); ++i) {
@@ -274,6 +292,7 @@ BoundedVerdict AnytimeQuery::could_have_been_concurrent(EventId a,
 
 BoundedVerdict AnytimeQuery::race_between(EventId a, EventId b) {
   if (!races_.has_value()) {
+    ++climbs_;
     const Clock::time_point start = Clock::now();
     QueryProvenance p;
     RaceReport report;
@@ -325,6 +344,7 @@ BoundedVerdict AnytimeQuery::race_between(EventId a, EventId b) {
 
 BoundedVerdict AnytimeQuery::can_deadlock() {
   if (!deadlock_.has_value()) {
+    ++climbs_;
     const Clock::time_point start = Clock::now();
     QueryProvenance p;
     DeadlockReport report;

@@ -60,7 +60,15 @@ struct QueryBudget {
   std::uint64_t max_schedules = 0;    ///< causal / interval engines
   std::uint64_t max_memory_bytes = 0; ///< strict global byte budget
   double time_budget_seconds = 0.0;
+
+  friend bool operator==(const QueryBudget&, const QueryBudget&) = default;
 };
+
+/// Order-sensitive 64-bit digest of a budget ladder; the service layer
+/// stamps cached anytime verdicts with it so an `unknown` produced by
+/// one ladder is recomputed (and upgraded in place) when a caller
+/// presents a different — e.g. bigger-budget — ladder.
+std::uint64_t ladder_digest(const std::vector<QueryBudget>& ladder);
 
 /// Where a verdict came from and what it cost.
 struct QueryProvenance {
@@ -145,6 +153,19 @@ class AnytimeQuery {
   /// truncated search still proves; refutation needs exhaustion.
   BoundedVerdict can_deadlock();
 
+  // ----- warm-state introspection ---------------------------------------
+  /// Number of budget-ladder climbs this object has performed (one per
+  /// distinct cached computation: exact relations per semantics, the
+  /// race sweep, the deadlock sweep).  A caller that keeps reusing one
+  /// AnytimeQuery sees this stay flat across repeated queries — the
+  /// regression signal for the historic rebuild-on-equal-ladder bug in
+  /// OrderingAnalyzer::anytime().
+  std::size_t ladder_climbs() const { return climbs_; }
+  /// True iff the exact ladder run for `semantics` is already cached.
+  bool has_cached_run(Semantics semantics) const {
+    return exact_[static_cast<std::size_t>(semantics)].has_value();
+  }
+
  private:
   struct LadderRun {
     OrderingRelations relations;
@@ -172,6 +193,7 @@ class AnytimeQuery {
   std::optional<RaceReport> guaranteed_races_;
   std::optional<CombinedResult> combined_;
   std::optional<VectorClockResult> observed_;
+  std::size_t climbs_ = 0;
 };
 
 }  // namespace evord

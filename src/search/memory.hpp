@@ -34,7 +34,17 @@ class MemoryAccountant {
   MemoryAccountant(const MemoryAccountant&) = delete;
   MemoryAccountant& operator=(const MemoryAccountant&) = delete;
 
-  std::uint64_t limit() const noexcept { return limit_; }
+  std::uint64_t limit() const noexcept {
+    return limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-targets the budget (0 = unlimited).  Searches never resize their
+  /// budget mid-run; this exists for long-lived accountants — the service
+  /// layer's result cache shrinks or grows its byte budget at runtime and
+  /// then evicts down to the new limit.
+  void set_limit(std::uint64_t limit_bytes) noexcept {
+    limit_.store(limit_bytes, std::memory_order_relaxed);
+  }
 
   void charge(std::uint64_t bytes) noexcept {
     charged_.fetch_add(bytes, std::memory_order_relaxed);
@@ -56,8 +66,9 @@ class MemoryAccountant {
   /// (unlimited, un-exhausted) path.
   bool exceeded() const noexcept {
     if (exhausted_.load(std::memory_order_relaxed)) return true;
-    return limit_ != 0 &&
-           charged_.load(std::memory_order_relaxed) >= limit_;
+    const std::uint64_t limit = limit_.load(std::memory_order_relaxed);
+    return limit != 0 &&
+           charged_.load(std::memory_order_relaxed) >= limit;
   }
 
   /// Force-trips the budget (fault injection: a store insertion that
@@ -67,7 +78,7 @@ class MemoryAccountant {
   }
 
  private:
-  std::uint64_t limit_ = 0;
+  std::atomic<std::uint64_t> limit_{0};
   std::atomic<std::uint64_t> charged_{0};
   std::atomic<bool> exhausted_{false};
 };

@@ -169,6 +169,17 @@ struct SearchStats {
   std::uint64_t peak_depth() const;
   /// max(shard size) / mean(shard size); 0 when no shard data.
   double shard_imbalance() const;
+
+  /// Approximate resident footprint of this stats object itself (struct
+  /// plus histogram / per-worker / per-shard vectors) — results that
+  /// embed a SearchStats charge it to the service result cache's byte
+  /// budget through their own approx_bytes().
+  std::uint64_t approx_bytes() const {
+    return sizeof(SearchStats) +
+           depth_states.capacity() * sizeof(std::uint64_t) +
+           workers.capacity() * sizeof(WorkerStats) +
+           shard_sizes.capacity() * sizeof(std::uint64_t);
+  }
 };
 
 }  // namespace evord::search

@@ -1,0 +1,401 @@
+#include "service/session.hpp"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "search/fingerprint_set.hpp"
+#include "trace/axioms.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace evord::service {
+
+namespace {
+
+/// Distinct salts per digest component / per derived cache key.
+constexpr std::uint64_t kOptionsSalt = 0x0975;
+constexpr std::uint64_t kRaceSalt = 0x7ace;
+constexpr std::uint64_t kVerdictSalt = 0xa17e;
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t verdict_approx_bytes(const CachedVerdict& cached) {
+  std::uint64_t bytes = sizeof(CachedVerdict) +
+                        cached.verdict.provenance.engine.capacity();
+  if (cached.verdict.witness.has_value()) {
+    bytes += cached.verdict.witness->capacity() * sizeof(EventId);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::uint64_t digest_options(const ExactOptions& o) {
+  std::uint64_t h = hash_mix(kOptionsSalt, o.respect_dependences,
+                             o.causal_data_edges);
+  h = hash_mix(0x01, h, o.max_schedules);
+  h = hash_mix(0x02, h, o.class_dedup);
+  h = hash_mix(0x03, h, static_cast<std::uint64_t>(o.reduction));
+  h = hash_mix(0x04, h, o.max_states);
+  h = hash_mix(0x05, h, double_bits(o.time_budget_seconds));
+  h = hash_mix(0x06, h, o.max_memory_bytes);
+  h = hash_mix(0x07, h, o.spill);
+  h = hash_mix(0x08, h, o.num_threads);
+  h = hash_mix(0x09, h, o.steal.grain);
+  h = hash_mix(0x0a, h, o.steal.max_split_depth);
+  h = hash_mix(0x0b, h, o.steal.seed);
+  return h;
+}
+
+AnalysisSession::AnalysisSession(std::shared_ptr<const Trace> trace,
+                                 ExactOptions options,
+                                 std::shared_ptr<ResultCache> cache)
+    : trace_(std::move(trace)),
+      options_(options),
+      cache_(std::move(cache)) {
+  EVORD_CHECK(trace_ != nullptr, "AnalysisSession needs a trace");
+  const AxiomReport axioms = validate_axioms(*trace_);
+  EVORD_CHECK(axioms.ok(),
+              "trace violates model axioms:\n" << axioms.text());
+  fingerprint_ = trace_->fingerprint();
+  options_digest_ = digest_options(options_);
+  if (cache_ == nullptr) cache_ = std::make_shared<ResultCache>();
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+SessionStats AnalysisSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+CacheKey AnalysisSession::make_key(QueryKind kind, std::uint8_t semantics,
+                                   std::uint64_t extra) const {
+  CacheKey key;
+  key.trace_fingerprint = fingerprint_;
+  key.kind = kind;
+  key.semantics = semantics;
+  key.options_digest =
+      extra == 0 ? options_digest_
+                 : hash_mix(static_cast<std::uint64_t>(kind),
+                            options_digest_, extra);
+  return key;
+}
+
+ScheduleSpaceOptions AnalysisSession::space_options(
+    bool build_coexist) const {
+  // The exact field mapping OrderingAnalyzer has always used for its
+  // deadlock / coexistence searches, preserved verbatim so the analyzer
+  // refactored onto this session stays test-visibly identical.
+  ScheduleSpaceOptions options;
+  options.stepper.respect_dependences = options_.respect_dependences;
+  options.max_states = options_.max_states;
+  options.time_budget_seconds = options_.time_budget_seconds;
+  options.num_threads = options_.num_threads;
+  options.steal = options_.steal;
+  options.build_coexist = build_coexist;
+  return options;
+}
+
+search::FingerprintBoolMap* AnalysisSession::warm_memo_locked(
+    const ScheduleSpaceOptions& options) {
+  if (warm_memo_ == nullptr) {
+    warm_memo_ = make_feasibility_memo(*trace_, options);
+  }
+  return warm_memo_.get();
+}
+
+// ----- relations / pair queries ---------------------------------------
+
+std::shared_ptr<const OrderingRelations> AnalysisSession::relations_locked(
+    Semantics semantics) {
+  const CacheKey key = make_key(QueryKind::kRelations,
+                                static_cast<std::uint8_t>(semantics), 0);
+  if (auto hit = cache_->get<OrderingRelations>(key)) {
+    ++stats_.cache_hits;
+    return hit;
+  }
+  OrderingRelations result = compute_exact(*trace_, semantics, options_);
+  ++stats_.computations;
+  ++stats_.sweeps;
+  stats_.states_explored += result.search.states_visited;
+  const std::uint64_t bytes = result.approx_bytes();
+  if (result.truncated) {
+    return std::make_shared<const OrderingRelations>(std::move(result));
+  }
+  return cache_->put(key, std::move(result), bytes);
+}
+
+std::shared_ptr<const OrderingRelations> AnalysisSession::relations(
+    Semantics semantics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  return relations_locked(semantics);
+}
+
+bool AnalysisSession::pair_query(const PairQuery& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  return relations_locked(query.semantics)
+      ->holds(query.relation, query.a, query.b);
+}
+
+std::vector<bool> AnalysisSession::query_batch(
+    const std::vector<PairQuery>& queries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  stats_.batched_pairs += queries.size();
+  // One sweep per DISTINCT semantics in the batch (at most three); every
+  // answer after that is a bit read out of the shared matrices.
+  std::array<std::shared_ptr<const OrderingRelations>, 3> per_semantics;
+  std::vector<bool> answers(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const PairQuery& q = queries[i];
+    auto& rel = per_semantics[static_cast<std::size_t>(q.semantics)];
+    if (rel == nullptr) rel = relations_locked(q.semantics);
+    answers[i] = rel->holds(q.relation, q.a, q.b);
+  }
+  return answers;
+}
+
+// ----- feasibility / coexistence --------------------------------------
+
+std::shared_ptr<const CanPrecedeResult> AnalysisSession::feasibility_locked() {
+  const CacheKey key =
+      make_key(QueryKind::kFeasible, CacheKey::kNoSemantics, 0);
+  if (auto hit = cache_->get<CanPrecedeResult>(key)) {
+    ++stats_.cache_hits;
+    return hit;
+  }
+  ScheduleSpaceOptions options = space_options(/*build_coexist=*/false);
+  options.warm_memo = warm_memo_locked(options);
+  CanPrecedeResult result = compute_feasibility(*trace_, options);
+  ++stats_.computations;
+  ++stats_.sweeps;
+  stats_.states_explored += result.search.states_visited;
+  const std::uint64_t bytes = result.approx_bytes();
+  if (result.truncated) {
+    return std::make_shared<const CanPrecedeResult>(std::move(result));
+  }
+  return cache_->put(key, std::move(result), bytes);
+}
+
+std::shared_ptr<const CanPrecedeResult> AnalysisSession::feasibility() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  return feasibility_locked();
+}
+
+bool AnalysisSession::feasible() {
+  return feasibility()->feasible_nonempty;
+}
+
+std::shared_ptr<const CanPrecedeResult> AnalysisSession::coexistence_locked() {
+  const CacheKey key =
+      make_key(QueryKind::kCoexist, CacheKey::kNoSemantics, 0);
+  if (auto hit = cache_->get<CanPrecedeResult>(key)) {
+    ++stats_.cache_hits;
+    return hit;
+  }
+  ScheduleSpaceOptions options = space_options(/*build_coexist=*/true);
+  // The warm memo only engages while still empty (matrix sweeps must
+  // mark every expanded child); if this sweep is the one that fills it,
+  // later feasibility queries answer from the root memo hit.
+  options.warm_memo = warm_memo_locked(options);
+  CanPrecedeResult result = compute_can_precede(*trace_, options);
+  ++stats_.computations;
+  ++stats_.sweeps;
+  stats_.states_explored += result.search.states_visited;
+  const std::uint64_t bytes = result.approx_bytes();
+  if (result.truncated) {
+    return std::make_shared<const CanPrecedeResult>(std::move(result));
+  }
+  return cache_->put(key, std::move(result), bytes);
+}
+
+std::shared_ptr<const CanPrecedeResult> AnalysisSession::coexistence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  return coexistence_locked();
+}
+
+bool AnalysisSession::could_have_coexisted(EventId a, EventId b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  return coexistence_locked()->can_coexist[a].test(b);
+}
+
+// ----- deadlocks ------------------------------------------------------
+
+std::shared_ptr<const DeadlockReport> AnalysisSession::deadlocks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  const CacheKey key =
+      make_key(QueryKind::kDeadlock, CacheKey::kNoSemantics, 0);
+  if (auto hit = cache_->get<DeadlockReport>(key)) {
+    ++stats_.cache_hits;
+    return hit;
+  }
+  // Same field mapping OrderingAnalyzer::deadlocks() has always used.
+  DeadlockOptions options;
+  options.stepper.respect_dependences = options_.respect_dependences;
+  options.max_states = options_.max_states;
+  options.time_budget_seconds = options_.time_budget_seconds;
+  options.num_threads = options_.num_threads;
+  options.steal = options_.steal;
+  DeadlockReport report = analyze_deadlocks(*trace_, options);
+  ++stats_.computations;
+  ++stats_.sweeps;
+  stats_.states_explored += report.search.states_visited;
+  const std::uint64_t bytes = report.approx_bytes();
+  if (report.truncated) {
+    return std::make_shared<const DeadlockReport>(std::move(report));
+  }
+  return cache_->put(key, std::move(report), bytes);
+}
+
+// ----- races ----------------------------------------------------------
+
+std::shared_ptr<const RaceReport> AnalysisSession::races(
+    RaceDetector detector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  const CacheKey key =
+      make_key(QueryKind::kRaces, CacheKey::kNoSemantics,
+               hash_mix(kRaceSalt, static_cast<std::uint64_t>(detector), 0));
+  if (auto hit = cache_->get<RaceReport>(key)) {
+    ++stats_.cache_hits;
+    return hit;
+  }
+  RaceReport report = detect_races(*trace_, detector, options_);
+  ++stats_.computations;
+  if (detector == RaceDetector::kExact) ++stats_.sweeps;
+  stats_.states_explored += report.search.states_visited;
+  const std::uint64_t bytes = report.approx_bytes();
+  if (report.truncated) {
+    return std::make_shared<const RaceReport>(std::move(report));
+  }
+  return cache_->put(key, std::move(report), bytes);
+}
+
+// ----- polynomial baselines -------------------------------------------
+
+const VectorClockResult& AnalysisSession::vector_clocks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!vc_.has_value()) vc_ = compute_vector_clocks(*trace_);
+  return *vc_;
+}
+
+const HmwResult& AnalysisSession::hmw() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!hmw_.has_value()) hmw_ = compute_hmw(*trace_);
+  return *hmw_;
+}
+
+const EgpResult& AnalysisSession::egp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!egp_.has_value()) egp_ = compute_egp(*trace_);
+  return *egp_;
+}
+
+const CombinedResult& AnalysisSession::combined() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!combined_.has_value()) combined_ = compute_combined(*trace_);
+  return *combined_;
+}
+
+// ----- anytime --------------------------------------------------------
+
+AnytimeQuery& AnalysisSession::anytime_locked(
+    const std::vector<QueryBudget>& ladder) {
+  // Reuse whenever possible: an empty ladder keeps whatever exists, an
+  // equal ladder keeps the object AND its cached ladder runs (the
+  // historic analyzer rebuilt on every non-empty ladder, equal or not,
+  // throwing the cached runs away).
+  if (!anytime_.has_value() ||
+      (!ladder.empty() && anytime_->options().ladder != ladder)) {
+    AnytimeOptions options;
+    options.ladder = ladder;  // empty -> AnytimeQuery fills the default
+    options.exact = options_;
+    anytime_.emplace(*trace_, std::move(options));
+  }
+  return *anytime_;
+}
+
+AnytimeQuery& AnalysisSession::anytime(
+    const std::vector<QueryBudget>& ladder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anytime_locked(ladder);
+}
+
+BoundedVerdict AnalysisSession::anytime_verdict_locked(
+    std::uint8_t which, EventId a, EventId b, Semantics semantics,
+    const std::vector<QueryBudget>& ladder) {
+  ++stats_.queries;
+  static const std::vector<QueryBudget> kDefault =
+      AnytimeOptions::default_ladder();
+  const std::vector<QueryBudget>& effective =
+      ladder.empty() ? kDefault : ladder;
+  const std::uint64_t requested_digest = ladder_digest(effective);
+  const CacheKey key = make_key(
+      QueryKind::kAnytimeVerdict, static_cast<std::uint8_t>(semantics),
+      hash_mix(kVerdictSalt + which,
+               (static_cast<std::uint64_t>(a) << 32) | b, 0));
+  if (auto hit = cache_->get<CachedVerdict>(key)) {
+    // Definitive verdicts are final whatever ladder produced them; an
+    // `unknown` is only as good as its ladder — a caller presenting a
+    // different one gets a recompute, which replaces the entry below.
+    if (!hit->verdict.unknown() ||
+        hit->ladder_digest == requested_digest) {
+      ++stats_.cache_hits;
+      return hit->verdict;
+    }
+  }
+  AnytimeQuery& query = anytime_locked(effective);
+  CachedVerdict cached;
+  switch (which) {
+    case 0:
+      cached.verdict = query.must_have_happened_before(a, b, semantics);
+      break;
+    case 1:
+      cached.verdict = query.could_have_been_concurrent(a, b);
+      break;
+    default:
+      cached.verdict = query.can_deadlock();
+      break;
+  }
+  cached.ladder_digest = requested_digest;
+  ++stats_.computations;
+  const std::uint64_t bytes = verdict_approx_bytes(cached);
+  const BoundedVerdict verdict = cached.verdict;
+  cache_->put(key, std::move(cached), bytes);
+  return verdict;
+}
+
+BoundedVerdict AnalysisSession::anytime_must_have_happened_before(
+    EventId a, EventId b, Semantics semantics,
+    const std::vector<QueryBudget>& ladder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anytime_verdict_locked(0, a, b, semantics, ladder);
+}
+
+BoundedVerdict AnalysisSession::anytime_could_have_been_concurrent(
+    EventId a, EventId b, const std::vector<QueryBudget>& ladder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anytime_verdict_locked(1, a, b, Semantics::kCausal, ladder);
+}
+
+BoundedVerdict AnalysisSession::anytime_can_deadlock(
+    const std::vector<QueryBudget>& ladder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anytime_verdict_locked(2, kNoEvent, kNoEvent, Semantics::kCausal,
+                                ladder);
+}
+
+}  // namespace evord::service

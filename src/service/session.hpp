@@ -1,0 +1,191 @@
+// AnalysisSession: the warm, per-trace analysis server the ROADMAP's
+// analysis-as-a-service item calls for.
+//
+// A session binds one registered trace (shared, immutable) to one exact
+// configuration and serves every query kind the library offers —
+// relations, pair queries, feasibility, coexistence, deadlock, races,
+// polynomial baselines, anytime verdicts — through a ResultCache keyed
+// on the trace's content fingerprint.  What makes it a service core
+// rather than a per-call API:
+//
+//   * results are computed once and shared: a repeated query is a pure
+//     cache hit (zero new states explored — SessionStats::states_explored
+//     stays flat, the acceptance signal the tests pin);
+//   * warm search state survives across queries: the session keeps a
+//     completability memo (make_feasibility_memo) that feasibility and
+//     coexistence sweeps share, so a feasibility query after a coexist
+//     sweep answers from the root memo hit;
+//   * N pair queries coalesce into at most one relations sweep per
+//     distinct semantics (query_batch) instead of N;
+//   * anytime verdicts are cached WITH the digest of the ladder that
+//     produced them: a definitive verdict (proven/refuted) is final and
+//     served to every caller, an `unknown` is recomputed — and replaced
+//     in the cache — when a caller presents a different (e.g.
+//     bigger-budget) ladder;
+//   * truncated results are never cached: they are budget- and
+//     fault-dependent noise, so caching them would let one starved run
+//     poison every later caller.
+//
+// Sessions are internally locked (one coarse mutex); the exponential
+// engines themselves parallelize internally via ExactOptions::num_threads,
+// so serializing the session's bookkeeping costs nothing.  References
+// returned by the baseline accessors stay valid for the session's
+// lifetime (write-once members); shared_ptr results stay valid for as
+// long as the caller holds them, even across cache eviction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "approx/combined.hpp"
+#include "approx/egp.hpp"
+#include "approx/hmw.hpp"
+#include "approx/vector_clock.hpp"
+#include "feasible/deadlock.hpp"
+#include "feasible/schedule_space.hpp"
+#include "ordering/exact.hpp"
+#include "race/race_detector.hpp"
+#include "resilience/anytime.hpp"
+#include "service/result_cache.hpp"
+#include "trace/trace.hpp"
+
+namespace evord::service {
+
+/// Digest of every ExactOptions field that can change a result —
+/// budgets and thread counts included, since the SearchStats embedded
+/// in cached results differ per configuration even when matrices agree.
+std::uint64_t digest_options(const ExactOptions& options);
+
+/// One must/could question about one ordered pair.
+struct PairQuery {
+  RelationKind relation = RelationKind::kMHB;
+  EventId a = kNoEvent;
+  EventId b = kNoEvent;
+  Semantics semantics = Semantics::kCausal;
+};
+
+/// The value type cached under QueryKind::kAnytimeVerdict: the verdict
+/// plus the digest of the ladder that produced it (upgrade policy — see
+/// the file comment).
+struct CachedVerdict {
+  BoundedVerdict verdict;
+  std::uint64_t ladder_digest = 0;
+};
+
+struct SessionStats {
+  std::uint64_t queries = 0;       ///< public query calls served
+  std::uint64_t cache_hits = 0;    ///< answered from the result cache
+  std::uint64_t computations = 0;  ///< results actually computed
+  std::uint64_t sweeps = 0;        ///< exponential searches among those
+  /// Search-core states expanded by this session's computations, summed
+  /// across all sweeps.  Flat across repeated queries — the "pure cache
+  /// hit" acceptance signal.
+  std::uint64_t states_explored = 0;
+  std::uint64_t batched_pairs = 0;  ///< pair queries served via query_batch
+};
+
+class AnalysisSession {
+ public:
+  /// `trace` must be non-null and axiom-valid (checked, CheckError).
+  /// `cache` == nullptr gives the session a private cache with the
+  /// default budget; pass TraceRegistry's to share across sessions.
+  explicit AnalysisSession(std::shared_ptr<const Trace> trace,
+                           ExactOptions options = {},
+                           std::shared_ptr<ResultCache> cache = nullptr);
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  const Trace& trace() const { return *trace_; }
+  const std::shared_ptr<const Trace>& trace_ptr() const { return trace_; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  const ExactOptions& options() const { return options_; }
+  std::uint64_t options_digest() const { return options_digest_; }
+  const std::shared_ptr<ResultCache>& cache() const { return cache_; }
+  SessionStats stats() const;
+
+  // ----- exact queries (cached through the ResultCache) -----------------
+  std::shared_ptr<const OrderingRelations> relations(
+      Semantics semantics = Semantics::kCausal);
+  /// One Table-1 pair answer via the (cached) relations sweep.
+  bool pair_query(const PairQuery& query);
+  /// Batched pair execution: N queries cost at most one relations sweep
+  /// per DISTINCT semantics among them (at most three), every further
+  /// answer being a bit read.
+  std::vector<bool> query_batch(const std::vector<PairQuery>& queries);
+
+  /// F(P) != empty-set with provenance (verdict-only sweep; shares the
+  /// session's warm completability memo with coexistence()).
+  std::shared_ptr<const CanPrecedeResult> feasibility();
+  bool feasible();
+
+  /// The coexistence sweep (can_coexist built) and its pair reading.
+  std::shared_ptr<const CanPrecedeResult> coexistence();
+  bool could_have_coexisted(EventId a, EventId b);
+
+  std::shared_ptr<const DeadlockReport> deadlocks();
+
+  /// Cached per detector (exact races rerun the exponential analysis;
+  /// the historic OrderingAnalyzer::races() recomputed every call).
+  std::shared_ptr<const RaceReport> races(
+      RaceDetector detector = RaceDetector::kExact);
+
+  // ----- polynomial baselines (session-local, write-once) ---------------
+  const VectorClockResult& vector_clocks();
+  const HmwResult& hmw();
+  const EgpResult& egp();
+  const CombinedResult& combined();
+
+  // ----- resource-governed anytime queries ------------------------------
+  /// The session's AnytimeQuery, built lazily (default ladder when
+  /// `ladder` is empty) and REUSED when the requested ladder equals the
+  /// current one — rebuilding on an equal ladder was the historic bug
+  /// that threw away every cached ladder run.
+  AnytimeQuery& anytime(const std::vector<QueryBudget>& ladder = {});
+  BoundedVerdict anytime_must_have_happened_before(
+      EventId a, EventId b, Semantics semantics = Semantics::kCausal,
+      const std::vector<QueryBudget>& ladder = {});
+  BoundedVerdict anytime_could_have_been_concurrent(
+      EventId a, EventId b, const std::vector<QueryBudget>& ladder = {});
+  BoundedVerdict anytime_can_deadlock(
+      const std::vector<QueryBudget>& ladder = {});
+
+ private:
+  CacheKey make_key(QueryKind kind, std::uint8_t semantics,
+                    std::uint64_t extra) const;
+  ScheduleSpaceOptions space_options(bool build_coexist) const;
+  search::FingerprintBoolMap* warm_memo_locked(
+      const ScheduleSpaceOptions& options);
+
+  std::shared_ptr<const OrderingRelations> relations_locked(
+      Semantics semantics);
+  std::shared_ptr<const CanPrecedeResult> feasibility_locked();
+  std::shared_ptr<const CanPrecedeResult> coexistence_locked();
+  AnytimeQuery& anytime_locked(const std::vector<QueryBudget>& ladder);
+  BoundedVerdict anytime_verdict_locked(
+      std::uint8_t which, EventId a, EventId b, Semantics semantics,
+      const std::vector<QueryBudget>& ladder);
+
+  std::shared_ptr<const Trace> trace_;
+  ExactOptions options_;
+  std::uint64_t fingerprint_ = 0;
+  std::uint64_t options_digest_ = 0;
+  std::shared_ptr<ResultCache> cache_;
+
+  mutable std::mutex mu_;
+  SessionStats stats_;
+  /// Warm completability memo shared by feasibility/coexistence sweeps
+  /// (ScheduleSpaceOptions::warm_memo contract).
+  std::unique_ptr<search::FingerprintBoolMap> warm_memo_;
+  std::optional<VectorClockResult> vc_;
+  std::optional<HmwResult> hmw_;
+  std::optional<EgpResult> egp_;
+  std::optional<CombinedResult> combined_;
+  std::optional<AnytimeQuery> anytime_;
+};
+
+}  // namespace evord::service

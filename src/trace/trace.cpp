@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/hash.hpp"
+
 namespace evord {
 
 namespace {
@@ -38,6 +40,40 @@ EventId Trace::find_event_by_label(std::string_view label) const {
     }
   }
   return found;
+}
+
+std::uint64_t Trace::fingerprint() const {
+  // A salted running mix: every field lands at a fixed position in the
+  // chain, so the hash is order-sensitive (swapping two events, two
+  // dependence edges or two observed positions changes it), while
+  // presentation-only fields (names, labels) never enter the chain.
+  std::uint64_t h = hash_mix(0x5eaf00d5, events_.size(), processes_.size());
+  for (const Event& e : events_) {
+    h = hash_mix(0x01, h, (static_cast<std::uint64_t>(e.process) << 32) |
+                              e.index_in_process);
+    h = hash_mix(0x02, h, (static_cast<std::uint64_t>(e.kind) << 32) |
+                              e.object);
+    for (const VarId v : e.reads) h = hash_mix(0x03, h, v);
+    for (const VarId v : e.writes) h = hash_mix(0x04, h, v);
+  }
+  for (const ProcessInfo& p : processes_) {
+    h = hash_mix(0x05, h, (static_cast<std::uint64_t>(p.parent) << 32) |
+                              p.creating_fork);
+  }
+  for (const SemaphoreInfo& s : semaphores_) {
+    h = hash_mix(0x06, h,
+                 (static_cast<std::uint64_t>(s.binary) << 32) |
+                     static_cast<std::uint32_t>(s.initial));
+  }
+  for (const EventVarInfo& v : event_vars_) {
+    h = hash_mix(0x07, h, static_cast<std::uint64_t>(v.initially_posted));
+  }
+  h = hash_mix(0x08, h, variables_.size());
+  for (const EventId e : observed_order_) h = hash_mix(0x09, h, e);
+  for (const auto& [a, b] : dependences_) {
+    h = hash_mix(0x0a, h, (static_cast<std::uint64_t>(a) << 32) | b);
+  }
+  return h;
 }
 
 Digraph Trace::static_order_graph() const {

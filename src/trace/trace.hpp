@@ -15,6 +15,7 @@
 // `validate_axioms`.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -93,6 +94,20 @@ class Trace {
   const std::vector<DependenceEdge>& dependences() const {
     return dependences_;
   }
+
+  // ----- identity ------------------------------------------------------
+  /// Order-sensitive 64-bit content fingerprint over every semantics-
+  /// relevant field of the model P = <E, T, D>: per-event (process,
+  /// position, kind, object, read/write sets), the process tree
+  /// (parent, creating fork), synchronization-object initial states,
+  /// the observed total order and the dependence edges.  Presentation
+  /// fields — event labels, semaphore / event-variable / shared-variable
+  /// NAMES — are deliberately excluded: two traces that differ only in
+  /// naming have identical feasible executions and identical analysis
+  /// results, so the service layer (src/service/) dedups them to one
+  /// registry entry.  Computed on demand in O(|E| + |D|); callers that
+  /// need it repeatedly (TraceRegistry, AnalysisSession) store it.
+  std::uint64_t fingerprint() const;
 
   // ----- derived graphs ----------------------------------------------
   /// Program-order + fork/join edges: successive events of one process,
