@@ -1,13 +1,18 @@
 // Partial-order reduction experiment: the same class enumeration with
-// reduction off vs on (sleep + persistent sets, search/independence.hpp),
-// on the Theorem-1 reduction traces and the wide fork/join family where
-// pairwise-independent children make the unreduced schedule tree
-// maximally interleaved.
+// reduction off vs sleep+persistent vs source+wakeup
+// (search/independence.hpp), on the Theorem-1 reduction traces and the
+// wide fork/join family where pairwise-independent children make the
+// unreduced schedule tree maximally interleaved.
 //
-// Every off/on pair is checked for identical causal-class sets before
+// Every mode triple is checked for identical causal-class sets before
 // its wall times land in a row, so BENCH_por.json can never describe a
-// wrong answer.  Each row carries states/terminals/wall for both modes
-// plus `reduction_factor` = states_off / states_on.
+// wrong answer.  Each row carries states/terminals/wall for all three
+// modes, `reduction_factor_{sleep,source}` = states_off / states_on, and
+// the optimality row `schedules_per_class` = terminals_source / classes
+// (1.0 = exactly one explored schedule per causal class).  Hard bars,
+// enforced on every run: schedules_per_class <= 1.1 everywhere, the
+// source factor >= 2x the sleep+persistent factor on Theorem-1 traces,
+// and >= 5x absolute on the wide forks.
 #include <benchmark/benchmark.h>
 
 #include <set>
@@ -65,15 +70,26 @@ ModeResult run_mode(const Trace& trace, search::ReductionMode mode) {
 
 JsonRecord run_family(const std::string& workload, const Trace& trace) {
   const ModeResult off = run_mode(trace, search::ReductionMode::kOff);
-  const ModeResult on =
+  const ModeResult sleep =
       run_mode(trace, search::ReductionMode::kSleepPersistent);
-  EVORD_CHECK(on.classes == off.classes,
-              workload << ": reduction changed the causal-class set");
-  const double factor =
-      on.stats.search.states_visited > 0
-          ? static_cast<double>(off.stats.search.states_visited) /
-                static_cast<double>(on.stats.search.states_visited)
-          : 0.0;
+  const ModeResult src = run_mode(trace, search::ReductionMode::kSourceWakeup);
+  EVORD_CHECK(sleep.classes == off.classes,
+              workload << ": sleep+persistent changed the causal-class set");
+  EVORD_CHECK(src.classes == off.classes,
+              workload << ": source+wakeup changed the causal-class set");
+  const auto factor_of = [&](const ModeResult& on) {
+    return on.stats.search.states_visited > 0
+               ? static_cast<double>(off.stats.search.states_visited) /
+                     static_cast<double>(on.stats.search.states_visited)
+               : 0.0;
+  };
+  // The optimality row: explored schedules per causal class under
+  // source+wakeup.  1.0 means exactly one representative per class.
+  const double spc =
+      off.classes.empty()
+          ? 0.0
+          : static_cast<double>(src.stats.schedules_visited) /
+                static_cast<double>(off.classes.size());
   return JsonRecord{}
       .add("engine", std::string("class_enumerate"))
       .add("variant", std::string("por"))
@@ -81,14 +97,20 @@ JsonRecord run_family(const std::string& workload, const Trace& trace) {
       .add("events", static_cast<std::uint64_t>(trace.num_events()))
       .add("classes", static_cast<std::uint64_t>(off.classes.size()))
       .add("states_off", off.stats.search.states_visited)
-      .add("states_on", on.stats.search.states_visited)
+      .add("states_sleep", sleep.stats.search.states_visited)
+      .add("states_source", src.stats.search.states_visited)
       .add("terminals_off", off.stats.schedules_visited)
-      .add("terminals_on", on.stats.schedules_visited)
+      .add("terminals_sleep", sleep.stats.schedules_visited)
+      .add("terminals_source", src.stats.schedules_visited)
       .add("wall_ms_off", off.wall_ms)
-      .add("wall_ms_on", on.wall_ms)
-      .add("sleep_pruned", on.stats.search.sleep_pruned)
-      .add("persistent_skipped", on.stats.search.persistent_skipped)
-      .add("reduction_factor", factor);
+      .add("wall_ms_sleep", sleep.wall_ms)
+      .add("wall_ms_source", src.wall_ms)
+      .add("sleep_pruned", src.stats.search.sleep_pruned)
+      .add("persistent_skipped", src.stats.search.persistent_skipped)
+      .add("dyn_excused", src.stats.search.dyn_excused)
+      .add("schedules_per_class", spc)
+      .add("reduction_factor_sleep", factor_of(sleep))
+      .add("reduction_factor_source", factor_of(src));
 }
 
 Trace theorem1_trace(const CnfFormula& formula) {
@@ -96,10 +118,33 @@ Trace theorem1_trace(const CnfFormula& formula) {
       .trace;
 }
 
+double field_of(const JsonRecord& row, const std::string& want) {
+  double out = 0.0;
+  for (const auto& [key, value] : row.fields) {
+    if (key == want) out = std::stod(value);
+  }
+  return out;
+}
+
 std::vector<JsonRecord> run_por_sweep() {
   std::vector<JsonRecord> rows;
-  rows.push_back(run_family("theorem1_sat", theorem1_trace(tiny_sat())));
-  rows.push_back(run_family("theorem1_unsat", theorem1_trace(tiny_unsat())));
+  for (const auto& [name, formula] :
+       {std::pair<std::string, CnfFormula>{"theorem1_sat", tiny_sat()},
+        {"theorem1_unsat", tiny_unsat()}}) {
+    rows.push_back(run_family(name, theorem1_trace(formula)));
+    const JsonRecord& row = rows.back();
+    // The optimality bar: source+wakeup explores at most 1.1 schedules
+    // per causal class, and beats the PR-4 sleep+persistent state
+    // reduction by at least 2x on the Theorem-1 traces.
+    const double spc = field_of(row, "schedules_per_class");
+    EVORD_CHECK(spc <= 1.1,
+                name << ": schedules_per_class " << spc << " > 1.1");
+    const double f_sleep = field_of(row, "reduction_factor_sleep");
+    const double f_source = field_of(row, "reduction_factor_source");
+    EVORD_CHECK(f_source >= 2.0 * f_sleep,
+                name << ": source factor " << f_source
+                     << " < 2x sleep+persistent factor " << f_sleep);
+  }
   for (const auto& [children, per_child] :
        {std::pair<std::size_t, std::size_t>{4, 2}, {5, 2}, {4, 3}, {6, 2}}) {
     const std::string name = "wide_fork_" + std::to_string(children) + "x" +
@@ -107,14 +152,16 @@ std::vector<JsonRecord> run_por_sweep() {
     rows.push_back(
         run_family(name, wide_fork_trace(children, per_child)));
     // The acceptance bar: on the wide-fork family the reduced walk must
-    // visit at least 5x fewer states at identical results.
+    // visit at least 5x fewer states at identical results, and explore
+    // one representative schedule per class (the children commute, so a
+    // single class covers the whole tree).
     const JsonRecord& row = rows.back();
-    double factor = 0.0;
-    for (const auto& [key, value] : row.fields) {
-      if (key == "reduction_factor") factor = std::stod(value);
-    }
+    const double factor = field_of(row, "reduction_factor_source");
     EVORD_CHECK(factor >= 5.0,
                 name << ": reduction factor " << factor << " < 5");
+    const double spc = field_of(row, "schedules_per_class");
+    EVORD_CHECK(spc <= 1.1,
+                name << ": schedules_per_class " << spc << " > 1.1");
   }
   return rows;
 }

@@ -82,8 +82,11 @@ std::string summarize_relations(const Trace& trace,
   if (relations.search.sleep_pruned != 0 ||
       relations.search.persistent_skipped != 0) {
     os << "reduction: sleep pruned=" << relations.search.sleep_pruned
-       << " persistent skipped=" << relations.search.persistent_skipped
-       << '\n';
+       << " persistent skipped=" << relations.search.persistent_skipped;
+    if (relations.search.dyn_excused != 0) {
+      os << " dyn excused=" << relations.search.dyn_excused;
+    }
+    os << '\n';
   }
   if (!relations.search.workers.empty()) {
     const search::SearchStats& s = relations.search;

@@ -99,6 +99,10 @@ search::SearchOptions to_search_options(const DeadlockOptions& options) {
   so.num_threads = options.num_threads;
   so.steal = options.steal;
   so.reduction = options.reduction;
+  // The verdict, witness validity and distinct-stuck-state count are all
+  // functions of reachable stepper states, so the broader stepper-state
+  // excusals apply.
+  so.state_only_excusals = true;
   so.spill = options.spill;
   return so;
 }
@@ -254,6 +258,51 @@ DeadlockReport run_parallel(const Trace& trace, const DeadlockOptions& options,
   return report;
 }
 
+/// Reduction-aware canonical witness.  Which (length, dewey)-minimal
+/// stuck prefix the search surfaces depends on which interleavings the
+/// reduction explored, so two ReductionModes (or a mode change across
+/// releases) can report different — equally valid — witnesses for the
+/// same stuck state.  Re-permute the witness's own event set greedily,
+/// always executing its smallest schedulable event next, and accept the
+/// permutation only when it runs to full length AND stops in exactly the
+/// reported witness's state (binary-semaphore clamping makes final
+/// states order-dependent, and the stuck frontier is a function of the
+/// state).  The result is a deterministic function of the witness's
+/// event set and final state alone; on failure the original prefix is
+/// returned unchanged.
+std::vector<EventId> canonicalize_witness(
+    const Trace& trace, const StepperOptions& stepper_options,
+    const std::vector<EventId>& witness) {
+  if (witness.size() < 2) return witness;
+  TraceStepper ref(trace, stepper_options);
+  for (EventId e : witness) {
+    if (!ref.enabled(e)) return witness;  // defensive: replay must hold
+    ref.apply(e);
+  }
+  std::vector<std::uint64_t> want;
+  ref.encode_key(want);
+
+  DynamicBitset members(trace.num_events());
+  for (EventId e : witness) members.set(e);
+  TraceStepper s(trace, stepper_options);
+  std::vector<EventId> out;
+  out.reserve(witness.size());
+  std::vector<EventId> enabled;
+  for (std::size_t step = 0; step < witness.size(); ++step) {
+    s.enabled_events(enabled);
+    EventId pick = kNoEvent;
+    for (EventId e : enabled) {
+      if (members.test(e) && (pick == kNoEvent || e < pick)) pick = e;
+    }
+    if (pick == kNoEvent) return witness;  // set not greedily schedulable
+    s.apply(pick);
+    out.push_back(pick);
+  }
+  std::vector<std::uint64_t> got;
+  s.encode_key(got);
+  return got == want ? out : witness;
+}
+
 }  // namespace
 
 DeadlockReport analyze_deadlocks(const Trace& trace,
@@ -264,15 +313,28 @@ DeadlockReport analyze_deadlocks(const Trace& trace,
   if (options.reduction != search::ReductionMode::kOff) {
     indep = std::make_unique<search::IndependenceRelation>(trace);
   }
+  DeadlockReport report;
+  bool ran = false;
   if (threads > 1) {
+    // NullTracker engine: stepper-state (untracked) dynamic independence.
     std::vector<search::SearchTask> roots = search::root_tasks(
-        trace, options.stepper, {}, options.reduction, indep.get());
+        trace, options.stepper, {}, options.reduction, indep.get(),
+        /*tracker_sensitive=*/false);
     if (!roots.empty()) {
-      return run_parallel(trace, options, std::move(roots), threads,
-                          indep.get());
+      report = run_parallel(trace, options, std::move(roots), threads,
+                            indep.get());
+      ran = true;
     }
   }
-  return run_serial(trace, options, indep.get());
+  if (!ran) report = run_serial(trace, options, indep.get());
+  // Unreduced searches already report the global (length, dewey) minimum,
+  // which is canonical by itself; leave it untouched.
+  if (options.reduction != search::ReductionMode::kOff &&
+      report.can_deadlock && !report.truncated) {
+    report.witness_prefix =
+        canonicalize_witness(trace, options.stepper, report.witness_prefix);
+  }
+  return report;
 }
 
 std::uint64_t DeadlockReport::approx_bytes() const {

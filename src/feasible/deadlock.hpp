@@ -45,12 +45,18 @@ struct DeadlockOptions {
   /// (witness determinism), so a max_split_depth of 0 is replaced by a
   /// small default cap rather than unlimited splitting.
   search::StealOptions steal;
-  /// Partial-order reduction (search/independence.hpp).  ON by default:
-  /// sleep + persistent sets preserve every reachable transition-less
-  /// state, so the verdict and the distinct-stuck-state count are exact
-  /// and the witness is a valid stuck prefix (though not necessarily
-  /// the globally shortest one — turn reduction off for that).
-  search::ReductionMode reduction = search::ReductionMode::kSleepPersistent;
+  /// Partial-order reduction (search/independence.hpp).  ON by default
+  /// (kSourceWakeup — source sets + wakeup frames + stepper-state
+  /// dynamic independence): the reduction preserves every reachable
+  /// transition-less state, so the verdict and the distinct-stuck-state
+  /// count are exact and the witness is a valid stuck prefix (though
+  /// not necessarily the globally shortest one — turn reduction off for
+  /// that).  Reduced witnesses are canonicalized after the search: the
+  /// prefix is re-permuted to the greedy smallest-event-first order over
+  /// its own event set when that permutation provably reaches the same
+  /// stuck state, so the reported witness does not depend on WHICH
+  /// equivalent interleaving the reduced walk happened to explore.
+  search::ReductionMode reduction = search::ReductionMode::kSourceWakeup;
 };
 
 struct DeadlockReport {

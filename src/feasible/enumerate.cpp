@@ -30,7 +30,7 @@ search::SearchOptions to_search_options(const EnumerateOptions& options) {
   so.max_memory_bytes = options.max_memory_bytes;
   so.steal = options.steal;
   if (options.representatives_only) {
-    so.reduction = search::ReductionMode::kSleepPersistent;
+    so.reduction = search::ReductionMode::kSourceWakeup;
   }
   return so;
 }
@@ -80,14 +80,15 @@ EnumerateStats enumerate_schedules_parallel_indexed(
   // visit count exactly.
   const std::size_t threads = search::resolve_num_threads(num_threads);
   const search::ReductionMode reduction =
-      options.representatives_only ? search::ReductionMode::kSleepPersistent
+      options.representatives_only ? search::ReductionMode::kSourceWakeup
                                    : search::ReductionMode::kOff;
   std::unique_ptr<search::IndependenceRelation> indep;
   if (reduction != search::ReductionMode::kOff) {
     indep = std::make_unique<search::IndependenceRelation>(trace);
   }
   std::vector<search::SearchTask> roots = search::root_tasks(
-      trace, options.stepper, options.seed_prefix, reduction, indep.get());
+      trace, options.stepper, options.seed_prefix, reduction, indep.get(),
+      /*tracker_sensitive=*/true);
   if (threads <= 1 || roots.empty()) {
     // Serial fallback also covers empty traces and deadlocked roots.
     const ScheduleVisitor wrapped = [&](const std::vector<EventId>& s) {

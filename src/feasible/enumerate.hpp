@@ -62,7 +62,11 @@ struct EnumerateOptions {
   /// schedule order a before b") under-approximates when a/b commute.
   /// Feasibility ("does a complete schedule exist") and deadlocked-
   /// prefix reachability remain exact.  When set, SearchOptions
-  /// ReductionMode::kSleepPersistent is applied.
+  /// ReductionMode::kSourceWakeup is applied with the class-preserving
+  /// conditional excusals, so every complete causal class keeps at least
+  /// one representative (pruned schedules are causally invisible
+  /// permutations of visited ones — the set of causal classes is
+  /// unchanged, tested in tests/por_test.cpp).
   bool representatives_only = false;
 };
 

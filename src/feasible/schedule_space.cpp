@@ -87,7 +87,7 @@ CanPrecedeResult run_search(const Trace& trace,
                             bool build_matrix) {
   search::SearchOptions so = to_search_options(options);
   if (options.representatives_only) {
-    so.reduction = search::ReductionMode::kSleepPersistent;
+    so.reduction = search::ReductionMode::kSourceWakeup;
   }
   std::unique_ptr<search::IndependenceRelation> indep;
   if (so.reduction != search::ReductionMode::kOff) {
@@ -96,7 +96,8 @@ CanPrecedeResult run_search(const Trace& trace,
   const std::size_t threads =
       search::resolve_num_threads(options.num_threads);
   std::vector<search::SearchTask> roots = search::root_tasks(
-      trace, options.stepper, {}, so.reduction, indep.get());
+      trace, options.stepper, {}, so.reduction, indep.get(),
+      /*tracker_sensitive=*/false);
 
   CanPrecedeResult result;
   init_matrices(trace, options, build_matrix, result);

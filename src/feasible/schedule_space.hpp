@@ -68,11 +68,12 @@ struct ScheduleSpaceOptions {
   search::StealOptions steal;
   /// Opt-in partial-order reduction for the sweep.  OFF by default
   /// because it changes the contract: the feasibility verdict stays
-  /// exact (sleep + persistent sets preserve terminal reachability), but
+  /// exact (sleep + source sets preserve terminal reachability), but
   /// can_precede / can_coexist become under-approximations — marks come
   /// only from states and children the reduced walk expands.  Ignored by
   /// can_precede_pair (the pair query's verdict must stay exact).  When
-  /// set, SearchOptions ReductionMode::kSleepPersistent is applied.
+  /// set, SearchOptions ReductionMode::kSourceWakeup is applied with the
+  /// stepper-state (untracked) dynamic-independence excusals.
   bool representatives_only = false;
   /// Caller-owned completability memo that survives across sweeps on the
   /// same trace (service layer: AnalysisSession keeps one per trace, so

@@ -20,6 +20,7 @@ TraceStepper::TraceStepper(const Trace& trace, StepperOptions options)
       posted_(trace.event_vars().size()),
       done_(trace.num_events()) {
   counts_.reserve(trace.semaphores().size());
+  p_executed_.assign(trace.semaphores().size(), 0);
   binary_.reserve(trace.semaphores().size());
   for (const SemaphoreInfo& s : trace.semaphores()) {
     counts_.push_back(s.initial);
@@ -109,6 +110,7 @@ TraceStepper::Undo TraceStepper::apply(EventId id) {
     case EventKind::kSemP:
       u.old_count = counts_[e.object];
       --counts_[e.object];
+      ++p_executed_[e.object];
       if (binary_[e.object]) {
         state_hash_ ^= hash_mix(kBinaryCountSalt, e.object, u.old_count & 1) ^
                        hash_mix(kBinaryCountSalt, e.object,
@@ -169,6 +171,7 @@ void TraceStepper::undo(const Undo& u) {
   switch (e.kind) {
     case EventKind::kSemP:
     case EventKind::kSemV:
+      if (e.kind == EventKind::kSemP) --p_executed_[e.object];
       if (binary_[e.object] && counts_[e.object] != u.old_count) {
         state_hash_ ^=
             hash_mix(kBinaryCountSalt, e.object, counts_[e.object] & 1) ^

@@ -95,6 +95,15 @@ class TraceStepper {
   int sem_count(ObjectId sem) const { return counts_[sem]; }
   bool posted(ObjectId ev) const { return posted_.test(ev); }
   std::uint32_t position(ProcId p) const { return positions_[p]; }
+  /// P operations executed so far on `sem` (maintained O(1) per
+  /// apply/undo).  Dynamic independence (search/independence.hpp) uses it
+  /// to decide when surplus tokens make V/V order causally invisible:
+  /// the pops a semaphore will ever perform are fixed by the trace, so
+  /// sem_count(sem) >= total P ops - executed_p(sem) means no token
+  /// pushed from here on is ever consumed.
+  std::uint32_t executed_p(ObjectId sem) const { return p_executed_[sem]; }
+  /// Whether this stepper enforces the trace's D edges (F3).
+  bool respects_dependences() const { return options_.respect_dependences; }
 
  private:
   const Trace* trace_;
@@ -102,6 +111,7 @@ class TraceStepper {
 
   std::vector<std::uint32_t> positions_;  ///< per-process executed prefix
   std::vector<int> counts_;               ///< semaphore counts
+  std::vector<std::uint32_t> p_executed_;  ///< executed P ops per semaphore
   std::vector<bool> binary_;
   DynamicBitset posted_;
   DynamicBitset done_;

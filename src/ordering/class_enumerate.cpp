@@ -348,7 +348,7 @@ ClassEnumStats enumerate_causal_classes_parallel(
   if (reduced) indep = std::make_unique<search::IndependenceRelation>(trace);
   std::vector<search::SearchTask> roots = search::root_tasks(
       trace, options.stepper, options.seed_prefix, options.reduction,
-      indep.get());
+      indep.get(), /*tracker_sensitive=*/true);
   if (threads <= 1 || roots.empty()) {
     // Serial fallback also covers empty traces and deadlocked roots.
     const std::function<bool(const std::vector<EventId>&)> wrapped =

@@ -67,13 +67,15 @@ struct ClassEnumOptions {
   /// Work-stealing scheduler tuning (parallel variant only; never
   /// affects results).
   search::StealOptions steal;
-  /// Partial-order reduction (search/independence.hpp).  ON by default:
-  /// class enumeration accumulates over causal classes, and sleep +
-  /// persistent sets preserve every complete causal class (the pruned
-  /// schedules are causal-equivalent permutations of explored ones) and
-  /// every deadlocked frontier.  Schedule COUNTS drop under reduction —
-  /// use the plain enumerator for counting.
-  search::ReductionMode reduction = search::ReductionMode::kSleepPersistent;
+  /// Partial-order reduction (search/independence.hpp).  ON by default
+  /// (kSourceWakeup — source sets + wakeup frames + tracked dynamic
+  /// independence): class enumeration accumulates over causal classes,
+  /// and the reduction preserves every complete causal class (the pruned
+  /// schedules are causal-equivalent permutations of explored ones — the
+  /// tracked excusals commute only pairs whose order the CausalTracker
+  /// cannot observe) and every deadlocked frontier.  Schedule COUNTS
+  /// drop under reduction — use the plain enumerator for counting.
+  search::ReductionMode reduction = search::ReductionMode::kSourceWakeup;
 };
 
 struct ClassEnumStats {

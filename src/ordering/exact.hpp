@@ -48,7 +48,9 @@ struct ExactOptions {
   /// `schedules_seen` shrinks further.  Ignored with class_dedup ==
   /// false (the plain enumerator's schedule counts stay exact) and by
   /// interleaving semantics (its matrices need the unreduced sweep).
-  search::ReductionMode reduction = search::ReductionMode::kSleepPersistent;
+  /// kSourceWakeup (the default) adds source sets, wakeup frames and
+  /// tracked dynamic independence on top of the PR-4 sleep sets.
+  search::ReductionMode reduction = search::ReductionMode::kSourceWakeup;
   /// Interleaving engine: stop after this many distinct states
   /// (0 = unlimited).
   std::size_t max_states = 4'000'000;

@@ -51,15 +51,24 @@
 // engines thread a sleep set through the DFS — inherited along edges,
 // extended across explored siblings — and, under kSleepPersistent,
 // expand only a persistent subset of the enabled events at each state
-// (search/independence.hpp).  Dedup/memo claims then key on the
-// (state, sleep set) pair: the reduced subtree below a node is a
-// deterministic function of exactly that pair, which keeps pruning
-// sound and the parallel walk bit-identical to serial.  Donated tasks
-// carry their subtree root's sleep set in SearchTask::sleep.  Stuck
-// states are still reported under their raw state fingerprint (not
-// sleep-folded), so distinct-stuck-state counting is reduction-blind.
-// Soundness per explorer is a front-end decision; see docs/SEARCH.md
-// §POR.
+// (search/independence.hpp).  kSourceWakeup sharpens both halves:
+// selection uses source sets with necessary enabling closures and
+// dynamic (state-aware) independence, and sleep inheritance uses
+// per-depth wakeup frames (compute_wakeup_masks) — one independence
+// mask per sleeping/selected event, evaluated at the expanded state —
+// so excused pairs (surplus-token V/V, already-posted Post ops)
+// propagate into child sleep sets instead of being re-split.  The
+// frames are a pure function of (stepper state, sleep set), so dedup/
+// memo claims still key on exactly the (state, sleep set) pair: the
+// reduced subtree below a node is a deterministic function of that
+// pair, which keeps pruning sound and the parallel walk bit-identical
+// to serial.  Donated tasks carry their subtree root's sleep set in
+// SearchTask::sleep, derived from the donor's frame under kSourceWakeup
+// (the same masks the in-walk children use, so donation is just
+// serialization of the frame).  Stuck states are still reported under
+// their raw state fingerprint (not sleep-folded), so distinct-stuck-
+// state counting is reduction-blind.  Soundness per explorer is a
+// front-end decision; see docs/SEARCH.md §POR.
 //
 // Work stealing: in parallel mode each engine instance runs one
 // SearchTask on a scheduler worker (search/scheduler.hpp).  After
@@ -235,14 +244,20 @@ inline std::vector<EventId> root_events(
 /// event after `seed_prefix`, with dewey key {i}.  Empty when the seeded
 /// state is already terminal or stuck (callers fall back to serial).
 /// Under reduction the first level is reduced exactly as the serial
-/// engine would reduce it — tasks cover the persistent subset only, and
-/// each carries the sleep set its subtree root inherits from its earlier
-/// siblings — so the parallel walk covers the same reduced tree.
+/// engine would reduce it — tasks cover the persistent/source subset
+/// only, and each carries the sleep set its subtree root inherits from
+/// its earlier siblings — so the parallel walk covers the same reduced
+/// tree.  `tracker_sensitive` must match the engine the tasks will run
+/// on (kSourceWakeup only), mirroring the engines' own
+/// DynamicIndependence construction: false only for MemoizedSearch and
+/// for NullTracker engines running with state_only_excusals set;
+/// true otherwise.
 inline std::vector<SearchTask> root_tasks(
     const Trace& trace, const StepperOptions& stepper_options,
     const std::vector<EventId>& seed_prefix = {},
     ReductionMode reduction = ReductionMode::kOff,
-    const IndependenceRelation* indep = nullptr) {
+    const IndependenceRelation* indep = nullptr,
+    bool tracker_sensitive = true) {
   TraceStepper stepper(trace, stepper_options);
   for (EventId e : seed_prefix) {
     EVORD_CHECK(stepper.enabled(e), "seed prefix is not schedulable");
@@ -250,20 +265,37 @@ inline std::vector<SearchTask> root_tasks(
   }
   std::vector<EventId> first;
   stepper.enabled_events(first);
-  if (reduction == ReductionMode::kSleepPersistent && indep != nullptr &&
-      !first.empty()) {
-    PersistentSetSelector selector(indep);
+  const DynamicIndependence dyn(indep, tracker_sensitive);
+  if (indep != nullptr && !first.empty()) {
     std::vector<EventId> chosen;
-    selector.select(stepper, first, chosen);
-    first = std::move(chosen);
+    if (reduction == ReductionMode::kSleepPersistent) {
+      PersistentSetSelector selector(indep);
+      selector.select(stepper, first, chosen);
+      first = std::move(chosen);
+    } else if (reduction == ReductionMode::kSourceWakeup) {
+      SourceSetSelector selector(indep, &dyn);
+      selector.select(stepper, first, chosen, nullptr);
+      first = std::move(chosen);
+    }
+  }
+  // The root's wakeup frame (empty sleep set), for the dynamic child
+  // sleeps — exactly what the serial engine computes at depth 0.
+  const std::vector<EventId> no_sleep;
+  std::vector<std::uint64_t> masks;
+  if (reduction == ReductionMode::kSourceWakeup && indep != nullptr &&
+      first.size() <= 64) {
+    compute_wakeup_masks(dyn, stepper, no_sleep, first, masks, nullptr);
   }
   std::vector<SearchTask> tasks(first.size());
-  const std::vector<EventId> no_sleep;
   for (std::size_t i = 0; i < first.size(); ++i) {
     tasks[i].seed.push_back(first[i]);
     tasks[i].dewey.push_back(static_cast<std::uint32_t>(i));
     if (reduction != ReductionMode::kOff && indep != nullptr) {
-      child_sleep_set(*indep, no_sleep, first, i, tasks[i].sleep);
+      if (!masks.empty()) {
+        child_sleep_from_masks(no_sleep, first, i, masks, tasks[i].sleep);
+      } else {
+        child_sleep_set(*indep, no_sleep, first, i, tasks[i].sleep);
+      }
     }
   }
   return tasks;
@@ -285,8 +317,17 @@ class EnumerationSearch {
         hooks_(std::move(hooks)),
         indep_(indep),
         selector_(indep),
+        // Dynamic independence must preserve the tracker's state exactly
+        // when the engine carries one; NullTracker engines may opt into
+        // the broader stepper-state-only excusals (SearchOptions::
+        // state_only_excusals) when their results are pure functions of
+        // the reachable stepper states.
+        dyn_(indep, !std::is_same_v<Tracker, NullTracker> ||
+                        !options.state_only_excusals),
+        source_selector_(indep, &dyn_),
         reduce_(options.reduction != ReductionMode::kOff),
         persistent_(options.reduction == ReductionMode::kSleepPersistent),
+        source_(options.reduction == ReductionMode::kSourceWakeup),
         num_events_(trace.num_events()) {
     EVORD_CHECK(!reduce_ || indep_ != nullptr,
                 "reduction requires an IndependenceRelation");
@@ -428,9 +469,16 @@ class EnumerationSearch {
         task.dewey.push_back(static_cast<std::uint32_t>(j));
         if (reduce_) {
           // The stolen subtree starts from exactly the sleep set the
-          // serial walk would carry into sibling j.
-          child_sleep_set(*indep_, sleep_stack_[d], enabled_stack_[d], j,
-                          task.sleep);
+          // serial walk would carry into sibling j — under kSourceWakeup
+          // that means the ancestor state's wakeup frame, since dynamic
+          // independence must be evaluated at the DONOR's state d.
+          if (source_ && !mask_stack_[d].empty()) {
+            child_sleep_from_masks(sleep_stack_[d], enabled_stack_[d], j,
+                                   mask_stack_[d], task.sleep);
+          } else {
+            child_sleep_set(*indep_, sleep_stack_[d], enabled_stack_[d], j,
+                            task.sleep);
+          }
         }
         worker_->spawn(std::move(task));
       }
@@ -515,6 +563,10 @@ class EnumerationSearch {
       if (persistent_) {
         selector_.select(stepper_, full_enabled_, selected);
         stats_.persistent_skipped += full_enabled_.size() - selected.size();
+      } else if (source_) {
+        source_selector_.select(stepper_, full_enabled_, selected,
+                                &stats_.dyn_excused);
+        stats_.persistent_skipped += full_enabled_.size() - selected.size();
       } else {
         selected = full_enabled_;
       }
@@ -535,6 +587,19 @@ class EnumerationSearch {
       // Fully slept: not stuck — the state has enabled events, they are
       // just all covered by earlier exploration.
       if (selected.empty()) return true;
+      // This state's wakeup frame: dynamic-independence masks over the
+      // post-filter selected events, read by the child-sleep computation
+      // below AND by try_split donation from this depth (empty = static
+      // fallback for > 64 selected events).
+      if (source_) {
+        if (mask_stack_.size() < depth + 1) mask_stack_.resize(depth + 1);
+        if (selected.size() <= 64) {
+          compute_wakeup_masks(dyn_, stepper_, sleep_stack_[depth], selected,
+                               mask_stack_[depth], &stats_.dyn_excused);
+        } else {
+          mask_stack_[depth].clear();
+        }
+      }
     } else {
       stepper_.enabled_events(enabled_stack_[depth]);
       if (enabled_stack_[depth].empty()) {
@@ -555,8 +620,14 @@ class EnumerationSearch {
       const EventId e = enabled_stack_[depth][i];
       if (reduce_) {
         if (sleep_stack_.size() < depth + 2) sleep_stack_.resize(depth + 2);
-        child_sleep_set(*indep_, sleep_stack_[depth], enabled_stack_[depth], i,
-                        sleep_stack_[depth + 1]);
+        if (source_ && !mask_stack_[depth].empty()) {
+          child_sleep_from_masks(sleep_stack_[depth], enabled_stack_[depth],
+                                 i, mask_stack_[depth],
+                                 sleep_stack_[depth + 1]);
+        } else {
+          child_sleep_set(*indep_, sleep_stack_[depth], enabled_stack_[depth],
+                          i, sleep_stack_[depth + 1]);
+        }
       }
       const typename Tracker::Undo tu = tracker_.apply(e, stepper_.done_bits());
       const TraceStepper::Undo su = stepper_.apply(e);
@@ -583,10 +654,17 @@ class EnumerationSearch {
   std::vector<std::uint64_t> key_scratch_;
   const IndependenceRelation* indep_;
   PersistentSetSelector selector_;
+  DynamicIndependence dyn_;
+  SourceSetSelector source_selector_;
   bool reduce_;
   bool persistent_;
+  bool source_;
   bool exact_ = false;  ///< dedup on the packed word, not a hash
   std::vector<std::vector<EventId>> sleep_stack_;  ///< sleep set per depth
+  /// Wakeup frame per depth (kSourceWakeup): dynamic-independence masks
+  /// for (sleep ∪ selected) at that state, shared by the in-walk
+  /// child-sleep computation and try_split donation.
+  std::vector<std::vector<std::uint64_t>> mask_stack_;
   std::vector<EventId> initial_sleep_;
   std::vector<EventId> full_enabled_;  ///< pre-reduction enabled scratch
   WorkerHandle* worker_ = nullptr;
@@ -614,8 +692,13 @@ class MemoizedSearch {
         hooks_(std::move(hooks)),
         indep_(indep),
         selector_(indep),
+        // Memoized completability depends only on stepper state, so the
+        // untracked (unconditional) excusals apply.
+        dyn_(indep, /*tracker_sensitive=*/false),
+        source_selector_(indep, &dyn_),
         reduce_(options.reduction != ReductionMode::kOff),
         persistent_(options.reduction == ReductionMode::kSleepPersistent),
+        source_(options.reduction == ReductionMode::kSourceWakeup),
         num_events_(trace.num_events()) {
     EVORD_CHECK(!reduce_ || indep_ != nullptr,
                 "reduction requires an IndependenceRelation");
@@ -719,8 +802,13 @@ class MemoizedSearch {
       }
       if (reduce_) {
         if (sleep_stack_.size() < depth + 2) sleep_stack_.resize(depth + 2);
-        child_sleep_set(*indep_, sleep_stack_[depth], enabled_stack_[depth], i,
-                        sleep_stack_[depth + 1]);
+        if (source_ && !mask_stack_[depth].empty()) {
+          child_sleep_from_masks(sleep_stack_[depth], enabled_stack_[depth], i,
+                                 mask_stack_[depth], sleep_stack_[depth + 1]);
+        } else {
+          child_sleep_set(*indep_, sleep_stack_[depth], enabled_stack_[depth],
+                          i, sleep_stack_[depth + 1]);
+        }
       }
       const TraceStepper::Undo u = stepper_.apply(e);
       const bool child_ok = explore(depth + 1);
@@ -795,6 +883,11 @@ class MemoizedSearch {
       full_enabled_.swap(selected);
       selector_.select(stepper_, full_enabled_, selected);
       stats_.persistent_skipped += full_enabled_.size() - selected.size();
+    } else if (source_) {
+      full_enabled_.swap(selected);
+      source_selector_.select(stepper_, full_enabled_, selected,
+                              &stats_.dyn_excused);
+      stats_.persistent_skipped += full_enabled_.size() - selected.size();
     }
     const std::vector<EventId>& zset = sleep_stack_[depth];
     if (!zset.empty()) {
@@ -814,6 +907,19 @@ class MemoizedSearch {
                          return !hooks_.child_allowed(e, stepper_);
                        }),
         selected.end());
+    // Wakeup frame for this depth, computed once over the FINAL sibling
+    // list (sibling indices below refer to it): consumed by the child
+    // sleep sets in explore() and by try_split donation.  Empty = static
+    // child_sleep_set fallback (> 64 siblings).
+    if (source_) {
+      if (mask_stack_.size() < depth + 1) mask_stack_.resize(depth + 1);
+      if (selected.size() <= 64) {
+        compute_wakeup_masks(dyn_, stepper_, sleep_stack_[depth], selected,
+                             mask_stack_[depth], &stats_.dyn_excused);
+      } else {
+        mask_stack_[depth].clear();
+      }
+    }
   }
 
   /// Answers steal demand by donating the deepest eligible unexplored
@@ -848,8 +954,13 @@ class MemoizedSearch {
                           sibling_index_.begin() + d);
         task.dewey.push_back(static_cast<std::uint32_t>(j));
         if (reduce_) {
-          child_sleep_set(*indep_, sleep_stack_[d], enabled_stack_[d], j,
-                          task.sleep);
+          if (source_ && !mask_stack_[d].empty()) {
+            child_sleep_from_masks(sleep_stack_[d], enabled_stack_[d], j,
+                                   mask_stack_[d], task.sleep);
+          } else {
+            child_sleep_set(*indep_, sleep_stack_[d], enabled_stack_[d], j,
+                            task.sleep);
+          }
         }
         worker_->spawn(std::move(task));
       }
@@ -871,10 +982,15 @@ class MemoizedSearch {
   std::vector<std::uint64_t> key_scratch_;
   const IndependenceRelation* indep_;
   PersistentSetSelector selector_;
+  DynamicIndependence dyn_;
+  SourceSetSelector source_selector_;
   bool reduce_;
   bool persistent_;
+  bool source_;
   bool exact_ = false;  ///< memoize on the packed word, not a hash
   std::vector<std::vector<EventId>> sleep_stack_;  ///< sleep set per depth
+  /// Per-depth wakeup frame (see compute_wakeup_masks); source mode only.
+  std::vector<std::vector<std::uint64_t>> mask_stack_;
   std::vector<EventId> full_enabled_;  ///< pre-reduction enabled scratch
   WorkerHandle* worker_ = nullptr;
   const SearchTask* task_ = nullptr;

@@ -17,11 +17,21 @@ namespace evord::search {
 // non-empty read/write sets) and explicit D edges fall back to scalar
 // pair marking.  The result is bit-identical to the old per-pair loop.
 IndependenceRelation::IndependenceRelation(const Trace& trace)
-    : n_(trace.num_events()),
+    : trace_(&trace),
+      n_(trace.num_events()),
       num_procs_(trace.num_processes()),
       dep_(n_, DynamicBitset(n_)),
       max_dep_index_(n_ * num_procs_, -1),
-      dep_proc_mask_(n_, 0) {
+      dep_proc_mask_(n_, 0),
+      hard_dep_(n_, DynamicBitset(n_)),
+      max_hard_index_(n_ * num_procs_, -1),
+      sem_p_max_(trace.semaphores().size() * num_procs_, -1),
+      sem_v_max_(trace.semaphores().size() * num_procs_, -1),
+      ev_post_max_(trace.event_vars().size() * num_procs_, -1),
+      ev_clear_max_(trace.event_vars().size() * num_procs_, -1),
+      ev_wait_max_(trace.event_vars().size() * num_procs_, -1),
+      sem_p_total_(trace.semaphores().size(), 0),
+      dpreds_(n_) {
   std::vector<DynamicBitset> proc_events(num_procs_, DynamicBitset(n_));
   std::vector<DynamicBitset> sem_ops(trace.semaphores().size(),
                                      DynamicBitset(n_));
@@ -30,13 +40,32 @@ IndependenceRelation::IndependenceRelation(const Trace& trace)
   std::vector<DynamicBitset> ev_nonwait(trace.event_vars().size(),
                                         DynamicBitset(n_));
   std::vector<EventId> data_events;
+  // Category-wise per-(object, process) maxima: the O(1) "does q still
+  // hold an unexecuted P/V/Post/Clear/Wait on this object" tests behind
+  // DynamicIndependence and the source-set enabling closures.
+  const auto bump = [&](std::vector<std::int64_t>& table, ObjectId obj,
+                        const Event& e) {
+    std::int64_t& slot = table[obj * num_procs_ + e.process];
+    slot = std::max(slot, static_cast<std::int64_t>(e.index_in_process));
+  };
   for (EventId a = 0; a < n_; ++a) {
     const Event& e = trace.event(a);
     proc_events[e.process].set(a);
-    if (is_semaphore_op(e.kind)) sem_ops[e.object].set(a);
+    if (is_semaphore_op(e.kind)) {
+      sem_ops[e.object].set(a);
+      if (e.kind == EventKind::kSemP) {
+        bump(sem_p_max_, e.object, e);
+        ++sem_p_total_[e.object];
+      } else {
+        bump(sem_v_max_, e.object, e);
+      }
+    }
     if (is_event_op(e.kind)) {
       ev_ops[e.object].set(a);
       if (e.kind != EventKind::kWait) ev_nonwait[e.object].set(a);
+      if (e.kind == EventKind::kPost) bump(ev_post_max_, e.object, e);
+      if (e.kind == EventKind::kClear) bump(ev_clear_max_, e.object, e);
+      if (e.kind == EventKind::kWait) bump(ev_wait_max_, e.object, e);
     }
     if (e.accesses_shared_data()) data_events.push_back(a);
   }
@@ -54,9 +83,13 @@ IndependenceRelation::IndependenceRelation(const Trace& trace)
     }
   }
 
+  // Hard dependences (data conflicts + D edges) are recorded separately
+  // too: they are never dynamically excusable, whatever the pair's kinds.
   const auto mark = [&](EventId a, EventId b) {
     dep_[a].set(b);
     dep_[b].set(a);
+    hard_dep_[a].set(b);
+    hard_dep_[b].set(a);
   };
   // Conflicting shared-data accesses: only computation events with
   // non-empty read/write sets can conflict, so scan that subset.
@@ -72,28 +105,40 @@ IndependenceRelation::IndependenceRelation(const Trace& trace)
   // Observed shared-data dependences (D): dependent in either direction.
   // Cross-process D edges between computes are already conflict-marked;
   // this also covers any explicitly declared edges.
-  for (const auto& [x, y] : trace.dependences()) mark(x, y);
-  for (EventId a = 0; a < n_; ++a) dep_[a].reset(a);
-
-  // max_dep_index_[a][q]: the largest program-order position of an event
-  // of process q dependent with a (the persistent-set closure asks
-  // "does q still have a dependent event at position >= pos_q?").
-  // Iterated word-at-a-time over the dependence row.
+  for (const auto& [x, y] : trace.dependences()) {
+    mark(x, y);
+    dpreds_[y].push_back(x);
+  }
   for (EventId a = 0; a < n_; ++a) {
-    const DynamicBitset& row = dep_[a];
-    const ProcId pa = trace.event(a).process;
-    for (std::size_t w = 0; w < row.word_count(); ++w) {
-      std::uint64_t bits = row.word(w);
-      while (bits != 0) {
-        const std::size_t b = w * 64 + std::countr_zero(bits);
-        bits &= bits - 1;
-        const Event& eb = trace.event(static_cast<EventId>(b));
-        if (eb.process == pa) continue;
-        std::int64_t& slot = max_dep_index_[a * num_procs_ + eb.process];
-        slot = std::max(slot, static_cast<std::int64_t>(eb.index_in_process));
+    dep_[a].reset(a);
+    hard_dep_[a].reset(a);
+  }
+
+  // max_dep_index_[a][q] (and its hard-only analogue): the largest
+  // program-order position of an event of process q dependent with a
+  // (the closures ask "does q still have a dependent event at position
+  // >= pos_q?").  Iterated word-at-a-time over the dependence rows.
+  const auto fill_max = [&](const std::vector<DynamicBitset>& rows,
+                            std::vector<std::int64_t>& table) {
+    for (EventId a = 0; a < n_; ++a) {
+      const DynamicBitset& row = rows[a];
+      const ProcId pa = trace.event(a).process;
+      for (std::size_t w = 0; w < row.word_count(); ++w) {
+        std::uint64_t bits = row.word(w);
+        while (bits != 0) {
+          const std::size_t b = w * 64 + std::countr_zero(bits);
+          bits &= bits - 1;
+          const Event& eb = trace.event(static_cast<EventId>(b));
+          if (eb.process == pa) continue;
+          std::int64_t& slot = table[a * num_procs_ + eb.process];
+          slot = std::max(slot,
+                          static_cast<std::int64_t>(eb.index_in_process));
+        }
       }
     }
-  }
+  };
+  fill_max(dep_, max_dep_index_);
+  fill_max(hard_dep_, max_hard_index_);
   // dep_proc_mask_[a]: bit q set iff process q has ANY event dependent
   // with a — the persistent-set closure's candidate filter, one word
   // per event when the trace has at most 64 processes.

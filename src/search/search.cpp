@@ -30,6 +30,8 @@ const char* to_string(ReductionMode mode) {
       return "sleep";
     case ReductionMode::kSleepPersistent:
       return "sleep+persistent";
+    case ReductionMode::kSourceWakeup:
+      return "source+wakeup";
   }
   return "unknown";
 }
@@ -49,6 +51,7 @@ void SearchStats::merge(const SearchStats& other) {
   deadlocked_prefixes += other.deadlocked_prefixes;
   sleep_pruned += other.sleep_pruned;
   persistent_skipped += other.persistent_skipped;
+  dyn_excused += other.dyn_excused;
   memo_bytes += other.memo_bytes;
   spilled_bytes += other.spilled_bytes;
   spill_events += other.spill_events;

@@ -44,6 +44,18 @@ enum class ReductionMode : std::uint8_t {
   /// expanded.  All transition-less (terminal / stuck) states remain
   /// reachable, so verdict- and class-level results are preserved.
   kSleepPersistent = 2,
+  /// Sleep sets + source sets + dynamic independence (the optimal-mode
+  /// refinement, see docs/SEARCH.md §6): the source-set selector closes
+  /// over *necessary enabling sets* instead of giving up when a closure
+  /// head is disabled, and state-aware (conditional) independence
+  /// reclaims commutations the static relation misses — semaphore V/V
+  /// with enough surplus tokens, Post/Post and Post/Wait on an already
+  /// posted variable, Clear/Clear — evaluated per state through the
+  /// per-depth wakeup frames the engines maintain (and serialize across
+  /// work-stealing donation).  Same soundness class as kSleepPersistent:
+  /// every transition-less state stays reachable and causal classes are
+  /// preserved, with strictly fewer explored schedules.
+  kSourceWakeup = 3,
 };
 
 const char* to_string(ReductionMode mode);
@@ -95,6 +107,15 @@ struct SearchOptions {
   /// IndependenceRelation (search/independence.hpp).  Explorer
   /// front-ends choose soundness-matched defaults; see docs/SEARCH.md.
   ReductionMode reduction = ReductionMode::kOff;
+  /// kSourceWakeup only: let the dynamic-independence excusals assume
+  /// that ONLY the stepper state matters — V/V, Post/Post and Post/Wait
+  /// commute unconditionally instead of under their class-preserving
+  /// conditions (surplus tokens / already posted).  Sound solely for
+  /// front-ends whose results are functions of reachable stepper states
+  /// (deadlock search); front-ends that surface schedules or causal
+  /// classes must leave it false.  Ignored by engines carrying a causal
+  /// tracker (they always use the conditional excusals).
+  bool state_only_excusals = false;
   /// Spill the dedup/memo store's cold shards to an mmap-backed temp
   /// file when the byte budget nears exhaustion, instead of stopping
   /// with StopReason::kMemory.  Only meaningful with max_memory_bytes
@@ -127,9 +148,14 @@ struct SearchStats {
   /// (their Mazurkiewicz trace was covered by an earlier sibling).  Zero
   /// unless SearchOptions::reduction enables sleep sets.
   std::uint64_t sleep_pruned = 0;
-  /// Enabled events skipped because the chosen persistent set did not
-  /// contain them.  Zero unless reduction == kSleepPersistent.
+  /// Enabled events skipped because the chosen persistent set (or, under
+  /// kSourceWakeup, the chosen source set) did not contain them.  Zero
+  /// unless reduction selects subsets of the enabled events.
   std::uint64_t persistent_skipped = 0;
+  /// Statically dependent pairs excused by dynamic (state-aware)
+  /// independence — inside the source-set closure and the wakeup-frame
+  /// sleep-inheritance masks.  Zero unless reduction == kSourceWakeup.
+  std::uint64_t dyn_excused = 0;
   /// Bytes held by the dedup/memo store at the end of the search (the
   /// 8-byte-per-state fingerprint representation; debug payload retention
   /// is excluded — it exists only to cross-check collisions).  In

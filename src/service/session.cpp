@@ -249,6 +249,13 @@ std::shared_ptr<const DeadlockReport> AnalysisSession::deadlocks() {
   options.time_budget_seconds = options_.time_budget_seconds;
   options.num_threads = options_.num_threads;
   options.steal = options_.steal;
+  // The active ReductionMode is part of the options digest (salt 0x03 in
+  // digest_options), so it MUST also drive the computation: otherwise
+  // two sessions differing only in `reduction` would cache entries under
+  // distinct keys yet hold reports computed under the same (default)
+  // mode — or worse, a report whose SearchStats silently disagree with
+  // the key's claim.
+  options.reduction = options_.reduction;
   DeadlockReport report = analyze_deadlocks(*trace_, options);
   ++stats_.computations;
   ++stats_.sweeps;

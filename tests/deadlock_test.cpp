@@ -8,6 +8,7 @@
 #include "ordering/causal.hpp"
 #include "reductions/reduction.hpp"
 #include "trace/builder.hpp"
+#include "util/dynamic_bitset.hpp"
 #include "workload/generators.hpp"
 
 namespace evord {
@@ -49,6 +50,76 @@ TEST(Deadlock, ClearCanWedgeAWait) {
   stepper.enabled_events(enabled);
   EXPECT_TRUE(enabled.empty());
   EXPECT_FALSE(stepper.complete());
+}
+
+TEST(Deadlock, ReducedWitnessIsCanonicalGreedyPermutation) {
+  // Reduced searches (kSourceWakeup by default) surface whichever
+  // equivalent interleaving of a minimal stuck prefix the reduced tree
+  // happened to contain, so analyze_deadlocks canonicalizes the result:
+  // the reported witness must be a fixed point of the greedy
+  // smallest-event-first rescheduling of its own event set whenever that
+  // greedy order reaches the same stuck state.  Pinned by replaying the
+  // canonicalization here; also checks witness validity and that the
+  // reduced witness is never shorter than the unreduced global minimum.
+  std::size_t deadlocking = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    EventTraceConfig config;
+    config.num_events = 12;
+    config.num_event_vars = 2;
+    config.clear_probability = 0.5;
+    const Trace trace = random_event_trace(config, rng);
+    const DeadlockReport reduced = analyze_deadlocks(trace, {});
+    DeadlockOptions off;
+    off.reduction = search::ReductionMode::kOff;
+    const DeadlockReport full = analyze_deadlocks(trace, off);
+    ASSERT_EQ(reduced.can_deadlock, full.can_deadlock);
+    if (!reduced.can_deadlock) continue;
+    ++deadlocking;
+    EXPECT_GE(reduced.witness_prefix.size(), full.witness_prefix.size());
+    // Replay: the witness must be schedulable and end stuck.
+    TraceStepper stepper(trace);
+    for (EventId ev : reduced.witness_prefix) {
+      ASSERT_TRUE(stepper.enabled(ev));
+      stepper.apply(ev);
+    }
+    std::vector<EventId> enabled;
+    stepper.enabled_events(enabled);
+    EXPECT_TRUE(enabled.empty());
+    EXPECT_FALSE(stepper.complete());
+    std::vector<std::uint64_t> want;
+    stepper.encode_key(want);
+    // Greedy reschedule of the witness's own event set.
+    DynamicBitset members(trace.num_events());
+    for (EventId ev : reduced.witness_prefix) members.set(ev);
+    TraceStepper greedy(trace);
+    std::vector<EventId> canonical;
+    bool ok = true;
+    for (std::size_t step = 0; ok && step < reduced.witness_prefix.size();
+         ++step) {
+      greedy.enabled_events(enabled);
+      EventId pick = kNoEvent;
+      for (EventId ev : enabled) {
+        if (members.test(ev) && (pick == kNoEvent || ev < pick)) pick = ev;
+      }
+      if (pick == kNoEvent) {
+        ok = false;
+        break;
+      }
+      greedy.apply(pick);
+      canonical.push_back(pick);
+    }
+    if (ok) {
+      std::vector<std::uint64_t> got;
+      greedy.encode_key(got);
+      if (got == want) {
+        EXPECT_EQ(reduced.witness_prefix, canonical)
+            << "reported witness is not the canonical greedy permutation";
+      }
+    }
+  }
+  EXPECT_GT(deadlocking, 0u) << "no seed exercised the deadlock path";
 }
 
 TEST(Deadlock, TokenTheftCanWedgeAP) {

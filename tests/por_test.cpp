@@ -1,7 +1,8 @@
 // Partial-order reduction equivalence suite.
 //
 // The reduction (search/independence.hpp: sleep sets + persistent sets,
-// engine plumbing in search/engine.hpp) promises:
+// and — under kSourceWakeup — source sets, wakeup frames and dynamic
+// independence; engine plumbing in search/engine.hpp) promises:
 //   * class enumeration delivers the SAME set of complete causal classes
 //     with reduction on as off (only the per-class schedule multiplicity
 //     shrinks),
@@ -120,6 +121,8 @@ TEST(Por, ClassSetsMatchUnreduced) {
           enumerated_classes(trace, ReductionMode::kOff);
       EXPECT_EQ(enumerated_classes(trace, ReductionMode::kSleep), full);
       EXPECT_EQ(enumerated_classes(trace, ReductionMode::kSleepPersistent),
+                full);
+      EXPECT_EQ(enumerated_classes(trace, ReductionMode::kSourceWakeup),
                 full);
     }
   }
@@ -292,6 +295,159 @@ TEST(Por, ParallelReducedDeadlockBitIdentical) {
           EXPECT_EQ(parallel.stuck_states, serial.stuck_states);
           EXPECT_EQ(parallel.states_visited, serial.states_visited);
         }
+      }
+    }
+  }
+}
+
+// ----- dynamic-independence (kSourceWakeup) excusal families -----------
+
+/// Surplus-token V/V family: initial tokens plus early V's cover every
+/// remaining P partway through the run, so late V/V commutations are
+/// causally invisible (the tokens they push are never popped).  V/P
+/// placement is randomized per seed.
+Trace vv_surplus_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  TraceBuilder b;
+  const ObjectId s =
+      b.semaphore("s", /*initial=*/static_cast<int>(1 + seed % 2));
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  const ProcId p3 = b.add_process();
+  b.sem_v(p1, s);
+  if (rng.chance(0.6)) b.compute(p1, "a");
+  b.sem_v(p1, s);
+  b.sem_v(p2, s);
+  if (rng.chance(0.5)) b.sem_v(p2, s);
+  b.sem_p(p3, s);
+  if (rng.chance(0.5)) b.compute(p3, "c");
+  if (rng.chance(0.5)) b.sem_p(p3, s);
+  b.sem_p(b.root(), s);
+  return b.build();
+}
+
+/// Post/Wait/Clear family: racing Posts (often no-ops on an already
+/// posted variable), Waits, and Clears from distinct processes.  The
+/// conditional Post excusals and the unconditional Clear/Clear excusal
+/// are all reachable; some interleavings wedge a Wait (deadlock path).
+Trace post_clear_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  TraceBuilder b;
+  const ObjectId e = b.event_var("e", /*initially_posted=*/seed % 2 == 0);
+  const ProcId p1 = b.add_process();
+  const ProcId p2 = b.add_process();
+  const ProcId p3 = b.add_process();
+  b.post(b.root(), e);
+  b.post(p1, e);
+  if (rng.chance(0.6)) b.wait(p2, e);
+  if (rng.chance(0.5)) b.compute(p2, "x");
+  b.clear(p3, e);
+  if (rng.chance(0.5)) b.clear(p1, e);
+  if (rng.chance(0.4)) b.post(p2, e);
+  return b.build();
+}
+
+std::vector<std::pair<std::string, Trace>> excusal_traces(
+    std::uint64_t seed) {
+  std::vector<std::pair<std::string, Trace>> traces;
+  traces.emplace_back("vv", vv_surplus_trace(seed));
+  traces.emplace_back("postclear", post_clear_trace(seed));
+  return traces;
+}
+
+TEST(Por, SourceWakeupClassSetsMatchOnExcusalFamilies) {
+  // Randomized sweep pinning the dynamic excusals (surplus-token V/V,
+  // posted Post/Post and Post/Wait, Clear/Clear) against brute force:
+  // class enumeration with kSourceWakeup must deliver exactly the
+  // unreduced class set, and the sweep must actually exercise the
+  // excusal code paths (dyn_excused > 0 somewhere).
+  std::uint64_t excused = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const auto& [label, trace] : excusal_traces(seed)) {
+      SCOPED_TRACE(label + " seed " + std::to_string(seed));
+      const std::set<ClassKey> full =
+          enumerated_classes(trace, ReductionMode::kOff);
+      ClassEnumOptions on;
+      on.reduction = ReductionMode::kSourceWakeup;
+      std::set<ClassKey> reduced;
+      const ClassEnumStats stats = enumerate_causal_classes(
+          trace, on, [&](const std::vector<EventId>& s) {
+            reduced.insert(class_key(trace, s, on.causal));
+            return true;
+          });
+      EXPECT_EQ(reduced, full);
+      excused += stats.search.dyn_excused;
+    }
+  }
+  EXPECT_GT(excused, 0u) << "no family reached a dynamic excusal";
+}
+
+TEST(Por, SourceWakeupDeadlockAndExactMatchOnExcusalFamilies) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const auto& [label, trace] : excusal_traces(seed)) {
+      SCOPED_TRACE(label + " seed " + std::to_string(seed));
+      DeadlockOptions off;
+      off.reduction = ReductionMode::kOff;
+      const DeadlockReport full = analyze_deadlocks(trace, off);
+      const DeadlockReport reduced = analyze_deadlocks(trace, {});
+      EXPECT_EQ(reduced.can_deadlock, full.can_deadlock);
+      EXPECT_EQ(reduced.stuck_states, full.stuck_states);
+      if (reduced.can_deadlock) {
+        expect_valid_witness(trace, reduced.witness_prefix);
+      }
+      ExactOptions exact_off;
+      exact_off.reduction = ReductionMode::kOff;
+      const OrderingRelations exact_full =
+          compute_exact(trace, Semantics::kCausal, exact_off);
+      const OrderingRelations exact_reduced =
+          compute_exact(trace, Semantics::kCausal, {});
+      EXPECT_EQ(exact_reduced.causal_classes, exact_full.causal_classes);
+      for (const RelationKind kind : kAllRelationKinds) {
+        EXPECT_EQ(exact_reduced[kind], exact_full[kind]) << to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Por, WakeupDonationStressBitIdenticalAtEightWorkers) {
+  // Wakeup-tree serialization across work stealing: grain 1 forces
+  // splits at every depth, so donated SearchTask::sleep sets are derived
+  // from the donor's wakeup frames throughout the walk.  Exercised at 8
+  // workers (EVORD_MAX_THREADS=8 in the test environment) across
+  // perturbed steal seeds on the excusal-heavy families, where the
+  // frames actually differ from the static sleep sets.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    for (const auto& [label, trace] : excusal_traces(seed)) {
+      const OrderingRelations serial =
+          compute_exact(trace, Semantics::kCausal, {});
+      const DeadlockReport serial_deadlock = analyze_deadlocks(trace, {});
+      for (const std::uint64_t steal_seed : {1ull, 99ull, 31337ull}) {
+        std::ostringstream os;
+        os << label << " seed " << seed << " steal " << steal_seed;
+        SCOPED_TRACE(os.str());
+        ExactOptions options;
+        options.num_threads = 8;
+        options.steal.seed = steal_seed;
+        options.steal.grain = 1;
+        const OrderingRelations parallel =
+            compute_exact(trace, Semantics::kCausal, options);
+        EXPECT_EQ(parallel.causal_classes, serial.causal_classes);
+        EXPECT_EQ(parallel.schedules_seen, serial.schedules_seen);
+        for (const RelationKind kind : kAllRelationKinds) {
+          EXPECT_EQ(parallel[kind], serial[kind]) << to_string(kind);
+        }
+        DeadlockOptions dl;
+        dl.num_threads = 8;
+        dl.steal.seed = steal_seed;
+        dl.steal.grain = 1;
+        const DeadlockReport parallel_deadlock =
+            analyze_deadlocks(trace, dl);
+        EXPECT_EQ(parallel_deadlock.can_deadlock,
+                  serial_deadlock.can_deadlock);
+        EXPECT_EQ(parallel_deadlock.witness_prefix,
+                  serial_deadlock.witness_prefix);
+        EXPECT_EQ(parallel_deadlock.stuck_states,
+                  serial_deadlock.stuck_states);
       }
     }
   }

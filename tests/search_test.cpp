@@ -666,7 +666,9 @@ TEST(MemoryAccountant, BoolMapChargesPerStoredState) {
 TEST(SearchBudgets, MemoryBudgetStopsDeadlockSearch) {
   Rng rng(9);
   testing::RandomTraceConfig config;
-  config.num_events = 14;
+  // Large enough that even the source-set-reduced search (the default
+  // mode) stores comfortably more than the 256-byte budget below.
+  config.num_events = 24;
   const Trace trace = testing::random_trace(config, rng);
   DeadlockOptions unbudgeted;
   const DeadlockReport full = analyze_deadlocks(trace, unbudgeted);

@@ -204,7 +204,9 @@ TEST(PackedRegistry, BoolMapMatchesUnorderedMap) {
 
 TEST(SpillTier, DeadlockSweepExceedsBudgetBitIdentically) {
   Rng rng(99);
-  const Trace trace = random_fork_join_trace(5, 8, rng);
+  // Large enough that the visited store clears 16 KiB even under the
+  // source-set-reduced default deadlock search.
+  const Trace trace = random_fork_join_trace(7, 10, rng);
 
   DeadlockOptions unbudgeted;
   unbudgeted.num_threads = 1;
