@@ -77,6 +77,7 @@ std::uint64_t ladder_digest(const std::vector<QueryBudget>& ladder) {
     std::memcpy(&seconds_bits, &rung.time_budget_seconds,
                 sizeof(seconds_bits));
     h = hash_mix(0x04, h, seconds_bits);
+    h = hash_mix(0x05, h, rung.max_conflicts);
   }
   return h;
 }
@@ -89,15 +90,18 @@ std::vector<QueryBudget> AnytimeOptions::default_ladder() {
       QueryBudget{.max_states = std::size_t{1} << 12,
                   .max_schedules = std::uint64_t{1} << 12,
                   .max_memory_bytes = std::uint64_t{1} << 20,
-                  .time_budget_seconds = 0.0},
+                  .time_budget_seconds = 0.0,
+                  .max_conflicts = std::uint64_t{1} << 14},
       QueryBudget{.max_states = std::size_t{1} << 16,
                   .max_schedules = std::uint64_t{1} << 16,
                   .max_memory_bytes = std::uint64_t{16} << 20,
-                  .time_budget_seconds = 0.0},
+                  .time_budget_seconds = 0.0,
+                  .max_conflicts = std::uint64_t{1} << 17},
       QueryBudget{.max_states = std::size_t{1} << 20,
                   .max_schedules = std::uint64_t{1} << 20,
                   .max_memory_bytes = std::uint64_t{256} << 20,
-                  .time_budget_seconds = 0.0},
+                  .time_budget_seconds = 0.0,
+                  .max_conflicts = std::uint64_t{1} << 20},
   };
 }
 
@@ -148,6 +152,39 @@ bool AnytimeQuery::causal_bounds_apply(Semantics semantics) const {
 const CombinedResult& AnytimeQuery::combined() {
   if (!combined_.has_value()) combined_ = compute_combined(trace_);
   return *combined_;
+}
+
+SatOracle& AnytimeQuery::oracle() {
+  if (oracle_ == nullptr) {
+    SatOracleOptions so;
+    so.respect_dependences = options_.exact.respect_dependences;
+    so.causal_data_edges = options_.exact.causal_data_edges;
+    oracle_ = std::make_unique<SatOracle>(trace_, so);
+  }
+  return *oracle_;
+}
+
+bool AnytimeQuery::oracle_decides(RelationKind kind, EventId a, EventId b,
+                                  Semantics semantics, BoundedVerdict& v) {
+  if (!options_.use_sat_oracle) return false;
+  SatOracle& o = oracle();
+  if (!o.available()) return false;
+  // Conflict budget of the rung whose run produced this verdict (the
+  // last one attempted); 0 falls back to the oracle's own default.
+  const std::size_t rung =
+      v.provenance.rungs_tried == 0
+          ? 0
+          : std::min(v.provenance.rungs_tried, options_.ladder.size()) - 1;
+  o.set_max_conflicts(options_.ladder[rung].max_conflicts);
+  const OracleVerdict ov = o.query(kind, a, b, semantics);
+  if (ov == OracleVerdict::kUnknown) return false;
+  v.state = ov == OracleVerdict::kProven ? VerdictState::kProven
+                                         : VerdictState::kRefuted;
+  // Keep the base run's truncation provenance (it is what forced the
+  // portfolio consult); only the deciding engine changes.
+  v.provenance.engine = "sat-oracle";
+  if (o.last_witness().has_value()) v.witness = *o.last_witness();
+  return true;
 }
 
 const VectorClockResult& AnytimeQuery::observed() {
@@ -211,6 +248,8 @@ BoundedVerdict AnytimeQuery::must_have_happened_before(EventId a, EventId b,
     v.provenance.engine = "combined";
     return v;
   }
+  // Portfolio: the SAT oracle settles pairs the enumeration wall hid.
+  if (oracle_decides(RelationKind::kMHB, a, b, semantics, v)) return v;
   v.state = VerdictState::kUnknown;
   return v;
 }
@@ -250,6 +289,7 @@ BoundedVerdict AnytimeQuery::could_have_happened_before(EventId a, EventId b,
       return v;
     }
   }
+  if (oracle_decides(RelationKind::kCHB, a, b, semantics, v)) return v;
   v.state = VerdictState::kUnknown;
   return v;
 }
@@ -285,6 +325,9 @@ BoundedVerdict AnytimeQuery::could_have_been_concurrent(EventId a,
       v.provenance.engine = "combined";
       return v;
     }
+  }
+  if (oracle_decides(RelationKind::kCCW, a, b, Semantics::kCausal, v)) {
+    return v;
   }
   v.state = VerdictState::kUnknown;
   return v;

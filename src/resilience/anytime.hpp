@@ -29,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "approx/vector_clock.hpp"
 #include "feasible/deadlock.hpp"
 #include "ordering/exact.hpp"
+#include "ordering/sat_oracle.hpp"
 #include "race/race_detector.hpp"
 #include "trace/trace.hpp"
 
@@ -60,6 +62,11 @@ struct QueryBudget {
   std::uint64_t max_schedules = 0;    ///< causal / interval engines
   std::uint64_t max_memory_bytes = 0; ///< strict global byte budget
   double time_budget_seconds = 0.0;
+  /// SAT-oracle portfolio rung: per-call conflict budget for the CDCL
+  /// solver (maps to CdclOptions::max_conflicts) when the explicit
+  /// engines truncate and the oracle is consulted.  0 = the oracle's
+  /// own default budget, NOT unlimited.
+  std::uint64_t max_conflicts = 0;
 
   friend bool operator==(const QueryBudget&, const QueryBudget&) = default;
 };
@@ -121,6 +128,14 @@ struct AnytimeOptions {
   /// mode...).  The per-rung budgets override max_states, max_schedules,
   /// max_memory_bytes and time_budget_seconds.
   ExactOptions exact;
+  /// Portfolio mode: when every explicit rung truncated and the
+  /// polynomial bounds fail to decide an ordering pair, consult the
+  /// SAT-backed oracle (ordering/sat_oracle.hpp) before answering
+  /// kUnknown.  Its verdicts are definitive (engine "sat-oracle"),
+  /// witness schedules are replay-validated, and a conflict-budget
+  /// exhaustion still degrades to kUnknown — never unsound.  Applies to
+  /// the three ordering queries; race/deadlock queries are unaffected.
+  bool use_sat_oracle = true;
 
   /// Three rungs escalating states/schedules/bytes by ~16x each, no
   /// time budgets (deterministic across machines).
@@ -184,6 +199,13 @@ class AnytimeQuery {
   bool causal_bounds_apply(Semantics semantics) const;
   const CombinedResult& combined();
   const VectorClockResult& observed();
+  /// Lazily-built SAT oracle shared by all semantics (one solver build).
+  SatOracle& oracle();
+  /// Portfolio escape hatch: asks the oracle to settle a pair the
+  /// truncated run + polynomial bounds left unknown.  On success fills
+  /// `v` (state, engine "sat-oracle", witness) and returns true.
+  bool oracle_decides(RelationKind kind, EventId a, EventId b,
+                      Semantics semantics, BoundedVerdict& v);
 
   const Trace& trace_;
   AnytimeOptions options_;
@@ -193,6 +215,7 @@ class AnytimeQuery {
   std::optional<RaceReport> guaranteed_races_;
   std::optional<CombinedResult> combined_;
   std::optional<VectorClockResult> observed_;
+  std::unique_ptr<SatOracle> oracle_;
   std::size_t climbs_ = 0;
 };
 

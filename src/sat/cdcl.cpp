@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -18,6 +19,10 @@ ILit to_ilit(Lit l) {
 }
 ILit neg(ILit l) { return l ^ 1u; }
 std::uint32_t ivar(ILit l) { return l >> 1; }
+Lit from_ilit(ILit l) {
+  const Lit v = static_cast<Lit>(ivar(l)) + 1;
+  return (l & 1u) != 0 ? -v : v;
+}
 
 enum class Value : std::int8_t { kFalse = 0, kTrue = 1, kUnset = 2 };
 
@@ -41,59 +46,92 @@ std::uint32_t luby(std::uint32_t i) {
   return 1u << (k - 1);
 }
 
-class Cdcl {
- public:
-  Cdcl(const CnfFormula& formula, const CdclOptions& options)
-      : options_(options), num_vars_(static_cast<std::uint32_t>(
-                               std::max(formula.num_vars(), 1))) {
-    values_.assign(num_vars_, Value::kUnset);
-    levels_.assign(num_vars_, 0);
-    reasons_.assign(num_vars_, kNoReason);
-    activity_.assign(num_vars_, 0.0);
-    phase_.assign(num_vars_, false);
-    seen_.assign(num_vars_, 0);
-    watches_.assign(2 * num_vars_, {});
-    trail_.reserve(num_vars_);
+}  // namespace
 
-    for (const Clause& c : formula.clauses()) {
-      std::vector<ILit> lits;
-      lits.reserve(c.lits.size());
-      bool tautology = false;
-      for (Lit l : c.lits) lits.push_back(to_ilit(l));
-      std::sort(lits.begin(), lits.end());
-      lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
-      for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
-        if (lits[i + 1] == neg(lits[i])) tautology = true;
-      }
-      if (tautology) continue;
-      if (lits.empty()) {
-        trivially_unsat_ = true;
-        return;
-      }
-      if (lits.size() == 1) {
-        initial_units_.push_back(lits[0]);
-      } else {
-        add_clause(std::move(lits));
-      }
-    }
+class CdclSolver::Impl {
+ public:
+  explicit Impl(CdclOptions options) : options_(options) {}
+
+  std::int32_t num_vars() const { return static_cast<std::int32_t>(num_vars_); }
+
+  void ensure_vars(std::int32_t n) {
+    if (n <= 0 || static_cast<std::uint32_t>(n) <= num_vars_) return;
+    num_vars_ = static_cast<std::uint32_t>(n);
+    values_.resize(num_vars_, Value::kUnset);
+    levels_.resize(num_vars_, 0);
+    reasons_.resize(num_vars_, kNoReason);
+    activity_.resize(num_vars_, 0.0);
+    phase_.resize(num_vars_, false);
+    seen_.resize(num_vars_, 0);
+    watches_.resize(2 * num_vars_);
   }
 
-  CdclResult run() {
-    CdclResult result;
-    if (trivially_unsat_) {
-      result.sat.satisfiable = false;
-      return result;
-    }
-    for (ILit u : initial_units_) {
-      const Value v = lit_value(values_[ivar(u)], u);
-      if (v == Value::kFalse) {
-        result.sat.satisfiable = false;
-        result.sat.stats = stats_;
-        return result;
-      }
-      if (v == Value::kUnset) enqueue(u, kNoReason);
-    }
+  Lit new_var() {
+    ensure_vars(static_cast<std::int32_t>(num_vars_) + 1);
+    return static_cast<Lit>(num_vars_);
+  }
 
+  void add_clause_external(const std::vector<Lit>& ext) {
+    backtrack(0);
+    std::int32_t max_var = 0;
+    for (Lit l : ext) max_var = std::max(max_var, var_of(l));
+    ensure_vars(max_var);
+
+    std::vector<ILit> lits;
+    lits.reserve(ext.size());
+    for (Lit l : ext) lits.push_back(to_ilit(l));
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+      if (lits[i + 1] == neg(lits[i])) return;  // tautology
+    }
+    // Root-level simplification: drop falsified literals, skip satisfied
+    // clauses.
+    std::size_t keep = 0;
+    for (ILit l : lits) {
+      const Value v = lit_value(values_[ivar(l)], l);
+      if (v == Value::kTrue) return;  // already satisfied forever
+      if (v == Value::kFalse) continue;
+      lits[keep++] = l;
+    }
+    lits.resize(keep);
+    if (lits.empty()) {
+      ok_ = false;
+      return;
+    }
+    if (lits.size() == 1) {
+      enqueue(lits[0], kNoReason);  // root-level unit; propagated lazily
+      return;
+    }
+    add_clause(std::move(lits));
+  }
+
+  void add_formula(const CnfFormula& formula) {
+    ensure_vars(formula.num_vars());
+    for (const Clause& c : formula.clauses()) add_clause_external(c.lits);
+  }
+
+  bool inconsistent() const { return !ok_; }
+
+  CdclResult solve(const std::vector<Lit>& ext_assumptions,
+                   std::uint64_t max_conflicts) {
+    stats_ = SolverStats{};
+    CdclResult result;
+    if (!ok_) {
+      result.sat.satisfiable = false;
+      return finish(result);
+    }
+    backtrack(0);
+
+    std::int32_t max_var = 0;
+    for (Lit l : ext_assumptions) max_var = std::max(max_var, var_of(l));
+    ensure_vars(max_var);
+    std::vector<ILit> assumptions;
+    assumptions.reserve(ext_assumptions.size());
+    for (Lit l : ext_assumptions) assumptions.push_back(to_ilit(l));
+
+    const std::uint64_t budget =
+        max_conflicts != 0 ? max_conflicts : options_.max_conflicts;
     std::uint32_t restart_index = 0;
     std::uint64_t conflicts_until_restart =
         static_cast<std::uint64_t>(luby(restart_index)) * options_.luby_unit;
@@ -103,14 +141,15 @@ class Cdcl {
       if (conflict != kNoReason) {
         ++stats_.conflicts;
         if (decision_level() == 0) {
+          ok_ = false;  // refuted without assumptions: permanent
           result.sat.satisfiable = false;
-          result.sat.stats = stats_;
-          return result;
+          return finish(result);
         }
         std::vector<ILit> learned;
         std::uint32_t backtrack_level = 0;
         analyze(conflict, learned, backtrack_level);
         backtrack(backtrack_level);
+        ++stats_.learned_clauses;
         if (learned.size() == 1) {
           enqueue(learned[0], kNoReason);
         } else {
@@ -118,11 +157,9 @@ class Cdcl {
           enqueue(clauses_[id][0], id);
         }
         decay_activities();
-        if (options_.max_conflicts != 0 &&
-            stats_.conflicts >= options_.max_conflicts) {
+        if (budget != 0 && stats_.conflicts >= budget) {
           result.decided = false;
-          result.sat.stats = stats_;
-          return result;
+          return finish(result);
         }
         if (conflicts_until_restart > 0) --conflicts_until_restart;
         if (conflicts_until_restart == 0) {
@@ -133,6 +170,23 @@ class Cdcl {
               static_cast<std::uint64_t>(luby(restart_index)) *
               options_.luby_unit;
         }
+      } else if (decision_level() < assumptions.size()) {
+        // Assumption literals occupy the first decision levels
+        // (MiniSat-style); a level is pushed even when the assumption is
+        // already implied, so level i+1 always corresponds to
+        // assumptions[i].
+        const ILit a = assumptions[decision_level()];
+        const Value v = lit_value(values_[ivar(a)], a);
+        if (v == Value::kFalse) {
+          analyze_final(a, result.failed_assumptions);
+          result.sat.satisfiable = false;
+          return finish(result);
+        }
+        level_starts_.push_back(static_cast<std::uint32_t>(trail_.size()));
+        if (v == Value::kUnset) {
+          ++stats_.decisions;
+          enqueue(a, kNoReason);
+        }
       } else {
         const std::uint32_t v = pick_branch_variable();
         if (v == num_vars_) {  // all assigned: SAT
@@ -141,8 +195,7 @@ class Cdcl {
           for (std::uint32_t var = 0; var < num_vars_; ++var) {
             result.sat.model[var + 1] = values_[var] == Value::kTrue;
           }
-          result.sat.stats = stats_;
-          return result;
+          return finish(result);
         }
         ++stats_.decisions;
         level_starts_.push_back(static_cast<std::uint32_t>(trail_.size()));
@@ -151,9 +204,21 @@ class Cdcl {
     }
   }
 
+  const SolverStats& cumulative_stats() const { return cumulative_; }
+
  private:
   std::uint32_t decision_level() const {
     return static_cast<std::uint32_t>(level_starts_.size());
+  }
+
+  CdclResult& finish(CdclResult& result) {
+    result.sat.stats = stats_;
+    cumulative_.decisions += stats_.decisions;
+    cumulative_.propagations += stats_.propagations;
+    cumulative_.conflicts += stats_.conflicts;
+    cumulative_.restarts += stats_.restarts;
+    cumulative_.learned_clauses += stats_.learned_clauses;
+    return result;
   }
 
   std::uint32_t add_clause(std::vector<ILit> lits) {
@@ -284,6 +349,34 @@ class Cdcl {
     }
   }
 
+  /// Failed-assumption extraction: `p` is an assumption literal found
+  /// false at its decision point, so every decision on the trail is an
+  /// (earlier) assumption.  Walk the trail backwards from the top,
+  /// expanding implied variables through their reason clauses; the
+  /// decisions reached are exactly the assumptions that imply `not p`,
+  /// and together with `p` form a core that the formula refutes.
+  void analyze_final(ILit p, std::vector<Lit>& core) {
+    core.clear();
+    core.push_back(from_ilit(p));
+    const std::size_t boundary =
+        level_starts_.empty() ? trail_.size() : level_starts_[0];
+    seen_[ivar(p)] = 1;
+    for (std::size_t i = trail_.size(); i > boundary; --i) {
+      const std::uint32_t v = ivar(trail_[i - 1]);
+      if (seen_[v] == 0) continue;
+      seen_[v] = 0;
+      if (reasons_[v] == kNoReason) {
+        core.push_back(from_ilit(trail_[i - 1]));
+      } else {
+        const std::vector<ILit>& c = clauses_[reasons_[v]];
+        for (std::size_t j = 1; j < c.size(); ++j) {
+          if (levels_[ivar(c[j])] > 0) seen_[ivar(c[j])] = 1;
+        }
+      }
+    }
+    seen_[ivar(p)] = 0;
+  }
+
   void backtrack(std::uint32_t level) {
     if (decision_level() <= level) return;
     const std::uint32_t boundary = level_starts_[level];
@@ -312,11 +405,10 @@ class Cdcl {
   }
 
   CdclOptions options_;
-  std::uint32_t num_vars_;
-  bool trivially_unsat_ = false;
+  std::uint32_t num_vars_ = 0;
+  bool ok_ = true;
 
   std::vector<std::vector<ILit>> clauses_;
-  std::vector<ILit> initial_units_;
   std::vector<std::vector<std::uint32_t>> watches_;  // per literal
 
   std::vector<Value> values_;
@@ -331,13 +423,38 @@ class Cdcl {
   std::vector<std::uint32_t> level_starts_;
 
   double activity_increment_ = 1.0;
-  SolverStats stats_;
+  SolverStats stats_;       // per-call
+  SolverStats cumulative_;  // across calls
 };
 
-}  // namespace
+CdclSolver::CdclSolver(CdclOptions options)
+    : impl_(std::make_unique<Impl>(options)) {}
+CdclSolver::~CdclSolver() = default;
+CdclSolver::CdclSolver(CdclSolver&&) noexcept = default;
+CdclSolver& CdclSolver::operator=(CdclSolver&&) noexcept = default;
+
+std::int32_t CdclSolver::num_vars() const { return impl_->num_vars(); }
+void CdclSolver::ensure_vars(std::int32_t n) { impl_->ensure_vars(n); }
+Lit CdclSolver::new_var() { return impl_->new_var(); }
+void CdclSolver::add_clause(const std::vector<Lit>& lits) {
+  impl_->add_clause_external(lits);
+}
+void CdclSolver::add_formula(const CnfFormula& formula) {
+  impl_->add_formula(formula);
+}
+bool CdclSolver::inconsistent() const { return impl_->inconsistent(); }
+CdclResult CdclSolver::solve_under_assumptions(
+    const std::vector<Lit>& assumptions, std::uint64_t max_conflicts) {
+  return impl_->solve(assumptions, max_conflicts);
+}
+const SolverStats& CdclSolver::cumulative_stats() const {
+  return impl_->cumulative_stats();
+}
 
 CdclResult solve_cdcl(const CnfFormula& formula, const CdclOptions& options) {
-  return Cdcl(formula, options).run();
+  CdclSolver solver(options);
+  solver.add_formula(formula);
+  return solver.solve();
 }
 
 SatResult solve(const CnfFormula& formula) {

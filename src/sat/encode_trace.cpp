@@ -1,0 +1,254 @@
+#include "sat/encode_trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace evord {
+
+namespace {
+
+bool lit_true(const Assignment& model, Lit l) {
+  const auto v = static_cast<std::size_t>(var_of(l));
+  EVORD_CHECK(v < model.size(), "model too small for literal");
+  return is_positive(l) ? model[v] : !model[v];
+}
+
+}  // namespace
+
+TraceCnf::TraceCnf(const Trace& trace, TraceCnfOptions options)
+    : n_(trace.num_events()) {
+  // Pair variable (a, b) with a < b means "a before b"; the triangular
+  // index below maps each unordered pair to variables 1..n(n-1)/2, and
+  // auxiliary (selector) variables follow.
+  num_order_vars_ = n_ * (n_ > 0 ? n_ - 1 : 0) / 2;
+  next_var_ = static_cast<std::int32_t>(num_order_vars_);
+
+  encode_order_axioms();
+  encode_static_edges(trace);
+  if (options.respect_dependences) encode_dependences(trace);
+  encode_semaphores(trace);
+  encode_event_vars(trace);
+}
+
+Lit TraceCnf::order_lit(EventId a, EventId b) const {
+  EVORD_CHECK(a != b && a < n_ && b < n_, "order_lit needs distinct events");
+  const bool flip = a > b;
+  if (flip) std::swap(a, b);
+  const std::size_t lo = a;
+  const std::size_t hi = b;
+  const std::size_t index = lo * n_ - lo * (lo + 1) / 2 + (hi - lo - 1);
+  const Lit var = static_cast<Lit>(index) + 1;
+  return flip ? -var : var;
+}
+
+bool TraceCnf::ordered_before(const Assignment& model, EventId a,
+                              EventId b) const {
+  return lit_true(model, order_lit(a, b));
+}
+
+std::vector<EventId> TraceCnf::decode_schedule(const Assignment& model) const {
+  // position(e) == number of events ordered before e; in a model of the
+  // order axioms these are exactly 0..n-1.
+  std::vector<std::size_t> position(n_, 0);
+  for (EventId a = 0; a + 1 < n_; ++a) {
+    for (EventId b = a + 1; b < n_; ++b) {
+      if (ordered_before(model, a, b)) {
+        ++position[b];
+      } else {
+        ++position[a];
+      }
+    }
+  }
+  std::vector<EventId> schedule(n_);
+  std::iota(schedule.begin(), schedule.end(), 0);
+  std::sort(schedule.begin(), schedule.end(), [&](EventId x, EventId y) {
+    return position[x] < position[y];
+  });
+  return schedule;
+}
+
+Lit TraceCnf::new_aux_var() { return ++next_var_; }
+
+void TraceCnf::add_unit_edge(EventId a, EventId b) {
+  formula_.add_clause({order_lit(a, b)});
+}
+
+void TraceCnf::encode_order_axioms() {
+  // Totality and antisymmetry are structural (one variable per pair).
+  // Transitivity: for each triple a < b < c with x = o(a,b), y = o(b,c),
+  // z = o(a,c), the clauses (!x | !y | z) and (x | y | !z) close all six
+  // orientations of the triple.
+  if (num_order_vars_ > 0) {
+    // Materialize the full variable range even if no clause touches some
+    // pair (CnfFormula grows num_vars per clause otherwise).
+    formula_ = CnfFormula(static_cast<std::int32_t>(num_order_vars_));
+  }
+  for (EventId a = 0; a + 2 < n_; ++a) {
+    for (EventId b = a + 1; b + 1 < n_; ++b) {
+      const Lit x = order_lit(a, b);
+      for (EventId c = b + 1; c < n_; ++c) {
+        const Lit y = order_lit(b, c);
+        const Lit z = order_lit(a, c);
+        formula_.add_clause({-x, -y, z});
+        formula_.add_clause({x, y, -z});
+      }
+    }
+  }
+}
+
+void TraceCnf::encode_static_edges(const Trace& trace) {
+  const Digraph g = trace.static_order_graph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out(u)) add_unit_edge(u, v);
+  }
+  // static_order_graph has no edge for a fork whose child executed no
+  // events, but the join on such a child still requires the creating
+  // fork to have happened (TraceStepper::enabled).
+  for (const Event& e : trace.events()) {
+    if (e.kind != EventKind::kJoin) continue;
+    const ProcessInfo& child = trace.process(e.object);
+    if (child.events.empty() && child.creating_fork != kNoEvent) {
+      add_unit_edge(child.creating_fork, e.id);
+    }
+  }
+}
+
+void TraceCnf::encode_dependences(const Trace& trace) {
+  for (const DependenceEdge& d : trace.dependences()) {
+    add_unit_edge(d.first, d.second);
+  }
+}
+
+void TraceCnf::encode_semaphores(const Trace& trace) {
+  std::vector<std::vector<EventId>> p_ops(trace.semaphores().size());
+  std::vector<std::vector<EventId>> v_ops(trace.semaphores().size());
+  for (const Event& e : trace.events()) {
+    if (e.kind == EventKind::kSemP) p_ops[e.object].push_back(e.id);
+    if (e.kind == EventKind::kSemV) v_ops[e.object].push_back(e.id);
+  }
+
+  for (ObjectId s = 0; s < trace.semaphores().size(); ++s) {
+    const SemaphoreInfo& info = trace.semaphores()[s];
+    const std::vector<EventId>& ps = p_ops[s];
+    const std::vector<EventId>& vs = v_ops[s];
+    if (ps.empty()) continue;
+
+    if (!info.binary) {
+      // Counting: every P selects a distinct token — an initial token or
+      // a V ordered before it.  Token t in [0, initial) is initial;
+      // token initial + j is V event vs[j].
+      const std::size_t num_tokens =
+          static_cast<std::size_t>(std::max(info.initial, 0)) + vs.size();
+      // match[t][i]: token t feeds P ps[i].
+      std::vector<std::vector<Lit>> match(num_tokens,
+                                          std::vector<Lit>(ps.size(), 0));
+      for (std::size_t t = 0; t < num_tokens; ++t) {
+        for (std::size_t i = 0; i < ps.size(); ++i) {
+          match[t][i] = new_aux_var();
+        }
+      }
+      for (std::size_t i = 0; i < ps.size(); ++i) {
+        std::vector<Lit> some_token;
+        some_token.reserve(num_tokens);
+        for (std::size_t t = 0; t < num_tokens; ++t) {
+          some_token.push_back(match[t][i]);
+        }
+        formula_.add_clause(std::move(some_token));
+      }
+      for (std::size_t t = 0; t < num_tokens; ++t) {
+        // A token feeds at most one P...
+        for (std::size_t i = 0; i < ps.size(); ++i) {
+          for (std::size_t j = i + 1; j < ps.size(); ++j) {
+            formula_.add_clause({-match[t][i], -match[t][j]});
+          }
+        }
+        // ...and a V token must be ordered before its P.
+        const std::size_t initial =
+            static_cast<std::size_t>(std::max(info.initial, 0));
+        if (t >= initial) {
+          const EventId v = vs[t - initial];
+          for (std::size_t i = 0; i < ps.size(); ++i) {
+            formula_.add_clause({-match[t][i], order_lit(v, ps[i])});
+          }
+        }
+      }
+    } else {
+      // Binary: the count before each P is determined by the last
+      // semaphore operation ordered before it (V -> 1, P -> 0), so P p
+      // is valid iff that last operation is a V — selector sel(v, p)
+      // says "v is the latest operation before p" — or p is the
+      // semaphore's first operation and the initial count is positive.
+      std::vector<EventId> ops;
+      ops.reserve(ps.size() + vs.size());
+      ops.insert(ops.end(), ps.begin(), ps.end());
+      ops.insert(ops.end(), vs.begin(), vs.end());
+      for (EventId p : ps) {
+        std::vector<Lit> main_clause;
+        for (EventId v : vs) {
+          const Lit sel = new_aux_var();
+          main_clause.push_back(sel);
+          formula_.add_clause({-sel, order_lit(v, p)});
+          for (EventId q : ops) {
+            if (q == v || q == p) continue;
+            // No other operation strictly between v and p.
+            formula_.add_clause({-sel, order_lit(q, v), order_lit(p, q)});
+          }
+        }
+        if (info.initial > 0) {
+          const Lit first = new_aux_var();
+          main_clause.push_back(first);
+          for (EventId q : ops) {
+            if (q == p) continue;
+            formula_.add_clause({-first, order_lit(p, q)});
+          }
+        }
+        formula_.add_clause(std::move(main_clause));
+      }
+    }
+  }
+}
+
+void TraceCnf::encode_event_vars(const Trace& trace) {
+  std::vector<std::vector<EventId>> posts(trace.event_vars().size());
+  std::vector<std::vector<EventId>> mods(trace.event_vars().size());
+  std::vector<std::vector<EventId>> waits(trace.event_vars().size());
+  for (const Event& e : trace.events()) {
+    if (e.kind == EventKind::kPost) {
+      posts[e.object].push_back(e.id);
+      mods[e.object].push_back(e.id);
+    }
+    if (e.kind == EventKind::kClear) mods[e.object].push_back(e.id);
+    if (e.kind == EventKind::kWait) waits[e.object].push_back(e.id);
+  }
+
+  for (ObjectId ev = 0; ev < trace.event_vars().size(); ++ev) {
+    // A Wait is valid iff the variable is posted when it runs; Waits do
+    // not modify the flag, so that is "the last modifying operation
+    // (Post/Clear) ordered before it is a Post", or "no modifying
+    // operation before it and the variable starts posted".
+    for (EventId w : waits[ev]) {
+      std::vector<Lit> main_clause;
+      for (EventId post : posts[ev]) {
+        const Lit sel = new_aux_var();
+        main_clause.push_back(sel);
+        formula_.add_clause({-sel, order_lit(post, w)});
+        for (EventId m : mods[ev]) {
+          if (m == post) continue;
+          formula_.add_clause({-sel, order_lit(m, post), order_lit(w, m)});
+        }
+      }
+      if (trace.event_vars()[ev].initially_posted) {
+        const Lit first = new_aux_var();
+        main_clause.push_back(first);
+        for (EventId m : mods[ev]) {
+          formula_.add_clause({-first, order_lit(w, m)});
+        }
+      }
+      formula_.add_clause(std::move(main_clause));
+    }
+  }
+}
+
+}  // namespace evord

@@ -1,0 +1,80 @@
+// CNF encoding of a trace's feasible complete schedules (the SAT-backed
+// ordering oracle's front half; ordering/sat_oracle.hpp is the client).
+//
+// Following the partial-order encoding of Alglave/Kroening ("Partial
+// Orders for Efficient BMC of Concurrent Software"), one boolean order
+// variable o(a, b) is allocated per unordered event pair {a, b} with
+// o(b, a) == not o(a, b) — totality and antisymmetry come for free — and
+// transitivity is two clauses per event triple.  On top of the resulting
+// total strict order the validity rules of DESIGN.md §3 are encoded
+// exactly:
+//
+//   * program order, fork -> first child event, last child event -> join
+//     (plus fork -> join for empty children) as unit clauses;
+//   * the F3 shared-data dependences as unit clauses (optional);
+//   * counting semaphores by token matching: every P chooses an earlier
+//     distinct token (an initial token or a V event ordered before it) —
+//     exact by Hall's theorem against the prefix condition
+//     #P <= #V + initial;
+//   * binary semaphores by last-op selection: the last semaphore
+//     operation ordered before each P must be a V (or the P is first and
+//     the initial count is 1) — the counting relaxation would be wrong
+//     here, because clamped V operations bank no token;
+//   * event variables likewise: the last *modifying* operation (Post or
+//     Clear) ordered before each Wait must be a Post (or the Wait is
+//     first and the variable starts posted).
+//
+// A satisfying model therefore IS a feasible execution: decode_schedule
+// recovers the total order, and the oracle replays it through
+// TraceStepper as independent insurance.  The encoding is O(n^3) clauses
+// in the event count — callers guard trace size before constructing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/formula.hpp"
+#include "trace/trace.hpp"
+
+namespace evord {
+
+struct TraceCnfOptions {
+  /// Enforce F3 (each dependence edge (a, b) of D as a unit clause).
+  bool respect_dependences = true;
+};
+
+class TraceCnf {
+ public:
+  explicit TraceCnf(const Trace& trace, TraceCnfOptions options = {});
+
+  const CnfFormula& formula() const { return formula_; }
+  std::size_t num_order_vars() const { return num_order_vars_; }
+  std::size_t num_aux_vars() const {
+    return static_cast<std::size_t>(formula_.num_vars()) - num_order_vars_;
+  }
+
+  /// The literal asserting "a is ordered strictly before b" (a != b).
+  Lit order_lit(EventId a, EventId b) const;
+
+  /// True iff `model` orders a strictly before b.
+  bool ordered_before(const Assignment& model, EventId a, EventId b) const;
+
+  /// Recovers the total event order of a satisfying model.
+  std::vector<EventId> decode_schedule(const Assignment& model) const;
+
+ private:
+  void encode_order_axioms();
+  void encode_static_edges(const Trace& trace);
+  void encode_dependences(const Trace& trace);
+  void encode_semaphores(const Trace& trace);
+  void encode_event_vars(const Trace& trace);
+  Lit new_aux_var();
+  void add_unit_edge(EventId a, EventId b);
+
+  std::size_t n_ = 0;
+  std::size_t num_order_vars_ = 0;
+  std::int32_t next_var_ = 0;
+  CnfFormula formula_;
+};
+
+}  // namespace evord

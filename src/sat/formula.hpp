@@ -71,6 +71,8 @@ struct SolverStats {
   std::uint64_t propagations = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
+  /// Clauses learned from conflict analysis (CDCL only; DPLL leaves 0).
+  std::uint64_t learned_clauses = 0;
 };
 
 struct SatResult {

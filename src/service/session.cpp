@@ -111,54 +111,152 @@ search::FingerprintBoolMap* AnalysisSession::warm_memo_locked(
   return warm_memo_.get();
 }
 
+SatOracle& AnalysisSession::oracle_locked() {
+  if (oracle_ == nullptr) {
+    SatOracleOptions options;
+    options.respect_dependences = options_.respect_dependences;
+    options.causal_data_edges = options_.causal_data_edges;
+    oracle_ = std::make_unique<SatOracle>(*trace_, options);
+  }
+  return *oracle_;
+}
+
+SatOracle& AnalysisSession::sat_oracle() {
+  std::lock_guard<std::mutex> lock(oracle_mu_);
+  return oracle_locked();
+}
+
+// ----- the coalesced compute-once path --------------------------------
+
+template <class T, class Compute>
+std::shared_ptr<const T> AnalysisSession::coalesced_query(
+    std::unique_lock<std::mutex>& lock, const CacheKey& key,
+    bool serialize_memo, bool counts_sweep, Compute&& compute) {
+  for (;;) {
+    if (auto hit = cache_->get<T>(key)) {
+      ++stats_.cache_hits;
+      return hit;
+    }
+    auto it = in_flight_.find(key);
+    if (it == in_flight_.end()) break;
+    // Someone is computing this very answer right now: wait on their
+    // entry and share it.  A null result after `done` means they threw;
+    // loop back and compute (or wait on a newer claimant) ourselves.
+    std::shared_ptr<InFlight> flight = it->second;
+    ++stats_.coalesced;
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->result != nullptr) {
+      ++stats_.cache_hits;
+      return std::static_pointer_cast<const T>(flight->result);
+    }
+  }
+  auto flight = std::make_shared<InFlight>();
+  in_flight_.emplace(key, flight);
+  lock.unlock();
+  std::shared_ptr<const T> stored;
+  try {
+    std::unique_lock<std::mutex> memo_lock(memo_mu_, std::defer_lock);
+    if (serialize_memo) memo_lock.lock();
+    T result = compute();
+    if (memo_lock.owns_lock()) memo_lock.unlock();
+    lock.lock();
+    ++stats_.computations;
+    if (counts_sweep) ++stats_.sweeps;
+    stats_.states_explored += result.search.states_visited;
+    const std::uint64_t bytes = result.approx_bytes();
+    if (result.truncated) {
+      // Never cached (budget-dependent noise), but still shared with the
+      // threads that coalesced onto this computation.
+      stored = std::make_shared<const T>(std::move(result));
+    } else {
+      stored = cache_->put(key, std::move(result), bytes);
+    }
+  } catch (...) {
+    if (!lock.owns_lock()) lock.lock();
+    in_flight_.erase(key);
+    flight->done = true;  // null result: waiters retry
+    flight->cv.notify_all();
+    throw;
+  }
+  in_flight_.erase(key);
+  flight->done = true;
+  flight->result = std::static_pointer_cast<const void>(stored);
+  flight->cv.notify_all();
+  return stored;
+}
+
 // ----- relations / pair queries ---------------------------------------
 
-std::shared_ptr<const OrderingRelations> AnalysisSession::relations_locked(
-    Semantics semantics) {
+std::shared_ptr<const OrderingRelations> AnalysisSession::relations_coalesced(
+    std::unique_lock<std::mutex>& lock, Semantics semantics) {
   const CacheKey key = make_key(QueryKind::kRelations,
                                 static_cast<std::uint8_t>(semantics), 0);
-  if (auto hit = cache_->get<OrderingRelations>(key)) {
-    ++stats_.cache_hits;
-    return hit;
-  }
-  OrderingRelations result = compute_exact(*trace_, semantics, options_);
-  ++stats_.computations;
-  ++stats_.sweeps;
-  stats_.states_explored += result.search.states_visited;
-  const std::uint64_t bytes = result.approx_bytes();
-  if (result.truncated) {
-    return std::make_shared<const OrderingRelations>(std::move(result));
-  }
-  return cache_->put(key, std::move(result), bytes);
+  return coalesced_query<OrderingRelations>(
+      lock, key, /*serialize_memo=*/false, /*counts_sweep=*/true,
+      [&] { return compute_exact(*trace_, semantics, options_); });
 }
 
 std::shared_ptr<const OrderingRelations> AnalysisSession::relations(
     Semantics semantics) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
-  return relations_locked(semantics);
+  return relations_coalesced(lock, semantics);
 }
 
 bool AnalysisSession::pair_query(const PairQuery& query) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
-  return relations_locked(query.semantics)
+  return relations_coalesced(lock, query.semantics)
       ->holds(query.relation, query.a, query.b);
 }
 
 std::vector<bool> AnalysisSession::query_batch(
-    const std::vector<PairQuery>& queries) {
-  std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<PairQuery>& queries, BatchRouting routing) {
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
   stats_.batched_pairs += queries.size();
-  // One sweep per DISTINCT semantics in the batch (at most three); every
-  // answer after that is a bit read out of the shared matrices.
-  std::array<std::shared_ptr<const OrderingRelations>, 3> per_semantics;
   std::vector<bool> answers(queries.size());
-  for (std::size_t i = 0; i < queries.size(); ++i) {
+  // Indices still unanswered after (optional) oracle routing.
+  std::vector<std::size_t> pending;
+  if (routing == BatchRouting::kOracleFirst) {
+    std::uint64_t offered = 0;
+    std::uint64_t decided = 0;
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> oracle_guard(oracle_mu_);
+      SatOracle& oracle = oracle_locked();
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        const PairQuery& q = queries[i];
+        if (!oracle.available()) {
+          pending.push_back(i);
+          continue;
+        }
+        ++offered;
+        const OracleVerdict v =
+            oracle.query(q.relation, q.a, q.b, q.semantics);
+        if (v == OracleVerdict::kUnknown) {
+          pending.push_back(i);
+        } else {
+          ++decided;
+          answers[i] = v == OracleVerdict::kProven;
+        }
+      }
+    }
+    lock.lock();
+    stats_.oracle_pairs += offered;
+    stats_.oracle_decided += decided;
+  } else {
+    pending.resize(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) pending[i] = i;
+  }
+  // One sweep per DISTINCT semantics among the remaining pairs (at most
+  // three); every answer after that is a bit read out of the shared
+  // matrices.
+  std::array<std::shared_ptr<const OrderingRelations>, 3> per_semantics;
+  for (const std::size_t i : pending) {
     const PairQuery& q = queries[i];
     auto& rel = per_semantics[static_cast<std::size_t>(q.semantics)];
-    if (rel == nullptr) rel = relations_locked(q.semantics);
+    if (rel == nullptr) rel = relations_coalesced(lock, q.semantics);
     answers[i] = rel->holds(q.relation, q.a, q.b);
   }
   return answers;
@@ -166,129 +264,98 @@ std::vector<bool> AnalysisSession::query_batch(
 
 // ----- feasibility / coexistence --------------------------------------
 
-std::shared_ptr<const CanPrecedeResult> AnalysisSession::feasibility_locked() {
+std::shared_ptr<const CanPrecedeResult> AnalysisSession::feasibility_coalesced(
+    std::unique_lock<std::mutex>& lock) {
   const CacheKey key =
       make_key(QueryKind::kFeasible, CacheKey::kNoSemantics, 0);
-  if (auto hit = cache_->get<CanPrecedeResult>(key)) {
-    ++stats_.cache_hits;
-    return hit;
-  }
-  ScheduleSpaceOptions options = space_options(/*build_coexist=*/false);
-  options.warm_memo = warm_memo_locked(options);
-  CanPrecedeResult result = compute_feasibility(*trace_, options);
-  ++stats_.computations;
-  ++stats_.sweeps;
-  stats_.states_explored += result.search.states_visited;
-  const std::uint64_t bytes = result.approx_bytes();
-  if (result.truncated) {
-    return std::make_shared<const CanPrecedeResult>(std::move(result));
-  }
-  return cache_->put(key, std::move(result), bytes);
+  return coalesced_query<CanPrecedeResult>(
+      lock, key, /*serialize_memo=*/true, /*counts_sweep=*/true, [&] {
+        ScheduleSpaceOptions options = space_options(/*build_coexist=*/false);
+        options.warm_memo = warm_memo_locked(options);
+        return compute_feasibility(*trace_, options);
+      });
 }
 
 std::shared_ptr<const CanPrecedeResult> AnalysisSession::feasibility() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
-  return feasibility_locked();
+  return feasibility_coalesced(lock);
 }
 
 bool AnalysisSession::feasible() {
   return feasibility()->feasible_nonempty;
 }
 
-std::shared_ptr<const CanPrecedeResult> AnalysisSession::coexistence_locked() {
+std::shared_ptr<const CanPrecedeResult> AnalysisSession::coexistence_coalesced(
+    std::unique_lock<std::mutex>& lock) {
   const CacheKey key =
       make_key(QueryKind::kCoexist, CacheKey::kNoSemantics, 0);
-  if (auto hit = cache_->get<CanPrecedeResult>(key)) {
-    ++stats_.cache_hits;
-    return hit;
-  }
-  ScheduleSpaceOptions options = space_options(/*build_coexist=*/true);
-  // The warm memo only engages while still empty (matrix sweeps must
-  // mark every expanded child); if this sweep is the one that fills it,
-  // later feasibility queries answer from the root memo hit.
-  options.warm_memo = warm_memo_locked(options);
-  CanPrecedeResult result = compute_can_precede(*trace_, options);
-  ++stats_.computations;
-  ++stats_.sweeps;
-  stats_.states_explored += result.search.states_visited;
-  const std::uint64_t bytes = result.approx_bytes();
-  if (result.truncated) {
-    return std::make_shared<const CanPrecedeResult>(std::move(result));
-  }
-  return cache_->put(key, std::move(result), bytes);
+  return coalesced_query<CanPrecedeResult>(
+      lock, key, /*serialize_memo=*/true, /*counts_sweep=*/true, [&] {
+        ScheduleSpaceOptions options = space_options(/*build_coexist=*/true);
+        // The warm memo only engages while still empty (matrix sweeps
+        // must mark every expanded child); if this sweep is the one that
+        // fills it, later feasibility queries answer from the root memo
+        // hit.
+        options.warm_memo = warm_memo_locked(options);
+        return compute_can_precede(*trace_, options);
+      });
 }
 
 std::shared_ptr<const CanPrecedeResult> AnalysisSession::coexistence() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
-  return coexistence_locked();
+  return coexistence_coalesced(lock);
 }
 
 bool AnalysisSession::could_have_coexisted(EventId a, EventId b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
-  return coexistence_locked()->can_coexist[a].test(b);
+  return coexistence_coalesced(lock)->can_coexist[a].test(b);
 }
 
 // ----- deadlocks ------------------------------------------------------
 
 std::shared_ptr<const DeadlockReport> AnalysisSession::deadlocks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
   const CacheKey key =
       make_key(QueryKind::kDeadlock, CacheKey::kNoSemantics, 0);
-  if (auto hit = cache_->get<DeadlockReport>(key)) {
-    ++stats_.cache_hits;
-    return hit;
-  }
-  // Same field mapping OrderingAnalyzer::deadlocks() has always used.
-  DeadlockOptions options;
-  options.stepper.respect_dependences = options_.respect_dependences;
-  options.max_states = options_.max_states;
-  options.time_budget_seconds = options_.time_budget_seconds;
-  options.num_threads = options_.num_threads;
-  options.steal = options_.steal;
-  // The active ReductionMode is part of the options digest (salt 0x03 in
-  // digest_options), so it MUST also drive the computation: otherwise
-  // two sessions differing only in `reduction` would cache entries under
-  // distinct keys yet hold reports computed under the same (default)
-  // mode — or worse, a report whose SearchStats silently disagree with
-  // the key's claim.
-  options.reduction = options_.reduction;
-  DeadlockReport report = analyze_deadlocks(*trace_, options);
-  ++stats_.computations;
-  ++stats_.sweeps;
-  stats_.states_explored += report.search.states_visited;
-  const std::uint64_t bytes = report.approx_bytes();
-  if (report.truncated) {
-    return std::make_shared<const DeadlockReport>(std::move(report));
-  }
-  return cache_->put(key, std::move(report), bytes);
+  return coalesced_query<DeadlockReport>(
+      lock, key, /*serialize_memo=*/false, /*counts_sweep=*/true, [&] {
+        // Same field mapping OrderingAnalyzer::deadlocks() has always
+        // used.
+        DeadlockOptions options;
+        options.stepper.respect_dependences = options_.respect_dependences;
+        options.max_states = options_.max_states;
+        options.time_budget_seconds = options_.time_budget_seconds;
+        options.num_threads = options_.num_threads;
+        options.steal = options_.steal;
+        // The active ReductionMode is part of the options digest (salt
+        // 0x03 in digest_options), so it MUST also drive the
+        // computation: otherwise two sessions differing only in
+        // `reduction` would cache entries under distinct keys yet hold
+        // reports computed under the same (default) mode — or worse, a
+        // report whose SearchStats silently disagree with the key's
+        // claim.
+        options.reduction = options_.reduction;
+        return analyze_deadlocks(*trace_, options);
+      });
 }
 
 // ----- races ----------------------------------------------------------
 
 std::shared_ptr<const RaceReport> AnalysisSession::races(
     RaceDetector detector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++stats_.queries;
   const CacheKey key =
       make_key(QueryKind::kRaces, CacheKey::kNoSemantics,
                hash_mix(kRaceSalt, static_cast<std::uint64_t>(detector), 0));
-  if (auto hit = cache_->get<RaceReport>(key)) {
-    ++stats_.cache_hits;
-    return hit;
-  }
-  RaceReport report = detect_races(*trace_, detector, options_);
-  ++stats_.computations;
-  if (detector == RaceDetector::kExact) ++stats_.sweeps;
-  stats_.states_explored += report.search.states_visited;
-  const std::uint64_t bytes = report.approx_bytes();
-  if (report.truncated) {
-    return std::make_shared<const RaceReport>(std::move(report));
-  }
-  return cache_->put(key, std::move(report), bytes);
+  return coalesced_query<RaceReport>(
+      lock, key, /*serialize_memo=*/false,
+      /*counts_sweep=*/detector == RaceDetector::kExact,
+      [&] { return detect_races(*trace_, detector, options_); });
 }
 
 // ----- polynomial baselines -------------------------------------------

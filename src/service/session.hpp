@@ -24,20 +24,33 @@
 //     bigger-budget) ladder;
 //   * truncated results are never cached: they are budget- and
 //     fault-dependent noise, so caching them would let one starved run
-//     poison every later caller.
+//     poison every later caller;
+//   * identical in-flight queries coalesce: the session mutex is
+//     RELEASED while an exponential engine runs, and a second thread
+//     asking the same question while the first computes WAITS on the
+//     in-flight entry and shares the result instead of launching a
+//     duplicate sweep (its states_explored contribution is zero);
+//   * a warm incremental SAT oracle (ordering/sat_oracle.hpp) is kept
+//     per session: query_batch can route pair batches through solver
+//     assumptions on the one shared instance (BatchRouting::kOracleFirst),
+//     reusing learned clauses across the whole batch, with any pair the
+//     oracle leaves unknown falling back to the exact sweep.
 //
-// Sessions are internally locked (one coarse mutex); the exponential
-// engines themselves parallelize internally via ExactOptions::num_threads,
-// so serializing the session's bookkeeping costs nothing.  References
+// Sessions are internally locked (one coarse mutex for bookkeeping);
+// the exponential engines themselves parallelize internally via
+// ExactOptions::num_threads and run OUTSIDE the session mutex (see the
+// coalescing bullet), so concurrent distinct queries overlap.  References
 // returned by the baseline accessors stay valid for the session's
 // lifetime (write-once members); shared_ptr results stay valid for as
 // long as the caller holds them, even across cache eviction.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "approx/combined.hpp"
@@ -47,6 +60,7 @@
 #include "feasible/deadlock.hpp"
 #include "feasible/schedule_space.hpp"
 #include "ordering/exact.hpp"
+#include "ordering/sat_oracle.hpp"
 #include "race/race_detector.hpp"
 #include "resilience/anytime.hpp"
 #include "service/result_cache.hpp"
@@ -85,6 +99,25 @@ struct SessionStats {
   /// hit" acceptance signal.
   std::uint64_t states_explored = 0;
   std::uint64_t batched_pairs = 0;  ///< pair queries served via query_batch
+  /// Queries that found an identical computation already in flight and
+  /// waited for its result instead of recomputing (cross-thread
+  /// coalescing; such a wait also counts as a cache_hit once served).
+  std::uint64_t coalesced = 0;
+  std::uint64_t oracle_pairs = 0;    ///< batch pairs offered to the oracle
+  std::uint64_t oracle_decided = 0;  ///< ... settled without an exact sweep
+};
+
+/// How query_batch executes its pairs.
+enum class BatchRouting : std::uint8_t {
+  /// One cached relations sweep per distinct semantics, then bit reads
+  /// (the historic — and default — path; exact-complete answers).
+  kExactSweep = 0,
+  /// Route every pair through the session's warm incremental SAT oracle
+  /// first (one assumption-based solve per undecided pair, learned
+  /// clauses shared across the batch); pairs the oracle cannot settle
+  /// fall back to the exact sweep, so answers are identical to
+  /// kExactSweep whenever the exact engine completes.
+  kOracleFirst = 1,
 };
 
 class AnalysisSession {
@@ -113,10 +146,20 @@ class AnalysisSession {
       Semantics semantics = Semantics::kCausal);
   /// One Table-1 pair answer via the (cached) relations sweep.
   bool pair_query(const PairQuery& query);
-  /// Batched pair execution: N queries cost at most one relations sweep
-  /// per DISTINCT semantics among them (at most three), every further
-  /// answer being a bit read.
-  std::vector<bool> query_batch(const std::vector<PairQuery>& queries);
+  /// Batched pair execution.  kExactSweep: N queries cost at most one
+  /// relations sweep per DISTINCT semantics among them (at most three),
+  /// every further answer being a bit read.  kOracleFirst: pairs go
+  /// through the session's warm SAT oracle (shared incremental solver)
+  /// and only oracle-unknown pairs pay for a sweep.
+  std::vector<bool> query_batch(const std::vector<PairQuery>& queries,
+                                BatchRouting routing = BatchRouting::kExactSweep);
+
+  /// The session's warm SAT-backed ordering oracle, built lazily on
+  /// first use (one CNF encode + one incremental solver per session,
+  /// shared by all three semantics).  Concurrent use of the returned
+  /// reference must be externally synchronized; query_batch serializes
+  /// its own oracle access internally.
+  SatOracle& sat_oracle();
 
   /// F(P) != empty-set with provenance (verdict-only sweep; shares the
   /// session's warm completability memo with coexistence()).
@@ -155,16 +198,44 @@ class AnalysisSession {
       const std::vector<QueryBudget>& ladder = {});
 
  private:
+  /// One computation another caller may be waiting on.  Lives in
+  /// in_flight_ (guarded by mu_) from the moment a thread claims a miss
+  /// until it publishes; `result` == nullptr after `done` means the
+  /// computing thread failed and waiters must retry.
+  struct InFlight {
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const void> result;
+  };
+
   CacheKey make_key(QueryKind kind, std::uint8_t semantics,
                     std::uint64_t extra) const;
   ScheduleSpaceOptions space_options(bool build_coexist) const;
+  /// Requires memo_mu_ (NOT mu_): the warm completability memo is read
+  /// and filled by sweeps running outside the session mutex.
   search::FingerprintBoolMap* warm_memo_locked(
       const ScheduleSpaceOptions& options);
+  /// Requires oracle_mu_: lazily builds the session oracle.
+  SatOracle& oracle_locked();
 
-  std::shared_ptr<const OrderingRelations> relations_locked(
-      Semantics semantics);
-  std::shared_ptr<const CanPrecedeResult> feasibility_locked();
-  std::shared_ptr<const CanPrecedeResult> coexistence_locked();
+  /// The coalesced compute-once path: cache lookup, wait-and-share when
+  /// an identical computation is in flight, else claim the key, RELEASE
+  /// mu_ (via `lock`), run `compute` unlocked — serialized on memo_mu_
+  /// when it touches the shared warm memo — then relock, account stats,
+  /// cache (unless truncated) and wake the waiters.  `counts_sweep`
+  /// feeds SessionStats::sweeps.  T must expose .search.states_visited,
+  /// .truncated and .approx_bytes() (all four engine result types do).
+  template <class T, class Compute>
+  std::shared_ptr<const T> coalesced_query(
+      std::unique_lock<std::mutex>& lock, const CacheKey& key,
+      bool serialize_memo, bool counts_sweep, Compute&& compute);
+
+  std::shared_ptr<const OrderingRelations> relations_coalesced(
+      std::unique_lock<std::mutex>& lock, Semantics semantics);
+  std::shared_ptr<const CanPrecedeResult> feasibility_coalesced(
+      std::unique_lock<std::mutex>& lock);
+  std::shared_ptr<const CanPrecedeResult> coexistence_coalesced(
+      std::unique_lock<std::mutex>& lock);
   AnytimeQuery& anytime_locked(const std::vector<QueryBudget>& ladder);
   BoundedVerdict anytime_verdict_locked(
       std::uint8_t which, EventId a, EventId b, Semantics semantics,
@@ -178,9 +249,20 @@ class AnalysisSession {
 
   mutable std::mutex mu_;
   SessionStats stats_;
+  /// Computations currently running outside mu_, keyed like the cache.
+  std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash>
+      in_flight_;
+  /// Serializes the sweeps that share warm_memo_ (the memo is not
+  /// thread-safe); ordering: memo_mu_ may be held while taking mu_,
+  /// never the reverse.
+  std::mutex memo_mu_;
   /// Warm completability memo shared by feasibility/coexistence sweeps
-  /// (ScheduleSpaceOptions::warm_memo contract).
+  /// (ScheduleSpaceOptions::warm_memo contract).  Guarded by memo_mu_.
   std::unique_ptr<search::FingerprintBoolMap> warm_memo_;
+  /// Guards lazy construction and batch use of the session oracle;
+  /// never held together with mu_.
+  std::mutex oracle_mu_;
+  std::unique_ptr<SatOracle> oracle_;
   std::optional<VectorClockResult> vc_;
   std::optional<HmwResult> hmw_;
   std::optional<EgpResult> egp_;

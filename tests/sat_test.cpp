@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "sat/cdcl.hpp"
@@ -198,6 +199,169 @@ TEST(Cdcl, LargerRandomInstancesAgainstDpll) {
     const CnfFormula f = random_3sat(15, 63, rng);  // near ratio 4.2
     EXPECT_EQ(solve(f).satisfiable, solve_dpll(f).satisfiable);
   }
+}
+
+// ---------------------------------------------------- incremental solver
+
+TEST(CdclSolver, SatAndUnsatUnderAssumptions) {
+  CdclSolver s;
+  s.add_clause({1, 2});
+  s.add_clause({-1, 3});
+  CdclResult r = s.solve_under_assumptions({1});
+  ASSERT_TRUE(r.decided);
+  ASSERT_TRUE(r.sat.satisfiable);
+  EXPECT_TRUE(r.sat.model[1]);
+  EXPECT_TRUE(r.sat.model[3]);
+
+  // x1 and !x3 contradict (!x1 | x3): UNSAT *under assumptions* only.
+  r = s.solve_under_assumptions({1, -3});
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.sat.satisfiable);
+  EXPECT_FALSE(r.failed_assumptions.empty());
+  EXPECT_FALSE(s.inconsistent());
+
+  // The same instance answers SAT again once the assumptions are gone.
+  r = s.solve();
+  ASSERT_TRUE(r.decided);
+  EXPECT_TRUE(r.sat.satisfiable);
+}
+
+TEST(CdclSolver, AssumptionFalsifiedAtRootIsTheCore) {
+  CdclSolver s;
+  s.add_clause({1});
+  const CdclResult r = s.solve_under_assumptions({-1});
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.sat.satisfiable);
+  ASSERT_EQ(r.failed_assumptions.size(), 1u);
+  EXPECT_EQ(r.failed_assumptions[0], -1);
+  EXPECT_FALSE(s.inconsistent());
+}
+
+TEST(CdclSolver, ModelHonorsAssumptions) {
+  CdclSolver s;
+  s.ensure_vars(4);
+  s.add_clause({1, 2, 3, 4});
+  const CdclResult r = s.solve_under_assumptions({-1, -2, -3});
+  ASSERT_TRUE(r.decided);
+  ASSERT_TRUE(r.sat.satisfiable);
+  EXPECT_FALSE(r.sat.model[1]);
+  EXPECT_FALSE(r.sat.model[2]);
+  EXPECT_FALSE(r.sat.model[3]);
+  EXPECT_TRUE(r.sat.model[4]);
+}
+
+TEST(CdclSolver, FailedAssumptionCoresAreValid) {
+  // On random satisfiable instances with random assumption sets: a SAT
+  // answer must honor every assumption; an UNSAT answer must return a
+  // core that is (a) a subset of the assumptions and (b) genuinely
+  // inconsistent with the formula when re-added as unit clauses.
+  Rng rng(41);
+  int unsat_seen = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const CnfFormula f = random_3sat(10, 38, rng);
+    if (!solve_dpll(f).satisfiable) continue;
+    CdclSolver s;
+    s.add_formula(f);
+    std::vector<Lit> assumptions;
+    for (std::int32_t v = 1; v <= f.num_vars(); ++v) {
+      if (rng.below(2) == 0) {
+        assumptions.push_back(rng.below(2) == 0 ? v : -v);
+      }
+    }
+    const CdclResult r = s.solve_under_assumptions(assumptions);
+    ASSERT_TRUE(r.decided);
+    if (r.sat.satisfiable) {
+      EXPECT_TRUE(f.satisfied_by(r.sat.model));
+      for (const Lit a : assumptions) {
+        EXPECT_EQ(r.sat.model[var_of(a)], a > 0) << "assumption " << a;
+      }
+      continue;
+    }
+    ++unsat_seen;
+    CnfFormula g = f;
+    for (const Lit l : r.failed_assumptions) {
+      EXPECT_NE(std::find(assumptions.begin(), assumptions.end(), l),
+                assumptions.end())
+          << "core literal " << l << " is not an assumption";
+      g.add_clause({l});
+    }
+    EXPECT_FALSE(solve_dpll(g).satisfiable) << "core does not refute";
+  }
+  EXPECT_GT(unsat_seen, 0) << "sweep never exercised the UNSAT path";
+}
+
+TEST(CdclSolver, WarmPhasesSolveAgainWithoutConflicts) {
+  Rng rng(77);
+  const CnfFormula f = planted_3sat(40, 168, rng);
+  CdclSolver s;
+  s.add_formula(f);
+  const CdclResult first = s.solve();
+  ASSERT_TRUE(first.decided);
+  ASSERT_TRUE(first.sat.satisfiable);
+  // Saved phases replay the model just found (every implied literal is
+  // model-consistent), so the warm re-solve pays zero conflicts.
+  const CdclResult second = s.solve();
+  ASSERT_TRUE(second.sat.satisfiable);
+  EXPECT_EQ(second.sat.stats.conflicts, 0u);
+  // Per-call stats stay per-call; the instance accumulates.
+  EXPECT_EQ(s.cumulative_stats().conflicts,
+            first.sat.stats.conflicts + second.sat.stats.conflicts);
+  EXPECT_EQ(s.cumulative_stats().decisions,
+            first.sat.stats.decisions + second.sat.stats.decisions);
+}
+
+TEST(CdclSolver, IncrementalBlockingClausesEnumerateAllModels) {
+  // Three unconstrained variables; blocking each model in turn must
+  // enumerate exactly 2^3 of them before the instance goes UNSAT.
+  CdclSolver s;
+  s.ensure_vars(3);
+  int models = 0;
+  for (;;) {
+    const CdclResult r = s.solve();
+    ASSERT_TRUE(r.decided);
+    if (!r.sat.satisfiable) break;
+    ++models;
+    ASSERT_LE(models, 8);
+    std::vector<Lit> block;
+    for (std::int32_t v = 1; v <= 3; ++v) {
+      block.push_back(r.sat.model[v] ? -v : v);
+    }
+    s.add_clause(block);
+  }
+  EXPECT_EQ(models, 8);
+  EXPECT_TRUE(s.inconsistent());
+}
+
+TEST(CdclSolver, BudgetExhaustionKeepsCountersAndLearnedClauses) {
+  CdclSolver s;
+  s.add_formula(pigeonhole(5));
+  const CdclResult bounded = s.solve_under_assumptions({}, 1);
+  EXPECT_FALSE(bounded.decided);
+  EXPECT_GE(bounded.sat.stats.conflicts, 1u);
+  EXPECT_GE(bounded.sat.stats.learned_clauses, 1u);
+  // The aborted call's learned clauses persist: the unbounded re-solve
+  // still refutes, and the instance is then permanently inconsistent.
+  const CdclResult full = s.solve();
+  ASSERT_TRUE(full.decided);
+  EXPECT_FALSE(full.sat.satisfiable);
+  EXPECT_TRUE(full.failed_assumptions.empty());
+  EXPECT_TRUE(s.inconsistent());
+}
+
+TEST(CdclSolver, NewVarAndEnsureVars) {
+  CdclSolver s;
+  EXPECT_EQ(s.num_vars(), 0);
+  const Lit a = s.new_var();
+  EXPECT_EQ(a, 1);
+  s.ensure_vars(5);
+  EXPECT_EQ(s.num_vars(), 5);
+  const Lit b = s.new_var();
+  EXPECT_EQ(b, 6);
+  s.add_clause({a, -b});
+  const CdclResult r = s.solve_under_assumptions({-a});
+  ASSERT_TRUE(r.decided);
+  ASSERT_TRUE(r.sat.satisfiable);
+  EXPECT_FALSE(r.sat.model[6]);
 }
 
 // --------------------------------------------------------------- generators

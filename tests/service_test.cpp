@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/analyzer.hpp"
@@ -24,6 +25,7 @@ namespace evord {
 namespace {
 
 using service::AnalysisSession;
+using service::BatchRouting;
 using service::CacheKey;
 using service::CacheStats;
 using service::PairQuery;
@@ -354,6 +356,109 @@ TEST(AnalysisSession, QueryBatchCoalescesSweeps) {
               fresh.relations(q.semantics).holds(q.relation, q.a, q.b))
         << "query " << i;
   }
+}
+
+// ------------------------------------------------- in-flight coalescing
+
+TEST(ServiceCoalescing, ConcurrentIdenticalQueriesShareOneSweep) {
+  const Trace trace = wedgeable_trace();
+  // The cost of exactly ONE sweep, measured on a single-threaded twin.
+  AnalysisSession baseline(std::make_shared<const Trace>(trace));
+  baseline.relations(Semantics::kCausal);
+  const std::uint64_t one_sweep_states = baseline.stats().states_explored;
+
+  AnalysisSession session(std::make_shared<const Trace>(trace));
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const OrderingRelations>> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&session, &results, i] {
+        results[static_cast<std::size_t>(i)] =
+            session.relations(Semantics::kCausal);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r.get(), results[0].get()) << "all callers share ONE result";
+  }
+  const SessionStats stats = session.stats();
+  // However the threads interleaved, exactly one of them computed; the
+  // other seven either coalesced onto the in-flight sweep or hit the
+  // cache afterwards — their states_explored contribution is zero.
+  EXPECT_EQ(stats.computations, 1u);
+  EXPECT_EQ(stats.sweeps, 1u);
+  EXPECT_EQ(stats.states_explored, one_sweep_states);
+  EXPECT_EQ(stats.cache_hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_LE(stats.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ServiceCoalescing, DistinctQueriesOverlapSafely) {
+  // Six different query kinds in flight at once: each computes exactly
+  // once (the session mutex is released during the engines' work, so
+  // they genuinely overlap), and every answer matches a fresh analyzer.
+  Rng rng(13);
+  testing::RandomTraceConfig config;
+  config.num_events = 10;
+  const Trace trace = testing::random_trace(config, rng);
+  AnalysisSession session(std::make_shared<const Trace>(trace));
+  {
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] { session.relations(Semantics::kCausal); });
+    threads.emplace_back(
+        [&] { session.relations(Semantics::kInterleaving); });
+    threads.emplace_back([&] { session.feasibility(); });
+    threads.emplace_back([&] { session.coexistence(); });
+    threads.emplace_back([&] { session.deadlocks(); });
+    threads.emplace_back(
+        [&] { session.races(RaceDetector::kGuaranteed); });
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_EQ(session.stats().computations, 6u);
+  OrderingAnalyzer fresh(trace);
+  expect_same_relations(*session.relations(Semantics::kCausal),
+                        fresh.relations(Semantics::kCausal));
+  expect_same_relations(*session.relations(Semantics::kInterleaving),
+                        fresh.relations(Semantics::kInterleaving));
+  EXPECT_EQ(session.deadlocks()->can_deadlock,
+            fresh.deadlocks().can_deadlock);
+  EXPECT_EQ(session.stats().computations, 6u);  // verification = pure hits
+}
+
+// ------------------------------------------------- oracle batch routing
+
+TEST(ServiceOracle, OracleFirstBatchMatchesExactSweep) {
+  const Trace trace = wedgeable_trace();
+  std::vector<PairQuery> queries;
+  for (EventId a = 0; a < trace.num_events(); ++a) {
+    for (EventId b = 0; b < trace.num_events(); ++b) {
+      if (a == b) continue;
+      queries.push_back(
+          {RelationKind::kMHB, a, b, Semantics::kInterleaving});
+      queries.push_back(
+          {RelationKind::kCHB, a, b, Semantics::kInterleaving});
+      queries.push_back({RelationKind::kCCW, a, b, Semantics::kCausal});
+    }
+  }
+  AnalysisSession exact_session(std::make_shared<const Trace>(trace));
+  const std::vector<bool> expected = exact_session.query_batch(queries);
+
+  AnalysisSession oracle_session(std::make_shared<const Trace>(trace));
+  const std::vector<bool> got =
+      oracle_session.query_batch(queries, BatchRouting::kOracleFirst);
+  EXPECT_EQ(got, expected);
+  const SessionStats stats = oracle_session.stats();
+  EXPECT_EQ(stats.batched_pairs, queries.size());
+  EXPECT_GT(stats.oracle_pairs, 0u);
+  EXPECT_GT(stats.oracle_decided, 0u);
+  // Interleaving pairs always decide in the solver; only oracle-unknown
+  // causal pairs may fall back, so at most the one causal sweep runs.
+  EXPECT_LE(stats.sweeps, 1u);
+  // The whole batch rode one warm incremental solver.
+  EXPECT_EQ(oracle_session.sat_oracle().stats().solver_builds, 1u);
 }
 
 // ---------------------------------------------------- equivalence sweep
