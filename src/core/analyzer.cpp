@@ -83,7 +83,7 @@ bool OrderingAnalyzer::could_have_coexisted(EventId a, EventId b) {
   return coexist_->can_coexist[a].test(b);
 }
 
-RaceReport OrderingAnalyzer::races(RaceDetector detector) {
+const RaceReport& OrderingAnalyzer::races(RaceDetector detector) {
   auto& slot = races_[static_cast<std::size_t>(detector)];
   if (slot == nullptr) slot = session_->races(detector);
   return *slot;

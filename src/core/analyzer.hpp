@@ -93,8 +93,10 @@ class OrderingAnalyzer {
 
   // ----- applications ----------------------------------------------------
   /// Cached per detector (the historic analyzer reran the exponential
-  /// exact detection on every call).
-  RaceReport races(RaceDetector detector = RaceDetector::kExact);
+  /// exact detection on every call AND returned the report by value;
+  /// the reference is pinned for the analyzer's lifetime like every
+  /// other cached result here).
+  const RaceReport& races(RaceDetector detector = RaceDetector::kExact);
 
   // ----- resource-governed anytime queries ------------------------------
   /// The budgeted variants (src/resilience/anytime.hpp): instead of an

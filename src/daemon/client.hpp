@@ -1,0 +1,186 @@
+// DaemonClient: the library side of the evord daemon protocol.
+//
+// A client owns one connection (Unix-domain or loopback TCP), speaks
+// the framed protocol (protocol.hpp) and exposes typed calls mirroring
+// AnalysisSession.  Its robustness half:
+//
+//   * every request carries a fresh monotonic request id drawn from a
+//     seeded splitmix64 stream; replies are matched on the echoed id;
+//   * transport failures (connect refused, send failure, truncated or
+//     garbled reply stream) are retried up to max_retries times with
+//     jittered exponential backoff, RESENDING THE SAME request id — the
+//     protocol's requests are all idempotent (queries are pure, trace
+//     registration dedups by fingerprint), so a retry after a reply
+//     lost in flight cannot corrupt state;
+//   * application-level bounces (kRejected / kOverloaded /
+//     kShuttingDown / kError) are NOT retried: they are explicit
+//     backpressure signals surfaced in RequestStatus for the caller's
+//     own policy;
+//   * timeout_ms bounds each receive via SO_RCVTIMEO, so a stalled
+//     daemon degrades to RequestStatus::kTransport, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daemon/protocol.hpp"
+
+namespace evord::daemon {
+
+struct ClientOptions {
+  /// Unix-domain socket path; empty means use TCP instead.
+  std::string socket_path;
+  /// Loopback TCP port (used when socket_path is empty).
+  std::uint16_t tcp_port = 0;
+  /// Tenant announced in the kHello frame on (re)connect.
+  std::string tenant = "default";
+  /// Per-receive timeout; a silent daemon surfaces kTransport.
+  int timeout_ms = 5'000;
+  /// Transport-failure retries per request (0 = single attempt).
+  std::size_t max_retries = 2;
+  /// Base of the jittered exponential backoff between retries.
+  std::uint32_t backoff_base_ms = 10;
+  /// Seeds both the request-id stream and the backoff jitter.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,
+  kRejected,      ///< tenant over quota — back off and retry later
+  kOverloaded,    ///< daemon shed the request at a watermark
+  kShuttingDown,  ///< daemon is draining — find another instance
+  kError,         ///< application error (see code/message)
+  kTransport,     ///< connection failed after every retry
+};
+
+const char* to_string(RequestStatus status);
+
+/// Shared envelope of every reply: status plus the error detail when
+/// status != kOk.
+struct ReplyEnvelope {
+  RequestStatus status = RequestStatus::kTransport;
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+struct TraceReply : ReplyEnvelope {
+  std::uint64_t fingerprint = 0;
+  std::uint32_t num_events = 0;
+  bool dedup = false;  ///< the daemon already knew this trace
+};
+
+struct BoolReply : ReplyEnvelope {
+  bool value = false;
+};
+
+struct BatchReply : ReplyEnvelope {
+  std::vector<bool> values;
+};
+
+struct RaceInfo {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  bool hidden_in_observed = false;
+};
+
+struct RaceReply : ReplyEnvelope {
+  std::uint32_t candidate_pairs = 0;
+  bool truncated = false;
+  std::vector<RaceInfo> races;
+};
+
+struct VerdictReply : ReplyEnvelope {
+  /// VerdictState as u8: 0 unknown, 1 proven, 2 refuted.
+  std::uint8_t state = 0;
+  bool degraded = false;  ///< not an exact-complete answer
+  std::uint8_t rungs_tried = 0;
+  bool oracle_exhausted = false;
+  std::string engine;
+};
+
+struct HealthReply : ReplyEnvelope {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_dropped = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t replies_sent = 0;
+  std::uint64_t requests_served = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t shutting_down_replies = 0;
+  std::uint64_t deadline_degraded = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t in_flight = 0;
+};
+
+struct PairQuerySpec {
+  std::uint8_t relation = 0;   ///< RelationKind as u8
+  std::uint8_t semantics = 1;  ///< Semantics as u8 (default kCausal)
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+class DaemonClient {
+ public:
+  explicit DaemonClient(ClientOptions options);
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  /// Registers (or dedups) a trace from its text form.
+  TraceReply register_trace(const std::string& trace_text);
+
+  BoolReply pair_query(std::uint64_t fingerprint, const PairQuerySpec& q);
+  BatchReply batch_query(std::uint64_t fingerprint,
+                         const std::vector<PairQuerySpec>& queries);
+  BoolReply deadlock_query(std::uint64_t fingerprint);
+  /// `detector`: RaceDetector as u8 (0 exact, 1 observed, 2 guaranteed).
+  RaceReply race_query(std::uint64_t fingerprint, std::uint8_t detector);
+  /// `which`: 0 must-have-happened-before, 1 could-have-been-concurrent,
+  /// 2 can-deadlock.  deadline_ms > 0 propagates a client deadline into
+  /// the daemon's budget ladder (degraded sound verdicts, no timeouts).
+  VerdictReply anytime_query(std::uint64_t fingerprint, std::uint8_t which,
+                             std::uint8_t semantics, std::uint32_t a,
+                             std::uint32_t b, std::uint32_t deadline_ms = 0);
+  HealthReply health();
+
+  /// Sends a raw pre-built frame and returns the raw reply (fuzzing and
+  /// protocol tests; no retries, no envelope mapping).  Returns false
+  /// when the transport failed before a reply arrived.
+  bool raw_roundtrip(const Frame& request, Frame& reply);
+
+  /// Drops the connection; the next request reconnects and re-hellos.
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  std::uint64_t next_id();
+  std::uint32_t backoff_ms(std::size_t attempt);
+  /// Connects and sends kHello; returns false on any failure.
+  bool connect_and_hello();
+  /// One attempt: send `request`, read the matching reply (skipping any
+  /// stale reply whose id differs).  False = transport failure.
+  bool attempt(const Frame& request, Frame& reply);
+  /// Full request path: retries attempt() with backoff on transport
+  /// failure, reconnecting in between.  False = kTransport.
+  bool roundtrip(FrameType type, std::vector<std::uint8_t> payload,
+                 Frame& reply);
+  /// Maps a reply frame's type onto the envelope (kOk / bounce / error);
+  /// returns true when the payload should be decoded further.
+  static bool decode_envelope(const Frame& reply, FrameType expected,
+                              ReplyEnvelope& env);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t id_state_;   ///< splitmix64 state for request ids
+  std::uint64_t rng_state_;  ///< xorshift state for backoff jitter
+};
+
+}  // namespace evord::daemon

@@ -1,0 +1,64 @@
+// Per-tenant admission control for the evord daemon.
+//
+// A TokenBucket is the classic rate limiter: `capacity` tokens of
+// burst, refilled continuously at `refill_per_sec`.  Each admitted
+// request costs one token; an empty bucket means the tenant is over
+// quota and the daemon answers kRejected — an EXPLICIT signal the
+// client can back off on, never a silent stall.
+//
+// refill_per_sec == 0 disables refill entirely: the bucket holds
+// exactly `capacity` admissions for its lifetime, which is what the
+// tests use to exercise quota exhaustion deterministically (no clock in
+// the assertion path).
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace evord::daemon {
+
+class TokenBucket {
+ public:
+  TokenBucket(double capacity, double refill_per_sec)
+      : capacity_(std::max(0.0, capacity)),
+        refill_per_sec_(std::max(0.0, refill_per_sec)),
+        tokens_(capacity_),
+        last_(Clock::now()) {}
+
+  /// Takes one token if available.  O(1), internally locked.
+  bool try_acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    refill_locked();
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() {
+    std::lock_guard<std::mutex> lock(mu_);
+    refill_locked();
+    return tokens_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void refill_locked() {
+    if (refill_per_sec_ <= 0.0) return;
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+    tokens_ = std::min(capacity_, tokens_ + elapsed * refill_per_sec_);
+  }
+
+  const double capacity_;
+  const double refill_per_sec_;
+  std::mutex mu_;
+  double tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace evord::daemon

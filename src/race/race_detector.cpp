@@ -73,6 +73,27 @@ RaceReport from_unordered_pairs(const Trace& trace,
 
 }  // namespace
 
+RaceReport races_from_relations(const Trace& trace,
+                                const OrderingRelations& relations) {
+  RaceReport report;
+  report.detector = RaceDetector::kExact;
+  report.truncated = relations.truncated;
+  report.search = relations.search;
+  const TransitiveClosure observed =
+      observed_causal_closure(trace, {.include_data_edges = false});
+  for (const auto& [a, b] : trace.conflicting_pairs()) {
+    ++report.candidate_pairs;
+    if (relations.holds(RelationKind::kCCW, a, b)) {
+      Race r;
+      r.a = std::min(a, b);
+      r.b = std::max(a, b);
+      r.hidden_in_observed = !observed.incomparable(a, b);
+      report.races.push_back(r);
+    }
+  }
+  return report;
+}
+
 RaceReport detect_races_exact(const Trace& trace,
                               const ExactOptions& options) {
   // Race semantics (Netzer & Miller [10]): concurrency is judged against
@@ -84,23 +105,7 @@ RaceReport detect_races_exact(const Trace& trace,
   race_options.causal_data_edges = false;
   const OrderingRelations rel =
       compute_exact(trace, Semantics::kCausal, race_options);
-  RaceReport report;
-  report.detector = RaceDetector::kExact;
-  report.truncated = rel.truncated;
-  report.search = rel.search;
-  const TransitiveClosure observed =
-      observed_causal_closure(trace, {.include_data_edges = false});
-  for (const auto& [a, b] : trace.conflicting_pairs()) {
-    ++report.candidate_pairs;
-    if (rel.holds(RelationKind::kCCW, a, b)) {
-      Race r;
-      r.a = std::min(a, b);
-      r.b = std::max(a, b);
-      r.hidden_in_observed = !observed.incomparable(a, b);
-      report.races.push_back(r);
-    }
-  }
-  return report;
+  return races_from_relations(trace, rel);
 }
 
 RaceReport detect_races_observed(const Trace& trace) {

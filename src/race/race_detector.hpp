@@ -63,6 +63,14 @@ struct RaceReport {
 
 RaceReport detect_races_exact(const Trace& trace,
                               const ExactOptions& options = {});
+/// Derives the exact report from ALREADY-COMPUTED race-semantics
+/// relations (Semantics::kCausal with causal_data_edges = false): pure
+/// bit reads over the CCW matrix, no search.  The sharing hook for the
+/// service layer — a session that has the race-semantics relations
+/// cached answers races() without a second exponential sweep, and the
+/// derived report carries the relations' SearchStats verbatim.
+RaceReport races_from_relations(const Trace& trace,
+                                const OrderingRelations& relations);
 RaceReport detect_races_observed(const Trace& trace);
 RaceReport detect_races_guaranteed(const Trace& trace);
 

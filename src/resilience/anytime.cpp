@@ -52,6 +52,7 @@ std::string QueryProvenance::summary() const {
   }
   os << " states=" << states_visited << " memo-bytes=" << memo_bytes
      << " seconds=" << seconds_spent;
+  if (oracle_exhausted) os << " oracle-exhausted";
   return os.str();
 }
 
@@ -103,6 +104,23 @@ std::vector<QueryBudget> AnytimeOptions::default_ladder() {
                   .time_budget_seconds = 0.0,
                   .max_conflicts = std::uint64_t{1} << 20},
   };
+}
+
+std::vector<QueryBudget> deadline_ladder(double deadline_seconds) {
+  std::vector<QueryBudget> ladder = AnytimeOptions::default_ladder();
+  if (deadline_seconds <= 0.0) return ladder;
+  // Slices sum to 1 so the ladder as a whole respects the deadline;
+  // early rungs get small shares because they usually answer in far
+  // less (their state caps trip first) and any unused slice implicitly
+  // rolls forward as the later rungs start sooner.
+  constexpr double kSlices[] = {0.125, 0.25, 0.625};
+  constexpr double kMinSlice = 0.001;  // 1 ms: always allow some progress
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const double share = i < std::size(kSlices) ? kSlices[i] : kSlices[2];
+    ladder[i].time_budget_seconds =
+        std::max(kMinSlice, deadline_seconds * share);
+  }
+  return ladder;
 }
 
 AnytimeQuery::AnytimeQuery(const Trace& trace, AnytimeOptions options)
@@ -176,8 +194,17 @@ bool AnytimeQuery::oracle_decides(RelationKind kind, EventId a, EventId b,
           ? 0
           : std::min(v.provenance.rungs_tried, options_.ladder.size()) - 1;
   o.set_max_conflicts(options_.ladder[rung].max_conflicts);
+  const std::uint64_t undecided_before = o.stats().sat_undecided;
   const OracleVerdict ov = o.query(kind, a, b, semantics);
-  if (ov == OracleVerdict::kUnknown) return false;
+  if (ov == OracleVerdict::kUnknown) {
+    // Distinguish "the oracle burned its conflict budget" from "the
+    // oracle was structurally unable to answer": only the former grows
+    // sat_undecided, and only the former should feed a circuit breaker.
+    if (o.stats().sat_undecided > undecided_before) {
+      v.provenance.oracle_exhausted = true;
+    }
+    return false;
+  }
   v.state = ov == OracleVerdict::kProven ? VerdictState::kProven
                                          : VerdictState::kRefuted;
   // Keep the base run's truncation provenance (it is what forced the

@@ -97,6 +97,12 @@ struct QueryProvenance {
   std::uint64_t states_visited = 0;  ///< final rung's engine states
   std::uint64_t memo_bytes = 0;      ///< final rung's store footprint
   double seconds_spent = 0.0;        ///< wall clock across ALL rungs
+  /// True iff the SAT-oracle portfolio was consulted and gave up by
+  /// exhausting its per-call conflict budget (as opposed to not being
+  /// consulted at all).  Repeated exhaustions on one trace are the
+  /// signal the daemon's circuit breaker trips on — the oracle is
+  /// burning its budget without deciding, so stop consulting it.
+  bool oracle_exhausted = false;
 
   /// One line: engine, completeness, stop reason, resources.
   std::string summary() const;
@@ -141,6 +147,18 @@ struct AnytimeOptions {
   /// time budgets (deterministic across machines).
   static std::vector<QueryBudget> default_ladder();
 };
+
+/// A ladder for a caller with a wall-clock deadline: the default
+/// ladder's deterministic caps with each rung additionally time-boxed
+/// to a slice of `deadline_seconds` (1/8, 1/4, 5/8 — early rungs stay
+/// cheap so the big rung inherits most of the remaining time; the sum
+/// leaves no rung past the deadline).  Each slice is floored at 1 ms so
+/// a tight deadline still lets every rung make SOME progress instead of
+/// tripping at state 0.  `deadline_seconds` <= 0 means "no deadline"
+/// and returns default_ladder() unchanged.  The daemon maps a client's
+/// deadline header through this, so an expiring deadline degrades to a
+/// sound BoundedVerdict instead of a timeout error.
+std::vector<QueryBudget> deadline_ladder(double deadline_seconds);
 
 /// Runs ordering / race / deadlock queries under the budget ladder.
 /// Exact results are cached per semantics (like OrderingAnalyzer), so

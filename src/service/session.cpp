@@ -131,7 +131,8 @@ SatOracle& AnalysisSession::sat_oracle() {
 template <class T, class Compute>
 std::shared_ptr<const T> AnalysisSession::coalesced_query(
     std::unique_lock<std::mutex>& lock, const CacheKey& key,
-    bool serialize_memo, bool counts_sweep, Compute&& compute) {
+    bool serialize_memo, bool counts_sweep, Compute&& compute,
+    bool counts_states) {
   for (;;) {
     if (auto hit = cache_->get<T>(key)) {
       ++stats_.cache_hits;
@@ -162,7 +163,7 @@ std::shared_ptr<const T> AnalysisSession::coalesced_query(
     lock.lock();
     ++stats_.computations;
     if (counts_sweep) ++stats_.sweeps;
-    stats_.states_explored += result.search.states_visited;
+    if (counts_states) stats_.states_explored += result.search.states_visited;
     const std::uint64_t bytes = result.approx_bytes();
     if (result.truncated) {
       // Never cached (budget-dependent noise), but still shared with the
@@ -352,9 +353,46 @@ std::shared_ptr<const RaceReport> AnalysisSession::races(
   const CacheKey key =
       make_key(QueryKind::kRaces, CacheKey::kNoSemantics,
                hash_mix(kRaceSalt, static_cast<std::uint64_t>(detector), 0));
+  if (detector == RaceDetector::kExact) {
+    // Share the sweep with relations(): exact races are bit reads over
+    // the race-semantics CCW matrix, so the report's compute path
+    // obtains those relations THROUGH the relations cache.  When the
+    // session's own options already use race semantics
+    // (causal_data_edges = false) that inner key IS the relations() key
+    // and the two queries cost ONE sweep between them; otherwise the
+    // race-semantics relations get their own cached entry, computed
+    // once however many times races() is called.  The derived report
+    // embeds the relations' SearchStats verbatim (counts_states = false
+    // keeps states_explored single-counted), and a truncated sweep
+    // makes a truncated — never cached — report, so the next caller
+    // re-derives from a possibly-by-then-complete sweep.
+    return coalesced_query<RaceReport>(
+        lock, key, /*serialize_memo=*/false, /*counts_sweep=*/false,
+        [&] {
+          // Runs with mu_ RELEASED (coalesced_query's contract), so the
+          // nested relations lookup takes it afresh — itself coalesced,
+          // and dropped again before the derivation's bit reads.
+          ExactOptions race_options = options_;
+          race_options.causal_data_edges = false;
+          CacheKey rel_key;
+          rel_key.trace_fingerprint = fingerprint_;
+          rel_key.kind = QueryKind::kRelations;
+          rel_key.semantics = static_cast<std::uint8_t>(Semantics::kCausal);
+          rel_key.options_digest = digest_options(race_options);
+          std::unique_lock<std::mutex> inner(mu_);
+          auto rel = coalesced_query<OrderingRelations>(
+              inner, rel_key, /*serialize_memo=*/false,
+              /*counts_sweep=*/true, [&] {
+                return compute_exact(*trace_, Semantics::kCausal,
+                                     race_options);
+              });
+          inner.unlock();
+          return races_from_relations(*trace_, *rel);
+        },
+        /*counts_states=*/false);
+  }
   return coalesced_query<RaceReport>(
-      lock, key, /*serialize_memo=*/false,
-      /*counts_sweep=*/detector == RaceDetector::kExact,
+      lock, key, /*serialize_memo=*/false, /*counts_sweep=*/false,
       [&] { return detect_races(*trace_, detector, options_); });
 }
 
@@ -391,12 +429,16 @@ AnytimeQuery& AnalysisSession::anytime_locked(
   // Reuse whenever possible: an empty ladder keeps whatever exists, an
   // equal ladder keeps the object AND its cached ladder runs (the
   // historic analyzer rebuilt on every non-empty ladder, equal or not,
-  // throwing the cached runs away).
+  // throwing the cached runs away).  A flipped oracle switch (circuit
+  // breaker) rebuilds too — the portfolio setting lives inside the
+  // query object.
   if (!anytime_.has_value() ||
-      (!ladder.empty() && anytime_->options().ladder != ladder)) {
+      (!ladder.empty() && anytime_->options().ladder != ladder) ||
+      anytime_->options().use_sat_oracle != use_sat_oracle_) {
     AnytimeOptions options;
     options.ladder = ladder;  // empty -> AnytimeQuery fills the default
     options.exact = options_;
+    options.use_sat_oracle = use_sat_oracle_;
     anytime_.emplace(*trace_, std::move(options));
   }
   return *anytime_;
@@ -416,7 +458,11 @@ BoundedVerdict AnalysisSession::anytime_verdict_locked(
       AnytimeOptions::default_ladder();
   const std::vector<QueryBudget>& effective =
       ladder.empty() ? kDefault : ladder;
-  const std::uint64_t requested_digest = ladder_digest(effective);
+  // The oracle switch is part of the digest: an `unknown` produced WITH
+  // the portfolio rung is not the same computation as one without it, so
+  // a breaker trip invalidates stale unknowns instead of serving them.
+  const std::uint64_t requested_digest =
+      hash_mix(ladder_digest(effective), use_sat_oracle_ ? 1 : 0, 0);
   const CacheKey key = make_key(
       QueryKind::kAnytimeVerdict, static_cast<std::uint8_t>(semantics),
       hash_mix(kVerdictSalt + which,
@@ -470,6 +516,34 @@ BoundedVerdict AnalysisSession::anytime_can_deadlock(
   std::lock_guard<std::mutex> lock(mu_);
   return anytime_verdict_locked(2, kNoEvent, kNoEvent, Semantics::kCausal,
                                 ladder);
+}
+
+// ----- robustness hooks -----------------------------------------------
+
+void AnalysisSession::set_use_sat_oracle(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (use_sat_oracle_ && !enabled) ++stats_.breaker_trips;
+  use_sat_oracle_ = enabled;
+}
+
+bool AnalysisSession::use_sat_oracle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return use_sat_oracle_;
+}
+
+void AnalysisSession::note_shed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.shed;
+}
+
+void AnalysisSession::note_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.rejected;
+}
+
+void AnalysisSession::note_deadline_degraded() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.deadline_degraded;
 }
 
 }  // namespace evord::service

@@ -105,6 +105,17 @@ struct SessionStats {
   std::uint64_t coalesced = 0;
   std::uint64_t oracle_pairs = 0;    ///< batch pairs offered to the oracle
   std::uint64_t oracle_decided = 0;  ///< ... settled without an exact sweep
+  // ---- robustness counters (filled by the daemon front end via the
+  // note_* methods, so per-trace overload behaviour surfaces in the
+  // same stats block the functional counters live in) ----
+  std::uint64_t shed = 0;      ///< queries shed at an overload watermark
+  std::uint64_t rejected = 0;  ///< queries bounced by a tenant quota
+  /// Deadline-armed queries whose ladder truncated — the client got a
+  /// sound degraded BoundedVerdict instead of a timeout error.
+  std::uint64_t deadline_degraded = 0;
+  /// SAT-oracle circuit-breaker trips (repeated conflict-budget
+  /// exhaustion disabled the portfolio rung for this trace).
+  std::uint64_t breaker_trips = 0;
 };
 
 /// How query_batch executes its pairs.
@@ -172,8 +183,14 @@ class AnalysisSession {
 
   std::shared_ptr<const DeadlockReport> deadlocks();
 
-  /// Cached per detector (exact races rerun the exponential analysis;
-  /// the historic OrderingAnalyzer::races() recomputed every call).
+  /// Cached per detector (the historic OrderingAnalyzer::races()
+  /// recomputed the analysis every call).  kExact additionally SHARES
+  /// its sweep with relations(): the race-semantics relations are
+  /// obtained through the relations cache (one exponential sweep, hit
+  /// when the session's own options already use race semantics) and the
+  /// report is derived from their CCW matrix by pure bit reads; a
+  /// truncated sweep yields a truncated — and therefore never-cached —
+  /// report.
   std::shared_ptr<const RaceReport> races(
       RaceDetector detector = RaceDetector::kExact);
 
@@ -196,6 +213,20 @@ class AnalysisSession {
       EventId a, EventId b, const std::vector<QueryBudget>& ladder = {});
   BoundedVerdict anytime_can_deadlock(
       const std::vector<QueryBudget>& ladder = {});
+
+  // ----- robustness hooks (the daemon front end) -------------------------
+  /// Enables / disables the SAT-oracle portfolio rung for this session's
+  /// anytime queries.  The circuit breaker calls this with `false` after
+  /// repeated conflict-budget exhaustions on one trace; the flag is part
+  /// of the cached-verdict digest, so an `unknown` computed WITH the
+  /// oracle is recomputed (oracle-free) after a trip rather than served
+  /// stale.  Counts a breaker trip on every enabled -> disabled edge.
+  void set_use_sat_oracle(bool enabled);
+  bool use_sat_oracle() const;
+  /// Overload / quota / degradation accounting (see SessionStats).
+  void note_shed();
+  void note_rejected();
+  void note_deadline_degraded();
 
  private:
   /// One computation another caller may be waiting on.  Lives in
@@ -225,10 +256,14 @@ class AnalysisSession {
   /// cache (unless truncated) and wake the waiters.  `counts_sweep`
   /// feeds SessionStats::sweeps.  T must expose .search.states_visited,
   /// .truncated and .approx_bytes() (all four engine result types do).
+  /// `counts_states` = false for results DERIVED from another cached
+  /// result (they embed the source's SearchStats, which the source's
+  /// computation already charged to states_explored).
   template <class T, class Compute>
   std::shared_ptr<const T> coalesced_query(
       std::unique_lock<std::mutex>& lock, const CacheKey& key,
-      bool serialize_memo, bool counts_sweep, Compute&& compute);
+      bool serialize_memo, bool counts_sweep, Compute&& compute,
+      bool counts_states = true);
 
   std::shared_ptr<const OrderingRelations> relations_coalesced(
       std::unique_lock<std::mutex>& lock, Semantics semantics);
@@ -268,6 +303,9 @@ class AnalysisSession {
   std::optional<EgpResult> egp_;
   std::optional<CombinedResult> combined_;
   std::optional<AnytimeQuery> anytime_;
+  /// SAT-oracle portfolio switch for anytime queries (guarded by mu_);
+  /// flipped to false by a circuit-breaker trip.
+  bool use_sat_oracle_ = true;
 };
 
 }  // namespace evord::service

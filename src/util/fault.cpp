@@ -22,6 +22,12 @@ const char* to_string(FaultKind kind) {
       return "steal-stall";
     case FaultKind::kStealPoison:
       return "steal-poison";
+    case FaultKind::kAcceptFail:
+      return "accept-fail";
+    case FaultKind::kMidFrameDisconnect:
+      return "mid-frame-disconnect";
+    case FaultKind::kSlowLoris:
+      return "slow-loris";
   }
   return "unknown";
 }
@@ -44,9 +50,12 @@ struct FaultState {
   std::atomic<std::uint8_t> kind{0};
   std::atomic<std::uint64_t> threshold{0};
   std::atomic<std::size_t> worker{kAnyWorker};
+  std::atomic<std::uint32_t> stall_micros{0};
   std::atomic<std::uint64_t> states{0};
   std::atomic<std::uint64_t> inserts{0};
   std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> accepts{0};
+  std::atomic<std::uint64_t> frames{0};
   std::atomic<bool> tripped{false};
 };
 
@@ -65,9 +74,12 @@ void arm(const FaultPlan& plan) {
   g_fault.threshold.store(plan.resolved_threshold(),
                           std::memory_order_relaxed);
   g_fault.worker.store(plan.worker, std::memory_order_relaxed);
+  g_fault.stall_micros.store(plan.stall_micros, std::memory_order_relaxed);
   g_fault.states.store(0, std::memory_order_relaxed);
   g_fault.inserts.store(0, std::memory_order_relaxed);
   g_fault.steals.store(0, std::memory_order_relaxed);
+  g_fault.accepts.store(0, std::memory_order_relaxed);
+  g_fault.frames.store(0, std::memory_order_relaxed);
   g_fault.tripped.store(false, std::memory_order_relaxed);
   g_fault.enabled.store(plan.kind != FaultKind::kNone,
                         std::memory_order_release);
@@ -135,10 +147,65 @@ StealAction on_steal_attempt(std::size_t worker) noexcept {
   g_fault.steals.fetch_add(1, std::memory_order_relaxed);
   g_fault.tripped.store(true, std::memory_order_relaxed);
   if (kind == FaultKind::kStealStall) {
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    const std::uint32_t micros =
+        g_fault.stall_micros.load(std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(micros != 0 ? micros : 50));
     return StealAction::kStall;
   }
   return StealAction::kPoison;
+}
+
+bool on_accept_connection() noexcept {
+  if (!g_fault.enabled.load(std::memory_order_acquire)) return false;
+  if (static_cast<FaultKind>(g_fault.kind.load(std::memory_order_relaxed)) !=
+      FaultKind::kAcceptFail) {
+    return false;
+  }
+  const std::uint64_t n =
+      g_fault.accepts.fetch_add(1, std::memory_order_relaxed) + 1;
+  // The FIRST `threshold` accepts fail; later ones proceed, so a test
+  // observes both the failure and the recovery on one armed plan.
+  if (n <= g_fault.threshold.load(std::memory_order_relaxed)) {
+    g_fault.tripped.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+FrameSendAction on_frame_send() noexcept {
+  if (!g_fault.enabled.load(std::memory_order_acquire)) {
+    return FrameSendAction::kProceed;
+  }
+  const auto kind =
+      static_cast<FaultKind>(g_fault.kind.load(std::memory_order_relaxed));
+  if (kind != FaultKind::kMidFrameDisconnect && kind != FaultKind::kSlowLoris) {
+    return FrameSendAction::kProceed;
+  }
+  const std::uint64_t n =
+      g_fault.frames.fetch_add(1, std::memory_order_relaxed) + 1;
+  // One-shot: exactly the #threshold-th frame is sabotaged, so the
+  // connection before and after the fault carries well-formed frames.
+  if (n != g_fault.threshold.load(std::memory_order_relaxed)) {
+    return FrameSendAction::kProceed;
+  }
+  g_fault.tripped.store(true, std::memory_order_relaxed);
+  return kind == FaultKind::kMidFrameDisconnect ? FrameSendAction::kDisconnect
+                                                : FrameSendAction::kStall;
+}
+
+std::uint32_t frame_stall_micros() noexcept {
+  const std::uint32_t micros =
+      g_fault.stall_micros.load(std::memory_order_relaxed);
+  return micros != 0 ? micros : 200'000;
+}
+
+std::uint64_t accepts_observed() {
+  return g_fault.accepts.load(std::memory_order_relaxed);
+}
+
+std::uint64_t frames_observed() {
+  return g_fault.frames.load(std::memory_order_relaxed);
 }
 
 #endif  // EVORD_NO_FAULT_INJECTION

@@ -44,6 +44,10 @@ enum class FaultKind : std::uint8_t {
   kStoreFailAt,      ///< fail the #threshold-th store insertion
   kStealStall,       ///< stall the targeted worker's steal attempts
   kStealPoison,      ///< make the targeted worker's steals always fail
+  // Network fault points (the evord daemon and its client library):
+  kAcceptFail,          ///< drop the first #threshold accepted connections
+  kMidFrameDisconnect,  ///< sever the #threshold-th frame send mid-frame
+  kSlowLoris,           ///< stall the #threshold-th frame send mid-frame
 };
 
 const char* to_string(FaultKind kind);
@@ -60,6 +64,10 @@ struct FaultPlan {
   std::size_t worker = kAnyWorker;
   /// Replay seed: derives the threshold when it is 0.
   std::uint64_t seed = 0;
+  /// Stall duration for kSlowLoris (and an override for kStealStall).
+  /// 0 keeps the defaults: 200 ms for kSlowLoris — comfortably past any
+  /// realistic daemon idle timeout — and 50 us for kStealStall.
+  std::uint32_t stall_micros = 0;
 
   /// The effective trip point: `threshold`, or a deterministic function
   /// of `seed` in [1, 97] when threshold == 0.
@@ -106,6 +114,33 @@ enum class StealAction : std::uint8_t {
 /// Schedulers call this before each steal attempt by `worker`.
 StealAction on_steal_attempt(std::size_t worker) noexcept;
 
+// ---- network hook sites (called by the daemon / client library) ----
+
+/// The daemon's accept loop calls this once per accepted connection.
+/// Returns true while a kAcceptFail plan injects — the caller then drops
+/// the connection as if accept(2) itself had failed (first `threshold`
+/// accepts fail, later ones proceed, so recovery is exercised too).
+bool on_accept_connection() noexcept;
+
+/// What a frame sender should do with the current frame.
+enum class FrameSendAction : std::uint8_t {
+  kProceed = 0,
+  kDisconnect,  ///< write a partial frame, then close the socket
+  kStall,       ///< write a partial frame, sleep, then finish it
+};
+
+/// Frame writers call this once per outgoing frame.  The #threshold-th
+/// frame is sabotaged exactly once per armed plan (kMidFrameDisconnect /
+/// kSlowLoris); every other frame proceeds.
+FrameSendAction on_frame_send() noexcept;
+
+/// Stall duration an armed kSlowLoris plan asks senders to honour.
+std::uint32_t frame_stall_micros() noexcept;
+
+/// Network counters observed by the armed plan (test provenance).
+std::uint64_t accepts_observed();
+std::uint64_t frames_observed();
+
 #else  // EVORD_NO_FAULT_INJECTION: every hook is a compile-time no-op.
 
 inline bool enabled() noexcept { return false; }
@@ -121,6 +156,14 @@ enum class StealAction : std::uint8_t { kProceed = 0, kStall, kPoison };
 inline StealAction on_steal_attempt(std::size_t) noexcept {
   return StealAction::kProceed;
 }
+inline bool on_accept_connection() noexcept { return false; }
+enum class FrameSendAction : std::uint8_t { kProceed = 0, kDisconnect, kStall };
+inline FrameSendAction on_frame_send() noexcept {
+  return FrameSendAction::kProceed;
+}
+inline std::uint32_t frame_stall_micros() noexcept { return 0; }
+inline std::uint64_t accepts_observed() { return 0; }
+inline std::uint64_t frames_observed() { return 0; }
 
 #endif  // EVORD_NO_FAULT_INJECTION
 

@@ -16,13 +16,38 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::throw_if_stopped_locked() const {
+  if (stop_.load(std::memory_order_relaxed)) {
+    throw std::runtime_error(
+        "ThreadPool::submit after shutdown: the pool no longer accepts "
+        "work");
+  }
+}
+
+void ThreadPool::shutdown() {
   {
+    // Under mu_ so the flag totally orders against submit()'s check and
+    // the workers' final queue-empty check: a task either enqueues
+    // before the stop (and is drained) or its submit throws — never a
+    // silently dropped task.
     std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  // Join outside the mutex (workers need it to drain the queue); a flag
+  // makes concurrent / repeated shutdown calls safe — only one caller
+  // joins, the others return once it has.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!joined_) {
+      joined_ = true;
+      to_join.swap(workers_);
+    }
+  }
+  for (std::thread& t : to_join) t.join();
 }
 
 void ThreadPool::worker_loop() {
@@ -30,8 +55,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
+      cv_.wait(lock, [this] { return stopped() || !queue_.empty(); });
+      // Drain-then-stop: queued work always runs, even during shutdown.
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -60,6 +86,7 @@ void ThreadPool::parallel_for(std::size_t n,
     }
   }
   if (!first_error) return;
+  suppressed_.fetch_add(suppressed, std::memory_order_relaxed);
   if (suppressed == 0) std::rethrow_exception(first_error);
   // More than one task failed: only one exception can propagate, so the
   // rethrown message must carry the count of the ones it eclipsed.

@@ -2,13 +2,24 @@
 // workloads.  The search core no longer runs on it — its parallel mode
 // moved to the work-stealing scheduler in search/scheduler.hpp, which
 // balances skewed subtrees dynamically — but the pool remains for
-// fixed-shape batch work.
+// fixed-shape batch work and is the executor behind the evord daemon's
+// bounded request queue (src/daemon/daemon.hpp).
+//
+// Lifecycle: the pool accepts work until shutdown() (or destruction).
+// Shutdown is a DRAIN, not an abort — every task already submitted runs
+// to completion and its future is satisfied before the workers join; a
+// submit() after shutdown fails fast with std::runtime_error instead of
+// enqueueing work that would never run (or aborting in a half-destroyed
+// pool).  Exceptions a parallel_for cannot rethrow individually are
+// counted in one place (suppressed_exceptions()) and the count is
+// appended to the one exception that does propagate.
 //
 // Design follows CP.4 (think in tasks, not threads), CP.20/CP.42 (RAII
 // locking, condition-guarded waits) and CP.26 (threads are joined in the
 // destructor, never detached).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -33,6 +44,7 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task; the returned future delivers its result or exception.
+  /// Throws std::runtime_error once the pool is shut down.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -41,6 +53,7 @@ class ThreadPool {
     std::future<R> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      throw_if_stopped_locked();
       queue_.emplace_back([task]() { (*task)(); });
     }
     cv_.notify_one();
@@ -48,17 +61,40 @@ class ThreadPool {
   }
 
   /// Runs `f(i)` for i in [0, n) across the pool and waits for all of them.
-  /// Exceptions from tasks are rethrown (the first one encountered).
+  /// Exceptions from tasks are rethrown (the first one encountered); when
+  /// several tasks failed, the rethrown message carries the count of the
+  /// eclipsed ones and suppressed_exceptions() grows by it.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& f);
+
+  /// Stops accepting work, drains every task already queued, and joins
+  /// the workers.  Idempotent; called by the destructor.  Safe to call
+  /// while tasks are in flight — they complete normally and their
+  /// futures are satisfied.
+  void shutdown();
+
+  /// True once shutdown() has begun; submit() fails from then on.
+  bool stopped() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// Total task exceptions that could NOT be rethrown to a caller
+  /// because another exception from the same parallel_for already was —
+  /// the single place the "lost" failure count surfaces.
+  std::size_t suppressed_exceptions() const noexcept {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_loop();
+  void throw_if_stopped_locked() const;
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> suppressed_{0};
+  bool joined_ = false;  ///< workers joined (guarded by mu_)
 };
 
 }  // namespace evord

@@ -53,6 +53,55 @@ TEST(Anytime, DefaultLadderEscalates) {
   }
 }
 
+TEST(Anytime, DeadlineLadderTimeBoxesTheDefaultRungs) {
+  const auto def = AnytimeOptions::default_ladder();
+  const double deadline = 0.2;
+  const auto ladder = deadline_ladder(deadline);
+  ASSERT_EQ(ladder.size(), def.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    // Deterministic caps preserved; only the time box is added.
+    EXPECT_EQ(ladder[i].max_states, def[i].max_states);
+    EXPECT_EQ(ladder[i].max_schedules, def[i].max_schedules);
+    EXPECT_EQ(ladder[i].max_memory_bytes, def[i].max_memory_bytes);
+    EXPECT_EQ(ladder[i].max_conflicts, def[i].max_conflicts);
+    EXPECT_GT(ladder[i].time_budget_seconds, 0.0);
+    total += ladder[i].time_budget_seconds;
+  }
+  // The slices sum to the deadline (no rung can start past it).
+  EXPECT_LE(total, deadline + 1e-9);
+  // Later rungs get the bigger shares.
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GE(ladder[i].time_budget_seconds,
+              ladder[i - 1].time_budget_seconds);
+  }
+  // No deadline -> the default ladder, unchanged.
+  EXPECT_EQ(ladder_digest(deadline_ladder(0.0)), ladder_digest(def));
+  EXPECT_EQ(ladder_digest(deadline_ladder(-1.0)), ladder_digest(def));
+  // A pathologically tight deadline still floors every rung at 1 ms so
+  // each makes SOME progress instead of tripping at state zero.
+  for (const QueryBudget& rung : deadline_ladder(1e-6)) {
+    EXPECT_GE(rung.time_budget_seconds, 0.001);
+  }
+}
+
+TEST(Anytime, DeadlineLadderVerdictsAreSound) {
+  // A deadline-armed ladder may degrade but never contradicts the
+  // un-deadlined exact answer (the daemon's degradation contract).
+  const Trace trace = theorem1_trace();
+  OrderingAnalyzer exact(trace);
+  AnytimeQuery deadlined(trace, {.ladder = deadline_ladder(0.05)});
+  for (EventId a = 0; a < trace.num_events(); a += 3) {
+    for (EventId b = 0; b < trace.num_events(); b += 3) {
+      if (a == b) continue;
+      const BoundedVerdict v = deadlined.must_have_happened_before(a, b);
+      if (v.unknown()) continue;
+      EXPECT_EQ(v.proven(), exact.must_have_happened_before(a, b))
+          << "pair (" << a << ", " << b << "): " << v.summary();
+    }
+  }
+}
+
 // ---------------------------------------------- complete-run equivalence
 
 TEST(Anytime, CompleteRunMatchesExactAnswers) {

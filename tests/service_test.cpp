@@ -670,6 +670,75 @@ TEST(ServiceAnytime, VerdictsCachedAndUnknownUpgradeable) {
   EXPECT_EQ(session.stats().computations, upgraded.computations);
 }
 
+TEST(AnalysisSession, ExactRacesShareOneSweepWithRelations) {
+  // Under race semantics (causal_data_edges = false) the session's
+  // relations() and races(kExact) answer from ONE exponential sweep:
+  // the report is bit reads over the cached CCW matrix.
+  ExactOptions options;
+  options.causal_data_edges = false;
+  AnalysisSession session(std::make_shared<const Trace>(quickstart_trace()),
+                          options);
+  session.relations(Semantics::kCausal);
+  const SessionStats warm = session.stats();
+  EXPECT_EQ(warm.sweeps, 1u);
+  const auto report = session.races(RaceDetector::kExact);
+  EXPECT_FALSE(report->truncated);
+  const SessionStats after = session.stats();
+  EXPECT_EQ(after.sweeps, warm.sweeps);  // no second sweep
+  EXPECT_EQ(after.states_explored, warm.states_explored);
+  // And the other way round on a fresh session: races() first leaves
+  // the race-semantics relations cached for relations().
+  AnalysisSession reversed(
+      std::make_shared<const Trace>(quickstart_trace()), options);
+  reversed.races(RaceDetector::kExact);
+  const SessionStats rwarm = reversed.stats();
+  EXPECT_EQ(rwarm.sweeps, 1u);
+  reversed.relations(Semantics::kCausal);
+  EXPECT_EQ(reversed.stats().sweeps, rwarm.sweeps);
+  EXPECT_EQ(reversed.stats().states_explored, rwarm.states_explored);
+  // Either order, the report matches the from-scratch detector.
+  expect_same_races(*report, detect_races_exact(session.trace(), options));
+}
+
+TEST(AnalysisSession, TruncatedRaceReportIsNeverCached) {
+  // A budget-starved race sweep truncates; truncated results are
+  // budget-dependent noise and must not be served to later callers.
+  ExactOptions starved;
+  starved.max_schedules = 1;
+  AnalysisSession session(
+      std::make_shared<const Trace>(wedgeable_trace()), starved);
+  const auto first = session.races(RaceDetector::kExact);
+  EXPECT_TRUE(first->truncated);
+  const SessionStats warm = session.stats();
+  const auto second = session.races(RaceDetector::kExact);
+  EXPECT_TRUE(second->truncated);
+  // Recomputed, not served from the cache.
+  EXPECT_GT(session.stats().computations, warm.computations);
+}
+
+TEST(AnalysisSession, SatOracleSwitchCountsTripsAndRebuilds) {
+  AnalysisSession session(std::make_shared<const Trace>(quickstart_trace()));
+  EXPECT_TRUE(session.use_sat_oracle());
+  EXPECT_TRUE(session.anytime().options().use_sat_oracle);
+  session.set_use_sat_oracle(false);  // the circuit breaker's edge
+  EXPECT_FALSE(session.use_sat_oracle());
+  EXPECT_EQ(session.stats().breaker_trips, 1u);
+  EXPECT_FALSE(session.anytime().options().use_sat_oracle);
+  session.set_use_sat_oracle(false);  // idempotent: no second trip
+  EXPECT_EQ(session.stats().breaker_trips, 1u);
+  session.set_use_sat_oracle(true);
+  EXPECT_EQ(session.stats().breaker_trips, 1u);
+  EXPECT_TRUE(session.anytime().options().use_sat_oracle);
+  // The daemon-facing robustness counters surface in the same stats.
+  session.note_shed();
+  session.note_rejected();
+  session.note_deadline_degraded();
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.deadline_degraded, 1u);
+}
+
 TEST(ServiceAnytime, VerdictsMatchFreshAnytimeQuery) {
   const Trace trace = quickstart_trace();
   AnalysisSession session(std::make_shared<const Trace>(trace));

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/check.hpp"
@@ -549,6 +551,74 @@ TEST(ThreadPool, ManyTasksComplete) {
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, SuppressedExceptionCountSurfacesOnThePool) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.suppressed_exceptions(), 0u);
+  try {
+    pool.parallel_for(4, [](std::size_t) { throw std::runtime_error("x"); });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error&) {
+  }
+  // 4 tasks failed; one exception propagated, three were eclipsed.
+  EXPECT_EQ(pool.suppressed_exceptions(), 3u);
+  try {
+    pool.parallel_for(2, [](std::size_t) { throw std::runtime_error("y"); });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(pool.suppressed_exceptions(), 4u);  // cumulative, one place
+}
+
+// Regression: shutdown during in-flight work drains cleanly — every
+// already-submitted task runs and its future is satisfied — and a
+// submit AFTER shutdown fails with a clear error instead of enqueueing
+// work that never runs (or aborting).
+TEST(ThreadPool, ShutdownDrainsInFlightWork) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++done;
+    }));
+  }
+  pool.shutdown();  // must wait for all 64, not abandon the queue
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_EQ(done.load(), 64);
+  for (auto& f : futures) f.get();  // all satisfied, none broken
+  pool.shutdown();                  // idempotent
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrowsClearError) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  try {
+    pool.submit([] { return 1; });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("after shutdown"),
+              std::string::npos)
+        << e.what();
+  }
+  // parallel_for goes through submit, so it fails the same way.
+  EXPECT_THROW(pool.parallel_for(3, [](std::size_t) {}),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentShutdownIsSafe) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) {
+    (void)pool.submit([&done] { ++done; });
+  }
+  std::thread a([&pool] { pool.shutdown(); });
+  std::thread b([&pool] { pool.shutdown(); });
+  a.join();
+  b.join();
+  EXPECT_EQ(done.load(), 16);
 }
 
 // -------------------------------------------------------------- logging

@@ -1,0 +1,210 @@
+// evord-cli — command-line client for a running evordd.
+//
+//   evord-cli --socket /tmp/evord.sock [--tenant NAME] COMMAND ...
+//
+// Commands:
+//   register FILE                 register a trace file, print fingerprint
+//   pair FP REL SEM A B           one pair query (REL 0..5, SEM 0..2)
+//   deadlock FP                   can any feasible prefix wedge?
+//   races FP [DETECTOR]           race report (0 exact, 1 observed, 2 guar.)
+//   anytime FP WHICH SEM A B [DEADLINE_MS]
+//                                 budgeted verdict (WHICH 0 mhb, 1 ccw,
+//                                 2 deadlock); DEADLINE_MS time-boxes it
+//   health                        daemon counters
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "daemon/client.hpp"
+
+namespace {
+
+using evord::daemon::ClientOptions;
+using evord::daemon::DaemonClient;
+using evord::daemon::ReplyEnvelope;
+using evord::daemon::RequestStatus;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH | --port N] [--tenant NAME]\n"
+               "          [--timeout-ms N] COMMAND ...\n"
+               "commands: register FILE | pair FP REL SEM A B |\n"
+               "          deadlock FP | races FP [DETECTOR] |\n"
+               "          anytime FP WHICH SEM A B [DEADLINE_MS] | health\n",
+               argv0);
+}
+
+/// Non-ok replies exit with a distinct status so scripts can tell
+/// backpressure (75, EX_TEMPFAIL-ish) from hard errors (1).
+int fail(const ReplyEnvelope& env) {
+  std::fprintf(stderr, "evord-cli: %s", to_string(env.status));
+  if (!env.message.empty()) {
+    std::fprintf(stderr, ": %s", env.message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  switch (env.status) {
+    case RequestStatus::kRejected:
+    case RequestStatus::kOverloaded:
+    case RequestStatus::kShuttingDown:
+      return 75;
+    default:
+      return 1;
+  }
+}
+
+std::uint64_t parse_u64(const char* s) {
+  return static_cast<std::uint64_t>(std::strtoull(s, nullptr, 0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions options;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      options.socket_path = next();
+    } else if (arg == "--port") {
+      options.tcp_port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--tenant") {
+      options.tenant = next();
+    } else if (arg == "--timeout-ms") {
+      options.timeout_ms = std::atoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      break;  // first command word
+    }
+  }
+  if (i >= argc ||
+      (options.socket_path.empty() && options.tcp_port == 0)) {
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string command = argv[i++];
+  const int remaining = argc - i;
+  DaemonClient client(options);
+
+  if (command == "register") {
+    if (remaining < 1) {
+      usage(argv[0]);
+      return 2;
+    }
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "evord-cli: cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto reply = client.register_trace(text.str());
+    if (!reply.ok()) return fail(reply);
+    std::printf("fingerprint 0x%llx events %u%s\n",
+                static_cast<unsigned long long>(reply.fingerprint),
+                reply.num_events, reply.dedup ? " (dedup)" : "");
+    return 0;
+  }
+  if (command == "pair") {
+    if (remaining < 5) {
+      usage(argv[0]);
+      return 2;
+    }
+    evord::daemon::PairQuerySpec q;
+    const std::uint64_t fp = parse_u64(argv[i]);
+    q.relation = static_cast<std::uint8_t>(std::atoi(argv[i + 1]));
+    q.semantics = static_cast<std::uint8_t>(std::atoi(argv[i + 2]));
+    q.a = static_cast<std::uint32_t>(std::atoi(argv[i + 3]));
+    q.b = static_cast<std::uint32_t>(std::atoi(argv[i + 4]));
+    const auto reply = client.pair_query(fp, q);
+    if (!reply.ok()) return fail(reply);
+    std::printf("%s\n", reply.value ? "true" : "false");
+    return 0;
+  }
+  if (command == "deadlock") {
+    if (remaining < 1) {
+      usage(argv[0]);
+      return 2;
+    }
+    const auto reply = client.deadlock_query(parse_u64(argv[i]));
+    if (!reply.ok()) return fail(reply);
+    std::printf("%s\n", reply.value ? "true" : "false");
+    return 0;
+  }
+  if (command == "races") {
+    if (remaining < 1) {
+      usage(argv[0]);
+      return 2;
+    }
+    const std::uint8_t detector =
+        remaining >= 2 ? static_cast<std::uint8_t>(std::atoi(argv[i + 1])) : 0;
+    const auto reply = client.race_query(parse_u64(argv[i]), detector);
+    if (!reply.ok()) return fail(reply);
+    std::printf("%zu races of %u candidate pairs%s\n", reply.races.size(),
+                reply.candidate_pairs, reply.truncated ? " (truncated)" : "");
+    for (const auto& race : reply.races) {
+      std::printf("  (%u, %u)%s\n", race.a, race.b,
+                  race.hidden_in_observed ? " hidden" : "");
+    }
+    return 0;
+  }
+  if (command == "anytime") {
+    if (remaining < 5) {
+      usage(argv[0]);
+      return 2;
+    }
+    const std::uint64_t fp = parse_u64(argv[i]);
+    const auto which = static_cast<std::uint8_t>(std::atoi(argv[i + 1]));
+    const auto sem = static_cast<std::uint8_t>(std::atoi(argv[i + 2]));
+    const auto a = static_cast<std::uint32_t>(std::atoi(argv[i + 3]));
+    const auto b = static_cast<std::uint32_t>(std::atoi(argv[i + 4]));
+    const std::uint32_t deadline_ms =
+        remaining >= 6 ? static_cast<std::uint32_t>(std::atoi(argv[i + 5]))
+                       : 0;
+    const auto reply = client.anytime_query(fp, which, sem, a, b, deadline_ms);
+    if (!reply.ok()) return fail(reply);
+    static const char* kStates[] = {"unknown", "proven", "refuted"};
+    std::printf("%s via %s (%u rungs%s%s)\n",
+                reply.state < 3 ? kStates[reply.state] : "?",
+                reply.engine.c_str(), reply.rungs_tried,
+                reply.degraded ? ", degraded" : "",
+                reply.oracle_exhausted ? ", oracle exhausted" : "");
+    return 0;
+  }
+  if (command == "health") {
+    const auto reply = client.health();
+    if (!reply.ok()) return fail(reply);
+    std::printf("accepted %llu dropped %llu frames %llu replies %llu\n"
+                "served %llu protocol-errors %llu bad-requests %llu\n"
+                "sheds %llu rejections %llu shutting-down %llu\n"
+                "deadline-degraded %llu breaker-trips %llu in-flight %llu\n",
+                static_cast<unsigned long long>(reply.connections_accepted),
+                static_cast<unsigned long long>(reply.connections_dropped),
+                static_cast<unsigned long long>(reply.frames_received),
+                static_cast<unsigned long long>(reply.replies_sent),
+                static_cast<unsigned long long>(reply.requests_served),
+                static_cast<unsigned long long>(reply.protocol_errors),
+                static_cast<unsigned long long>(reply.bad_requests),
+                static_cast<unsigned long long>(reply.sheds),
+                static_cast<unsigned long long>(reply.rejections),
+                static_cast<unsigned long long>(reply.shutting_down_replies),
+                static_cast<unsigned long long>(reply.deadline_degraded),
+                static_cast<unsigned long long>(reply.breaker_trips),
+                static_cast<unsigned long long>(reply.in_flight));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  usage(argv[0]);
+  return 2;
+}

@@ -1,0 +1,124 @@
+// evordd — the evord analysis daemon.
+//
+// Serves the event-ordering analysis library over a Unix-domain socket
+// and/or loopback TCP (see docs/DAEMON.md for the protocol and the
+// robustness model).  SIGTERM / SIGINT trigger a graceful drain: the
+// daemon stops accepting, answers new requests with kShuttingDown,
+// finishes and flushes every admitted request, then exits 0.
+//
+//   evordd --socket /tmp/evord.sock [--port 7453] [--threads 2]
+//          [--max-queue 64] [--quota-rate 0] [--quota-burst 0]
+//          [--cache-mb 64] [--idle-timeout-ms 10000] [--breaker 3]
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "daemon/daemon.hpp"
+
+namespace {
+
+evord::daemon::Daemon* g_daemon = nullptr;
+
+extern "C" void handle_signal(int) {
+  // Async-signal-safe: request_stop is one write(2) on a private pipe.
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH] [--port N] [--threads N] [--max-queue N]\n"
+      "          [--max-connections N] [--quota-rate R] [--quota-burst N]\n"
+      "          [--cache-mb N] [--idle-timeout-ms N] [--breaker N]\n"
+      "At least one of --socket / --port is required.\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  evord::daemon::DaemonOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      options.socket_path = next();
+    } else if (arg == "--port") {
+      options.tcp_port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--threads") {
+      options.executor_threads = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--max-queue") {
+      options.max_queue_depth = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--max-connections") {
+      options.max_connections = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--quota-rate") {
+      options.tenant_rate_per_sec = std::atof(next());
+    } else if (arg == "--quota-burst") {
+      options.tenant_burst = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--cache-mb") {
+      options.cache_budget_bytes =
+          static_cast<std::uint64_t>(std::atoll(next())) << 20;
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms = std::atoi(next());
+    } else if (arg == "--breaker") {
+      options.breaker_threshold =
+          static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.socket_path.empty() && options.tcp_port == 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  evord::daemon::Daemon daemon(options);
+  g_daemon = &daemon;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
+  try {
+    daemon.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "evordd: %s\n", e.what());
+    return 1;
+  }
+  if (!options.socket_path.empty()) {
+    std::fprintf(stderr, "evordd: listening on %s\n",
+                 options.socket_path.c_str());
+  }
+  if (options.tcp_port != 0) {
+    std::fprintf(stderr, "evordd: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(options.tcp_port));
+  }
+
+  daemon.wait();
+  std::fprintf(stderr, "evordd: draining...\n");
+  daemon.stop();
+  const evord::daemon::DaemonStats stats = daemon.stats();
+  std::fprintf(stderr,
+               "evordd: served %llu requests (%llu sheds, %llu rejections, "
+               "%llu protocol errors), exiting\n",
+               static_cast<unsigned long long>(stats.requests_served),
+               static_cast<unsigned long long>(stats.sheds),
+               static_cast<unsigned long long>(stats.rejections),
+               static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}
