@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -21,12 +22,18 @@ namespace evord::daemon {
 
 namespace {
 
-void set_recv_timeout(int fd, int millis) {
+void set_io_timeouts(int fd, int millis) {
   if (millis <= 0) return;
   timeval tv;
   tv.tv_sec = millis / 1000;
   tv.tv_usec = (millis % 1000) * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  // The send side needs the same bound: a peer that floods requests but
+  // never reads replies would otherwise park the reader thread in
+  // send_all() forever with in_flight_ > 0, wedging stop()'s drain.  A
+  // timed-out send fails write_frame, which drops the connection like
+  // any other dead peer.
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void close_quietly(int fd) {
@@ -154,16 +161,22 @@ void Daemon::stop() {
   }
   pool_.shutdown();
   // Phase 3 — sever and join.  shutdown(2) wakes readers blocked in
-  // recv; the threads observe EOF and exit.
+  // recv; the threads observe EOF, close their own fds and exit.  Also
+  // reap the handles of connections that finished after the accept
+  // loop's last sweep.
   std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
     to_join.swap(conn_threads_);
+    for (std::thread& t : finished_threads_) to_join.push_back(std::move(t));
+    finished_threads_.clear();
   }
   for (std::thread& t : to_join) t.join();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Every joined reader erased and closed its own fd; anything left
+    // here would be a bookkeeping bug, but never leak it regardless.
     for (const int fd : conn_fds_) close_quietly(fd);
     conn_fds_.clear();
     stop_requested_ = true;
@@ -182,6 +195,7 @@ void Daemon::stop() {
 
 void Daemon::accept_loop() {
   for (;;) {
+    reap_finished_threads();
     pollfd fds[3];
     nfds_t n = 0;
     fds[n++] = {stop_pipe_[0], POLLIN, 0};
@@ -196,7 +210,23 @@ void Daemon::accept_loop() {
     for (nfds_t slot = 1; slot < n; ++slot) {
       if ((fds[slot].revents & POLLIN) == 0) continue;
       const int fd = ::accept(fds[slot].fd, nullptr, nullptr);
-      if (fd < 0) continue;
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK) {
+          continue;  // transient; the connection simply never existed
+        }
+        // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM): the
+        // listener stays readable under level-triggered poll, so
+        // retrying instantly would busy-spin.  Count the drop and back
+        // off briefly; churned connections release their fds (see
+        // serve_connection), so the condition is transient.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.connections_dropped;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       if (fault::on_accept_connection()) {
         // Injected accept failure: the connection evaporates exactly as
         // if accept(2) itself had failed under pressure.
@@ -205,6 +235,7 @@ void Daemon::accept_loop() {
         ++stats_.connections_dropped;
         continue;
       }
+      set_io_timeouts(fd, options_.idle_timeout_ms);
       bool at_capacity = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -220,13 +251,15 @@ void Daemon::accept_loop() {
       if (at_capacity) {
         // Explicit shed, then close: the client sees kOverloaded, not a
         // mysterious reset.
-        write_frame(fd, make_error(FrameType::kOverloaded, 0,
-                                   ErrorCode::kNone,
-                                   "connection limit reached"));
+        if (write_frame(fd, make_error(FrameType::kOverloaded, 0,
+                                       ErrorCode::kNone,
+                                       "connection limit reached"))) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.replies_sent;
+        }
         close_quietly(fd);
         continue;
       }
-      set_recv_timeout(fd, options_.idle_timeout_ms);
       std::lock_guard<std::mutex> lock(mu_);
       conn_fds_.push_back(fd);
       conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
@@ -284,24 +317,59 @@ bool Daemon::admit(Connection& conn, const Frame& frame, Frame& reply) {
     reply = make_error(FrameType::kRejected, frame.request_id,
                        ErrorCode::kNone,
                        "tenant '" + conn.tenant_name + "' is over quota");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejections;
+    }
+    note_bounce(conn, frame, /*shed=*/false);
+    return false;
+  }
+  bool shed = false;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejections;
+    if (in_flight_ >= options_.max_queue_depth ||
+        in_flight_bytes_ >= options_.max_inflight_bytes) {
+      reply = make_error(FrameType::kOverloaded, frame.request_id,
+                         ErrorCode::kNone,
+                         in_flight_ >= options_.max_queue_depth
+                             ? "queue depth watermark reached"
+                             : "in-flight byte watermark reached");
+      ++stats_.sheds;
+      shed = true;
+    } else {
+      ++in_flight_;
+      in_flight_bytes_ += frame.payload.size();
+    }
+  }
+  if (shed) {
+    note_bounce(conn, frame, /*shed=*/true);
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (in_flight_ >= options_.max_queue_depth ||
-      in_flight_bytes_ >= options_.max_inflight_bytes) {
-    reply = make_error(FrameType::kOverloaded, frame.request_id,
-                       ErrorCode::kNone,
-                       in_flight_ >= options_.max_queue_depth
-                           ? "queue depth watermark reached"
-                           : "in-flight byte watermark reached");
-    ++stats_.sheds;
-    return false;
-  }
-  ++in_flight_;
-  in_flight_bytes_ += frame.payload.size();
   return true;
+}
+
+void Daemon::note_bounce(Connection& conn, const Frame& frame, bool shed) {
+  // Attribute the bounce to the trace the request named, so per-trace
+  // SessionStats::shed / ::rejected move in real deployments — but only
+  // when a warm session already exists: a bounce path must never do the
+  // admission-bypassing work of building one.  Called WITHOUT mu_ held
+  // (the registry and session take their own locks).
+  const auto type = static_cast<FrameType>(frame.type);
+  const bool names_trace = type == FrameType::kPairQuery ||
+                           type == FrameType::kBatchQuery ||
+                           type == FrameType::kDeadlockQuery ||
+                           type == FrameType::kRaceQuery ||
+                           type == FrameType::kAnytimeQuery;
+  if (!names_trace || frame.payload.size() < 8) return;
+  WireReader r(frame.payload);
+  const std::shared_ptr<service::AnalysisSession> session =
+      conn.tenant->registry.find_session(r.u64(), options_.exact);
+  if (session == nullptr) return;
+  if (shed) {
+    session->note_shed();
+  } else {
+    session->note_rejected();
+  }
 }
 
 // ----------------------------------------------------------- connection
@@ -361,10 +429,39 @@ void Daemon::serve_connection(int fd) {
     if (!sent) break;
   }
   ::shutdown(fd, SHUT_RDWR);
+  // Release this connection's resources NOW, not at stop(): a
+  // long-running daemon churns through connections, and parking every
+  // dead fd and thread handle until shutdown leaks one of each per
+  // connection — after ~ulimit fds, accept() starts failing.  Erase +
+  // close run under mu_, the same lock stop()'s sever/close holds, so
+  // neither side can touch an fd the other just closed.  The thread
+  // handle moves to finished_threads_ (a thread cannot join itself);
+  // the accept loop reaps it on its next wakeup, stop() reaps the rest.
   std::lock_guard<std::mutex> lock(mu_);
+  conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                  conn_fds_.end());
+  close_quietly(fd);
   --live_connections_;
-  // The fd itself is closed by stop() (it stays in conn_fds_ so drain
-  // can sever it); closing here would race a concurrent stop().
+  const auto me = std::this_thread::get_id();
+  for (auto it = conn_threads_.begin(); it != conn_threads_.end(); ++it) {
+    if (it->get_id() == me) {
+      finished_threads_.push_back(std::move(*it));
+      conn_threads_.erase(it);
+      break;
+    }
+  }
+}
+
+void Daemon::reap_finished_threads() {
+  std::vector<std::thread> reap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reap.swap(finished_threads_);
+  }
+  // A reaped thread parked its own handle on its way out of
+  // serve_connection — nothing but the function epilogue remains, so
+  // these joins return ~immediately.
+  for (std::thread& t : reap) t.join();
 }
 
 // ------------------------------------------------------------- dispatch
@@ -415,8 +512,13 @@ Frame Daemon::handle_frame(Connection& conn, const Frame& frame) {
           }
         });
         Frame reply = future.get();
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.requests_served;
+        // Only kOk-style replies count as "served" — a kError (unknown
+        // trace, bad payload, ...) out of the pool is not a served
+        // request, per the DaemonStats contract.
+        if (reply.type < static_cast<std::uint8_t>(FrameType::kError)) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.requests_served;
+        }
         return reply;
       }
       default:

@@ -77,8 +77,10 @@ struct DaemonOptions {
   double tenant_rate_per_sec = 0.0;
   std::size_t tenant_burst = 0;
   std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// Receive timeout per connection; a peer silent (or stalled
-  /// mid-frame — the slow-loris case) this long is disconnected.
+  /// Receive AND send timeout per connection: a peer silent (or stalled
+  /// mid-frame — the slow-loris case) this long is disconnected, and a
+  /// peer that stops READING replies for this long is dropped too, so a
+  /// reader thread can never wedge in send and stall the drain.
   int idle_timeout_ms = 10'000;
   /// Consecutive oracle conflict-budget exhaustions on one trace that
   /// trip the breaker; 0 disables the breaker.
@@ -98,7 +100,7 @@ struct DaemonOptions {
 /// Monotonic daemon-wide counters (all fields cumulative since start).
 struct DaemonStats {
   std::uint64_t connections_accepted = 0;
-  std::uint64_t connections_dropped = 0;  ///< accept-fault / at capacity
+  std::uint64_t connections_dropped = 0;  ///< accept fault or error / at capacity
   std::uint64_t frames_received = 0;
   std::uint64_t replies_sent = 0;
   std::uint64_t requests_served = 0;   ///< admitted AND answered kOk-style
@@ -179,6 +181,12 @@ class Daemon {
   /// Admission control for one request; fills `reply` and returns false
   /// when the request must NOT run (rejected / shed / draining).
   bool admit(Connection& conn, const Frame& frame, Frame& reply);
+  /// Attributes a quota/watermark bounce to the named trace's existing
+  /// session (SessionStats::shed / ::rejected); no-op when the request
+  /// carries no fingerprint or the session was never built.
+  void note_bounce(Connection& conn, const Frame& frame, bool shed);
+  /// Joins connection threads that finished since the last sweep.
+  void reap_finished_threads();
   void breaker_account(Connection& conn, std::uint64_t fingerprint,
                        service::AnalysisSession& session, bool unknown,
                        bool oracle_exhausted);
@@ -194,7 +202,12 @@ class Daemon {
   std::condition_variable stop_cv_;
   DaemonStats stats_;
   std::unordered_map<std::string, std::shared_ptr<Tenant>> tenants_;
+  /// Reader threads of LIVE connections.  A finishing reader moves its
+  /// own handle to finished_threads_ (and closes + erases its fd), so a
+  /// churning daemon never accumulates dead fds or thread handles; the
+  /// accept loop reaps finished handles each wakeup, stop() the rest.
   std::vector<std::thread> conn_threads_;
+  std::vector<std::thread> finished_threads_;
   std::vector<int> conn_fds_;        ///< open connection sockets
   std::size_t live_connections_ = 0;
   /// Admitted-but-not-yet-replied requests and their payload bytes (the

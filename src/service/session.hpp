@@ -107,7 +107,10 @@ struct SessionStats {
   std::uint64_t oracle_decided = 0;  ///< ... settled without an exact sweep
   // ---- robustness counters (filled by the daemon front end via the
   // note_* methods, so per-trace overload behaviour surfaces in the
-  // same stats block the functional counters live in) ----
+  // same stats block the functional counters live in; a shed/rejected
+  // bounce is attributed only when the bounced request named a trace
+  // with an already-built session — earlier bounces are counted
+  // daemon-wide in DaemonStats only) ----
   std::uint64_t shed = 0;      ///< queries shed at an overload watermark
   std::uint64_t rejected = 0;  ///< queries bounced by a tenant quota
   /// Deadline-armed queries whose ladder truncated — the client got a

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -291,6 +292,47 @@ TEST(Daemon, UnknownFingerprintIsAnExplicitError) {
   const auto reply = client.deadlock_query(0xdeadbeef);
   EXPECT_EQ(reply.status, RequestStatus::kError);
   EXPECT_EQ(reply.code, ErrorCode::kUnknownTrace);
+  // An error-typed reply out of the executor is answered but NOT
+  // "served": requests_served counts kOk-style replies only.
+  EXPECT_EQ(harness.daemon().stats().requests_served, 0u);
+}
+
+// --------------------------------------------------------- resource churn
+
+/// Open descriptors of this process (Linux: /proc/self/fd entries).
+std::size_t count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST(Daemon, ConnectionChurnReleasesFdsImmediately) {
+  DaemonHarness harness;
+  {
+    DaemonClient warmup(harness.client_options());
+    ASSERT_TRUE(warmup.health().ok());
+  }
+  const std::size_t before = count_open_fds();
+  ASSERT_GT(before, 0u);
+  // 3x the default max_connections, sequentially.  Each dead connection
+  // must release its fd (and thread) when it ends, not at stop(): a
+  // daemon that parks them until shutdown runs out of descriptors under
+  // real connection churn long before any watermark trips.
+  for (int i = 0; i < 200; ++i) {
+    DaemonClient client(harness.client_options());
+    ASSERT_TRUE(client.health().ok()) << "connection " << i;
+  }
+  // The server closes its side on observing EOF, which can trail the
+  // client's close by a moment — poll briefly instead of flaking.
+  std::size_t after = count_open_fds();
+  for (int spins = 0; spins < 100 && after > before + 8; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    after = count_open_fds();
+  }
+  EXPECT_LE(after, before + 8);
 }
 
 // -------------------------------------------------- quotas and shedding

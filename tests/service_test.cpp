@@ -180,6 +180,24 @@ TEST(TraceRegistry, MemoizesSessionsPerTraceAndOptions) {
   EXPECT_EQ(s3->cache().get(), registry.cache().get());
 }
 
+TEST(TraceRegistry, FindSessionLooksUpWithoutCreating) {
+  TraceRegistry registry;
+  const Trace trace = quickstart_trace();
+  const std::uint64_t fp = trace.fingerprint();
+  // Nothing registered yet: nullptr, and crucially no session built (the
+  // daemon calls this on bounce paths that must stay cheap).
+  EXPECT_EQ(registry.find_session(fp), nullptr);
+  EXPECT_EQ(registry.num_sessions(), 0u);
+
+  const auto built = registry.session(trace);
+  EXPECT_EQ(registry.find_session(fp).get(), built.get());
+  // A different options digest is a different slot — still no creation.
+  ExactOptions other;
+  other.respect_dependences = false;
+  EXPECT_EQ(registry.find_session(fp, other), nullptr);
+  EXPECT_EQ(registry.num_sessions(), 1u);
+}
+
 TEST(TraceRegistry, SessionValidatesAxioms) {
   TraceBuilder b;
   const ObjectId s = b.semaphore("s");
